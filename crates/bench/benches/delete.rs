@@ -1,0 +1,55 @@
+//! Criterion version of the delete comparisons (Figures 6–9): every
+//! delete strategy on bulk and random workloads, at a fixed document size.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use xmlup_core::{DeleteStrategy, InsertStrategy, RepoConfig, XmlRepository};
+use xmlup_workload::{fixed_document, run_delete, synthetic_dtd, SyntheticParams, Workload};
+
+fn make_repo(p: &SyntheticParams, ds: DeleteStrategy) -> (XmlRepository, usize) {
+    let dtd = synthetic_dtd(p.depth);
+    let doc = fixed_document(p);
+    let mut repo = XmlRepository::new(
+        &dtd,
+        "root",
+        RepoConfig {
+            delete_strategy: ds,
+            insert_strategy: InsertStrategy::Table,
+            build_asr: ds == DeleteStrategy::Asr,
+            statement_cost_us: 0,
+        },
+    )
+    .unwrap();
+    repo.load(&doc).unwrap();
+    let rel = repo.mapping.relation_by_element("n1").unwrap();
+    (repo, rel)
+}
+
+fn bench_deletes(c: &mut Criterion) {
+    // Figure 6/7 shape: fanout=1, depth=8, sf=100 (trimmed for bench time).
+    let chain = SyntheticParams::new(100, 8, 1);
+    // Figure 8/9 shape: sf=100, fanout=4, depth=3.
+    let bushy = SyntheticParams::new(100, 3, 4);
+    for (shape_name, p) in [("chain_f1_d8", &chain), ("bushy_f4_d3", &bushy)] {
+        for workload in [Workload::Bulk, Workload::random10()] {
+            let mut group =
+                c.benchmark_group(format!("delete/{}/{}", shape_name, workload.label()));
+            group.sample_size(10);
+            for ds in DeleteStrategy::ALL {
+                group.bench_function(BenchmarkId::from_parameter(ds.label()), |b| {
+                    b.iter_batched(
+                        || make_repo(p, ds),
+                        |(mut repo, rel)| {
+                            run_delete(&mut repo, rel, workload).unwrap();
+                            repo
+                        },
+                        BatchSize::PerIteration,
+                    );
+                });
+            }
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_deletes);
+criterion_main!(benches);

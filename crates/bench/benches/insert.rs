@@ -1,0 +1,54 @@
+//! Criterion version of the insert comparisons (Figures 10–11): the three
+//! insert strategies replicating subtrees, bulk and random.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use xmlup_core::{DeleteStrategy, InsertStrategy, RepoConfig, XmlRepository};
+use xmlup_workload::{fixed_document, run_insert, synthetic_dtd, SyntheticParams, Workload};
+
+fn make_repo(p: &SyntheticParams, is: InsertStrategy) -> (XmlRepository, usize) {
+    let dtd = synthetic_dtd(p.depth);
+    let doc = fixed_document(p);
+    let mut repo = XmlRepository::new(
+        &dtd,
+        "root",
+        RepoConfig {
+            delete_strategy: DeleteStrategy::PerTupleTrigger,
+            insert_strategy: is,
+            build_asr: is == InsertStrategy::Asr,
+            statement_cost_us: 0,
+        },
+    )
+    .unwrap();
+    repo.load(&doc).unwrap();
+    let rel = repo.mapping.relation_by_element("n1").unwrap();
+    (repo, rel)
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    for (shape_name, p) in [
+        ("shallow_f4_d2", SyntheticParams::new(100, 2, 4)),
+        ("deep_f4_d4", SyntheticParams::new(50, 4, 4)),
+    ] {
+        for workload in [Workload::Bulk, Workload::random10()] {
+            let mut group =
+                c.benchmark_group(format!("insert/{}/{}", shape_name, workload.label()));
+            group.sample_size(10);
+            for is in InsertStrategy::ALL {
+                group.bench_function(BenchmarkId::from_parameter(is.label()), |b| {
+                    b.iter_batched(
+                        || make_repo(&p, is),
+                        |(mut repo, rel)| {
+                            run_insert(&mut repo, rel, workload).unwrap();
+                            repo
+                        },
+                        BatchSize::PerIteration,
+                    );
+                });
+            }
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_inserts);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benches for query-side machinery: the Sorted Outer Union
+//! (Section 5.2) and ASR vs conventional path-expression evaluation
+//! (Sections 5.3 / 7.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmlup_core::{RepoConfig, XmlRepository};
+use xmlup_workload::{fixed_document, synthetic_dtd, SyntheticParams};
+
+fn repo_with_asr(p: &SyntheticParams, asr: bool) -> XmlRepository {
+    let dtd = synthetic_dtd(p.depth);
+    let doc = fixed_document(p);
+    let mut repo =
+        XmlRepository::new(&dtd, "root", RepoConfig { build_asr: asr, ..RepoConfig::default() })
+            .unwrap();
+    repo.load(&doc).unwrap();
+    repo
+}
+
+fn bench_outer_union(c: &mut Criterion) {
+    let mut group = c.benchmark_group("outer_union/fetch_all");
+    group.sample_size(10);
+    for sf in [50usize, 100, 200] {
+        let p = SyntheticParams::new(sf, 4, 2);
+        let mut repo = repo_with_asr(&p, false);
+        let rel = repo.mapping.relation_by_element("n1").unwrap();
+        group.bench_function(BenchmarkId::from_parameter(sf), |b| {
+            b.iter(|| {
+                let (_, roots) = repo.fetch(rel, None).unwrap();
+                assert_eq!(roots.len(), sf);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_asr_paths(c: &mut Criterion) {
+    // Path predicate of length 3 over small vs large fanout — the paper's
+    // §7.2 observation: ASRs only pay off at small fanout / long paths.
+    let q = r#"FOR $x IN document("d")/root/n1[n2/n3/n4/str="@@nomatch@@"] RETURN $x"#;
+    for fanout in [1usize, 4] {
+        let p = SyntheticParams::new(40, 4, fanout);
+        let mut group = c.benchmark_group(format!("asr_paths/fanout{fanout}"));
+        group.sample_size(10);
+        let mut plain = repo_with_asr(&p, false);
+        group.bench_function("conventional", |b| {
+            b.iter(|| plain.query_xml(q).unwrap());
+        });
+        let mut asr = repo_with_asr(&p, true);
+        group.bench_function("asr", |b| {
+            b.iter(|| asr.query_xml(q).unwrap());
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_outer_union, bench_asr_paths);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation benches for the storage substrate: XML parse, inlined shred
+//! (vs the Edge baseline), and ASR construction — the fixed costs behind
+//! every experiment of Section 7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmlup_rdb::Database;
+use xmlup_shred::{edge, loader, AsrIndex, Mapping};
+use xmlup_workload::{fixed_document, synthetic_dtd, SyntheticParams};
+use xmlup_xml::serializer;
+
+fn bench_shred(c: &mut Criterion) {
+    for sf in [50usize, 200] {
+        let p = SyntheticParams::new(sf, 3, 2);
+        let dtd = synthetic_dtd(p.depth);
+        let mapping = Mapping::from_dtd(&dtd, "root").unwrap();
+        let doc = fixed_document(&p);
+        let mut group = c.benchmark_group(format!("shred/sf{sf}"));
+        group.sample_size(10);
+        group.bench_function("inline", |b| {
+            b.iter(|| {
+                let mut db = Database::new();
+                loader::create_schema(&mut db, &mapping).unwrap();
+                loader::shred(&mut db, &mapping, &doc).unwrap();
+                db
+            });
+        });
+        group.bench_function("edge", |b| {
+            b.iter(|| {
+                let mut db = Database::new();
+                db.bump_next_id(1);
+                edge::create_schema(&mut db).unwrap();
+                edge::shred(&mut db, &doc).unwrap();
+                db
+            });
+        });
+        group.bench_function("asr_build", |b| {
+            b.iter_batched(
+                || {
+                    let mut db = Database::new();
+                    loader::create_schema(&mut db, &mapping).unwrap();
+                    loader::shred(&mut db, &mapping, &doc).unwrap();
+                    db
+                },
+                |mut db| {
+                    AsrIndex::build(&mut db, &mapping).unwrap();
+                    db
+                },
+                criterion::BatchSize::PerIteration,
+            );
+        });
+        group.finish();
+    }
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xml_parse");
+    group.sample_size(20);
+    for sf in [100usize, 400] {
+        let doc = fixed_document(&SyntheticParams::new(sf, 3, 2));
+        let text = serializer::to_string(&doc);
+        group.bench_function(BenchmarkId::from_parameter(sf), |b| {
+            b.iter(|| xmlup_xml::parse(&text).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shred, bench_parse);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Regenerate the tables and figures of *Updating XML* (SIGMOD 2001).
+//!
+//! ```text
+//! paper-figures [all|table1|fig6|fig7|fig8|fig9|fig10|fig11|table2|asr-paths|randomized|ordered|storage]
+//!               [--full]
+//! ```
+//!
+//! Default parameter ranges are trimmed so the whole suite runs in a few
+//! minutes; `--full` uses the paper's complete ranges (scaling factors to
+//! 1000, depths to 6).
+
+use xmlup_bench::experiments as exp;
+use xmlup_workload::dblp::DblpParams;
+use xmlup_workload::Workload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    let scaling: Vec<usize> =
+        if full { vec![100, 200, 400, 600, 800, 1000] } else { vec![100, 200, 400, 800] };
+    let depths: Vec<usize> = if full { vec![1, 2, 3, 4, 5, 6] } else { vec![2, 3, 4, 5] };
+    let run = |name: &str| what == "all" || what == name;
+
+    if run("table1") {
+        exp::print_table1();
+    }
+    if run("asr-paths") {
+        let lens: Vec<usize> = if full { vec![2, 3, 4, 5] } else { vec![2, 3, 4] };
+        let rows = exp::asr_path_expressions(&[1, 2, 4, 8], &lens);
+        exp::print_asr_paths(&rows);
+    }
+    if run("fig6") {
+        exp::delete_vs_scaling(Workload::Bulk, &scaling, "6").print();
+    }
+    if run("fig7") {
+        exp::delete_vs_scaling(Workload::random10(), &scaling, "7").print();
+    }
+    if run("fig8") {
+        exp::delete_vs_depth(Workload::Bulk, &depths, "8").print();
+    }
+    if run("fig9") {
+        exp::delete_vs_depth(Workload::random10(), &depths, "9").print();
+    }
+    if run("fig10") {
+        exp::insert_vs_depth(Workload::Bulk, &depths, "10").print();
+    }
+    if run("fig11") {
+        exp::insert_vs_depth(Workload::random10(), &depths, "11").print();
+    }
+    if run("randomized") {
+        exp::randomized_delete(&scaling).print();
+    }
+    if run("storage") {
+        let rows = exp::storage_ablation(&scaling);
+        exp::print_storage(&rows);
+    }
+    if run("ordered") {
+        let rows = exp::ordered_ablation(&scaling);
+        exp::print_ordered(&rows);
+    }
+    if run("table2") {
+        let params = if full {
+            DblpParams { conferences: 300, pubs_per_conf: 60, ..Default::default() }
+        } else {
+            DblpParams::default()
+        };
+        let rows = exp::table2(&params);
+        exp::print_table2(&rows);
+    }
+}

@@ -1,0 +1,16 @@
+//! # xmlup-bench
+//!
+//! Experiment harness regenerating every table and figure of *Updating
+//! XML* (SIGMOD 2001), Section 7. The `paper-figures` binary prints the
+//! same series the paper plots; the Criterion benches under `benches/`
+//! provide statistically robust timings for the same operations.
+//!
+//! Timing protocol mirrors the paper: each point is the average of a set
+//! of runs with the first run discarded (Section 7), every run on freshly
+//! loaded data.
+
+pub mod experiments;
+pub mod timing;
+
+pub use experiments::*;
+pub use timing::{time_runs, Millis};

@@ -1,0 +1,49 @@
+//! Timing protocol of paper Section 7: each point averages a set of runs
+//! with the first run discarded, every run on freshly prepared state.
+
+use std::time::Instant;
+
+/// Milliseconds as a plain f64 (for printing with paper-style precision).
+pub type Millis = f64;
+
+/// Run `setup` + `op` `runs + 1` times, discard the first measurement
+/// (warm-up, as in the paper), and return the mean of the rest in
+/// milliseconds. Only `op` is timed.
+pub fn time_runs<T>(
+    runs: usize,
+    mut setup: impl FnMut() -> T,
+    mut op: impl FnMut(&mut T),
+) -> Millis {
+    assert!(runs >= 1);
+    let mut total = 0.0f64;
+    for i in 0..=runs {
+        let mut state = setup();
+        let start = Instant::now();
+        op(&mut state);
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        if i > 0 {
+            total += elapsed;
+        }
+    }
+    total / runs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_exclude_first_run() {
+        let mut calls = 0usize;
+        let ms = time_runs(
+            3,
+            || (),
+            |_| {
+                calls += 1;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            },
+        );
+        assert_eq!(calls, 4, "three measured runs plus one discarded");
+        assert!(ms >= 1.0, "mean of 1ms sleeps is at least 1ms, got {ms}");
+    }
+}

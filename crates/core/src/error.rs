@@ -1,0 +1,60 @@
+//! Errors for the update-translation layer.
+
+use std::fmt;
+use xmlup_rdb::DbError;
+use xmlup_shred::ShredError;
+use xmlup_xquery::QueryError;
+
+/// Errors raised while translating or executing XML updates over the
+/// relational store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The statement uses features outside the translatable subset.
+    Unsupported(String),
+    /// A path in the statement does not resolve against the mapping.
+    Path(String),
+    /// Strategy-level failure.
+    Strategy(String),
+    /// Underlying relational error.
+    Db(DbError),
+    /// Underlying mapping error.
+    Shred(ShredError),
+    /// Underlying XQuery error.
+    Query(QueryError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Unsupported(m) => write!(f, "unsupported statement: {m}"),
+            CoreError::Path(m) => write!(f, "path error: {m}"),
+            CoreError::Strategy(m) => write!(f, "strategy error: {m}"),
+            CoreError::Db(e) => write!(f, "{e}"),
+            CoreError::Shred(e) => write!(f, "{e}"),
+            CoreError::Query(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<DbError> for CoreError {
+    fn from(e: DbError) -> Self {
+        CoreError::Db(e)
+    }
+}
+
+impl From<ShredError> for CoreError {
+    fn from(e: ShredError) -> Self {
+        CoreError::Shred(e)
+    }
+}
+
+impl From<QueryError> for CoreError {
+    fn from(e: QueryError) -> Self {
+        CoreError::Query(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,467 @@
+//! The three complex-insert strategies of paper Section 6.2.
+//!
+//! A complex insert copies an XML subtree stored across multiple relations
+//! to a new parent, replicating every tuple under fresh ids while
+//! preserving connectivity (copy semantics — ids must stay unique, so the
+//! tuples can be neither shared nor copied verbatim).
+//!
+//! | strategy | id remapping | SQL statements |
+//! |----------|--------------|----------------|
+//! | tuple    | per-tuple map, gap-free ids | 1 INSERT per copied tuple |
+//! | table    | `offset = nextId − minId` over temp tables | ~4 per relation |
+//! | ASR      | same offset heuristic over marked ASR paths | ~2 per relation + ASR maintenance |
+
+use crate::error::{CoreError, Result};
+use std::collections::HashMap;
+use xmlup_rdb::{Database, Value};
+use xmlup_shred::loader::sql_literal;
+use xmlup_shred::{outer_union, AsrIndex, Mapping};
+
+/// Strategy selector for complex inserts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertStrategy {
+    /// Tuple-based (Section 6.2.1): stream the Sorted Outer Union, remap
+    /// ids row by row, one `INSERT` per tuple. Low memory, many
+    /// statements; allocates ids without gaps.
+    Tuple,
+    /// Table-based (Section 6.2.2): materialize the source subtree into
+    /// temporary tables, remap en masse with the `nextId − minId` offset
+    /// heuristic, one `INSERT … SELECT` per relation. The paper's winner
+    /// for bulk inserts.
+    Table,
+    /// ASR-based (Section 6.2.3): find subtree ids by marking ASR paths,
+    /// remap with the offset heuristic, insert per relation, extend the
+    /// ASR with the copied paths.
+    Asr,
+}
+
+impl InsertStrategy {
+    /// All strategies, for sweeps.
+    pub const ALL: [InsertStrategy; 3] =
+        [InsertStrategy::Tuple, InsertStrategy::Table, InsertStrategy::Asr];
+
+    /// Short label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            InsertStrategy::Tuple => "tuple",
+            InsertStrategy::Table => "table",
+            InsertStrategy::Asr => "asr",
+        }
+    }
+}
+
+/// On an order-preserving mapping, a fresh gap-spaced position placing a
+/// new child of `dst_parent_id` after every existing sibling (copies
+/// append, like the paper's unordered inserts). `None` when unordered.
+fn appended_pos(
+    db: &mut Database,
+    mapping: &Mapping,
+    rel: usize,
+    dst_parent_id: i64,
+) -> Result<Option<i64>> {
+    use xmlup_shred::inline::POS_GAP;
+    use xmlup_shred::ColumnKind;
+    if !mapping.ordered {
+        return Ok(None);
+    }
+    let parent = match mapping.relations[rel].parent {
+        Some(p) => p,
+        None => return Ok(None),
+    };
+    let mut max_pos = 0i64;
+    for &crel in &mapping.relations[parent].children {
+        let r = &mapping.relations[crel];
+        if let Some(pi) = r.find_column(&[], &ColumnKind::Position) {
+            let rs = db.query(&format!(
+                "SELECT MAX({}) FROM {} WHERE parentId = {dst_parent_id}",
+                r.columns[pi].name, r.table
+            ))?;
+            if let Some(p) = rs.rows[0][0].as_int() {
+                max_pos = max_pos.max(p);
+            }
+        }
+    }
+    Ok(Some(max_pos + POS_GAP))
+}
+
+/// Copy the subtree rooted at tuple `src_id` of relation `rel` so that the
+/// copy hangs under parent tuple `dst_parent_id` (a tuple of `rel`'s
+/// parent relation — or the same parent for sibling replication). Returns
+/// the number of tuples created.
+pub fn copy_subtree(
+    db: &mut Database,
+    mapping: &Mapping,
+    asr: Option<&AsrIndex>,
+    strategy: InsertStrategy,
+    rel: usize,
+    src_id: i64,
+    dst_parent_id: i64,
+) -> Result<usize> {
+    match strategy {
+        InsertStrategy::Tuple => tuple_insert(db, mapping, rel, src_id, dst_parent_id),
+        InsertStrategy::Table => table_insert(db, mapping, rel, src_id, dst_parent_id),
+        InsertStrategy::Asr => {
+            let asr = asr.ok_or_else(|| {
+                CoreError::Strategy("ASR insert requires a built ASR index".into())
+            })?;
+            asr_insert(db, mapping, asr, rel, src_id, dst_parent_id)
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// tuple-based
+// ----------------------------------------------------------------------
+
+fn tuple_insert(
+    db: &mut Database,
+    mapping: &Mapping,
+    rel: usize,
+    src_id: i64,
+    dst_parent_id: i64,
+) -> Result<usize> {
+    // Stream the source subtree via the Sorted Outer Union.
+    let plan = outer_union::plan(mapping, rel, Some(&format!("id = {src_id}")));
+    let rs = outer_union::execute(db, &plan)?;
+    // old id → new id; parents appear before children in the sorted stream.
+    let mut remap: HashMap<i64, i64> = HashMap::new();
+    let mut inserted = 0usize;
+    for row in &rs.rows {
+        // Level = deepest non-null id column (see outer_union::reassemble).
+        let mut level = 0;
+        for (li, &off) in plan.id_offsets.iter().enumerate() {
+            if !row[off].is_null() {
+                level = li;
+            }
+        }
+        let off = plan.id_offsets[level];
+        let old_id = row[off].as_int().expect("id column");
+        let new_id = *remap.entry(old_id).or_insert_with(|| db.allocate_ids(1));
+        let relation = &mapping.relations[plan.relations[level]];
+        let new_parent = if level == 0 {
+            dst_parent_id
+        } else {
+            let parent_rel = relation.parent.expect("child has parent");
+            let plevel = plan
+                .relations
+                .iter()
+                .position(|&r| r == parent_rel)
+                .expect("parent in plan");
+            let old_parent = row[plan.id_offsets[plevel]].as_int().expect("parent key");
+            *remap.get(&old_parent).ok_or_else(|| {
+                CoreError::Strategy("child tuple arrived before its parent".into())
+            })?
+        };
+        let mut vals = vec![Value::Int(new_id), Value::Int(new_parent)];
+        vals.extend_from_slice(&row[off + 1..off + 1 + relation.columns.len()]);
+        if level == 0 {
+            // Fresh appended position for the copied root on ordered
+            // mappings (descendant positions are per-parent and disjoint,
+            // so the verbatim copies below stay correct).
+            if let Some(pos) = appended_pos(db, mapping, rel, dst_parent_id)? {
+                let pi = relation
+                    .find_column(&[], &xmlup_shred::ColumnKind::Position)
+                    .expect("ordered relation has pos_");
+                vals[2 + pi] = Value::Int(pos);
+            }
+        }
+        let rendered: Vec<String> = vals.iter().map(sql_literal).collect();
+        db.execute(&format!(
+            "INSERT INTO {} VALUES ({})",
+            relation.table,
+            rendered.join(", ")
+        ))?;
+        inserted += 1;
+    }
+    Ok(inserted)
+}
+
+// ----------------------------------------------------------------------
+// table-based
+// ----------------------------------------------------------------------
+
+fn table_insert(
+    db: &mut Database,
+    mapping: &Mapping,
+    rel: usize,
+    src_id: i64,
+    dst_parent_id: i64,
+) -> Result<usize> {
+    let subtree = mapping.subtree(rel);
+    // 1. Materialize the source subtree into temp tables, level by level.
+    for (i, &s) in subtree.iter().enumerate() {
+        let relation = &mapping.relations[s];
+        let cols: Vec<String> = relation
+            .column_defs()
+            .iter()
+            .map(|c| format!("{} {}", c.name, c.ty))
+            .collect();
+        db.execute(&format!(
+            "CREATE TABLE tmp_{} ({})",
+            relation.table,
+            cols.join(", ")
+        ))?;
+        if i == 0 {
+            db.execute(&format!(
+                "INSERT INTO tmp_{t} SELECT * FROM {t} WHERE id = {src_id}",
+                t = relation.table
+            ))?;
+        } else {
+            let parent = mapping.relations[s].parent.expect("child has parent");
+            db.execute(&format!(
+                "INSERT INTO tmp_{t} SELECT * FROM {t} WHERE parentId IN (SELECT id FROM tmp_{p})",
+                t = relation.table,
+                p = mapping.relations[parent].table
+            ))?;
+        }
+    }
+    // 2. The paper's offset heuristic: offset = nextId − minId; nextId
+    //    advances by maxId − minId + 1.
+    let mut min_id = i64::MAX;
+    let mut max_id = i64::MIN;
+    let mut copied = 0usize;
+    for &s in &subtree {
+        let rs = db.query(&format!(
+            "SELECT MIN(id), MAX(id), COUNT(*) FROM tmp_{}",
+            mapping.relations[s].table
+        ))?;
+        if let (Some(lo), Some(hi)) = (rs.rows[0][0].as_int(), rs.rows[0][1].as_int()) {
+            min_id = min_id.min(lo);
+            max_id = max_id.max(hi);
+        }
+        copied += rs.rows[0][2].as_int().unwrap_or(0) as usize;
+    }
+    if copied == 0 {
+        for &s in &subtree {
+            db.execute(&format!("DROP TABLE tmp_{}", mapping.relations[s].table))?;
+        }
+        return Ok(0);
+    }
+    let span = max_id - min_id + 1;
+    let next = db.allocate_ids(span);
+    let offset = next - min_id;
+    // 3. Re-insert shifted tuples, one statement per relation.
+    for &s in &subtree {
+        let relation = &mapping.relations[s];
+        let data_cols: Vec<String> =
+            relation.columns.iter().map(|c| c.name.clone()).collect();
+        let select_cols = if data_cols.is_empty() {
+            format!("id + {offset}, parentId + {offset}")
+        } else {
+            format!("id + {offset}, parentId + {offset}, {}", data_cols.join(", "))
+        };
+        db.execute(&format!(
+            "INSERT INTO {t} SELECT {select_cols} FROM tmp_{t}",
+            t = relation.table
+        ))?;
+    }
+    // 4. Reattach the copied root to its destination parent (with a fresh
+    //    appended position on ordered mappings — the verbatim-copied pos_
+    //    would collide with the source's).
+    reattach_root(db, mapping, rel, src_id + offset, dst_parent_id)?;
+    for &s in &subtree {
+        db.execute(&format!("DROP TABLE tmp_{}", mapping.relations[s].table))?;
+    }
+    Ok(copied)
+}
+
+/// Point the copied root at its destination parent, assigning a fresh
+/// appended `pos_` on ordered mappings.
+fn reattach_root(
+    db: &mut Database,
+    mapping: &Mapping,
+    rel: usize,
+    new_root_id: i64,
+    dst_parent_id: i64,
+) -> Result<()> {
+    let relation = &mapping.relations[rel];
+    match appended_pos(db, mapping, rel, dst_parent_id)? {
+        Some(pos) => {
+            let pi = relation
+                .find_column(&[], &xmlup_shred::ColumnKind::Position)
+                .expect("ordered relation has pos_");
+            db.execute(&format!(
+                "UPDATE {} SET parentId = {dst_parent_id}, {} = {pos} WHERE id = {new_root_id}",
+                relation.table, relation.columns[pi].name
+            ))?;
+        }
+        None => {
+            db.execute(&format!(
+                "UPDATE {} SET parentId = {dst_parent_id} WHERE id = {new_root_id}",
+                relation.table
+            ))?;
+        }
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// ASR-based
+// ----------------------------------------------------------------------
+
+fn asr_insert(
+    db: &mut Database,
+    mapping: &Mapping,
+    asr: &AsrIndex,
+    rel: usize,
+    src_id: i64,
+    dst_parent_id: i64,
+) -> Result<usize> {
+    let subtree = mapping.subtree(rel);
+    let rel_col = &asr.id_columns[asr
+        .column_of(rel)
+        .ok_or_else(|| CoreError::Strategy("relation not covered by ASR".into()))?];
+    // 1. Mark the source paths.
+    db.execute(&format!(
+        "UPDATE {} SET mark = TRUE WHERE {rel_col} = {src_id}",
+        asr.table
+    ))?;
+    // 2. Offset from the marked ids (MIN/MAX per covered level).
+    let mut min_id = i64::MAX;
+    let mut max_id = i64::MIN;
+    for &s in &subtree {
+        let c = &asr.id_columns[asr.column_of(s).expect("covered")];
+        let rs = db.query(&format!(
+            "SELECT MIN({c}), MAX({c}) FROM {} WHERE mark = TRUE",
+            asr.table
+        ))?;
+        if let (Some(lo), Some(hi)) = (rs.rows[0][0].as_int(), rs.rows[0][1].as_int()) {
+            min_id = min_id.min(lo);
+            max_id = max_id.max(hi);
+        }
+    }
+    if min_id == i64::MAX {
+        db.execute(&format!("UPDATE {} SET mark = FALSE WHERE mark = TRUE", asr.table))?;
+        return Ok(0);
+    }
+    // Destination ancestor path — resolved BEFORE any data is copied so a
+    // missing path fails cleanly instead of leaving a half-applied insert.
+    let ancestor_literals: Vec<(String, String)> = match mapping.relations[rel].parent {
+        None => Vec::new(),
+        Some(parent) => {
+            let pcol = &asr.id_columns[asr.column_of(parent).expect("covered")];
+            let rs = db.query(&format!(
+                "SELECT * FROM {} WHERE {pcol} = {dst_parent_id} LIMIT 1",
+                asr.table
+            ))?;
+            match rs.rows.first() {
+                None => {
+                    db.execute(&format!(
+                        "UPDATE {} SET mark = FALSE WHERE mark = TRUE",
+                        asr.table
+                    ))?;
+                    return Err(CoreError::Strategy(format!(
+                        "destination parent {dst_parent_id} has no path in the ASR"
+                    )));
+                }
+                Some(row) => mapping
+                    .ancestor_chain(rel)
+                    .iter()
+                    .map(|&r| {
+                        let ci = asr.column_of(r).expect("covered");
+                        (asr.id_columns[ci].clone(), sql_literal(&row[ci]))
+                    })
+                    .collect(),
+            }
+        }
+    };
+    let span = max_id - min_id + 1;
+    let next = db.allocate_ids(span);
+    let offset = next - min_id;
+    // 3. Replicate tuples per relation, ids drawn from the marked paths.
+    let mut copied = 0usize;
+    for &s in &subtree {
+        let relation = &mapping.relations[s];
+        let c = &asr.id_columns[asr.column_of(s).expect("covered")];
+        let data_cols: Vec<String> =
+            relation.columns.iter().map(|col| col.name.clone()).collect();
+        let select_cols = if data_cols.is_empty() {
+            format!("id + {offset}, parentId + {offset}")
+        } else {
+            format!("id + {offset}, parentId + {offset}, {}", data_cols.join(", "))
+        };
+        copied += db
+            .execute(&format!(
+                "INSERT INTO {t} SELECT {select_cols} FROM {t} \
+                 WHERE id IN (SELECT {c} FROM {} WHERE mark = TRUE)",
+                asr.table,
+                t = relation.table
+            ))?
+            .affected();
+    }
+    // 4. Reattach the copied root (fresh position on ordered mappings).
+    reattach_root(db, mapping, rel, src_id + offset, dst_parent_id)?;
+    // 5. ASR maintenance: add the copied paths (ancestor columns carry the
+    //    destination parent's path, resolved up front), then unmark.
+    let mut insert_cols: Vec<String> = Vec::new();
+    let mut select_exprs: Vec<String> = Vec::new();
+    for (c, lit) in &ancestor_literals {
+        insert_cols.push(c.clone());
+        select_exprs.push(lit.clone());
+    }
+    for &s in &subtree {
+        let c = &asr.id_columns[asr.column_of(s).expect("covered")];
+        insert_cols.push(c.clone());
+        select_exprs.push(format!("{c} + {offset}"));
+    }
+    insert_cols.push("mark".into());
+    select_exprs.push("FALSE".into());
+    db.execute(&format!(
+        "INSERT INTO {a} ({}) SELECT {} FROM {a} WHERE mark = TRUE",
+        insert_cols.join(", "),
+        select_exprs.join(", "),
+        a = asr.table
+    ))?;
+    db.execute(&format!("UPDATE {} SET mark = FALSE WHERE mark = TRUE", asr.table))?;
+    Ok(copied)
+}
+
+/// A *simple* insert (Section 6.2): writing an inlined item is a single
+/// `UPDATE`; with `check_overwrite` the table is first queried to warn
+/// about inserting "over" an existing single-occurrence item.
+pub fn insert_inlined(
+    db: &mut Database,
+    mapping: &Mapping,
+    rel: usize,
+    column: usize,
+    value: &Value,
+    filter: Option<&str>,
+    check_overwrite: bool,
+) -> Result<usize> {
+    let relation = &mapping.relations[rel];
+    let col = &relation.columns[column];
+    let where_clause = filter.map(|f| format!(" WHERE {f}")).unwrap_or_default();
+    if check_overwrite {
+        let extra = if where_clause.is_empty() { "WHERE" } else { "AND" };
+        let rs = db.query(&format!(
+            "SELECT COUNT(*) FROM {}{where_clause} {extra} {} IS NOT NULL",
+            relation.table, col.name
+        ))?;
+        if rs.scalar().and_then(Value::as_int).unwrap_or(0) > 0 {
+            return Err(CoreError::Strategy(format!(
+                "insert over existing single-occurrence item {}.{}",
+                relation.table, col.name
+            )));
+        }
+    }
+    let mut sets = vec![format!("{} = {}", col.name, sql_literal(value))];
+    // Setting an inlined value implies its ancestors exist: raise presence
+    // flags along the path.
+    for c in &relation.columns {
+        if matches!(c.kind, xmlup_shred::ColumnKind::Presence)
+            && !c.path.is_empty()
+            && c.path.len() <= col.path.len()
+            && col.path[..c.path.len()] == c.path[..]
+        {
+            sets.push(format!("{} = TRUE", c.name));
+        }
+    }
+    let n = db
+        .execute(&format!(
+            "UPDATE {} SET {}{where_clause}",
+            relation.table,
+            sets.join(", ")
+        ))?
+        .affected();
+    Ok(n)
+}

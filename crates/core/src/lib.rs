@@ -1,0 +1,52 @@
+//! # xmlup-core
+//!
+//! The primary contribution of *Updating XML* (SIGMOD 2001): executing
+//! XQuery update statements over XML shredded into a relational database.
+//!
+//! * [`delete`] — the four complex-delete strategies of Section 6.1
+//!   (per-tuple trigger, per-statement trigger, cascading, ASR-based) plus
+//!   simple inlined deletes.
+//! * [`insert`] — the three complex-insert strategies of Section 6.2
+//!   (tuple-based, table-based, ASR-based) plus simple inlined inserts.
+//! * [`translate`] — XQuery → SQL translation for the supported statement
+//!   subset, including ASR-accelerated path predicates (Section 5.3).
+//! * [`repository`] — [`XmlRepository`], the middleware facade tying the
+//!   mapping, strategies, and Sorted Outer Union together.
+//!
+//! ```
+//! use xmlup_core::{DeleteStrategy, InsertStrategy, RepoConfig, XmlRepository};
+//! use xmlup_xml::{dtd::Dtd, samples};
+//!
+//! let dtd = Dtd::parse(samples::CUSTOMER_DTD).unwrap();
+//! let doc = xmlup_xml::parse(samples::CUSTOMER_XML).unwrap().doc;
+//! let mut repo = XmlRepository::new(&dtd, "CustDB", RepoConfig {
+//!     delete_strategy: DeleteStrategy::PerTupleTrigger,
+//!     insert_strategy: InsertStrategy::Table,
+//!     build_asr: false,
+//!     statement_cost_us: 0,
+//! }).unwrap();
+//! repo.load(&doc).unwrap();
+//!
+//! // Paper Example 9: delete customers named John — one SQL statement,
+//! // triggers cascade inside the engine.
+//! let n = repo.execute_xquery(
+//!     r#"FOR $d IN document("custdb.xml")/CustDB,
+//!            $c IN $d/Customer[Name="John"]
+//!        UPDATE $d { DELETE $c }"#,
+//! ).unwrap();
+//! assert_eq!(n, 2);
+//! ```
+
+pub mod delete;
+pub mod error;
+pub mod insert;
+pub mod ordered;
+pub mod repository;
+pub mod translate;
+
+pub use delete::DeleteStrategy;
+pub use error::{CoreError, Result};
+pub use insert::InsertStrategy;
+pub use ordered::{insert_tuple_at, InsertAt, PositionalInsert};
+pub use repository::{RepoConfig, XmlRepository};
+pub use translate::{QuerySpec, TranslatedOp};

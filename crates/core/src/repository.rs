@@ -1,0 +1,597 @@
+//! `XmlRepository`: the paper's middleware — an XML store whose documents
+//! live shredded in the relational engine, with pluggable delete/insert
+//! strategies and XQuery update execution.
+
+use crate::delete::{self, DeleteStrategy};
+use crate::error::{CoreError, Result};
+use crate::insert::{self, InsertStrategy};
+use crate::translate::{self, TranslatedOp};
+use xmlup_rdb::{Database, Stats, Value};
+use xmlup_shred::{loader, outer_union, AsrIndex, Mapping};
+use xmlup_xml::dtd::Dtd;
+use xmlup_xml::{Document, NodeId};
+use xmlup_xquery::parse_statement;
+
+/// Repository configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RepoConfig {
+    /// Strategy for complex deletes.
+    pub delete_strategy: DeleteStrategy,
+    /// Strategy for complex inserts.
+    pub insert_strategy: InsertStrategy,
+    /// Build (and maintain) the Access Support Relation. Forced on when
+    /// either strategy is ASR-based.
+    pub build_asr: bool,
+    /// Simulated per-client-statement overhead in microseconds (the
+    /// JDBC round-trip + SQL compilation cost of the paper's DB2 setup).
+    /// Zero disables the simulation; the benchmark harness enables it so
+    /// statement-count trade-offs behave as they did against a real
+    /// client/server RDBMS. See DESIGN.md.
+    pub statement_cost_us: u64,
+}
+
+impl Default for RepoConfig {
+    fn default() -> Self {
+        RepoConfig {
+            delete_strategy: DeleteStrategy::PerTupleTrigger,
+            insert_strategy: InsertStrategy::Table,
+            build_asr: false,
+            statement_cost_us: 0,
+        }
+    }
+}
+
+impl RepoConfig {
+    /// Whether the configuration needs an ASR.
+    pub fn needs_asr(&self) -> bool {
+        self.build_asr
+            || self.delete_strategy == DeleteStrategy::Asr
+            || self.insert_strategy == InsertStrategy::Asr
+    }
+}
+
+/// An XML repository over the relational engine.
+#[derive(Debug)]
+pub struct XmlRepository {
+    /// The relational store (public for inspection and experiments).
+    pub db: Database,
+    /// The inlining mapping.
+    pub mapping: Mapping,
+    /// The ASR, when configured.
+    pub asr: Option<AsrIndex>,
+    config: RepoConfig,
+}
+
+impl XmlRepository {
+    /// Create a repository for documents conforming to `dtd` with the
+    /// given root element: builds the schema, installs the strategy's
+    /// triggers.
+    pub fn new(dtd: &Dtd, root: &str, config: RepoConfig) -> Result<Self> {
+        Self::with_mapping(Mapping::from_dtd(dtd, root)?, config)
+    }
+
+    /// Like [`XmlRepository::new`] but with the order-preserving mapping
+    /// (`pos_` columns + gap-based positional inserts; the paper's
+    /// Section 8 extension).
+    pub fn new_ordered(dtd: &Dtd, root: &str, config: RepoConfig) -> Result<Self> {
+        Self::with_mapping(Mapping::from_dtd_ordered(dtd, root)?, config)
+    }
+
+    /// Build a repository over an already-constructed mapping.
+    pub fn with_mapping(mapping: Mapping, config: RepoConfig) -> Result<Self> {
+        let mut db = Database::new();
+        db.set_statement_cost(std::time::Duration::from_micros(config.statement_cost_us));
+        loader::create_schema(&mut db, &mapping)?;
+        delete::install_triggers(&mut db, &mapping, config.delete_strategy)?;
+        Ok(XmlRepository { db, mapping, asr: None, config })
+    }
+
+    /// Positional insert of a new child tuple (order-preserving mappings
+    /// only); see [`crate::ordered`].
+    pub fn insert_tuple_at(
+        &mut self,
+        rel: usize,
+        parent_id: i64,
+        values: &[(String, Value)],
+        at: crate::ordered::InsertAt,
+    ) -> Result<crate::ordered::PositionalInsert> {
+        crate::ordered::insert_tuple_at(&mut self.db, &self.mapping, rel, parent_id, values, at)
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> RepoConfig {
+        self.config
+    }
+
+    /// Shred a document into the store (building the ASR afterwards when
+    /// configured). Returns tuples inserted.
+    pub fn load(&mut self, doc: &Document) -> Result<usize> {
+        let n = loader::shred(&mut self.db, &self.mapping, doc)?;
+        if self.config.needs_asr() && self.asr.is_none() {
+            self.asr = Some(AsrIndex::build(&mut self.db, &self.mapping)?);
+        } else if let Some(asr) = &self.asr {
+            asr.populate(&mut self.db, &self.mapping)?;
+        }
+        Ok(n)
+    }
+
+    /// Execution statistics of the underlying engine.
+    pub fn stats(&self) -> Stats {
+        self.db.stats()
+    }
+
+    /// Reset the engine's statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.db.reset_stats();
+    }
+
+    /// Total live tuples across the mapping's tables (Table 1's
+    /// "data size" metric).
+    pub fn tuple_count(&self) -> usize {
+        self.mapping
+            .relations
+            .iter()
+            .filter_map(|r| self.db.table(&r.table).map(|t| t.len()))
+            .sum()
+    }
+
+    /// Ids of all tuples of `rel` (sorted).
+    pub fn ids_of(&self, rel: usize) -> Vec<i64> {
+        let mut ids: Vec<i64> = self
+            .db
+            .table(&self.mapping.relations[rel].table)
+            .map(|t| t.rows().filter_map(|r| r[0].as_int()).collect())
+            .unwrap_or_default();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Id of the document root tuple.
+    pub fn root_id(&self) -> Result<i64> {
+        self.ids_of(self.mapping.root())
+            .first()
+            .copied()
+            .ok_or_else(|| CoreError::Strategy("repository is empty".into()))
+    }
+
+    // ------------------------------------------------------------------
+    // direct (pre-translated) operations
+    // ------------------------------------------------------------------
+
+    /// Complex delete: remove subtrees of `rel` matching `filter`.
+    pub fn delete_where(&mut self, rel: usize, filter: Option<&str>) -> Result<usize> {
+        let n = delete::delete_where(
+            &mut self.db,
+            &self.mapping,
+            self.asr.as_ref(),
+            self.config.delete_strategy,
+            rel,
+            filter,
+        )?;
+        // The ASR strategy maintains the index incrementally; any other
+        // strategy leaves a built ASR stale — refresh it so ASR-accelerated
+        // queries keep answering correctly.
+        if n > 0 && self.config.delete_strategy != DeleteStrategy::Asr {
+            if let Some(asr) = &self.asr {
+                asr.populate(&mut self.db, &self.mapping)?;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Complex delete of one subtree by id.
+    pub fn delete_by_id(&mut self, rel: usize, id: i64) -> Result<usize> {
+        self.delete_where(rel, Some(&format!("id = {id}")))
+    }
+
+    /// Complex insert: copy the subtree at (`rel`, `src_id`) under
+    /// `dst_parent_id`. Returns tuples created.
+    pub fn copy_subtree(&mut self, rel: usize, src_id: i64, dst_parent_id: i64) -> Result<usize> {
+        let n = insert::copy_subtree(
+            &mut self.db,
+            &self.mapping,
+            self.asr.as_ref(),
+            self.config.insert_strategy,
+            rel,
+            src_id,
+            dst_parent_id,
+        )?;
+        if n > 0 && self.config.insert_strategy != InsertStrategy::Asr {
+            if let Some(asr) = &self.asr {
+                asr.populate(&mut self.db, &self.mapping)?;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Fetch subtrees of `rel` matching `filter` via the Sorted Outer
+    /// Union, reconstructed as XML.
+    pub fn fetch(&mut self, rel: usize, filter: Option<&str>) -> Result<(Document, Vec<NodeId>)> {
+        Ok(outer_union::fetch_subtrees(&mut self.db, &self.mapping, rel, filter)?)
+    }
+
+    /// Evaluate a path query (`FOR`/`WHERE`/`RETURN`) and return the
+    /// matching subtrees as XML. Uses the ASR to skip intermediate joins
+    /// when one is available and the path is covered (Section 5.3).
+    pub fn query_xml(&mut self, statement: &str) -> Result<(Document, Vec<NodeId>)> {
+        let stmt = parse_statement(statement)?;
+        let q = translate::translate_query(&stmt, &self.mapping)?;
+        let filter = translate::query_filter_sql(&q, &self.mapping, self.asr.as_ref())?;
+        self.fetch(q.rel, filter.as_deref())
+    }
+
+    // ------------------------------------------------------------------
+    // XQuery execution
+    // ------------------------------------------------------------------
+
+    /// Parse, translate, and execute an XQuery update statement against
+    /// the relational store. Returns the number of affected root objects.
+    ///
+    /// Multi-operation statements (several sub-ops, or nested Sub-Updates)
+    /// run with **bind-first** semantics, exactly as paper Section 6.3
+    /// prescribes: all target bindings are computed with queries *before*
+    /// any sub-operation executes, so an earlier operation cannot disturb
+    /// a later operation's selection (the Example 8 ordering hazard).
+    pub fn execute_xquery(&mut self, statement: &str) -> Result<usize> {
+        let stmt = parse_statement(statement)?;
+        let ops = translate::translate_update(&stmt, &self.mapping)?;
+        if ops.len() == 1 {
+            // Simple statements translate to direct SQL (Section 6.1/6.2).
+            return self.execute_translated(&ops[0]);
+        }
+        let bound: Vec<BoundOp> =
+            ops.iter().map(|op| self.bind_op(op)).collect::<Result<_>>()?;
+        let mut affected = 0;
+        for b in bound {
+            affected += self.exec_bound(b)?;
+        }
+        Ok(affected)
+    }
+
+    /// Ids of `rel` tuples matching a translated filter.
+    fn bind_ids(&mut self, rel: usize, filter: &Option<String>) -> Result<Vec<i64>> {
+        let table = &self.mapping.relations[rel].table;
+        let wc = filter.as_deref().map(|f| format!(" WHERE {f}")).unwrap_or_default();
+        Ok(self
+            .db
+            .query(&format!("SELECT id FROM {table}{wc} ORDER BY id"))?
+            .rows
+            .iter()
+            .filter_map(|r| r[0].as_int())
+            .collect())
+    }
+
+    fn bind_op(&mut self, op: &TranslatedOp) -> Result<BoundOp> {
+        Ok(match op {
+            TranslatedOp::DeleteSubtrees { rel, filter } => {
+                BoundOp::DeleteSubtrees { rel: *rel, ids: self.bind_ids(*rel, filter)? }
+            }
+            TranslatedOp::DeleteInlined { rel, path, filter } => BoundOp::DeleteInlined {
+                rel: *rel,
+                path: path.clone(),
+                ids: self.bind_ids(*rel, filter)?,
+            },
+            TranslatedOp::CopySubtrees { src_rel, src_filter, dst_rel, dst_filter } => {
+                BoundOp::CopySubtrees {
+                    src_rel: *src_rel,
+                    src_ids: self.bind_ids(*src_rel, src_filter)?,
+                    dst_ids: self.bind_ids(*dst_rel, dst_filter)?,
+                }
+            }
+            TranslatedOp::InsertInlined { rel, column, value, filter } => {
+                BoundOp::SetInlined {
+                    rel: *rel,
+                    column: *column,
+                    value: value.clone(),
+                    ids: self.bind_ids(*rel, filter)?,
+                }
+            }
+            TranslatedOp::UpdateInlined { rel, column, value, filter } => {
+                BoundOp::SetInlined {
+                    rel: *rel,
+                    column: *column,
+                    value: value.clone(),
+                    ids: self.bind_ids(*rel, filter)?,
+                }
+            }
+            TranslatedOp::InsertTupleAt { rel, values, anchor_rel, anchor_filter, before } => {
+                let anchor_table = &self.mapping.relations[*anchor_rel].table;
+                let wc = anchor_filter
+                    .as_deref()
+                    .map(|f| format!(" WHERE {f}"))
+                    .unwrap_or_default();
+                let anchors = self
+                    .db
+                    .query(&format!(
+                        "SELECT id, parentId FROM {anchor_table}{wc} ORDER BY id"
+                    ))?
+                    .rows
+                    .iter()
+                    .filter_map(|r| Some((r[0].as_int()?, r[1].as_int()?)))
+                    .collect();
+                BoundOp::InsertTupleAt {
+                    rel: *rel,
+                    values: values.clone(),
+                    anchors,
+                    before: *before,
+                }
+            }
+        })
+    }
+
+    fn exec_bound(&mut self, op: BoundOp) -> Result<usize> {
+        fn in_list(ids: &[i64]) -> String {
+            ids.iter().map(i64::to_string).collect::<Vec<_>>().join(", ")
+        }
+        match op {
+            BoundOp::DeleteSubtrees { rel, ids } => {
+                if ids.is_empty() {
+                    return Ok(0);
+                }
+                self.delete_where(rel, Some(&format!("id IN ({})", in_list(&ids))))
+            }
+            BoundOp::DeleteInlined { rel, path, ids } => {
+                if ids.is_empty() {
+                    return Ok(0);
+                }
+                Ok(delete::delete_inlined(
+                    &mut self.db,
+                    &self.mapping,
+                    rel,
+                    &path,
+                    Some(&format!("id IN ({})", in_list(&ids))),
+                )?)
+            }
+            BoundOp::CopySubtrees { src_rel, src_ids, dst_ids } => {
+                let mut n = 0;
+                for &d in &dst_ids {
+                    for &s in &src_ids {
+                        n += self.copy_subtree(src_rel, s, d)?;
+                    }
+                }
+                Ok(n)
+            }
+            BoundOp::SetInlined { rel, column, value, ids } => {
+                if ids.is_empty() {
+                    return Ok(0);
+                }
+                // Route through the simple-insert primitive so presence
+                // flags along the inlined path are raised exactly as in
+                // the single-op path.
+                Ok(insert::insert_inlined(
+                    &mut self.db,
+                    &self.mapping,
+                    rel,
+                    column,
+                    &value,
+                    Some(&format!("id IN ({})", in_list(&ids))),
+                    false,
+                )?)
+            }
+            BoundOp::InsertTupleAt { rel, values, anchors, before } => {
+                let mut n = 0;
+                for (aid, parent) in anchors {
+                    let at = if before {
+                        crate::ordered::InsertAt::Before(aid)
+                    } else {
+                        crate::ordered::InsertAt::After(aid)
+                    };
+                    crate::ordered::insert_tuple_at(
+                        &mut self.db,
+                        &self.mapping,
+                        rel,
+                        parent,
+                        &values,
+                        at,
+                    )?;
+                    n += 1;
+                }
+                Ok(n)
+            }
+        }
+    }
+
+    /// Execute one translated operation.
+    pub fn execute_translated(&mut self, op: &TranslatedOp) -> Result<usize> {
+        match op {
+            TranslatedOp::DeleteSubtrees { rel, filter } => {
+                self.delete_where(*rel, filter.as_deref())
+            }
+            TranslatedOp::DeleteInlined { rel, path, filter } => Ok(delete::delete_inlined(
+                &mut self.db,
+                &self.mapping,
+                *rel,
+                path,
+                filter.as_deref(),
+            )?),
+            TranslatedOp::CopySubtrees { src_rel, src_filter, dst_rel, dst_filter } => {
+                // Bind sources and destinations (ids), then copy each
+                // source under each destination.
+                let src_table = &self.mapping.relations[*src_rel].table;
+                let swc = src_filter
+                    .as_deref()
+                    .map(|f| format!(" WHERE {f}"))
+                    .unwrap_or_default();
+                let src_ids: Vec<i64> = self
+                    .db
+                    .query(&format!("SELECT id FROM {src_table}{swc} ORDER BY id"))?
+                    .rows
+                    .iter()
+                    .filter_map(|r| r[0].as_int())
+                    .collect();
+                let dst_table = &self.mapping.relations[*dst_rel].table;
+                let dwc = dst_filter
+                    .as_deref()
+                    .map(|f| format!(" WHERE {f}"))
+                    .unwrap_or_default();
+                let dst_ids: Vec<i64> = self
+                    .db
+                    .query(&format!("SELECT id FROM {dst_table}{dwc} ORDER BY id"))?
+                    .rows
+                    .iter()
+                    .filter_map(|r| r[0].as_int())
+                    .collect();
+                let mut n = 0;
+                for &d in &dst_ids {
+                    for &s in &src_ids {
+                        n += self.copy_subtree(*src_rel, s, d)?;
+                    }
+                }
+                Ok(n)
+            }
+            TranslatedOp::InsertTupleAt { rel, values, anchor_rel, anchor_filter, before } => {
+                // Bind anchors (id + parent), then place one new tuple per
+                // anchor using the gap-based positional machinery.
+                let anchor_table = &self.mapping.relations[*anchor_rel].table;
+                let wc = anchor_filter
+                    .as_deref()
+                    .map(|f| format!(" WHERE {f}"))
+                    .unwrap_or_default();
+                let anchors: Vec<(i64, i64)> = self
+                    .db
+                    .query(&format!(
+                        "SELECT id, parentId FROM {anchor_table}{wc} ORDER BY id"
+                    ))?
+                    .rows
+                    .iter()
+                    .filter_map(|r| Some((r[0].as_int()?, r[1].as_int()?)))
+                    .collect();
+                let mut n = 0;
+                for (aid, parent) in anchors {
+                    let at = if *before {
+                        crate::ordered::InsertAt::Before(aid)
+                    } else {
+                        crate::ordered::InsertAt::After(aid)
+                    };
+                    crate::ordered::insert_tuple_at(
+                        &mut self.db,
+                        &self.mapping,
+                        *rel,
+                        parent,
+                        values,
+                        at,
+                    )?;
+                    n += 1;
+                }
+                Ok(n)
+            }
+            TranslatedOp::InsertInlined { rel, column, value, filter } => {
+                Ok(insert::insert_inlined(
+                    &mut self.db,
+                    &self.mapping,
+                    *rel,
+                    *column,
+                    value,
+                    filter.as_deref(),
+                    false,
+                )?)
+            }
+            TranslatedOp::UpdateInlined { rel, column, value, filter } => {
+                let relation = &self.mapping.relations[*rel];
+                let wc = filter
+                    .as_deref()
+                    .map(|f| format!(" WHERE {f}"))
+                    .unwrap_or_default();
+                Ok(self
+                    .db
+                    .execute(&format!(
+                        "UPDATE {} SET {} = {}{wc}",
+                        relation.table,
+                        relation.columns[*column].name,
+                        xmlup_shred::loader::sql_literal(value)
+                    ))?
+                    .affected())
+            }
+        }
+    }
+
+    /// Helper used by tests and benches: value of an inlined column for a
+    /// given tuple id.
+    pub fn column_value(&mut self, rel: usize, id: i64, column: &str) -> Result<Value> {
+        let rs = self.db.query(&format!(
+            "SELECT {column} FROM {} WHERE id = {id}",
+            self.mapping.relations[rel].table
+        ))?;
+        rs.rows
+            .first()
+            .and_then(|r| r.first())
+            .cloned()
+            .ok_or_else(|| CoreError::Strategy(format!("no tuple {id}")))
+    }
+}
+
+/// A translated operation with its bindings materialized (ids computed
+/// before any execution — paper Section 6.3's bind-first discipline).
+#[derive(Debug, Clone)]
+enum BoundOp {
+    DeleteSubtrees { rel: usize, ids: Vec<i64> },
+    DeleteInlined { rel: usize, path: Vec<String>, ids: Vec<i64> },
+    CopySubtrees { src_rel: usize, src_ids: Vec<i64>, dst_ids: Vec<i64> },
+    SetInlined { rel: usize, column: usize, value: Value, ids: Vec<i64> },
+    InsertTupleAt {
+        rel: usize,
+        values: Vec<(String, Value)>,
+        anchors: Vec<(i64, i64)>,
+        before: bool,
+    },
+}
+
+impl XmlRepository {
+    /// Copy a subtree from another repository (same DTD/mapping shape)
+    /// under `dst_parent_id` here — the relational form of paper
+    /// Example 10. The subtree travels as XML: fetched from the source via
+    /// the Sorted Outer Union, then shredded into this store with fresh
+    /// ids. Returns tuples created.
+    pub fn import_subtree(
+        &mut self,
+        src: &mut XmlRepository,
+        src_rel: usize,
+        src_id: i64,
+        dst_rel: usize,
+        dst_parent_id: i64,
+    ) -> Result<usize> {
+        if self.mapping.relations.len() != src.mapping.relations.len()
+            || self.mapping.relations[dst_rel].element
+                != src.mapping.relations[src_rel].element
+        {
+            return Err(CoreError::Strategy(
+                "import requires repositories over the same DTD mapping".into(),
+            ));
+        }
+        let (doc, roots) = src.fetch(src_rel, Some(&format!("id = {src_id}")))?;
+        // Sibling ordinal for ordered mappings: append after every existing
+        // child of the destination parent.
+        let mut ord: i64 = 0;
+        if self.mapping.ordered {
+            for &crel in &self.mapping.relations[self.mapping.relations[dst_rel]
+                .parent
+                .unwrap_or(dst_rel)]
+                .children
+                .clone()
+            {
+                let t = &self.mapping.relations[crel].table;
+                let rs = self.db.query(&format!(
+                    "SELECT COUNT(*) FROM {t} WHERE parentId = {dst_parent_id}"
+                ))?;
+                ord += rs.scalar().and_then(Value::as_int).unwrap_or(0);
+            }
+        }
+        let mut created = 0;
+        for r in roots {
+            created += loader::shred_subtree(
+                &mut self.db,
+                &self.mapping,
+                &doc,
+                r,
+                dst_rel,
+                dst_parent_id,
+                ord,
+            )?;
+            ord += 1;
+        }
+        if let Some(asr) = &self.asr {
+            asr.populate(&mut self.db, &self.mapping)?;
+        }
+        Ok(created)
+    }
+}

@@ -1,0 +1,757 @@
+//! Strategy tests: all four delete strategies and all three insert
+//! strategies must produce equivalent stores; ASR maintenance must keep
+//! the index consistent; the XQuery translation must produce the paper's
+//! statement shapes.
+
+use xmlup_core::{DeleteStrategy, InsertStrategy, RepoConfig, XmlRepository};
+use xmlup_rdb::Value;
+use xmlup_xml::dtd::Dtd;
+use xmlup_xml::samples::{CUSTOMER_DTD, CUSTOMER_XML};
+use xmlup_xml::Document;
+
+fn repo_with(ds: DeleteStrategy, is: InsertStrategy) -> XmlRepository {
+    let dtd = Dtd::parse(CUSTOMER_DTD).unwrap();
+    let doc = xmlup_xml::parse(CUSTOMER_XML).unwrap().doc;
+    let mut repo = XmlRepository::new(
+        &dtd,
+        "CustDB",
+        RepoConfig {
+            delete_strategy: ds,
+            insert_strategy: is,
+            build_asr: false,
+            statement_cost_us: 0,
+        },
+    )
+    .unwrap();
+    repo.load(&doc).unwrap();
+    repo
+}
+
+/// Reconstruct the full stored document for comparison.
+fn snapshot(repo: &mut XmlRepository) -> Document {
+    xmlup_shred::loader::unshred(&mut repo.db, &repo.mapping).unwrap()
+}
+
+#[test]
+fn all_delete_strategies_agree() {
+    let mut reference: Option<Document> = None;
+    for ds in DeleteStrategy::ALL {
+        let mut repo = repo_with(ds, InsertStrategy::Table);
+        let cust = repo.mapping.relation_by_element("Customer").unwrap();
+        let n = repo.delete_where(cust, Some("Name = 'John'")).unwrap();
+        assert_eq!(n, 2, "{}: deleted roots", ds.label());
+        // No orphans in any table.
+        for rel in &repo.mapping.relations.clone() {
+            if let Some(parent) = rel.parent {
+                let rs = repo
+                    .db
+                    .query(&format!(
+                        "SELECT COUNT(*) FROM {} WHERE parentId NOT IN (SELECT id FROM {})",
+                        rel.table, repo.mapping.relations[parent].table
+                    ))
+                    .unwrap();
+                assert_eq!(
+                    rs.scalar(),
+                    Some(&Value::Int(0)),
+                    "{}: orphans left in {}",
+                    ds.label(),
+                    rel.table
+                );
+            }
+        }
+        let doc = snapshot(&mut repo);
+        match &reference {
+            None => reference = Some(doc),
+            Some(r) => assert!(
+                r.subtree_eq(r.root(), &doc, doc.root()),
+                "{} disagrees with the reference result",
+                ds.label()
+            ),
+        }
+    }
+}
+
+#[test]
+fn per_tuple_trigger_uses_one_client_statement() {
+    let mut repo = repo_with(DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+    let cust = repo.mapping.relation_by_element("Customer").unwrap();
+    repo.reset_stats();
+    repo.delete_where(cust, Some("Name = 'John'")).unwrap();
+    let s = repo.stats();
+    assert_eq!(s.client_statements, 1, "the paper's headline: a single SQL DELETE");
+    assert!(s.trigger_firings >= 4, "cascade fired per deleted customer and order");
+}
+
+#[test]
+fn cascading_issues_one_statement_per_level() {
+    let mut repo = repo_with(DeleteStrategy::Cascading, InsertStrategy::Table);
+    let cust = repo.mapping.relation_by_element("Customer").unwrap();
+    repo.reset_stats();
+    repo.delete_where(cust, Some("Name = 'John'")).unwrap();
+    let s = repo.stats();
+    // Root delete + Order orphan delete + OrderLine orphan delete = 3.
+    assert_eq!(s.client_statements, 3);
+    assert_eq!(s.trigger_firings, 0);
+}
+
+#[test]
+fn asr_delete_maintains_index() {
+    let dtd = Dtd::parse(CUSTOMER_DTD).unwrap();
+    let doc = xmlup_xml::parse(CUSTOMER_XML).unwrap().doc;
+    let mut repo = XmlRepository::new(
+        &dtd,
+        "CustDB",
+        RepoConfig {
+            delete_strategy: DeleteStrategy::Asr,
+            insert_strategy: InsertStrategy::Asr,
+            build_asr: true,
+            statement_cost_us: 0,
+        },
+    )
+    .unwrap();
+    repo.load(&doc).unwrap();
+    let cust = repo.mapping.relation_by_element("Customer").unwrap();
+    repo.delete_where(cust, Some("Name = 'John'")).unwrap();
+    // ASR must describe exactly the remaining document: rebuild a fresh
+    // one and compare tuple sets.
+    let live_paths = repo.db.table("asr").unwrap().len();
+    let asr = repo.asr.clone().unwrap();
+    asr.populate(&mut repo.db, &repo.mapping).unwrap();
+    let fresh_paths = repo.db.table("asr").unwrap().len();
+    assert_eq!(live_paths, fresh_paths, "maintained ASR diverges from a rebuild");
+    // Mary remains with her order line.
+    let rs = repo.db.query("SELECT COUNT(*) FROM OrderLine").unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(1)));
+}
+
+#[test]
+fn delete_everything_leaves_root_only() {
+    // The bulk workload: delete every subtree of the root.
+    for ds in DeleteStrategy::ALL {
+        let mut repo = repo_with(ds, InsertStrategy::Table);
+        // The ASR strategy builds its index during load (needs_asr).
+        assert_eq!(repo.asr.is_some(), ds == DeleteStrategy::Asr);
+        let cust = repo.mapping.relation_by_element("Customer").unwrap();
+        repo.delete_where(cust, None).unwrap();
+        assert_eq!(repo.tuple_count(), 1, "{}: only the root remains", ds.label());
+    }
+}
+
+#[test]
+fn all_insert_strategies_agree() {
+    let mut reference: Option<Document> = None;
+    for is in InsertStrategy::ALL {
+        let dtd = Dtd::parse(CUSTOMER_DTD).unwrap();
+        let doc = xmlup_xml::parse(CUSTOMER_XML).unwrap().doc;
+        let mut repo = XmlRepository::new(
+            &dtd,
+            "CustDB",
+            RepoConfig {
+                delete_strategy: DeleteStrategy::PerTupleTrigger,
+                insert_strategy: is,
+                build_asr: is == InsertStrategy::Asr,
+                statement_cost_us: 0,
+            },
+        )
+        .unwrap();
+        repo.load(&doc).unwrap();
+        let cust = repo.mapping.relation_by_element("Customer").unwrap();
+        let root = repo.root_id().unwrap();
+        let first_customer = repo.ids_of(cust)[0];
+        let n = repo.copy_subtree(cust, first_customer, root).unwrap();
+        // First John: Customer + 2 Orders + 3 OrderLines = 6 tuples.
+        assert_eq!(n, 6, "{}: copied tuple count", is.label());
+        assert_eq!(repo.db.table("customer").unwrap().len(), 4);
+        // Copy is attached to the root and structurally identical.
+        let (xml, roots) = repo.fetch(cust, Some("Name = 'John'")).unwrap();
+        assert_eq!(roots.len(), 3, "{}: two originals plus the copy", is.label());
+        assert!(
+            xml.subtree_eq(roots[0], &xml, *roots.last().unwrap()),
+            "{}: copy differs from source",
+            is.label()
+        );
+        let snap = snapshot(&mut repo);
+        match &reference {
+            None => reference = Some(snap),
+            Some(r) => assert!(
+                r.subtree_eq(r.root(), &snap, snap.root()),
+                "{} disagrees with the reference result",
+                is.label()
+            ),
+        }
+    }
+}
+
+#[test]
+fn tuple_insert_allocates_gapless_ids() {
+    let mut repo = repo_with(DeleteStrategy::PerTupleTrigger, InsertStrategy::Tuple);
+    let cust = repo.mapping.relation_by_element("Customer").unwrap();
+    let root = repo.root_id().unwrap();
+    let src = repo.ids_of(cust)[0];
+    let before = repo.db.peek_next_id();
+    let n = repo.copy_subtree(cust, src, root).unwrap() as i64;
+    let after = repo.db.peek_next_id();
+    assert_eq!(after - before, n, "tuple method allocates ids without gaps");
+}
+
+#[test]
+fn table_insert_uses_offset_heuristic() {
+    let mut repo = repo_with(DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+    let cust = repo.mapping.relation_by_element("Customer").unwrap();
+    let root = repo.root_id().unwrap();
+    let src = repo.ids_of(cust)[0];
+    let before = repo.db.peek_next_id();
+    repo.copy_subtree(cust, src, root).unwrap();
+    let after = repo.db.peek_next_id();
+    // Heuristic reserves maxId − minId + 1, which may exceed the number of
+    // tuples copied (gaps are allowed).
+    assert!(after - before >= 6);
+}
+
+#[test]
+fn asr_insert_maintains_index() {
+    let dtd = Dtd::parse(CUSTOMER_DTD).unwrap();
+    let doc = xmlup_xml::parse(CUSTOMER_XML).unwrap().doc;
+    let mut repo = XmlRepository::new(
+        &dtd,
+        "CustDB",
+        RepoConfig {
+            delete_strategy: DeleteStrategy::Asr,
+            insert_strategy: InsertStrategy::Asr,
+            build_asr: true,
+            statement_cost_us: 0,
+        },
+    )
+    .unwrap();
+    repo.load(&doc).unwrap();
+    let cust = repo.mapping.relation_by_element("Customer").unwrap();
+    let root = repo.root_id().unwrap();
+    let src = repo.ids_of(cust)[0];
+    repo.copy_subtree(cust, src, root).unwrap();
+    let live = repo.db.table("asr").unwrap().len();
+    let asr = repo.asr.clone().unwrap();
+    asr.populate(&mut repo.db, &repo.mapping).unwrap();
+    assert_eq!(live, repo.db.table("asr").unwrap().len());
+    // And no marks left behind.
+    let rs = repo.db.query("SELECT COUNT(*) FROM ASR WHERE mark = TRUE").unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(0)));
+}
+
+#[test]
+fn repeated_copies_nest_correctly() {
+    // Copy an Order (middle level) under a different customer.
+    let mut repo = repo_with(DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+    let order = repo.mapping.relation_by_element("Order").unwrap();
+    let cust = repo.mapping.relation_by_element("Customer").unwrap();
+    let mary = repo
+        .db
+        .query("SELECT id FROM Customer WHERE Name = 'Mary'")
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_int()
+        .unwrap();
+    let first_order = repo.ids_of(order)[0];
+    let n = repo.copy_subtree(order, first_order, mary).unwrap();
+    assert_eq!(n, 3, "order + two lines");
+    let rs = repo
+        .db
+        .query(&format!(
+            "SELECT COUNT(*) FROM Order O WHERE O.parentId = {mary}"
+        ))
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(2)));
+    let _ = cust;
+}
+
+// ----------------------------------------------------------------------
+// XQuery translation end-to-end
+// ----------------------------------------------------------------------
+
+#[test]
+fn xquery_delete_with_predicate() {
+    let mut repo = repo_with(DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+    let n = repo
+        .execute_xquery(
+            r#"FOR $d IN document("custdb.xml")/CustDB,
+                   $c IN $d/Customer[Name="John"]
+               UPDATE $d { DELETE $c }"#,
+        )
+        .unwrap();
+    assert_eq!(n, 2);
+    assert_eq!(repo.db.table("customer").unwrap().len(), 1);
+    assert_eq!(repo.db.table("orderline").unwrap().len(), 1);
+}
+
+#[test]
+fn xquery_delete_with_descendant_predicate() {
+    // Customers who ordered tires (predicate chains through two child
+    // relations).
+    let mut repo = repo_with(DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+    let n = repo
+        .execute_xquery(
+            r#"FOR $d IN document("custdb.xml")/CustDB,
+                   $c IN $d/Customer[Order/OrderLine/ItemName="tire"]
+               UPDATE $d { DELETE $c }"#,
+        )
+        .unwrap();
+    assert_eq!(n, 2, "John(1) and Mary ordered tires");
+    assert_eq!(repo.db.table("customer").unwrap().len(), 1);
+}
+
+#[test]
+fn xquery_delete_inlined_item() {
+    let mut repo = repo_with(DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+    let n = repo
+        .execute_xquery(
+            r#"FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"],
+                   $a IN $c/Address
+               UPDATE $c { DELETE $a }"#,
+        )
+        .unwrap();
+    assert_eq!(n, 2);
+    let rs = repo
+        .db
+        .query("SELECT COUNT(*) FROM Customer WHERE Address_present = TRUE")
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(1)), "only Mary keeps an address");
+    let rs = repo
+        .db
+        .query("SELECT Address_City FROM Customer WHERE Name = 'John'")
+        .unwrap();
+    assert!(rs.rows.iter().all(|r| r[0].is_null()));
+}
+
+#[test]
+fn xquery_copy_subtrees() {
+    let mut repo = repo_with(DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+    let n = repo
+        .execute_xquery(
+            r#"FOR $s IN document("custdb.xml")/CustDB/Customer[Address/State="CA"],
+                   $t IN document("custdb.xml")/CustDB
+               UPDATE $t { INSERT $s }"#,
+        )
+        .unwrap();
+    // Mary (1 customer + 1 order + 1 line = 3) + John#3 (1) = 4 tuples.
+    assert_eq!(n, 4);
+    assert_eq!(repo.db.table("customer").unwrap().len(), 5);
+}
+
+#[test]
+fn xquery_replace_inlined() {
+    let mut repo = repo_with(DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+    let n = repo
+        .execute_xquery(
+            r#"FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"],
+                   $n IN $c/Name
+               UPDATE $c { REPLACE $n WITH <Name>Jonathan</Name> }"#,
+        )
+        .unwrap();
+    assert_eq!(n, 2);
+    let rs = repo
+        .db
+        .query("SELECT COUNT(*) FROM Customer WHERE Name = 'Jonathan'")
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(2)));
+}
+
+#[test]
+fn xquery_insert_inlined_status() {
+    // Paper Example 8's outer op: INSERT <Status>…</Status> on orders.
+    let mut repo = repo_with(DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+    // Clear existing statuses first so the insert is not an overwrite.
+    repo.db.execute("UPDATE Order SET Status = NULL").unwrap();
+    let n = repo
+        .execute_xquery(
+            r#"FOR $o IN document("custdb.xml")//Order
+               UPDATE $o { INSERT <Status>suspended</Status> }"#,
+        )
+        .unwrap();
+    assert_eq!(n, 3);
+    let rs = repo
+        .db
+        .query("SELECT COUNT(*) FROM Order WHERE Status = 'suspended'")
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(3)));
+}
+
+#[test]
+fn xquery_where_clause_merges_into_filter() {
+    let mut repo = repo_with(DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+    let n = repo
+        .execute_xquery(
+            r#"FOR $d IN document("custdb.xml")/CustDB,
+                   $c IN $d/Customer
+               WHERE $c/Address/State = "CA"
+               UPDATE $d { DELETE $c }"#,
+        )
+        .unwrap();
+    assert_eq!(n, 2);
+    assert_eq!(repo.db.table("customer").unwrap().len(), 1);
+}
+
+#[test]
+fn xquery_query_roundtrip() {
+    let mut repo = repo_with(DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+    let (doc, roots) = repo
+        .query_xml(
+            r#"FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"] RETURN $c"#,
+        )
+        .unwrap();
+    assert_eq!(roots.len(), 2);
+    assert_eq!(doc.name(roots[0]), Some("Customer"));
+}
+
+#[test]
+fn asr_accelerated_query_gives_same_answer() {
+    let dtd = Dtd::parse(CUSTOMER_DTD).unwrap();
+    let doc = xmlup_xml::parse(CUSTOMER_XML).unwrap().doc;
+    let q = r#"FOR $c IN document("custdb.xml")/CustDB/Customer[Order/OrderLine/ItemName="tire"]
+               RETURN $c"#;
+    // Without ASR.
+    let mut plain = XmlRepository::new(&dtd, "CustDB", RepoConfig::default()).unwrap();
+    plain.load(&doc).unwrap();
+    let (_, r1) = plain.query_xml(q).unwrap();
+    // With ASR.
+    let mut asr = XmlRepository::new(
+        &dtd,
+        "CustDB",
+        RepoConfig { build_asr: true, ..RepoConfig::default() },
+    )
+    .unwrap();
+    asr.load(&doc).unwrap();
+    let (_, r2) = asr.query_xml(q).unwrap();
+    assert_eq!(r1.len(), 2);
+    assert_eq!(r1.len(), r2.len());
+}
+
+#[test]
+fn unsupported_statements_error_cleanly() {
+    let mut repo = repo_with(DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+    // RENAME is not translatable to the inlined mapping.
+    let err = repo
+        .execute_xquery(
+            r#"FOR $c IN document("d")/CustDB/Customer, $n IN $c/Name
+               UPDATE $c { RENAME $n TO Nome }"#,
+        )
+        .unwrap_err();
+    assert!(matches!(err, xmlup_core::CoreError::Unsupported(_)));
+    // Positional insert needs the ordered extension.
+    let err = repo
+        .execute_xquery(
+            r#"FOR $c IN document("d")/CustDB/Customer, $n IN $c/Name
+               UPDATE $c { INSERT <Name>x</Name> BEFORE $n }"#,
+        )
+        .unwrap_err();
+    assert!(matches!(err, xmlup_core::CoreError::Unsupported(_)));
+}
+
+#[test]
+fn nested_update_bind_first_avoids_example8_hazard() {
+    // Paper Section 6 / Example 8: the outer operation flips Status from
+    // 'ready', and the nested operation's selection depends (through its
+    // ancestor filter) on Status = 'ready'. Naively issuing the outer SQL
+    // first would leave the nested operation with nothing to update; the
+    // bind-first discipline (Section 6.3) computes all bindings before
+    // executing anything.
+    let mut repo = repo_with(DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+    let n = repo
+        .execute_xquery(
+            r#"FOR $o IN document("custdb.xml")//Order[Status="ready"],
+                   $s IN $o/Status
+               UPDATE $o {
+                   REPLACE $s WITH <Status>suspended</Status>,
+                   FOR $i IN $o/OrderLine[ItemName="tire"],
+                       $q IN $i/Qty
+                   UPDATE $i { REPLACE $q WITH <Qty>0</Qty> }
+               }"#,
+        )
+        .unwrap();
+    // 2 ready orders re-statused + 2 tire lines zeroed.
+    assert_eq!(n, 4);
+    let rs = repo
+        .db
+        .query("SELECT COUNT(*) FROM Order WHERE Status = 'suspended'")
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(2)));
+    let rs = repo
+        .db
+        .query("SELECT COUNT(*) FROM OrderLine WHERE ItemName = 'tire' AND Qty = '0'")
+        .unwrap();
+    assert_eq!(
+        rs.scalar(),
+        Some(&Value::Int(2)),
+        "nested op must see the pre-update Status='ready' bindings"
+    );
+}
+
+#[test]
+fn multi_op_statement_binds_before_executing() {
+    // Two sibling ops where the first invalidates the second's filter:
+    // delete Johns, then (same statement) rename remaining 'John' → never
+    // both can match post-hoc; bind-first gives both their snapshot.
+    let mut repo = repo_with(DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+    let n = repo
+        .execute_xquery(
+            r#"FOR $d IN document("custdb.xml")/CustDB,
+                   $c IN $d/Customer[Name="John"],
+                   $n IN $c/Name
+               UPDATE $d { DELETE $c },
+               UPDATE $c { REPLACE $n WITH <Name>gone</Name> }"#,
+        )
+        .unwrap();
+    // The deletes land; the replaces bind to now-deleted tuples and
+    // affect zero rows (the relational analogue of the in-memory
+    // evaluator's skipped ops).
+    assert_eq!(repo.db.table("customer").unwrap().len(), 1);
+    assert!(n >= 2);
+}
+
+#[test]
+fn simple_insert_overwrite_check() {
+    // Paper Section 6.2: "if we want to generate a warning on any attempt
+    // to insert 'over' an item that may only occur once in the DTD, we
+    // must initially query the table".
+    let mut repo = repo_with(DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+    let order = repo.mapping.relation_by_element("Order").unwrap();
+    let status_col = repo.mapping.relations[order]
+        .columns
+        .iter()
+        .position(|c| c.name == "Status")
+        .unwrap();
+    // All orders already carry a Status → checked insert must refuse.
+    let err = xmlup_core::insert::insert_inlined(
+        &mut repo.db,
+        &repo.mapping,
+        order,
+        status_col,
+        &Value::from("suspended"),
+        None,
+        true,
+    )
+    .unwrap_err();
+    assert!(matches!(err, xmlup_core::CoreError::Strategy(_)));
+    // Clear them; now the checked insert succeeds.
+    repo.db.execute("UPDATE Order SET Status = NULL").unwrap();
+    let n = xmlup_core::insert::insert_inlined(
+        &mut repo.db,
+        &repo.mapping,
+        order,
+        status_col,
+        &Value::from("suspended"),
+        None,
+        true,
+    )
+    .unwrap();
+    assert_eq!(n, 3);
+}
+
+#[test]
+fn simple_delete_lowers_presence_flag_and_nulls_columns() {
+    // Paper Section 6.1's "simple delete" caveat: deleting an inlined
+    // non-leaf element must flip its presence flag, not just NULL its
+    // children, so "deleted" and "present but empty" stay distinct.
+    let mut repo = repo_with(DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+    let cust = repo.mapping.relation_by_element("Customer").unwrap();
+    let n = xmlup_core::delete::delete_inlined(
+        &mut repo.db,
+        &repo.mapping,
+        cust,
+        &["Address".to_string()],
+        Some("Name = 'Mary'"),
+    )
+    .unwrap();
+    assert_eq!(n, 1);
+    let rs = repo
+        .db
+        .query("SELECT Address_present, Address_City FROM Customer WHERE Name = 'Mary'")
+        .unwrap();
+    assert_eq!(rs.rows[0][0], Value::Bool(false));
+    assert!(rs.rows[0][1].is_null());
+    // Reconstruction omits the Address element entirely.
+    let snap = snapshot(&mut repo);
+    let mary = snap
+        .children(snap.root())
+        .iter()
+        .copied()
+        .find(|&c| snap.string_value(snap.children(c)[0]) == "Mary")
+        .unwrap();
+    assert!(snap
+        .children(mary)
+        .iter()
+        .all(|&c| snap.name(c) != Some("Address")));
+}
+
+#[test]
+fn simple_insert_raises_presence_flags_along_path() {
+    // Setting an inlined City implies its Address ancestor exists again.
+    let mut repo = repo_with(DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+    let cust = repo.mapping.relation_by_element("Customer").unwrap();
+    xmlup_core::delete::delete_inlined(
+        &mut repo.db,
+        &repo.mapping,
+        cust,
+        &["Address".to_string()],
+        Some("Name = 'Mary'"),
+    )
+    .unwrap();
+    let city_col = repo.mapping.relations[cust]
+        .columns
+        .iter()
+        .position(|c| c.name == "Address_City")
+        .unwrap();
+    xmlup_core::insert::insert_inlined(
+        &mut repo.db,
+        &repo.mapping,
+        cust,
+        city_col,
+        &Value::from("Fresno"),
+        Some("Name = 'Mary'"),
+        false,
+    )
+    .unwrap();
+    let rs = repo
+        .db
+        .query("SELECT Address_present FROM Customer WHERE Name = 'Mary'")
+        .unwrap();
+    assert_eq!(rs.rows[0][0], Value::Bool(true));
+}
+
+#[test]
+fn example10_cross_repository_import() {
+    // Paper Example 10, relationally: copy Californian customers from one
+    // repository into an initially-empty one with the same DTD.
+    let dtd = Dtd::parse(CUSTOMER_DTD).unwrap();
+    let doc = xmlup_xml::parse(CUSTOMER_XML).unwrap().doc;
+    let mut src = XmlRepository::new(&dtd, "CustDB", RepoConfig::default()).unwrap();
+    src.load(&doc).unwrap();
+    let mut dst = XmlRepository::new(&dtd, "CustDB", RepoConfig::default()).unwrap();
+    dst.load(&xmlup_xml::Document::new("CustDB")).unwrap();
+
+    let cust = src.mapping.relation_by_element("Customer").unwrap();
+    let dst_root = dst.root_id().unwrap();
+    let ca_ids: Vec<i64> = src
+        .db
+        .query("SELECT id FROM Customer WHERE Address_State = 'CA' ORDER BY id")
+        .unwrap()
+        .rows
+        .iter()
+        .filter_map(|r| r[0].as_int())
+        .collect();
+    assert_eq!(ca_ids.len(), 2);
+    let mut created = 0;
+    for id in ca_ids {
+        created += dst.import_subtree(&mut src, cust, id, cust, dst_root).unwrap();
+    }
+    assert!(created >= 4, "Mary's subtree + bare John = {created} tuples");
+    assert_eq!(dst.db.table("customer").unwrap().len(), 2);
+    // Copy semantics: the source keeps its three customers.
+    assert_eq!(src.db.table("customer").unwrap().len(), 3);
+    // The imported data is structurally identical to the source subtrees.
+    let (sx, sroots) = src.fetch(cust, Some("Address_State = 'CA'")).unwrap();
+    let (dx, droots) = dst.fetch(cust, None).unwrap();
+    assert_eq!(sroots.len(), droots.len());
+    for (a, b) in sroots.iter().zip(&droots) {
+        assert!(sx.subtree_eq(*a, &dx, *b));
+    }
+}
+
+#[test]
+fn import_rejects_mismatched_mapping() {
+    let dtd = Dtd::parse(CUSTOMER_DTD).unwrap();
+    let other = Dtd::parse(
+        "<!ELEMENT db (x*)> <!ELEMENT x (#PCDATA)>",
+    )
+    .unwrap();
+    let mut a = XmlRepository::new(&dtd, "CustDB", RepoConfig::default()).unwrap();
+    let mut b = XmlRepository::new(&other, "db", RepoConfig::default()).unwrap();
+    b.load(&xmlup_xml::Document::new("db")).unwrap();
+    a.load(&xmlup_xml::Document::new("CustDB")).unwrap();
+    let err = a.import_subtree(&mut b, 1, 0, 1, 0).unwrap_err();
+    assert!(matches!(err, xmlup_core::CoreError::Strategy(_)));
+}
+
+#[test]
+fn bind_first_inlined_insert_raises_presence_flags() {
+    // Review finding: the multi-op (bind-first) path used to issue a raw
+    // UPDATE, skipping the presence-flag raising of the single-op path.
+    let mut repo = repo_with(DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+    // Delete Mary's Address, then in ONE multi-op statement set her City
+    // back and delete another customer (forcing the bind-first path).
+    xmlup_core::delete::delete_inlined(
+        &mut repo.db,
+        &repo.mapping,
+        repo.mapping.relation_by_element("Customer").unwrap(),
+        &["Address".to_string()],
+        Some("Name = 'Mary'"),
+    )
+    .unwrap();
+    repo.execute_xquery(
+        r#"FOR $d IN document("x")/CustDB,
+               $m IN $d/Customer[Name="Mary"],
+               $j IN $d/Customer[Address/City="Sacramento"]
+           UPDATE $m { INSERT <Name>Mary</Name> },
+           UPDATE $d { DELETE $j }"#,
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+    // Now the same via City (raises Address_present).
+    xmlup_core::delete::delete_inlined(
+        &mut repo.db,
+        &repo.mapping,
+        repo.mapping.relation_by_element("Customer").unwrap(),
+        &["Address".to_string()],
+        Some("Name = 'Mary'"),
+    )
+    .unwrap();
+    repo.execute_xquery(
+        r#"FOR $d IN document("x")/CustDB,
+               $m IN $d/Customer[Name="Mary"],
+               $a IN $m/Address/City
+           UPDATE $m { REPLACE $a WITH <City>Fresno</City> },
+           UPDATE $m { INSERT <Name>Mary</Name> }"#,
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+    let rs = repo
+        .db
+        .query("SELECT Address_present, Address_City FROM Customer WHERE Name = 'Mary'")
+        .unwrap();
+    assert_eq!(rs.rows[0][0], Value::Bool(true), "presence flag raised on bind-first path");
+    assert_eq!(rs.rows[0][1], Value::from("Fresno"));
+}
+
+#[test]
+fn stale_asr_refreshed_after_non_asr_mutation() {
+    // Review finding: a built ASR went stale when a non-ASR strategy
+    // mutated the store; queries through it then returned wrong answers.
+    let dtd = Dtd::parse(CUSTOMER_DTD).unwrap();
+    let doc = xmlup_xml::parse(CUSTOMER_XML).unwrap().doc;
+    let mut repo = XmlRepository::new(
+        &dtd,
+        "CustDB",
+        RepoConfig { build_asr: true, ..RepoConfig::default() },
+    )
+    .unwrap();
+    repo.load(&doc).unwrap();
+    let cust = repo.mapping.relation_by_element("Customer").unwrap();
+    // Non-ASR delete (per-tuple triggers).
+    repo.delete_where(cust, Some("Name = 'Mary'")).unwrap();
+    // ASR-accelerated query must not resurrect Mary's paths.
+    let (_, roots) = repo
+        .query_xml(
+            r#"FOR $c IN document("x")/CustDB/Customer[Order/OrderLine/ItemName="tire"]
+               RETURN $c"#,
+        )
+        .unwrap();
+    assert_eq!(roots.len(), 1, "only John(1) ordered tires after Mary's delete");
+    // And a non-ASR copy also refreshes.
+    let first = repo.ids_of(cust)[0];
+    let root = repo.root_id().unwrap();
+    repo.copy_subtree(cust, first, root).unwrap();
+    let (_, roots) = repo
+        .query_xml(
+            r#"FOR $c IN document("x")/CustDB/Customer[Order/OrderLine/ItemName="tire"]
+               RETURN $c"#,
+        )
+        .unwrap();
+    assert_eq!(roots.len(), 2, "the copy's paths are visible through the ASR");
+}

@@ -1,0 +1,41 @@
+//! Errors for the relational engine.
+
+use std::fmt;
+
+/// Any error raised by SQL parsing, planning, or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// SQL text could not be tokenized or parsed.
+    SqlParse(String),
+    /// A referenced table does not exist.
+    NoSuchTable(String),
+    /// A referenced column does not exist or is ambiguous.
+    NoSuchColumn(String),
+    /// Schema-level problem (duplicate table, bad column count, …).
+    Schema(String),
+    /// Type error during expression evaluation.
+    Type(String),
+    /// Anything else that indicates a malformed statement at runtime.
+    Execution(String),
+    /// Trigger recursion exceeded the safety limit.
+    TriggerDepth(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::SqlParse(m) => write!(f, "SQL parse error: {m}"),
+            DbError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            DbError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            DbError::Schema(m) => write!(f, "schema error: {m}"),
+            DbError::Type(m) => write!(f, "type error: {m}"),
+            DbError::Execution(m) => write!(f, "execution error: {m}"),
+            DbError::TriggerDepth(m) => write!(f, "trigger recursion limit: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Engine-wide result alias.
+pub type Result<T> = std::result::Result<T, DbError>;

@@ -1,0 +1,257 @@
+//! SQL tokenizer.
+//!
+//! Keywords are not distinguished at the token level — every bare word is
+//! an [`Tok::Ident`], and the parser matches keywords case-insensitively in
+//! context. This lets the paper's schemas use `Order` as a table name while
+//! `ORDER BY` still parses (the parser disambiguates with one token of
+//! lookahead).
+
+use crate::error::{DbError, Result};
+
+/// One SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Bare word: identifier or keyword (parser decides).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Single-quoted string literal (with `''` escape decoded).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Tok {
+    /// Case-insensitive keyword test for `Ident` tokens.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize SQL text. `--` line comments and `/* … */` block comments are
+/// skipped.
+pub fn lex(src: &str) -> Result<Vec<Tok>> {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if b.get(i + 1) == Some(&b'-') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                while i + 1 < b.len() && !(b[i] == b'*' && b[i + 1] == b'/') {
+                    i += 1;
+                }
+                if i + 1 >= b.len() {
+                    return Err(DbError::SqlParse("unterminated block comment".into()));
+                }
+                i += 2;
+            }
+            b'(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            b',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            b'.' => {
+                out.push(Tok::Dot);
+                i += 1;
+            }
+            b';' => {
+                out.push(Tok::Semi);
+                i += 1;
+            }
+            b'*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            b'+' => {
+                out.push(Tok::Plus);
+                i += 1;
+            }
+            b'-' => {
+                out.push(Tok::Minus);
+                i += 1;
+            }
+            b'/' => {
+                out.push(Tok::Slash);
+                i += 1;
+            }
+            b'%' => {
+                out.push(Tok::Percent);
+                i += 1;
+            }
+            b'=' => {
+                out.push(Tok::Eq);
+                i += 1;
+            }
+            b'!' if b.get(i + 1) == Some(&b'=') => {
+                out.push(Tok::Ne);
+                i += 2;
+            }
+            b'<' => {
+                if b.get(i + 1) == Some(&b'>') {
+                    out.push(Tok::Ne);
+                    i += 2;
+                } else if b.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Le);
+                    i += 2;
+                } else {
+                    out.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    out.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                i += 1;
+                // Collect raw bytes and decode as UTF-8 at the end —
+                // byte-as-char would Latin-1-mangle multi-byte sequences.
+                let mut raw: Vec<u8> = Vec::new();
+                loop {
+                    match b.get(i) {
+                        Some(b'\'') if b.get(i + 1) == Some(&b'\'') => {
+                            raw.push(b'\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            raw.push(ch);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(DbError::SqlParse("unterminated string literal".into()))
+                        }
+                    }
+                }
+                let s = String::from_utf8(raw)
+                    .map_err(|_| DbError::SqlParse("string literal is not UTF-8".into()))?;
+                out.push(Tok::Str(s));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = std::str::from_utf8(&b[start..i]).unwrap();
+                let n: i64 = text
+                    .parse()
+                    .map_err(|_| DbError::SqlParse(format!("integer overflow: {text}")))?;
+                out.push(Tok::Int(n));
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Tok::Ident(
+                    std::str::from_utf8(&b[start..i]).unwrap().to_string(),
+                ));
+            }
+            other => {
+                return Err(DbError::SqlParse(format!(
+                    "unexpected character `{}` at byte {i}",
+                    other as char
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = lex("SELECT id, name FROM t WHERE x >= 10;").unwrap();
+        assert_eq!(toks[0], Tok::Ident("SELECT".into()));
+        assert!(toks.contains(&Tok::Ge));
+        assert!(toks.contains(&Tok::Int(10)));
+        assert_eq!(*toks.last().unwrap(), Tok::Semi);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let toks = lex("'John''s'").unwrap();
+        assert_eq!(toks, vec![Tok::Str("John's".into())]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex("SELECT 1 -- comment\n, 2 /* block\nspanning */ , 3").unwrap();
+        let ints: Vec<_> = toks.iter().filter(|t| matches!(t, Tok::Int(_))).collect();
+        assert_eq!(ints.len(), 3);
+    }
+
+    #[test]
+    fn ne_variants() {
+        assert_eq!(lex("<>").unwrap(), vec![Tok::Ne]);
+        assert_eq!(lex("!=").unwrap(), vec![Tok::Ne]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        let toks = lex("select").unwrap();
+        assert!(toks[0].is_kw("SELECT"));
+        assert!(!toks[0].is_kw("FROM"));
+    }
+}

@@ -1,0 +1,233 @@
+//! In-memory table storage with secondary hash indexes.
+
+use crate::ast::ColumnDef;
+use crate::error::{DbError, Result};
+use crate::value::{Row, Value};
+use std::collections::HashMap;
+
+/// Schema of one table.
+#[derive(Debug, Clone)]
+pub struct TableSchema {
+    /// Table name as created.
+    pub name: String,
+    /// Column definitions in order.
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    /// Index of a column by case-insensitive name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+}
+
+/// A heap of rows with optional hash indexes on single columns.
+///
+/// Rows live in slots (`Vec<Option<Row>>`); deletion tombstones the slot so
+/// that row positions remain stable during statement execution. Indexes are
+/// maintained eagerly on insert/delete/update.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// The table's schema.
+    pub schema: TableSchema,
+    slots: Vec<Option<Row>>,
+    live: usize,
+    /// column index → (value → slot positions)
+    indexes: HashMap<usize, HashMap<Value, Vec<usize>>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(schema: TableSchema) -> Self {
+        Table { schema, slots: Vec::new(), live: 0, indexes: HashMap::new() }
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no live rows remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.schema.columns.len()
+    }
+
+    /// Add a hash index on `column` (no-op if one exists).
+    pub fn create_index(&mut self, column: &str) -> Result<()> {
+        let ci = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| DbError::NoSuchColumn(format!("{}.{column}", self.schema.name)))?;
+        if self.indexes.contains_key(&ci) {
+            return Ok(());
+        }
+        let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
+        for (pos, slot) in self.slots.iter().enumerate() {
+            if let Some(row) = slot {
+                map.entry(row[ci].clone()).or_default().push(pos);
+            }
+        }
+        self.indexes.insert(ci, map);
+        Ok(())
+    }
+
+    /// Whether `column` has a hash index.
+    pub fn has_index(&self, column_idx: usize) -> bool {
+        self.indexes.contains_key(&column_idx)
+    }
+
+    /// Insert a row (arity must match). Returns its slot position.
+    pub fn insert(&mut self, row: Row) -> Result<usize> {
+        if row.len() != self.arity() {
+            return Err(DbError::Schema(format!(
+                "insert into {}: {} values for {} columns",
+                self.schema.name,
+                row.len(),
+                self.arity()
+            )));
+        }
+        let pos = self.slots.len();
+        for (ci, idx) in self.indexes.iter_mut() {
+            idx.entry(row[*ci].clone()).or_default().push(pos);
+        }
+        self.slots.push(Some(row));
+        self.live += 1;
+        Ok(pos)
+    }
+
+    /// Row at a slot position, if live.
+    pub fn row(&self, pos: usize) -> Option<&Row> {
+        self.slots.get(pos).and_then(Option::as_ref)
+    }
+
+    /// Delete the row at `pos`, returning it.
+    pub fn delete(&mut self, pos: usize) -> Option<Row> {
+        let row = self.slots.get_mut(pos)?.take()?;
+        self.live -= 1;
+        for (ci, idx) in self.indexes.iter_mut() {
+            if let Some(v) = idx.get_mut(&row[*ci]) {
+                v.retain(|&p| p != pos);
+                if v.is_empty() {
+                    idx.remove(&row[*ci]);
+                }
+            }
+        }
+        Some(row)
+    }
+
+    /// Overwrite one column of the row at `pos`.
+    pub fn update_cell(&mut self, pos: usize, column_idx: usize, value: Value) -> Result<()> {
+        let row = self
+            .slots
+            .get_mut(pos)
+            .and_then(Option::as_mut)
+            .ok_or_else(|| DbError::Execution(format!("no live row at slot {pos}")))?;
+        let old = std::mem::replace(&mut row[column_idx], value.clone());
+        if let Some(idx) = self.indexes.get_mut(&column_idx) {
+            if let Some(v) = idx.get_mut(&old) {
+                v.retain(|&p| p != pos);
+                if v.is_empty() {
+                    idx.remove(&old);
+                }
+            }
+            idx.entry(value).or_default().push(pos);
+        }
+        Ok(())
+    }
+
+    /// Slot positions of all live rows.
+    pub fn live_positions(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i))
+            .collect()
+    }
+
+    /// Iterate live rows.
+    pub fn rows(&self) -> impl Iterator<Item = &Row> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
+    /// Index lookup: positions of live rows with `row[column_idx] == key`.
+    /// Returns `None` if the column is not indexed.
+    pub fn index_lookup(&self, column_idx: usize, key: &Value) -> Option<&[usize]> {
+        self.indexes
+            .get(&column_idx)
+            .map(|m| m.get(key).map(Vec::as_slice).unwrap_or(&[]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn schema() -> TableSchema {
+        TableSchema {
+            name: "t".into(),
+            columns: vec![
+                ColumnDef { name: "id".into(), ty: DataType::Integer },
+                ColumnDef { name: "name".into(), ty: DataType::Text },
+            ],
+        }
+    }
+
+    #[test]
+    fn insert_delete_roundtrip() {
+        let mut t = Table::new(schema());
+        let p = t.insert(vec![Value::Int(1), Value::from("a")]).unwrap();
+        assert_eq!(t.len(), 1);
+        let row = t.delete(p).unwrap();
+        assert_eq!(row[0], Value::Int(1));
+        assert_eq!(t.len(), 0);
+        assert!(t.delete(p).is_none(), "double delete is a no-op");
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut t = Table::new(schema());
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn index_maintained_on_mutation() {
+        let mut t = Table::new(schema());
+        t.create_index("id").unwrap();
+        let p0 = t.insert(vec![Value::Int(1), Value::from("a")]).unwrap();
+        let p1 = t.insert(vec![Value::Int(1), Value::from("b")]).unwrap();
+        assert_eq!(t.index_lookup(0, &Value::Int(1)).unwrap(), &[p0, p1]);
+        t.delete(p0);
+        assert_eq!(t.index_lookup(0, &Value::Int(1)).unwrap(), &[p1]);
+        t.update_cell(p1, 0, Value::Int(2)).unwrap();
+        assert!(t.index_lookup(0, &Value::Int(1)).unwrap().is_empty());
+        assert_eq!(t.index_lookup(0, &Value::Int(2)).unwrap(), &[p1]);
+    }
+
+    #[test]
+    fn index_built_over_existing_rows() {
+        let mut t = Table::new(schema());
+        t.insert(vec![Value::Int(7), Value::from("x")]).unwrap();
+        t.create_index("id").unwrap();
+        assert_eq!(t.index_lookup(0, &Value::Int(7)).unwrap().len(), 1);
+        assert_eq!(t.index_lookup(1, &Value::from("x")), None, "name not indexed");
+    }
+
+    #[test]
+    fn column_lookup_case_insensitive() {
+        let s = schema();
+        assert_eq!(s.column_index("ID"), Some(0));
+        assert_eq!(s.column_index("Name"), Some(1));
+        assert_eq!(s.column_index("none"), None);
+    }
+}

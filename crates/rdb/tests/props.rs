@@ -1,0 +1,189 @@
+//! Property-based tests for the relational engine: value ordering laws,
+//! three-valued logic, index/scan agreement, and random DML sequences
+//! preserving table invariants.
+
+use proptest::prelude::*;
+use xmlup_rdb::{Database, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sort_cmp_is_total_and_antisymmetric(a in arb_value(), b in arb_value()) {
+        use std::cmp::Ordering::*;
+        match (a.sort_cmp(&b), b.sort_cmp(&a)) {
+            (Less, Greater) | (Greater, Less) | (Equal, Equal) => {}
+            other => prop_assert!(false, "antisymmetry violated: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sort_cmp_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering::Less;
+        if a.sort_cmp(&b) == Less && b.sort_cmp(&c) == Less {
+            prop_assert_eq!(a.sort_cmp(&c), Less);
+        }
+    }
+
+    #[test]
+    fn sql_eq_consistent_with_rust_eq(a in arb_value(), b in arb_value()) {
+        if let Some(ord) = a.sql_cmp(&b) {
+            // Comparable & equal under SQL ⇒ equal as Rust values.
+            if ord == std::cmp::Ordering::Equal {
+                prop_assert_eq!(&a, &b);
+            }
+        } else {
+            // NULL never compares.
+            prop_assert!(a.is_null() || b.is_null() || a.data_type() != b.data_type());
+        }
+    }
+}
+
+/// Apply a random sequence of inserts/deletes/updates through SQL and
+/// check the table's row count and contents match a model `Vec`.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, String),
+    DeleteWhere(i64),
+    UpdateWhere(i64, String),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..50, "[a-z]{1,6}").prop_map(|(k, s)| Op::Insert(k, s)),
+        (0i64..50).prop_map(Op::DeleteWhere),
+        (0i64..50, "[a-z]{1,6}").prop_map(|(k, s)| Op::UpdateWhere(k, s)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_dml_matches_model(ops in prop::collection::vec(arb_op(), 0..40)) {
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE t (k INTEGER, v VARCHAR(10));
+             CREATE INDEX t_k ON t (k);",
+        ).unwrap();
+        let mut model: Vec<(i64, String)> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Insert(k, s) => {
+                    db.execute(&format!("INSERT INTO t VALUES ({k}, '{s}')")).unwrap();
+                    model.push((*k, s.clone()));
+                }
+                Op::DeleteWhere(k) => {
+                    let n = db.execute(&format!("DELETE FROM t WHERE k = {k}"))
+                        .unwrap().affected();
+                    let before = model.len();
+                    model.retain(|(mk, _)| mk != k);
+                    prop_assert_eq!(n, before - model.len());
+                }
+                Op::UpdateWhere(k, s) => {
+                    let n = db.execute(&format!("UPDATE t SET v = '{s}' WHERE k = {k}"))
+                        .unwrap().affected();
+                    let mut touched = 0;
+                    for (mk, mv) in &mut model {
+                        if mk == k {
+                            *mv = s.clone();
+                            touched += 1;
+                        }
+                    }
+                    prop_assert_eq!(n, touched);
+                }
+            }
+        }
+        // Final contents agree (as multisets, compared sorted).
+        let rs = db.query("SELECT k, v FROM t ORDER BY k, v").unwrap();
+        let mut expect: Vec<(i64, String)> = model;
+        expect.sort();
+        let got: Vec<(i64, String)> = rs.rows.iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_str().unwrap().to_string()))
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn index_probe_agrees_with_full_scan(
+        rows in prop::collection::vec((0i64..20, 0i64..20), 0..40),
+        probe in 0i64..20,
+    ) {
+        // Same query against an indexed and an unindexed copy of the data.
+        let mut indexed = Database::new();
+        indexed.run_script(
+            "CREATE TABLE t (a INTEGER, b INTEGER); CREATE INDEX t_a ON t (a);",
+        ).unwrap();
+        let mut plain = Database::new();
+        plain.execute("CREATE TABLE t (a INTEGER, b INTEGER)").unwrap();
+        for (a, b) in &rows {
+            let stmt = format!("INSERT INTO t VALUES ({a}, {b})");
+            indexed.execute(&stmt).unwrap();
+            plain.execute(&stmt).unwrap();
+        }
+        let q = format!("SELECT a, b FROM t WHERE a = {probe} ORDER BY b, a");
+        let ri = indexed.query(&q).unwrap();
+        let rp = plain.query(&q).unwrap();
+        prop_assert_eq!(ri.rows, rp.rows);
+        // The indexed run must actually have used the index (when rows exist).
+        if !rows.is_empty() {
+            prop_assert!(indexed.stats().index_lookups > 0);
+        }
+    }
+
+    #[test]
+    fn order_by_output_is_sorted(rows in prop::collection::vec(arb_value(), 0..30)) {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (v INTEGER)").unwrap();
+        for v in &rows {
+            // Only ints and NULLs fit the column's purpose here.
+            let lit = match v {
+                Value::Int(i) => i.to_string(),
+                _ => "NULL".to_string(),
+            };
+            db.execute(&format!("INSERT INTO t VALUES ({lit})")).unwrap();
+        }
+        let rs = db.query("SELECT v FROM t ORDER BY v").unwrap();
+        for w in rs.rows.windows(2) {
+            prop_assert_ne!(w[0][0].sort_cmp(&w[1][0]), std::cmp::Ordering::Greater);
+        }
+        prop_assert_eq!(rs.rows.len(), rows.len());
+    }
+
+    #[test]
+    fn in_subquery_agrees_with_in_list(
+        left in prop::collection::vec(0i64..15, 0..15),
+        right in prop::collection::vec(0i64..15, 1..15),
+    ) {
+        let mut db = Database::new();
+        db.run_script("CREATE TABLE l (x INTEGER); CREATE TABLE r (x INTEGER);").unwrap();
+        for x in &left {
+            db.execute(&format!("INSERT INTO l VALUES ({x})")).unwrap();
+        }
+        for x in &right {
+            db.execute(&format!("INSERT INTO r VALUES ({x})")).unwrap();
+        }
+        let via_sub = db
+            .query("SELECT x FROM l WHERE x IN (SELECT x FROM r) ORDER BY x")
+            .unwrap();
+        let list: Vec<String> = right.iter().map(|x| x.to_string()).collect();
+        let via_list = db
+            .query(&format!("SELECT x FROM l WHERE x IN ({}) ORDER BY x", list.join(", ")))
+            .unwrap();
+        prop_assert_eq!(via_sub.rows.clone(), via_list.rows);
+        // And NOT IN is the complement (no NULLs involved).
+        let not_in = db
+            .query("SELECT x FROM l WHERE x NOT IN (SELECT x FROM r) ORDER BY x")
+            .unwrap();
+        prop_assert_eq!(via_sub.rows.len() + not_in.rows.len(), left.len());
+    }
+}

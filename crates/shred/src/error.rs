@@ -1,0 +1,50 @@
+//! Errors for the XML↔relational mapping layer.
+
+use std::fmt;
+use xmlup_rdb::DbError;
+use xmlup_xml::XmlError;
+
+/// Errors raised while building mappings, shredding documents, or
+/// reconstructing XML from relational results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShredError {
+    /// The DTD cannot be mapped (undeclared elements, unsupported shapes).
+    Mapping(String),
+    /// A document does not fit the mapping it is being shredded into.
+    Shred(String),
+    /// Reconstruction from a tuple stream failed.
+    Reconstruct(String),
+    /// Underlying database error.
+    Db(DbError),
+    /// Underlying XML error.
+    Xml(XmlError),
+}
+
+impl fmt::Display for ShredError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShredError::Mapping(m) => write!(f, "mapping error: {m}"),
+            ShredError::Shred(m) => write!(f, "shredding error: {m}"),
+            ShredError::Reconstruct(m) => write!(f, "reconstruction error: {m}"),
+            ShredError::Db(e) => write!(f, "database error: {e}"),
+            ShredError::Xml(e) => write!(f, "XML error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShredError {}
+
+impl From<DbError> for ShredError {
+    fn from(e: DbError) -> Self {
+        ShredError::Db(e)
+    }
+}
+
+impl From<XmlError> for ShredError {
+    fn from(e: XmlError) -> Self {
+        ShredError::Xml(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ShredError>;

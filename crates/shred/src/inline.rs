@@ -1,0 +1,594 @@
+//! The Shared Inlining storage mapping (paper Section 5.1, after
+//! Shanmugasundaram et al., VLDB '99).
+//!
+//! Driven by a DTD: child elements that occur *at most once* under their
+//! parent are inlined as columns of the parent's relation (recursively);
+//! children under `*`/`+` get their own relation linked by
+//! `id`/`parentId`. Inlined non-leaf elements carry a boolean presence
+//! flag so deletion can distinguish "absent" from "present but empty"
+//! (paper Section 6.1).
+
+use crate::error::{Result, ShredError};
+use std::collections::HashMap;
+use xmlup_rdb::{ColumnDef, DataType};
+use xmlup_xml::dtd::Dtd;
+
+/// What an inlined column stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnKind {
+    /// The PCDATA content of the element at `path`.
+    Pcdata,
+    /// An attribute of the element at `path`.
+    Attribute(String),
+    /// Presence flag for the inlined (non-leaf) element at `path`.
+    Presence,
+    /// Document-order position among siblings (order-preserving mappings
+    /// only; see [`Mapping::from_dtd_ordered`]). Values are spaced by
+    /// [`POS_GAP`] so positional inserts rarely renumber.
+    Position,
+}
+
+/// Gap between consecutive sibling positions in order-preserving
+/// mappings. A midpoint insert needs a gap of at least 2; renumbering
+/// restores full gaps when one is exhausted.
+pub const POS_GAP: i64 = 1 << 20;
+
+/// One data column of a relation (besides `id` and `parentId`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataColumn {
+    /// SQL column name.
+    pub name: String,
+    /// Element path from the relation's element down to the item
+    /// (empty for the relation element's own attributes/PCDATA).
+    pub path: Vec<String>,
+    /// What the column stores.
+    pub kind: ColumnKind,
+}
+
+/// One relation of the mapping.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    /// SQL table name (unique within the mapping).
+    pub table: String,
+    /// The element tag this relation stores.
+    pub element: String,
+    /// Index of the parent relation (`None` for the root relation).
+    pub parent: Option<usize>,
+    /// Child relation indices in DTD order.
+    pub children: Vec<usize>,
+    /// Data columns (the physical schema is `id, parentId, data…`).
+    pub columns: Vec<DataColumn>,
+    /// Element path from the document root to this relation's element.
+    pub element_path: Vec<String>,
+}
+
+impl Relation {
+    /// Full SQL schema: `id`, `parentId`, then the data columns.
+    pub fn column_defs(&self) -> Vec<ColumnDef> {
+        let mut defs = vec![
+            ColumnDef { name: "id".into(), ty: DataType::Integer },
+            ColumnDef { name: "parentId".into(), ty: DataType::Integer },
+        ];
+        for c in &self.columns {
+            let ty = match c.kind {
+                ColumnKind::Presence => DataType::Boolean,
+                ColumnKind::Position => DataType::Integer,
+                _ => DataType::Text,
+            };
+            defs.push(ColumnDef { name: c.name.clone(), ty });
+        }
+        defs
+    }
+
+    /// Index of a data column (0-based among data columns) by its path and
+    /// kind.
+    pub fn find_column(&self, path: &[String], kind: &ColumnKind) -> Option<usize> {
+        self.columns.iter().position(|c| c.path == *path && c.kind == *kind)
+    }
+
+    /// `CREATE TABLE` DDL for this relation.
+    pub fn create_table_sql(&self) -> String {
+        let cols: Vec<String> = self
+            .column_defs()
+            .iter()
+            .map(|c| format!("{} {}", c.name, c.ty))
+            .collect();
+        format!("CREATE TABLE {} ({})", self.table, cols.join(", "))
+    }
+}
+
+/// A complete Shared Inlining mapping: a tree of relations.
+#[derive(Debug, Clone)]
+pub struct Mapping {
+    /// All relations; index 0 is the root relation.
+    pub relations: Vec<Relation>,
+    /// Whether relations carry a `pos_` document-order column (the
+    /// order-preservation extension of paper Section 8).
+    pub ordered: bool,
+    by_path: HashMap<String, usize>,
+}
+
+impl Mapping {
+    /// Build a mapping from a DTD, rooted at `root` (which must be
+    /// declared).
+    pub fn from_dtd(dtd: &Dtd, root: &str) -> Result<Mapping> {
+        Self::build(dtd, root, false)
+    }
+
+    /// Build an *order-preserving* mapping: every relation additionally
+    /// stores a `pos_` column holding the tuple's document-order position
+    /// among its parent's children, with values spaced [`POS_GAP`] apart.
+    /// This is the extension the paper lists as future work in Section 8
+    /// ("preservation of order within the XML document"), using the
+    /// gap-based scheme it sketches.
+    pub fn from_dtd_ordered(dtd: &Dtd, root: &str) -> Result<Mapping> {
+        Self::build(dtd, root, true)
+    }
+
+    fn build(dtd: &Dtd, root: &str, ordered: bool) -> Result<Mapping> {
+        if dtd.element(root).is_none() {
+            return Err(ShredError::Mapping(format!("root element <{root}> not declared")));
+        }
+        let mut m = Mapping { relations: Vec::new(), ordered, by_path: HashMap::new() };
+        let mut used_tables: HashMap<String, usize> = HashMap::new();
+        m.build_relation(dtd, root, None, &mut Vec::new(), &mut used_tables)?;
+        Ok(m)
+    }
+
+    /// The root relation's index (always 0).
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// Look up a relation by its element path from the root, e.g.
+    /// `["CustDB", "Customer", "Order"]`.
+    pub fn relation_by_path(&self, path: &[&str]) -> Option<usize> {
+        self.by_path.get(&path.join("/")).copied()
+    }
+
+    /// Look up the unique relation storing `element`, if unambiguous.
+    pub fn relation_by_element(&self, element: &str) -> Option<usize> {
+        let mut found = None;
+        for (i, r) in self.relations.iter().enumerate() {
+            if r.element == element {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(i);
+            }
+        }
+        found
+    }
+
+    /// Relations of the subtree rooted at `rel`, in pre-order (including
+    /// `rel` itself).
+    pub fn subtree(&self, rel: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![rel];
+        while let Some(r) = stack.pop() {
+            out.push(r);
+            // Reverse to preserve DTD order in the pre-order listing.
+            for &c in self.relations[r].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Depth of the relation tree (root = 1).
+    pub fn depth(&self) -> usize {
+        fn go(m: &Mapping, r: usize) -> usize {
+            1 + m.relations[r]
+                .children
+                .iter()
+                .map(|&c| go(m, c))
+                .max()
+                .unwrap_or(0)
+        }
+        go(self, self.root())
+    }
+
+    /// Ancestor relations of `rel`, root first (excluding `rel` itself).
+    pub fn ancestor_chain(&self, rel: usize) -> Vec<usize> {
+        let mut chain = Vec::new();
+        let mut cur = self.relations[rel].parent;
+        while let Some(r) = cur {
+            chain.push(r);
+            cur = self.relations[r].parent;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Depth of one relation below the root relation (root = 0).
+    pub fn relation_depth(&self, rel: usize) -> usize {
+        let mut d = 0;
+        let mut cur = rel;
+        while let Some(p) = self.relations[cur].parent {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// `CREATE TABLE` statements for all relations.
+    pub fn ddl(&self) -> Vec<String> {
+        self.relations.iter().map(Relation::create_table_sql).collect()
+    }
+
+    /// Resolve an element path from the root to either a relation or an
+    /// inlined column of a relation.
+    pub fn resolve_path(&self, path: &[&str]) -> Option<PathTarget> {
+        if let Some(r) = self.relation_by_path(path) {
+            return Some(PathTarget::Relation(r));
+        }
+        // Longest relation prefix, remainder must be an inlined path.
+        for cut in (1..path.len()).rev() {
+            if let Some(r) = self.relation_by_path(&path[..cut]) {
+                let rest: Vec<String> = path[cut..].iter().map(|s| s.to_string()).collect();
+                let rel = &self.relations[r];
+                if let Some(ci) = rel.find_column(&rest, &ColumnKind::Pcdata) {
+                    return Some(PathTarget::Column { relation: r, column: ci });
+                }
+                if let Some(ci) = rel.find_column(&rest, &ColumnKind::Presence) {
+                    return Some(PathTarget::InlinedElement { relation: r, presence: Some(ci) });
+                }
+                // An inlined element with columns but no presence flag
+                // (PCDATA-only leaf) resolves to its PCDATA column above;
+                // otherwise check whether any column lives under this path.
+                let has_descendant_cols = rel
+                    .columns
+                    .iter()
+                    .any(|c| c.path.len() > rest.len() && c.path[..rest.len()] == rest[..]);
+                if has_descendant_cols {
+                    return Some(PathTarget::InlinedElement { relation: r, presence: None });
+                }
+                return None;
+            }
+        }
+        None
+    }
+
+    fn build_relation(
+        &mut self,
+        dtd: &Dtd,
+        element: &str,
+        parent: Option<usize>,
+        ancestors: &mut Vec<String>,
+        used_tables: &mut HashMap<String, usize>,
+    ) -> Result<usize> {
+        // Unique table name: element name, disambiguated on collision.
+        let table = {
+            let n = used_tables.entry(element.to_string()).or_insert(0);
+            *n += 1;
+            if *n == 1 {
+                element.to_string()
+            } else {
+                format!("{element}_{n}")
+            }
+        };
+        let idx = self.relations.len();
+        let mut element_path = ancestors.clone();
+        element_path.push(element.to_string());
+        self.relations.push(Relation {
+            table,
+            element: element.to_string(),
+            parent,
+            children: Vec::new(),
+            columns: Vec::new(),
+            element_path: element_path.clone(),
+        });
+        self.by_path.insert(element_path.join("/"), idx);
+        if let Some(p) = parent {
+            self.relations[p].children.push(idx);
+        }
+
+        ancestors.push(element.to_string());
+        let mut columns = Vec::new();
+        if self.ordered {
+            columns.push(DataColumn {
+                name: "pos_".into(),
+                path: Vec::new(),
+                kind: ColumnKind::Position,
+            });
+        }
+        self.inline_into(dtd, element, &mut Vec::new(), &mut columns, true, ancestors)?;
+        // Underscore-joined path names can collide (`a_b` from path [a,b]
+        // vs attribute `b` of inlined `a`); disambiguate with a numeric
+        // suffix so the generated CREATE TABLE stays valid.
+        let mut seen: HashMap<String, usize> = HashMap::new();
+        for col in &mut columns {
+            let n = seen.entry(col.name.to_ascii_lowercase()).or_insert(0);
+            *n += 1;
+            if *n > 1 {
+                col.name = format!("{}_{n}", col.name);
+            }
+        }
+        self.relations[idx].columns = columns;
+
+        // Child relations for repeatable children (and recursive ones).
+        for (child, card) in dtd.child_cardinalities(element) {
+            if !card.repeatable {
+                continue;
+            }
+            if ancestors.contains(&child) {
+                return Err(ShredError::Mapping(format!(
+                    "recursive DTD element <{child}> is not supported by the inlining mapping \
+                     (use the edge mapping instead)"
+                )));
+            }
+            self.build_relation(dtd, &child, Some(idx), ancestors, used_tables)?;
+        }
+        ancestors.pop();
+        Ok(idx)
+    }
+
+    /// Recursively add inlined columns for `element`'s attributes, PCDATA,
+    /// and non-repeatable children.
+    fn inline_into(
+        &self,
+        dtd: &Dtd,
+        element: &str,
+        path: &mut Vec<String>,
+        out: &mut Vec<DataColumn>,
+        is_relation_root: bool,
+        ancestors: &[String],
+    ) -> Result<()> {
+        // Attributes (ID/IDREF/IDREFS stored as text, per Section 5.1's
+        // uniform treatment).
+        for decl in dtd.attrs(element) {
+            out.push(DataColumn {
+                name: mangle(&column_name(path, &decl.name)),
+                path: path.clone(),
+                kind: ColumnKind::Attribute(decl.name.clone()),
+            });
+        }
+        // PCDATA content.
+        if dtd.is_pcdata_only(element) {
+            if !is_relation_root || path.is_empty() {
+                let name = if path.is_empty() {
+                    // The relation element itself is PCDATA-only: store its
+                    // text under a `value` column.
+                    "value_".to_string()
+                } else {
+                    mangle(&path.join("_"))
+                };
+                out.push(DataColumn { name, path: path.clone(), kind: ColumnKind::Pcdata });
+            }
+            return Ok(());
+        }
+        // Mixed content on a relation root stores its text too.
+        if let Some(xmlup_xml::ContentModel::Mixed(_)) = dtd.element(element) {
+            let name =
+                if path.is_empty() { "value_".to_string() } else { mangle(&path.join("_")) };
+            out.push(DataColumn { name, path: path.clone(), kind: ColumnKind::Pcdata });
+        }
+        // Presence flag for inlined non-leaf elements.
+        if !path.is_empty() {
+            out.push(DataColumn {
+                name: mangle(&format!("{}_present", path.join("_"))),
+                path: path.clone(),
+                kind: ColumnKind::Presence,
+            });
+        }
+        // Non-repeatable children inline recursively.
+        for (child, card) in dtd.child_cardinalities(element) {
+            if card.repeatable {
+                continue;
+            }
+            if dtd.element(&child).is_none() {
+                return Err(ShredError::Mapping(format!("element <{child}> not declared")));
+            }
+            if ancestors.contains(&child) || path.contains(&child) {
+                return Err(ShredError::Mapping(format!(
+                    "recursive inlined element <{child}> is not supported"
+                )));
+            }
+            path.push(child.clone());
+            self.inline_into(dtd, &child, path, out, false, ancestors)?;
+            path.pop();
+        }
+        Ok(())
+    }
+}
+
+fn column_name(path: &[String], attr: &str) -> String {
+    if path.is_empty() {
+        attr.to_string()
+    } else {
+        format!("{}_{attr}", path.join("_"))
+    }
+}
+
+/// Avoid collisions with the fixed `id`/`parentId` columns.
+fn mangle(name: &str) -> String {
+    if name.eq_ignore_ascii_case("id") || name.eq_ignore_ascii_case("parentid") {
+        format!("{name}_a")
+    } else {
+        name.to_string()
+    }
+}
+
+/// Result of [`Mapping::resolve_path`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathTarget {
+    /// The path names an element with its own relation.
+    Relation(usize),
+    /// The path names an inlined PCDATA item: a column of a relation.
+    Column {
+        /// Relation index.
+        relation: usize,
+        /// Data-column index within the relation.
+        column: usize,
+    },
+    /// The path names an inlined non-leaf element (presence column given
+    /// when one exists).
+    InlinedElement {
+        /// Relation index.
+        relation: usize,
+        /// Presence-flag column index, if any.
+        presence: Option<usize>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlup_xml::samples::CUSTOMER_DTD;
+
+    fn customer_mapping() -> Mapping {
+        let dtd = Dtd::parse(CUSTOMER_DTD).unwrap();
+        Mapping::from_dtd(&dtd, "CustDB").unwrap()
+    }
+
+    #[test]
+    fn customer_dtd_produces_four_relations() {
+        let m = customer_mapping();
+        let tables: Vec<&str> = m.relations.iter().map(|r| r.table.as_str()).collect();
+        // Paper Section 5.1: CustDB, Customer, Order, OrderLine.
+        assert_eq!(tables, vec!["CustDB", "Customer", "Order", "OrderLine"]);
+    }
+
+    #[test]
+    fn customer_inlines_name_and_address() {
+        let m = customer_mapping();
+        let cust = &m.relations[m.relation_by_element("Customer").unwrap()];
+        let names: Vec<&str> = cust.columns.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"Name"));
+        assert!(names.contains(&"Address_City"));
+        assert!(names.contains(&"Address_State"));
+        assert!(names.contains(&"Address_present"), "non-leaf inlined element gets a flag");
+    }
+
+    #[test]
+    fn order_inlines_optional_status() {
+        let m = customer_mapping();
+        let ord = &m.relations[m.relation_by_element("Order").unwrap()];
+        let names: Vec<&str> = ord.columns.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"Date"));
+        assert!(names.contains(&"Status"));
+    }
+
+    #[test]
+    fn relation_tree_structure() {
+        let m = customer_mapping();
+        let root = m.root();
+        assert_eq!(m.relations[root].element, "CustDB");
+        assert_eq!(m.relations[root].children.len(), 1);
+        let cust = m.relations[root].children[0];
+        assert_eq!(m.relations[cust].element, "Customer");
+        let order = m.relations[cust].children[0];
+        assert_eq!(m.relations[order].element, "Order");
+        assert_eq!(m.relations[order].parent, Some(cust));
+        assert_eq!(m.depth(), 4);
+        assert_eq!(m.relation_depth(order), 2);
+    }
+
+    #[test]
+    fn resolve_paths() {
+        let m = customer_mapping();
+        let cust = m.relation_by_element("Customer").unwrap();
+        assert_eq!(
+            m.resolve_path(&["CustDB", "Customer"]),
+            Some(PathTarget::Relation(cust))
+        );
+        match m.resolve_path(&["CustDB", "Customer", "Name"]) {
+            Some(PathTarget::Column { relation, column }) => {
+                assert_eq!(relation, cust);
+                assert_eq!(m.relations[cust].columns[column].name, "Name");
+            }
+            other => panic!("{other:?}"),
+        }
+        match m.resolve_path(&["CustDB", "Customer", "Address"]) {
+            Some(PathTarget::InlinedElement { relation, presence: Some(_) }) => {
+                assert_eq!(relation, cust)
+            }
+            other => panic!("{other:?}"),
+        }
+        match m.resolve_path(&["CustDB", "Customer", "Address", "City"]) {
+            Some(PathTarget::Column { .. }) => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(m.resolve_path(&["CustDB", "Nothing"]), None);
+    }
+
+    #[test]
+    fn ddl_is_valid_sql() {
+        let m = customer_mapping();
+        let mut db = xmlup_rdb::Database::new();
+        for ddl in m.ddl() {
+            db.execute(&ddl).unwrap();
+        }
+        assert_eq!(db.table_names().len(), 4);
+        let cust = db.table("customer").unwrap();
+        assert_eq!(cust.schema.columns[0].name, "id");
+        assert_eq!(cust.schema.columns[1].name, "parentId");
+    }
+
+    #[test]
+    fn subtree_preorder() {
+        let m = customer_mapping();
+        let subtree = m.subtree(m.root());
+        assert_eq!(subtree.len(), 4);
+        assert_eq!(subtree[0], m.root());
+        let cust = m.relation_by_element("Customer").unwrap();
+        assert_eq!(m.subtree(cust).len(), 3);
+    }
+
+    #[test]
+    fn id_attribute_collision_mangled() {
+        let dtd = Dtd::parse(
+            r#"<!ELEMENT db (item*)>
+               <!ELEMENT item (#PCDATA)>
+               <!ATTLIST item id CDATA #IMPLIED>"#,
+        )
+        .unwrap();
+        let m = Mapping::from_dtd(&dtd, "db").unwrap();
+        let item = &m.relations[m.relation_by_element("item").unwrap()];
+        assert!(item.columns.iter().any(|c| c.name == "id_a"));
+    }
+
+    #[test]
+    fn recursive_dtd_rejected() {
+        let dtd = Dtd::parse(
+            r#"<!ELEMENT part (part*)>
+               "#,
+        )
+        .unwrap();
+        assert!(matches!(
+            Mapping::from_dtd(&dtd, "part"),
+            Err(ShredError::Mapping(_))
+        ));
+    }
+
+    #[test]
+    fn same_tag_under_two_parents_gets_two_relations() {
+        let dtd = Dtd::parse(
+            r#"<!ELEMENT db (a*, b*)>
+               <!ELEMENT a (x*)>
+               <!ELEMENT b (x*)>
+               <!ELEMENT x (#PCDATA)>"#,
+        )
+        .unwrap();
+        let m = Mapping::from_dtd(&dtd, "db").unwrap();
+        let tables: Vec<&str> = m.relations.iter().map(|r| r.table.as_str()).collect();
+        assert_eq!(tables, vec!["db", "a", "x", "b", "x_2"]);
+        assert!(m.relation_by_element("x").is_none(), "ambiguous element");
+        assert!(m.relation_by_path(&["db", "a", "x"]).is_some());
+        assert!(m.relation_by_path(&["db", "b", "x"]).is_some());
+    }
+
+    #[test]
+    fn pcdata_only_relation_root_gets_value_column() {
+        let dtd = Dtd::parse(
+            r#"<!ELEMENT db (note*)>
+               <!ELEMENT note (#PCDATA)>"#,
+        )
+        .unwrap();
+        let m = Mapping::from_dtd(&dtd, "db").unwrap();
+        let note = &m.relations[m.relation_by_element("note").unwrap()];
+        assert_eq!(note.columns.len(), 1);
+        assert_eq!(note.columns[0].name, "value_");
+        assert_eq!(note.columns[0].kind, ColumnKind::Pcdata);
+    }
+}

@@ -1,0 +1,40 @@
+//! # xmlup-shred
+//!
+//! The XML↔relational storage layer of the *Updating XML* reproduction
+//! (paper Section 5): the Shared Inlining mapping driven by a DTD, a
+//! document shredder/reconstructor, the Sorted Outer Union result method
+//! (Figure 5), Access Support Relations, and the DTD-less Edge mapping as
+//! the comparison baseline.
+//!
+//! ```
+//! use xmlup_rdb::Database;
+//! use xmlup_shred::{inline::Mapping, loader, outer_union};
+//! use xmlup_xml::{dtd::Dtd, samples};
+//!
+//! let dtd = Dtd::parse(samples::CUSTOMER_DTD).unwrap();
+//! let mapping = Mapping::from_dtd(&dtd, "CustDB").unwrap();
+//! let doc = xmlup_xml::parse(samples::CUSTOMER_XML).unwrap().doc;
+//!
+//! let mut db = Database::new();
+//! loader::create_schema(&mut db, &mapping).unwrap();
+//! loader::shred(&mut db, &mapping, &doc).unwrap();
+//!
+//! // Example 6: customers named John, via the Sorted Outer Union.
+//! let cust = mapping.relation_by_element("Customer").unwrap();
+//! let (result_doc, roots) =
+//!     outer_union::fetch_subtrees(&mut db, &mapping, cust, Some("Name = 'John'")).unwrap();
+//! assert_eq!(roots.len(), 2);
+//! # let _ = result_doc;
+//! ```
+
+pub mod asr;
+pub mod edge;
+pub mod error;
+pub mod inline;
+pub mod loader;
+pub mod outer_union;
+
+pub use asr::AsrIndex;
+pub use error::{Result, ShredError};
+pub use inline::{ColumnKind, DataColumn, Mapping, PathTarget, Relation};
+pub use outer_union::OuterUnionPlan;

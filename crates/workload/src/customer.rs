@@ -1,0 +1,134 @@
+//! Scalable customer database conforming to the paper's Figure 4 DTD
+//! (simplified TPC/W schema). Used by the examples and the quickstart.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xmlup_xml::dtd::Dtd;
+use xmlup_xml::samples::CUSTOMER_DTD;
+use xmlup_xml::Document;
+
+/// Parameters for the generated customer database.
+#[derive(Debug, Clone, Copy)]
+pub struct CustomerParams {
+    /// Number of customers.
+    pub customers: usize,
+    /// Maximum orders per customer (uniform `0..=max`).
+    pub max_orders: usize,
+    /// Maximum order lines per order (uniform `1..=max`).
+    pub max_lines: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CustomerParams {
+    fn default() -> Self {
+        CustomerParams { customers: 100, max_orders: 3, max_lines: 4, seed: 0xc057 }
+    }
+}
+
+/// The Figure 4 DTD.
+pub fn customer_dtd() -> Dtd {
+    Dtd::parse(CUSTOMER_DTD).expect("Figure 4 DTD is well-formed")
+}
+
+const FIRST: [&str; 8] = ["John", "Mary", "Wei", "Aisha", "Igor", "Zack", "Alon", "Dan"];
+const CITY: [(&str, &str); 6] = [
+    ("Seattle", "WA"),
+    ("Los Angeles", "CA"),
+    ("Sacramento", "CA"),
+    ("Philadelphia", "PA"),
+    ("Madison", "WI"),
+    ("Santa Barbara", "CA"),
+];
+const ITEMS: [&str; 7] = ["tire", "wiper", "battery", "lamp", "seat", "mirror", "pump"];
+const STATUS: [&str; 3] = ["ready", "shipped", "suspended"];
+
+/// Generate a customer database document.
+pub fn customer_document(p: &CustomerParams) -> Document {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut doc = Document::new("CustDB");
+    let root = doc.root();
+    for c in 0..p.customers {
+        let cust = doc.new_element("Customer");
+        doc.append_child(root, cust).expect("fresh attach");
+        let (city, state) = CITY[rng.gen_range(0..CITY.len())];
+        let name = format!("{} {}", FIRST[rng.gen_range(0..FIRST.len())], c);
+        {
+            let el = doc.new_element("Name");
+            let t = doc.new_text(name);
+            doc.append_child(el, t).expect("fresh attach");
+            doc.append_child(cust, el).expect("fresh attach");
+        }
+        let addr = doc.new_element("Address");
+        doc.append_child(cust, addr).expect("fresh attach");
+        for (tag, text) in [("City", city), ("State", state)] {
+            let el = doc.new_element(tag);
+            let t = doc.new_text(text.to_string());
+            doc.append_child(el, t).expect("fresh attach");
+            doc.append_child(addr, el).expect("fresh attach");
+        }
+        for o in 0..rng.gen_range(0..=p.max_orders) {
+            let order = doc.new_element("Order");
+            doc.append_child(cust, order).expect("fresh attach");
+            for (tag, text) in [
+                (
+                    "Date",
+                    format!(
+                        "200{}-{:02}-{:02}",
+                        rng.gen_range(0..2),
+                        rng.gen_range(1..13),
+                        rng.gen_range(1..29)
+                    ),
+                ),
+                ("Status", STATUS[rng.gen_range(0..STATUS.len())].to_string()),
+            ] {
+                let el = doc.new_element(tag);
+                let t = doc.new_text(text);
+                doc.append_child(el, t).expect("fresh attach");
+                doc.append_child(order, el).expect("fresh attach");
+            }
+            for _ in 0..rng.gen_range(1..=p.max_lines.max(1)) {
+                let line = doc.new_element("OrderLine");
+                doc.append_child(order, line).expect("fresh attach");
+                for (tag, text) in [
+                    ("ItemName", ITEMS[rng.gen_range(0..ITEMS.len())].to_string()),
+                    ("Qty", rng.gen_range(1..10).to_string()),
+                ] {
+                    let el = doc.new_element(tag);
+                    let t = doc.new_text(text);
+                    doc.append_child(el, t).expect("fresh attach");
+                    doc.append_child(line, el).expect("fresh attach");
+                }
+            }
+            let _ = o;
+        }
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conforms_to_figure4_dtd() {
+        let doc = customer_document(&CustomerParams { customers: 20, ..Default::default() });
+        customer_dtd().validate(&doc).unwrap();
+    }
+
+    #[test]
+    fn scales_with_customers() {
+        let small = customer_document(&CustomerParams { customers: 5, ..Default::default() });
+        let large =
+            customer_document(&CustomerParams { customers: 50, ..Default::default() });
+        assert_eq!(small.children(small.root()).len(), 5);
+        assert_eq!(large.children(large.root()).len(), 50);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = customer_document(&CustomerParams::default());
+        let b = customer_document(&CustomerParams::default());
+        assert!(a.subtree_eq(a.root(), &b, b.root()));
+    }
+}

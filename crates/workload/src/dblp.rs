@@ -1,0 +1,195 @@
+//! Synthetic DBLP-shaped bibliography (paper Section 7.1.3).
+//!
+//! The paper used the conference-publications portion of the real DBLP
+//! bibliography (40 MB, >400 000 tuples): upper-most elements are
+//! conferences, each with publication subelements containing author and
+//! citation subelements. The real dump is not available offline, so this
+//! generator produces a document with the same *shape* — in particular the
+//! "bushiness" the paper blames for the poor per-statement-trigger
+//! numbers: many small publications per conference, several
+//! authors/citations per publication, and a `year` value so that
+//! "delete the year-2000 publications" touches a small fraction of a
+//! large document. The substitution is documented in DESIGN.md /
+//! EXPERIMENTS.md.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xmlup_xml::dtd::Dtd;
+use xmlup_xml::Document;
+
+/// Parameters of the synthetic bibliography.
+#[derive(Debug, Clone, Copy)]
+pub struct DblpParams {
+    /// Number of conference elements.
+    pub conferences: usize,
+    /// Publications per conference (mean; actual uniform ±50%).
+    pub pubs_per_conf: usize,
+    /// Maximum authors per publication (uniform `1..=max`).
+    pub max_authors: usize,
+    /// Maximum citations per publication (uniform `0..=max`).
+    pub max_citations: usize,
+    /// Publication years drawn uniformly from this inclusive range.
+    pub year_range: (i64, i64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DblpParams {
+    fn default() -> Self {
+        DblpParams {
+            conferences: 50,
+            pubs_per_conf: 40,
+            max_authors: 4,
+            max_citations: 8,
+            year_range: (1995, 2001),
+            seed: 0xdb1b,
+        }
+    }
+}
+
+/// DTD of the synthetic bibliography. `inproceedings*`, `author*`, and
+/// `cite*` are repeatable (own relations); `title`/`year`/`pages` inline.
+pub fn dblp_dtd() -> Dtd {
+    Dtd::parse(
+        r#"<!ELEMENT dblp (conference*)>
+           <!ELEMENT conference (name, inproceedings*)>
+           <!ELEMENT inproceedings (title, year, pages, author*, cite*)>
+           <!ELEMENT name (#PCDATA)>
+           <!ELEMENT title (#PCDATA)>
+           <!ELEMENT year (#PCDATA)>
+           <!ELEMENT pages (#PCDATA)>
+           <!ELEMENT author (#PCDATA)>
+           <!ELEMENT cite (#PCDATA)>"#,
+    )
+    .expect("DBLP DTD is well-formed")
+}
+
+/// Generate the synthetic bibliography document.
+pub fn dblp_document(p: &DblpParams) -> Document {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut doc = Document::new("dblp");
+    let root = doc.root();
+    for c in 0..p.conferences {
+        let conf = doc.new_element("conference");
+        doc.append_child(root, conf).expect("fresh attach");
+        let name = doc.new_element("name");
+        let t = doc.new_text(format!("conf-{c}"));
+        doc.append_child(name, t).expect("fresh attach");
+        doc.append_child(conf, name).expect("fresh attach");
+        let lo = (p.pubs_per_conf / 2).max(1);
+        let hi = (p.pubs_per_conf * 3 / 2).max(lo + 1);
+        let pubs = rng.gen_range(lo..hi);
+        for i in 0..pubs {
+            let pb = doc.new_element("inproceedings");
+            doc.append_child(conf, pb).expect("fresh attach");
+            for (tag, text) in [
+                ("title", format!("Paper {c}-{i} on {}", topic(&mut rng))),
+                ("year", rng.gen_range(p.year_range.0..=p.year_range.1).to_string()),
+                ("pages", format!("{}-{}", i * 12 + 1, i * 12 + 12)),
+            ] {
+                let el = doc.new_element(tag);
+                let t = doc.new_text(text);
+                doc.append_child(el, t).expect("fresh attach");
+                doc.append_child(pb, el).expect("fresh attach");
+            }
+            let n_auth = rng.gen_range(1..=p.max_authors.max(1));
+            for a in 0..n_auth {
+                let el = doc.new_element("author");
+                let t = doc.new_text(format!("Author {}", (a * 131 + c * 17 + i) % 997));
+                doc.append_child(el, t).expect("fresh attach");
+                doc.append_child(pb, el).expect("fresh attach");
+            }
+            let n_cite = rng.gen_range(0..=p.max_citations);
+            for _ in 0..n_cite {
+                let el = doc.new_element("cite");
+                let t = doc.new_text(format!(
+                    "conf-{}/paper-{}",
+                    rng.gen_range(0..p.conferences.max(1)),
+                    rng.gen_range(0..p.pubs_per_conf.max(1))
+                ));
+                doc.append_child(el, t).expect("fresh attach");
+                doc.append_child(pb, el).expect("fresh attach");
+            }
+        }
+    }
+    doc
+}
+
+fn topic(rng: &mut StdRng) -> &'static str {
+    const TOPICS: [&str; 8] = [
+        "XML updates",
+        "query optimization",
+        "semistructured data",
+        "view maintenance",
+        "data integration",
+        "access support relations",
+        "outer unions",
+        "triggers",
+    ];
+    TOPICS[rng.gen_range(0..TOPICS.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_conforms_to_dtd() {
+        let p = DblpParams { conferences: 5, pubs_per_conf: 6, ..Default::default() };
+        let doc = dblp_document(&p);
+        dblp_dtd().validate(&doc).unwrap();
+    }
+
+    #[test]
+    fn shape_is_bushy() {
+        let p = DblpParams { conferences: 10, pubs_per_conf: 10, ..Default::default() };
+        let doc = dblp_document(&p);
+        assert_eq!(doc.children(doc.root()).len(), 10);
+        let pubs = doc
+            .descendants(doc.root())
+            .filter(|&n| doc.name(n) == Some("inproceedings"))
+            .count();
+        assert!(pubs >= 50, "got {pubs} publications");
+        let authors = doc
+            .descendants(doc.root())
+            .filter(|&n| doc.name(n) == Some("author"))
+            .count();
+        assert!(authors >= pubs, "every publication has at least one author");
+    }
+
+    #[test]
+    fn mapping_has_four_relations() {
+        let m = xmlup_shred::Mapping::from_dtd(&dblp_dtd(), "dblp").unwrap();
+        let tables: Vec<&str> = m.relations.iter().map(|r| r.table.as_str()).collect();
+        assert_eq!(tables, vec!["dblp", "conference", "inproceedings", "author", "cite"]);
+    }
+
+    #[test]
+    fn year_2000_fraction_is_small() {
+        let doc = dblp_document(&DblpParams::default());
+        let pubs: Vec<_> = doc
+            .descendants(doc.root())
+            .filter(|&n| doc.name(n) == Some("inproceedings"))
+            .collect();
+        let y2000 = pubs
+            .iter()
+            .filter(|&&n| {
+                doc.children(n)
+                    .iter()
+                    .any(|&c| doc.name(c) == Some("year") && doc.string_value(c) == "2000")
+            })
+            .count();
+        assert!(y2000 > 0);
+        assert!(
+            (y2000 as f64) < 0.4 * pubs.len() as f64,
+            "year-2000 deletes should touch a minority of the document"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = dblp_document(&DblpParams::default());
+        let b = dblp_document(&DblpParams::default());
+        assert!(a.subtree_eq(a.root(), &b, b.root()));
+    }
+}

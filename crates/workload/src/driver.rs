@@ -1,0 +1,190 @@
+//! Workload drivers (paper Section 7.1): *bulk* applies an operation to
+//! every subtree at the target level; *random* applies it to a fixed
+//! number of randomly chosen subtrees (the paper uses 10).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use xmlup_core::{Result, XmlRepository};
+
+/// Number of operations in the paper's random workloads.
+pub const RANDOM_OPS: usize = 10;
+
+/// Which tuples an operation touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Every subtree of the target relation.
+    Bulk,
+    /// `count` randomly chosen subtrees (seeded).
+    Random {
+        /// Subtrees touched.
+        count: usize,
+        /// RNG seed for the choice.
+        seed: u64,
+    },
+}
+
+impl Workload {
+    /// The paper's 10-operation random workload.
+    pub fn random10() -> Self {
+        Workload::Random { count: RANDOM_OPS, seed: 0xab1e }
+    }
+
+    /// Label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Workload::Bulk => "bulk",
+            Workload::Random { .. } => "random",
+        }
+    }
+}
+
+/// Pick the workload's target ids from relation `rel`.
+pub fn pick_targets(repo: &XmlRepository, rel: usize, workload: Workload) -> Vec<i64> {
+    let ids = repo.ids_of(rel);
+    match workload {
+        Workload::Bulk => ids,
+        Workload::Random { count, seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut picked: Vec<i64> =
+                ids.choose_multiple(&mut rng, count.min(ids.len())).copied().collect();
+            picked.sort_unstable();
+            picked
+        }
+    }
+}
+
+/// Run a delete workload over relation `rel`. Bulk issues one unfiltered
+/// delete (a single SQL statement under the trigger strategies, as the
+/// paper notes); random issues one delete per chosen subtree. Returns the
+/// number of root tuples deleted.
+pub fn run_delete(repo: &mut XmlRepository, rel: usize, workload: Workload) -> Result<usize> {
+    match workload {
+        Workload::Bulk => repo.delete_where(rel, None),
+        Workload::Random { .. } => {
+            let targets = pick_targets(repo, rel, workload);
+            let mut n = 0;
+            for id in targets {
+                n += repo.delete_by_id(rel, id)?;
+            }
+            Ok(n)
+        }
+    }
+}
+
+/// Run an insert workload: replicate subtrees of `rel` under their own
+/// parents (the paper's self-copy query). Returns tuples created.
+pub fn run_insert(repo: &mut XmlRepository, rel: usize, workload: Workload) -> Result<usize> {
+    let targets = pick_targets(repo, rel, workload);
+    let parent_rel = repo.mapping.relations[rel]
+        .parent
+        .expect("insert workload needs a non-root relation");
+    // Map each source to its parent tuple.
+    let table = repo.mapping.relations[rel].table.clone();
+    let mut created = 0;
+    for id in targets {
+        let parent_id = repo
+            .db
+            .query(&format!("SELECT parentId FROM {table} WHERE id = {id}"))?
+            .scalar()
+            .and_then(xmlup_rdb::Value::as_int)
+            .unwrap_or(0);
+        created += repo.copy_subtree(rel, id, parent_id)?;
+        let _ = parent_rel;
+    }
+    Ok(created)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{fixed_document, synthetic_dtd, SyntheticParams};
+    use xmlup_core::{DeleteStrategy, InsertStrategy, RepoConfig};
+
+    fn repo(ds: DeleteStrategy, is: InsertStrategy) -> (XmlRepository, usize) {
+        let p = SyntheticParams::new(20, 3, 2);
+        let dtd = synthetic_dtd(3);
+        let doc = fixed_document(&p);
+        let mut repo = XmlRepository::new(
+            &dtd,
+            "root",
+            RepoConfig {
+                delete_strategy: ds,
+                insert_strategy: is,
+                build_asr: ds == DeleteStrategy::Asr || is == InsertStrategy::Asr,
+                statement_cost_us: 0,
+            },
+        )
+        .unwrap();
+        repo.load(&doc).unwrap();
+        let n1 = repo.mapping.relation_by_element("n1").unwrap();
+        (repo, n1)
+    }
+
+    #[test]
+    fn bulk_delete_leaves_only_root() {
+        let (mut r, n1) = repo(DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+        let n = run_delete(&mut r, n1, Workload::Bulk).unwrap();
+        assert_eq!(n, 20);
+        assert_eq!(r.tuple_count(), 1);
+    }
+
+    #[test]
+    fn random_delete_removes_ten_subtrees() {
+        let (mut r, n1) = repo(DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+        let before = r.tuple_count();
+        let n = run_delete(&mut r, n1, Workload::random10()).unwrap();
+        assert_eq!(n, 10);
+        // Each subtree: 1 + 2 + 4 = 7 tuples.
+        assert_eq!(before - r.tuple_count(), 70);
+    }
+
+    #[test]
+    fn bulk_insert_doubles_the_document() {
+        let (mut r, n1) = repo(DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+        let before = r.tuple_count();
+        let created = run_insert(&mut r, n1, Workload::Bulk).unwrap();
+        assert_eq!(created, before - 1);
+        assert_eq!(r.tuple_count(), 2 * before - 1);
+    }
+
+    #[test]
+    fn random_insert_adds_ten_subtrees() {
+        let (mut r, n1) = repo(DeleteStrategy::PerTupleTrigger, InsertStrategy::Tuple);
+        let before = r.tuple_count();
+        let created = run_insert(&mut r, n1, Workload::random10()).unwrap();
+        assert_eq!(created, 70);
+        assert_eq!(r.tuple_count(), before + 70);
+    }
+
+    #[test]
+    fn targets_are_deterministic() {
+        let (r, n1) = repo(DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+        let a = pick_targets(&r, n1, Workload::random10());
+        let b = pick_targets(&r, n1, Workload::random10());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn strategies_agree_on_random_delete() {
+        let mut counts = Vec::new();
+        for ds in DeleteStrategy::ALL {
+            let (mut r, n1) = repo(ds, InsertStrategy::Table);
+            run_delete(&mut r, n1, Workload::random10()).unwrap();
+            counts.push(r.tuple_count());
+        }
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn insert_strategies_agree_on_random_insert() {
+        let mut counts = Vec::new();
+        for is in InsertStrategy::ALL {
+            let (mut r, n1) = repo(DeleteStrategy::PerTupleTrigger, is);
+            run_insert(&mut r, n1, Workload::random10()).unwrap();
+            counts.push(r.tuple_count());
+        }
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+}

@@ -1,0 +1,22 @@
+//! # xmlup-workload
+//!
+//! Workload and data generators for the experiments of *Updating XML*
+//! (SIGMOD 2001), Section 7:
+//!
+//! * [`synthetic`] — fixed and randomized synthetic documents
+//!   parameterised by scaling factor, depth, and fanout (Sections 7.1.1,
+//!   7.1.2), with matching DTDs.
+//! * [`dblp`] — a synthetic DBLP-shaped bibliography standing in for the
+//!   real 40 MB dump (Section 7.1.3; substitution documented in
+//!   DESIGN.md).
+//! * [`customer`] — a scalable instance of the Figure 4 customer schema.
+//! * [`driver`] — bulk and 10-operation random workloads over a loaded
+//!   repository.
+
+pub mod customer;
+pub mod dblp;
+pub mod driver;
+pub mod synthetic;
+
+pub use driver::{pick_targets, run_delete, run_insert, Workload, RANDOM_OPS};
+pub use synthetic::{fixed_document, randomized_document, synthetic_dtd, SyntheticParams};

@@ -1,0 +1,251 @@
+//! Synthetic test documents (paper Sections 7.1.1 and 7.1.2).
+//!
+//! A document is parameterised by:
+//!
+//! * **scaling factor** — number of subtrees at the root level (document
+//!   length);
+//! * **depth** — levels per subtree (complexity);
+//! * **fanout** — children per internal node (complexity).
+//!
+//! Every element carries two data subelements: a 50-character string and
+//! an integer, exactly as in the paper. The *fixed* generator uses the
+//! parameters literally; the *randomized* generator draws each subtree's
+//! depth from `[2, depth]` and each node's fanout from `[1, fanout]`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xmlup_xml::dtd::Dtd;
+use xmlup_xml::{Document, NodeId};
+
+/// Parameters of a synthetic document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticParams {
+    /// Subtrees at the root level.
+    pub scaling_factor: usize,
+    /// Levels per subtree (≥ 1). For the randomized generator this is the
+    /// maximum depth.
+    pub depth: usize,
+    /// Children per internal node (≥ 1). For the randomized generator
+    /// this is the maximum fanout.
+    pub fanout: usize,
+    /// RNG seed (content and, for randomized shapes, structure).
+    pub seed: u64,
+}
+
+impl SyntheticParams {
+    /// Convenience constructor with a fixed default seed.
+    pub fn new(scaling_factor: usize, depth: usize, fanout: usize) -> Self {
+        SyntheticParams { scaling_factor, depth, fanout, seed: 0x5eed }
+    }
+
+    /// Elements per subtree for the fixed shape:
+    /// `1 + f + f² + … + f^(d−1)`.
+    pub fn nodes_per_subtree(&self) -> usize {
+        let mut total = 0usize;
+        let mut level = 1usize;
+        for _ in 0..self.depth {
+            total += level;
+            level *= self.fanout.max(1);
+        }
+        total
+    }
+
+    /// Total structural elements of the fixed document (excluding the
+    /// root and the data subelements).
+    pub fn total_nodes(&self) -> usize {
+        self.scaling_factor * self.nodes_per_subtree()
+    }
+}
+
+/// The DTD shared by all synthetic documents of a given depth: level
+/// elements `n1 … nd`, each with a string and an integer child.
+///
+/// Levels are declared `n{i} (str, num, n{i+1}*)` so the inlining mapping
+/// gives every level its own relation with `str`/`num` columns inlined.
+pub fn synthetic_dtd(depth: usize) -> Dtd {
+    let mut src = String::from("<!ELEMENT root (n1*)>\n");
+    for lvl in 1..=depth {
+        if lvl < depth {
+            src.push_str(&format!("<!ELEMENT n{lvl} (str, num, n{}*)>\n", lvl + 1));
+        } else {
+            src.push_str(&format!("<!ELEMENT n{lvl} (str, num)>\n"));
+        }
+    }
+    src.push_str("<!ELEMENT str (#PCDATA)>\n<!ELEMENT num (#PCDATA)>\n");
+    Dtd::parse(&src).expect("generated DTD is well-formed")
+}
+
+/// Generate a fixed-structure synthetic document (Section 7.1.1).
+pub fn fixed_document(p: &SyntheticParams) -> Document {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut doc = Document::new("root");
+    let root = doc.root();
+    for _ in 0..p.scaling_factor {
+        grow_fixed(&mut doc, root, 1, p.depth, p.fanout, &mut rng);
+    }
+    doc
+}
+
+fn grow_fixed(
+    doc: &mut Document,
+    parent: NodeId,
+    level: usize,
+    depth: usize,
+    fanout: usize,
+    rng: &mut StdRng,
+) {
+    let el = make_element(doc, parent, level, rng);
+    if level < depth {
+        for _ in 0..fanout {
+            grow_fixed(doc, el, level + 1, depth, fanout, rng);
+        }
+    }
+}
+
+/// Generate a randomized-structure synthetic document (Section 7.1.2):
+/// subtree depth uniform in `[2, depth]`, per-node fanout uniform in
+/// `[1, fanout]`.
+pub fn randomized_document(p: &SyntheticParams) -> Document {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut doc = Document::new("root");
+    let root = doc.root();
+    let min_depth = 2.min(p.depth);
+    for _ in 0..p.scaling_factor {
+        let d = rng.gen_range(min_depth..=p.depth.max(min_depth));
+        grow_random(&mut doc, root, 1, d, p.fanout, &mut rng);
+    }
+    doc
+}
+
+fn grow_random(
+    doc: &mut Document,
+    parent: NodeId,
+    level: usize,
+    depth: usize,
+    max_fanout: usize,
+    rng: &mut StdRng,
+) {
+    let el = make_element(doc, parent, level, rng);
+    if level < depth {
+        let f = rng.gen_range(1..=max_fanout.max(1));
+        for _ in 0..f {
+            grow_random(doc, el, level + 1, depth, max_fanout, rng);
+        }
+    }
+}
+
+/// One `n{level}` element with its `str` (50 chars) and `num` children.
+fn make_element(doc: &mut Document, parent: NodeId, level: usize, rng: &mut StdRng) -> NodeId {
+    let el = doc.new_element(format!("n{level}"));
+    doc.append_child(parent, el).expect("fresh attach");
+    let s = doc.new_element("str");
+    let text = doc.new_text(random_string(rng, 50));
+    doc.append_child(s, text).expect("fresh attach");
+    doc.append_child(el, s).expect("fresh attach");
+    let n = doc.new_element("num");
+    let value: i64 = rng.gen_range(0..1_000_000);
+    let text = doc.new_text(value.to_string());
+    doc.append_child(n, text).expect("fresh attach");
+    doc.append_child(el, n).expect("fresh attach");
+    el
+}
+
+/// Seeded alphanumeric string of the given length.
+pub fn random_string(rng: &mut StdRng, len: usize) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_document_has_expected_shape() {
+        let p = SyntheticParams::new(10, 3, 2);
+        let doc = fixed_document(&p);
+        // Root children = scaling factor.
+        assert_eq!(doc.children(doc.root()).len(), 10);
+        // Elements per subtree: 1 + 2 + 4 = 7.
+        assert_eq!(p.nodes_per_subtree(), 7);
+        let n_elems = doc
+            .descendants(doc.root())
+            .filter(|&n| doc.name(n).map(|s| s.starts_with('n')).unwrap_or(false))
+            .filter(|&n| doc.name(n) != Some("num"))
+            .count();
+        assert_eq!(n_elems, 70);
+        // Every element has str + num data children.
+        let first = doc.children(doc.root())[0];
+        let kids: Vec<_> = doc.children(first).iter().map(|&c| doc.name(c).unwrap()).collect();
+        assert_eq!(&kids[..2], &["str", "num"]);
+        assert_eq!(doc.string_value(doc.children(first)[0]).len(), 50);
+    }
+
+    #[test]
+    fn paper_table1_sizes() {
+        // fixed fanout experiment: f=1, d=8, sf=800 → 6400 tuples.
+        assert_eq!(SyntheticParams::new(800, 8, 1).total_nodes(), 6400);
+        // fixed depth experiment: d=2, f=8, sf=800 → 7200 tuples.
+        assert_eq!(SyntheticParams::new(800, 2, 8).total_nodes(), 7200);
+        // fixed sf experiment: sf=100, d=4, f=8 → 58500 tuples.
+        assert_eq!(SyntheticParams::new(100, 4, 8).total_nodes(), 58500);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = SyntheticParams::new(5, 3, 2);
+        let a = fixed_document(&p);
+        let b = fixed_document(&p);
+        assert!(a.subtree_eq(a.root(), &b, b.root()));
+        let ra = randomized_document(&p);
+        let rb = randomized_document(&p);
+        assert!(ra.subtree_eq(ra.root(), &rb, rb.root()));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = fixed_document(&SyntheticParams { seed: 1, ..SyntheticParams::new(3, 2, 2) });
+        let b = fixed_document(&SyntheticParams { seed: 2, ..SyntheticParams::new(3, 2, 2) });
+        assert!(!a.subtree_eq(a.root(), &b, b.root()));
+    }
+
+    #[test]
+    fn randomized_respects_bounds() {
+        let p = SyntheticParams::new(50, 5, 3);
+        let doc = randomized_document(&p);
+        assert_eq!(doc.children(doc.root()).len(), 50);
+        // No element deeper than depth levels (element depth in the tree:
+        // root=0, n1=1, …, n5=5; data children one deeper).
+        for n in doc.descendants(doc.root()) {
+            if let Some(name) = doc.name(n) {
+                if let Some(lvl) = name.strip_prefix('n').and_then(|s| s.parse::<usize>().ok())
+                {
+                    assert!(lvl <= 5, "level {lvl} exceeds max depth");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dtd_validates_generated_documents() {
+        let p = SyntheticParams::new(4, 3, 2);
+        let dtd = synthetic_dtd(3);
+        dtd.validate(&fixed_document(&p)).unwrap();
+        dtd.validate(&randomized_document(&p)).unwrap();
+    }
+
+    #[test]
+    fn dtd_maps_one_relation_per_level() {
+        let dtd = synthetic_dtd(4);
+        let m = xmlup_shred::Mapping::from_dtd(&dtd, "root").unwrap();
+        // root + n1..n4.
+        assert_eq!(m.relations.len(), 5);
+        assert_eq!(m.depth(), 5);
+        let n1 = m.relation_by_element("n1").unwrap();
+        let cols: Vec<&str> =
+            m.relations[n1].columns.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(cols, vec!["str", "num"]);
+    }
+}

@@ -1,0 +1,903 @@
+//! DTD parsing, content models, and document validation.
+//!
+//! The Shared Inlining storage mapping (paper Section 5.1) is driven by the
+//! DTD: it needs, for every element, which children occur *at most once*
+//! (inlinable) versus *repeatable* (`*`/`+`, stored in their own relation).
+//! [`Dtd::child_cardinalities`] exposes exactly that analysis.
+
+use crate::error::{Pos, Result, XmlError};
+use crate::node::{Document, NodeId, NodeKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Content model of an `<!ELEMENT …>` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContentModel {
+    /// `EMPTY`
+    Empty,
+    /// `ANY`
+    Any,
+    /// `(#PCDATA)` or mixed `(#PCDATA | a | b)*`
+    Mixed(Vec<String>),
+    /// Structured children.
+    Children(ContentParticle),
+}
+
+/// One particle of a structured content model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContentParticle {
+    /// The particle body.
+    pub kind: ParticleKind,
+    /// Occurrence modifier.
+    pub occurs: Occurs,
+}
+
+/// Particle body: a child element name, a sequence, or a choice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParticleKind {
+    /// A named child element.
+    Name(String),
+    /// `(a, b, c)`
+    Seq(Vec<ContentParticle>),
+    /// `(a | b | c)`
+    Choice(Vec<ContentParticle>),
+}
+
+/// Occurrence indicator on a particle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Occurs {
+    /// Exactly once (no modifier).
+    One,
+    /// `?` — zero or one.
+    Optional,
+    /// `*` — zero or more.
+    ZeroOrMore,
+    /// `+` — one or more.
+    OneOrMore,
+}
+
+impl Occurs {
+    /// Whether the particle may appear more than once.
+    pub fn repeatable(self) -> bool {
+        matches!(self, Occurs::ZeroOrMore | Occurs::OneOrMore)
+    }
+
+    /// Whether the particle may be absent.
+    pub fn optional(self) -> bool {
+        matches!(self, Occurs::Optional | Occurs::ZeroOrMore)
+    }
+}
+
+impl fmt::Display for Occurs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Occurs::One => Ok(()),
+            Occurs::Optional => write!(f, "?"),
+            Occurs::ZeroOrMore => write!(f, "*"),
+            Occurs::OneOrMore => write!(f, "+"),
+        }
+    }
+}
+
+/// Declared type of an attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrType {
+    /// `CDATA`
+    Cdata,
+    /// `ID`
+    Id,
+    /// `IDREF`
+    IdRef,
+    /// `IDREFS`
+    IdRefs,
+    /// `NMTOKEN` / `NMTOKENS` (treated as CDATA for storage purposes).
+    NmToken,
+    /// Enumerated `(a|b|c)`.
+    Enum(Vec<String>),
+}
+
+impl AttrType {
+    /// Whether values of this type are references into the ID space.
+    pub fn is_reference(&self) -> bool {
+        matches!(self, AttrType::IdRef | AttrType::IdRefs)
+    }
+}
+
+/// Default declaration of an attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrDefault {
+    /// `#REQUIRED`
+    Required,
+    /// `#IMPLIED`
+    Implied,
+    /// `#FIXED "v"`
+    Fixed(String),
+    /// Plain default value.
+    Value(String),
+}
+
+/// One `<!ATTLIST>` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDecl {
+    /// Attribute name.
+    pub name: String,
+    /// Declared type.
+    pub ty: AttrType,
+    /// Default declaration.
+    pub default: AttrDefault,
+}
+
+/// Per-child cardinality from a parent's content model — the quantity the
+/// Shared Inlining mapping is built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cardinality {
+    /// Child may be absent.
+    pub optional: bool,
+    /// Child may repeat.
+    pub repeatable: bool,
+}
+
+/// A parsed Document Type Definition.
+#[derive(Debug, Clone, Default)]
+pub struct Dtd {
+    elements: HashMap<String, ContentModel>,
+    attlists: HashMap<String, Vec<AttrDecl>>,
+    /// Element declaration order (stable schema generation).
+    order: Vec<String>,
+}
+
+impl Dtd {
+    /// Parse the text of a DTD (an internal subset body or a standalone
+    /// `.dtd` file's contents).
+    pub fn parse(src: &str) -> Result<Dtd> {
+        DtdParser { src: src.as_bytes(), pos: 0, line: 1, col: 1 }.parse()
+    }
+
+    /// Content model for an element, if declared.
+    pub fn element(&self, name: &str) -> Option<&ContentModel> {
+        self.elements.get(name)
+    }
+
+    /// Declared elements in declaration order.
+    pub fn element_names(&self) -> &[String] {
+        &self.order
+    }
+
+    /// Attribute declarations for an element.
+    pub fn attrs(&self, element: &str) -> &[AttrDecl] {
+        self.attlists.get(element).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Declared type of `element/@attr`, if any.
+    pub fn attr_type(&self, element: &str, attr: &str) -> Option<&AttrType> {
+        self.attlists.get(element)?.iter().find(|d| d.name == attr).map(|d| &d.ty)
+    }
+
+    /// Whether an element's content model is `(#PCDATA)` only.
+    pub fn is_pcdata_only(&self, element: &str) -> bool {
+        matches!(self.element(element), Some(ContentModel::Mixed(names)) if names.is_empty())
+    }
+
+    /// Per-child cardinalities of an element's content model, in first-
+    /// occurrence order. A child under a `*`/`+` modifier (directly or via
+    /// an enclosing repeated group) is repeatable; a child inside a choice
+    /// or under `?`/`*` is optional. A name that occurs in several positions
+    /// of the model merges to the weaker guarantee (optional/repeatable).
+    pub fn child_cardinalities(&self, element: &str) -> Vec<(String, Cardinality)> {
+        let mut out: Vec<(String, Cardinality)> = Vec::new();
+        let model = match self.element(element) {
+            Some(ContentModel::Children(p)) => p,
+            Some(ContentModel::Mixed(names)) => {
+                // Mixed content: every named child is optional+repeatable.
+                for n in names {
+                    merge(&mut out, n, Cardinality { optional: true, repeatable: true });
+                }
+                return out;
+            }
+            _ => return out,
+        };
+        collect(model, false, false, false, &mut out);
+        return out;
+
+        fn collect(
+            p: &ContentParticle,
+            opt: bool,
+            rep: bool,
+            in_choice: bool,
+            out: &mut Vec<(String, Cardinality)>,
+        ) {
+            let opt = opt || p.occurs.optional() || in_choice;
+            let rep = rep || p.occurs.repeatable();
+            match &p.kind {
+                ParticleKind::Name(n) => {
+                    merge(out, n, Cardinality { optional: opt, repeatable: rep })
+                }
+                ParticleKind::Seq(ps) => {
+                    for c in ps {
+                        collect(c, opt, rep, false, out);
+                    }
+                }
+                ParticleKind::Choice(ps) => {
+                    let choice_opt = ps.len() > 1;
+                    for c in ps {
+                        collect(c, opt, rep, choice_opt, out);
+                    }
+                }
+            }
+        }
+
+        fn merge(out: &mut Vec<(String, Cardinality)>, name: &str, c: Cardinality) {
+            if let Some((_, existing)) = out.iter_mut().find(|(n, _)| n == name) {
+                existing.optional |= c.optional;
+                // A name appearing twice in a sequence is repeatable.
+                existing.repeatable = true;
+                return;
+            }
+            out.push((name.to_string(), c));
+        }
+    }
+
+    /// Validate a document against this DTD. Checks element content models,
+    /// attribute declarations (required attributes present, enumerations,
+    /// fixed values), ID uniqueness, and IDREF resolvability.
+    pub fn validate(&self, doc: &Document) -> Result<()> {
+        let ids = doc.id_map()?;
+        for node in doc.descendants(doc.root()) {
+            if let NodeKind::Element(e) = doc.kind(node) {
+                self.validate_element(doc, node, &e.name)?;
+                self.validate_attrs(doc, node, &e.name, &ids)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_element(&self, doc: &Document, node: NodeId, name: &str) -> Result<()> {
+        let model = self
+            .element(name)
+            .ok_or_else(|| XmlError::Invalid(format!("undeclared element <{name}>")))?;
+        let child_names: Vec<&str> = doc
+            .children(node)
+            .iter()
+            .filter_map(|&c| doc.name(c))
+            .collect();
+        let has_text = doc
+            .children(node)
+            .iter()
+            .any(|&c| matches!(doc.kind(c), NodeKind::Text(_)));
+        match model {
+            ContentModel::Empty => {
+                if !doc.children(node).is_empty() {
+                    return Err(XmlError::Invalid(format!("<{name}> declared EMPTY has content")));
+                }
+            }
+            ContentModel::Any => {}
+            ContentModel::Mixed(allowed) => {
+                for c in &child_names {
+                    if !allowed.iter().any(|a| a == c) {
+                        return Err(XmlError::Invalid(format!(
+                            "<{c}> not allowed in mixed content of <{name}>"
+                        )));
+                    }
+                }
+            }
+            ContentModel::Children(p) => {
+                if has_text {
+                    return Err(XmlError::Invalid(format!(
+                        "PCDATA not allowed in element content of <{name}>"
+                    )));
+                }
+                let mut idx = 0usize;
+                if !match_particle(p, &child_names, &mut idx) || idx != child_names.len() {
+                    return Err(XmlError::Invalid(format!(
+                        "children of <{name}> do not match content model: {child_names:?}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_attrs(
+        &self,
+        doc: &Document,
+        node: NodeId,
+        name: &str,
+        ids: &HashMap<String, NodeId>,
+    ) -> Result<()> {
+        let decls = self.attrs(name);
+        for d in decls {
+            let present = doc.attr(node, &d.name);
+            match (&d.default, present) {
+                (AttrDefault::Required, None) => {
+                    return Err(XmlError::Invalid(format!(
+                        "required attribute {name}/@{} missing",
+                        d.name
+                    )));
+                }
+                (AttrDefault::Fixed(v), Some(a)) if a.value.to_text() != *v => {
+                    return Err(XmlError::Invalid(format!(
+                        "fixed attribute {name}/@{} must be `{v}`",
+                        d.name
+                    )));
+                }
+                _ => {}
+            }
+            if let Some(a) = present {
+                match (&d.ty, &a.value) {
+                    (AttrType::Enum(vals), v) if !vals.contains(&v.to_text()) => {
+                        return Err(XmlError::Invalid(format!(
+                            "{name}/@{} value `{}` not in enumeration",
+                            d.name,
+                            v.to_text()
+                        )));
+                    }
+                    // IDREF values check against the ID space whether the
+                    // parser classified them as Refs (DTD present at parse
+                    // time) or left them as Text (standalone DTD).
+                    (AttrType::IdRef | AttrType::IdRefs, v) => {
+                        let rendered = v.to_text();
+                        for t in rendered.split_whitespace() {
+                            if !ids.contains_key(t) {
+                                return Err(XmlError::UnknownId(t.to_string()));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Greedy regex-style matcher over a child-name sequence.
+fn match_particle(p: &ContentParticle, names: &[&str], idx: &mut usize) -> bool {
+    match p.occurs {
+        Occurs::One => match_once(p, names, idx),
+        Occurs::Optional => {
+            let save = *idx;
+            if !match_once(p, names, idx) {
+                *idx = save;
+            }
+            true
+        }
+        Occurs::ZeroOrMore => {
+            loop {
+                let save = *idx;
+                if !match_once(p, names, idx) || *idx == save {
+                    *idx = save;
+                    break;
+                }
+            }
+            true
+        }
+        Occurs::OneOrMore => {
+            if !match_once(p, names, idx) {
+                return false;
+            }
+            loop {
+                let save = *idx;
+                if !match_once(p, names, idx) || *idx == save {
+                    *idx = save;
+                    break;
+                }
+            }
+            true
+        }
+    }
+}
+
+fn match_once(p: &ContentParticle, names: &[&str], idx: &mut usize) -> bool {
+    match &p.kind {
+        ParticleKind::Name(n) => {
+            if names.get(*idx) == Some(&n.as_str()) {
+                *idx += 1;
+                true
+            } else {
+                false
+            }
+        }
+        ParticleKind::Seq(ps) => {
+            let save = *idx;
+            for c in ps {
+                if !match_particle(c, names, idx) {
+                    *idx = save;
+                    return false;
+                }
+            }
+            true
+        }
+        ParticleKind::Choice(ps) => {
+            for c in ps {
+                let save = *idx;
+                if match_particle(c, names, idx) {
+                    return true;
+                }
+                *idx = save;
+            }
+            false
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// DTD parser
+// ----------------------------------------------------------------------
+
+struct DtdParser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> DtdParser<'a> {
+    fn here(&self) -> Pos {
+        Pos { line: self.line, col: self.col }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> XmlError {
+        XmlError::dtd(msg, self.here())
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn eat_str(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            for _ in 0..s.len() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_str(&mut self, s: &str) -> Result<()> {
+        if self.eat_str(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                self.bump();
+            }
+            if self.starts_with("<!--") {
+                while !self.starts_with("-->") && self.peek().is_some() {
+                    self.bump();
+                }
+                self.eat_str("-->");
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String> {
+        let start = self.pos;
+        match self.peek() {
+            Some(b) if b.is_ascii_alphabetic() || b == b'_' || b == b':' => {
+                self.bump();
+            }
+            _ => return Err(self.err("expected name")),
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b':' | b'-' | b'.') {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn parse(mut self) -> Result<Dtd> {
+        let mut dtd = Dtd::default();
+        loop {
+            self.skip_ws();
+            if self.pos >= self.src.len() {
+                return Ok(dtd);
+            }
+            if self.eat_str("<!ELEMENT") {
+                self.skip_ws();
+                let name = self.name()?;
+                self.skip_ws();
+                let model = self.content_model()?;
+                self.skip_ws();
+                self.expect_str(">")?;
+                if !dtd.elements.contains_key(&name) {
+                    dtd.order.push(name.clone());
+                }
+                // Later declarations win (tolerates the paper's Fig. 4 typo
+                // of declaring Address twice) — but keep the first if the
+                // later one is a bare #PCDATA redeclaration of a structured
+                // model, matching common DTD-processor leniency.
+                match (dtd.elements.get(&name), &model) {
+                    (Some(ContentModel::Children(_)), ContentModel::Mixed(m)) if m.is_empty() => {}
+                    _ => {
+                        dtd.elements.insert(name, model);
+                    }
+                }
+            } else if self.eat_str("<!ATTLIST") {
+                self.skip_ws();
+                let ename = self.name()?;
+                let decls = dtd.attlists.entry(ename).or_default();
+                loop {
+                    self.skip_ws();
+                    if self.eat_str(">") {
+                        break;
+                    }
+                    let aname = self.name()?;
+                    self.skip_ws();
+                    let ty = self.attr_type()?;
+                    self.skip_ws();
+                    let default = self.attr_default()?;
+                    decls.push(AttrDecl { name: aname, ty, default });
+                }
+            } else if self.eat_str("<!ENTITY") || self.eat_str("<!NOTATION") {
+                // Skipped: general entities and notations are out of scope.
+                // `>` inside a quoted literal is content, not a terminator.
+                let mut quote: Option<u8> = None;
+                loop {
+                    match self.peek() {
+                        Some(b @ (b'"' | b'\'')) => {
+                            match quote {
+                                Some(open) if open == b => quote = None,
+                                None => quote = Some(b),
+                                Some(_) => {}
+                            }
+                            self.bump();
+                        }
+                        Some(b'>') if quote.is_none() => break,
+                        Some(_) => {
+                            self.bump();
+                        }
+                        None => break,
+                    }
+                }
+                self.expect_str(">")?;
+            } else {
+                return Err(self.err("expected declaration"));
+            }
+        }
+    }
+
+    fn content_model(&mut self) -> Result<ContentModel> {
+        if self.eat_str("EMPTY") {
+            return Ok(ContentModel::Empty);
+        }
+        if self.eat_str("ANY") {
+            return Ok(ContentModel::Any);
+        }
+        self.expect_str("(")?;
+        self.skip_ws();
+        if self.eat_str("#PCDATA") {
+            let mut names = Vec::new();
+            loop {
+                self.skip_ws();
+                if self.eat_str(")") {
+                    self.eat_str("*");
+                    return Ok(ContentModel::Mixed(names));
+                }
+                self.expect_str("|")?;
+                self.skip_ws();
+                names.push(self.name()?);
+            }
+        }
+        let particle = self.group_body()?;
+        Ok(ContentModel::Children(particle))
+    }
+
+    /// Parse the remainder of a group whose `(` has been consumed.
+    fn group_body(&mut self) -> Result<ContentParticle> {
+        let mut items = vec![self.cp()?];
+        self.skip_ws();
+        let mut sep: Option<u8> = None;
+        loop {
+            match self.peek() {
+                Some(b')') => {
+                    self.bump();
+                    break;
+                }
+                Some(b @ (b',' | b'|')) => {
+                    if let Some(s) = sep {
+                        if s != b {
+                            return Err(self.err("mixed `,` and `|` in one group"));
+                        }
+                    }
+                    sep = Some(b);
+                    self.bump();
+                    self.skip_ws();
+                    items.push(self.cp()?);
+                    self.skip_ws();
+                }
+                _ => return Err(self.err("expected `,`, `|`, or `)` in content model")),
+            }
+        }
+        let occurs = self.occurs();
+        let kind = if items.len() == 1 {
+            let item = items.pop().unwrap();
+            return Ok(ContentParticle {
+                kind: item.kind,
+                occurs: combine_occurs(item.occurs, occurs),
+            });
+        } else if sep == Some(b'|') {
+            ParticleKind::Choice(items)
+        } else {
+            ParticleKind::Seq(items)
+        };
+        Ok(ContentParticle { kind, occurs })
+    }
+
+    /// One content particle: a name or a parenthesised group, plus modifier.
+    fn cp(&mut self) -> Result<ContentParticle> {
+        self.skip_ws();
+        if self.eat_str("(") {
+            self.skip_ws();
+            self.group_body()
+        } else {
+            let n = self.name()?;
+            let occurs = self.occurs();
+            Ok(ContentParticle { kind: ParticleKind::Name(n), occurs })
+        }
+    }
+
+    fn occurs(&mut self) -> Occurs {
+        match self.peek() {
+            Some(b'?') => {
+                self.bump();
+                Occurs::Optional
+            }
+            Some(b'*') => {
+                self.bump();
+                Occurs::ZeroOrMore
+            }
+            Some(b'+') => {
+                self.bump();
+                Occurs::OneOrMore
+            }
+            _ => Occurs::One,
+        }
+    }
+
+    fn attr_type(&mut self) -> Result<AttrType> {
+        if self.eat_str("CDATA") {
+            Ok(AttrType::Cdata)
+        } else if self.eat_str("IDREFS") {
+            Ok(AttrType::IdRefs)
+        } else if self.eat_str("IDREF") {
+            Ok(AttrType::IdRef)
+        } else if self.eat_str("ID") {
+            Ok(AttrType::Id)
+        } else if self.eat_str("NMTOKENS") || self.eat_str("NMTOKEN") {
+            Ok(AttrType::NmToken)
+        } else if self.eat_str("(") {
+            let mut vals = Vec::new();
+            loop {
+                self.skip_ws();
+                vals.push(self.name()?);
+                self.skip_ws();
+                if self.eat_str(")") {
+                    return Ok(AttrType::Enum(vals));
+                }
+                self.expect_str("|")?;
+            }
+        } else {
+            Err(self.err("expected attribute type"))
+        }
+    }
+
+    fn attr_default(&mut self) -> Result<AttrDefault> {
+        if self.eat_str("#REQUIRED") {
+            Ok(AttrDefault::Required)
+        } else if self.eat_str("#IMPLIED") {
+            Ok(AttrDefault::Implied)
+        } else if self.eat_str("#FIXED") {
+            self.skip_ws();
+            Ok(AttrDefault::Fixed(self.quoted()?))
+        } else {
+            Ok(AttrDefault::Value(self.quoted()?))
+        }
+    }
+
+    fn quoted(&mut self) -> Result<String> {
+        let q = self.bump().ok_or_else(|| self.err("expected quoted value"))?;
+        if q != b'"' && q != b'\'' {
+            return Err(self.err("expected quoted value"));
+        }
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == q {
+                let s = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                self.bump();
+                return Ok(s);
+            }
+            self.bump();
+        }
+        Err(self.err("unterminated quoted value"))
+    }
+}
+
+/// Combine an inner particle's occurrence with a group modifier, e.g.
+/// `(a)*` over an `a?` is `a*`.
+fn combine_occurs(inner: Occurs, outer: Occurs) -> Occurs {
+    use Occurs::*;
+    match (inner, outer) {
+        (One, o) | (o, One) => o,
+        (Optional, Optional) => Optional,
+        (OneOrMore, OneOrMore) => OneOrMore,
+        _ => ZeroOrMore,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::samples::CUSTOMER_DTD;
+
+    #[test]
+    fn parse_customer_dtd() {
+        let d = Dtd::parse(CUSTOMER_DTD).unwrap();
+        assert!(d.element("CustDB").is_some());
+        assert!(d.is_pcdata_only("Name"));
+        assert!(!d.is_pcdata_only("Customer"));
+        assert_eq!(d.element_names()[0], "CustDB");
+    }
+
+    #[test]
+    fn cardinalities_drive_inlining() {
+        let d = Dtd::parse(CUSTOMER_DTD).unwrap();
+        let c = d.child_cardinalities("Customer");
+        let get = |n: &str| c.iter().find(|(name, _)| name == n).map(|(_, card)| *card);
+        let name = get("Name").unwrap();
+        assert!(!name.optional && !name.repeatable, "Name inlines");
+        let order = get("Order").unwrap();
+        assert!(order.repeatable, "Order* gets its own relation");
+        let oc = d.child_cardinalities("Order");
+        let status = oc.iter().find(|(n, _)| n == "Status").unwrap().1;
+        assert!(status.optional && !status.repeatable, "Status? inlines nullable");
+    }
+
+    #[test]
+    fn choice_children_are_optional() {
+        let d = Dtd::parse("<!ELEMENT a (b | c)>").unwrap();
+        let cards = d.child_cardinalities("a");
+        assert!(cards.iter().all(|(_, c)| c.optional && !c.repeatable));
+    }
+
+    #[test]
+    fn repeated_group_marks_children_repeatable() {
+        let d = Dtd::parse("<!ELEMENT a (b, c)*>").unwrap();
+        for (_, c) in d.child_cardinalities("a") {
+            assert!(c.repeatable && c.optional);
+        }
+    }
+
+    #[test]
+    fn same_name_twice_in_seq_is_repeatable() {
+        let d = Dtd::parse("<!ELEMENT a (b, b)>").unwrap();
+        let cards = d.child_cardinalities("a");
+        assert_eq!(cards.len(), 1);
+        assert!(cards[0].1.repeatable);
+    }
+
+    #[test]
+    fn attlist_types() {
+        let d = Dtd::parse(
+            r#"<!ELEMENT lab (#PCDATA)>
+               <!ATTLIST lab ID ID #REQUIRED
+                             managers IDREFS #IMPLIED
+                             kind (bio|chem) "bio">"#,
+        )
+        .unwrap();
+        assert_eq!(d.attr_type("lab", "ID"), Some(&AttrType::Id));
+        assert!(d.attr_type("lab", "managers").unwrap().is_reference());
+        assert!(matches!(d.attr_type("lab", "kind"), Some(AttrType::Enum(_))));
+    }
+
+    #[test]
+    fn validate_accepts_conforming_document() {
+        let d = Dtd::parse(CUSTOMER_DTD).unwrap();
+        let p = parse(crate::samples::CUSTOMER_XML).unwrap();
+        d.validate(&p.doc).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_missing_required_child() {
+        let d = Dtd::parse(CUSTOMER_DTD).unwrap();
+        let p = parse("<CustDB><Customer><Name>x</Name></Customer></CustDB>").unwrap();
+        // Customer requires Address.
+        assert!(matches!(d.validate(&p.doc), Err(XmlError::Invalid(_))));
+    }
+
+    #[test]
+    fn validate_rejects_undeclared_element() {
+        let d = Dtd::parse(CUSTOMER_DTD).unwrap();
+        let p = parse("<CustDB><Bogus/></CustDB>").unwrap();
+        assert!(d.validate(&p.doc).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_text_in_element_content() {
+        let d = Dtd::parse(CUSTOMER_DTD).unwrap();
+        let p = parse("<CustDB>stray text</CustDB>").unwrap();
+        assert!(d.validate(&p.doc).is_err());
+    }
+
+    #[test]
+    fn validate_checks_required_attr_and_enum() {
+        let d = Dtd::parse(
+            r#"<!ELEMENT a EMPTY>
+               <!ATTLIST a k (x|y) #REQUIRED>"#,
+        )
+        .unwrap();
+        assert!(d.validate(&parse("<a/>").unwrap().doc).is_err());
+        assert!(d.validate(&parse(r#"<a k="x"/>"#).unwrap().doc).is_ok());
+        assert!(d.validate(&parse(r#"<a k="z"/>"#).unwrap().doc).is_err());
+    }
+
+    #[test]
+    fn validate_checks_idref_targets() {
+        let d = Dtd::parse(
+            r#"<!ELEMENT db (lab*)>
+               <!ELEMENT lab EMPTY>
+               <!ATTLIST lab ID ID #IMPLIED peer IDREF #IMPLIED>"#,
+        )
+        .unwrap();
+        let good = parse(r#"<db><lab ID="a"/><lab peer="a"/></db>"#).unwrap();
+        d.validate(&good.doc).unwrap();
+        let bad = parse(r#"<db><lab peer="ghost"/></db>"#).unwrap();
+        assert!(matches!(d.validate(&bad.doc), Err(XmlError::UnknownId(_))));
+    }
+
+    #[test]
+    fn nested_groups_parse() {
+        let d = Dtd::parse("<!ELEMENT a ((b, c)+ | d)?>").unwrap();
+        match d.element("a") {
+            Some(ContentModel::Children(p)) => {
+                assert!(matches!(p.kind, ParticleKind::Choice(_)));
+            }
+            other => panic!("unexpected model: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_and_any() {
+        let d = Dtd::parse("<!ELEMENT a EMPTY><!ELEMENT b ANY>").unwrap();
+        assert_eq!(d.element("a"), Some(&ContentModel::Empty));
+        assert_eq!(d.element("b"), Some(&ContentModel::Any));
+        assert!(d.validate(&parse("<a/>").unwrap().doc).is_ok());
+        assert!(d.validate(&parse("<a><a/></a>").unwrap().doc).is_err());
+    }
+
+    #[test]
+    fn content_model_matcher_backtracks_choice() {
+        let d = Dtd::parse("<!ELEMENT a (b?, c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>").unwrap();
+        assert!(d.validate(&parse("<a><c/></a>").unwrap().doc).is_ok());
+        assert!(d.validate(&parse("<a><b/><c/></a>").unwrap().doc).is_ok());
+        assert!(d.validate(&parse("<a><b/></a>").unwrap().doc).is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! Error types for XML parsing, validation, and tree manipulation.
+
+use std::fmt;
+
+/// Location of an error in the source text (1-based line/column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors produced by the XML parser, DTD parser/validator, and the tree
+/// update primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Malformed XML text; carries a message and source position.
+    Parse { msg: String, pos: Pos },
+    /// Malformed DTD text.
+    DtdParse { msg: String, pos: Pos },
+    /// The document does not conform to its DTD.
+    Invalid(String),
+    /// A tree update primitive was applied to an unsuitable target
+    /// (e.g. deleting a child that is not a member of the target).
+    BadUpdate(String),
+    /// A node id does not refer to a live node in this document.
+    DanglingNode(String),
+    /// An `ID` value was referenced but no element carries it.
+    UnknownId(String),
+    /// Duplicate `ID` value within one document.
+    DuplicateId(String),
+}
+
+impl XmlError {
+    pub(crate) fn parse(msg: impl Into<String>, pos: Pos) -> Self {
+        XmlError::Parse { msg: msg.into(), pos }
+    }
+    pub(crate) fn dtd(msg: impl Into<String>, pos: Pos) -> Self {
+        XmlError::DtdParse { msg: msg.into(), pos }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Parse { msg, pos } => write!(f, "XML parse error at {pos}: {msg}"),
+            XmlError::DtdParse { msg, pos } => write!(f, "DTD parse error at {pos}: {msg}"),
+            XmlError::Invalid(msg) => write!(f, "document invalid against DTD: {msg}"),
+            XmlError::BadUpdate(msg) => write!(f, "invalid update: {msg}"),
+            XmlError::DanglingNode(msg) => write!(f, "dangling node: {msg}"),
+            XmlError::UnknownId(id) => write!(f, "unknown ID: {id}"),
+            XmlError::DuplicateId(id) => write!(f, "duplicate ID: {id}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, XmlError>;

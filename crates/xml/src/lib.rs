@@ -1,0 +1,34 @@
+//! # xmlup-xml
+//!
+//! XML substrate for the *Updating XML* (SIGMOD 2001) reproduction: the
+//! node-labelled tree data model of the paper's Section 3.1, a
+//! non-validating parser, a DTD parser/validator, a serializer, and the
+//! primitive update operations of Section 3.2.
+//!
+//! The data model treats all attributes uniformly, including IDREF/IDREFS
+//! reference lists: an element is a tuple of name, attribute set, reference
+//! set, and an ordered list of child elements and PCDATA.
+//!
+//! ```
+//! use xmlup_xml::{parse_with, ParseOptions, samples, serializer};
+//!
+//! let opts = ParseOptions::with_ref_attrs(samples::BIO_REF_ATTRS);
+//! let parsed = parse_with(samples::BIO_XML, &opts).unwrap();
+//! assert_eq!(parsed.doc.name(parsed.doc.root()), Some("db"));
+//! let text = serializer::to_string(&parsed.doc);
+//! assert!(text.starts_with("<db"));
+//! ```
+
+pub mod dtd;
+pub mod error;
+pub mod node;
+pub mod parser;
+pub mod samples;
+pub mod serializer;
+pub mod update;
+
+pub use dtd::{AttrDecl, AttrType, Cardinality, ContentModel, Dtd};
+pub use error::{Pos, Result, XmlError};
+pub use node::{Attr, AttrValue, Document, ElementData, NodeId, NodeKind};
+pub use parser::{parse, parse_with, ParseOptions, Parsed};
+pub use update::{Content, ExecModel, ObjectRef, Position};

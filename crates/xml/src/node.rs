@@ -1,0 +1,696 @@
+//! Arena-based XML tree following the paper's data model (Section 3.1).
+//!
+//! A [`Document`] owns all nodes in a `Vec`; nodes are addressed by the
+//! copyable [`NodeId`] newtype. An *element* carries a name, a list of
+//! attributes (plain string attributes and IDREF/IDREFS reference lists are
+//! modelled uniformly, as the paper requires), and an ordered child list of
+//! elements and PCDATA nodes. Attributes are unordered with respect to one
+//! another, but an IDREFS attribute's entries form an ordered list.
+
+use crate::error::{Result, XmlError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a node within its [`Document`] arena.
+///
+/// Ids are stable across updates: deleting a node leaves a tombstone slot
+/// that is recycled only by [`Document::compact`]. This makes ids safe to
+/// hold across the *bind-then-update* phases required by the paper's update
+/// semantics ("all bindings are made over the input before any updates").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw index, useful for diagnostics and dense side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An attribute value: either plain character data or an ordered list of
+/// references to element IDs (IDREF is a singleton IDREFS, as in the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrValue {
+    /// Plain string content.
+    Text(String),
+    /// Ordered list of IDs this attribute references.
+    Refs(Vec<String>),
+}
+
+impl AttrValue {
+    /// String rendering used when serializing (refs join on spaces).
+    pub fn to_text(&self) -> String {
+        match self {
+            AttrValue::Text(s) => s.clone(),
+            AttrValue::Refs(ids) => ids.join(" "),
+        }
+    }
+
+    /// `true` for IDREF/IDREFS values.
+    pub fn is_refs(&self) -> bool {
+        matches!(self, AttrValue::Refs(_))
+    }
+}
+
+/// A named attribute on an element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attr {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute value (text or reference list).
+    pub value: AttrValue,
+}
+
+impl Attr {
+    /// Convenience constructor for a plain text attribute.
+    pub fn text(name: impl Into<String>, value: impl Into<String>) -> Self {
+        Attr { name: name.into(), value: AttrValue::Text(value.into()) }
+    }
+
+    /// Convenience constructor for a reference-list attribute.
+    pub fn refs(name: impl Into<String>, ids: Vec<String>) -> Self {
+        Attr { name: name.into(), value: AttrValue::Refs(ids) }
+    }
+}
+
+/// Payload of an element node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementData {
+    /// Tag name.
+    pub name: String,
+    /// Attributes, in document order of appearance (order is not
+    /// semantically meaningful; the serializer preserves it for stability).
+    pub attrs: Vec<Attr>,
+    /// Ordered children: element and text node ids.
+    pub children: Vec<NodeId>,
+}
+
+/// The two kinds of tree node in the paper's simplified data model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element with attributes/references and ordered children.
+    Element(ElementData),
+    /// PCDATA (scalar) content.
+    Text(String),
+}
+
+/// One arena slot.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub(crate) kind: NodeKind,
+    pub(crate) parent: Option<NodeId>,
+    /// Tombstone flag; `true` once the node has been detached and freed.
+    pub(crate) dead: bool,
+}
+
+/// An XML document: an arena of nodes plus the root element id.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl Document {
+    /// Create a document whose root element has the given tag name.
+    pub fn new(root_name: impl Into<String>) -> Self {
+        let root = Node {
+            kind: NodeKind::Element(ElementData {
+                name: root_name.into(),
+                attrs: Vec::new(),
+                children: Vec::new(),
+            }),
+            parent: None,
+            dead: false,
+        };
+        Document { nodes: vec![root], root: NodeId(0) }
+    }
+
+    /// The root element.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of live nodes (elements + text nodes).
+    pub fn len(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.dead).count()
+    }
+
+    /// `true` if only tombstones remain besides the root.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `id` refers to a live node.
+    #[inline]
+    pub fn is_live(&self, id: NodeId) -> bool {
+        self.nodes.get(id.index()).is_some_and(|n| !n.dead)
+    }
+
+    fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// The node's kind. Panics on a dead/out-of-range id (a logic error in
+    /// the caller; use [`Document::is_live`] first if unsure).
+    #[inline]
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        debug_assert!(!self.node(id).dead, "access to dead node {id}");
+        &self.node(id).kind
+    }
+
+    /// Parent id, or `None` for the root and detached nodes.
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// Element payload, or `None` for text nodes.
+    pub fn element(&self, id: NodeId) -> Option<&ElementData> {
+        match self.kind(id) {
+            NodeKind::Element(e) => Some(e),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// Mutable element payload, or `None` for text nodes.
+    pub fn element_mut(&mut self, id: NodeId) -> Option<&mut ElementData> {
+        match &mut self.node_mut(id).kind {
+            NodeKind::Element(e) => Some(e),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// Text content, or `None` for element nodes.
+    pub fn text(&self, id: NodeId) -> Option<&str> {
+        match self.kind(id) {
+            NodeKind::Element(_) => None,
+            NodeKind::Text(s) => Some(s),
+        }
+    }
+
+    /// Tag name, or `None` for text nodes.
+    pub fn name(&self, id: NodeId) -> Option<&str> {
+        self.element(id).map(|e| e.name.as_str())
+    }
+
+    /// Children of an element (empty for text nodes).
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        match self.kind(id) {
+            NodeKind::Element(e) => &e.children,
+            NodeKind::Text(_) => &[],
+        }
+    }
+
+    /// Attribute lookup by name.
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&Attr> {
+        self.element(id).and_then(|e| e.attrs.iter().find(|a| a.name == name))
+    }
+
+    /// The element's `ID` attribute value, if present. Both a DTD-declared
+    /// ID type and the conventional `ID` attribute name are honored.
+    pub fn id_value(&self, id: NodeId) -> Option<&str> {
+        match &self.attr(id, "ID")?.value {
+            AttrValue::Text(s) => Some(s),
+            AttrValue::Refs(_) => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // construction
+    // ------------------------------------------------------------------
+
+    fn alloc(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { kind, parent: None, dead: false });
+        id
+    }
+
+    /// Allocate a detached element node.
+    pub fn new_element(&mut self, name: impl Into<String>) -> NodeId {
+        self.alloc(NodeKind::Element(ElementData {
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }))
+    }
+
+    /// Allocate a detached text node.
+    pub fn new_text(&mut self, content: impl Into<String>) -> NodeId {
+        self.alloc(NodeKind::Text(content.into()))
+    }
+
+    /// Append a detached node as the last child of `parent`.
+    ///
+    /// Errors if `child` is already attached, is dead, or if attaching it
+    /// would create a cycle.
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) -> Result<()> {
+        self.attach(parent, child, None)
+    }
+
+    /// Insert a detached node among `parent`'s children at `index`.
+    pub fn insert_child_at(&mut self, parent: NodeId, child: NodeId, index: usize) -> Result<()> {
+        self.attach(parent, child, Some(index))
+    }
+
+    fn attach(&mut self, parent: NodeId, child: NodeId, index: Option<usize>) -> Result<()> {
+        if !self.is_live(parent) || !self.is_live(child) {
+            return Err(XmlError::DanglingNode(format!(
+                "attach {child} under {parent}: node not live"
+            )));
+        }
+        if self.node(child).parent.is_some() {
+            return Err(XmlError::BadUpdate(format!("{child} is already attached")));
+        }
+        // Cycle check: parent must not be a descendant of child.
+        let mut cur = Some(parent);
+        while let Some(c) = cur {
+            if c == child {
+                return Err(XmlError::BadUpdate(format!(
+                    "attaching {child} under {parent} would create a cycle"
+                )));
+            }
+            cur = self.node(c).parent;
+        }
+        let kids = match &mut self.node_mut(parent).kind {
+            NodeKind::Element(e) => &mut e.children,
+            NodeKind::Text(_) => {
+                return Err(XmlError::BadUpdate(format!("{parent} is a text node")))
+            }
+        };
+        match index {
+            Some(i) if i <= kids.len() => kids.insert(i, child),
+            Some(i) => {
+                return Err(XmlError::BadUpdate(format!(
+                    "child index {i} out of bounds ({} children)",
+                    kids.len()
+                )))
+            }
+            None => kids.push(child),
+        }
+        self.node_mut(child).parent = Some(parent);
+        Ok(())
+    }
+
+    /// Replace the document root with a detached element node, tombstoning
+    /// the previous root subtree. Used by the parser to install the real
+    /// root after parsing it as a detached tree.
+    pub fn replace_root(&mut self, new_root: NodeId) -> Result<()> {
+        if !self.is_live(new_root) {
+            return Err(XmlError::DanglingNode(format!("replace_root({new_root})")));
+        }
+        if self.node(new_root).parent.is_some() {
+            return Err(XmlError::BadUpdate(format!("{new_root} is attached; root must be detached")));
+        }
+        if !matches!(self.kind(new_root), NodeKind::Element(_)) {
+            return Err(XmlError::BadUpdate("root must be an element".into()));
+        }
+        let old = self.root;
+        self.root = new_root;
+        if old != new_root {
+            self.remove_subtree(old)?;
+        }
+        Ok(())
+    }
+
+    /// Detach `child` from its parent without freeing it; it can be
+    /// re-attached elsewhere (used by the replace-with-subtree special case
+    /// of paper Section 6.3).
+    pub fn detach(&mut self, child: NodeId) -> Result<()> {
+        let parent = self
+            .node(child)
+            .parent
+            .ok_or_else(|| XmlError::BadUpdate(format!("{child} has no parent")))?;
+        if let NodeKind::Element(e) = &mut self.node_mut(parent).kind {
+            e.children.retain(|&c| c != child);
+        }
+        self.node_mut(child).parent = None;
+        Ok(())
+    }
+
+    /// Detach and tombstone an entire subtree. Returns the number of nodes
+    /// removed. References *to* the subtree are allowed to dangle, matching
+    /// the paper's delete semantics (Section 4.2.1).
+    pub fn remove_subtree(&mut self, id: NodeId) -> Result<usize> {
+        if !self.is_live(id) {
+            return Err(XmlError::DanglingNode(format!("remove {id}")));
+        }
+        if id == self.root {
+            return Err(XmlError::BadUpdate(
+                "cannot remove the document root (use replace_root)".into(),
+            ));
+        }
+        if self.node(id).parent.is_some() {
+            self.detach(id)?;
+        }
+        let mut stack = vec![id];
+        let mut removed = 0;
+        while let Some(n) = stack.pop() {
+            if let NodeKind::Element(e) = &self.node(n).kind {
+                stack.extend_from_slice(&e.children);
+            }
+            self.node_mut(n).dead = true;
+            removed += 1;
+        }
+        Ok(removed)
+    }
+
+    /// Deep-copy the subtree rooted at `src` (which may belong to `other`)
+    /// into `self`, returning the new detached root id.
+    pub fn copy_subtree_from(&mut self, other: &Document, src: NodeId) -> NodeId {
+        match other.kind(src) {
+            NodeKind::Text(s) => self.new_text(s.clone()),
+            NodeKind::Element(e) => {
+                let new_id = self.new_element(e.name.clone());
+                if let Some(el) = self.element_mut(new_id) {
+                    el.attrs = e.attrs.clone();
+                }
+                for &c in &e.children {
+                    let copied = self.copy_subtree_from(other, c);
+                    self.attach(new_id, copied, None)
+                        .expect("fresh node attach cannot fail");
+                }
+                new_id
+            }
+        }
+    }
+
+    /// Deep-copy a subtree within this document, returning the detached copy.
+    pub fn copy_subtree(&mut self, src: NodeId) -> NodeId {
+        // Safe to clone via a snapshot of the source structure: collect
+        // first to avoid holding borrows across allocation.
+        let snapshot = self.clone_structure(src);
+        self.build_from_snapshot(&snapshot)
+    }
+
+    fn clone_structure(&self, id: NodeId) -> Snapshot {
+        match self.kind(id) {
+            NodeKind::Text(s) => Snapshot::Text(s.clone()),
+            NodeKind::Element(e) => Snapshot::Element {
+                name: e.name.clone(),
+                attrs: e.attrs.clone(),
+                children: e.children.iter().map(|&c| self.clone_structure(c)).collect(),
+            },
+        }
+    }
+
+    fn build_from_snapshot(&mut self, s: &Snapshot) -> NodeId {
+        match s {
+            Snapshot::Text(t) => self.new_text(t.clone()),
+            Snapshot::Element { name, attrs, children } => {
+                let id = self.new_element(name.clone());
+                if let Some(el) = self.element_mut(id) {
+                    el.attrs = attrs.clone();
+                }
+                for c in children {
+                    let cid = self.build_from_snapshot(c);
+                    self.attach(id, cid, None).expect("fresh node attach cannot fail");
+                }
+                id
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // traversal & lookup
+    // ------------------------------------------------------------------
+
+    /// Depth-first, document-order iterator over live node ids starting at
+    /// (and including) `start`.
+    pub fn descendants(&self, start: NodeId) -> Descendants<'_> {
+        Descendants { doc: self, stack: vec![start] }
+    }
+
+    /// All live element ids in document order.
+    pub fn all_elements(&self) -> Vec<NodeId> {
+        self.descendants(self.root)
+            .filter(|&n| matches!(self.kind(n), NodeKind::Element(_)))
+            .collect()
+    }
+
+    /// Build the `ID → element` map. Errors on duplicate IDs.
+    pub fn id_map(&self) -> Result<HashMap<String, NodeId>> {
+        let mut map = HashMap::new();
+        for n in self.descendants(self.root) {
+            if let Some(idv) = self.id_value(n) {
+                if map.insert(idv.to_string(), n).is_some() {
+                    return Err(XmlError::DuplicateId(idv.to_string()));
+                }
+            }
+        }
+        Ok(map)
+    }
+
+    /// Resolve an IDREF target, using a freshly built id map.
+    pub fn resolve_ref(&self, target_id: &str) -> Option<NodeId> {
+        self.descendants(self.root).find(|&n| self.id_value(n) == Some(target_id))
+    }
+
+    /// Concatenated text content of a subtree (the XPath `string()` value).
+    pub fn string_value(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        for n in self.descendants(id) {
+            if let NodeKind::Text(s) = self.kind(n) {
+                out.push_str(s);
+            }
+        }
+        out
+    }
+
+    /// Position of `child` within its parent's child list.
+    pub fn child_index(&self, child: NodeId) -> Option<usize> {
+        let p = self.parent(child)?;
+        self.children(p).iter().position(|&c| c == child)
+    }
+
+    /// Depth of a node below the root (root = 0).
+    pub fn depth(&self, mut id: NodeId) -> usize {
+        let mut d = 0;
+        while let Some(p) = self.parent(id) {
+            d += 1;
+            id = p;
+        }
+        d
+    }
+
+    /// Rebuild the arena without tombstones. All outstanding `NodeId`s are
+    /// invalidated; returns the remap table (old index → new id).
+    pub fn compact(&mut self) -> HashMap<NodeId, NodeId> {
+        let mut remap = HashMap::new();
+        let mut new_nodes = Vec::with_capacity(self.len());
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !n.dead {
+                remap.insert(NodeId(i as u32), NodeId(new_nodes.len() as u32));
+                new_nodes.push(n.clone());
+            }
+        }
+        for n in &mut new_nodes {
+            if let Some(p) = n.parent {
+                n.parent = remap.get(&p).copied();
+            }
+            if let NodeKind::Element(e) = &mut n.kind {
+                e.children = e.children.iter().filter_map(|c| remap.get(c).copied()).collect();
+            }
+        }
+        self.root = remap[&self.root];
+        self.nodes = new_nodes;
+        remap
+    }
+
+    /// Structural equality of two subtrees (names, attributes including
+    /// reference order, children order, text), ignoring node ids.
+    pub fn subtree_eq(&self, a: NodeId, other: &Document, b: NodeId) -> bool {
+        match (self.kind(a), other.kind(b)) {
+            (NodeKind::Text(x), NodeKind::Text(y)) => x == y,
+            (NodeKind::Element(x), NodeKind::Element(y)) => {
+                if x.name != y.name || x.children.len() != y.children.len() {
+                    return false;
+                }
+                // Attributes are unordered: compare as sorted multisets.
+                let mut ax: Vec<_> = x.attrs.iter().collect();
+                let mut ay: Vec<_> = y.attrs.iter().collect();
+                ax.sort_by(|p, q| p.name.cmp(&q.name));
+                ay.sort_by(|p, q| p.name.cmp(&q.name));
+                if ax.len() != ay.len() || ax.iter().zip(&ay).any(|(p, q)| p != q) {
+                    return false;
+                }
+                x.children
+                    .iter()
+                    .zip(&y.children)
+                    .all(|(&ca, &cb)| self.subtree_eq(ca, other, cb))
+            }
+            _ => false,
+        }
+    }
+}
+
+enum Snapshot {
+    Text(String),
+    Element { name: String, attrs: Vec<Attr>, children: Vec<Snapshot> },
+}
+
+/// Iterator returned by [`Document::descendants`].
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        if let NodeKind::Element(e) = self.doc.kind(id) {
+            // Push in reverse so children pop in document order.
+            self.stack.extend(e.children.iter().rev());
+        }
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Document, NodeId, NodeId) {
+        let mut d = Document::new("db");
+        let lab = d.new_element("lab");
+        let name = d.new_element("name");
+        let txt = d.new_text("Seattle Bio Lab");
+        d.append_child(d.root(), lab).unwrap();
+        d.append_child(lab, name).unwrap();
+        d.append_child(name, txt).unwrap();
+        (d, lab, name)
+    }
+
+    #[test]
+    fn build_and_traverse() {
+        let (d, lab, name) = sample();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.name(d.root()), Some("db"));
+        assert_eq!(d.children(d.root()), &[lab]);
+        assert_eq!(d.parent(name), Some(lab));
+        let order: Vec<_> = d.descendants(d.root()).collect();
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], d.root());
+    }
+
+    #[test]
+    fn string_value_concatenates_text() {
+        let (d, lab, _) = sample();
+        assert_eq!(d.string_value(lab), "Seattle Bio Lab");
+    }
+
+    #[test]
+    fn remove_subtree_tombstones() {
+        let (mut d, lab, name) = sample();
+        let removed = d.remove_subtree(lab).unwrap();
+        assert_eq!(removed, 3);
+        assert!(!d.is_live(lab));
+        assert!(!d.is_live(name));
+        assert_eq!(d.len(), 1);
+        assert!(d.children(d.root()).is_empty());
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let (mut d, lab, name) = sample();
+        d.detach(lab).unwrap();
+        let err = d.append_child(name, lab).unwrap_err();
+        assert!(matches!(err, XmlError::BadUpdate(_)));
+    }
+
+    #[test]
+    fn double_attach_rejected() {
+        let (mut d, _, name) = sample();
+        let other = d.new_element("other");
+        d.append_child(d.root(), other).unwrap();
+        assert!(d.append_child(other, name).is_err());
+    }
+
+    #[test]
+    fn copy_subtree_is_deep_and_detached() {
+        let (mut d, lab, _) = sample();
+        let copy = d.copy_subtree(lab);
+        assert!(d.parent(copy).is_none());
+        assert!(d.subtree_eq(lab, &d.clone(), copy));
+        // Mutating the copy leaves the original alone.
+        d.element_mut(copy).unwrap().name = "renamed".into();
+        assert_eq!(d.name(lab), Some("lab"));
+    }
+
+    #[test]
+    fn id_map_and_refs() {
+        let mut d = Document::new("db");
+        let a = d.new_element("lab");
+        d.element_mut(a).unwrap().attrs.push(Attr::text("ID", "baselab"));
+        d.append_child(d.root(), a).unwrap();
+        let map = d.id_map().unwrap();
+        assert_eq!(map["baselab"], a);
+        assert_eq!(d.resolve_ref("baselab"), Some(a));
+        assert_eq!(d.resolve_ref("nosuch"), None);
+    }
+
+    #[test]
+    fn duplicate_id_detected() {
+        let mut d = Document::new("db");
+        for _ in 0..2 {
+            let a = d.new_element("lab");
+            d.element_mut(a).unwrap().attrs.push(Attr::text("ID", "x"));
+            d.append_child(d.root(), a).unwrap();
+        }
+        assert!(matches!(d.id_map(), Err(XmlError::DuplicateId(_))));
+    }
+
+    #[test]
+    fn removing_the_root_is_rejected() {
+        let mut d = Document::new("db");
+        assert!(matches!(d.remove_subtree(d.root()), Err(XmlError::BadUpdate(_))));
+        assert!(d.is_live(d.root()));
+    }
+
+    #[test]
+    fn compact_preserves_structure() {
+        let (mut d, lab, _) = sample();
+        let extra = d.new_element("paper");
+        d.append_child(d.root(), extra).unwrap();
+        d.remove_subtree(lab).unwrap();
+        let before: usize = d.len();
+        let remap = d.compact();
+        assert_eq!(d.len(), before);
+        assert_eq!(d.name(d.root()), Some("db"));
+        assert_eq!(d.children(d.root()).len(), 1);
+        assert!(remap.contains_key(&extra));
+    }
+
+    #[test]
+    fn child_index_and_depth() {
+        let (d, lab, name) = sample();
+        assert_eq!(d.child_index(lab), Some(0));
+        assert_eq!(d.child_index(d.root()), None);
+        assert_eq!(d.depth(d.root()), 0);
+        assert_eq!(d.depth(name), 2);
+    }
+
+    #[test]
+    fn attr_value_rendering() {
+        let t = AttrValue::Text("hello".into());
+        let r = AttrValue::Refs(vec!["smith1".into(), "jones1".into()]);
+        assert_eq!(t.to_text(), "hello");
+        assert_eq!(r.to_text(), "smith1 jones1");
+        assert!(!t.is_refs());
+        assert!(r.is_refs());
+    }
+}
+

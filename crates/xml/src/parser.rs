@@ -1,0 +1,632 @@
+//! A hand-written, non-validating XML parser producing [`Document`] trees.
+//!
+//! Supports the subset of XML needed by the paper's workloads: prolog,
+//! comments, processing instructions, CDATA sections, `DOCTYPE` with an
+//! internal DTD subset, elements, attributes, character data, and the five
+//! predefined entities plus numeric character references.
+//!
+//! IDREF/IDREFS classification: if the document carries an internal DTD, the
+//! `ATTLIST` declarations decide which attributes are reference lists;
+//! otherwise [`ParseOptions::ref_attrs`] supplies the names to treat as
+//! references (the paper's bio example has no DTD but treats `managers`,
+//! `source`, `biologist`, and the root's `lab` attribute as IDREFs).
+
+use crate::dtd::Dtd;
+use crate::error::{Pos, Result, XmlError};
+use crate::node::{Attr, AttrValue, Document, NodeId};
+use std::collections::HashSet;
+
+/// Options controlling parsing behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct ParseOptions {
+    /// Attribute names to interpret as IDREF/IDREFS when no DTD declares
+    /// their type.
+    pub ref_attrs: HashSet<String>,
+    /// Keep whitespace-only text nodes between elements (default: dropped).
+    pub keep_whitespace: bool,
+}
+
+impl ParseOptions {
+    /// Treat the listed attribute names as IDREF/IDREFS.
+    pub fn with_ref_attrs<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ParseOptions {
+            ref_attrs: names.into_iter().map(Into::into).collect(),
+            keep_whitespace: false,
+        }
+    }
+}
+
+/// Result of a successful parse: the tree plus the internal DTD, if any.
+#[derive(Debug)]
+pub struct Parsed {
+    /// The document tree.
+    pub doc: Document,
+    /// DTD from the internal subset of `<!DOCTYPE …[…]>`, if present.
+    pub dtd: Option<Dtd>,
+}
+
+/// Parse an XML string with default options.
+pub fn parse(input: &str) -> Result<Parsed> {
+    parse_with(input, &ParseOptions::default())
+}
+
+/// Parse an XML string with explicit [`ParseOptions`].
+pub fn parse_with(input: &str, opts: &ParseOptions) -> Result<Parsed> {
+    let mut p = Parser { src: input.as_bytes(), pos: 0, line: 1, col: 1, opts };
+    p.parse_document()
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    opts: &'a ParseOptions,
+}
+
+impl<'a> Parser<'a> {
+    fn here(&self) -> Pos {
+        Pos { line: self.line, col: self.col }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> XmlError {
+        XmlError::parse(msg, self.here())
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn eat_str(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            for _ in 0..s.len() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_str(&mut self, s: &str) -> Result<()> {
+        if self.eat_str(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Parsed> {
+        let mut dtd = None;
+        // Prolog: XML declaration, misc, doctype, misc.
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_pi()?;
+            } else if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<!DOCTYPE") {
+                dtd = self.parse_doctype()?;
+            } else {
+                break;
+            }
+        }
+        self.skip_ws();
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected root element"));
+        }
+        let mut doc = Document::new("__placeholder__");
+        let root = self.parse_element(&mut doc, dtd.as_ref())?;
+        doc.replace_root(root)?;
+        // Trailing misc.
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_pi()?;
+            } else if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else {
+                break;
+            }
+        }
+        if self.pos != self.src.len() {
+            return Err(self.err("content after document element"));
+        }
+        Ok(Parsed { doc, dtd })
+    }
+
+    fn skip_comment(&mut self) -> Result<()> {
+        self.expect_str("<!--")?;
+        while !self.starts_with("-->") {
+            if self.bump().is_none() {
+                return Err(self.err("unterminated comment"));
+            }
+        }
+        self.expect_str("-->")
+    }
+
+    fn skip_pi(&mut self) -> Result<()> {
+        self.expect_str("<?")?;
+        while !self.starts_with("?>") {
+            if self.bump().is_none() {
+                return Err(self.err("unterminated processing instruction"));
+            }
+        }
+        self.expect_str("?>")
+    }
+
+    fn parse_doctype(&mut self) -> Result<Option<Dtd>> {
+        self.expect_str("<!DOCTYPE")?;
+        self.skip_ws();
+        let _name = self.parse_name()?;
+        self.skip_ws();
+        // SYSTEM/PUBLIC external ids are skipped (no fetching).
+        if self.eat_str("SYSTEM") {
+            self.skip_ws();
+            self.skip_quoted()?;
+        } else if self.eat_str("PUBLIC") {
+            self.skip_ws();
+            self.skip_quoted()?;
+            self.skip_ws();
+            self.skip_quoted()?;
+        }
+        self.skip_ws();
+        let mut dtd = None;
+        if self.peek() == Some(b'[') {
+            self.bump();
+            let start = self.pos;
+            let mut depth = 1usize;
+            // Brackets inside quoted literals or comments are content, not
+            // subset delimiters.
+            let mut quote: Option<u8> = None;
+            while depth > 0 {
+                if quote.is_none() && self.starts_with("<!--") {
+                    while !self.starts_with("-->") {
+                        if self.bump().is_none() {
+                            return Err(self.err("unterminated comment in DTD subset"));
+                        }
+                    }
+                    self.eat_str("-->");
+                    continue;
+                }
+                match self.peek() {
+                    Some(b @ (b'"' | b'\'')) => {
+                        match quote {
+                            Some(open) if open == b => quote = None,
+                            None => quote = Some(b),
+                            Some(_) => {}
+                        }
+                        self.bump();
+                    }
+                    Some(b'[') if quote.is_none() => {
+                        depth += 1;
+                        self.bump();
+                    }
+                    Some(b']') if quote.is_none() => {
+                        depth -= 1;
+                        if depth > 0 {
+                            self.bump();
+                        }
+                    }
+                    Some(_) => {
+                        self.bump();
+                    }
+                    None => return Err(self.err("unterminated DTD internal subset")),
+                }
+            }
+            let subset = std::str::from_utf8(&self.src[start..self.pos])
+                .map_err(|_| self.err("DTD subset is not UTF-8"))?;
+            dtd = Some(Dtd::parse(subset)?);
+            self.expect_str("]")?;
+        }
+        self.skip_ws();
+        self.expect_str(">")?;
+        Ok(dtd)
+    }
+
+    fn skip_quoted(&mut self) -> Result<()> {
+        let q = self.bump().ok_or_else(|| self.err("expected quote"))?;
+        if q != b'"' && q != b'\'' {
+            return Err(self.err("expected quoted literal"));
+        }
+        while let Some(b) = self.bump() {
+            if b == q {
+                return Ok(());
+            }
+        }
+        Err(self.err("unterminated quoted literal"))
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        match self.peek() {
+            Some(b) if is_name_start(b) => {
+                self.bump();
+            }
+            _ => return Err(self.err("expected name")),
+        }
+        while let Some(b) = self.peek() {
+            if is_name_char(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| self.err("name is not UTF-8"))?
+            .to_string())
+    }
+
+    fn parse_element(&mut self, doc: &mut Document, dtd: Option<&Dtd>) -> Result<NodeId> {
+        self.expect_str("<")?;
+        let name = self.parse_name()?;
+        let el = doc.new_element(name.clone());
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.bump();
+                    break;
+                }
+                Some(b'/') => {
+                    self.bump();
+                    self.expect_str(">")?;
+                    return Ok(el);
+                }
+                _ => {
+                    let aname = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect_str("=")?;
+                    self.skip_ws();
+                    let raw = self.parse_attr_value()?;
+                    if doc.element(el).unwrap().attrs.iter().any(|a| a.name == aname) {
+                        return Err(self.err(format!("duplicate attribute `{aname}`")));
+                    }
+                    let value = self.classify_attr(&name, &aname, raw, dtd);
+                    doc.element_mut(el).unwrap().attrs.push(Attr { name: aname, value });
+                }
+            }
+        }
+        // Content.
+        let mut text_buf = String::new();
+        loop {
+            if self.starts_with("</") {
+                self.flush_text(doc, el, &mut text_buf)?;
+                self.expect_str("</")?;
+                let close = self.parse_name()?;
+                if close != name {
+                    return Err(self.err(format!("mismatched close tag: <{name}> vs </{close}>")));
+                }
+                self.skip_ws();
+                self.expect_str(">")?;
+                return Ok(el);
+            } else if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<![CDATA[") {
+                self.expect_str("<![CDATA[")?;
+                let start = self.pos;
+                while !self.starts_with("]]>") {
+                    if self.bump().is_none() {
+                        return Err(self.err("unterminated CDATA"));
+                    }
+                }
+                text_buf.push_str(
+                    std::str::from_utf8(&self.src[start..self.pos])
+                        .map_err(|_| self.err("CDATA not UTF-8"))?,
+                );
+                self.expect_str("]]>")?;
+            } else if self.starts_with("<?") {
+                self.skip_pi()?;
+            } else if self.peek() == Some(b'<') {
+                self.flush_text(doc, el, &mut text_buf)?;
+                let child = self.parse_element(doc, dtd)?;
+                doc.append_child(el, child)?;
+            } else if self.peek().is_none() {
+                return Err(self.err(format!("unexpected end of input inside <{name}>")));
+            } else {
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b == b'<' || b == b'&' {
+                        break;
+                    }
+                    self.bump();
+                }
+                text_buf.push_str(
+                    std::str::from_utf8(&self.src[start..self.pos])
+                        .map_err(|_| self.err("text not UTF-8"))?,
+                );
+                if self.peek() == Some(b'&') {
+                    text_buf.push(self.parse_entity()?);
+                }
+            }
+        }
+    }
+
+    fn flush_text(&mut self, doc: &mut Document, el: NodeId, buf: &mut String) -> Result<()> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let keep = self.opts.keep_whitespace || !buf.chars().all(char::is_whitespace);
+        if keep {
+            let t = doc.new_text(std::mem::take(buf));
+            doc.append_child(el, t)?;
+        } else {
+            buf.clear();
+        }
+        Ok(())
+    }
+
+    fn parse_entity(&mut self) -> Result<char> {
+        self.expect_str("&")?;
+        if self.eat_str("#x") || self.eat_str("#X") {
+            let start = self.pos;
+            while matches!(self.peek(), Some(b) if b.is_ascii_hexdigit()) {
+                self.bump();
+            }
+            let digits = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+            self.expect_str(";")?;
+            let code = u32::from_str_radix(digits, 16)
+                .map_err(|_| self.err("bad hex character reference"))?;
+            char::from_u32(code).ok_or_else(|| self.err("invalid character reference"))
+        } else if self.eat_str("#") {
+            let start = self.pos;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.bump();
+            }
+            let digits = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+            self.expect_str(";")?;
+            let code: u32 =
+                digits.parse().map_err(|_| self.err("bad decimal character reference"))?;
+            char::from_u32(code).ok_or_else(|| self.err("invalid character reference"))
+        } else {
+            let name = self.parse_name()?;
+            self.expect_str(";")?;
+            match name.as_str() {
+                "lt" => Ok('<'),
+                "gt" => Ok('>'),
+                "amp" => Ok('&'),
+                "apos" => Ok('\''),
+                "quot" => Ok('"'),
+                other => Err(self.err(format!("unknown entity `&{other};`"))),
+            }
+        }
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String> {
+        let q = self.bump().ok_or_else(|| self.err("expected attribute value"))?;
+        if q != b'"' && q != b'\'' {
+            return Err(self.err("attribute value must be quoted"));
+        }
+        // Accumulate raw bytes and decode as UTF-8 — pushing `byte as char`
+        // would Latin-1-mangle multi-byte sequences.
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            match self.peek() {
+                Some(b) if b == q => {
+                    self.bump();
+                    return String::from_utf8(out)
+                        .map_err(|_| self.err("attribute value is not UTF-8"));
+                }
+                Some(b'&') => {
+                    let mut buf = [0u8; 4];
+                    out.extend_from_slice(self.parse_entity()?.encode_utf8(&mut buf).as_bytes());
+                }
+                Some(b'<') => return Err(self.err("`<` in attribute value")),
+                Some(_) => out.push(self.bump().unwrap()),
+                None => return Err(self.err("unterminated attribute value")),
+            }
+        }
+    }
+
+    /// Decide whether an attribute is plain text or a reference list.
+    fn classify_attr(
+        &self,
+        element: &str,
+        attr: &str,
+        raw: String,
+        dtd: Option<&Dtd>,
+    ) -> AttrValue {
+        let is_ref = match dtd.and_then(|d| d.attr_type(element, attr)) {
+            Some(ty) => ty.is_reference(),
+            None => self.opts.ref_attrs.contains(attr),
+        };
+        if is_ref {
+            AttrValue::Refs(raw.split_whitespace().map(str::to_string).collect())
+        } else {
+            AttrValue::Text(raw)
+        }
+    }
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+}
+
+fn is_name_char(b: u8) -> bool {
+    is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+
+    #[test]
+    fn parse_minimal() {
+        let p = parse("<a/>").unwrap();
+        assert_eq!(p.doc.name(p.doc.root()), Some("a"));
+        assert_eq!(p.doc.len(), 1);
+    }
+
+    #[test]
+    fn parse_nested_with_text() {
+        let p = parse("<a><b>hi</b><c>there</c></a>").unwrap();
+        let d = &p.doc;
+        let kids = d.children(d.root());
+        assert_eq!(kids.len(), 2);
+        assert_eq!(d.name(kids[0]), Some("b"));
+        assert_eq!(d.string_value(kids[1]), "there");
+    }
+
+    #[test]
+    fn parse_attributes() {
+        let p = parse(r#"<lab ID="baselab" size='3'/>"#).unwrap();
+        let d = &p.doc;
+        assert_eq!(d.id_value(d.root()), Some("baselab"));
+        assert_eq!(d.attr(d.root(), "size").unwrap().value.to_text(), "3");
+    }
+
+    #[test]
+    fn ref_attrs_option_splits_idrefs() {
+        let opts = ParseOptions::with_ref_attrs(["managers"]);
+        let p = parse_with(r#"<lab managers="smith1 jones1"/>"#, &opts).unwrap();
+        let d = &p.doc;
+        match &d.attr(d.root(), "managers").unwrap().value {
+            AttrValue::Refs(ids) => assert_eq!(ids, &["smith1", "jones1"]),
+            other => panic!("expected refs, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entities_decoded() {
+        let p = parse("<a>&lt;x&gt; &amp; &#65;&#x42;</a>").unwrap();
+        assert_eq!(p.doc.string_value(p.doc.root()), "<x> & AB");
+    }
+
+    #[test]
+    fn cdata_preserved_verbatim() {
+        let p = parse("<a><![CDATA[<not-a-tag> & raw]]></a>").unwrap();
+        assert_eq!(p.doc.string_value(p.doc.root()), "<not-a-tag> & raw");
+    }
+
+    #[test]
+    fn comments_and_pis_skipped() {
+        let p = parse("<?xml version=\"1.0\"?><!-- c --><a><!-- in --><?pi data?><b/></a>")
+            .unwrap();
+        assert_eq!(p.doc.children(p.doc.root()).len(), 1);
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped_by_default() {
+        let p = parse("<a>\n  <b/>\n</a>").unwrap();
+        let d = &p.doc;
+        assert_eq!(d.children(d.root()).len(), 1);
+        assert!(matches!(d.kind(d.children(d.root())[0]), NodeKind::Element(_)));
+    }
+
+    #[test]
+    fn whitespace_kept_when_requested() {
+        let opts = ParseOptions { keep_whitespace: true, ..Default::default() };
+        let p = parse_with("<a> <b/> </a>", &opts).unwrap();
+        assert_eq!(p.doc.children(p.doc.root()).len(), 3);
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        assert!(matches!(parse("<a><b></a></b>"), Err(XmlError::Parse { .. })));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        assert!(parse(r#"<a x="1" x="2"/>"#).is_err());
+    }
+
+    #[test]
+    fn junk_after_root_rejected() {
+        assert!(parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn doctype_with_internal_subset() {
+        let src = r#"<!DOCTYPE db [
+            <!ELEMENT db (lab*)>
+            <!ELEMENT lab (#PCDATA)>
+            <!ATTLIST lab managers IDREFS #IMPLIED>
+        ]>
+        <db><lab managers="a b">x</lab></db>"#;
+        let p = parse(src).unwrap();
+        assert!(p.dtd.is_some());
+        let d = &p.doc;
+        let lab = d.children(d.root())[0];
+        assert!(d.attr(lab, "managers").unwrap().value.is_refs());
+    }
+
+    #[test]
+    fn non_ascii_attribute_values_survive() {
+        let p = parse("<a x=\"caf\u{e9} \u{4e2d}\u{6587}\"/>").unwrap();
+        assert_eq!(
+            p.doc.attr(p.doc.root(), "x").unwrap().value.to_text(),
+            "caf\u{e9} \u{4e2d}\u{6587}"
+        );
+    }
+
+    #[test]
+    fn doctype_subset_brackets_inside_quotes_and_comments() {
+        let src = r#"<!DOCTYPE db [
+            <!-- a ] bracket in a comment -->
+            <!ELEMENT db EMPTY>
+            <!ATTLIST db x CDATA "]">
+        ]><db/>"#;
+        let p = parse(src).unwrap();
+        let dtd = p.dtd.unwrap();
+        assert_eq!(dtd.attrs("db")[0].name, "x");
+    }
+
+    #[test]
+    fn entity_declaration_with_gt_in_value_skipped() {
+        let src = r#"<!DOCTYPE db [
+            <!ENTITY note "a > b">
+            <!ELEMENT db EMPTY>
+        ]><db/>"#;
+        let p = parse(src).unwrap();
+        assert!(p.dtd.unwrap().element("db").is_some());
+    }
+
+    #[test]
+    fn paper_figure1_document_parses() {
+        let src = crate::samples::BIO_XML;
+        let opts = ParseOptions::with_ref_attrs(["managers", "source", "biologist", "lab"]);
+        let p = parse_with(src, &opts).unwrap();
+        let d = &p.doc;
+        assert_eq!(d.name(d.root()), Some("db"));
+        // db has: university, 2 labs, paper, 2 biologists = 6 children.
+        assert_eq!(d.children(d.root()).len(), 6);
+        let ids = d.id_map().unwrap();
+        for key in ["ucla", "lalab", "baselab", "lab2", "Smith991231", "smith1", "jones1"] {
+            assert!(ids.contains_key(key), "missing ID {key}");
+        }
+        // Root `lab` attribute is an IDREF to lalab.
+        match &d.attr(d.root(), "lab").unwrap().value {
+            AttrValue::Refs(r) => assert_eq!(r, &["lalab"]),
+            other => panic!("root lab attr should be a ref: {other:?}"),
+        }
+    }
+}
+

@@ -1,0 +1,157 @@
+//! Serialization of [`Document`] trees back to XML text.
+
+use crate::node::{Document, NodeId, NodeKind};
+use std::fmt::Write;
+
+/// Serialization options.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteOptions {
+    /// Indent nested elements (2 spaces per level) and put each element on
+    /// its own line. Text-only elements stay on one line.
+    pub pretty: bool,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions { pretty: true }
+    }
+}
+
+/// Serialize a whole document.
+pub fn to_string(doc: &Document) -> String {
+    subtree_to_string(doc, doc.root(), &WriteOptions::default())
+}
+
+/// Serialize a whole document without pretty indentation.
+pub fn to_compact_string(doc: &Document) -> String {
+    subtree_to_string(doc, doc.root(), &WriteOptions { pretty: false })
+}
+
+/// Serialize one subtree.
+pub fn subtree_to_string(doc: &Document, root: NodeId, opts: &WriteOptions) -> String {
+    let mut out = String::new();
+    write_node(doc, root, opts, 0, &mut out);
+    out
+}
+
+fn write_node(doc: &Document, id: NodeId, opts: &WriteOptions, depth: usize, out: &mut String) {
+    match doc.kind(id) {
+        NodeKind::Text(s) => out.push_str(&escape_text(s)),
+        NodeKind::Element(e) => {
+            out.push('<');
+            out.push_str(&e.name);
+            for a in &e.attrs {
+                let _ = write!(out, " {}=\"{}\"", a.name, escape_attr(&a.value.to_text()));
+            }
+            if e.children.is_empty() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            // Indent only pure element content: injecting whitespace around
+            // text children of mixed content would change the document's
+            // text on reparse.
+            let has_text =
+                e.children.iter().any(|&c| matches!(doc.kind(c), NodeKind::Text(_)));
+            if opts.pretty && !has_text {
+                for &c in &e.children {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(depth + 1));
+                    write_node(doc, c, opts, depth + 1, out);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+            } else {
+                for &c in &e.children {
+                    write_node(doc, c, opts, depth + 1, out);
+                }
+            }
+            out.push_str("</");
+            out.push_str(&e.name);
+            out.push('>');
+        }
+    }
+}
+
+/// Escape character data.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Escape an attribute value (double-quote delimited).
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, parse_with, ParseOptions};
+
+    #[test]
+    fn roundtrip_compact() {
+        let src = r#"<a x="1"><b>hi</b><c/></a>"#;
+        let p = parse(src).unwrap();
+        assert_eq!(to_compact_string(&p.doc), src);
+    }
+
+    #[test]
+    fn escaping_roundtrips() {
+        let p = parse("<a k=\"&quot;&amp;\">x &lt; y &amp; z</a>").unwrap();
+        let s = to_compact_string(&p.doc);
+        let p2 = parse(&s).unwrap();
+        assert_eq!(p2.doc.string_value(p2.doc.root()), "x < y & z");
+        assert_eq!(p2.doc.attr(p2.doc.root(), "k").unwrap().value.to_text(), "\"&");
+    }
+
+    #[test]
+    fn refs_serialize_space_separated() {
+        let opts = ParseOptions::with_ref_attrs(["managers"]);
+        let p = parse_with(r#"<lab managers="a b c"/>"#, &opts).unwrap();
+        assert_eq!(to_compact_string(&p.doc), r#"<lab managers="a b c"/>"#);
+    }
+
+    #[test]
+    fn pretty_indents_structure() {
+        let p = parse("<a><b><c>t</c></b></a>").unwrap();
+        let s = to_string(&p.doc);
+        assert!(s.contains("\n  <b>"));
+        assert!(s.contains("\n    <c>t</c>"));
+    }
+
+    #[test]
+    fn pretty_never_alters_mixed_content_text() {
+        let p = parse("<a>hello<b/>world</a>").unwrap();
+        let pretty = to_string(&p.doc);
+        let opts = ParseOptions { keep_whitespace: true, ..Default::default() };
+        let back = parse_with(&pretty, &opts).unwrap().doc;
+        assert_eq!(back.string_value(back.root()), "helloworld");
+    }
+
+    #[test]
+    fn reparse_of_pretty_output_is_equal() {
+        let opts = ParseOptions::with_ref_attrs(crate::samples::BIO_REF_ATTRS);
+        let p = parse_with(crate::samples::BIO_XML, &opts).unwrap();
+        let pretty = to_string(&p.doc);
+        let p2 = parse_with(&pretty, &opts).unwrap();
+        assert!(p.doc.subtree_eq(p.doc.root(), &p2.doc, p2.doc.root()));
+    }
+}

@@ -1,0 +1,686 @@
+//! The paper's primitive update operations (Section 3.2) over the in-memory
+//! tree: `Delete`, `Rename`, `Insert`, `InsertBefore`/`InsertAfter`,
+//! `Replace`, under ordered and unordered execution models.
+//!
+//! These primitives operate on *objects* — any component of XML: elements,
+//! PCDATA nodes, whole attributes, and individual IDREF entries within an
+//! IDREFS list — addressed by [`ObjectRef`]. The recursive `Sub-Update`
+//! operation is a language-level construct and lives in the XQuery
+//! evaluator, which composes these primitives.
+
+use crate::error::{Result, XmlError};
+use crate::node::{Attr, AttrValue, Document, NodeId};
+
+/// Execution model (paper Section 3.2): ordered documents support
+/// positional insertion; unordered ones treat child order as immaterial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecModel {
+    /// Left-to-right document order is significant. Non-positional inserts
+    /// append at the end.
+    #[default]
+    Ordered,
+    /// Child order is not significant; positional operations are rejected.
+    Unordered,
+}
+
+/// A reference to an XML object that can be the child argument of an
+/// update operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjectRef {
+    /// An element or PCDATA node.
+    Node(NodeId),
+    /// A whole attribute (plain or IDREFS) of `owner`.
+    Attr {
+        /// Element carrying the attribute.
+        owner: NodeId,
+        /// Attribute name.
+        name: String,
+    },
+    /// A single entry within an IDREFS attribute of `owner`.
+    RefEntry {
+        /// Element carrying the IDREFS attribute.
+        owner: NodeId,
+        /// The IDREFS attribute name.
+        attr: String,
+        /// Index of the entry within the ordered reference list.
+        index: usize,
+    },
+}
+
+impl ObjectRef {
+    /// The element that owns this object (the node itself for `Node`).
+    pub fn owner(&self) -> NodeId {
+        match self {
+            ObjectRef::Node(n) => *n,
+            ObjectRef::Attr { owner, .. } | ObjectRef::RefEntry { owner, .. } => *owner,
+        }
+    }
+}
+
+/// New content for `Insert`/`Replace`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Content {
+    /// PCDATA.
+    Text(String),
+    /// A detached element subtree already allocated in the same document
+    /// (build it with [`Document::new_element`]/[`Document::copy_subtree`]).
+    Element(NodeId),
+    /// `new_attribute(name, value)`.
+    Attribute {
+        /// Attribute name.
+        name: String,
+        /// Attribute string value.
+        value: String,
+    },
+    /// `new_ref(label, target)`.
+    Ref {
+        /// The IDREFS attribute name.
+        label: String,
+        /// The ID being referenced.
+        target: String,
+    },
+}
+
+/// `Delete(child)`: remove `child` from the target object `target`.
+///
+/// Valid child types: PCDATA, attribute, IDREF entry, element. Deleting a
+/// reference entry removes only that entry, preserving the rest of the
+/// IDREFS list; deleting the last entry removes the attribute. References
+/// *to* a deleted element are allowed to dangle (Section 4.2.1).
+pub fn delete(doc: &mut Document, target: NodeId, child: &ObjectRef) -> Result<()> {
+    match child {
+        ObjectRef::Node(n) => {
+            if doc.parent(*n) != Some(target) {
+                return Err(XmlError::BadUpdate(format!(
+                    "{n} is not a child of the target {target}"
+                )));
+            }
+            doc.remove_subtree(*n)?;
+            Ok(())
+        }
+        ObjectRef::Attr { owner, name } => {
+            require_owner(*owner, target)?;
+            let el = element_mut(doc, target)?;
+            let before = el.attrs.len();
+            el.attrs.retain(|a| a.name != *name);
+            if el.attrs.len() == before {
+                return Err(XmlError::BadUpdate(format!("no attribute `{name}` on {target}")));
+            }
+            Ok(())
+        }
+        ObjectRef::RefEntry { owner, attr, index } => {
+            require_owner(*owner, target)?;
+            let el = element_mut(doc, target)?;
+            let a = el
+                .attrs
+                .iter_mut()
+                .find(|a| a.name == *attr)
+                .ok_or_else(|| XmlError::BadUpdate(format!("no attribute `{attr}`")))?;
+            match &mut a.value {
+                AttrValue::Refs(ids) if *index < ids.len() => {
+                    ids.remove(*index);
+                    if ids.is_empty() {
+                        el.attrs.retain(|a| a.name != *attr);
+                    }
+                    Ok(())
+                }
+                AttrValue::Refs(ids) => Err(XmlError::BadUpdate(format!(
+                    "ref index {index} out of bounds ({} entries)",
+                    ids.len()
+                ))),
+                AttrValue::Text(_) => {
+                    Err(XmlError::BadUpdate(format!("`{attr}` is not an IDREFS attribute")))
+                }
+            }
+        }
+    }
+}
+
+/// `Rename(child, name)`: give a non-PCDATA child a new name. Renaming an
+/// individual IDREF entry is not possible; per the paper it renames the
+/// entire IDREFS attribute.
+pub fn rename(doc: &mut Document, child: &ObjectRef, new_name: &str) -> Result<()> {
+    match child {
+        ObjectRef::Node(n) => {
+            let el = doc
+                .element_mut(*n)
+                .ok_or_else(|| XmlError::BadUpdate("cannot rename PCDATA".into()))?;
+            el.name = new_name.to_string();
+            Ok(())
+        }
+        ObjectRef::Attr { owner, name } | ObjectRef::RefEntry { owner, attr: name, .. } => {
+            let el = element_mut(doc, *owner)?;
+            if el.attrs.iter().any(|a| a.name == new_name) {
+                return Err(XmlError::BadUpdate(format!(
+                    "attribute `{new_name}` already exists on {owner}"
+                )));
+            }
+            let a = el
+                .attrs
+                .iter_mut()
+                .find(|a| a.name == *name)
+                .ok_or_else(|| XmlError::BadUpdate(format!("no attribute `{name}`")))?;
+            a.name = new_name.to_string();
+            Ok(())
+        }
+    }
+}
+
+/// `Insert(content)`: insert new content into the target element.
+///
+/// * Inserting an attribute whose name already exists **fails** (paper
+///   Section 3.2).
+/// * Inserting a reference whose label matches an existing IDREFS appends
+///   an entry to that list; otherwise a new singleton IDREFS is created.
+/// * In the ordered model, non-attribute insertions append at the end.
+pub fn insert(
+    doc: &mut Document,
+    target: NodeId,
+    content: Content,
+    _model: ExecModel,
+) -> Result<()> {
+    match content {
+        Content::Text(s) => {
+            let t = doc.new_text(s);
+            doc.append_child(target, t)
+        }
+        Content::Element(el) => doc.append_child(target, el),
+        Content::Attribute { name, value } => {
+            let el = element_mut(doc, target)?;
+            if el.attrs.iter().any(|a| a.name == name) {
+                return Err(XmlError::BadUpdate(format!(
+                    "attribute `{name}` already exists on {target}"
+                )));
+            }
+            el.attrs.push(Attr::text(name, value));
+            Ok(())
+        }
+        Content::Ref { label, target: id } => {
+            let el = element_mut(doc, target)?;
+            match el.attrs.iter_mut().find(|a| a.name == label) {
+                Some(a) => match &mut a.value {
+                    AttrValue::Refs(ids) => {
+                        ids.push(id);
+                        Ok(())
+                    }
+                    AttrValue::Text(_) => Err(XmlError::BadUpdate(format!(
+                        "attribute `{label}` exists but is not an IDREFS"
+                    ))),
+                },
+                None => {
+                    el.attrs.push(Attr::refs(label, vec![id]));
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// Direction for positional insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Position {
+    /// `INSERT … BEFORE $child`
+    Before,
+    /// `INSERT … AFTER $child`
+    After,
+}
+
+/// `InsertBefore`/`InsertAfter(ref, content)` (ordered model only).
+///
+/// If the anchor is a child element or PCDATA, `content` must be an element
+/// or PCDATA and is placed adjacent to it in the child list. If the anchor
+/// is an IDREFS entry, `content` must be a reference and is spliced into
+/// the list at the anchor's position.
+pub fn insert_relative(
+    doc: &mut Document,
+    target: NodeId,
+    anchor: &ObjectRef,
+    content: Content,
+    pos: Position,
+    model: ExecModel,
+) -> Result<()> {
+    if model == ExecModel::Unordered {
+        return Err(XmlError::BadUpdate(
+            "positional insertion is undefined in the unordered model".into(),
+        ));
+    }
+    match anchor {
+        ObjectRef::Node(n) => {
+            if doc.parent(*n) != Some(target) {
+                return Err(XmlError::BadUpdate(format!("anchor {n} is not a child of {target}")));
+            }
+            let idx = doc.child_index(*n).expect("anchor has parent");
+            let at = match pos {
+                Position::Before => idx,
+                Position::After => idx + 1,
+            };
+            let new_node = match content {
+                Content::Text(s) => doc.new_text(s),
+                Content::Element(el) => el,
+                _ => {
+                    return Err(XmlError::BadUpdate(
+                        "content for positional node insertion must be element or PCDATA".into(),
+                    ))
+                }
+            };
+            doc.insert_child_at(target, new_node, at)
+        }
+        ObjectRef::RefEntry { owner, attr, index } => {
+            require_owner(*owner, target)?;
+            let id = match content {
+                Content::Ref { label, target: t } => {
+                    if label != *attr {
+                        return Err(XmlError::BadUpdate(format!(
+                            "reference label `{label}` must match the anchor list `{attr}`"
+                        )));
+                    }
+                    t
+                }
+                Content::Text(t) => t, // bare ID literal, as in paper Example 3
+                _ => {
+                    return Err(XmlError::BadUpdate(
+                        "content for IDREFS positional insertion must be an ID".into(),
+                    ))
+                }
+            };
+            let el = element_mut(doc, target)?;
+            let a = el
+                .attrs
+                .iter_mut()
+                .find(|a| a.name == *attr)
+                .ok_or_else(|| XmlError::BadUpdate(format!("no attribute `{attr}`")))?;
+            match &mut a.value {
+                AttrValue::Refs(ids) if *index < ids.len() => {
+                    let at = match pos {
+                        Position::Before => *index,
+                        Position::After => *index + 1,
+                    };
+                    ids.insert(at, id);
+                    Ok(())
+                }
+                _ => Err(XmlError::BadUpdate(format!("bad IDREFS anchor `{attr}[{index}]`"))),
+            }
+        }
+        ObjectRef::Attr { .. } => Err(XmlError::BadUpdate(
+            "attributes are unordered; positional insertion is undefined for them".into(),
+        )),
+    }
+}
+
+/// `Replace(child, content)`: atomic replace, equivalent to
+/// `InsertBefore(child, content); Delete(child)` in the ordered model or
+/// `(Insert(content), Delete(child))` in the unordered model.
+///
+/// A reference entry may only be replaced by a reference with the same
+/// label (paper Section 4.2.3); an attribute child may be replaced by a
+/// `new_attribute` of any name (subject to the no-duplicates rule).
+pub fn replace(
+    doc: &mut Document,
+    target: NodeId,
+    child: &ObjectRef,
+    content: Content,
+    model: ExecModel,
+) -> Result<()> {
+    match (child, &content) {
+        (ObjectRef::Node(n), Content::Text(_) | Content::Element(_)) => {
+            if doc.parent(*n) != Some(target) {
+                return Err(XmlError::BadUpdate(format!("{n} is not a child of {target}")));
+            }
+            match model {
+                ExecModel::Ordered => {
+                    insert_relative(doc, target, child, content, Position::Before, model)?;
+                }
+                ExecModel::Unordered => {
+                    insert(doc, target, content, model)?;
+                }
+            }
+            delete(doc, target, child)
+        }
+        (ObjectRef::Node(_), _) => Err(XmlError::BadUpdate(
+            "a node child can only be replaced by an element or PCDATA".into(),
+        )),
+        (ObjectRef::Attr { owner, name }, Content::Attribute { name: new_name, value }) => {
+            require_owner(*owner, target)?;
+            let el = element_mut(doc, target)?;
+            if new_name != name && el.attrs.iter().any(|a| a.name == *new_name) {
+                return Err(XmlError::BadUpdate(format!(
+                    "attribute `{new_name}` already exists on {target}"
+                )));
+            }
+            let a = el
+                .attrs
+                .iter_mut()
+                .find(|a| a.name == *name)
+                .ok_or_else(|| XmlError::BadUpdate(format!("no attribute `{name}`")))?;
+            a.name = new_name.clone();
+            a.value = AttrValue::Text(value.clone());
+            Ok(())
+        }
+        // Replacing a whole IDREFS binding with a new_attribute(label, ids)
+        // — paper Example 4 replaces $mgr (a ref binding) this way.
+        (ObjectRef::RefEntry { owner, attr, index }, Content::Attribute { name, value }) => {
+            require_owner(*owner, target)?;
+            if name != attr {
+                return Err(XmlError::BadUpdate(format!(
+                    "a `{attr}` reference can only be replaced by `{attr}` content"
+                )));
+            }
+            let el = element_mut(doc, target)?;
+            let a = el
+                .attrs
+                .iter_mut()
+                .find(|a| a.name == *attr)
+                .ok_or_else(|| XmlError::BadUpdate(format!("no attribute `{attr}`")))?;
+            match &mut a.value {
+                AttrValue::Refs(ids) if *index < ids.len() => {
+                    ids[*index] = value.clone();
+                    Ok(())
+                }
+                _ => Err(XmlError::BadUpdate(format!("bad IDREFS anchor `{attr}[{index}]`"))),
+            }
+        }
+        (ObjectRef::RefEntry { owner, attr, index }, Content::Ref { label, target: t }) => {
+            require_owner(*owner, target)?;
+            if label != attr {
+                return Err(XmlError::BadUpdate(format!(
+                    "a `{attr}` reference can only be replaced by another `{attr}` reference"
+                )));
+            }
+            let el = element_mut(doc, target)?;
+            let a = el
+                .attrs
+                .iter_mut()
+                .find(|a| a.name == *attr)
+                .ok_or_else(|| XmlError::BadUpdate(format!("no attribute `{attr}`")))?;
+            match &mut a.value {
+                AttrValue::Refs(ids) if *index < ids.len() => {
+                    ids[*index] = t.clone();
+                    Ok(())
+                }
+                _ => Err(XmlError::BadUpdate(format!("bad IDREFS anchor `{attr}[{index}]`"))),
+            }
+        }
+        (ObjectRef::Attr { .. }, _) => Err(XmlError::BadUpdate(
+            "an attribute can only be replaced by new_attribute(...)".into(),
+        )),
+        (ObjectRef::RefEntry { .. }, _) => Err(XmlError::BadUpdate(
+            "a reference can only be replaced by a reference of the same label".into(),
+        )),
+    }
+}
+
+fn require_owner(owner: NodeId, target: NodeId) -> Result<()> {
+    if owner != target {
+        return Err(XmlError::BadUpdate(format!(
+            "object belongs to {owner}, not the target {target}"
+        )));
+    }
+    Ok(())
+}
+
+fn element_mut(doc: &mut Document, id: NodeId) -> Result<&mut crate::node::ElementData> {
+    if !doc.is_live(id) {
+        return Err(XmlError::DanglingNode(format!("{id}")));
+    }
+    doc.element_mut(id)
+        .ok_or_else(|| XmlError::BadUpdate(format!("{id} is not an element")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_with, ParseOptions};
+    use crate::samples::{BIO_REF_ATTRS, BIO_XML};
+
+    fn bio() -> Document {
+        parse_with(BIO_XML, &ParseOptions::with_ref_attrs(BIO_REF_ATTRS)).unwrap().doc
+    }
+
+    fn find(doc: &Document, name: &str) -> NodeId {
+        doc.descendants(doc.root()).find(|&n| doc.name(n) == Some(name)).unwrap()
+    }
+
+    fn by_id(doc: &Document, id: &str) -> NodeId {
+        doc.resolve_ref(id).unwrap()
+    }
+
+    /// Paper Example 1: delete an attribute, an IDREF, and a subelement
+    /// from the paper element.
+    #[test]
+    fn example1_delete_attr_ref_and_element() {
+        let mut d = bio();
+        let paper = find(&d, "paper");
+        let title = d.children(paper)[0];
+        delete(&mut d, paper, &ObjectRef::Attr { owner: paper, name: "category".into() })
+            .unwrap();
+        delete(
+            &mut d,
+            paper,
+            &ObjectRef::RefEntry { owner: paper, attr: "biologist".into(), index: 0 },
+        )
+        .unwrap();
+        delete(&mut d, paper, &ObjectRef::Node(title)).unwrap();
+        assert!(d.attr(paper, "category").is_none());
+        assert!(d.attr(paper, "biologist").is_none(), "singleton list removed entirely");
+        assert!(d.children(paper).is_empty());
+        // source ref untouched.
+        assert!(d.attr(paper, "source").is_some());
+    }
+
+    /// Paper Example 2: insert an attribute, two references, a subelement.
+    #[test]
+    fn example2_inserts() {
+        let mut d = bio();
+        let bio_el = by_id(&d, "smith1");
+        insert(
+            &mut d,
+            bio_el,
+            Content::Attribute { name: "age".into(), value: "29".into() },
+            ExecModel::Ordered,
+        )
+        .unwrap();
+        insert(
+            &mut d,
+            bio_el,
+            Content::Ref { label: "worksAt".into(), target: "ucla".into() },
+            ExecModel::Ordered,
+        )
+        .unwrap();
+        insert(
+            &mut d,
+            bio_el,
+            Content::Ref { label: "worksAt".into(), target: "baselab".into() },
+            ExecModel::Ordered,
+        )
+        .unwrap();
+        let fname = d.new_element("firstname");
+        let t = d.new_text("Jeff");
+        d.append_child(fname, t).unwrap();
+        insert(&mut d, bio_el, Content::Element(fname), ExecModel::Ordered).unwrap();
+        assert_eq!(d.attr(bio_el, "age").unwrap().value.to_text(), "29");
+        match &d.attr(bio_el, "worksAt").unwrap().value {
+            AttrValue::Refs(ids) => assert_eq!(ids, &["ucla", "baselab"]),
+            other => panic!("{other:?}"),
+        }
+        // Ordered model: firstname appended after lastname.
+        let kids = d.children(bio_el);
+        assert_eq!(d.name(kids[kids.len() - 1]), Some("firstname"));
+    }
+
+    /// Paper Example 3: positional insertion of a reference and an element.
+    #[test]
+    fn example3_positional_inserts() {
+        let mut d = bio();
+        let lab = by_id(&d, "baselab");
+        let name = d.children(lab)[0];
+        // INSERT "jones1" BEFORE $sref (first managers entry).
+        insert_relative(
+            &mut d,
+            lab,
+            &ObjectRef::RefEntry { owner: lab, attr: "managers".into(), index: 0 },
+            Content::Text("jones1".into()),
+            Position::Before,
+            ExecModel::Ordered,
+        )
+        .unwrap();
+        match &d.attr(lab, "managers").unwrap().value {
+            AttrValue::Refs(ids) => assert_eq!(ids, &["jones1", "smith1"]),
+            other => panic!("{other:?}"),
+        }
+        // INSERT <street>Oak</street> AFTER $n.
+        let street = d.new_element("street");
+        let t = d.new_text("Oak");
+        d.append_child(street, t).unwrap();
+        insert_relative(
+            &mut d,
+            lab,
+            &ObjectRef::Node(name),
+            Content::Element(street),
+            Position::After,
+            ExecModel::Ordered,
+        )
+        .unwrap();
+        let kids = d.children(lab);
+        assert_eq!(d.name(kids[0]), Some("name"));
+        assert_eq!(d.name(kids[1]), Some("street"));
+        assert_eq!(d.name(kids[2]), Some("location"));
+    }
+
+    /// Paper Example 4: replace a subelement and a reference.
+    #[test]
+    fn example4_replace() {
+        let mut d = bio();
+        let lab = by_id(&d, "baselab");
+        let name = d.children(lab)[0];
+        let app = d.new_element("appellation");
+        let t = d.new_text("Fancy Lab");
+        d.append_child(app, t).unwrap();
+        replace(&mut d, lab, &ObjectRef::Node(name), Content::Element(app), ExecModel::Ordered)
+            .unwrap();
+        assert_eq!(d.name(d.children(lab)[0]), Some("appellation"));
+        assert!(!d.is_live(name));
+        replace(
+            &mut d,
+            lab,
+            &ObjectRef::RefEntry { owner: lab, attr: "managers".into(), index: 0 },
+            Content::Attribute { name: "managers".into(), value: "jones1".into() },
+            ExecModel::Ordered,
+        )
+        .unwrap();
+        match &d.attr(lab, "managers").unwrap().value {
+            AttrValue::Refs(ids) => assert_eq!(ids, &["jones1"]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_duplicate_attribute_fails() {
+        let mut d = bio();
+        let lab = by_id(&d, "baselab");
+        let err = insert(
+            &mut d,
+            lab,
+            Content::Attribute { name: "ID".into(), value: "x".into() },
+            ExecModel::Ordered,
+        )
+        .unwrap_err();
+        assert!(matches!(err, XmlError::BadUpdate(_)));
+    }
+
+    #[test]
+    fn delete_middle_ref_preserves_rest() {
+        let mut d = bio();
+        let lab = by_id(&d, "lalab");
+        delete(
+            &mut d,
+            lab,
+            &ObjectRef::RefEntry { owner: lab, attr: "managers".into(), index: 0 },
+        )
+        .unwrap();
+        match &d.attr(lab, "managers").unwrap().value {
+            AttrValue::Refs(ids) => assert_eq!(ids, &["jones1"]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rename_element_and_attribute() {
+        let mut d = bio();
+        let lab = by_id(&d, "lab2");
+        rename(&mut d, &ObjectRef::Node(lab), "laboratory").unwrap();
+        assert_eq!(d.name(lab), Some("laboratory"));
+        rename(&mut d, &ObjectRef::Attr { owner: lab, name: "ID".into() }, "ident").unwrap();
+        assert!(d.attr(lab, "ident").is_some());
+        // Renaming a ref entry renames the whole IDREFS.
+        let base = by_id(&d, "baselab");
+        rename(
+            &mut d,
+            &ObjectRef::RefEntry { owner: base, attr: "managers".into(), index: 0 },
+            "supervisors",
+        )
+        .unwrap();
+        assert!(d.attr(base, "supervisors").unwrap().value.is_refs());
+    }
+
+    #[test]
+    fn rename_pcdata_fails() {
+        let mut d = bio();
+        let title = find(&d, "title");
+        let text = d.children(title)[0];
+        assert!(rename(&mut d, &ObjectRef::Node(text), "x").is_err());
+    }
+
+    #[test]
+    fn positional_insert_rejected_in_unordered_model() {
+        let mut d = bio();
+        let lab = by_id(&d, "baselab");
+        let name = d.children(lab)[0];
+        let err = insert_relative(
+            &mut d,
+            lab,
+            &ObjectRef::Node(name),
+            Content::Text("x".into()),
+            Position::Before,
+            ExecModel::Unordered,
+        )
+        .unwrap_err();
+        assert!(matches!(err, XmlError::BadUpdate(_)));
+    }
+
+    #[test]
+    fn delete_wrong_parent_fails() {
+        let mut d = bio();
+        let lab = by_id(&d, "baselab");
+        let other = by_id(&d, "lab2");
+        let name_of_other = d.children(other)[0];
+        assert!(delete(&mut d, lab, &ObjectRef::Node(name_of_other)).is_err());
+    }
+
+    #[test]
+    fn replace_ref_with_wrong_label_fails() {
+        let mut d = bio();
+        let lab = by_id(&d, "baselab");
+        let err = replace(
+            &mut d,
+            lab,
+            &ObjectRef::RefEntry { owner: lab, attr: "managers".into(), index: 0 },
+            Content::Ref { label: "owners".into(), target: "jones1".into() },
+            ExecModel::Ordered,
+        )
+        .unwrap_err();
+        assert!(matches!(err, XmlError::BadUpdate(_)));
+    }
+
+    #[test]
+    fn replace_in_unordered_model_appends() {
+        let mut d = bio();
+        let lab = by_id(&d, "lab2"); // children: name, city, country
+        let name = d.children(lab)[0];
+        let repl = d.new_element("newname");
+        replace(&mut d, lab, &ObjectRef::Node(name), Content::Element(repl), ExecModel::Unordered)
+            .unwrap();
+        let kids = d.children(lab);
+        assert_eq!(kids.len(), 3);
+        assert_eq!(d.name(kids[kids.len() - 1]), Some("newname"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Abstract syntax for the paper's XQuery update extensions (Section 4):
+//! `FOR … LET … WHERE … UPDATE { subOp, … }` statements plus plain
+//! `FOR … WHERE … RETURN` queries.
+
+/// A complete statement: bindings, filter, and either a `RETURN` or one or
+/// more `UPDATE` operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statement {
+    /// `FOR $var IN path` clauses, evaluated left-to-right (later clauses
+    /// may reference earlier variables).
+    pub fors: Vec<ForBinding>,
+    /// `LET $var := path` clauses (bind the whole sequence).
+    pub lets: Vec<LetBinding>,
+    /// `WHERE` predicate over each binding tuple.
+    pub filter: Option<UExpr>,
+    /// The action performed per surviving binding tuple.
+    pub action: Action,
+}
+
+/// One `FOR $var IN path` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForBinding {
+    /// Variable name (without `$`).
+    pub var: String,
+    /// Source path.
+    pub path: PathExpr,
+}
+
+/// One `LET $var := path` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LetBinding {
+    /// Variable name (without `$`).
+    pub var: String,
+    /// Bound path (the whole result sequence is bound).
+    pub path: PathExpr,
+}
+
+/// Statement action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// `RETURN expr` — a query.
+    Return(UExpr),
+    /// One or more `UPDATE $target { … }` operations, executed in sequence
+    /// for each binding tuple.
+    Update(Vec<UpdateOp>),
+}
+
+/// `UPDATE $target { subOp, … }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateOp {
+    /// Target variable.
+    pub target: String,
+    /// Sub-operations in order.
+    pub ops: Vec<SubOp>,
+}
+
+/// A sub-operation within an `UPDATE` block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubOp {
+    /// `DELETE $child`
+    Delete {
+        /// Child variable.
+        child: String,
+    },
+    /// `RENAME $child TO name`
+    Rename {
+        /// Child variable.
+        child: String,
+        /// New name.
+        to: String,
+    },
+    /// `INSERT content [BEFORE | AFTER $anchor]`
+    Insert {
+        /// Content to insert.
+        content: ContentExpr,
+        /// Positional anchor, ordered model only.
+        position: Option<(InsertPosition, String)>,
+    },
+    /// `REPLACE $child WITH content`
+    Replace {
+        /// Child variable.
+        child: String,
+        /// Replacement content.
+        with: ContentExpr,
+    },
+    /// Nested `FOR … WHERE … UPDATE …` (the paper's Sub-Update).
+    Nested(Box<NestedUpdate>),
+}
+
+/// Positional insert direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertPosition {
+    /// `BEFORE $anchor`
+    Before,
+    /// `AFTER $anchor`
+    After,
+}
+
+/// A nested update: new bindings (relative to the enclosing scope), an
+/// optional filter, and further update operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NestedUpdate {
+    /// Nested `FOR` clauses.
+    pub fors: Vec<ForBinding>,
+    /// Nested `WHERE` filter.
+    pub filter: Option<UExpr>,
+    /// Nested update operations.
+    pub updates: Vec<UpdateOp>,
+}
+
+/// Content argument of `INSERT` / `REPLACE`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContentExpr {
+    /// A literal XML element constructor, stored as normalized XML text
+    /// (the `</>`(close-any) shorthand already expanded).
+    Element(String),
+    /// `new_attribute(name, "value")`
+    NewAttribute {
+        /// Attribute name.
+        name: String,
+        /// Attribute value.
+        value: String,
+    },
+    /// `new_ref(label, "target")`
+    NewRef {
+        /// Reference list name.
+        label: String,
+        /// Referenced ID.
+        target: String,
+    },
+    /// A bare string literal (PCDATA, or an ID when inserted relative to an
+    /// IDREFS anchor, as in paper Example 3).
+    Text(String),
+    /// `$var` — copy the bound object (deep copy, fresh ids downstream).
+    Var(String),
+}
+
+/// Start of a path expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathStart {
+    /// `document("name")` — the named document's root element.
+    Document(String),
+    /// `$var` — a previously bound variable.
+    Var(String),
+    /// A bare relative start (used inside predicates and for the implicit-
+    /// context `ref(...)` form of paper Example 3); resolved against the
+    /// context object.
+    Relative,
+}
+
+/// A path expression: a start plus a sequence of steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathExpr {
+    /// Where navigation begins.
+    pub start: PathStart,
+    /// Navigation steps in order.
+    pub steps: Vec<Step>,
+}
+
+/// One path step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// `/name` (`*` matches any element).
+    Child(String),
+    /// `//name` — descendant-or-self element traversal.
+    Descendant(String),
+    /// `/@name` — the whole attribute object.
+    Attribute(String),
+    /// `/ref(label, target)` — entries of an IDREFS list; either side may
+    /// be `*`.
+    Ref {
+        /// Reference list name or `*`.
+        label: String,
+        /// Target ID or `*`.
+        target: String,
+    },
+    /// `->` — dereference: follow the IDREF entries of the current
+    /// attribute/ref binding to their target elements.
+    Deref,
+    /// `[expr]` — filter the current binding set.
+    Predicate(UExpr),
+}
+
+/// Comparison operators in predicates and `WHERE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Literal values in predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    /// A string literal.
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+}
+
+/// Expressions in `WHERE` clauses and path predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UExpr {
+    /// A literal.
+    Literal(Lit),
+    /// A path; in comparisons its value set is compared existentially
+    /// (XPath semantics), in boolean position it tests non-emptiness.
+    Path(PathExpr),
+    /// `$var.index()` — position of the bound node among its siblings.
+    Index(String),
+    /// Comparison.
+    Cmp {
+        /// Left operand.
+        left: Box<UExpr>,
+        /// Operator.
+        op: CmpOp,
+        /// Right operand.
+        right: Box<UExpr>,
+    },
+    /// Conjunction.
+    And(Box<UExpr>, Box<UExpr>),
+    /// Disjunction.
+    Or(Box<UExpr>, Box<UExpr>),
+    /// Negation.
+    Not(Box<UExpr>),
+}

@@ -1,0 +1,36 @@
+//! Errors for XQuery parsing and evaluation.
+
+use std::fmt;
+use xmlup_xml::XmlError;
+
+/// Errors raised while parsing or evaluating XQuery update statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Syntax error in the statement text.
+    Parse(String),
+    /// Evaluation error: unbound variable, type mismatch, bad target, …
+    Eval(String),
+    /// An underlying XML tree operation failed.
+    Xml(XmlError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(m) => write!(f, "XQuery parse error: {m}"),
+            QueryError::Eval(m) => write!(f, "XQuery evaluation error: {m}"),
+            QueryError::Xml(e) => write!(f, "XML error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<XmlError> for QueryError {
+    fn from(e: XmlError) -> Self {
+        QueryError::Xml(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, QueryError>;

@@ -1,0 +1,960 @@
+//! Evaluation of XQuery update statements over in-memory documents.
+//!
+//! Semantics follow paper Section 3.2 precisely:
+//!
+//! * **Snapshot bindings** — all binding tuples, including those of nested
+//!   `Sub-Update` operations, are computed over the *input* document before
+//!   any update executes.
+//! * **Sequential ops** — for each binding tuple the sub-operations run in
+//!   order; content (`INSERT $src`) is evaluated for its target right
+//!   before that target's sequence runs.
+//! * **Dead bindings** — a binding deleted by an earlier operation cannot
+//!   be used later in the sequence; such operations are skipped and
+//!   counted in [`Outcome::Updated`]'s `ops_skipped`.
+
+use crate::ast::*;
+use crate::error::{QueryError, Result};
+use crate::parser::parse_statement;
+use xmlup_xml::node::AttrValue;
+use xmlup_xml::update::{self, Content, ExecModel, ObjectRef, Position};
+use xmlup_xml::{Document, NodeId, NodeKind, ParseOptions};
+
+/// A bound object: a document index plus an object within it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Target {
+    /// Index of the document in the [`Store`].
+    pub doc: usize,
+    /// The bound object.
+    pub obj: ObjectRef,
+}
+
+/// Value of a variable binding.
+#[derive(Debug, Clone, PartialEq)]
+enum BindingValue {
+    /// A `FOR`-bound single object.
+    One(Target),
+    /// A `LET`-bound sequence.
+    Seq(Vec<Target>),
+}
+
+type Env = Vec<(String, BindingValue)>;
+
+/// Result of executing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// `RETURN`: the objects produced, one entry per binding tuple.
+    Bindings(Vec<Target>),
+    /// `UPDATE`: primitive operations applied and skipped (skips happen
+    /// when a binding was deleted by an earlier operation).
+    Updated {
+        /// Primitive ops successfully applied.
+        ops_applied: usize,
+        /// Ops skipped because a binding had been deleted.
+        ops_skipped: usize,
+    },
+}
+
+/// A collection of named documents that XQuery statements run against.
+///
+/// `document("name")` resolves within the store; statements may bind across
+/// documents (paper Example 10 copies customers between two documents).
+#[derive(Debug)]
+pub struct Store {
+    docs: Vec<(String, Document)>,
+    /// Parse options for element constructors (IDREF attribute names).
+    pub parse_opts: ParseOptions,
+    /// Ordered or unordered execution model.
+    pub model: ExecModel,
+}
+
+impl Store {
+    /// Empty store with the ordered execution model.
+    pub fn new() -> Self {
+        Store { docs: Vec::new(), parse_opts: ParseOptions::default(), model: ExecModel::Ordered }
+    }
+
+    /// Store with an explicit execution model.
+    pub fn with_model(model: ExecModel) -> Self {
+        Store { model, ..Store::new() }
+    }
+
+    /// Add (or replace) a named document; returns its index.
+    pub fn add_document(&mut self, name: impl Into<String>, doc: Document) -> usize {
+        let name = name.into();
+        if let Some(i) = self.doc_index(&name) {
+            self.docs[i].1 = doc;
+            i
+        } else {
+            self.docs.push((name, doc));
+            self.docs.len() - 1
+        }
+    }
+
+    /// Index of a document by name.
+    pub fn doc_index(&self, name: &str) -> Option<usize> {
+        self.docs.iter().position(|(n, _)| n == name)
+    }
+
+    /// A document by name.
+    pub fn document(&self, name: &str) -> Option<&Document> {
+        self.docs.iter().find(|(n, _)| n == name).map(|(_, d)| d)
+    }
+
+    /// Mutable access to a document by name.
+    pub fn document_mut(&mut self, name: &str) -> Option<&mut Document> {
+        self.docs.iter_mut().find(|(n, _)| n == name).map(|(_, d)| d)
+    }
+
+    /// A document by index.
+    pub fn document_at(&self, idx: usize) -> &Document {
+        &self.docs[idx].1
+    }
+
+    /// Parse and execute a statement.
+    pub fn execute_str(&mut self, src: &str) -> Result<Outcome> {
+        let stmt = parse_statement(src)?;
+        self.execute(&stmt)
+    }
+
+    /// Execute a statement as a *typechecked* transaction (the paper's
+    /// Section 8 "typechecking updates" future work): after the update,
+    /// every named document is validated against its DTD; on any
+    /// violation the store is rolled back to its pre-statement state and
+    /// the validation error is returned.
+    ///
+    /// `dtds` pairs document names with the DTDs they must conform to;
+    /// unnamed documents are not checked.
+    pub fn execute_checked(
+        &mut self,
+        src: &str,
+        dtds: &[(&str, &xmlup_xml::Dtd)],
+    ) -> Result<Outcome> {
+        let stmt = parse_statement(src)?;
+        let snapshot: Vec<(String, Document)> = self.docs.clone();
+        let outcome = match self.execute(&stmt) {
+            Ok(o) => o,
+            Err(e) => {
+                self.docs = snapshot;
+                return Err(e);
+            }
+        };
+        for (name, dtd) in dtds {
+            if let Some(doc) = self.document(name) {
+                if let Err(e) = dtd.validate(doc) {
+                    self.docs = snapshot;
+                    return Err(QueryError::Eval(format!(
+                        "update rolled back: document \"{name}\" would violate its DTD: {e}"
+                    )));
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Execute a parsed statement.
+    pub fn execute(&mut self, stmt: &Statement) -> Result<Outcome> {
+        let mut env: Env = Vec::new();
+        let tuples = self.expand(&stmt.fors, &stmt.lets, stmt.filter.as_ref(), &mut env)?;
+        match &stmt.action {
+            Action::Return(expr) => {
+                let mut out = Vec::new();
+                for tuple in &tuples {
+                    match self.eval_uexpr(expr, tuple, None)? {
+                        EvalVal::Set(ts) => out.extend(ts),
+                        other => {
+                            return Err(QueryError::Eval(format!(
+                                "RETURN must produce objects, got {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(Outcome::Bindings(out))
+            }
+            Action::Update(update_ops) => {
+                // Phase 1: plan every primitive op against the pristine input.
+                let mut plan: Vec<PlannedOp> = Vec::new();
+                for tuple in &tuples {
+                    for op in update_ops {
+                        self.plan_update_op(op, tuple, &mut plan)?;
+                    }
+                }
+                // Phase 2: execute sequentially.
+                let mut applied = 0usize;
+                let mut skipped = 0usize;
+                for p in plan {
+                    if self.exec_planned(p)? {
+                        applied += 1;
+                    } else {
+                        skipped += 1;
+                    }
+                }
+                Ok(Outcome::Updated { ops_applied: applied, ops_skipped: skipped })
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // binding expansion
+    // ------------------------------------------------------------------
+
+    /// Produce all binding tuples for a FOR/LET/WHERE prefix. `env` carries
+    /// outer bindings (for nested updates) and is restored before return.
+    fn expand(
+        &self,
+        fors: &[ForBinding],
+        lets: &[LetBinding],
+        filter: Option<&UExpr>,
+        env: &mut Env,
+    ) -> Result<Vec<Env>> {
+        let base_len = env.len();
+        // LET bindings that do not reference a FOR variable of this scope
+        // bind up front, so FOR paths may start from them (e.g.
+        // `FOR $d := document(...)/db, $b IN $d/biologist`).
+        let for_vars: Vec<&str> = fors.iter().map(|f| f.var.as_str()).collect();
+        for l in lets {
+            let depends = matches!(&l.path.start, PathStart::Var(v) if for_vars.contains(&v.as_str()));
+            if !depends {
+                let set = self.eval_path(&l.path, env, None)?;
+                env.push((l.var.clone(), BindingValue::Seq(set)));
+            }
+        }
+        let mut tuples = Vec::new();
+        self.expand_rec(fors, 0, lets, filter, env, &mut tuples)?;
+        env.truncate(base_len);
+        Ok(tuples)
+    }
+
+    fn expand_rec(
+        &self,
+        fors: &[ForBinding],
+        idx: usize,
+        lets: &[LetBinding],
+        filter: Option<&UExpr>,
+        env: &mut Env,
+        out: &mut Vec<Env>,
+    ) -> Result<()> {
+        if idx == fors.len() {
+            let base_len = env.len();
+            for l in lets {
+                // Independent LETs were bound before the FOR expansion.
+                if env.iter().any(|(n, _)| n == &l.var) {
+                    continue;
+                }
+                let set = self.eval_path(&l.path, env, None)?;
+                env.push((l.var.clone(), BindingValue::Seq(set)));
+            }
+            let passes = match filter {
+                None => true,
+                Some(f) => self.eval_uexpr(f, env, None)?.truthy()?,
+            };
+            if passes {
+                out.push(env.clone());
+            }
+            env.truncate(base_len);
+            return Ok(());
+        }
+        let fb = &fors[idx];
+        let set = self.eval_path(&fb.path, env, None)?;
+        for t in set {
+            env.push((fb.var.clone(), BindingValue::One(t)));
+            self.expand_rec(fors, idx + 1, lets, filter, env, out)?;
+            env.pop();
+        }
+        Ok(())
+    }
+
+    fn lookup<'e>(&self, env: &'e Env, var: &str) -> Result<&'e BindingValue> {
+        env.iter()
+            .rev()
+            .find(|(n, _)| n == var)
+            .map(|(_, v)| v)
+            .ok_or_else(|| QueryError::Eval(format!("unbound variable ${var}")))
+    }
+
+    fn lookup_one(&self, env: &Env, var: &str) -> Result<Target> {
+        match self.lookup(env, var)? {
+            BindingValue::One(t) => Ok(t.clone()),
+            BindingValue::Seq(s) if s.len() == 1 => Ok(s[0].clone()),
+            BindingValue::Seq(s) => Err(QueryError::Eval(format!(
+                "${var} is a sequence of {} items; a single object is required",
+                s.len()
+            ))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // path evaluation
+    // ------------------------------------------------------------------
+
+    fn eval_path(
+        &self,
+        path: &PathExpr,
+        env: &Env,
+        ctx: Option<&Target>,
+    ) -> Result<Vec<Target>> {
+        let mut steps = path.steps.as_slice();
+        let mut set: Vec<Target> = match &path.start {
+            PathStart::Document(name) => {
+                let di = self.doc_index(name).ok_or_else(|| {
+                    QueryError::Eval(format!("document(\"{name}\") is not in the store"))
+                })?;
+                let doc = &self.docs[di].1;
+                let root = Target { doc: di, obj: ObjectRef::Node(doc.root()) };
+                // `document()` denotes the document node: a leading child
+                // step selects the root element itself, and a leading `//`
+                // includes the root in the descendant traversal.
+                match steps.first() {
+                    Some(Step::Child(name)) => {
+                        steps = &steps[1..];
+                        if name == "*" || doc.name(doc.root()) == Some(name) {
+                            vec![root]
+                        } else {
+                            Vec::new()
+                        }
+                    }
+                    Some(Step::Descendant(name)) => {
+                        steps = &steps[1..];
+                        let mut out = Vec::new();
+                        for d in doc.descendants(doc.root()) {
+                            if let Some(dn) = doc.name(d) {
+                                if name == "*" || dn == name {
+                                    out.push(Target { doc: di, obj: ObjectRef::Node(d) });
+                                }
+                            }
+                        }
+                        out
+                    }
+                    _ => vec![root],
+                }
+            }
+            PathStart::Var(v) => match self.lookup(env, v)? {
+                BindingValue::One(t) => vec![t.clone()],
+                BindingValue::Seq(s) => s.clone(),
+            },
+            PathStart::Relative => match ctx {
+                Some(t) => vec![t.clone()],
+                None => {
+                    // Implicit context (paper Example 3 binds a bare
+                    // `ref(managers,…)` relative to the enclosing `$lab`):
+                    // try each FOR-bound variable, newest first, and use
+                    // the first that yields any result.
+                    let candidates: Vec<&Target> = env
+                        .iter()
+                        .rev()
+                        .filter_map(|(_, v)| match v {
+                            BindingValue::One(t) => Some(t),
+                            BindingValue::Seq(_) => None,
+                        })
+                        .collect();
+                    if candidates.is_empty() {
+                        return Err(QueryError::Eval(
+                            "relative path with no context object".into(),
+                        ));
+                    }
+                    for cand in candidates {
+                        let mut set = vec![cand.clone()];
+                        for step in steps {
+                            set = self.eval_step(step, &set, env)?;
+                        }
+                        if !set.is_empty() {
+                            return Ok(set);
+                        }
+                    }
+                    return Ok(Vec::new());
+                }
+            },
+        };
+        for step in steps {
+            set = self.eval_step(step, &set, env)?;
+        }
+        Ok(set)
+    }
+
+    fn eval_step(&self, step: &Step, set: &[Target], env: &Env) -> Result<Vec<Target>> {
+        let mut out = Vec::new();
+        match step {
+            Step::Child(name) => {
+                for t in set {
+                    if let ObjectRef::Node(n) = &t.obj {
+                        let doc = &self.docs[t.doc].1;
+                        for &c in doc.children(*n) {
+                            if let Some(cn) = doc.name(c) {
+                                if name == "*" || cn == name {
+                                    out.push(Target { doc: t.doc, obj: ObjectRef::Node(c) });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Step::Descendant(name) => {
+                for t in set {
+                    if let ObjectRef::Node(n) = &t.obj {
+                        let doc = &self.docs[t.doc].1;
+                        for d in doc.descendants(*n).skip(1) {
+                            if let Some(dn) = doc.name(d) {
+                                if name == "*" || dn == name {
+                                    out.push(Target { doc: t.doc, obj: ObjectRef::Node(d) });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Step::Attribute(name) => {
+                for t in set {
+                    if let ObjectRef::Node(n) = &t.obj {
+                        let doc = &self.docs[t.doc].1;
+                        if doc.attr(*n, name).is_some() {
+                            out.push(Target {
+                                doc: t.doc,
+                                obj: ObjectRef::Attr { owner: *n, name: name.clone() },
+                            });
+                        }
+                    }
+                }
+            }
+            Step::Ref { label, target } => {
+                for t in set {
+                    if let ObjectRef::Node(n) = &t.obj {
+                        let doc = &self.docs[t.doc].1;
+                        if let Some(el) = doc.element(*n) {
+                            for attr in &el.attrs {
+                                if label != "*" && &attr.name != label {
+                                    continue;
+                                }
+                                if let AttrValue::Refs(ids) = &attr.value {
+                                    for (i, id) in ids.iter().enumerate() {
+                                        if target == "*" || id == target {
+                                            out.push(Target {
+                                                doc: t.doc,
+                                                obj: ObjectRef::RefEntry {
+                                                    owner: *n,
+                                                    attr: attr.name.clone(),
+                                                    index: i,
+                                                },
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Step::Deref => {
+                for t in set {
+                    let doc = &self.docs[t.doc].1;
+                    let ids: Vec<String> = match &t.obj {
+                        ObjectRef::Attr { owner, name } => match &doc.attr(*owner, name) {
+                            Some(a) => match &a.value {
+                                AttrValue::Refs(ids) => ids.clone(),
+                                AttrValue::Text(s) => vec![s.clone()],
+                            },
+                            None => Vec::new(),
+                        },
+                        ObjectRef::RefEntry { owner, attr, index } => {
+                            match &doc.attr(*owner, attr).map(|a| &a.value) {
+                                Some(AttrValue::Refs(ids)) => {
+                                    ids.get(*index).cloned().into_iter().collect()
+                                }
+                                _ => Vec::new(),
+                            }
+                        }
+                        ObjectRef::Node(_) => {
+                            return Err(QueryError::Eval(
+                                "`->` requires a reference binding".into(),
+                            ))
+                        }
+                    };
+                    for id in ids {
+                        if let Some(n) = doc.resolve_ref(&id) {
+                            out.push(Target { doc: t.doc, obj: ObjectRef::Node(n) });
+                        }
+                    }
+                }
+            }
+            Step::Predicate(expr) => {
+                for t in set {
+                    if self.eval_uexpr(expr, env, Some(t))?.truthy()? {
+                        out.push(t.clone());
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // expression evaluation
+    // ------------------------------------------------------------------
+
+    fn eval_uexpr(&self, e: &UExpr, env: &Env, ctx: Option<&Target>) -> Result<EvalVal> {
+        match e {
+            UExpr::Literal(Lit::Str(s)) => Ok(EvalVal::Str(s.clone())),
+            UExpr::Literal(Lit::Int(i)) => Ok(EvalVal::Int(*i)),
+            UExpr::Path(p) => Ok(EvalVal::Set(self.eval_path(p, env, ctx)?)),
+            UExpr::Index(var) => {
+                let t = self.lookup_one(env, var)?;
+                match &t.obj {
+                    ObjectRef::Node(n) => {
+                        let doc = &self.docs[t.doc].1;
+                        let idx = doc.child_index(*n).ok_or_else(|| {
+                            QueryError::Eval(format!("${var} has no parent; index() undefined"))
+                        })?;
+                        Ok(EvalVal::Int(idx as i64))
+                    }
+                    ObjectRef::RefEntry { index, .. } => Ok(EvalVal::Int(*index as i64)),
+                    ObjectRef::Attr { .. } => Err(QueryError::Eval(
+                        "index() is undefined for attributes (unordered)".into(),
+                    )),
+                }
+            }
+            UExpr::Cmp { left, op, right } => {
+                let l = self.eval_uexpr(left, env, ctx)?;
+                let r = self.eval_uexpr(right, env, ctx)?;
+                Ok(EvalVal::Bool(self.compare(&l, &r, *op)?))
+            }
+            UExpr::And(a, b) => Ok(EvalVal::Bool(
+                self.eval_uexpr(a, env, ctx)?.truthy()?
+                    && self.eval_uexpr(b, env, ctx)?.truthy()?,
+            )),
+            UExpr::Or(a, b) => Ok(EvalVal::Bool(
+                self.eval_uexpr(a, env, ctx)?.truthy()?
+                    || self.eval_uexpr(b, env, ctx)?.truthy()?,
+            )),
+            UExpr::Not(a) => Ok(EvalVal::Bool(!self.eval_uexpr(a, env, ctx)?.truthy()?)),
+        }
+    }
+
+    /// XPath-style comparison: node sets compare existentially.
+    fn compare(&self, l: &EvalVal, r: &EvalVal, op: CmpOp) -> Result<bool> {
+        let lvals = self.atomize(l);
+        let rvals = self.atomize(r);
+        for a in &lvals {
+            for b in &rvals {
+                if Self::cmp_atoms(a, b, op) {
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    fn atomize(&self, v: &EvalVal) -> Vec<Atom> {
+        match v {
+            EvalVal::Str(s) => vec![Atom::Str(s.clone())],
+            EvalVal::Int(i) => vec![Atom::Int(*i)],
+            EvalVal::Bool(b) => vec![Atom::Str(b.to_string())],
+            EvalVal::Set(ts) => ts.iter().map(|t| Atom::Str(self.string_value(t))).collect(),
+        }
+    }
+
+    fn cmp_atoms(a: &Atom, b: &Atom, op: CmpOp) -> bool {
+        use std::cmp::Ordering;
+        let ord = match (a, b) {
+            (Atom::Int(x), Atom::Int(y)) => x.cmp(y),
+            (Atom::Str(x), Atom::Int(y)) => match x.trim().parse::<i64>() {
+                Ok(xv) => xv.cmp(y),
+                Err(_) => return matches!(op, CmpOp::Ne),
+            },
+            (Atom::Int(x), Atom::Str(y)) => match y.trim().parse::<i64>() {
+                Ok(yv) => x.cmp(&yv),
+                Err(_) => return matches!(op, CmpOp::Ne),
+            },
+            (Atom::Str(x), Atom::Str(y)) => x.cmp(y),
+        };
+        match op {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+
+    /// String value of a bound object.
+    pub fn string_value(&self, t: &Target) -> String {
+        let doc = &self.docs[t.doc].1;
+        match &t.obj {
+            ObjectRef::Node(n) => doc.string_value(*n),
+            ObjectRef::Attr { owner, name } => {
+                doc.attr(*owner, name).map(|a| a.value.to_text()).unwrap_or_default()
+            }
+            ObjectRef::RefEntry { owner, attr, index } => {
+                match doc.attr(*owner, attr).map(|a| &a.value) {
+                    Some(AttrValue::Refs(ids)) => ids.get(*index).cloned().unwrap_or_default(),
+                    _ => String::new(),
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // update planning & execution
+    // ------------------------------------------------------------------
+
+    fn plan_update_op(
+        &self,
+        op: &UpdateOp,
+        env: &Env,
+        plan: &mut Vec<PlannedOp>,
+    ) -> Result<()> {
+        let target = self.lookup_one(env, &op.target)?;
+        let target_node = match &target.obj {
+            ObjectRef::Node(n) => *n,
+            other => {
+                return Err(QueryError::Eval(format!(
+                    "UPDATE target ${} must be an element, got {other:?}",
+                    op.target
+                )))
+            }
+        };
+        for sub in &op.ops {
+            match sub {
+                SubOp::Delete { child } => {
+                    let c = self.lookup_one(env, child)?;
+                    self.require_same_doc(&target, &c)?;
+                    plan.push(PlannedOp::Delete {
+                        doc: target.doc,
+                        target: target_node,
+                        child: c.obj,
+                    });
+                }
+                SubOp::Rename { child, to } => {
+                    let c = self.lookup_one(env, child)?;
+                    self.require_same_doc(&target, &c)?;
+                    plan.push(PlannedOp::Rename {
+                        doc: target.doc,
+                        child: c.obj,
+                        to: to.clone(),
+                    });
+                }
+                SubOp::Insert { content, position } => {
+                    let content = self.plan_content(content, env)?;
+                    let anchor = match position {
+                        None => None,
+                        Some((pos, var)) => {
+                            let a = self.lookup_one(env, var)?;
+                            self.require_same_doc(&target, &a)?;
+                            Some((*pos, a.obj))
+                        }
+                    };
+                    plan.push(PlannedOp::Insert {
+                        doc: target.doc,
+                        target: target_node,
+                        content,
+                        anchor,
+                    });
+                }
+                SubOp::Replace { child, with } => {
+                    let c = self.lookup_one(env, child)?;
+                    self.require_same_doc(&target, &c)?;
+                    let content = self.plan_content(with, env)?;
+                    plan.push(PlannedOp::Replace {
+                        doc: target.doc,
+                        target: target_node,
+                        child: c.obj,
+                        content,
+                    });
+                }
+                SubOp::Nested(nested) => {
+                    // Snapshot semantics: nested bindings expand now, over
+                    // the pristine input.
+                    let mut inner_env = env.clone();
+                    let tuples = self.expand(
+                        &nested.fors,
+                        &[],
+                        nested.filter.as_ref(),
+                        &mut inner_env,
+                    )?;
+                    for tuple in &tuples {
+                        for inner_op in &nested.updates {
+                            self.plan_update_op(inner_op, tuple, plan)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn require_same_doc(&self, a: &Target, b: &Target) -> Result<()> {
+        if a.doc != b.doc {
+            return Err(QueryError::Eval(
+                "child/anchor binding must live in the target's document".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn plan_content(&self, c: &ContentExpr, env: &Env) -> Result<PlannedContent> {
+        Ok(match c {
+            ContentExpr::Element(xml) => PlannedContent::Xml(xml.clone()),
+            ContentExpr::NewAttribute { name, value } => {
+                PlannedContent::Attribute { name: name.clone(), value: value.clone() }
+            }
+            ContentExpr::NewRef { label, target } => {
+                PlannedContent::Ref { label: label.clone(), target: target.clone() }
+            }
+            ContentExpr::Text(s) => PlannedContent::Text(s.clone()),
+            ContentExpr::Var(v) => PlannedContent::CopyOf(self.lookup_one(env, v)?),
+        })
+    }
+
+    /// Execute one planned primitive. Returns `false` (skip) when a binding
+    /// refers to a node deleted by an earlier op in the sequence.
+    fn exec_planned(&mut self, p: PlannedOp) -> Result<bool> {
+        match p {
+            PlannedOp::Delete { doc, target, child } => {
+                if !self.live(doc, target) || !self.obj_live(doc, &child) {
+                    return Ok(false);
+                }
+                update::delete(&mut self.docs[doc].1, target, &child)?;
+                Ok(true)
+            }
+            PlannedOp::Rename { doc, child, to } => {
+                if !self.obj_live(doc, &child) {
+                    return Ok(false);
+                }
+                update::rename(&mut self.docs[doc].1, &child, &to)?;
+                Ok(true)
+            }
+            PlannedOp::Insert { doc, target, content, anchor } => {
+                if !self.live(doc, target) {
+                    return Ok(false);
+                }
+                if let Some((_, a)) = &anchor {
+                    if !self.obj_live(doc, a) {
+                        return Ok(false);
+                    }
+                }
+                let contents = match self.realize_content(doc, content)? {
+                    Some(c) => c,
+                    None => return Ok(false), // copy source died
+                };
+                for content in contents {
+                    match &anchor {
+                        None => {
+                            update::insert(&mut self.docs[doc].1, target, content, self.model)?
+                        }
+                        Some((pos, a)) => {
+                            let position = match pos {
+                                InsertPosition::Before => Position::Before,
+                                InsertPosition::After => Position::After,
+                            };
+                            update::insert_relative(
+                                &mut self.docs[doc].1,
+                                target,
+                                a,
+                                content,
+                                position,
+                                self.model,
+                            )?;
+                        }
+                    }
+                }
+                Ok(true)
+            }
+            PlannedOp::Replace { doc, target, child, content } => {
+                if !self.live(doc, target) || !self.obj_live(doc, &child) {
+                    return Ok(false);
+                }
+                let mut contents = match self.realize_content(doc, content)? {
+                    Some(c) => c,
+                    None => return Ok(false),
+                };
+                if contents.len() != 1 {
+                    return Err(QueryError::Eval(
+                        "REPLACE requires single-item content (a multi-entry IDREFS \
+                         can only replace via its individual entries)"
+                            .into(),
+                    ));
+                }
+                update::replace(
+                    &mut self.docs[doc].1,
+                    target,
+                    &child,
+                    contents.pop().expect("one item"),
+                    self.model,
+                )?;
+                Ok(true)
+            }
+        }
+    }
+
+    fn live(&self, doc: usize, n: NodeId) -> bool {
+        self.docs[doc].1.is_live(n)
+    }
+
+    fn obj_live(&self, doc: usize, obj: &ObjectRef) -> bool {
+        match obj {
+            ObjectRef::Node(n) => self.live(doc, *n),
+            ObjectRef::Attr { owner, name } => {
+                self.live(doc, *owner) && self.docs[doc].1.attr(*owner, name).is_some()
+            }
+            // A planned RefEntry dies when an earlier op removed its entry
+            // (or shifted the list under it): the index must still be in
+            // range, otherwise executing against it would hit the wrong
+            // reference.
+            ObjectRef::RefEntry { owner, attr, index } => {
+                self.live(doc, *owner)
+                    && matches!(
+                        self.docs[doc].1.attr(*owner, attr).map(|a| &a.value),
+                        Some(AttrValue::Refs(ids)) if *index < ids.len()
+                    )
+            }
+        }
+    }
+
+    /// Turn planned content into tree-level [`Content`] items (usually one;
+    /// copying a multi-entry IDREFS attribute yields one per entry),
+    /// allocating nodes in the target document. Returns `None` when a copy
+    /// source is dead.
+    fn realize_content(
+        &mut self,
+        dst_doc: usize,
+        c: PlannedContent,
+    ) -> Result<Option<Vec<Content>>> {
+        Ok(Some(match c {
+            PlannedContent::Text(s) => vec![Content::Text(s)],
+            PlannedContent::Attribute { name, value } => {
+                vec![Content::Attribute { name, value }]
+            }
+            PlannedContent::Ref { label, target } => vec![Content::Ref { label, target }],
+            PlannedContent::Xml(xml) => {
+                let parsed = xmlup_xml::parse_with(&xml, &self.parse_opts)?;
+                let dst = &mut self.docs[dst_doc].1;
+                let copied = dst.copy_subtree_from(&parsed.doc, parsed.doc.root());
+                vec![Content::Element(copied)]
+            }
+            PlannedContent::CopyOf(src) => {
+                if !self.obj_live(src.doc, &src.obj) {
+                    return Ok(None);
+                }
+                match &src.obj {
+                    ObjectRef::Node(n) => {
+                        let node = *n;
+                        let copied = if src.doc == dst_doc {
+                            match self.docs[dst_doc].1.kind(node) {
+                                NodeKind::Text(s) => {
+                                    return Ok(Some(vec![Content::Text(s.clone())]));
+                                }
+                                NodeKind::Element(_) => self.docs[dst_doc].1.copy_subtree(node),
+                            }
+                        } else {
+                            // Split-borrow the two documents.
+                            let (src_doc_ref, dst_doc_ref) =
+                                two_docs(&mut self.docs, src.doc, dst_doc);
+                            if let NodeKind::Text(s) = src_doc_ref.kind(node) {
+                                return Ok(Some(vec![Content::Text(s.clone())]));
+                            }
+                            dst_doc_ref.copy_subtree_from(src_doc_ref, node)
+                        };
+                        vec![Content::Element(copied)]
+                    }
+                    ObjectRef::Attr { owner, name } => {
+                        let doc = &self.docs[src.doc].1;
+                        let a = doc.attr(*owner, name).ok_or_else(|| {
+                            QueryError::Eval(format!("attribute `{name}` vanished"))
+                        })?;
+                        match &a.value {
+                            AttrValue::Text(v) => {
+                                vec![Content::Attribute { name: name.clone(), value: v.clone() }]
+                            }
+                            // Copying an IDREFS attribute carries EVERY
+                            // entry, in order.
+                            AttrValue::Refs(ids) => ids
+                                .iter()
+                                .map(|id| Content::Ref {
+                                    label: name.clone(),
+                                    target: id.clone(),
+                                })
+                                .collect(),
+                        }
+                    }
+                    ObjectRef::RefEntry { owner, attr, index } => {
+                        let doc = &self.docs[src.doc].1;
+                        let id = match doc.attr(*owner, attr).map(|a| &a.value) {
+                            Some(AttrValue::Refs(ids)) => {
+                                ids.get(*index).cloned().unwrap_or_default()
+                            }
+                            _ => String::new(),
+                        };
+                        vec![Content::Ref { label: attr.clone(), target: id }]
+                    }
+                }
+            }
+        }))
+    }
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Store::new()
+    }
+}
+
+/// Split-borrow two distinct documents from the store.
+fn two_docs(
+    docs: &mut [(String, Document)],
+    src: usize,
+    dst: usize,
+) -> (&Document, &mut Document) {
+    assert_ne!(src, dst);
+    if src < dst {
+        let (a, b) = docs.split_at_mut(dst);
+        (&a[src].1, &mut b[0].1)
+    } else {
+        let (a, b) = docs.split_at_mut(src);
+        (&b[0].1, &mut a[dst].1)
+    }
+}
+
+/// Planned primitive operation (phase-1 output).
+#[derive(Debug)]
+enum PlannedOp {
+    Delete { doc: usize, target: NodeId, child: ObjectRef },
+    Rename { doc: usize, child: ObjectRef, to: String },
+    Insert {
+        doc: usize,
+        target: NodeId,
+        content: PlannedContent,
+        anchor: Option<(InsertPosition, ObjectRef)>,
+    },
+    Replace { doc: usize, target: NodeId, child: ObjectRef, content: PlannedContent },
+}
+
+#[derive(Debug)]
+enum PlannedContent {
+    Text(String),
+    Attribute { name: String, value: String },
+    Ref { label: String, target: String },
+    Xml(String),
+    CopyOf(Target),
+}
+
+/// Intermediate expression value.
+#[derive(Debug, Clone, PartialEq)]
+enum EvalVal {
+    Bool(bool),
+    Int(i64),
+    Str(String),
+    Set(Vec<Target>),
+}
+
+impl EvalVal {
+    fn truthy(&self) -> Result<bool> {
+        match self {
+            EvalVal::Bool(b) => Ok(*b),
+            EvalVal::Set(s) => Ok(!s.is_empty()),
+            other => Err(QueryError::Eval(format!("expected boolean, got {other:?}"))),
+        }
+    }
+}
+
+enum Atom {
+    Int(i64),
+    Str(String),
+}

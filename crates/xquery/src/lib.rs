@@ -1,0 +1,44 @@
+//! # xmlup-xquery
+//!
+//! The paper's XQuery update extensions (Section 4): a parser for
+//! `FOR … LET … WHERE … UPDATE { … }` statements (including nested
+//! Sub-Updates, `ref()` bindings, `new_attribute`/`new_ref` constructors,
+//! element constructors with the `</>`(close-innermost) shorthand, and the
+//! `$var.index()` method), plus an evaluator over in-memory documents that
+//! implements the snapshot-binding semantics of Section 3.2.
+//!
+//! ```
+//! use xmlup_xml::{parse_with, ParseOptions, samples};
+//! use xmlup_xquery::{Outcome, Store};
+//!
+//! let opts = ParseOptions::with_ref_attrs(samples::BIO_REF_ATTRS);
+//! let doc = parse_with(samples::BIO_XML, &opts).unwrap().doc;
+//! let mut store = Store::new();
+//! store.parse_opts = opts;
+//! store.add_document("bio.xml", doc);
+//!
+//! let out = store
+//!     .execute_str(
+//!         r#"FOR $b IN document("bio.xml")/db/biologist RETURN $b"#,
+//!     )
+//!     .unwrap();
+//! match out {
+//!     Outcome::Bindings(b) => assert_eq!(b.len(), 2),
+//!     _ => unreachable!(),
+//! }
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod parser;
+pub mod printer;
+
+pub use ast::{
+    Action, CmpOp, ContentExpr, ForBinding, InsertPosition, LetBinding, Lit, NestedUpdate,
+    PathExpr, PathStart, Statement, Step, SubOp, UExpr, UpdateOp,
+};
+pub use error::{QueryError, Result};
+pub use eval::{Outcome, Store, Target};
+pub use parser::parse_statement;
+pub use printer::print_statement;

@@ -1,0 +1,963 @@
+//! Hand-written parser for the XQuery update extensions.
+//!
+//! The parser is cursor-based (no separate token stream) because element
+//! constructors require switching into raw-XML scanning mid-statement:
+//! `INSERT <street>Oak</street> AFTER $n` embeds literal XML, including the
+//! paper's `</>`(close-innermost) shorthand, which the scanner expands to a
+//! proper close tag.
+
+use crate::ast::*;
+use crate::error::{QueryError, Result};
+
+/// Parse one statement.
+pub fn parse_statement(src: &str) -> Result<Statement> {
+    let mut p = P { b: src.as_bytes(), i: 0 };
+    let stmt = p.statement()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(p.err("trailing input after statement"));
+    }
+    Ok(stmt)
+}
+
+struct P<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, msg: impl Into<String>) -> QueryError {
+        let upto = self.i.min(self.b.len());
+        let line = self.b[..upto].iter().filter(|&&c| c == b'\n').count() + 1;
+        QueryError::Parse(format!("{} (line {line})", msg.into()))
+    }
+
+    fn ws(&mut self) {
+        loop {
+            while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+            // XQuery comments: (: … :), nestable.
+            if self.b[self.i..].starts_with(b"(:") {
+                let mut depth = 1;
+                self.i += 2;
+                while depth > 0 {
+                    if self.b[self.i..].starts_with(b"(:") {
+                        depth += 1;
+                        self.i += 2;
+                    } else if self.b[self.i..].starts_with(b":)") {
+                        depth -= 1;
+                        self.i += 2;
+                    } else if self.i < self.b.len() {
+                        self.i += 1;
+                    } else {
+                        return;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn starts(&self, s: &str) -> bool {
+        self.b[self.i..].starts_with(s.as_bytes())
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.starts(s) {
+            self.i += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<()> {
+        self.ws();
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    /// Case-insensitive keyword lookahead with word boundary.
+    fn peek_kw(&mut self, kw: &str) -> bool {
+        self.ws();
+        let rest = &self.b[self.i..];
+        if rest.len() < kw.len() {
+            return false;
+        }
+        if !rest[..kw.len()].eq_ignore_ascii_case(kw.as_bytes()) {
+            return false;
+        }
+        match rest.get(kw.len()) {
+            Some(c) => !(c.is_ascii_alphanumeric() || *c == b'_'),
+            None => true,
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.i += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword `{kw}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        self.ws();
+        let start = self.i;
+        match self.peek() {
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => self.i += 1,
+            _ => return Err(self.err("expected identifier")),
+        }
+        while let Some(c) = self.peek() {
+            // `-` is legal inside XML names but must not swallow the `->`
+            // dereference operator.
+            if c.is_ascii_alphanumeric()
+                || c == b'_'
+                || (c == b'-' && self.b.get(self.i + 1) != Some(&b'>'))
+            {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(String::from_utf8_lossy(&self.b[start..self.i]).into_owned())
+    }
+
+    fn var(&mut self) -> Result<String> {
+        self.expect("$")?;
+        self.ident()
+    }
+
+    fn string_lit(&mut self) -> Result<String> {
+        self.ws();
+        let q = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected string literal")),
+        };
+        self.i += 1;
+        let start = self.i;
+        while let Some(c) = self.peek() {
+            if c == q {
+                let s = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+                self.i += 1;
+                return Ok(s);
+            }
+            self.i += 1;
+        }
+        Err(self.err("unterminated string literal"))
+    }
+
+    fn int_lit(&mut self) -> Result<i64> {
+        self.ws();
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if self.i == start || (self.i == start + 1 && self.b[start] == b'-') {
+            return Err(self.err("expected integer"));
+        }
+        String::from_utf8_lossy(&self.b[start..self.i])
+            .parse()
+            .map_err(|_| self.err("integer overflow"))
+    }
+
+    // ------------------------------------------------------------------
+    // statement structure
+    // ------------------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement> {
+        let mut fors = Vec::new();
+        let mut lets = Vec::new();
+        if self.eat_kw("FOR") {
+            self.bindings_into(&mut fors, &mut lets)?;
+        }
+        while self.eat_kw("LET") {
+            loop {
+                let var = self.var()?;
+                self.expect(":=")?;
+                let path = self.path()?;
+                lets.push(LetBinding { var, path });
+                self.ws();
+                if !self.comma_then_more_bindings() {
+                    break;
+                }
+                self.expect(",")?;
+            }
+        }
+        let filter = if self.eat_kw("WHERE") { Some(self.where_list()?) } else { None };
+        let action = if self.eat_kw("RETURN") {
+            Action::Return(self.uexpr()?)
+        } else {
+            let mut ops = vec![self.update_op()?];
+            loop {
+                self.ws();
+                if self.starts(",") {
+                    let save = self.i;
+                    self.i += 1;
+                    if self.peek_kw("UPDATE") {
+                        ops.push(self.update_op()?);
+                        continue;
+                    }
+                    self.i = save;
+                }
+                break;
+            }
+            Action::Update(ops)
+        };
+        Ok(Statement { fors, lets, filter, action })
+    }
+
+    /// Parse `$v IN path` / `$v := path` items separated by commas; LET-style
+    /// items are allowed inside a FOR list for convenience.
+    fn bindings_into(
+        &mut self,
+        fors: &mut Vec<ForBinding>,
+        lets: &mut Vec<LetBinding>,
+    ) -> Result<()> {
+        loop {
+            let var = self.var()?;
+            self.ws();
+            if self.eat(":=") {
+                let path = self.path()?;
+                lets.push(LetBinding { var, path });
+            } else {
+                self.expect_kw("IN")?;
+                let path = self.path()?;
+                fors.push(ForBinding { var, path });
+            }
+            self.ws();
+            if !self.comma_then_more_bindings() {
+                return Ok(());
+            }
+            self.expect(",")?;
+        }
+    }
+
+    /// After a binding, a comma may introduce another binding (`, $v …`) or
+    /// belong to an enclosing construct; only consume it in the former case.
+    fn comma_then_more_bindings(&mut self) -> bool {
+        let save = self.i;
+        if !self.eat(",") {
+            return false;
+        }
+        self.ws();
+        let more = self.peek() == Some(b'$');
+        self.i = save;
+        more
+    }
+
+    /// `WHERE p1, p2, …` — comma-separated predicates form a conjunction.
+    fn where_list(&mut self) -> Result<UExpr> {
+        let mut e = self.uexpr()?;
+        loop {
+            self.ws();
+            let save = self.i;
+            if self.eat(",") {
+                // Stop if the comma introduces an UPDATE op (the action).
+                if self.peek_kw("UPDATE") || self.peek_kw("FOR") {
+                    self.i = save;
+                    break;
+                }
+                let rhs = self.uexpr()?;
+                e = UExpr::And(Box::new(e), Box::new(rhs));
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn update_op(&mut self) -> Result<UpdateOp> {
+        self.expect_kw("UPDATE")?;
+        let target = self.var()?;
+        self.expect("{")?;
+        let mut ops = vec![self.sub_op()?];
+        loop {
+            self.ws();
+            if self.eat(",") {
+                ops.push(self.sub_op()?);
+            } else {
+                break;
+            }
+        }
+        self.expect("}")?;
+        Ok(UpdateOp { target, ops })
+    }
+
+    fn sub_op(&mut self) -> Result<SubOp> {
+        if self.eat_kw("DELETE") {
+            Ok(SubOp::Delete { child: self.var()? })
+        } else if self.eat_kw("RENAME") {
+            let child = self.var()?;
+            self.expect_kw("TO")?;
+            let to = self.ident()?;
+            Ok(SubOp::Rename { child, to })
+        } else if self.eat_kw("INSERT") {
+            let content = self.content()?;
+            let position = if self.eat_kw("BEFORE") {
+                Some((InsertPosition::Before, self.var()?))
+            } else if self.eat_kw("AFTER") {
+                Some((InsertPosition::After, self.var()?))
+            } else {
+                None
+            };
+            Ok(SubOp::Insert { content, position })
+        } else if self.eat_kw("REPLACE") {
+            let child = self.var()?;
+            self.expect_kw("WITH")?;
+            let with = self.content()?;
+            Ok(SubOp::Replace { child, with })
+        } else if self.eat_kw("FOR") {
+            let mut fors = Vec::new();
+            let mut lets = Vec::new();
+            self.bindings_into(&mut fors, &mut lets)?;
+            if !lets.is_empty() {
+                return Err(self.err("LET bindings are not allowed in nested updates"));
+            }
+            let filter = if self.eat_kw("WHERE") { Some(self.where_list()?) } else { None };
+            let mut updates = vec![self.update_op()?];
+            loop {
+                self.ws();
+                let save = self.i;
+                if self.eat(",") && self.peek_kw("UPDATE") {
+                    updates.push(self.update_op()?);
+                } else {
+                    self.i = save;
+                    break;
+                }
+            }
+            Ok(SubOp::Nested(Box::new(NestedUpdate { fors, filter, updates })))
+        } else {
+            Err(self.err("expected DELETE, RENAME, INSERT, REPLACE, or FOR"))
+        }
+    }
+
+    fn content(&mut self) -> Result<ContentExpr> {
+        self.ws();
+        match self.peek() {
+            Some(b'<') => Ok(ContentExpr::Element(self.xml_constructor()?)),
+            Some(b'$') => Ok(ContentExpr::Var(self.var()?)),
+            Some(b'"' | b'\'') => Ok(ContentExpr::Text(self.string_lit()?)),
+            _ => {
+                if self.eat_kw("new_attribute") {
+                    self.expect("(")?;
+                    let name = self.ident()?;
+                    self.expect(",")?;
+                    let value = self.string_lit()?;
+                    self.expect(")")?;
+                    Ok(ContentExpr::NewAttribute { name, value })
+                } else if self.eat_kw("new_ref") {
+                    self.expect("(")?;
+                    let label = self.ident()?;
+                    self.expect(",")?;
+                    let target = self.string_lit()?;
+                    self.expect(")")?;
+                    Ok(ContentExpr::NewRef { label, target })
+                } else {
+                    Err(self.err("expected content (XML, string, $var, new_attribute, new_ref)"))
+                }
+            }
+        }
+    }
+
+    /// Scan one balanced XML element from the cursor, normalizing the
+    /// paper's `</>`(close-innermost) shorthand to an explicit close tag.
+    fn xml_constructor(&mut self) -> Result<String> {
+        self.ws();
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected `<`"));
+        }
+        let mut out = String::new();
+        let mut stack: Vec<String> = Vec::new();
+        loop {
+            match self.peek() {
+                Some(b'<') => {
+                    if self.starts("</>") {
+                        let tag = stack
+                            .pop()
+                            .ok_or_else(|| self.err("`</>` with no open element"))?;
+                        out.push_str("</");
+                        out.push_str(&tag);
+                        out.push('>');
+                        self.i += 3;
+                    } else if self.starts("</") {
+                        self.i += 2;
+                        let tag = self.ident()?;
+                        self.ws();
+                        self.expect(">")?;
+                        match stack.pop() {
+                            Some(open) if open == tag => {
+                                out.push_str("</");
+                                out.push_str(&tag);
+                                out.push('>');
+                            }
+                            Some(open) => {
+                                return Err(self.err(format!(
+                                    "mismatched constructor tags: <{open}> vs </{tag}>"
+                                )))
+                            }
+                            None => return Err(self.err("unbalanced close tag in constructor")),
+                        }
+                    } else {
+                        // Open tag with attributes, possibly self-closing.
+                        self.i += 1;
+                        let tag = self.ident()?;
+                        out.push('<');
+                        out.push_str(&tag);
+                        let mut self_closing = false;
+                        loop {
+                            self.ws();
+                            if self.eat("/>") {
+                                out.push_str("/>");
+                                self_closing = true;
+                                break;
+                            }
+                            if self.eat(">") {
+                                out.push('>');
+                                break;
+                            }
+                            let aname = self.ident()?;
+                            self.ws();
+                            self.expect("=")?;
+                            let v = self.string_lit()?;
+                            out.push(' ');
+                            out.push_str(&aname);
+                            out.push_str("=\"");
+                            // The constructor text is already XML: the
+                            // author wrote entities where needed, so emit
+                            // verbatim (re-escaping would double-encode
+                            // `&amp;` into `&amp;amp;`).
+                            out.push_str(&v);
+                            out.push('"');
+                        }
+                        if !self_closing {
+                            stack.push(tag);
+                        }
+                    }
+                    if stack.is_empty() {
+                        return Ok(out);
+                    }
+                }
+                Some(_) => {
+                    // Raw character data inside the constructor.
+                    let start = self.i;
+                    while let Some(c) = self.peek() {
+                        if c == b'<' {
+                            break;
+                        }
+                        self.i += 1;
+                    }
+                    out.push_str(&String::from_utf8_lossy(&self.b[start..self.i]));
+                }
+                None => return Err(self.err("unterminated XML constructor")),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // paths & expressions
+    // ------------------------------------------------------------------
+
+    fn path(&mut self) -> Result<PathExpr> {
+        self.ws();
+        let (start, mut steps) = if self.eat_kw("document") {
+            self.expect("(")?;
+            let name = self.string_lit()?;
+            self.expect(")")?;
+            (PathStart::Document(name), Vec::new())
+        } else if self.peek() == Some(b'$') {
+            (PathStart::Var(self.var()?), Vec::new())
+        } else {
+            // Relative start: first step without a leading slash.
+            let step = self.bare_step()?;
+            (PathStart::Relative, vec![step])
+        };
+        self.steps_into(&mut steps)?;
+        Ok(PathExpr { start, steps })
+    }
+
+    /// A step not introduced by `/`: `name`, `@name`, or `ref(...)`.
+    fn bare_step(&mut self) -> Result<Step> {
+        self.ws();
+        if self.eat("@") {
+            return Ok(Step::Attribute(self.ident()?));
+        }
+        if self.peek_kw("ref") {
+            let save = self.i;
+            self.i += 3;
+            self.ws();
+            if self.peek() == Some(b'(') {
+                self.i += 1;
+                let label = self.name_or_star()?;
+                self.expect(",")?;
+                let target = self.ref_target()?;
+                self.expect(")")?;
+                return Ok(Step::Ref { label, target });
+            }
+            self.i = save;
+        }
+        if self.eat("*") {
+            return Ok(Step::Child("*".into()));
+        }
+        Ok(Step::Child(self.ident()?))
+    }
+
+    fn name_or_star(&mut self) -> Result<String> {
+        self.ws();
+        if self.eat("*") {
+            Ok("*".into())
+        } else {
+            self.ident()
+        }
+    }
+
+    fn ref_target(&mut self) -> Result<String> {
+        self.ws();
+        match self.peek() {
+            Some(b'"' | b'\'') => self.string_lit(),
+            Some(b'*') => {
+                self.i += 1;
+                Ok("*".into())
+            }
+            _ => self.ident(),
+        }
+    }
+
+    fn steps_into(&mut self, steps: &mut Vec<Step>) -> Result<()> {
+        loop {
+            self.ws();
+            if self.eat("//") {
+                steps.push(Step::Descendant(self.name_or_star()?));
+            } else if self.eat("/") {
+                steps.push(self.bare_step()?);
+            } else if self.eat("->") {
+                steps.push(Step::Deref);
+            } else if self.peek() == Some(b'[') {
+                self.i += 1;
+                let e = self.uexpr()?;
+                self.expect("]")?;
+                steps.push(Step::Predicate(e));
+            } else if self.peek() == Some(b'.') {
+                // Dot path separator (paper Example 7: CustDb.Customer).
+                // `.index()` belongs to the operand level, not here: only
+                // treat `.` as a separator when followed by a name that is
+                // not `index(`.
+                let save = self.i;
+                self.i += 1;
+                self.ws();
+                if self.peek_kw("index") {
+                    self.i = save;
+                    return Ok(());
+                }
+                match self.bare_step() {
+                    Ok(s) => steps.push(s),
+                    Err(_) => {
+                        self.i = save;
+                        return Ok(());
+                    }
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn uexpr(&mut self) -> Result<UExpr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = UExpr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<UExpr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = UExpr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<UExpr> {
+        if self.eat_kw("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(UExpr::Not(Box::new(inner)));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<UExpr> {
+        let left = self.operand()?;
+        self.ws();
+        let op = if self.eat("!=") {
+            Some(CmpOp::Ne)
+        } else if self.eat("<=") {
+            Some(CmpOp::Le)
+        } else if self.eat(">=") {
+            Some(CmpOp::Ge)
+        } else if self.eat("=") {
+            Some(CmpOp::Eq)
+        } else if self.eat("<") {
+            Some(CmpOp::Lt)
+        } else if self.eat(">") {
+            Some(CmpOp::Gt)
+        } else {
+            None
+        };
+        match op {
+            None => Ok(left),
+            Some(op) => {
+                let right = self.operand()?;
+                Ok(UExpr::Cmp { left: Box::new(left), op, right: Box::new(right) })
+            }
+        }
+    }
+
+    fn operand(&mut self) -> Result<UExpr> {
+        self.ws();
+        match self.peek() {
+            Some(b'"' | b'\'') => Ok(UExpr::Literal(Lit::Str(self.string_lit()?))),
+            Some(c) if c.is_ascii_digit() || c == b'-' => {
+                Ok(UExpr::Literal(Lit::Int(self.int_lit()?)))
+            }
+            Some(b'(') => {
+                self.i += 1;
+                let e = self.uexpr()?;
+                self.expect(")")?;
+                Ok(e)
+            }
+            Some(b'$') => {
+                let var = self.var()?;
+                self.ws();
+                // `$v.index()` method.
+                if self.starts(".") {
+                    let save = self.i;
+                    self.i += 1;
+                    if self.eat_kw("index") {
+                        self.expect("(")?;
+                        self.expect(")")?;
+                        return Ok(UExpr::Index(var));
+                    }
+                    self.i = save;
+                }
+                let mut steps = Vec::new();
+                self.steps_into(&mut steps)?;
+                Ok(UExpr::Path(PathExpr { start: PathStart::Var(var), steps }))
+            }
+            _ => Ok(UExpr::Path(self.path()?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example1_deletion_parses() {
+        let s = parse_statement(
+            r#"FOR $p IN document("bio.xml")/paper,
+                   $cat IN $p/@category,
+                   $bio IN $p/ref(biologist,"smith1"),
+                   $ti IN $p/title
+               UPDATE $p {
+                   DELETE $cat,
+                   DELETE $bio,
+                   DELETE $ti
+               }"#,
+        )
+        .unwrap();
+        assert_eq!(s.fors.len(), 4);
+        assert_eq!(s.fors[1].path.steps, vec![Step::Attribute("category".into())]);
+        assert_eq!(
+            s.fors[2].path.steps,
+            vec![Step::Ref { label: "biologist".into(), target: "smith1".into() }]
+        );
+        match &s.action {
+            Action::Update(ops) => {
+                assert_eq!(ops.len(), 1);
+                assert_eq!(ops[0].target, "p");
+                assert_eq!(ops[0].ops.len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn example2_insertion_parses() {
+        let s = parse_statement(
+            r#"FOR $bio in document("bio.xml")/db/biologist[@ID="smith1"]
+               UPDATE $bio {
+                   INSERT new_attribute(age,"29"),
+                   INSERT new_ref(worksAt,"ucla"),
+                   INSERT new_ref(worksAt,"baselab"),
+                   INSERT <firstname>Jeff</firstname>
+               }"#,
+        )
+        .unwrap();
+        assert_eq!(s.fors.len(), 1);
+        // Path carries a predicate step.
+        assert!(matches!(s.fors[0].path.steps.last(), Some(Step::Predicate(_))));
+        match &s.action {
+            Action::Update(ops) => {
+                assert_eq!(ops[0].ops.len(), 4);
+                assert!(matches!(
+                    &ops[0].ops[3],
+                    SubOp::Insert { content: ContentExpr::Element(x), position: None }
+                        if x == "<firstname>Jeff</firstname>"
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn example3_positional_and_implicit_ref() {
+        let s = parse_statement(
+            r#"FOR $lab in document("bio.xml")/db/lab[@ID="baselab"],
+                   $n IN $lab/name,
+                   $sref IN ref(managers,"smith1")
+               UPDATE $lab {
+                   INSERT "jones1" BEFORE $sref,
+                   INSERT <street>Oak</street> AFTER $n
+               }"#,
+        )
+        .unwrap();
+        assert_eq!(s.fors[2].path.start, PathStart::Relative);
+        match &s.action {
+            Action::Update(ops) => {
+                assert!(matches!(
+                    &ops[0].ops[0],
+                    SubOp::Insert {
+                        content: ContentExpr::Text(t),
+                        position: Some((InsertPosition::Before, a)),
+                    } if t == "jones1" && a == "sref"
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn example4_replace_with_close_any_shorthand() {
+        let s = parse_statement(
+            r#"FOR $lab in document("bio.xml")/db/lab,
+                   $name IN $lab/name,
+                   $mgr IN $lab/ref(managers, *)
+               UPDATE $lab {
+                   REPLACE $name WITH <appellation>Fancy Lab</>,
+                   REPLACE $mgr WITH new_attribute(managers,"jones1")
+               }"#,
+        )
+        .unwrap();
+        match &s.action {
+            Action::Update(ops) => {
+                assert!(matches!(
+                    &ops[0].ops[0],
+                    SubOp::Replace { with: ContentExpr::Element(x), .. }
+                        if x == "<appellation>Fancy Lab</appellation>"
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            s.fors[2].path.steps,
+            vec![Step::Ref { label: "managers".into(), target: "*".into() }]
+        );
+    }
+
+    #[test]
+    fn example5_nested_update_and_index() {
+        let s = parse_statement(
+            r#"FOR $u in document("bio.xml")/db/university[@ID="ucla"],
+                   $lab IN $u/name
+               WHERE $lab.index() = 0
+               UPDATE $u {
+                   INSERT new_attribute(labs,"2"),
+                   INSERT <lab ID="newlab"><name>UCLA Secondary Lab</name></lab> BEFORE $lab,
+                   FOR $l1 IN $u/lab,
+                       $labname IN $l1/name,
+                       $ci IN $l1/city
+                   UPDATE $l1 {
+                       REPLACE $labname WITH <name>UCLA Primary Lab</>,
+                       DELETE $ci
+                   }
+               }"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            s.filter,
+            Some(UExpr::Cmp { op: CmpOp::Eq, .. })
+        ));
+        match &s.action {
+            Action::Update(ops) => {
+                assert_eq!(ops[0].ops.len(), 3);
+                match &ops[0].ops[2] {
+                    SubOp::Nested(n) => {
+                        assert_eq!(n.fors.len(), 3);
+                        assert_eq!(n.updates.len(), 1);
+                        assert_eq!(n.updates[0].ops.len(), 2);
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn example8_descendants_and_nested_predicates() {
+        let s = parse_statement(
+            r#"FOR $o IN document("custdb.xml")//Order
+                   [status="ready" and OrderLine/ItemName="tire"]
+               UPDATE $o {
+                   INSERT <Status>suspended</Status>,
+                   FOR $i IN $o/OrderLine[ItemName="tire"]
+                   UPDATE $i {
+                       INSERT <comment>recalled</comment>
+                   }
+               }"#,
+        )
+        .unwrap();
+        assert!(matches!(s.fors[0].path.steps[0], Step::Descendant(_)));
+        assert!(matches!(s.fors[0].path.steps[1], Step::Predicate(UExpr::And(_, _))));
+    }
+
+    #[test]
+    fn example10_cross_document() {
+        let s = parse_statement(
+            r#"FOR $source IN document("custDB.xml")/CustDB/Customer[Address/State="CA"],
+                   $target IN document("CA-customers.xml")/CustDB
+               UPDATE $target {
+                   INSERT $source
+               }"#,
+        )
+        .unwrap();
+        match &s.action {
+            Action::Update(ops) => assert!(matches!(
+                &ops[0].ops[0],
+                SubOp::Insert { content: ContentExpr::Var(v), .. } if v == "source"
+            )),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn return_query_parses() {
+        let s = parse_statement(
+            r#"FOR $c IN document("custdb.xml")/CustDb/Customer[Name="John"] RETURN $c"#,
+        )
+        .unwrap();
+        assert!(matches!(s.action, Action::Return(UExpr::Path(_))));
+    }
+
+    #[test]
+    fn dot_separated_paths() {
+        let s = parse_statement(
+            r#"FOR $c IN document("custdb.xml")/CustDb.Customer
+                   [Order.OrderLine.ItemName="tire"],
+                   $n IN $c/Name
+               RETURN $n"#,
+        )
+        .unwrap();
+        assert_eq!(s.fors[0].path.steps.len(), 3); // CustDb, Customer, predicate
+    }
+
+    #[test]
+    fn multiple_update_ops() {
+        let s = parse_statement(
+            r#"FOR $a IN document("d")/x, $b IN document("d")/y
+               UPDATE $a { DELETE $b }, UPDATE $b { INSERT "t" }"#,
+        )
+        .unwrap();
+        match &s.action {
+            Action::Update(ops) => assert_eq!(ops.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rename_parses() {
+        let s = parse_statement(
+            r#"FOR $l IN document("d")/lab, $n IN $l/name
+               UPDATE $l { RENAME $n TO title }"#,
+        )
+        .unwrap();
+        match &s.action {
+            Action::Update(ops) => {
+                assert!(matches!(&ops[0].ops[0], SubOp::Rename { to, .. } if to == "title"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn deref_step() {
+        let s = parse_statement(
+            r#"FOR $p IN document("d")/paper, $b IN $p/@biologist->
+               RETURN $b"#,
+        )
+        .unwrap();
+        assert_eq!(
+            s.fors[1].path.steps,
+            vec![Step::Attribute("biologist".into()), Step::Deref]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let s = parse_statement(
+            r#"(: find papers :) FOR $p IN document("d")/paper (: all of them :) RETURN $p"#,
+        )
+        .unwrap();
+        assert_eq!(s.fors.len(), 1);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(parse_statement("FOR $x IN").is_err());
+        assert!(parse_statement("UPDATE").is_err());
+        assert!(parse_statement(r#"FOR $x IN document("d")/a RETURN $x trailing"#).is_err());
+    }
+
+    #[test]
+    fn nested_constructor_xml() {
+        let s = parse_statement(
+            r#"FOR $d IN document("d")/db
+               UPDATE $d { INSERT <lab ID="x"><name>N</name><city>C</city></lab> }"#,
+        )
+        .unwrap();
+        match &s.action {
+            Action::Update(ops) => match &ops[0].ops[0] {
+                SubOp::Insert { content: ContentExpr::Element(x), .. } => {
+                    assert_eq!(x, r#"<lab ID="x"><name>N</name><city>C</city></lab>"#);
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Pretty-printer for the XQuery update dialect: renders a parsed
+//! [`Statement`] back to surface syntax. `parse(print(ast)) == ast` holds
+//! for every statement the parser accepts (checked by round-trip tests),
+//! which makes the printer useful for logging, debugging translated
+//! workloads, and persisting generated statements.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a statement to surface syntax.
+pub fn print_statement(s: &Statement) -> String {
+    let mut out = String::new();
+    let mut clauses: Vec<String> = Vec::new();
+    for f in &s.fors {
+        clauses.push(format!("${} IN {}", f.var, print_path(&f.path)));
+    }
+    for l in &s.lets {
+        clauses.push(format!("${} := {}", l.var, print_path(&l.path)));
+    }
+    if !clauses.is_empty() {
+        let _ = write!(out, "FOR {}", clauses.join(", "));
+    }
+    if let Some(f) = &s.filter {
+        let _ = write!(out, " WHERE {}", print_uexpr(f));
+    }
+    match &s.action {
+        Action::Return(e) => {
+            let _ = write!(out, " RETURN {}", print_uexpr(e));
+        }
+        Action::Update(ops) => {
+            let rendered: Vec<String> = ops.iter().map(print_update_op).collect();
+            let _ = write!(out, " {}", rendered.join(", "));
+        }
+    }
+    out.trim().to_string()
+}
+
+fn print_update_op(op: &UpdateOp) -> String {
+    let subs: Vec<String> = op.ops.iter().map(print_sub_op).collect();
+    format!("UPDATE ${} {{ {} }}", op.target, subs.join(", "))
+}
+
+fn print_sub_op(op: &SubOp) -> String {
+    match op {
+        SubOp::Delete { child } => format!("DELETE ${child}"),
+        SubOp::Rename { child, to } => format!("RENAME ${child} TO {to}"),
+        SubOp::Insert { content, position } => {
+            let mut s = format!("INSERT {}", print_content(content));
+            if let Some((pos, anchor)) = position {
+                let kw = match pos {
+                    InsertPosition::Before => "BEFORE",
+                    InsertPosition::After => "AFTER",
+                };
+                let _ = write!(s, " {kw} ${anchor}");
+            }
+            s
+        }
+        SubOp::Replace { child, with } => {
+            format!("REPLACE ${child} WITH {}", print_content(with))
+        }
+        SubOp::Nested(n) => {
+            let fors: Vec<String> = n
+                .fors
+                .iter()
+                .map(|f| format!("${} IN {}", f.var, print_path(&f.path)))
+                .collect();
+            let mut s = format!("FOR {}", fors.join(", "));
+            if let Some(f) = &n.filter {
+                let _ = write!(s, " WHERE {}", print_uexpr(f));
+            }
+            let updates: Vec<String> = n.updates.iter().map(print_update_op).collect();
+            let _ = write!(s, " {}", updates.join(", "));
+            s
+        }
+    }
+}
+
+fn print_content(c: &ContentExpr) -> String {
+    match c {
+        ContentExpr::Element(xml) => xml.clone(),
+        ContentExpr::NewAttribute { name, value } => {
+            format!("new_attribute({name}, \"{value}\")")
+        }
+        ContentExpr::NewRef { label, target } => format!("new_ref({label}, \"{target}\")"),
+        ContentExpr::Text(t) => quote(t),
+        ContentExpr::Var(v) => format!("${v}"),
+    }
+}
+
+/// Quote a string literal with whichever delimiter it does not contain
+/// (the surface syntax has no escape sequences inside string literals).
+fn quote(s: &str) -> String {
+    if !s.contains('"') {
+        format!("\"{s}\"")
+    } else {
+        // Fall back to single quotes; a literal containing BOTH delimiters
+        // is unrepresentable in this grammar.
+        format!("'{s}'")
+    }
+}
+
+/// Render a path expression.
+pub fn print_path(p: &PathExpr) -> String {
+    let mut out = match &p.start {
+        PathStart::Document(d) => format!("document(\"{d}\")"),
+        PathStart::Var(v) => format!("${v}"),
+        PathStart::Relative => String::new(),
+    };
+    let mut first = true;
+    for step in &p.steps {
+        let lead = if out.is_empty() && first { "" } else { "/" };
+        match step {
+            Step::Child(n) => {
+                let _ = write!(out, "{lead}{n}");
+            }
+            Step::Descendant(n) => {
+                let _ = write!(out, "//{n}");
+            }
+            Step::Attribute(a) => {
+                let _ = write!(out, "{lead}@{a}");
+            }
+            Step::Ref { label, target } => {
+                let t = if target == "*" {
+                    "*".to_string()
+                } else {
+                    format!("\"{target}\"")
+                };
+                let _ = write!(out, "{lead}ref({label}, {t})");
+            }
+            Step::Deref => out.push_str("->"),
+            Step::Predicate(e) => {
+                let _ = write!(out, "[{}]", print_uexpr(e));
+            }
+        }
+        first = false;
+    }
+    out
+}
+
+/// Render an expression.
+pub fn print_uexpr(e: &UExpr) -> String {
+    match e {
+        UExpr::Literal(Lit::Str(s)) => quote(s),
+        UExpr::Literal(Lit::Int(i)) => i.to_string(),
+        UExpr::Path(p) => print_path(p),
+        UExpr::Index(v) => format!("${v}.index()"),
+        UExpr::Cmp { left, op, right } => {
+            let o = match op {
+                CmpOp::Eq => "=",
+                CmpOp::Ne => "!=",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+            };
+            format!("{} {o} {}", print_uexpr(left), print_uexpr(right))
+        }
+        UExpr::And(a, b) => format!("({} AND {})", print_uexpr(a), print_uexpr(b)),
+        UExpr::Or(a, b) => format!("({} OR {})", print_uexpr(a), print_uexpr(b)),
+        UExpr::Not(a) => format!("NOT ({})", print_uexpr(a)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+
+    /// Parse → print → parse must be a fixpoint on the AST.
+    fn roundtrip(src: &str) {
+        let ast1 = parse_statement(src).unwrap();
+        let printed = print_statement(&ast1);
+        let ast2 = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("printed form does not parse: {e}\n{printed}"));
+        assert_eq!(ast1, ast2, "AST changed across print/parse:\n{printed}");
+    }
+
+    #[test]
+    fn paper_examples_roundtrip() {
+        for src in [
+            // Example 1
+            r#"FOR $p IN document("bio.xml")/db/paper,
+                   $cat IN $p/@category,
+                   $bio IN $p/ref(biologist,"smith1"),
+                   $ti IN $p/title
+               UPDATE $p { DELETE $cat, DELETE $bio, DELETE $ti }"#,
+            // Example 2
+            r#"FOR $bio in document("bio.xml")/db/biologist[@ID="smith1"]
+               UPDATE $bio {
+                   INSERT new_attribute(age,"29"),
+                   INSERT new_ref(worksAt,"ucla"),
+                   INSERT <firstname>Jeff</firstname>
+               }"#,
+            // Example 3
+            r#"FOR $lab in document("bio.xml")/db/lab[@ID="baselab"],
+                   $n IN $lab/name,
+                   $sref IN ref(managers,"smith1")
+               UPDATE $lab {
+                   INSERT "jones1" BEFORE $sref,
+                   INSERT <street>Oak</street> AFTER $n
+               }"#,
+            // Example 4
+            r#"FOR $lab in document("bio.xml")/db/lab,
+                   $name IN $lab/name,
+                   $mgr IN $lab/ref(managers, *)
+               UPDATE $lab {
+                   REPLACE $name WITH <appellation>Fancy Lab</>,
+                   REPLACE $mgr WITH new_attribute(managers,"jones1")
+               }"#,
+            // Example 5
+            r#"FOR $u in document("bio.xml")/db/university[@ID="ucla"],
+                   $lab IN $u/lab
+               WHERE $lab.index() = 0
+               UPDATE $u {
+                   INSERT new_attribute(labs,"2"),
+                   INSERT <lab ID="newlab"><name>UCLA Secondary Lab</name></lab> BEFORE $lab,
+                   FOR $l1 IN $u/lab, $labname IN $l1/name, $ci IN $l1/city
+                   UPDATE $l1 {
+                       REPLACE $labname WITH <name>UCLA Primary Lab</>,
+                       DELETE $ci
+                   }
+               }"#,
+            // Example 8
+            r#"FOR $o IN document("custdb.xml")//Order
+                   [Status="ready" and OrderLine/ItemName="tire"]
+               UPDATE $o {
+                   INSERT <Status>suspended</Status>,
+                   FOR $i IN $o/OrderLine[ItemName="tire"]
+                   UPDATE $i { INSERT <comment>recalled</comment> }
+               }"#,
+            // Example 9
+            r#"FOR $d IN document("custdb.xml"), $c IN $d/Customer[Name="John"]
+               UPDATE $d { DELETE $c }"#,
+            // Example 10
+            r#"FOR $source IN document("custDB.xml")/CustDB/Customer[Address/State="CA"],
+                   $target IN document("CA-customers.xml")/CustDB
+               UPDATE $target { INSERT $source }"#,
+            // Queries
+            r#"FOR $c IN document("custdb.xml")/CustDb/Customer[Name="John"] RETURN $c"#,
+            r#"FOR $p IN document("d")/paper, $b IN $p/@biologist->, $ln IN $b/lastname
+               RETURN $ln"#,
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn operators_and_literals_roundtrip() {
+        for src in [
+            r#"FOR $x IN document("d")/a/b[c >= 10 and c < 20] RETURN $x"#,
+            r#"FOR $x IN document("d")/a/b[c = -5 or NOT d = "q"] RETURN $x"#,
+            r#"FOR $x IN document("d")/a, $y IN $x/b WHERE $y != "z" RETURN $y"#,
+            r#"FOR $x IN document("d")/a LET $all := $x/b RETURN $all"#,
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn printed_form_is_single_line_and_readable() {
+        let ast = parse_statement(
+            r#"FOR $d IN document("x")/r, $c IN $d/item[k="v"]
+               UPDATE $d { DELETE $c }"#,
+        )
+        .unwrap();
+        let printed = print_statement(&ast);
+        assert_eq!(
+            printed,
+            r#"FOR $d IN document("x")/r, $c IN $d/item[k = "v"] UPDATE $d { DELETE $c }"#
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! Additional evaluator coverage beyond the paper's worked examples:
+//! LET bindings, wildcard steps, literal predicates, error paths, and
+//! multi-document stores.
+
+use xmlup_xml::{parse_with, Document, ParseOptions};
+use xmlup_xquery::{Outcome, QueryError, Store};
+
+fn store_with(xml: &str) -> Store {
+    let doc = parse_with(xml, &ParseOptions::default()).unwrap().doc;
+    let mut s = Store::new();
+    s.add_document("d", doc);
+    s
+}
+
+fn bindings(o: Outcome) -> Vec<xmlup_xquery::Target> {
+    match o {
+        Outcome::Bindings(b) => b,
+        other => panic!("expected bindings, got {other:?}"),
+    }
+}
+
+#[test]
+fn let_binds_whole_sequence() {
+    let mut s = store_with("<db><x>1</x><x>2</x><x>3</x></db>");
+    let out = s
+        .execute_str(r#"FOR $d IN document("d")/db LET $all := $d/x RETURN $all"#)
+        .unwrap();
+    assert_eq!(bindings(out).len(), 3, "LET returns the full sequence");
+}
+
+#[test]
+fn wildcard_child_step() {
+    let mut s = store_with("<db><a>1</a><b>2</b><c>3</c></db>");
+    let out = s.execute_str(r#"FOR $x IN document("d")/db/* RETURN $x"#).unwrap();
+    assert_eq!(bindings(out).len(), 3);
+}
+
+#[test]
+fn descendant_wildcard() {
+    let mut s = store_with("<db><a><b><c/></b></a></db>");
+    let out = s.execute_str(r#"FOR $x IN document("d")//* RETURN $x"#).unwrap();
+    // db, a, b, c — document() + `//*` includes the root element.
+    assert_eq!(bindings(out).len(), 4);
+}
+
+#[test]
+fn predicate_with_not_and_or() {
+    let mut s = store_with(
+        "<db><p><k>red</k></p><p><k>blue</k></p><p><k>green</k></p></db>",
+    );
+    let out = s
+        .execute_str(r#"FOR $p IN document("d")/db/p[k="red" or k="blue"] RETURN $p"#)
+        .unwrap();
+    assert_eq!(bindings(out).len(), 2);
+    let out = s
+        .execute_str(r#"FOR $p IN document("d")/db/p WHERE NOT $p/k = "red" RETURN $p"#)
+        .unwrap();
+    assert_eq!(bindings(out).len(), 2);
+}
+
+#[test]
+fn existence_predicate() {
+    let mut s = store_with("<db><p><opt/></p><p/></db>");
+    let out = s.execute_str(r#"FOR $p IN document("d")/db/p[opt] RETURN $p"#).unwrap();
+    assert_eq!(bindings(out).len(), 1);
+}
+
+#[test]
+fn numeric_ordering_comparisons() {
+    let mut s = store_with("<db><v>5</v><v>10</v><v>50</v></db>");
+    // Numeric, not lexicographic: 10 > 5 must hold.
+    let out = s
+        .execute_str(r#"FOR $v IN document("d")/db/v[. >= 10] RETURN $v"#)
+        .unwrap_or_else(|_| {
+            // `.` self-reference is out of the subset; compare via text
+            // path instead. Re-run with an equivalent formulation.
+            Outcome::Bindings(vec![])
+        });
+    // The dot-self form is unsupported; use the value through a child-less
+    // comparison instead.
+    drop(out);
+    let mut s2 = store_with("<db><p><v>5</v></p><p><v>10</v></p><p><v>50</v></p></db>");
+    let out = s2
+        .execute_str(r#"FOR $p IN document("d")/db/p[v >= 10] RETURN $p"#)
+        .unwrap();
+    assert_eq!(bindings(out).len(), 2, "10 and 50, numerically");
+}
+
+#[test]
+fn unbound_variable_is_an_error() {
+    let mut s = store_with("<db/>");
+    let err = s
+        .execute_str(r#"FOR $x IN document("d")/db UPDATE $x { DELETE $ghost }"#)
+        .unwrap_err();
+    assert!(matches!(err, QueryError::Eval(_)));
+}
+
+#[test]
+fn missing_document_is_an_error() {
+    let mut s = store_with("<db/>");
+    let err = s.execute_str(r#"FOR $x IN document("nope")/db RETURN $x"#).unwrap_err();
+    assert!(matches!(err, QueryError::Eval(_)));
+}
+
+#[test]
+fn update_target_must_be_element() {
+    let mut s = store_with(r#"<db a="1"/>"#);
+    let err = s
+        .execute_str(r#"FOR $a IN document("d")/db/@a UPDATE $a { INSERT "x" }"#)
+        .unwrap_err();
+    assert!(matches!(err, QueryError::Eval(_)));
+}
+
+#[test]
+fn multiple_documents_independent() {
+    let mut s = Store::new();
+    s.add_document("a", parse_with("<r><x/></r>", &ParseOptions::default()).unwrap().doc);
+    s.add_document("b", parse_with("<r><x/><x/></r>", &ParseOptions::default()).unwrap().doc);
+    let out = s.execute_str(r#"FOR $x IN document("a")/r/x RETURN $x"#).unwrap();
+    assert_eq!(bindings(out).len(), 1);
+    let out = s.execute_str(r#"FOR $x IN document("b")/r/x RETURN $x"#).unwrap();
+    assert_eq!(bindings(out).len(), 2);
+    // Updating one leaves the other alone.
+    s.execute_str(r#"FOR $r IN document("a")/r, $x IN $r/x UPDATE $r { DELETE $x }"#)
+        .unwrap();
+    assert!(s.document("a").unwrap().children(s.document("a").unwrap().root()).is_empty());
+    assert_eq!(
+        s.document("b").unwrap().children(s.document("b").unwrap().root()).len(),
+        2
+    );
+}
+
+#[test]
+fn add_document_replaces_existing() {
+    let mut s = store_with("<old/>");
+    s.add_document("d", Document::new("new"));
+    let out = s.execute_str(r#"FOR $x IN document("d")/new RETURN $x"#).unwrap();
+    assert_eq!(bindings(out).len(), 1);
+}
+
+#[test]
+fn rename_via_update() {
+    let mut s = store_with("<db><lab><name>x</name></lab></db>");
+    s.execute_str(
+        r#"FOR $l IN document("d")/db/lab, $n IN $l/name
+           UPDATE $l { RENAME $n TO title }"#,
+    )
+    .unwrap();
+    let d = s.document("d").unwrap();
+    let lab = d.children(d.root())[0];
+    assert_eq!(d.name(d.children(lab)[0]), Some("title"));
+}
+
+#[test]
+fn multiple_updates_per_tuple_run_in_sequence() {
+    let mut s = store_with("<db><p><a/><b/></p></db>");
+    let out = s
+        .execute_str(
+            r#"FOR $p IN document("d")/db/p, $a IN $p/a, $b IN $p/b
+               UPDATE $p { DELETE $a, DELETE $b, INSERT <c/> }"#,
+        )
+        .unwrap();
+    match out {
+        Outcome::Updated { ops_applied, ops_skipped } => {
+            assert_eq!(ops_applied, 3);
+            assert_eq!(ops_skipped, 0);
+        }
+        other => panic!("{other:?}"),
+    }
+    let d = s.document("d").unwrap();
+    let p = d.children(d.root())[0];
+    assert_eq!(d.children(p).len(), 1);
+    assert_eq!(d.name(d.children(p)[0]), Some("c"));
+}
+
+#[test]
+fn cartesian_binding_applies_op_per_tuple() {
+    // Two targets × two contents = 4 inserts.
+    let mut s = store_with("<db><t/><t/></db>");
+    let out = s
+        .execute_str(
+            r#"FOR $t IN document("d")/db/t, $u IN document("d")/db/t
+               UPDATE $t { INSERT <m/> }"#,
+        )
+        .unwrap();
+    match out {
+        Outcome::Updated { ops_applied, .. } => assert_eq!(ops_applied, 4),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn where_conjunction_with_commas() {
+    let mut s = store_with(
+        "<db><p><k>1</k><v>a</v></p><p><k>1</k><v>b</v></p><p><k>2</k><v>a</v></p></db>",
+    );
+    let out = s
+        .execute_str(
+            r#"FOR $p IN document("d")/db/p
+               WHERE $p/k = "1", $p/v = "a"
+               RETURN $p"#,
+        )
+        .unwrap();
+    assert_eq!(bindings(out).len(), 1, "comma-separated WHERE predicates conjoin");
+}
+
+#[test]
+fn insert_text_content() {
+    let mut s = store_with("<db><note/></db>");
+    s.execute_str(r#"FOR $n IN document("d")/db/note UPDATE $n { INSERT "hello" }"#)
+        .unwrap();
+    let d = s.document("d").unwrap();
+    assert_eq!(d.string_value(d.root()), "hello");
+}
+
+#[test]
+fn replace_with_text() {
+    let mut s = store_with("<db><v>old</v></db>");
+    s.execute_str(
+        r#"FOR $d IN document("d")/db, $v IN $d/v
+           UPDATE $d { REPLACE $v WITH <v>new</v> }"#,
+    )
+    .unwrap();
+    let d = s.document("d").unwrap();
+    assert_eq!(d.string_value(d.root()), "new");
+}
+
+#[test]
+fn let_binding_usable_by_later_for() {
+    // A LET that does not depend on FOR variables binds before them.
+    let mut s = store_with("<db><b>1</b><b>2</b></db>");
+    let out = s
+        .execute_str(r#"FOR $d := document("d")/db, $b IN $d/b RETURN $b"#)
+        .unwrap();
+    assert_eq!(bindings(out).len(), 2);
+}
+
+#[test]
+fn copying_idrefs_attribute_carries_all_entries() {
+    use xmlup_xml::node::AttrValue;
+    use xmlup_xml::{parse_with, ParseOptions};
+    let opts = ParseOptions::with_ref_attrs(["managers"]);
+    let doc = parse_with(
+        r#"<db><lab ID="a" managers="m1 m2 m3"/><lab ID="b"/></db>"#,
+        &opts,
+    )
+    .unwrap()
+    .doc;
+    let mut s = Store::new();
+    s.parse_opts = opts;
+    s.add_document("d", doc);
+    s.execute_str(
+        r#"FOR $src IN document("d")/db/lab[@ID="a"],
+               $m IN $src/@managers,
+               $dst IN document("d")/db/lab[@ID="b"]
+           UPDATE $dst { INSERT $m }"#,
+    )
+    .unwrap();
+    let d = s.document("d").unwrap();
+    let b = d.resolve_ref("b").unwrap();
+    match &d.attr(b, "managers").unwrap().value {
+        AttrValue::Refs(ids) => assert_eq!(ids, &["m1", "m2", "m3"]),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn stale_ref_entry_skipped_after_list_shrinks() {
+    use xmlup_xml::node::AttrValue;
+    use xmlup_xml::{parse_with, ParseOptions};
+    let opts = ParseOptions::with_ref_attrs(["managers"]);
+    let doc =
+        parse_with(r#"<db><lab ID="a" managers="m1 m2"/></db>"#, &opts).unwrap().doc;
+    let mut s = Store::new();
+    s.parse_opts = opts;
+    s.add_document("d", doc);
+    // Both entries bound; deleting entry 0 shifts entry 1 to index 0, so
+    // the second planned delete (index 1) is stale and must be SKIPPED —
+    // not delete the wrong (now-index-0) entry's neighbour or error.
+    let out = s
+        .execute_str(
+            r#"FOR $l IN document("d")/db/lab,
+                   $r IN $l/ref(managers, *)
+               UPDATE $l { DELETE $r }"#,
+        )
+        .unwrap();
+    match out {
+        Outcome::Updated { ops_applied, ops_skipped } => {
+            assert_eq!(ops_applied, 1);
+            assert_eq!(ops_skipped, 1, "stale index must be skipped, not misapplied");
+        }
+        other => panic!("{other:?}"),
+    }
+    let d = s.document("d").unwrap();
+    let a = d.resolve_ref("a").unwrap();
+    // One entry survives (m2, shifted to index 0).
+    match &d.attr(a, "managers").unwrap().value {
+        AttrValue::Refs(ids) => assert_eq!(ids, &["m2"]),
+        other => panic!("{other:?}"),
+    }
+}

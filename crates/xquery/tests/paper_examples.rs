@@ -1,0 +1,458 @@
+//! End-to-end runs of the paper's Examples 1–10 against the in-memory
+//! evaluator, checking documents end up in the states the paper describes
+//! (Figure 3 for Example 5).
+
+use xmlup_xml::node::AttrValue;
+use xmlup_xml::update::ObjectRef;
+use xmlup_xml::{parse_with, Document, NodeId, ParseOptions};
+use xmlup_xquery::{Outcome, Store};
+
+fn bio_store() -> Store {
+    let opts = ParseOptions::with_ref_attrs(xmlup_xml::samples::BIO_REF_ATTRS);
+    let doc = parse_with(xmlup_xml::samples::BIO_XML, &opts).unwrap().doc;
+    let mut store = Store::new();
+    store.parse_opts = opts;
+    store.add_document("bio.xml", doc);
+    store
+}
+
+fn cust_store() -> Store {
+    let doc = parse_with(xmlup_xml::samples::CUSTOMER_XML, &ParseOptions::default())
+        .unwrap()
+        .doc;
+    let mut store = Store::new();
+    store.add_document("custdb.xml", doc);
+    store
+}
+
+fn by_id(doc: &Document, id: &str) -> NodeId {
+    doc.resolve_ref(id).unwrap()
+}
+
+fn applied(outcome: Outcome) -> usize {
+    match outcome {
+        Outcome::Updated { ops_applied, .. } => ops_applied,
+        other => panic!("expected update outcome, got {other:?}"),
+    }
+}
+
+#[test]
+fn example1_delete_attribute_ref_and_subelement() {
+    let mut store = bio_store();
+    let out = store
+        .execute_str(
+            r#"FOR $p IN document("bio.xml")/db/paper,
+                   $cat IN $p/@category,
+                   $bio IN $p/ref(biologist,"smith1"),
+                   $ti IN $p/title
+               UPDATE $p {
+                   DELETE $cat,
+                   DELETE $bio,
+                   DELETE $ti
+               }"#,
+        )
+        .unwrap();
+    assert_eq!(applied(out), 3);
+    let doc = store.document("bio.xml").unwrap();
+    let paper = by_id(doc, "Smith991231");
+    assert!(doc.attr(paper, "category").is_none());
+    assert!(doc.attr(paper, "biologist").is_none());
+    assert!(doc.children(paper).is_empty());
+    assert!(doc.attr(paper, "source").is_some(), "source ref untouched");
+}
+
+#[test]
+fn example2_insert_attribute_refs_and_subelement() {
+    let mut store = bio_store();
+    let out = store
+        .execute_str(
+            r#"FOR $bio in document("bio.xml")/db/biologist[@ID="smith1"]
+               UPDATE $bio {
+                   INSERT new_attribute(age,"29"),
+                   INSERT new_ref(worksAt,"ucla"),
+                   INSERT new_ref(worksAt,"baselab"),
+                   INSERT <firstname>Jeff</firstname>
+               }"#,
+        )
+        .unwrap();
+    assert_eq!(applied(out), 4);
+    let doc = store.document("bio.xml").unwrap();
+    let smith = by_id(doc, "smith1");
+    assert_eq!(doc.attr(smith, "age").unwrap().value.to_text(), "29");
+    match &doc.attr(smith, "worksAt").unwrap().value {
+        AttrValue::Refs(ids) => assert_eq!(ids, &["ucla", "baselab"]),
+        other => panic!("{other:?}"),
+    }
+    let kids = doc.children(smith);
+    assert_eq!(doc.name(*kids.last().unwrap()), Some("firstname"));
+    assert_eq!(doc.string_value(*kids.last().unwrap()), "Jeff");
+}
+
+#[test]
+fn example3_positional_insertion() {
+    let mut store = bio_store();
+    let out = store
+        .execute_str(
+            r#"FOR $lab in document("bio.xml")/db/lab[@ID="baselab"],
+                   $n IN $lab/name,
+                   $sref IN ref(managers,"smith1")
+               UPDATE $lab {
+                   INSERT "jones1" BEFORE $sref,
+                   INSERT <street>Oak</street> AFTER $n
+               }"#,
+        )
+        .unwrap();
+    assert_eq!(applied(out), 2);
+    let doc = store.document("bio.xml").unwrap();
+    let lab = by_id(doc, "baselab");
+    match &doc.attr(lab, "managers").unwrap().value {
+        AttrValue::Refs(ids) => assert_eq!(ids, &["jones1", "smith1"]),
+        other => panic!("{other:?}"),
+    }
+    let names: Vec<_> = doc.children(lab).iter().map(|&c| doc.name(c).unwrap()).collect();
+    assert_eq!(names, vec!["name", "street", "location"]);
+}
+
+#[test]
+fn example4_replace_elements_and_references() {
+    let mut store = bio_store();
+    store
+        .execute_str(
+            r#"FOR $lab in document("bio.xml")/db/lab,
+                   $name IN $lab/name,
+                   $mgr IN $lab/ref(managers, *)
+               UPDATE $lab {
+                   REPLACE $name WITH <appellation>Fancy Lab</>,
+                   REPLACE $mgr WITH new_attribute(managers,"jones1")
+               }"#,
+        )
+        .unwrap();
+    let doc = store.document("bio.xml").unwrap();
+    // db-level labs with managers: baselab only (lab2 has no managers and
+    // thus no $mgr binding; lalab is nested under university, not db/lab).
+    let base = by_id(doc, "baselab");
+    assert_eq!(doc.name(doc.children(base)[0]), Some("appellation"));
+    assert_eq!(doc.string_value(doc.children(base)[0]), "Fancy Lab");
+    match &doc.attr(base, "managers").unwrap().value {
+        AttrValue::Refs(ids) => assert_eq!(ids, &["jones1"]),
+        other => panic!("{other:?}"),
+    }
+    // lab2 kept its name (no managers binding → no tuple).
+    let lab2 = by_id(doc, "lab2");
+    assert_eq!(doc.name(doc.children(lab2)[0]), Some("name"));
+}
+
+#[test]
+fn example5_multilevel_nested_update_matches_figure3() {
+    let mut store = bio_store();
+    store
+        .execute_str(
+            r#"FOR $u in document("bio.xml")/db/university[@ID="ucla"],
+                   $lab IN $u/lab
+               WHERE $lab.index() = 0
+               UPDATE $u {
+                   INSERT new_attribute(labs,"2"),
+                   INSERT <lab ID="newlab"><name>UCLA Secondary Lab</name></lab> BEFORE $lab,
+                   FOR $l1 IN $u/lab,
+                       $labname IN $l1/name,
+                       $ci IN $l1/city
+                   UPDATE $l1 {
+                       REPLACE $labname WITH <name>UCLA Primary Lab</>,
+                       DELETE $ci
+                   }
+               }"#,
+        )
+        .unwrap();
+    let doc = store.document("bio.xml").unwrap();
+    let ucla = by_id(doc, "ucla");
+    // Figure 3: labs attribute added.
+    assert_eq!(doc.attr(ucla, "labs").unwrap().value.to_text(), "2");
+    // New lab inserted before the existing one.
+    let labs: Vec<_> = doc.children(ucla).to_vec();
+    assert_eq!(labs.len(), 2);
+    assert_eq!(doc.id_value(labs[0]), Some("newlab"));
+    assert_eq!(doc.string_value(doc.children(labs[0])[0]), "UCLA Secondary Lab");
+    // The original lalab: renamed name, city deleted. Note the nested FOR
+    // bound over the *input*, so only lalab (not newlab) was rewritten.
+    let lalab = labs[1];
+    assert_eq!(doc.id_value(lalab), Some("lalab"));
+    let kids: Vec<_> = doc.children(lalab).to_vec();
+    assert_eq!(kids.len(), 1, "city deleted");
+    assert_eq!(doc.name(kids[0]), Some("name"));
+    assert_eq!(doc.string_value(kids[0]), "UCLA Primary Lab");
+}
+
+#[test]
+fn example6_return_customer_john() {
+    let mut store = cust_store();
+    let out = store
+        .execute_str(r#"FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"] RETURN $c"#)
+        .unwrap();
+    match out {
+        Outcome::Bindings(b) => {
+            assert_eq!(b.len(), 2, "two customers named John");
+            for t in &b {
+                match &t.obj {
+                    ObjectRef::Node(n) => {
+                        assert_eq!(store.document_at(t.doc).name(*n), Some("Customer"))
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn example7_long_path_with_dots() {
+    let mut store = cust_store();
+    let out = store
+        .execute_str(
+            r#"FOR $c IN document("custdb.xml")/CustDB.Customer
+                   [Order.OrderLine.ItemName="tire"],
+                   $n IN $c/Name
+               RETURN $n"#,
+        )
+        .unwrap();
+    match out {
+        Outcome::Bindings(b) => {
+            let names: Vec<String> = b.iter().map(|t| store.string_value(t)).collect();
+            assert_eq!(names, vec!["John", "Mary"]);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn example8_suspend_tire_orders() {
+    let mut store = cust_store();
+    let out = store
+        .execute_str(
+            r#"FOR $o IN document("custdb.xml")//Order
+                   [Status="ready" and OrderLine/ItemName="tire"]
+               UPDATE $o {
+                   INSERT <Status>suspended</Status>,
+                   FOR $i IN $o/OrderLine[ItemName="tire"]
+                   UPDATE $i {
+                       INSERT <comment>recalled</comment>
+                   }
+               }"#,
+        )
+        .unwrap();
+    // 2 ready tire orders; each gets a Status insert, plus 1 tire line each.
+    assert_eq!(applied(out), 4);
+    let doc = store.document("custdb.xml").unwrap();
+    let comments: usize = doc
+        .descendants(doc.root())
+        .filter(|&n| doc.name(n) == Some("comment"))
+        .count();
+    assert_eq!(comments, 2);
+    // The nested bindings were made before the Status insert could disturb
+    // anything (snapshot semantics).
+    let suspended = doc
+        .descendants(doc.root())
+        .filter(|&n| doc.name(n) == Some("Status"))
+        .filter(|&n| doc.string_value(n) == "suspended")
+        .count();
+    assert_eq!(suspended, 2);
+}
+
+#[test]
+fn example9_delete_customers_named_john() {
+    let mut store = cust_store();
+    let out = store
+        .execute_str(
+            r#"FOR $d IN document("custdb.xml")/CustDB,
+                   $c IN $d/Customer[Name="John"]
+               UPDATE $d {
+                   DELETE $c
+               }"#,
+        )
+        .unwrap();
+    assert_eq!(applied(out), 2);
+    let doc = store.document("custdb.xml").unwrap();
+    let customers: Vec<_> = doc.children(doc.root()).to_vec();
+    assert_eq!(customers.len(), 1);
+    assert_eq!(doc.string_value(doc.children(customers[0])[0]), "Mary");
+}
+
+#[test]
+fn example10_copy_californians_across_documents() {
+    let mut store = cust_store();
+    store.add_document("CA-customers.xml", Document::new("CustDB"));
+    let out = store
+        .execute_str(
+            r#"FOR $source IN document("custdb.xml")/CustDB/Customer[Address/State="CA"],
+                   $target IN document("CA-customers.xml")/CustDB
+               UPDATE $target {
+                   INSERT $source
+               }"#,
+        )
+        .unwrap();
+    assert_eq!(applied(out), 2);
+    let src = store.document("custdb.xml").unwrap();
+    let dst = store.document("CA-customers.xml").unwrap();
+    assert_eq!(dst.children(dst.root()).len(), 2);
+    assert_eq!(src.children(src.root()).len(), 3, "copy semantics: source intact");
+    // Copies are structurally identical to the originals.
+    let mary_src = src
+        .children(src.root())
+        .iter()
+        .copied()
+        .find(|&c| src.string_value(src.children(c)[0]) == "Mary")
+        .unwrap();
+    let mary_dst = dst
+        .children(dst.root())
+        .iter()
+        .copied()
+        .find(|&c| dst.string_value(dst.children(c)[0]) == "Mary")
+        .unwrap();
+    assert!(src.subtree_eq(mary_src, dst, mary_dst));
+}
+
+#[test]
+fn deleted_binding_is_skipped_later_in_sequence() {
+    let mut store = bio_store();
+    // Delete $n, then try to rename it: the second op must be skipped.
+    let out = store
+        .execute_str(
+            r#"FOR $lab IN document("bio.xml")/db/lab[@ID="lab2"],
+                   $n IN $lab/name
+               UPDATE $lab {
+                   DELETE $n,
+                   RENAME $n TO gone
+               }"#,
+        )
+        .unwrap();
+    match out {
+        Outcome::Updated { ops_applied, ops_skipped } => {
+            assert_eq!(ops_applied, 1);
+            assert_eq!(ops_skipped, 1);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn bulk_self_copy_binds_snapshot_only() {
+    // Replicate every lab under db; the inserted copies must not themselves
+    // be copied (bindings are snapshotted before updates).
+    let mut store = bio_store();
+    let out = store
+        .execute_str(
+            r#"FOR $d IN document("bio.xml")/db,
+                   $lab IN $d/lab
+               UPDATE $d {
+                   INSERT $lab
+               }"#,
+        )
+        .unwrap();
+    assert_eq!(applied(out), 2); // baselab + lab2 copied once each
+    let doc = store.document("bio.xml").unwrap();
+    let labs = doc
+        .children(doc.root())
+        .iter()
+        .filter(|&&c| doc.name(c) == Some("lab"))
+        .count();
+    assert_eq!(labs, 4);
+}
+
+#[test]
+fn where_filters_by_string_value() {
+    let mut store = cust_store();
+    let out = store
+        .execute_str(
+            r#"FOR $c IN document("custdb.xml")/CustDB/Customer,
+                   $city IN $c/Address/City
+               WHERE $city = "Seattle"
+               RETURN $c"#,
+        )
+        .unwrap();
+    match out {
+        Outcome::Bindings(b) => assert_eq!(b.len(), 1),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn numeric_comparison_in_predicate() {
+    let mut store = cust_store();
+    let out = store
+        .execute_str(
+            r#"FOR $l IN document("custdb.xml")//OrderLine[Qty >= 2] RETURN $l"#,
+        )
+        .unwrap();
+    match out {
+        Outcome::Bindings(b) => assert_eq!(b.len(), 3, "qty 4, 2, 2"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn attribute_binding_vs_value() {
+    // A variable bound to an attribute references the attribute object;
+    // comparisons use its string content (paper Section 4.2).
+    let mut store = bio_store();
+    let out = store
+        .execute_str(
+            r#"FOR $b IN document("bio.xml")/db/biologist,
+                   $age IN $b/@age
+               WHERE $age = 32
+               RETURN $b"#,
+        )
+        .unwrap();
+    match out {
+        Outcome::Bindings(b) => {
+            assert_eq!(b.len(), 1);
+            let t = &b[0];
+            match &t.obj {
+                ObjectRef::Node(n) => {
+                    assert_eq!(store.document_at(t.doc).id_value(*n), Some("jones1"))
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn deref_follows_references() {
+    let mut store = bio_store();
+    let out = store
+        .execute_str(
+            r#"FOR $p IN document("bio.xml")/db/paper,
+                   $b IN $p/@biologist->,
+                   $ln IN $b/lastname
+               RETURN $ln"#,
+        )
+        .unwrap();
+    match out {
+        Outcome::Bindings(b) => {
+            assert_eq!(b.len(), 1);
+            assert_eq!(store.string_value(&b[0]), "Smith");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn unordered_model_rejects_positional_insert() {
+    use xmlup_xml::update::ExecModel;
+    let opts = ParseOptions::with_ref_attrs(xmlup_xml::samples::BIO_REF_ATTRS);
+    let doc = parse_with(xmlup_xml::samples::BIO_XML, &opts).unwrap().doc;
+    let mut store = Store::with_model(ExecModel::Unordered);
+    store.parse_opts = opts;
+    store.add_document("bio.xml", doc);
+    let err = store
+        .execute_str(
+            r#"FOR $lab IN document("bio.xml")/db/lab[@ID="baselab"],
+                   $n IN $lab/name
+               UPDATE $lab {
+                   INSERT <street>Oak</street> AFTER $n
+               }"#,
+        )
+        .unwrap_err();
+    assert!(format!("{err}").contains("unordered"));
+}

@@ -1,0 +1,237 @@
+//! Property test: for arbitrary generated statement ASTs,
+//! `parse(print(ast)) == ast`. This exercises the parser's corner cases
+//! (operator precedence, nested updates, positional inserts, ref targets)
+//! far beyond the hand-written examples.
+
+use proptest::prelude::*;
+use xmlup_xquery::{
+    parse_statement, print_statement, Action, CmpOp, ContentExpr, ForBinding, InsertPosition,
+    Lit, NestedUpdate, PathExpr, PathStart, Statement, Step, SubOp, UExpr, UpdateOp,
+};
+
+fn name() -> impl Strategy<Value = String> {
+    // Avoid bare keywords in name position.
+    "[a-z][a-z0-9]{0,5}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "for" | "let" | "where" | "update" | "return" | "in" | "delete" | "rename"
+                | "insert" | "replace" | "with" | "to" | "before" | "after" | "and" | "or"
+                | "not" | "ref" | "index" | "document"
+        )
+    })
+}
+
+fn var() -> impl Strategy<Value = String> {
+    name()
+}
+
+fn lit() -> impl Strategy<Value = Lit> {
+    prop_oneof![
+        "[a-zA-Z0-9 _.-]{0,8}".prop_map(Lit::Str),
+        (-1000i64..1000).prop_map(Lit::Int),
+    ]
+}
+
+fn step(vars: Vec<String>) -> impl Strategy<Value = Step> {
+    let leaf = prop_oneof![
+        4 => name().prop_map(Step::Child),
+        1 => name().prop_map(Step::Descendant),
+        1 => name().prop_map(Step::Attribute),
+        1 => (name(), prop_oneof![Just("*".to_string()), name()])
+            .prop_map(|(label, target)| Step::Ref { label, target }),
+    ];
+    let pred = uexpr(vars, 0).prop_map(Step::Predicate);
+    prop_oneof![4 => leaf, 1 => pred]
+}
+
+fn rel_path() -> impl Strategy<Value = PathExpr> {
+    prop::collection::vec(name().prop_map(Step::Child), 1..3)
+        .prop_map(|steps| PathExpr { start: PathStart::Relative, steps })
+}
+
+fn path(vars: Vec<String>) -> impl Strategy<Value = PathExpr> {
+    let start = if vars.is_empty() {
+        name().prop_map(PathStart::Document).boxed()
+    } else {
+        prop_oneof![
+            name().prop_map(PathStart::Document),
+            prop::sample::select(vars.clone()).prop_map(PathStart::Var),
+        ]
+        .boxed()
+    };
+    (start, prop::collection::vec(step(vars), 0..3)).prop_map(|(start, mut steps)| {
+        // A document start needs at least one non-predicate leading step
+        // for the printed form to re-parse unambiguously.
+        if matches!(steps.first(), Some(Step::Predicate(_)) | None) {
+            steps.insert(0, Step::Child("seg".into()));
+        }
+        // `//name` renders the same regardless of position; `->` only after
+        // attribute/ref steps. Repair sequences the printer cannot express.
+        let mut fixed: Vec<Step> = Vec::new();
+        for s in steps {
+            match &s {
+                Step::Deref => {
+                    if matches!(
+                        fixed.last(),
+                        Some(Step::Attribute(_)) | Some(Step::Ref { .. })
+                    ) {
+                        fixed.push(s);
+                    }
+                }
+                _ => {
+                    // Nothing may follow an attribute or deref step except
+                    // a predicate.
+                    if matches!(fixed.last(), Some(Step::Attribute(_)) | Some(Step::Deref))
+                        && !matches!(s, Step::Predicate(_))
+                    {
+                        break;
+                    }
+                    fixed.push(s);
+                }
+            }
+        }
+        PathExpr { start, steps: fixed }
+    })
+}
+
+fn uexpr(vars: Vec<String>, depth: u32) -> BoxedStrategy<UExpr> {
+    let atom = prop_oneof![
+        3 => (rel_path(), any::<u8>(), lit()).prop_map(|(p, op, l)| {
+            let op = match op % 6 {
+                0 => CmpOp::Eq,
+                1 => CmpOp::Ne,
+                2 => CmpOp::Lt,
+                3 => CmpOp::Le,
+                4 => CmpOp::Gt,
+                _ => CmpOp::Ge,
+            };
+            UExpr::Cmp {
+                left: Box::new(UExpr::Path(p)),
+                op,
+                right: Box::new(UExpr::Literal(l)),
+            }
+        }),
+        1 => rel_path().prop_map(UExpr::Path),
+    ];
+    if depth >= 2 {
+        return atom.boxed();
+    }
+    let inner = uexpr(vars, depth + 1);
+    prop_oneof![
+        4 => atom,
+        1 => (inner.clone(), inner.clone())
+            .prop_map(|(a, b)| UExpr::And(Box::new(a), Box::new(b))),
+        1 => (inner.clone(), inner.clone())
+            .prop_map(|(a, b)| UExpr::Or(Box::new(a), Box::new(b))),
+        1 => inner.prop_map(|a| UExpr::Not(Box::new(a))),
+    ]
+    .boxed()
+}
+
+fn content() -> impl Strategy<Value = ContentExpr> {
+    prop_oneof![
+        (name(), "[a-zA-Z0-9 ]{0,6}").prop_map(|(n, t)| {
+            ContentExpr::Element(if t.is_empty() {
+                format!("<{n}/>")
+            } else {
+                format!("<{n}>{t}</{n}>")
+            })
+        }),
+        (name(), "[a-zA-Z0-9]{0,6}")
+            .prop_map(|(n, v)| ContentExpr::NewAttribute { name: n, value: v }),
+        (name(), "[a-z0-9]{1,6}")
+            .prop_map(|(l, t)| ContentExpr::NewRef { label: l, target: t }),
+        "[a-zA-Z0-9 ]{0,8}".prop_map(ContentExpr::Text),
+    ]
+}
+
+fn sub_op(child_vars: Vec<String>) -> impl Strategy<Value = SubOp> {
+    let cv = prop::sample::select(child_vars.clone());
+    let cv2 = prop::sample::select(child_vars.clone());
+    let cv3 = prop::sample::select(child_vars);
+    prop_oneof![
+        cv.clone().prop_map(|child| SubOp::Delete { child }),
+        (cv2, name()).prop_map(|(child, to)| SubOp::Rename { child, to }),
+        (content(), prop::option::of((any::<bool>(), cv.clone())))
+            .prop_map(|(content, pos)| SubOp::Insert {
+                content,
+                position: pos.map(|(b, v)| {
+                    (if b { InsertPosition::Before } else { InsertPosition::After }, v)
+                }),
+            }),
+        (cv3, content()).prop_map(|(child, with)| SubOp::Replace { child, with }),
+    ]
+}
+
+fn statement() -> impl Strategy<Value = Statement> {
+    (
+        prop::collection::vec(name(), 2..4),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_flat_map(|(vars, has_where, nested)| {
+            let fors_strategy: Vec<BoxedStrategy<ForBinding>> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    let visible: Vec<String> = vars[..i].to_vec();
+                    let v = v.clone();
+                    path(visible)
+                        .prop_map(move |p| ForBinding { var: v.clone(), path: p })
+                        .boxed()
+                })
+                .collect();
+            let all_vars = vars.clone();
+            let target = vars[0].clone();
+            let child_vars: Vec<String> = vars[1..].to_vec();
+            (
+                fors_strategy,
+                prop::option::of(uexpr(all_vars.clone(), 1)).prop_filter_map(
+                    "where gate",
+                    move |w| if has_where { w.map(Some) } else { Some(None) },
+                ),
+                prop::collection::vec(sub_op(child_vars.clone()), 1..3),
+                prop::collection::vec(name().prop_map(Step::Child), 1..2),
+            )
+                .prop_map(move |(fors, filter, mut ops, nsteps)| {
+                    if nested {
+                        let inner_var = format!("{}z", target);
+                        ops.push(SubOp::Nested(Box::new(NestedUpdate {
+                            fors: vec![ForBinding {
+                                var: inner_var.clone(),
+                                path: PathExpr {
+                                    start: PathStart::Var(target.clone()),
+                                    steps: nsteps,
+                                },
+                            }],
+                            filter: None,
+                            updates: vec![UpdateOp {
+                                target: inner_var,
+                                ops: vec![SubOp::Insert {
+                                    content: ContentExpr::Text("x".into()),
+                                    position: None,
+                                }],
+                            }],
+                        })));
+                    }
+                    Statement {
+                        fors,
+                        lets: vec![],
+                        filter,
+                        action: Action::Update(vec![UpdateOp { target: target.clone(), ops }]),
+                    }
+                })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(ast in statement()) {
+        let printed = print_statement(&ast);
+        let reparsed = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("printed form fails to parse: {e}\n{printed}"));
+        prop_assert_eq!(&ast, &reparsed, "roundtrip diverged for:\n{}", printed);
+    }
+}

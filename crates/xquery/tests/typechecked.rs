@@ -1,0 +1,113 @@
+//! Tests for typechecked (DTD-validated, transactional) updates — the
+//! paper's Section 8 "typechecking updates" future work.
+
+use xmlup_xml::dtd::Dtd;
+use xmlup_xml::samples::{CUSTOMER_DTD, CUSTOMER_XML};
+use xmlup_xquery::{Outcome, Store};
+
+fn setup() -> (Store, Dtd) {
+    let doc = xmlup_xml::parse(CUSTOMER_XML).unwrap().doc;
+    let mut store = Store::new();
+    store.add_document("custdb.xml", doc);
+    (store, Dtd::parse(CUSTOMER_DTD).unwrap())
+}
+
+#[test]
+fn valid_update_commits() {
+    let (mut store, dtd) = setup();
+    let out = store
+        .execute_checked(
+            r#"FOR $d IN document("custdb.xml")/CustDB,
+                   $c IN $d/Customer[Name="John"]
+               UPDATE $d { DELETE $c }"#,
+            &[("custdb.xml", &dtd)],
+        )
+        .unwrap();
+    assert!(matches!(out, Outcome::Updated { ops_applied: 2, .. }));
+    let doc = store.document("custdb.xml").unwrap();
+    assert_eq!(doc.children(doc.root()).len(), 1);
+}
+
+#[test]
+fn invalid_update_rolls_back() {
+    let (mut store, dtd) = setup();
+    // Deleting a customer's Name violates `Customer (Name, Address, Order*)`.
+    let err = store
+        .execute_checked(
+            r#"FOR $c IN document("custdb.xml")/CustDB/Customer[Name="Mary"],
+                   $n IN $c/Name
+               UPDATE $c { DELETE $n }"#,
+            &[("custdb.xml", &dtd)],
+        )
+        .unwrap_err();
+    assert!(format!("{err}").contains("rolled back"), "{err}");
+    // Store unchanged: Mary still has her Name.
+    let doc = store.document("custdb.xml").unwrap();
+    let names = doc
+        .descendants(doc.root())
+        .filter(|&n| doc.name(n) == Some("Name"))
+        .count();
+    assert_eq!(names, 3, "all three customers keep their Name");
+}
+
+#[test]
+fn invalid_insertion_rolls_back() {
+    let (mut store, dtd) = setup();
+    // <Bogus> is not declared in the DTD.
+    let err = store
+        .execute_checked(
+            r#"FOR $c IN document("custdb.xml")/CustDB/Customer[Name="Mary"]
+               UPDATE $c { INSERT <Bogus>x</Bogus> }"#,
+            &[("custdb.xml", &dtd)],
+        )
+        .unwrap_err();
+    assert!(format!("{err}").contains("DTD"), "{err}");
+    let doc = store.document("custdb.xml").unwrap();
+    assert!(doc
+        .descendants(doc.root())
+        .all(|n| doc.name(n) != Some("Bogus")));
+}
+
+#[test]
+fn valid_insertion_in_right_position_commits() {
+    let (mut store, dtd) = setup();
+    // Customer without orders gets one — appended at the end, which the
+    // content model (Name, Address, Order*) allows.
+    store
+        .execute_checked(
+            r#"FOR $c IN document("custdb.xml")/CustDB/Customer[Name="Mary"]
+               UPDATE $c {
+                   INSERT <Order><Date>2001-03-03</Date><Status>ready</Status>
+                          <OrderLine><ItemName>lamp</ItemName><Qty>1</Qty></OrderLine>
+                          </Order>
+               }"#,
+            &[("custdb.xml", &dtd)],
+        )
+        .unwrap();
+    let doc = store.document("custdb.xml").unwrap();
+    dtd.validate(doc).unwrap();
+}
+
+#[test]
+fn unchecked_documents_are_not_validated() {
+    let (mut store, dtd) = setup();
+    // Validation list names a different document: the bogus insert passes.
+    store
+        .execute_checked(
+            r#"FOR $c IN document("custdb.xml")/CustDB/Customer[Name="Mary"]
+               UPDATE $c { INSERT <Bogus>x</Bogus> }"#,
+            &[("other.xml", &dtd)],
+        )
+        .unwrap();
+    let doc = store.document("custdb.xml").unwrap();
+    assert!(doc.descendants(doc.root()).any(|n| doc.name(n) == Some("Bogus")));
+}
+
+#[test]
+fn parse_error_leaves_store_untouched() {
+    let (mut store, dtd) = setup();
+    let before = xmlup_xml::serializer::to_compact_string(store.document("custdb.xml").unwrap());
+    let _ = store.execute_checked("FOR $x IN", &[("custdb.xml", &dtd)]).unwrap_err();
+    let after = xmlup_xml::serializer::to_compact_string(store.document("custdb.xml").unwrap());
+    assert_eq!(before, after);
+}

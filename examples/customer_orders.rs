@@ -1,0 +1,100 @@
+//! The relational pipeline on a generated customer database: shred,
+//! query via the Sorted Outer Union, and compare the paper's delete and
+//! insert strategies on identical data — reporting the engine's own
+//! statement/scan counters instead of wall time, so the differences the
+//! paper reasons about are visible deterministically.
+//!
+//! Run with: `cargo run --example customer_orders`
+
+use xmlup_core::{DeleteStrategy, InsertStrategy, RepoConfig, XmlRepository};
+use xmlup_workload::customer::{customer_document, customer_dtd, CustomerParams};
+use xmlup_workload::{run_delete, run_insert, Workload};
+
+fn fresh(ds: DeleteStrategy, is: InsertStrategy) -> XmlRepository {
+    let dtd = customer_dtd();
+    let doc = customer_document(&CustomerParams { customers: 200, ..Default::default() });
+    let mut repo = XmlRepository::new(
+        &dtd,
+        "CustDB",
+        RepoConfig {
+            delete_strategy: ds,
+            insert_strategy: is,
+            build_asr: ds == DeleteStrategy::Asr || is == InsertStrategy::Asr,
+            ..RepoConfig::default()
+        },
+    )
+    .expect("schema builds");
+    repo.load(&doc).expect("document loads");
+    repo
+}
+
+fn main() {
+    // A first look at the data through a query.
+    let mut repo = fresh(DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+    println!(
+        "loaded {} tuples across {:?}",
+        repo.tuple_count(),
+        repo.db.table_names()
+    );
+    let (xml, roots) = repo
+        .query_xml(
+            r#"FOR $c IN document("cust.xml")/CustDB/Customer[Address/State="CA"] RETURN $c"#,
+        )
+        .expect("query runs");
+    println!("Californian customers: {}", roots.len());
+    if let Some(&first) = roots.first() {
+        println!(
+            "first one:\n{}\n",
+            xmlup_xml::serializer::subtree_to_string(&xml, first, &Default::default())
+        );
+    }
+
+    // Delete strategy comparison: random workload (10 subtrees), reported
+    // through engine counters.
+    println!("== delete strategies, random workload (10 customers) ==");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>12}",
+        "strategy", "client SQL", "total SQL", "rows scanned", "trigger fires"
+    );
+    for ds in DeleteStrategy::ALL {
+        let mut repo = fresh(ds, InsertStrategy::Table);
+        let cust = repo.mapping.relation_by_element("Customer").unwrap();
+        repo.reset_stats();
+        run_delete(&mut repo, cust, Workload::random10()).expect("delete runs");
+        let s = repo.stats();
+        println!(
+            "{:<22} {:>12} {:>12} {:>12} {:>12}",
+            ds.label(),
+            s.client_statements,
+            s.total_statements,
+            s.rows_scanned,
+            s.trigger_firings
+        );
+    }
+
+    // Insert strategy comparison: copy 10 random customers.
+    println!("\n== insert strategies, random workload (10 customers copied) ==");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "strategy", "client SQL", "rows scanned", "rows inserted"
+    );
+    for is in InsertStrategy::ALL {
+        let mut repo = fresh(DeleteStrategy::PerTupleTrigger, is);
+        let cust = repo.mapping.relation_by_element("Customer").unwrap();
+        repo.reset_stats();
+        run_insert(&mut repo, cust, Workload::random10()).expect("insert runs");
+        let s = repo.stats();
+        println!(
+            "{:<22} {:>12} {:>12} {:>12}",
+            is.label(),
+            s.client_statements,
+            s.rows_scanned,
+            s.rows_inserted
+        );
+    }
+    println!(
+        "\nNote how the tuple method issues one INSERT per copied tuple while the\n\
+         table method stays near-constant in statements — the trade-off behind\n\
+         the paper's Figures 10/11."
+    );
+}

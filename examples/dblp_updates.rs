@@ -1,0 +1,77 @@
+//! The paper's DBLP experiment (Table 2) as a runnable walkthrough: load
+//! a bushy bibliography, delete the year-2000 publications under every
+//! delete strategy, and replicate conferences under every insert
+//! strategy, timing each on identical data.
+//!
+//! Run with: `cargo run --release --example dblp_updates`
+
+use std::time::Instant;
+use xmlup_core::{DeleteStrategy, InsertStrategy, RepoConfig, XmlRepository};
+use xmlup_workload::dblp::{dblp_document, dblp_dtd, DblpParams};
+use xmlup_workload::{run_insert, Workload};
+
+fn main() {
+    let params = DblpParams::default();
+    let dtd = dblp_dtd();
+    let doc = dblp_document(&params);
+    println!(
+        "synthetic DBLP: {} conferences, ~{} publications/conference",
+        params.conferences, params.pubs_per_conf
+    );
+
+    println!("\n== delete publications of year 2000 ==");
+    println!("{:<22} {:>10} {:>14} {:>12}", "strategy", "time ms", "pubs deleted", "client SQL");
+    for ds in DeleteStrategy::ALL {
+        let mut repo = XmlRepository::new(
+            &dtd,
+            "dblp",
+            RepoConfig {
+                delete_strategy: ds,
+                build_asr: ds == DeleteStrategy::Asr,
+                ..RepoConfig::default()
+            },
+        )
+        .expect("schema builds");
+        repo.load(&doc).expect("loads");
+        repo.reset_stats();
+        let start = Instant::now();
+        let n = repo
+            .execute_xquery(
+                r#"FOR $d IN document("dblp.xml")/dblp/conference,
+                       $p IN $d/inproceedings[year="2000"]
+                   UPDATE $d { DELETE $p }"#,
+            )
+            .expect("delete runs");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let s = repo.stats();
+        println!("{:<22} {:>10.2} {:>14} {:>12}", ds.label(), ms, n, s.client_statements);
+    }
+
+    println!("\n== replicate 10 random conference subtrees ==");
+    println!("{:<22} {:>10} {:>14} {:>12}", "strategy", "time ms", "tuples copied", "client SQL");
+    for is in InsertStrategy::ALL {
+        let mut repo = XmlRepository::new(
+            &dtd,
+            "dblp",
+            RepoConfig {
+                insert_strategy: is,
+                build_asr: is == InsertStrategy::Asr,
+                ..RepoConfig::default()
+            },
+        )
+        .expect("schema builds");
+        repo.load(&doc).expect("loads");
+        let conf = repo.mapping.relation_by_element("conference").unwrap();
+        repo.reset_stats();
+        let start = Instant::now();
+        let n = run_insert(&mut repo, conf, Workload::random10()).expect("insert runs");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let s = repo.stats();
+        println!("{:<22} {:>10.2} {:>14} {:>12}", is.label(), ms, n, s.client_statements);
+    }
+    println!(
+        "\nThe paper's Table 2 findings: per-tuple trigger deletes win on bushy\n\
+         data (per-statement methods rescan whole child relations); table-based\n\
+         insert beats tuple-based by an order of magnitude in SQL statements."
+    );
+}

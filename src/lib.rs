@@ -1,0 +1,47 @@
+//! # xmlup
+//!
+//! Umbrella crate for the Rust reproduction of *Updating XML* (Tatarinov,
+//! Ives, Halevy, Weld — SIGMOD 2001): an XML update language (XQuery
+//! extensions) and its implementation over XML shredded into a relational
+//! database.
+//!
+//! This crate re-exports the workspace members; depend on it to get the
+//! whole system, or on individual `xmlup-*` crates for one layer:
+//!
+//! * [`xml`] — XML data model, parser, DTD validator, serializer, and the
+//!   primitive update operations of paper Section 3.
+//! * [`xquery`] — the `FOR…LET…WHERE…UPDATE` language of Section 4, with
+//!   an in-memory evaluator implementing snapshot-binding semantics.
+//! * [`rdb`] — the in-memory relational engine (SQL subset with triggers,
+//!   indexes, CTEs) standing in for the paper's DB2 instance.
+//! * [`shred`] — Shared Inlining, the Sorted Outer Union, Access Support
+//!   Relations, and the Edge mapping (Section 5).
+//! * [`core`] — the update-translation strategies of Section 6 and the
+//!   [`core::XmlRepository`] facade; also the order-preservation
+//!   extension of Section 8.
+//! * [`workload`] — the data and workload generators of Section 7.
+//!
+//! ```
+//! use xmlup::core::{RepoConfig, XmlRepository};
+//! use xmlup::xml::{dtd::Dtd, samples};
+//!
+//! let dtd = Dtd::parse(samples::CUSTOMER_DTD).unwrap();
+//! let doc = xmlup::xml::parse(samples::CUSTOMER_XML).unwrap().doc;
+//! let mut repo = XmlRepository::new(&dtd, "CustDB", RepoConfig::default()).unwrap();
+//! repo.load(&doc).unwrap();
+//! let n = repo
+//!     .execute_xquery(
+//!         r#"FOR $d IN document("custdb.xml")/CustDB,
+//!                $c IN $d/Customer[Name="John"]
+//!            UPDATE $d { DELETE $c }"#,
+//!     )
+//!     .unwrap();
+//! assert_eq!(n, 2);
+//! ```
+
+pub use xmlup_core as core;
+pub use xmlup_rdb as rdb;
+pub use xmlup_shred as shred;
+pub use xmlup_workload as workload;
+pub use xmlup_xml as xml;
+pub use xmlup_xquery as xquery;

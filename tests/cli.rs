@@ -1,0 +1,139 @@
+//! Integration tests driving the `xmlup-cli` binary with script files.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn write_fixtures(dir: &std::path::Path) {
+    std::fs::write(dir.join("cust.dtd"), xmlup::xml::samples::CUSTOMER_DTD).unwrap();
+    std::fs::write(dir.join("cust.xml"), xmlup::xml::samples::CUSTOMER_XML).unwrap();
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("xmlup-cli-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_cli(args: &[&str], stdin: Option<&str>) -> (String, String, bool) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_xmlup-cli"));
+    cmd.args(args).stdout(Stdio::piped()).stderr(Stdio::piped());
+    if stdin.is_some() {
+        cmd.stdin(Stdio::piped());
+    } else {
+        cmd.stdin(Stdio::null());
+    }
+    let mut child = cmd.spawn().expect("binary spawns");
+    if let Some(input) = stdin {
+        child
+            .stdin
+            .as_mut()
+            .unwrap()
+            .write_all(input.as_bytes())
+            .unwrap();
+    }
+    let out = child.wait_with_output().unwrap();
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn relational_script_runs_delete_pipeline() {
+    let dir = tempdir("relational");
+    write_fixtures(&dir);
+    std::fs::write(
+        dir.join("script.xq"),
+        r#".tables
+FOR $d IN document("custdb.xml")/CustDB,
+    $c IN $d/Customer[Name="John"]
+UPDATE $d { DELETE $c } ;;
+.sql SELECT COUNT(*) FROM Customer
+"#,
+    )
+    .unwrap();
+    let (stdout, stderr, ok) = run_cli(
+        &[
+            "--relational",
+            "--dtd",
+            dir.join("cust.dtd").to_str().unwrap(),
+            "--load",
+            &format!("custdb.xml={}", dir.join("cust.xml").display()),
+            dir.join("script.xq").to_str().unwrap(),
+        ],
+        None,
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("customer\t3 rows"), "{stdout}");
+    assert!(stdout.contains("2 object(s) affected"), "{stdout}");
+    // Two Johns deleted; Mary remains.
+    assert!(stdout.lines().any(|l| l.trim() == "1"), "{stdout}");
+}
+
+#[test]
+fn in_memory_query_via_stdin() {
+    let dir = tempdir("stdin");
+    write_fixtures(&dir);
+    let script = format!(
+        ".load custdb.xml {}\nFOR $c IN document(\"custdb.xml\")/CustDB/Customer[Name=\"Mary\"] RETURN $c ;;\n.quit\n",
+        dir.join("cust.xml").display()
+    );
+    let (stdout, stderr, ok) = run_cli(&[], Some(&script));
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("1 binding(s)"), "{stdout}");
+    assert!(stdout.contains("<Name>Mary</Name>"), "{stdout}");
+}
+
+#[test]
+fn invalid_document_rejected_in_relational_mode() {
+    let dir = tempdir("invalid");
+    write_fixtures(&dir);
+    std::fs::write(dir.join("bad.xml"), "<CustDB><Bogus/></CustDB>").unwrap();
+    let (_, stderr, ok) = run_cli(
+        &[
+            "--relational",
+            "--dtd",
+            dir.join("cust.dtd").to_str().unwrap(),
+            "--load",
+            &format!("x={}", dir.join("bad.xml").display()),
+            "/dev/null",
+        ],
+        None,
+    );
+    assert!(!ok);
+    assert!(stderr.contains("Bogus") || stderr.contains("undeclared"), "{stderr}");
+}
+
+#[test]
+fn relational_mode_requires_dtd() {
+    let (_, stderr, ok) = run_cli(&["--relational"], None);
+    assert!(!ok);
+    assert!(stderr.contains("--dtd"));
+}
+
+#[test]
+fn query_uses_outer_union_in_relational_mode() {
+    let dir = tempdir("query");
+    write_fixtures(&dir);
+    std::fs::write(
+        dir.join("q.xq"),
+        "FOR $c IN document(\"custdb.xml\")/CustDB/Customer[Name=\"John\"] RETURN $c ;;\n",
+    )
+    .unwrap();
+    let (stdout, stderr, ok) = run_cli(
+        &[
+            "--relational",
+            "--dtd",
+            dir.join("cust.dtd").to_str().unwrap(),
+            "--load",
+            &format!("custdb.xml={}", dir.join("cust.xml").display()),
+            dir.join("q.xq").to_str().unwrap(),
+        ],
+        None,
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("via the sorted outer union"), "{stdout}");
+    assert!(stdout.contains("2 subtree(s)"), "{stdout}");
+}

@@ -1,0 +1,234 @@
+//! End-to-end tests of the order-preservation extension (paper Section 8
+//! future work): ordered mapping, positional XQuery inserts translated to
+//! SQL, and agreement with the in-memory evaluator.
+
+use xmlup_core::{InsertAt, RepoConfig, XmlRepository};
+use xmlup_rdb::Value;
+use xmlup_shred::loader::unshred;
+use xmlup_workload::{fixed_document, synthetic_dtd, SyntheticParams};
+use xmlup_xquery::Store;
+
+fn ordered_repo(sf: usize) -> XmlRepository {
+    let p = SyntheticParams::new(sf, 2, 2);
+    let dtd = synthetic_dtd(2);
+    let doc = fixed_document(&p);
+    let mut repo =
+        XmlRepository::new_ordered(&dtd, "root", RepoConfig::default()).unwrap();
+    repo.load(&doc).unwrap();
+    repo
+}
+
+#[test]
+fn ordered_load_roundtrips_document_order() {
+    let mut repo = ordered_repo(5);
+    let orig = fixed_document(&SyntheticParams::new(5, 2, 2));
+    let back = unshred(&mut repo.db, &repo.mapping).unwrap();
+    assert!(orig.subtree_eq(orig.root(), &back, back.root()));
+}
+
+#[test]
+fn xquery_positional_insert_translates() {
+    // The relational analogue of paper Example 3's `INSERT … BEFORE`:
+    // place a new n1 element before the first subtree.
+    let mut repo = ordered_repo(3);
+    let n1 = repo.mapping.relation_by_element("n1").unwrap();
+    let first = repo.ids_of(n1)[0];
+    let num = repo.column_value(n1, first, "num").unwrap().render();
+    let n = repo
+        .execute_xquery(&format!(
+            r#"FOR $d IN document("x")/root,
+                   $a IN $d/n1[num="{num}"]
+               UPDATE $d {{
+                   INSERT <n1><str>NEWCOMER</str><num>-1</num></n1> BEFORE $a
+               }}"#
+        ))
+        .unwrap();
+    assert_eq!(n, 1);
+    let doc = unshred(&mut repo.db, &repo.mapping).unwrap();
+    let kids = doc.children(doc.root());
+    assert_eq!(kids.len(), 4);
+    assert_eq!(doc.string_value(doc.children(kids[0])[0]), "NEWCOMER");
+}
+
+#[test]
+fn positional_insert_matches_in_memory_semantics() {
+    // Same operation through the tree evaluator and the relational store.
+    let p = SyntheticParams::new(3, 2, 2);
+    let doc = fixed_document(&p);
+
+    let mut store = Store::new();
+    store.add_document("x", doc.clone());
+    // In-memory: insert after the second n1.
+    store
+        .execute_str(
+            r#"FOR $d IN document("x")/root,
+                   $a IN $d/n1
+               WHERE $a.index() = 1
+               UPDATE $d {
+                   INSERT <n1><str>MID</str><num>0</num></n1> AFTER $a
+               }"#,
+        )
+        .unwrap();
+    let mem = store.document("x").unwrap();
+
+    let mut repo = ordered_repo(3);
+    let n1 = repo.mapping.relation_by_element("n1").unwrap();
+    let anchor = repo.ids_of(n1)[1];
+    repo.insert_tuple_at(
+        n1,
+        0,
+        &[
+            ("str".to_string(), Value::from("MID")),
+            ("num".to_string(), Value::from("0")),
+        ],
+        InsertAt::After(anchor),
+    )
+    .unwrap();
+    let rel = unshred(&mut repo.db, &repo.mapping).unwrap();
+    assert!(
+        mem.subtree_eq(mem.root(), &rel, rel.root()),
+        "in-memory:\n{}\nrelational:\n{}",
+        xmlup_xml::serializer::to_string(mem),
+        xmlup_xml::serializer::to_string(&rel)
+    );
+}
+
+#[test]
+fn outer_union_fetch_preserves_inserted_position() {
+    let mut repo = ordered_repo(4);
+    let n1 = repo.mapping.relation_by_element("n1").unwrap();
+    let ids = repo.ids_of(n1);
+    repo.insert_tuple_at(
+        n1,
+        0,
+        &[("str".to_string(), Value::from("AT-FRONT"))],
+        InsertAt::First,
+    )
+    .unwrap();
+    repo.insert_tuple_at(
+        n1,
+        0,
+        &[("str".to_string(), Value::from("AFTER-2ND"))],
+        InsertAt::After(ids[1]),
+    )
+    .unwrap();
+    let (doc, roots) = repo.fetch(repo.mapping.root(), None).unwrap();
+    let kids = doc.children(roots[0]);
+    assert_eq!(kids.len(), 6);
+    let texts: Vec<String> = kids
+        .iter()
+        .map(|&k| {
+            doc.children(k)
+                .first()
+                .map(|&c| doc.string_value(c))
+                .unwrap_or_default()
+        })
+        .collect();
+    assert_eq!(texts[0], "AT-FRONT");
+    assert_eq!(texts[3], "AFTER-2ND");
+}
+
+#[test]
+fn unordered_repo_rejects_positional_xquery() {
+    let p = SyntheticParams::new(2, 2, 1);
+    let dtd = synthetic_dtd(2);
+    let doc = fixed_document(&p);
+    let mut repo = XmlRepository::new(&dtd, "root", RepoConfig::default()).unwrap();
+    repo.load(&doc).unwrap();
+    let err = repo
+        .execute_xquery(
+            r#"FOR $d IN document("x")/root, $a IN $d/n1
+               UPDATE $d { INSERT <n1><str>x</str></n1> BEFORE $a }"#,
+        )
+        .unwrap_err();
+    assert!(matches!(err, xmlup_core::CoreError::Unsupported(_)));
+}
+
+#[test]
+fn ordered_delete_keeps_remaining_order() {
+    let mut repo = ordered_repo(5);
+    let n1 = repo.mapping.relation_by_element("n1").unwrap();
+    let ids = repo.ids_of(n1);
+    repo.delete_by_id(n1, ids[2]).unwrap();
+    let back = unshred(&mut repo.db, &repo.mapping).unwrap();
+    // Remaining four subtrees keep their relative order (compare against
+    // a freshly built expectation).
+    let orig = fixed_document(&SyntheticParams::new(5, 2, 2));
+    let expect_strs: Vec<String> = orig
+        .children(orig.root())
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 2)
+        .map(|(_, &k)| orig.string_value(orig.children(k)[0]))
+        .collect();
+    let got_strs: Vec<String> = back
+        .children(back.root())
+        .iter()
+        .map(|&k| back.string_value(back.children(k)[0]))
+        .collect();
+    assert_eq!(expect_strs, got_strs);
+}
+
+#[test]
+fn copied_subtrees_get_fresh_appended_positions() {
+    // Review finding: the insert strategies used to copy pos_ verbatim, so
+    // a copy duplicated its source's sibling position. Copies must append.
+    use xmlup_core::InsertStrategy;
+    for is in InsertStrategy::ALL {
+        let p = SyntheticParams::new(3, 2, 2);
+        let dtd = synthetic_dtd(2);
+        let doc = fixed_document(&p);
+        let mut repo = XmlRepository::new_ordered(
+            &dtd,
+            "root",
+            RepoConfig {
+                insert_strategy: is,
+                build_asr: is == InsertStrategy::Asr,
+                ..RepoConfig::default()
+            },
+        )
+        .unwrap();
+        repo.load(&doc).unwrap();
+        let n1 = repo.mapping.relation_by_element("n1").unwrap();
+        let first = repo.ids_of(n1)[0];
+        repo.copy_subtree(n1, first, 0).unwrap();
+        // All sibling positions are distinct, and the copy is LAST.
+        let rs = repo
+            .db
+            .query("SELECT pos_, id FROM n1 WHERE parentId = 0 ORDER BY pos_")
+            .unwrap();
+        let positions: Vec<i64> =
+            rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        let mut dedup = positions.clone();
+        dedup.dedup();
+        assert_eq!(positions, dedup, "{}: duplicate sibling positions", is.label());
+        let last_id = rs.rows.last().unwrap()[1].as_int().unwrap();
+        assert!(last_id > repo.ids_of(n1)[2], "{}: copy must sort last", is.label());
+        // Reconstruction shows the copy as the fourth subtree.
+        let back = unshred(&mut repo.db, &repo.mapping).unwrap();
+        assert_eq!(back.children(back.root()).len(), 4);
+    }
+}
+
+#[test]
+fn imported_subtree_appends_on_ordered_mapping() {
+    let p = SyntheticParams::new(2, 2, 1);
+    let dtd = synthetic_dtd(2);
+    let doc = fixed_document(&p);
+    let mut src = XmlRepository::new_ordered(&dtd, "root", RepoConfig::default()).unwrap();
+    src.load(&doc).unwrap();
+    let mut dst = XmlRepository::new_ordered(&dtd, "root", RepoConfig::default()).unwrap();
+    dst.load(&doc).unwrap();
+    let n1 = src.mapping.relation_by_element("n1").unwrap();
+    let sid = src.ids_of(n1)[0];
+    let droot = dst.root_id().unwrap();
+    dst.import_subtree(&mut src, n1, sid, n1, droot).unwrap();
+    let rs = dst
+        .db
+        .query(&format!("SELECT pos_ FROM n1 WHERE parentId = {droot} ORDER BY pos_"))
+        .unwrap();
+    let positions: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+    let mut dedup = positions.clone();
+    dedup.dedup();
+    assert_eq!(positions, dedup, "imported subtree must not collide with existing children");
+}

@@ -1,0 +1,222 @@
+//! Property-based tests over the core invariants:
+//!
+//! * serialize → parse is the identity on arbitrary documents;
+//! * shred → unshred is the identity for DTD-conforming documents;
+//! * the Sorted Outer Union reconstructs exactly what was stored;
+//! * all delete strategies leave identical stores;
+//! * all insert strategies produce isomorphic stores.
+
+use proptest::prelude::*;
+use xmlup_core::{DeleteStrategy, InsertStrategy, RepoConfig, XmlRepository};
+use xmlup_shred::loader::unshred;
+use xmlup_workload::{fixed_document, synthetic_dtd, SyntheticParams};
+use xmlup_xml::{Attr, Document, NodeId};
+
+// ----------------------------------------------------------------------
+// arbitrary XML documents
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum GenNode {
+    Text(String),
+    Element { name: String, attrs: Vec<(String, String)>, children: Vec<GenNode> },
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}"
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Printable text without XML-significant characters being a problem —
+    // escaping must handle <, &, > and quotes.
+    "[ -~]{0,20}"
+}
+
+fn gen_node(depth: u32) -> impl Strategy<Value = GenNode> {
+    let leaf = prop_oneof![
+        text_strategy()
+            .prop_filter("no ws-only text", |s| !s.trim().is_empty())
+            .prop_map(GenNode::Text),
+        (name_strategy(), prop::collection::vec((name_strategy(), text_strategy()), 0..3))
+            .prop_map(|(name, attrs)| GenNode::Element { name, attrs, children: vec![] }),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        (
+            name_strategy(),
+            prop::collection::vec((name_strategy(), text_strategy()), 0..3),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| GenNode::Element { name, attrs, children })
+    })
+}
+
+fn gen_document() -> impl Strategy<Value = Document> {
+    (name_strategy(), prop::collection::vec(gen_node(3), 0..4)).prop_map(|(root, kids)| {
+        let mut doc = Document::new("__placeholder__");
+        let tree = GenNode::Element { name: root, attrs: vec![], children: kids };
+        let r = build(&mut doc, &tree);
+        doc.replace_root(r).unwrap();
+        doc
+    })
+}
+
+fn build(doc: &mut Document, g: &GenNode) -> NodeId {
+    match g {
+        GenNode::Text(t) => doc.new_text(t.clone()),
+        GenNode::Element { name, attrs, children } => {
+            let el = doc.new_element(name.clone());
+            let mut seen = std::collections::HashSet::new();
+            for (an, av) in attrs {
+                if seen.insert(an.clone()) {
+                    doc.element_mut(el).unwrap().attrs.push(Attr::text(an.clone(), av.clone()));
+                }
+            }
+            // Adjacent text children would merge on reparse; coalesce them
+            // here so the roundtrip is well-defined.
+            let mut prev_text: Option<NodeId> = None;
+            for c in children {
+                if let GenNode::Text(t) = c {
+                    if let Some(pt) = prev_text {
+                        let merged = format!("{}{}", doc.text(pt).unwrap(), t);
+                        if let xmlup_xml::NodeKind::Text(_) = doc.kind(pt) {
+                            // Replace by removing and re-adding merged text.
+                            doc.detach(pt).unwrap();
+                            let n = doc.new_text(merged);
+                            doc.append_child(el, n).unwrap();
+                            prev_text = Some(n);
+                            continue;
+                        }
+                    }
+                }
+                let n = build(doc, c);
+                doc.append_child(el, n).unwrap();
+                prev_text = match c {
+                    GenNode::Text(_) => Some(n),
+                    _ => None,
+                };
+            }
+            el
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn serialize_parse_roundtrip(doc in gen_document()) {
+        let text = xmlup_xml::serializer::to_compact_string(&doc);
+        let opts = xmlup_xml::ParseOptions { keep_whitespace: true, ..Default::default() };
+        let back = xmlup_xml::parse_with(&text, &opts).unwrap().doc;
+        prop_assert!(doc.subtree_eq(doc.root(), &back, back.root()),
+            "roundtrip failed for:\n{text}");
+    }
+
+    #[test]
+    fn edge_shred_roundtrip(doc in gen_document()) {
+        let mut db = xmlup_rdb::Database::new();
+        db.bump_next_id(1);
+        xmlup_shred::edge::create_schema(&mut db).unwrap();
+        xmlup_shred::edge::shred(&mut db, &doc).unwrap();
+        let back = xmlup_shred::edge::unshred(&mut db).unwrap();
+        prop_assert!(doc.subtree_eq(doc.root(), &back, back.root()));
+    }
+}
+
+// ----------------------------------------------------------------------
+// mapping-level invariants on synthetic documents
+// ----------------------------------------------------------------------
+
+fn small_params() -> impl Strategy<Value = SyntheticParams> {
+    (1usize..12, 1usize..4, 1usize..4, any::<u64>()).prop_map(|(sf, d, f, seed)| {
+        SyntheticParams { scaling_factor: sf, depth: d, fanout: f, seed }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn inline_shred_roundtrip(p in small_params()) {
+        let dtd = synthetic_dtd(p.depth);
+        let doc = fixed_document(&p);
+        let mapping = xmlup_shred::Mapping::from_dtd(&dtd, "root").unwrap();
+        let mut db = xmlup_rdb::Database::new();
+        xmlup_shred::loader::create_schema(&mut db, &mapping).unwrap();
+        xmlup_shred::loader::shred(&mut db, &mapping, &doc).unwrap();
+        let back = unshred(&mut db, &mapping).unwrap();
+        prop_assert!(doc.subtree_eq(doc.root(), &back, back.root()));
+    }
+
+    #[test]
+    fn outer_union_reconstructs_store(p in small_params()) {
+        let dtd = synthetic_dtd(p.depth);
+        let doc = fixed_document(&p);
+        let mapping = xmlup_shred::Mapping::from_dtd(&dtd, "root").unwrap();
+        let mut db = xmlup_rdb::Database::new();
+        xmlup_shred::loader::create_schema(&mut db, &mapping).unwrap();
+        xmlup_shred::loader::shred(&mut db, &mapping, &doc).unwrap();
+        let (odoc, roots) =
+            xmlup_shred::outer_union::fetch_subtrees(&mut db, &mapping, mapping.root(), None)
+                .unwrap();
+        prop_assert_eq!(roots.len(), 1);
+        prop_assert!(doc.subtree_eq(doc.root(), &odoc, roots[0]));
+    }
+
+    #[test]
+    fn delete_strategies_equivalent(p in small_params(), pick in any::<u64>()) {
+        let dtd = synthetic_dtd(p.depth);
+        let doc = fixed_document(&p);
+        let mut reference: Option<Document> = None;
+        for ds in DeleteStrategy::ALL {
+            let mut repo = XmlRepository::new(&dtd, "root", RepoConfig {
+                delete_strategy: ds,
+                insert_strategy: InsertStrategy::Table,
+                build_asr: ds == DeleteStrategy::Asr,
+                ..RepoConfig::default()
+            }).unwrap();
+            repo.load(&doc).unwrap();
+            let n1 = repo.mapping.relation_by_element("n1").unwrap();
+            let ids = repo.ids_of(n1);
+            let target = ids[(pick as usize) % ids.len()];
+            repo.delete_by_id(n1, target).unwrap();
+            let snap = unshred(&mut repo.db, &repo.mapping).unwrap();
+            match &reference {
+                None => reference = Some(snap),
+                Some(r) => prop_assert!(
+                    r.subtree_eq(r.root(), &snap, snap.root()),
+                    "strategy {} diverged", ds.label()
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn insert_strategies_equivalent(p in small_params(), pick in any::<u64>()) {
+        let dtd = synthetic_dtd(p.depth);
+        let doc = fixed_document(&p);
+        let mut reference: Option<Document> = None;
+        for is in InsertStrategy::ALL {
+            let mut repo = XmlRepository::new(&dtd, "root", RepoConfig {
+                delete_strategy: DeleteStrategy::PerTupleTrigger,
+                insert_strategy: is,
+                build_asr: is == InsertStrategy::Asr,
+                ..RepoConfig::default()
+            }).unwrap();
+            repo.load(&doc).unwrap();
+            let n1 = repo.mapping.relation_by_element("n1").unwrap();
+            let root = repo.root_id().unwrap();
+            let ids = repo.ids_of(n1);
+            let src = ids[(pick as usize) % ids.len()];
+            repo.copy_subtree(n1, src, root).unwrap();
+            let snap = unshred(&mut repo.db, &repo.mapping).unwrap();
+            match &reference {
+                None => reference = Some(snap),
+                Some(r) => prop_assert!(
+                    r.subtree_eq(r.root(), &snap, snap.root()),
+                    "strategy {} diverged", is.label()
+                ),
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! The paper's experimental *claims*, checked deterministically: instead
+//! of wall-clock time (noisy), these tests verify the underlying
+//! mechanisms through the engine's counters — statements executed, rows
+//! scanned, trigger firings. Each test cites the claim it pins down.
+
+use xmlup_core::{DeleteStrategy, InsertStrategy, RepoConfig, XmlRepository};
+use xmlup_workload::{fixed_document, run_delete, run_insert, synthetic_dtd, SyntheticParams, Workload};
+
+fn repo(p: &SyntheticParams, ds: DeleteStrategy, is: InsertStrategy) -> (XmlRepository, usize) {
+    let dtd = synthetic_dtd(p.depth);
+    let doc = fixed_document(p);
+    let mut repo = XmlRepository::new(
+        &dtd,
+        "root",
+        RepoConfig {
+            delete_strategy: ds,
+            insert_strategy: is,
+            build_asr: ds == DeleteStrategy::Asr || is == InsertStrategy::Asr,
+            ..RepoConfig::default()
+        },
+    )
+    .unwrap();
+    repo.load(&doc).unwrap();
+    let n1 = repo.mapping.relation_by_element("n1").unwrap();
+    (repo, n1)
+}
+
+/// §7.3: "The size of the document does not directly impact per-tuple
+/// triggers" — the rows scanned by a 10-subtree random delete must not
+/// grow with the scaling factor.
+#[test]
+fn per_tuple_trigger_work_is_size_independent() {
+    let scans: Vec<u64> = [100, 400]
+        .iter()
+        .map(|&sf| {
+            let (mut r, n1) = repo(
+                &SyntheticParams::new(sf, 4, 1),
+                DeleteStrategy::PerTupleTrigger,
+                InsertStrategy::Table,
+            );
+            r.reset_stats();
+            run_delete(&mut r, n1, Workload::random10()).unwrap();
+            r.stats().rows_scanned
+        })
+        .collect();
+    assert_eq!(scans[0], scans[1], "per-tuple trigger scans must not grow with sf");
+}
+
+/// §7.3: per-statement triggers "involve a scan of entire child relations",
+/// so their scanned-row count grows linearly with document size.
+#[test]
+fn per_statement_trigger_work_grows_with_document() {
+    let scans: Vec<u64> = [100, 400]
+        .iter()
+        .map(|&sf| {
+            let (mut r, n1) = repo(
+                &SyntheticParams::new(sf, 4, 1),
+                DeleteStrategy::PerStatementTrigger,
+                InsertStrategy::Table,
+            );
+            r.reset_stats();
+            run_delete(&mut r, n1, Workload::random10()).unwrap();
+            r.stats().rows_scanned
+        })
+        .collect();
+    assert!(
+        scans[1] >= 3 * scans[0],
+        "per-statement trigger scans should scale with sf: {scans:?}"
+    );
+}
+
+/// §6.1.1: with triggers, the bulk delete is a single client SQL statement
+/// regardless of document size; cascading needs one per relation level.
+#[test]
+fn client_statement_counts_per_strategy() {
+    let p = SyntheticParams::new(50, 4, 1);
+    for (ds, expect) in [
+        (DeleteStrategy::PerTupleTrigger, 1),
+        (DeleteStrategy::PerStatementTrigger, 1),
+        (DeleteStrategy::Cascading, 4), // n1 + orphan deletes for n2..n4
+    ] {
+        let (mut r, n1) = repo(&p, ds, InsertStrategy::Table);
+        r.reset_stats();
+        run_delete(&mut r, n1, Workload::Bulk).unwrap();
+        assert_eq!(
+            r.stats().client_statements,
+            expect,
+            "{} client statements",
+            ds.label()
+        );
+    }
+}
+
+/// §6.2.1 vs §6.2.2: the tuple method issues one INSERT per copied tuple,
+/// so its statement count scales with subtree size; the table method pays
+/// a constant number of statements per relation *level* — the mechanism
+/// behind Figures 10/11 (and why tuple still wins tiny copies).
+#[test]
+fn insert_statement_counts() {
+    let p = SyntheticParams::new(10, 5, 3); // subtree = 1+3+9+27+81 = 121 tuples
+    let (mut r, n1) = repo(&p, DeleteStrategy::PerTupleTrigger, InsertStrategy::Tuple);
+    let src = r.ids_of(n1)[0];
+    let root = r.root_id().unwrap();
+    r.reset_stats();
+    let copied = r.copy_subtree(n1, src, root).unwrap();
+    assert_eq!(copied, 121);
+    let tuple_stmts = r.stats().client_statements;
+    assert!(
+        tuple_stmts >= copied as u64,
+        "tuple method: ≥1 INSERT per tuple ({tuple_stmts} for {copied})"
+    );
+
+    let (mut r, n1) = repo(&p, DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+    let src = r.ids_of(n1)[0];
+    let root = r.root_id().unwrap();
+    r.reset_stats();
+    r.copy_subtree(n1, src, root).unwrap();
+    let table_stmts = r.stats().client_statements;
+    assert!(
+        table_stmts * 4 < copied as u64,
+        "table method must use far fewer statements than tuples copied ({table_stmts})"
+    );
+    // The table method's statement count depends on relation levels, not
+    // on subtree size: double the fanout (2× the tuples), same statements.
+    let p_wide = SyntheticParams::new(10, 5, 4); // subtree = 341 tuples
+    let (mut r, n1) = repo(&p_wide, DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+    let src = r.ids_of(n1)[0];
+    let root = r.root_id().unwrap();
+    r.reset_stats();
+    r.copy_subtree(n1, src, root).unwrap();
+    assert_eq!(r.stats().client_statements, table_stmts);
+}
+
+/// §5.3: with an ASR, a long-path query runs as two semi-joins instead of
+/// one per level — fewer client-visible join stages, same answer. The
+/// timing side of this claim lives in `paper-figures asr-paths`; here we
+/// pin the *plan* shape and result equality on a matching predicate.
+#[test]
+fn asr_path_plan_is_flat_and_equivalent() {
+    let p = SyntheticParams::new(40, 5, 1);
+    // A predicate that actually selects rows (all num values are ≥ 0), so
+    // both plans do real work.
+    let q = r#"FOR $x IN document("d")/root/n1[n2/n3/n4/n5/num >= 0] RETURN $x"#;
+    let dtd = synthetic_dtd(p.depth);
+    let doc = fixed_document(&p);
+
+    let mut plain = XmlRepository::new(&dtd, "root", RepoConfig::default()).unwrap();
+    plain.load(&doc).unwrap();
+    let (_, r1) = plain.query_xml(q).unwrap();
+
+    let mut with_asr = XmlRepository::new(
+        &dtd,
+        "root",
+        RepoConfig { build_asr: true, ..RepoConfig::default() },
+    )
+    .unwrap();
+    with_asr.load(&doc).unwrap();
+    let (_, r2) = with_asr.query_xml(q).unwrap();
+    // `num >= 0` compares text lexicographically in SQL; every generated
+    // num is a non-negative decimal string, so all subtrees qualify under
+    // both plans — equality of cardinality is the point here.
+    assert_eq!(r1.len(), r2.len());
+
+    // Plan shape: the ASR filter mentions the ASR and skips the
+    // intermediate relations entirely.
+    let stmt = xmlup_xquery::parse_statement(q).unwrap();
+    let spec = xmlup_core::translate::translate_query(&stmt, &with_asr.mapping).unwrap();
+    let sql = xmlup_core::translate::query_filter_sql(
+        &spec,
+        &with_asr.mapping,
+        with_asr.asr.as_ref(),
+    )
+    .unwrap()
+    .unwrap();
+    assert!(sql.contains("FROM ASR"));
+    for mid in ["FROM n2", "FROM n3", "FROM n4"] {
+        assert!(!sql.contains(mid), "intermediate relation joined: {sql}");
+    }
+}
+
+/// §7.2's flip side: at high fanout the ASR holds one tuple per full path,
+/// so it is *larger* than any intermediate relation.
+#[test]
+fn asr_is_large_at_high_fanout() {
+    let p = SyntheticParams::new(10, 4, 4);
+    let (r, _) = repo(&p, DeleteStrategy::Asr, InsertStrategy::Table);
+    let asr_rows = r.db.table("asr").unwrap().len();
+    let n2_rows = r.db.table("n2").unwrap().len();
+    assert!(
+        asr_rows > n2_rows,
+        "ASR ({asr_rows}) should exceed the intermediate relation ({n2_rows})"
+    );
+    // Leaves dominate: one path per n4 tuple.
+    assert_eq!(asr_rows, r.db.table("n4").unwrap().len());
+}
+
+/// §6.2: the gap-free vs offset id allocation difference between tuple-
+/// and table-based inserts (the paper's "one advantage of the tuple
+/// method").
+#[test]
+fn id_allocation_styles_differ() {
+    let p = SyntheticParams::new(10, 3, 2);
+    // Delete a middle subtree first so the id space has a hole; the table
+    // method's offset heuristic will then skip ids, the tuple method not.
+    for (is, gapless) in [(InsertStrategy::Tuple, true), (InsertStrategy::Table, false)] {
+        let (mut r, n1) = repo(&p, DeleteStrategy::PerTupleTrigger, is);
+        let ids = r.ids_of(n1);
+        r.delete_by_id(n1, ids[1]).unwrap();
+        let src = *r.ids_of(n1).last().unwrap();
+        let root = r.root_id().unwrap();
+        let before = r.db.peek_next_id();
+        let copied = r.copy_subtree(n1, src, root).unwrap() as i64;
+        let used = r.db.peek_next_id() - before;
+        if gapless {
+            assert_eq!(used, copied, "tuple method allocates exactly one id per tuple");
+        } else {
+            assert!(used >= copied, "table method may reserve a range with gaps");
+        }
+    }
+}
+
+/// Bulk insert doubles data under every strategy; the random workload adds
+/// exactly ten subtrees — the workload driver invariants behind every
+/// figure.
+#[test]
+fn workload_invariants() {
+    let p = SyntheticParams::new(30, 3, 2);
+    for is in InsertStrategy::ALL {
+        let (mut r, n1) = repo(&p, DeleteStrategy::PerTupleTrigger, is);
+        let before = r.tuple_count();
+        run_insert(&mut r, n1, Workload::Bulk).unwrap();
+        assert_eq!(r.tuple_count(), 2 * before - 1, "{}", is.label());
+    }
+    for ds in DeleteStrategy::ALL {
+        let (mut r, n1) = repo(&p, ds, InsertStrategy::Table);
+        let per_subtree = SyntheticParams::new(1, 3, 2).nodes_per_subtree();
+        let before = r.tuple_count();
+        run_delete(&mut r, n1, Workload::random10()).unwrap();
+        assert_eq!(before - r.tuple_count(), 10 * per_subtree, "{}", ds.label());
+    }
+}
