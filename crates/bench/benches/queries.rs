@@ -9,9 +9,15 @@ use xmlup_workload::{fixed_document, synthetic_dtd, SyntheticParams};
 fn repo_with_asr(p: &SyntheticParams, asr: bool) -> XmlRepository {
     let dtd = synthetic_dtd(p.depth);
     let doc = fixed_document(p);
-    let mut repo =
-        XmlRepository::new(&dtd, "root", RepoConfig { build_asr: asr, ..RepoConfig::default() })
-            .unwrap();
+    let mut repo = XmlRepository::new(
+        &dtd,
+        "root",
+        RepoConfig {
+            build_asr: asr,
+            ..RepoConfig::default()
+        },
+    )
+    .unwrap();
     repo.load(&doc).unwrap();
     repo
 }

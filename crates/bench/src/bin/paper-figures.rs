@@ -1,7 +1,7 @@
 //! Regenerate the tables and figures of *Updating XML* (SIGMOD 2001).
 //!
 //! ```text
-//! paper-figures [all|table1|fig6|fig7|fig8|fig9|fig10|fig11|table2|asr-paths|randomized|ordered|storage]
+//! paper-figures [all|table1|fig6|fig7|fig8|fig9|fig10|fig11|table2|asr-paths|randomized|ordered|storage|plan-cache]
 //!               [--full]
 //! ```
 //!
@@ -22,16 +22,27 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "all".to_string());
 
-    let scaling: Vec<usize> =
-        if full { vec![100, 200, 400, 600, 800, 1000] } else { vec![100, 200, 400, 800] };
-    let depths: Vec<usize> = if full { vec![1, 2, 3, 4, 5, 6] } else { vec![2, 3, 4, 5] };
+    let scaling: Vec<usize> = if full {
+        vec![100, 200, 400, 600, 800, 1000]
+    } else {
+        vec![100, 200, 400, 800]
+    };
+    let depths: Vec<usize> = if full {
+        vec![1, 2, 3, 4, 5, 6]
+    } else {
+        vec![2, 3, 4, 5]
+    };
     let run = |name: &str| what == "all" || what == name;
 
     if run("table1") {
         exp::print_table1();
     }
     if run("asr-paths") {
-        let lens: Vec<usize> = if full { vec![2, 3, 4, 5] } else { vec![2, 3, 4] };
+        let lens: Vec<usize> = if full {
+            vec![2, 3, 4, 5]
+        } else {
+            vec![2, 3, 4]
+        };
         let rows = exp::asr_path_expressions(&[1, 2, 4, 8], &lens);
         exp::print_asr_paths(&rows);
     }
@@ -60,13 +71,21 @@ fn main() {
         let rows = exp::storage_ablation(&scaling);
         exp::print_storage(&rows);
     }
+    if run("plan-cache") {
+        let rows = exp::plan_cache_stats(if full { 400 } else { 100 });
+        exp::print_plan_cache(&rows);
+    }
     if run("ordered") {
         let rows = exp::ordered_ablation(&scaling);
         exp::print_ordered(&rows);
     }
     if run("table2") {
         let params = if full {
-            DblpParams { conferences: 300, pubs_per_conf: 60, ..Default::default() }
+            DblpParams {
+                conferences: 300,
+                pubs_per_conf: 60,
+                ..Default::default()
+            }
         } else {
             DblpParams::default()
         };

@@ -82,7 +82,11 @@ fn build_repo_doc(
     randomized: bool,
 ) -> XmlRepository {
     let dtd = synthetic_dtd(p.depth);
-    let doc = if randomized { randomized_document(p) } else { fixed_document(p) };
+    let doc = if randomized {
+        randomized_document(p)
+    } else {
+        fixed_document(p)
+    };
     let mut repo = XmlRepository::new(
         &dtd,
         "root",
@@ -127,7 +131,10 @@ pub fn delete_vs_scaling(workload: Workload, scaling: &[usize], fig: &str) -> Fi
             );
             points.push((sf, ms));
         }
-        series.push(Series { label: ds.label().to_string(), points });
+        series.push(Series {
+            label: ds.label().to_string(),
+            points,
+        });
     }
     Figure {
         title: format!(
@@ -159,7 +166,10 @@ pub fn delete_vs_depth(workload: Workload, depths: &[usize], fig: &str) -> Figur
             );
             points.push((d, ms));
         }
-        series.push(Series { label: ds.label().to_string(), points });
+        series.push(Series {
+            label: ds.label().to_string(),
+            points,
+        });
     }
     Figure {
         title: format!(
@@ -191,7 +201,10 @@ pub fn insert_vs_depth(workload: Workload, depths: &[usize], fig: &str) -> Figur
             );
             points.push((d, ms));
         }
-        series.push(Series { label: is.label().to_string(), points });
+        series.push(Series {
+            label: is.label().to_string(),
+            points,
+        });
     }
     Figure {
         title: format!(
@@ -225,7 +238,10 @@ pub fn randomized_delete(scaling: &[usize]) -> Figure {
             );
             points.push((sf, ms));
         }
-        series.push(Series { label: ds.label().to_string(), points });
+        series.push(Series {
+            label: ds.label().to_string(),
+            points,
+        });
     }
     Figure {
         title: "Section 7.1.2: Delete performance on RANDOMIZED synthetic data, random workload, max depth=8, max fanout=2".into(),
@@ -242,7 +258,9 @@ pub fn table1() -> Vec<(String, usize, usize)> {
             [2, 4, 8]
                 .iter()
                 .flat_map(|&d| {
-                    [100, 200, 400, 800].iter().map(move |&sf| SyntheticParams::new(sf, d, 1))
+                    [100, 200, 400, 800]
+                        .iter()
+                        .map(move |&sf| SyntheticParams::new(sf, d, 1))
                 })
                 .collect(),
         ),
@@ -251,7 +269,9 @@ pub fn table1() -> Vec<(String, usize, usize)> {
             [1, 2, 4, 8]
                 .iter()
                 .flat_map(|&f| {
-                    [100, 200, 400, 800].iter().map(move |&sf| SyntheticParams::new(sf, 2, f))
+                    [100, 200, 400, 800]
+                        .iter()
+                        .map(move |&sf| SyntheticParams::new(sf, 2, f))
                 })
                 .collect(),
         ),
@@ -259,7 +279,11 @@ pub fn table1() -> Vec<(String, usize, usize)> {
             "fixed scaling factor (sf=100; d=2..4; f=2,4,8)",
             [2, 3, 4]
                 .iter()
-                .flat_map(|&d| [2, 4, 8].iter().map(move |&f| SyntheticParams::new(100, d, f)))
+                .flat_map(|&d| {
+                    [2, 4, 8]
+                        .iter()
+                        .map(move |&f| SyntheticParams::new(100, d, f))
+                })
                 .collect(),
         ),
     ];
@@ -267,10 +291,14 @@ pub fn table1() -> Vec<(String, usize, usize)> {
     for (name, params) in grid {
         // Realized maximum data size of the experiment family, verified by
         // actually shredding the largest instance.
-        let max = params.iter().max_by_key(|p| p.total_nodes()).copied().unwrap();
+        let max = params
+            .iter()
+            .max_by_key(|p| p.total_nodes())
+            .copied()
+            .unwrap();
         let repo = build_repo(&max, DeleteStrategy::Cascading, InsertStrategy::Table);
         let tuples = repo.tuple_count() - 1; // exclude the root tuple
-        // ~50-char string + integer + ids per tuple ≈ 120 bytes.
+                                             // ~50-char string + integer + ids per tuple ≈ 120 bytes.
         let bytes = tuples * 120;
         out.push((name.to_string(), tuples, bytes));
     }
@@ -280,7 +308,10 @@ pub fn table1() -> Vec<(String, usize, usize)> {
 /// Print Table 1.
 pub fn print_table1() {
     println!("# Table 1: Parameter values evaluated using synthetic data");
-    println!("{:<52} {:>12} {:>14}", "experiment", "max tuples", "approx bytes");
+    println!(
+        "{:<52} {:>12} {:>14}",
+        "experiment", "max tuples", "approx bytes"
+    );
     for (name, tuples, bytes) in table1() {
         println!("{name:<52} {tuples:>12} {bytes:>14}");
     }
@@ -289,7 +320,10 @@ pub fn print_table1() {
 
 /// Section 7.2: ASR vs conventional path-expression evaluation. Returns
 /// `(fanout, path_len, conventional_ms, asr_ms)` rows.
-pub fn asr_path_expressions(fanouts: &[usize], path_lens: &[usize]) -> Vec<(usize, usize, Millis, Millis)> {
+pub fn asr_path_expressions(
+    fanouts: &[usize],
+    path_lens: &[usize],
+) -> Vec<(usize, usize, Millis, Millis)> {
     let mut rows = Vec::new();
     for &f in fanouts {
         for &len in path_lens {
@@ -297,8 +331,7 @@ pub fn asr_path_expressions(fanouts: &[usize], path_lens: &[usize]) -> Vec<(usiz
             let p = SyntheticParams::new(40, depth, f);
             // Predicate on the deepest level's inlined `str` column,
             // selecting nothing (worst case: full evaluation).
-            let pred_path: Vec<String> =
-                (2..=depth).map(|l| format!("n{l}")).collect();
+            let pred_path: Vec<String> = (2..=depth).map(|l| format!("n{l}")).collect();
             let q = format!(
                 r#"FOR $x IN document("d")/root/n1[{}/str="@@nomatch@@"] RETURN $x"#,
                 pred_path.join("/")
@@ -318,7 +351,11 @@ pub fn asr_path_expressions(fanouts: &[usize], path_lens: &[usize]) -> Vec<(usiz
                     let mut repo = XmlRepository::new(
                         &dtd,
                         "root",
-                        RepoConfig { build_asr: true, statement_cost_us: STATEMENT_COST_US, ..RepoConfig::default() },
+                        RepoConfig {
+                            build_asr: true,
+                            statement_cost_us: STATEMENT_COST_US,
+                            ..RepoConfig::default()
+                        },
                     )
                     .unwrap();
                     repo.load(&doc).unwrap();
@@ -476,13 +513,21 @@ pub fn ordered_ablation(scaling: &[usize]) -> Vec<(usize, Millis, Millis, Millis
         let anchor = repo.ids_of(n1)[0];
         let mut inserts_before_renumber = 0usize;
         for _ in 0..64 {
-            let ins = repo.insert_tuple_at(n1, 0, &[], InsertAt::After(anchor)).unwrap();
+            let ins = repo
+                .insert_tuple_at(n1, 0, &[], InsertAt::After(anchor))
+                .unwrap();
             if ins.renumbered {
                 break;
             }
             inserts_before_renumber += 1;
         }
-        rows.push((sf, load_unordered, load_ordered, insert_ms, inserts_before_renumber));
+        rows.push((
+            sf,
+            load_unordered,
+            load_ordered,
+            insert_ms,
+            inserts_before_renumber,
+        ));
     }
     rows
 }
@@ -548,8 +593,10 @@ pub fn storage_ablation(scaling: &[usize]) -> Vec<(usize, Millis, Millis, Millis
         // apply; compare raw orphan-cascade on both stores.
         let inline_d = time_runs(RUNS, make_inline, |db| {
             db.execute("DELETE FROM n1").unwrap();
-            db.execute("DELETE FROM n2 WHERE parentId NOT IN (SELECT id FROM n1)").unwrap();
-            db.execute("DELETE FROM n3 WHERE parentId NOT IN (SELECT id FROM n2)").unwrap();
+            db.execute("DELETE FROM n2 WHERE parentId NOT IN (SELECT id FROM n1)")
+                .unwrap();
+            db.execute("DELETE FROM n3 WHERE parentId NOT IN (SELECT id FROM n2)")
+                .unwrap();
         });
         let edge_d = time_runs(RUNS, make_edge, |db| {
             // One statement; the self-referential per-tuple trigger
@@ -559,6 +606,58 @@ pub fn storage_ablation(scaling: &[usize]) -> Vec<(usize, Millis, Millis, Millis
         rows.push((sf, inline_q, edge_q, inline_d, edge_d));
     }
     rows
+}
+
+/// Plan-cache effectiveness on the paper's hot update paths: run a
+/// tuple-based insert workload and a per-tuple-trigger delete workload
+/// and report the engine's statement counters. With prepared statements
+/// and the plan cache, `statements_parsed` stays at the number of
+/// distinct statement *shapes* while `client_statements` grows with the
+/// workload. Returns `(label, client_statements, statements_parsed,
+/// cache_hits, cache_misses)` rows.
+pub fn plan_cache_stats(sf: usize) -> Vec<(String, u64, u64, u64, u64)> {
+    let p = SyntheticParams::new(sf, 4, 2);
+    let mut rows = Vec::new();
+
+    let mut repo = build_repo(&p, DeleteStrategy::PerTupleTrigger, InsertStrategy::Tuple);
+    let rel = repo.mapping.relation_by_element("n1").unwrap();
+    repo.reset_stats();
+    run_insert(&mut repo, rel, Workload::random10()).expect("insert runs");
+    let s = repo.stats();
+    rows.push((
+        "tuple insert, random".into(),
+        s.client_statements,
+        s.statements_parsed,
+        s.plan_cache_hits,
+        s.plan_cache_misses,
+    ));
+
+    let mut repo = build_repo(&p, DeleteStrategy::PerTupleTrigger, InsertStrategy::Tuple);
+    let rel = repo.mapping.relation_by_element("n1").unwrap();
+    repo.reset_stats();
+    run_delete(&mut repo, rel, Workload::random10()).expect("delete runs");
+    let s = repo.stats();
+    rows.push((
+        "per-tuple delete, random".into(),
+        s.client_statements,
+        s.statements_parsed,
+        s.plan_cache_hits,
+        s.plan_cache_misses,
+    ));
+    rows
+}
+
+/// Print the plan-cache counters.
+pub fn print_plan_cache(rows: &[(String, u64, u64, u64, u64)]) {
+    println!("# Plan cache: statements parsed vs statements executed (prepared statements)");
+    println!(
+        "{:<28} {:>12} {:>10} {:>12} {:>12}",
+        "workload", "client stmts", "parsed", "cache hits", "cache misses"
+    );
+    for (label, client, parsed, hits, misses) in rows {
+        println!("{label:<28} {client:>12} {parsed:>10} {hits:>12} {misses:>12}");
+    }
+    println!();
 }
 
 /// Print the storage ablation.

@@ -13,7 +13,7 @@
 //! | ASR                   | ~3 + 1 per level      | application via the ASR's marked paths |
 
 use crate::error::{CoreError, Result};
-use xmlup_rdb::Database;
+use xmlup_rdb::{Database, Value};
 use xmlup_shred::{AsrIndex, Mapping};
 
 /// Strategy selector for complex deletes.
@@ -94,8 +94,7 @@ pub fn install_triggers(
                     .map(|&c| {
                         format!(
                             "DELETE FROM {} WHERE parentId NOT IN (SELECT id FROM {});",
-                            mapping.relations[c].table,
-                            rel.table
+                            mapping.relations[c].table, rel.table
                         )
                     })
                     .collect();
@@ -141,20 +140,34 @@ pub fn delete_where(
     rel: usize,
     filter: Option<&str>,
 ) -> Result<usize> {
+    delete_where_params(db, mapping, asr, strategy, rel, filter, &[])
+}
+
+/// [`delete_where`] with `?`/`$n` placeholders in the filter bound to
+/// `params`. Per-tuple callers (e.g. deleting by id with `id = ?`) keep
+/// the statement text constant, so every delete after the first reuses
+/// the cached plan instead of re-parsing.
+pub fn delete_where_params(
+    db: &mut Database,
+    mapping: &Mapping,
+    asr: Option<&AsrIndex>,
+    strategy: DeleteStrategy,
+    rel: usize,
+    filter: Option<&str>,
+    params: &[Value],
+) -> Result<usize> {
     let table = &mapping.relations[rel].table;
     let where_clause = filter.map(|f| format!(" WHERE {f}")).unwrap_or_default();
     match strategy {
         // A single SQL statement; the RDBMS cascades.
         DeleteStrategy::PerTupleTrigger | DeleteStrategy::PerStatementTrigger => {
-            let n = db
-                .execute(&format!("DELETE FROM {table}{where_clause}"))?
-                .affected();
+            let stmt = db.prepare(&format!("DELETE FROM {table}{where_clause}"))?;
+            let n = db.execute_prepared(&stmt, params)?.affected();
             Ok(n)
         }
         DeleteStrategy::Cascading => {
-            let n = db
-                .execute(&format!("DELETE FROM {table}{where_clause}"))?
-                .affected();
+            let stmt = db.prepare(&format!("DELETE FROM {table}{where_clause}"))?;
+            let n = db.execute_prepared(&stmt, params)?.affected();
             // Orphan deletes, level by level; a branch stops as soon as a
             // delete removes nothing (paper Section 6.1.2).
             cascade_children(db, mapping, rel)?;
@@ -164,7 +177,7 @@ pub fn delete_where(
             let asr = asr.ok_or_else(|| {
                 CoreError::Strategy("ASR delete requires a built ASR index".into())
             })?;
-            delete_via_asr(db, mapping, asr, rel, filter)
+            delete_via_asr(db, mapping, asr, rel, filter, params)
         }
     }
 }
@@ -190,6 +203,7 @@ fn delete_via_asr(
     asr: &AsrIndex,
     rel: usize,
     filter: Option<&str>,
+    params: &[Value],
 ) -> Result<usize> {
     let table = &mapping.relations[rel].table;
     let col = asr
@@ -197,11 +211,14 @@ fn delete_via_asr(
         .ok_or_else(|| CoreError::Strategy(format!("relation {table} not covered by ASR")))?;
     let id_col = &asr.id_columns[col];
     let where_clause = filter.map(|f| format!(" WHERE {f}")).unwrap_or_default();
-    // 1. Mark every path through a deleted root.
-    db.execute(&format!(
+    // 1. Mark every path through a deleted root. The filter (and its
+    //    parameters) only appears here; the remaining steps have constant
+    //    statement text per relation and hit the plan cache on their own.
+    let mark = db.prepare(&format!(
         "UPDATE {a} SET mark = TRUE WHERE {id_col} IN (SELECT id FROM {table}{where_clause})",
         a = asr.table
     ))?;
+    db.execute_prepared(&mark, params)?;
     // 2. Delete descendants per level, ids obtained from marked paths.
     for &d in mapping.subtree(rel).iter().skip(1) {
         let dcol = &asr.id_columns[asr.column_of(d).expect("subtree covered")];
@@ -274,9 +291,7 @@ pub fn delete_inlined(
             && col.path[..inlined_path.len()] == inlined_path[..];
         if covered {
             match col.kind {
-                xmlup_shred::ColumnKind::Presence => {
-                    sets.push(format!("{} = FALSE", col.name))
-                }
+                xmlup_shred::ColumnKind::Presence => sets.push(format!("{} = FALSE", col.name)),
                 _ => sets.push(format!("{} = NULL", col.name)),
             }
         }

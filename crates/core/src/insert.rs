@@ -13,7 +13,7 @@
 
 use crate::error::{CoreError, Result};
 use std::collections::HashMap;
-use xmlup_rdb::{Database, Value};
+use xmlup_rdb::{Database, PreparedStmt, Value};
 use xmlup_shred::loader::sql_literal;
 use xmlup_shred::{outer_union, AsrIndex, Mapping};
 
@@ -37,8 +37,11 @@ pub enum InsertStrategy {
 
 impl InsertStrategy {
     /// All strategies, for sweeps.
-    pub const ALL: [InsertStrategy; 3] =
-        [InsertStrategy::Tuple, InsertStrategy::Table, InsertStrategy::Asr];
+    pub const ALL: [InsertStrategy; 3] = [
+        InsertStrategy::Tuple,
+        InsertStrategy::Table,
+        InsertStrategy::Asr,
+    ];
 
     /// Short label matching the paper's figure legends.
     pub fn label(self) -> &'static str {
@@ -72,10 +75,13 @@ fn appended_pos(
     for &crel in &mapping.relations[parent].children {
         let r = &mapping.relations[crel];
         if let Some(pi) = r.find_column(&[], &ColumnKind::Position) {
-            let rs = db.query(&format!(
-                "SELECT MAX({}) FROM {} WHERE parentId = {dst_parent_id}",
+            // Parameterized so the statement text is constant per relation
+            // and repeated appends reuse one cached plan.
+            let stmt = db.prepare(&format!(
+                "SELECT MAX({}) FROM {} WHERE parentId = ?",
                 r.columns[pi].name, r.table
             ))?;
+            let rs = db.query_prepared(&stmt, &[Value::Int(dst_parent_id)])?;
             if let Some(p) = rs.rows[0][0].as_int() {
                 max_pos = max_pos.max(p);
             }
@@ -120,12 +126,17 @@ fn tuple_insert(
     src_id: i64,
     dst_parent_id: i64,
 ) -> Result<usize> {
-    // Stream the source subtree via the Sorted Outer Union.
-    let plan = outer_union::plan(mapping, rel, Some(&format!("id = {src_id}")));
-    let rs = outer_union::execute(db, &plan)?;
+    // Stream the source subtree via the Sorted Outer Union. The root
+    // filter is a parameter so every copy of this relation shape reuses
+    // one compiled outer-union plan.
+    let plan = outer_union::plan(mapping, rel, Some("id = ?"));
+    let rs = outer_union::execute_params(db, &plan, &[Value::Int(src_id)])?;
     // old id → new id; parents appear before children in the sorted stream.
     let mut remap: HashMap<i64, i64> = HashMap::new();
     let mut inserted = 0usize;
+    // One prepared `INSERT INTO t VALUES (?, …)` per plan level, compiled
+    // lazily on the first tuple of that level.
+    let mut insert_stmts: Vec<Option<PreparedStmt>> = vec![None; plan.relations.len()];
     for row in &rs.rows {
         // Level = deepest non-null id column (see outer_union::reassemble).
         let mut level = 0;
@@ -165,12 +176,15 @@ fn tuple_insert(
                 vals[2 + pi] = Value::Int(pos);
             }
         }
-        let rendered: Vec<String> = vals.iter().map(sql_literal).collect();
-        db.execute(&format!(
-            "INSERT INTO {} VALUES ({})",
-            relation.table,
-            rendered.join(", ")
-        ))?;
+        if insert_stmts[level].is_none() {
+            let placeholders = vec!["?"; vals.len()].join(", ");
+            insert_stmts[level] = Some(db.prepare(&format!(
+                "INSERT INTO {} VALUES ({placeholders})",
+                relation.table
+            ))?);
+        }
+        let stmt = insert_stmts[level].as_ref().expect("prepared above");
+        db.execute_prepared(stmt, &vals)?;
         inserted += 1;
     }
     Ok(inserted)
@@ -202,10 +216,14 @@ fn table_insert(
             cols.join(", ")
         ))?;
         if i == 0 {
-            db.execute(&format!(
-                "INSERT INTO tmp_{t} SELECT * FROM {t} WHERE id = {src_id}",
+            // Prepared so the root id is bound, not embedded: the statement
+            // shape stays constant across copies (the CREATEs above clear
+            // the plan cache, but the handle keeps its compiled plan).
+            let load = db.prepare(&format!(
+                "INSERT INTO tmp_{t} SELECT * FROM {t} WHERE id = ?",
                 t = relation.table
             ))?;
+            db.execute_prepared(&load, &[Value::Int(src_id)])?;
         } else {
             let parent = mapping.relations[s].parent.expect("child has parent");
             db.execute(&format!(
@@ -243,12 +261,14 @@ fn table_insert(
     // 3. Re-insert shifted tuples, one statement per relation.
     for &s in &subtree {
         let relation = &mapping.relations[s];
-        let data_cols: Vec<String> =
-            relation.columns.iter().map(|c| c.name.clone()).collect();
+        let data_cols: Vec<String> = relation.columns.iter().map(|c| c.name.clone()).collect();
         let select_cols = if data_cols.is_empty() {
             format!("id + {offset}, parentId + {offset}")
         } else {
-            format!("id + {offset}, parentId + {offset}, {}", data_cols.join(", "))
+            format!(
+                "id + {offset}, parentId + {offset}, {}",
+                data_cols.join(", ")
+            )
         };
         db.execute(&format!(
             "INSERT INTO {t} SELECT {select_cols} FROM tmp_{t}",
@@ -280,16 +300,25 @@ fn reattach_root(
             let pi = relation
                 .find_column(&[], &xmlup_shred::ColumnKind::Position)
                 .expect("ordered relation has pos_");
-            db.execute(&format!(
-                "UPDATE {} SET parentId = {dst_parent_id}, {} = {pos} WHERE id = {new_root_id}",
+            let stmt = db.prepare(&format!(
+                "UPDATE {} SET parentId = ?, {} = ? WHERE id = ?",
                 relation.table, relation.columns[pi].name
             ))?;
+            db.execute_prepared(
+                &stmt,
+                &[
+                    Value::Int(dst_parent_id),
+                    Value::Int(pos),
+                    Value::Int(new_root_id),
+                ],
+            )?;
         }
         None => {
-            db.execute(&format!(
-                "UPDATE {} SET parentId = {dst_parent_id} WHERE id = {new_root_id}",
+            let stmt = db.prepare(&format!(
+                "UPDATE {} SET parentId = ? WHERE id = ?",
                 relation.table
             ))?;
+            db.execute_prepared(&stmt, &[Value::Int(dst_parent_id), Value::Int(new_root_id)])?;
         }
     }
     Ok(())
@@ -311,11 +340,13 @@ fn asr_insert(
     let rel_col = &asr.id_columns[asr
         .column_of(rel)
         .ok_or_else(|| CoreError::Strategy("relation not covered by ASR".into()))?];
-    // 1. Mark the source paths.
-    db.execute(&format!(
-        "UPDATE {} SET mark = TRUE WHERE {rel_col} = {src_id}",
+    // 1. Mark the source paths (parameterized: one cached plan per
+    //    relation column, independent of which subtree is copied).
+    let mark = db.prepare(&format!(
+        "UPDATE {} SET mark = TRUE WHERE {rel_col} = ?",
         asr.table
     ))?;
+    db.execute_prepared(&mark, &[Value::Int(src_id)])?;
     // 2. Offset from the marked ids (MIN/MAX per covered level).
     let mut min_id = i64::MAX;
     let mut max_id = i64::MIN;
@@ -331,7 +362,10 @@ fn asr_insert(
         }
     }
     if min_id == i64::MAX {
-        db.execute(&format!("UPDATE {} SET mark = FALSE WHERE mark = TRUE", asr.table))?;
+        db.execute(&format!(
+            "UPDATE {} SET mark = FALSE WHERE mark = TRUE",
+            asr.table
+        ))?;
         return Ok(0);
     }
     // Destination ancestor path — resolved BEFORE any data is copied so a
@@ -340,10 +374,11 @@ fn asr_insert(
         None => Vec::new(),
         Some(parent) => {
             let pcol = &asr.id_columns[asr.column_of(parent).expect("covered")];
-            let rs = db.query(&format!(
-                "SELECT * FROM {} WHERE {pcol} = {dst_parent_id} LIMIT 1",
+            let lookup = db.prepare(&format!(
+                "SELECT * FROM {} WHERE {pcol} = ? LIMIT 1",
                 asr.table
             ))?;
+            let rs = db.query_prepared(&lookup, &[Value::Int(dst_parent_id)])?;
             match rs.rows.first() {
                 None => {
                     db.execute(&format!(
@@ -373,12 +408,18 @@ fn asr_insert(
     for &s in &subtree {
         let relation = &mapping.relations[s];
         let c = &asr.id_columns[asr.column_of(s).expect("covered")];
-        let data_cols: Vec<String> =
-            relation.columns.iter().map(|col| col.name.clone()).collect();
+        let data_cols: Vec<String> = relation
+            .columns
+            .iter()
+            .map(|col| col.name.clone())
+            .collect();
         let select_cols = if data_cols.is_empty() {
             format!("id + {offset}, parentId + {offset}")
         } else {
-            format!("id + {offset}, parentId + {offset}, {}", data_cols.join(", "))
+            format!(
+                "id + {offset}, parentId + {offset}, {}",
+                data_cols.join(", ")
+            )
         };
         copied += db
             .execute(&format!(
@@ -412,7 +453,10 @@ fn asr_insert(
         select_exprs.join(", "),
         a = asr.table
     ))?;
-    db.execute(&format!("UPDATE {} SET mark = FALSE WHERE mark = TRUE", asr.table))?;
+    db.execute(&format!(
+        "UPDATE {} SET mark = FALSE WHERE mark = TRUE",
+        asr.table
+    ))?;
     Ok(copied)
 }
 
@@ -432,7 +476,11 @@ pub fn insert_inlined(
     let col = &relation.columns[column];
     let where_clause = filter.map(|f| format!(" WHERE {f}")).unwrap_or_default();
     if check_overwrite {
-        let extra = if where_clause.is_empty() { "WHERE" } else { "AND" };
+        let extra = if where_clause.is_empty() {
+            "WHERE"
+        } else {
+            "AND"
+        };
         let rs = db.query(&format!(
             "SELECT COUNT(*) FROM {}{where_clause} {extra} {} IS NOT NULL",
             relation.table, col.name

@@ -68,7 +68,10 @@ fn siblings(
         }
     }
     out.sort_unstable();
-    Ok(out.into_iter().map(|(pos, id, rel)| (id, pos, rel)).collect())
+    Ok(out
+        .into_iter()
+        .map(|(pos, id, rel)| (id, pos, rel))
+        .collect())
 }
 
 /// Compute the pos value for a new child of `parent_id`, renumbering the
@@ -90,9 +93,8 @@ pub fn position_for(
             // recompute (guaranteed to succeed).
             renumber(db, mapping, &sibs)?;
             let sibs = siblings(db, mapping, parent_rel, parent_id)?;
-            let p = compute_midpoint(&sibs, at)?.ok_or_else(|| {
-                CoreError::Strategy("renumbering failed to open a gap".into())
-            })?;
+            let p = compute_midpoint(&sibs, at)?
+                .ok_or_else(|| CoreError::Strategy("renumbering failed to open a gap".into()))?;
             Ok((p, true))
         }
     }
@@ -110,13 +112,20 @@ fn compute_midpoint(sibs: &[(i64, i64, usize)], at: InsertAt) -> Result<Option<i
         InsertAt::Last => (sibs.last().map(|&(_, p, _)| p), None),
         InsertAt::Before(anchor) => {
             let i = find(anchor)?;
-            (if i == 0 { None } else { Some(sibs[i - 1].1) }, Some(sibs[i].1))
+            (
+                if i == 0 { None } else { Some(sibs[i - 1].1) },
+                Some(sibs[i].1),
+            )
         }
         InsertAt::After(anchor) => {
             let i = find(anchor)?;
             (
                 Some(sibs[i].1),
-                if i + 1 < sibs.len() { Some(sibs[i + 1].1) } else { None },
+                if i + 1 < sibs.len() {
+                    Some(sibs[i + 1].1)
+                } else {
+                    None
+                },
             )
         }
     };
@@ -148,7 +157,9 @@ fn compute_midpoint(sibs: &[(i64, i64, usize)], at: InsertAt) -> Result<Option<i
 fn renumber(db: &mut Database, mapping: &Mapping, sibs: &[(i64, i64, usize)]) -> Result<()> {
     for (rank, &(id, _, crel)) in sibs.iter().enumerate() {
         let rel = &mapping.relations[crel];
-        let pos_col = rel.find_column(&[], &ColumnKind::Position).expect("ordered relation");
+        let pos_col = rel
+            .find_column(&[], &ColumnKind::Position)
+            .expect("ordered relation");
         db.execute(&format!(
             "UPDATE {} SET {} = {} WHERE id = {id}",
             rel.table,
@@ -198,7 +209,11 @@ pub fn insert_tuple_at(
         relation.table,
         rendered.join(", ")
     ))?;
-    Ok(PositionalInsert { id, pos, renumbered })
+    Ok(PositionalInsert {
+        id,
+        pos,
+        renumbered,
+    })
 }
 
 #[cfg(test)]
@@ -261,12 +276,10 @@ mod tests {
         let root_id = 0; // loader assigns 0 to the root tuple
         let sib = siblings(&mut db, &mapping, mapping.root(), root_id).unwrap();
         assert_eq!(sib.len(), 3);
-        let first =
-            insert_tuple_at(&mut db, &mapping, n1, root_id, &[], InsertAt::First).unwrap();
+        let first = insert_tuple_at(&mut db, &mapping, n1, root_id, &[], InsertAt::First).unwrap();
         assert!(first.pos < sib[0].1);
         assert!(!first.renumbered);
-        let last =
-            insert_tuple_at(&mut db, &mapping, n1, root_id, &[], InsertAt::Last).unwrap();
+        let last = insert_tuple_at(&mut db, &mapping, n1, root_id, &[], InsertAt::Last).unwrap();
         assert!(last.pos > sib[2].1);
         let mid = insert_tuple_at(
             &mut db,
@@ -291,15 +304,8 @@ mod tests {
         // Repeatedly inserting right after the same anchor halves the gap
         // each time: ~log2(POS_GAP) ≈ 20 inserts before a renumber.
         for i in 0..30 {
-            let ins = insert_tuple_at(
-                &mut db,
-                &mapping,
-                n1,
-                root_id,
-                &[],
-                InsertAt::After(anchor),
-            )
-            .unwrap();
+            let ins = insert_tuple_at(&mut db, &mapping, n1, root_id, &[], InsertAt::After(anchor))
+                .unwrap();
             if ins.renumbered {
                 renumbered_at = Some(i);
                 break;
@@ -311,7 +317,10 @@ mod tests {
             anchor = sib[0].0;
         }
         let hit = renumbered_at.expect("gap must eventually exhaust");
-        assert!(hit >= 15, "gap scheme should absorb ~log2(gap) inserts, got {hit}");
+        assert!(
+            hit >= 15,
+            "gap scheme should absorb ~log2(gap) inserts, got {hit}"
+        );
         // Order is still consistent after renumbering.
         let sibs = siblings(&mut db, &mapping, mapping.root(), root_id).unwrap();
         let positions: Vec<i64> = sibs.iter().map(|s| s.1).collect();

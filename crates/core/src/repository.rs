@@ -83,7 +83,12 @@ impl XmlRepository {
         db.set_statement_cost(std::time::Duration::from_micros(config.statement_cost_us));
         loader::create_schema(&mut db, &mapping)?;
         delete::install_triggers(&mut db, &mapping, config.delete_strategy)?;
-        Ok(XmlRepository { db, mapping, asr: None, config })
+        Ok(XmlRepository {
+            db,
+            mapping,
+            asr: None,
+            config,
+        })
     }
 
     /// Positional insert of a new child tuple (order-preserving mappings
@@ -160,13 +165,25 @@ impl XmlRepository {
 
     /// Complex delete: remove subtrees of `rel` matching `filter`.
     pub fn delete_where(&mut self, rel: usize, filter: Option<&str>) -> Result<usize> {
-        let n = delete::delete_where(
+        self.delete_where_params(rel, filter, &[])
+    }
+
+    /// [`XmlRepository::delete_where`] with `?`/`$n` placeholders in the
+    /// filter bound to `params`.
+    pub fn delete_where_params(
+        &mut self,
+        rel: usize,
+        filter: Option<&str>,
+        params: &[Value],
+    ) -> Result<usize> {
+        let n = delete::delete_where_params(
             &mut self.db,
             &self.mapping,
             self.asr.as_ref(),
             self.config.delete_strategy,
             rel,
             filter,
+            params,
         )?;
         // The ASR strategy maintains the index incrementally; any other
         // strategy leaves a built ASR stale — refresh it so ASR-accelerated
@@ -179,9 +196,10 @@ impl XmlRepository {
         Ok(n)
     }
 
-    /// Complex delete of one subtree by id.
+    /// Complex delete of one subtree by id. Parameterized (`id = ?`), so
+    /// a loop of per-tuple deletes parses each statement shape once.
     pub fn delete_by_id(&mut self, rel: usize, id: i64) -> Result<usize> {
-        self.delete_where(rel, Some(&format!("id = {id}")))
+        self.delete_where_params(rel, Some("id = ?"), &[Value::Int(id)])
     }
 
     /// Complex insert: copy the subtree at (`rel`, `src_id`) under
@@ -207,7 +225,29 @@ impl XmlRepository {
     /// Fetch subtrees of `rel` matching `filter` via the Sorted Outer
     /// Union, reconstructed as XML.
     pub fn fetch(&mut self, rel: usize, filter: Option<&str>) -> Result<(Document, Vec<NodeId>)> {
-        Ok(outer_union::fetch_subtrees(&mut self.db, &self.mapping, rel, filter)?)
+        Ok(outer_union::fetch_subtrees(
+            &mut self.db,
+            &self.mapping,
+            rel,
+            filter,
+        )?)
+    }
+
+    /// [`XmlRepository::fetch`] with `?`/`$n` placeholders in the filter
+    /// bound to `params`.
+    pub fn fetch_params(
+        &mut self,
+        rel: usize,
+        filter: Option<&str>,
+        params: &[Value],
+    ) -> Result<(Document, Vec<NodeId>)> {
+        Ok(outer_union::fetch_subtrees_params(
+            &mut self.db,
+            &self.mapping,
+            rel,
+            filter,
+            params,
+        )?)
     }
 
     /// Evaluate a path query (`FOR`/`WHERE`/`RETURN`) and return the
@@ -239,8 +279,10 @@ impl XmlRepository {
             // Simple statements translate to direct SQL (Section 6.1/6.2).
             return self.execute_translated(&ops[0]);
         }
-        let bound: Vec<BoundOp> =
-            ops.iter().map(|op| self.bind_op(op)).collect::<Result<_>>()?;
+        let bound: Vec<BoundOp> = ops
+            .iter()
+            .map(|op| self.bind_op(op))
+            .collect::<Result<_>>()?;
         let mut affected = 0;
         for b in bound {
             affected += self.exec_bound(b)?;
@@ -251,7 +293,10 @@ impl XmlRepository {
     /// Ids of `rel` tuples matching a translated filter.
     fn bind_ids(&mut self, rel: usize, filter: &Option<String>) -> Result<Vec<i64>> {
         let table = &self.mapping.relations[rel].table;
-        let wc = filter.as_deref().map(|f| format!(" WHERE {f}")).unwrap_or_default();
+        let wc = filter
+            .as_deref()
+            .map(|f| format!(" WHERE {f}"))
+            .unwrap_or_default();
         Ok(self
             .db
             .query(&format!("SELECT id FROM {table}{wc} ORDER BY id"))?
@@ -263,38 +308,54 @@ impl XmlRepository {
 
     fn bind_op(&mut self, op: &TranslatedOp) -> Result<BoundOp> {
         Ok(match op {
-            TranslatedOp::DeleteSubtrees { rel, filter } => {
-                BoundOp::DeleteSubtrees { rel: *rel, ids: self.bind_ids(*rel, filter)? }
-            }
+            TranslatedOp::DeleteSubtrees { rel, filter } => BoundOp::DeleteSubtrees {
+                rel: *rel,
+                ids: self.bind_ids(*rel, filter)?,
+            },
             TranslatedOp::DeleteInlined { rel, path, filter } => BoundOp::DeleteInlined {
                 rel: *rel,
                 path: path.clone(),
                 ids: self.bind_ids(*rel, filter)?,
             },
-            TranslatedOp::CopySubtrees { src_rel, src_filter, dst_rel, dst_filter } => {
-                BoundOp::CopySubtrees {
-                    src_rel: *src_rel,
-                    src_ids: self.bind_ids(*src_rel, src_filter)?,
-                    dst_ids: self.bind_ids(*dst_rel, dst_filter)?,
-                }
-            }
-            TranslatedOp::InsertInlined { rel, column, value, filter } => {
-                BoundOp::SetInlined {
-                    rel: *rel,
-                    column: *column,
-                    value: value.clone(),
-                    ids: self.bind_ids(*rel, filter)?,
-                }
-            }
-            TranslatedOp::UpdateInlined { rel, column, value, filter } => {
-                BoundOp::SetInlined {
-                    rel: *rel,
-                    column: *column,
-                    value: value.clone(),
-                    ids: self.bind_ids(*rel, filter)?,
-                }
-            }
-            TranslatedOp::InsertTupleAt { rel, values, anchor_rel, anchor_filter, before } => {
+            TranslatedOp::CopySubtrees {
+                src_rel,
+                src_filter,
+                dst_rel,
+                dst_filter,
+            } => BoundOp::CopySubtrees {
+                src_rel: *src_rel,
+                src_ids: self.bind_ids(*src_rel, src_filter)?,
+                dst_ids: self.bind_ids(*dst_rel, dst_filter)?,
+            },
+            TranslatedOp::InsertInlined {
+                rel,
+                column,
+                value,
+                filter,
+            } => BoundOp::SetInlined {
+                rel: *rel,
+                column: *column,
+                value: value.clone(),
+                ids: self.bind_ids(*rel, filter)?,
+            },
+            TranslatedOp::UpdateInlined {
+                rel,
+                column,
+                value,
+                filter,
+            } => BoundOp::SetInlined {
+                rel: *rel,
+                column: *column,
+                value: value.clone(),
+                ids: self.bind_ids(*rel, filter)?,
+            },
+            TranslatedOp::InsertTupleAt {
+                rel,
+                values,
+                anchor_rel,
+                anchor_filter,
+                before,
+            } => {
                 let anchor_table = &self.mapping.relations[*anchor_rel].table;
                 let wc = anchor_filter
                     .as_deref()
@@ -321,7 +382,10 @@ impl XmlRepository {
 
     fn exec_bound(&mut self, op: BoundOp) -> Result<usize> {
         fn in_list(ids: &[i64]) -> String {
-            ids.iter().map(i64::to_string).collect::<Vec<_>>().join(", ")
+            ids.iter()
+                .map(i64::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
         }
         match op {
             BoundOp::DeleteSubtrees { rel, ids } => {
@@ -342,7 +406,11 @@ impl XmlRepository {
                     Some(&format!("id IN ({})", in_list(&ids))),
                 )?)
             }
-            BoundOp::CopySubtrees { src_rel, src_ids, dst_ids } => {
+            BoundOp::CopySubtrees {
+                src_rel,
+                src_ids,
+                dst_ids,
+            } => {
                 let mut n = 0;
                 for &d in &dst_ids {
                     for &s in &src_ids {
@@ -351,7 +419,12 @@ impl XmlRepository {
                 }
                 Ok(n)
             }
-            BoundOp::SetInlined { rel, column, value, ids } => {
+            BoundOp::SetInlined {
+                rel,
+                column,
+                value,
+                ids,
+            } => {
                 if ids.is_empty() {
                     return Ok(0);
                 }
@@ -368,7 +441,12 @@ impl XmlRepository {
                     false,
                 )?)
             }
-            BoundOp::InsertTupleAt { rel, values, anchors, before } => {
+            BoundOp::InsertTupleAt {
+                rel,
+                values,
+                anchors,
+                before,
+            } => {
                 let mut n = 0;
                 for (aid, parent) in anchors {
                     let at = if before {
@@ -404,7 +482,12 @@ impl XmlRepository {
                 path,
                 filter.as_deref(),
             )?),
-            TranslatedOp::CopySubtrees { src_rel, src_filter, dst_rel, dst_filter } => {
+            TranslatedOp::CopySubtrees {
+                src_rel,
+                src_filter,
+                dst_rel,
+                dst_filter,
+            } => {
                 // Bind sources and destinations (ids), then copy each
                 // source under each destination.
                 let src_table = &self.mapping.relations[*src_rel].table;
@@ -439,7 +522,13 @@ impl XmlRepository {
                 }
                 Ok(n)
             }
-            TranslatedOp::InsertTupleAt { rel, values, anchor_rel, anchor_filter, before } => {
+            TranslatedOp::InsertTupleAt {
+                rel,
+                values,
+                anchor_rel,
+                anchor_filter,
+                before,
+            } => {
                 // Bind anchors (id + parent), then place one new tuple per
                 // anchor using the gap-based positional machinery.
                 let anchor_table = &self.mapping.relations[*anchor_rel].table;
@@ -475,18 +564,26 @@ impl XmlRepository {
                 }
                 Ok(n)
             }
-            TranslatedOp::InsertInlined { rel, column, value, filter } => {
-                Ok(insert::insert_inlined(
-                    &mut self.db,
-                    &self.mapping,
-                    *rel,
-                    *column,
-                    value,
-                    filter.as_deref(),
-                    false,
-                )?)
-            }
-            TranslatedOp::UpdateInlined { rel, column, value, filter } => {
+            TranslatedOp::InsertInlined {
+                rel,
+                column,
+                value,
+                filter,
+            } => Ok(insert::insert_inlined(
+                &mut self.db,
+                &self.mapping,
+                *rel,
+                *column,
+                value,
+                filter.as_deref(),
+                false,
+            )?),
+            TranslatedOp::UpdateInlined {
+                rel,
+                column,
+                value,
+                filter,
+            } => {
                 let relation = &self.mapping.relations[*rel];
                 let wc = filter
                     .as_deref()
@@ -508,10 +605,11 @@ impl XmlRepository {
     /// Helper used by tests and benches: value of an inlined column for a
     /// given tuple id.
     pub fn column_value(&mut self, rel: usize, id: i64, column: &str) -> Result<Value> {
-        let rs = self.db.query(&format!(
-            "SELECT {column} FROM {} WHERE id = {id}",
+        let stmt = self.db.prepare(&format!(
+            "SELECT {column} FROM {} WHERE id = ?",
             self.mapping.relations[rel].table
         ))?;
+        let rs = self.db.query_prepared(&stmt, &[Value::Int(id)])?;
         rs.rows
             .first()
             .and_then(|r| r.first())
@@ -524,10 +622,26 @@ impl XmlRepository {
 /// before any execution — paper Section 6.3's bind-first discipline).
 #[derive(Debug, Clone)]
 enum BoundOp {
-    DeleteSubtrees { rel: usize, ids: Vec<i64> },
-    DeleteInlined { rel: usize, path: Vec<String>, ids: Vec<i64> },
-    CopySubtrees { src_rel: usize, src_ids: Vec<i64>, dst_ids: Vec<i64> },
-    SetInlined { rel: usize, column: usize, value: Value, ids: Vec<i64> },
+    DeleteSubtrees {
+        rel: usize,
+        ids: Vec<i64>,
+    },
+    DeleteInlined {
+        rel: usize,
+        path: Vec<String>,
+        ids: Vec<i64>,
+    },
+    CopySubtrees {
+        src_rel: usize,
+        src_ids: Vec<i64>,
+        dst_ids: Vec<i64>,
+    },
+    SetInlined {
+        rel: usize,
+        column: usize,
+        value: Value,
+        ids: Vec<i64>,
+    },
     InsertTupleAt {
         rel: usize,
         values: Vec<(String, Value)>,
@@ -551,28 +665,29 @@ impl XmlRepository {
         dst_parent_id: i64,
     ) -> Result<usize> {
         if self.mapping.relations.len() != src.mapping.relations.len()
-            || self.mapping.relations[dst_rel].element
-                != src.mapping.relations[src_rel].element
+            || self.mapping.relations[dst_rel].element != src.mapping.relations[src_rel].element
         {
             return Err(CoreError::Strategy(
                 "import requires repositories over the same DTD mapping".into(),
             ));
         }
-        let (doc, roots) = src.fetch(src_rel, Some(&format!("id = {src_id}")))?;
+        let (doc, roots) = src.fetch_params(src_rel, Some("id = ?"), &[Value::Int(src_id)])?;
         // Sibling ordinal for ordered mappings: append after every existing
         // child of the destination parent.
         let mut ord: i64 = 0;
         if self.mapping.ordered {
-            for &crel in &self.mapping.relations[self.mapping.relations[dst_rel]
-                .parent
-                .unwrap_or(dst_rel)]
-                .children
-                .clone()
+            for &crel in &self.mapping.relations
+                [self.mapping.relations[dst_rel].parent.unwrap_or(dst_rel)]
+            .children
+            .clone()
             {
                 let t = &self.mapping.relations[crel].table;
-                let rs = self.db.query(&format!(
-                    "SELECT COUNT(*) FROM {t} WHERE parentId = {dst_parent_id}"
-                ))?;
+                let stmt = self
+                    .db
+                    .prepare(&format!("SELECT COUNT(*) FROM {t} WHERE parentId = ?"))?;
+                let rs = self
+                    .db
+                    .query_prepared(&stmt, &[Value::Int(dst_parent_id)])?;
                 ord += rs.scalar().and_then(Value::as_int).unwrap_or(0);
             }
         }

@@ -190,13 +190,14 @@ fn descendant_sql(
 pub fn translate_query(stmt: &Statement, mapping: &Mapping) -> Result<QuerySpec> {
     let expr = match &stmt.action {
         Action::Return(e) => e,
-        Action::Update(_) => {
-            return Err(CoreError::Unsupported("expected a RETURN query".into()))
-        }
+        Action::Update(_) => return Err(CoreError::Unsupported("expected a RETURN query".into())),
     };
     let vars = bind_vars(stmt, mapping)?;
     match expr {
-        UExpr::Path(PathExpr { start: PathStart::Var(v), steps }) if steps.is_empty() => vars
+        UExpr::Path(PathExpr {
+            start: PathStart::Var(v),
+            steps,
+        }) if steps.is_empty() => vars
             .get(v.as_str())
             .cloned()
             .ok_or_else(|| CoreError::Unsupported(format!("unbound variable ${v}"))),
@@ -211,7 +212,9 @@ pub fn translate_update(stmt: &Statement, mapping: &Mapping) -> Result<Vec<Trans
     let update_ops = match &stmt.action {
         Action::Update(ops) => ops,
         Action::Return(_) => {
-            return Err(CoreError::Unsupported("expected an UPDATE statement".into()))
+            return Err(CoreError::Unsupported(
+                "expected an UPDATE statement".into(),
+            ))
         }
     };
     let vars = bind_vars(stmt, mapping)?;
@@ -233,9 +236,9 @@ fn translate_update_op(
     mapping: &Mapping,
     out: &mut Vec<TranslatedOp>,
 ) -> Result<()> {
-    let target = vars.get(op.target.as_str()).ok_or_else(|| {
-        CoreError::Unsupported(format!("unbound UPDATE target ${}", op.target))
-    })?;
+    let target = vars
+        .get(op.target.as_str())
+        .ok_or_else(|| CoreError::Unsupported(format!("unbound UPDATE target ${}", op.target)))?;
     for sub in &op.ops {
         match sub {
             SubOp::Nested(nested) => {
@@ -284,7 +287,10 @@ fn translate_sub_op(
                 }),
             }
         }
-        SubOp::Insert { content, position: None } => match content {
+        SubOp::Insert {
+            content,
+            position: None,
+        } => match content {
             ContentExpr::Var(v) => {
                 let src = vars
                     .get(v.as_str())
@@ -343,7 +349,10 @@ fn translate_sub_op(
                 "INSERT content not translatable: {other:?}"
             ))),
         },
-        SubOp::Insert { position: Some((pos, anchor_var)), content } => {
+        SubOp::Insert {
+            position: Some((pos, anchor_var)),
+            content,
+        } => {
             if !mapping.ordered {
                 return Err(CoreError::Unsupported(
                     "positional INSERT requires an order-preserving mapping                      (Mapping::from_dtd_ordered)"
@@ -394,12 +403,8 @@ fn translate_sub_op(
                 if matches!(col.kind, ColumnKind::Position) {
                     continue;
                 }
-                let v = xmlup_shred::loader::extract_column(
-                    &cdoc,
-                    cdoc.root(),
-                    &col.path,
-                    &col.kind,
-                );
+                let v =
+                    xmlup_shred::loader::extract_column(&cdoc, cdoc.root(), &col.path, &col.kind);
                 values.push((col.name.clone(), v));
             }
             for &grand in &relation.children {
@@ -427,9 +432,7 @@ fn translate_sub_op(
                 .get(child.as_str())
                 .ok_or_else(|| CoreError::Unsupported(format!("unbound ${child}")))?;
             let path = c.inlined.as_ref().ok_or_else(|| {
-                CoreError::Unsupported(
-                    "only inlined-item REPLACE is translatable directly".into(),
-                )
+                CoreError::Unsupported("only inlined-item REPLACE is translatable directly".into())
             })?;
             let value = match with {
                 ContentExpr::Element(xml) => {
@@ -445,14 +448,12 @@ fn translate_sub_op(
                 }
             };
             let rel = &mapping.relations[c.rel];
-            let col = rel
-                .find_column(path, &ColumnKind::Pcdata)
-                .ok_or_else(|| {
-                    CoreError::Unsupported(format!(
-                        "no inlined PCDATA column at {path:?} in {}",
-                        rel.table
-                    ))
-                })?;
+            let col = rel.find_column(path, &ColumnKind::Pcdata).ok_or_else(|| {
+                CoreError::Unsupported(format!(
+                    "no inlined PCDATA column at {path:?} in {}",
+                    rel.table
+                ))
+            })?;
             Ok(TranslatedOp::UpdateInlined {
                 rel: c.rel,
                 column: col,
@@ -480,7 +481,9 @@ fn bind_vars(stmt: &Statement, mapping: &Mapping) -> Result<HashMap<String, Quer
         vars.insert(fb.var.clone(), spec);
     }
     if !stmt.lets.is_empty() {
-        return Err(CoreError::Unsupported("LET bindings are not translatable".into()));
+        return Err(CoreError::Unsupported(
+            "LET bindings are not translatable".into(),
+        ));
     }
     if let Some(f) = &stmt.filter {
         apply_where(f, &mut vars, mapping)?;
@@ -496,7 +499,10 @@ fn resolve_path(
     // Establish the starting relation and any inherited ancestor filter.
     let (mut spec, mut elem_path): (QuerySpec, Vec<String>) = match &path.start {
         PathStart::Document(_) => (
-            QuerySpec { rel: usize::MAX, ..Default::default() },
+            QuerySpec {
+                rel: usize::MAX,
+                ..Default::default()
+            },
             Vec::new(),
         ),
         PathStart::Var(v) => {
@@ -508,7 +514,10 @@ fn resolve_path(
                     "cannot navigate below the inlined binding ${v}"
                 )));
             }
-            let mut s = QuerySpec { rel: base.rel, ..Default::default() };
+            let mut s = QuerySpec {
+                rel: base.rel,
+                ..Default::default()
+            };
             // Conditions on the base variable become an ancestor filter of
             // whatever we navigate to (or stay local if we stay put).
             if base.has_conditions() {
@@ -542,7 +551,10 @@ fn resolve_path(
                         "descendant step after a filtered prefix is not translatable".into(),
                     ));
                 }
-                spec = QuerySpec { rel, ..Default::default() };
+                spec = QuerySpec {
+                    rel,
+                    ..Default::default()
+                };
                 elem_path = mapping.relations[rel].element_path.clone();
             }
             Step::Predicate(e) => {
@@ -561,7 +573,9 @@ fn resolve_path(
         }
     }
     if spec.rel == usize::MAX {
-        return Err(CoreError::Path("path did not reach any mapped element".into()));
+        return Err(CoreError::Path(
+            "path did not reach any mapped element".into(),
+        ));
     }
     Ok(spec)
 }
@@ -757,7 +771,10 @@ fn resolve_rel_path_cond(
     if chain.is_empty() {
         Ok(AtomCond::Local(cond))
     } else {
-        Ok(AtomCond::Descendant(DescPred { chain, target_sql: cond }))
+        Ok(AtomCond::Descendant(DescPred {
+            chain,
+            target_sql: cond,
+        }))
     }
 }
 
@@ -793,7 +810,10 @@ fn resolve_rel_path_exists(p: &PathExpr, rel: usize, mapping: &Mapping) -> Resul
     if chain.is_empty() {
         Ok(AtomCond::Local(cond))
     } else {
-        Ok(AtomCond::Descendant(DescPred { chain, target_sql: cond }))
+        Ok(AtomCond::Descendant(DescPred {
+            chain,
+            target_sql: cond,
+        }))
     }
 }
 
@@ -860,11 +880,7 @@ fn split_chain(
 }
 
 /// Fold `WHERE` conditions into the specs of the variables they mention.
-fn apply_where(
-    e: &UExpr,
-    vars: &mut HashMap<String, QuerySpec>,
-    mapping: &Mapping,
-) -> Result<()> {
+fn apply_where(e: &UExpr, vars: &mut HashMap<String, QuerySpec>, mapping: &Mapping) -> Result<()> {
     match e {
         UExpr::And(a, b) => {
             apply_where(a, vars, mapping)?;

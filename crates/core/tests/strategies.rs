@@ -78,8 +78,14 @@ fn per_tuple_trigger_uses_one_client_statement() {
     repo.reset_stats();
     repo.delete_where(cust, Some("Name = 'John'")).unwrap();
     let s = repo.stats();
-    assert_eq!(s.client_statements, 1, "the paper's headline: a single SQL DELETE");
-    assert!(s.trigger_firings >= 4, "cascade fired per deleted customer and order");
+    assert_eq!(
+        s.client_statements, 1,
+        "the paper's headline: a single SQL DELETE"
+    );
+    assert!(
+        s.trigger_firings >= 4,
+        "cascade fired per deleted customer and order"
+    );
 }
 
 #[test]
@@ -118,7 +124,10 @@ fn asr_delete_maintains_index() {
     let asr = repo.asr.clone().unwrap();
     asr.populate(&mut repo.db, &repo.mapping).unwrap();
     let fresh_paths = repo.db.table("asr").unwrap().len();
-    assert_eq!(live_paths, fresh_paths, "maintained ASR diverges from a rebuild");
+    assert_eq!(
+        live_paths, fresh_paths,
+        "maintained ASR diverges from a rebuild"
+    );
     // Mary remains with her order line.
     let rs = repo.db.query("SELECT COUNT(*) FROM OrderLine").unwrap();
     assert_eq!(rs.scalar(), Some(&Value::Int(1)));
@@ -133,7 +142,12 @@ fn delete_everything_leaves_root_only() {
         assert_eq!(repo.asr.is_some(), ds == DeleteStrategy::Asr);
         let cust = repo.mapping.relation_by_element("Customer").unwrap();
         repo.delete_where(cust, None).unwrap();
-        assert_eq!(repo.tuple_count(), 1, "{}: only the root remains", ds.label());
+        assert_eq!(
+            repo.tuple_count(),
+            1,
+            "{}: only the root remains",
+            ds.label()
+        );
     }
 }
 
@@ -164,7 +178,12 @@ fn all_insert_strategies_agree() {
         assert_eq!(repo.db.table("customer").unwrap().len(), 4);
         // Copy is attached to the root and structurally identical.
         let (xml, roots) = repo.fetch(cust, Some("Name = 'John'")).unwrap();
-        assert_eq!(roots.len(), 3, "{}: two originals plus the copy", is.label());
+        assert_eq!(
+            roots.len(),
+            3,
+            "{}: two originals plus the copy",
+            is.label()
+        );
         assert!(
             xml.subtree_eq(roots[0], &xml, *roots.last().unwrap()),
             "{}: copy differs from source",
@@ -233,7 +252,10 @@ fn asr_insert_maintains_index() {
     asr.populate(&mut repo.db, &repo.mapping).unwrap();
     assert_eq!(live, repo.db.table("asr").unwrap().len());
     // And no marks left behind.
-    let rs = repo.db.query("SELECT COUNT(*) FROM ASR WHERE mark = TRUE").unwrap();
+    let rs = repo
+        .db
+        .query("SELECT COUNT(*) FROM ASR WHERE mark = TRUE")
+        .unwrap();
     assert_eq!(rs.scalar(), Some(&Value::Int(0)));
 }
 
@@ -314,7 +336,11 @@ fn xquery_delete_inlined_item() {
         .db
         .query("SELECT COUNT(*) FROM Customer WHERE Address_present = TRUE")
         .unwrap();
-    assert_eq!(rs.scalar(), Some(&Value::Int(1)), "only Mary keeps an address");
+    assert_eq!(
+        rs.scalar(),
+        Some(&Value::Int(1)),
+        "only Mary keeps an address"
+    );
     let rs = repo
         .db
         .query("SELECT Address_City FROM Customer WHERE Name = 'John'")
@@ -394,9 +420,7 @@ fn xquery_where_clause_merges_into_filter() {
 fn xquery_query_roundtrip() {
     let mut repo = repo_with(DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
     let (doc, roots) = repo
-        .query_xml(
-            r#"FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"] RETURN $c"#,
-        )
+        .query_xml(r#"FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"] RETURN $c"#)
         .unwrap();
     assert_eq!(roots.len(), 2);
     assert_eq!(doc.name(roots[0]), Some("Customer"));
@@ -416,7 +440,10 @@ fn asr_accelerated_query_gives_same_answer() {
     let mut asr = XmlRepository::new(
         &dtd,
         "CustDB",
-        RepoConfig { build_asr: true, ..RepoConfig::default() },
+        RepoConfig {
+            build_asr: true,
+            ..RepoConfig::default()
+        },
     )
     .unwrap();
     asr.load(&doc).unwrap();
@@ -641,9 +668,14 @@ fn example10_cross_repository_import() {
     assert_eq!(ca_ids.len(), 2);
     let mut created = 0;
     for id in ca_ids {
-        created += dst.import_subtree(&mut src, cust, id, cust, dst_root).unwrap();
+        created += dst
+            .import_subtree(&mut src, cust, id, cust, dst_root)
+            .unwrap();
     }
-    assert!(created >= 4, "Mary's subtree + bare John = {created} tuples");
+    assert!(
+        created >= 4,
+        "Mary's subtree + bare John = {created} tuples"
+    );
     assert_eq!(dst.db.table("customer").unwrap().len(), 2);
     // Copy semantics: the source keeps its three customers.
     assert_eq!(src.db.table("customer").unwrap().len(), 3);
@@ -659,10 +691,7 @@ fn example10_cross_repository_import() {
 #[test]
 fn import_rejects_mismatched_mapping() {
     let dtd = Dtd::parse(CUSTOMER_DTD).unwrap();
-    let other = Dtd::parse(
-        "<!ELEMENT db (x*)> <!ELEMENT x (#PCDATA)>",
-    )
-    .unwrap();
+    let other = Dtd::parse("<!ELEMENT db (x*)> <!ELEMENT x (#PCDATA)>").unwrap();
     let mut a = XmlRepository::new(&dtd, "CustDB", RepoConfig::default()).unwrap();
     let mut b = XmlRepository::new(&other, "db", RepoConfig::default()).unwrap();
     b.load(&xmlup_xml::Document::new("db")).unwrap();
@@ -715,7 +744,11 @@ fn bind_first_inlined_insert_raises_presence_flags() {
         .db
         .query("SELECT Address_present, Address_City FROM Customer WHERE Name = 'Mary'")
         .unwrap();
-    assert_eq!(rs.rows[0][0], Value::Bool(true), "presence flag raised on bind-first path");
+    assert_eq!(
+        rs.rows[0][0],
+        Value::Bool(true),
+        "presence flag raised on bind-first path"
+    );
     assert_eq!(rs.rows[0][1], Value::from("Fresno"));
 }
 
@@ -728,7 +761,10 @@ fn stale_asr_refreshed_after_non_asr_mutation() {
     let mut repo = XmlRepository::new(
         &dtd,
         "CustDB",
-        RepoConfig { build_asr: true, ..RepoConfig::default() },
+        RepoConfig {
+            build_asr: true,
+            ..RepoConfig::default()
+        },
     )
     .unwrap();
     repo.load(&doc).unwrap();
@@ -742,7 +778,11 @@ fn stale_asr_refreshed_after_non_asr_mutation() {
                RETURN $c"#,
         )
         .unwrap();
-    assert_eq!(roots.len(), 1, "only John(1) ordered tires after Mary's delete");
+    assert_eq!(
+        roots.len(),
+        1,
+        "only John(1) ordered tires after Mary's delete"
+    );
     // And a non-ASR copy also refreshes.
     let first = repo.ids_of(cust)[0];
     let root = repo.root_id().unwrap();
@@ -753,5 +793,9 @@ fn stale_asr_refreshed_after_non_asr_mutation() {
                RETURN $c"#,
         )
         .unwrap();
-    assert_eq!(roots.len(), 2, "the copy's paths are visible through the ASR");
+    assert_eq!(
+        roots.len(),
+        2,
+        "the copy's paths are visible through the ASR"
+    );
 }

@@ -2,7 +2,7 @@
 //! of paper Section 6 must produce exactly the SQL structures the paper
 //! describes.
 
-use xmlup_core::translate::{translate_query, translate_update, query_filter_sql, TranslatedOp};
+use xmlup_core::translate::{query_filter_sql, translate_query, translate_update, TranslatedOp};
 use xmlup_shred::Mapping;
 use xmlup_xml::dtd::Dtd;
 use xmlup_xml::samples::CUSTOMER_DTD;
@@ -63,7 +63,10 @@ fn descendant_predicate_uses_asr_when_present() {
     // Two joins via the ASR (paper Section 5.3): probe OrderLine, then ASR.
     assert!(sql.contains("FROM ASR"), "unexpected SQL: {sql}");
     assert!(sql.contains("id_OrderLine IN"), "unexpected SQL: {sql}");
-    assert!(!sql.contains("SELECT parentId FROM Order WHERE"), "unexpected SQL: {sql}");
+    assert!(
+        !sql.contains("SELECT parentId FROM Order WHERE"),
+        "unexpected SQL: {sql}"
+    );
 }
 
 #[test]
@@ -141,10 +144,18 @@ fn copy_insert_recognized() {
     .unwrap();
     let ops = translate_update(&stmt, &m).unwrap();
     match &ops[..] {
-        [TranslatedOp::CopySubtrees { src_rel, src_filter, dst_rel, dst_filter }] => {
+        [TranslatedOp::CopySubtrees {
+            src_rel,
+            src_filter,
+            dst_rel,
+            dst_filter,
+        }] => {
             assert_eq!(*src_rel, m.relation_by_element("Customer").unwrap());
             assert_eq!(*dst_rel, m.root());
-            assert!(src_filter.as_deref().unwrap().contains("Address_State = 'CA'"));
+            assert!(src_filter
+                .as_deref()
+                .unwrap()
+                .contains("Address_State = 'CA'"));
             assert!(dst_filter.is_none());
         }
         other => panic!("{other:?}"),
@@ -179,10 +190,8 @@ fn integer_literal_compares_as_text() {
 #[test]
 fn existence_predicate_uses_presence_or_null() {
     let m = mapping();
-    let stmt = parse_statement(
-        r#"FOR $c IN document("x")/CustDB/Customer[Address] RETURN $c"#,
-    )
-    .unwrap();
+    let stmt =
+        parse_statement(r#"FOR $c IN document("x")/CustDB/Customer[Address] RETURN $c"#).unwrap();
     let spec = translate_query(&stmt, &m).unwrap();
     let sql = query_filter_sql(&spec, &m, None).unwrap().unwrap();
     assert_eq!(sql, "Address_present = TRUE");

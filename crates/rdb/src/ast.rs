@@ -233,7 +233,10 @@ pub enum BinOp {
 impl BinOp {
     /// Whether this operator is a comparison yielding a boolean.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 }
 
@@ -265,6 +268,9 @@ pub enum AggFunc {
 pub enum Expr {
     /// A literal value.
     Literal(Value),
+    /// A parameter placeholder (`?` or `$n`), 0-based. Bound to a value at
+    /// execution time by [`crate::engine::Database::execute_prepared`].
+    Param(usize),
     /// A column reference, optionally qualified by a table binding.
     Column {
         /// Qualifier (`t` in `t.c`), if any.
@@ -334,12 +340,18 @@ pub enum Expr {
 impl Expr {
     /// Convenience: column reference.
     pub fn col(name: impl Into<String>) -> Expr {
-        Expr::Column { table: None, name: name.into() }
+        Expr::Column {
+            table: None,
+            name: name.into(),
+        }
     }
 
     /// Convenience: qualified column reference.
     pub fn qcol(table: impl Into<String>, name: impl Into<String>) -> Expr {
-        Expr::Column { table: Some(table.into()), name: name.into() }
+        Expr::Column {
+            table: Some(table.into()),
+            name: name.into(),
+        }
     }
 
     /// Convenience: literal.
@@ -349,7 +361,11 @@ impl Expr {
 
     /// Convenience: equality.
     pub fn eq(left: Expr, right: Expr) -> Expr {
-        Expr::Binary { left: Box::new(left), op: BinOp::Eq, right: Box::new(right) }
+        Expr::Binary {
+            left: Box::new(left),
+            op: BinOp::Eq,
+            right: Box::new(right),
+        }
     }
 
     /// Whether the expression tree contains an aggregate call.
@@ -371,7 +387,11 @@ impl Expr {
     /// Split a conjunction into its conjuncts.
     pub fn conjuncts(&self) -> Vec<&Expr> {
         match self {
-            Expr::Binary { left, op: BinOp::And, right } => {
+            Expr::Binary {
+                left,
+                op: BinOp::And,
+                right,
+            } => {
                 let mut out = left.conjuncts();
                 out.extend(right.conjuncts());
                 out

@@ -10,7 +10,7 @@
 
 use crate::ast::*;
 use crate::error::{DbError, Result};
-use crate::parser::{parse_script, parse_stmt};
+use crate::parser::{parse_script, parse_stmt_with_params};
 use crate::table::{Table, TableSchema};
 use crate::value::{Row, Value};
 use std::cell::{Cell, RefCell};
@@ -21,6 +21,12 @@ use std::rc::Rc;
 /// with always-firing triggers would otherwise loop; see the cascading
 /// delete discussion in paper Section 6.1.2).
 const MAX_TRIGGER_DEPTH: usize = 100;
+
+/// Upper bound on cached statement plans. The paper's workloads cycle
+/// through a few dozen statement shapes per relation, so the cache stays
+/// far below this in practice; the bound only protects against clients
+/// that submit unbounded families of distinct SQL texts.
+const PLAN_CACHE_CAPACITY: usize = 512;
 
 /// Execution counters. All counters are cumulative; use
 /// [`Database::reset_stats`] between measurements.
@@ -42,6 +48,13 @@ pub struct Stats {
     pub trigger_firings: u64,
     /// Probes answered by a persistent index.
     pub index_lookups: u64,
+    /// Statements compiled from SQL text (each distinct statement shape
+    /// should be parsed once; repeats come from the plan cache).
+    pub statements_parsed: u64,
+    /// `execute`/`prepare` calls answered by the plan cache.
+    pub plan_cache_hits: u64,
+    /// `execute`/`prepare` calls that had to parse.
+    pub plan_cache_misses: u64,
 }
 
 #[derive(Debug, Default)]
@@ -54,6 +67,9 @@ struct StatsCells {
     rows_updated: Cell<u64>,
     trigger_firings: Cell<u64>,
     index_lookups: Cell<u64>,
+    statements_parsed: Cell<u64>,
+    plan_cache_hits: Cell<u64>,
+    plan_cache_misses: Cell<u64>,
 }
 
 impl StatsCells {
@@ -67,6 +83,9 @@ impl StatsCells {
             rows_updated: self.rows_updated.get(),
             trigger_firings: self.trigger_firings.get(),
             index_lookups: self.index_lookups.get(),
+            statements_parsed: self.statements_parsed.get(),
+            plan_cache_hits: self.plan_cache_hits.get(),
+            plan_cache_misses: self.plan_cache_misses.get(),
         }
     }
 
@@ -102,7 +121,9 @@ pub struct ResultSet {
 impl ResultSet {
     /// Index of an output column by case-insensitive name.
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
     }
 
     /// Single-value convenience accessor (first row, first column).
@@ -132,6 +153,99 @@ impl ExecResult {
     }
 }
 
+/// A statement compiled once and executable many times with bound
+/// parameter values — the engine-side analogue of the JDBC
+/// `PreparedStatement`s the paper's middleware holds against DB2.
+///
+/// Obtained from [`Database::prepare`]; executed with
+/// [`Database::execute_prepared`]. The compiled plan is owned by the
+/// handle, so later DDL (which clears the plan cache) does not invalidate
+/// it: names are resolved against the catalog at execution time.
+#[derive(Debug, Clone)]
+pub struct PreparedStmt {
+    stmt: Rc<Stmt>,
+    params: usize,
+    sql: String,
+}
+
+impl PreparedStmt {
+    /// Number of parameter slots the statement binds.
+    pub fn param_count(&self) -> usize {
+        self.params
+    }
+
+    /// The SQL text the statement was compiled from.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+}
+
+/// Bounded LRU cache of compiled plans keyed on SQL text.
+#[derive(Debug)]
+struct PlanCache {
+    plans: HashMap<String, CachedPlan>,
+    /// Monotonic use counter driving LRU eviction.
+    tick: u64,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct CachedPlan {
+    stmt: Rc<Stmt>,
+    params: usize,
+    last_used: u64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache {
+            plans: HashMap::new(),
+            tick: 0,
+            capacity: PLAN_CACHE_CAPACITY,
+        }
+    }
+}
+
+impl PlanCache {
+    fn get(&mut self, sql: &str) -> Option<(Rc<Stmt>, usize)> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.plans.get_mut(sql).map(|p| {
+            p.last_used = tick;
+            (p.stmt.clone(), p.params)
+        })
+    }
+
+    fn insert(&mut self, sql: &str, stmt: Rc<Stmt>, params: usize) {
+        if self.plans.len() >= self.capacity && !self.plans.contains_key(sql) {
+            // Evict the least recently used plan. O(n), but only on the
+            // rare capacity-overflow path.
+            if let Some(victim) = self
+                .plans
+                .iter()
+                .min_by_key(|(_, p)| p.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.plans.remove(&victim);
+            }
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        self.plans.insert(
+            sql.to_string(),
+            CachedPlan {
+                stmt,
+                params,
+                last_used: tick,
+            },
+        );
+    }
+
+    fn clear(&mut self) {
+        self.plans.clear();
+    }
+}
+
 /// The in-memory relational database.
 #[derive(Debug, Default)]
 pub struct Database {
@@ -142,6 +256,9 @@ pub struct Database {
     /// Simulated per-client-statement overhead (see
     /// [`Database::set_statement_cost`]).
     statement_cost: Cell<std::time::Duration>,
+    /// Compiled plans for SQL text seen by `execute`/`prepare`, cleared
+    /// on any DDL.
+    plan_cache: RefCell<PlanCache>,
 }
 
 /// A materialized relation (CTE or intermediate result).
@@ -158,6 +275,8 @@ type CteEnv = HashMap<String, Materialized>;
 struct EvalCtx<'a> {
     /// Pseudo-table name (`OLD` or `NEW`) and its column/value bindings.
     pseudo_row: Option<(&'a str, &'a [(String, Value)])>,
+    /// Values bound to `?`/`$n` placeholders, indexed by slot.
+    params: &'a [Value],
     sub_cache: RefCell<HashMap<usize, Rc<CachedSub>>>,
 }
 
@@ -170,11 +289,27 @@ struct CachedSub {
 
 impl<'a> EvalCtx<'a> {
     fn new() -> Self {
-        EvalCtx { pseudo_row: None, sub_cache: RefCell::new(HashMap::new()) }
+        EvalCtx {
+            pseudo_row: None,
+            params: &[],
+            sub_cache: RefCell::new(HashMap::new()),
+        }
     }
 
     fn with_pseudo(name: &'a str, row: &'a [(String, Value)]) -> Self {
-        EvalCtx { pseudo_row: Some((name, row)), sub_cache: RefCell::new(HashMap::new()) }
+        EvalCtx {
+            pseudo_row: Some((name, row)),
+            params: &[],
+            sub_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    fn with_params(params: &'a [Value]) -> Self {
+        EvalCtx {
+            pseudo_row: None,
+            params,
+            sub_cache: RefCell::new(HashMap::new()),
+        }
     }
 }
 
@@ -195,15 +330,21 @@ impl RowEnv {
         }
     }
 
+    /// Rebind the environment to a new row without rebuilding the layout.
+    /// Hot per-row loops construct the layout once per statement and call
+    /// this per tuple.
+    fn set_values(&mut self, row: &[Value]) {
+        self.values.clear();
+        self.values.extend_from_slice(row);
+    }
+
     /// Resolve a possibly-qualified column to an offset.
     fn resolve(&self, table: Option<&str>, name: &str) -> Result<Option<usize>> {
         match table {
             Some(t) => {
                 for (binding, cols, off) in &self.layout {
                     if binding.eq_ignore_ascii_case(t) {
-                        if let Some(ci) =
-                            cols.iter().position(|c| c.eq_ignore_ascii_case(name))
-                        {
+                        if let Some(ci) = cols.iter().position(|c| c.eq_ignore_ascii_case(name)) {
                             return Ok(Some(off + ci));
                         }
                         return Err(DbError::NoSuchColumn(format!("{t}.{name}")));
@@ -238,6 +379,7 @@ impl Database {
             stats: StatsCells::default(),
             next_id: Cell::new(0),
             statement_cost: Cell::new(std::time::Duration::ZERO),
+            plan_cache: RefCell::new(PlanCache::default()),
         }
     }
 
@@ -316,12 +458,71 @@ impl Database {
         &self.triggers
     }
 
-    /// Execute one SQL statement.
+    /// Look up the compiled plan for `sql`, parsing and caching on a miss.
+    fn plan_for(&self, sql: &str) -> Result<(Rc<Stmt>, usize)> {
+        if let Some(hit) = self.plan_cache.borrow_mut().get(sql) {
+            StatsCells::bump(&self.stats.plan_cache_hits, 1);
+            return Ok(hit);
+        }
+        StatsCells::bump(&self.stats.plan_cache_misses, 1);
+        StatsCells::bump(&self.stats.statements_parsed, 1);
+        let (stmt, params) = parse_stmt_with_params(sql)?;
+        let stmt = Rc::new(stmt);
+        self.plan_cache
+            .borrow_mut()
+            .insert(sql, stmt.clone(), params);
+        Ok((stmt, params))
+    }
+
+    /// Execute one SQL statement. Repeat executions of the same SQL text
+    /// reuse the cached plan instead of re-parsing.
     pub fn execute(&mut self, sql: &str) -> Result<ExecResult> {
-        let stmt = parse_stmt(sql)?;
+        let (stmt, _) = self.plan_for(sql)?;
         StatsCells::bump(&self.stats.client_statements, 1);
         self.charge_statement();
         self.exec_internal(&stmt, &EvalCtx::new(), 0)
+    }
+
+    /// Compile `sql` into a reusable [`PreparedStmt`]. `?` placeholders
+    /// bind positionally; `$n` placeholders name their 1-based slot.
+    /// Preparation does not count as a client statement — only
+    /// [`Database::execute_prepared`] calls do.
+    pub fn prepare(&self, sql: &str) -> Result<PreparedStmt> {
+        let (stmt, params) = self.plan_for(sql)?;
+        Ok(PreparedStmt {
+            stmt,
+            params,
+            sql: sql.to_string(),
+        })
+    }
+
+    /// Execute a prepared statement with `params` bound to its
+    /// placeholders. The statement is not re-parsed; parameter values are
+    /// substituted during evaluation.
+    pub fn execute_prepared(
+        &mut self,
+        stmt: &PreparedStmt,
+        params: &[Value],
+    ) -> Result<ExecResult> {
+        if params.len() != stmt.params {
+            return Err(DbError::Execution(format!(
+                "prepared statement binds {} parameter(s), got {}: {}",
+                stmt.params,
+                params.len(),
+                stmt.sql
+            )));
+        }
+        StatsCells::bump(&self.stats.client_statements, 1);
+        self.charge_statement();
+        self.exec_internal(&stmt.stmt, &EvalCtx::with_params(params), 0)
+    }
+
+    /// Execute a prepared query and return its result set.
+    pub fn query_prepared(&mut self, stmt: &PreparedStmt, params: &[Value]) -> Result<ResultSet> {
+        match self.execute_prepared(stmt, params)? {
+            ExecResult::Rows(rs) => Ok(rs),
+            other => Err(DbError::Execution(format!("not a query: {other:?}"))),
+        }
     }
 
     /// Execute a pre-parsed statement (counts as one client statement).
@@ -334,6 +535,7 @@ impl Database {
     /// Execute a `;`-separated script.
     pub fn run_script(&mut self, sql: &str) -> Result<Vec<ExecResult>> {
         let stmts = parse_script(sql)?;
+        StatsCells::bump(&self.stats.statements_parsed, stmts.len() as u64);
         let mut out = Vec::with_capacity(stmts.len());
         for s in &stmts {
             StatsCells::bump(&self.stats.client_statements, 1);
@@ -355,13 +557,34 @@ impl Database {
     // statement dispatch
     // ------------------------------------------------------------------
 
-    fn exec_internal(&mut self, stmt: &Stmt, ctx: &EvalCtx<'_>, depth: usize) -> Result<ExecResult> {
+    fn exec_internal(
+        &mut self,
+        stmt: &Stmt,
+        ctx: &EvalCtx<'_>,
+        depth: usize,
+    ) -> Result<ExecResult> {
         if depth > MAX_TRIGGER_DEPTH {
             return Err(DbError::TriggerDepth(format!("depth {depth}")));
         }
         StatsCells::bump(&self.stats.total_statements, 1);
+        // Any DDL may change what cached plans would resolve to (tables,
+        // indexes, triggers), so the plan cache is dropped wholesale.
+        if matches!(
+            stmt,
+            Stmt::CreateTable { .. }
+                | Stmt::DropTable { .. }
+                | Stmt::CreateIndex { .. }
+                | Stmt::CreateTrigger { .. }
+                | Stmt::DropTrigger { .. }
+        ) {
+            self.plan_cache.borrow_mut().clear();
+        }
         match stmt {
-            Stmt::CreateTable { name, columns, if_not_exists } => {
+            Stmt::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            } => {
                 let key = name.to_ascii_lowercase();
                 if self.tables.contains_key(&key) {
                     if *if_not_exists {
@@ -380,7 +603,10 @@ impl Database {
                 }
                 self.tables.insert(
                     key,
-                    Table::new(TableSchema { name: name.clone(), columns: columns.clone() }),
+                    Table::new(TableSchema {
+                        name: name.clone(),
+                        columns: columns.clone(),
+                    }),
                 );
                 Ok(ExecResult::Ddl)
             }
@@ -400,12 +626,22 @@ impl Database {
                 t.create_index(column)?;
                 Ok(ExecResult::Ddl)
             }
-            Stmt::CreateTrigger { name, event, table, granularity, body } => {
+            Stmt::CreateTrigger {
+                name,
+                event,
+                table,
+                granularity,
+                body,
+            } => {
                 let key = table.to_ascii_lowercase();
                 if !self.tables.contains_key(&key) {
                     return Err(DbError::NoSuchTable(table.clone()));
                 }
-                if self.triggers.iter().any(|t| t.name.eq_ignore_ascii_case(name)) {
+                if self
+                    .triggers
+                    .iter()
+                    .any(|t| t.name.eq_ignore_ascii_case(name))
+                {
                     return Err(DbError::Schema(format!("trigger `{name}` already exists")));
                 }
                 self.triggers.push(Trigger {
@@ -425,15 +661,17 @@ impl Database {
                 }
                 Ok(ExecResult::Ddl)
             }
-            Stmt::Insert { table, columns, source } => {
-                self.exec_insert(table, columns.as_deref(), source, ctx, depth)
-            }
-            Stmt::Delete { table, filter } => {
-                self.exec_delete(table, filter.as_ref(), ctx, depth)
-            }
-            Stmt::Update { table, sets, filter } => {
-                self.exec_update(table, sets, filter.as_ref(), ctx)
-            }
+            Stmt::Insert {
+                table,
+                columns,
+                source,
+            } => self.exec_insert(table, columns.as_deref(), source, ctx, depth),
+            Stmt::Delete { table, filter } => self.exec_delete(table, filter.as_ref(), ctx, depth),
+            Stmt::Update {
+                table,
+                sets,
+                filter,
+            } => self.exec_update(table, sets, filter.as_ref(), ctx),
             Stmt::Select(q) => Ok(ExecResult::Rows(self.eval_select(q, ctx)?)),
         }
     }
@@ -467,7 +705,10 @@ impl Database {
         };
         let key = table.to_ascii_lowercase();
         let (arity, col_map) = {
-            let t = self.tables.get(&key).ok_or_else(|| DbError::NoSuchTable(table.into()))?;
+            let t = self
+                .tables
+                .get(&key)
+                .ok_or_else(|| DbError::NoSuchTable(table.into()))?;
             let arity = t.arity();
             let col_map: Option<Vec<usize>> = match columns {
                 None => None,
@@ -582,11 +823,13 @@ impl Database {
             (cols, idx)
         };
         let mut pending: Vec<(usize, Vec<Value>)> = Vec::with_capacity(positions.len());
+        // Layout built once; only the row values change per tuple.
+        let mut env = RowEnv::single(table, &columns, &[]);
         for &p in &positions {
-            let row = self.tables.get(&key).unwrap().row(p).cloned().ok_or_else(|| {
+            let row = self.tables.get(&key).unwrap().row(p).ok_or_else(|| {
                 DbError::Execution(format!("row vanished during UPDATE at slot {p}"))
             })?;
-            let env = RowEnv::single(table, &columns, &row);
+            env.set_values(row);
             let vals: Vec<Value> = sets
                 .iter()
                 .map(|(_, e)| self.eval_expr(e, &env, ctx, &HashMap::new()))
@@ -615,12 +858,19 @@ impl Database {
         filter: Option<&Expr>,
         ctx: &EvalCtx<'_>,
     ) -> Result<Vec<usize>> {
-        let t = self.tables.get(key).ok_or_else(|| DbError::NoSuchTable(key.into()))?;
+        let t = self
+            .tables
+            .get(key)
+            .ok_or_else(|| DbError::NoSuchTable(key.into()))?;
         let columns = t.schema.column_names();
         let filter = match filter {
             None => return Ok(t.live_positions()),
             Some(f) => f,
         };
+        // Row environment reused across the per-tuple loops below: the
+        // layout (and its case-insensitive name resolution) is built once
+        // per statement, only the values are swapped per row.
+        let mut env = RowEnv::single(&t.schema.name, &columns, &[]);
         // Index fast path.
         let empty_env = RowEnv::default();
         if let Some((ci, key_expr)) = self.find_index_probe(t, filter, &columns) {
@@ -632,10 +882,8 @@ impl Database {
                         for &p in positions {
                             let row = t.row(p).expect("index points at live row");
                             StatsCells::bump(&self.stats.rows_scanned, 1);
-                            let env = RowEnv::single(&t.schema.name, &columns, row);
-                            if self.eval_bool(filter, &env, ctx, &HashMap::new())?
-                                == Some(true)
-                            {
+                            env.set_values(row);
+                            if self.eval_bool(filter, &env, ctx, &HashMap::new())? == Some(true) {
                                 out.push(p);
                             }
                         }
@@ -647,7 +895,12 @@ impl Database {
         // IN-subquery probe: `indexed_col IN (SELECT …)` probes the index
         // once per subquery value instead of scanning the table.
         for conj in filter.conjuncts() {
-            if let Expr::InSubquery { expr, query, negated: false } = conj {
+            if let Expr::InSubquery {
+                expr,
+                query,
+                negated: false,
+            } = conj
+            {
                 if let Expr::Column { table: qual, name } = expr.as_ref() {
                     let qual_ok = qual
                         .as_deref()
@@ -664,17 +917,9 @@ impl Database {
                                         for &p in positions {
                                             let row = t.row(p).expect("live");
                                             StatsCells::bump(&self.stats.rows_scanned, 1);
-                                            let env = RowEnv::single(
-                                                &t.schema.name,
-                                                &columns,
-                                                row,
-                                            );
-                                            if self.eval_bool(
-                                                filter,
-                                                &env,
-                                                ctx,
-                                                &HashMap::new(),
-                                            )? == Some(true)
+                                            env.set_values(row);
+                                            if self.eval_bool(filter, &env, ctx, &HashMap::new())?
+                                                == Some(true)
                                             {
                                                 out.push(p);
                                             }
@@ -694,7 +939,7 @@ impl Database {
         for p in t.live_positions() {
             let row = t.row(p).expect("live position");
             StatsCells::bump(&self.stats.rows_scanned, 1);
-            let env = RowEnv::single(&t.schema.name, &columns, row);
+            env.set_values(row);
             if self.eval_bool(filter, &env, ctx, &HashMap::new())? == Some(true) {
                 out.push(p);
             }
@@ -711,7 +956,12 @@ impl Database {
         _columns: &[String],
     ) -> Option<(usize, &'e Expr)> {
         for conj in filter.conjuncts() {
-            if let Expr::Binary { left, op: BinOp::Eq, right } = conj {
+            if let Expr::Binary {
+                left,
+                op: BinOp::Eq,
+                right,
+            } = conj
+            {
                 for (colside, keyside) in [(left, right), (right, left)] {
                     if let Expr::Column { table: qual, name } = colside.as_ref() {
                         if qual
@@ -732,11 +982,40 @@ impl Database {
         None
     }
 
+    /// Whether an ORDER BY key expression can be evaluated against an
+    /// already-materialized result set: every column it references is an
+    /// unqualified name of an output column. Qualified references and
+    /// aggregates need the source rows, so they fall back to re-running
+    /// the select core.
+    fn computable_on_output(e: &Expr, columns: &[String]) -> bool {
+        match e {
+            Expr::Literal(_) | Expr::Param(_) => true,
+            Expr::Column { table: None, name } => {
+                columns.iter().any(|c| c.eq_ignore_ascii_case(name))
+            }
+            Expr::Column { table: Some(_), .. } => false,
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => {
+                Self::computable_on_output(expr, columns)
+            }
+            Expr::Binary { left, right, .. } => {
+                Self::computable_on_output(left, columns)
+                    && Self::computable_on_output(right, columns)
+            }
+            Expr::InList { expr, list, .. } => {
+                Self::computable_on_output(expr, columns)
+                    && list.iter().all(|l| Self::computable_on_output(l, columns))
+            }
+            Expr::InSubquery { expr, .. } => Self::computable_on_output(expr, columns),
+            Expr::Exists { .. } | Expr::ScalarSubquery(_) => true,
+            Expr::Aggregate { .. } => false,
+        }
+    }
+
     /// Whether an expression can be evaluated without a row environment
     /// (literals, OLD/NEW references, uncorrelated subqueries).
     fn row_independent(e: &Expr) -> bool {
         match e {
-            Expr::Literal(_) => true,
+            Expr::Literal(_) | Expr::Param(_) => true,
             Expr::Column { table: Some(t), .. } => {
                 t.eq_ignore_ascii_case("OLD") || t.eq_ignore_ascii_case("NEW")
             }
@@ -833,7 +1112,10 @@ impl Database {
             };
             ctes.insert(
                 cte.name.to_ascii_lowercase(),
-                Materialized { columns, rows: Rc::new(rs.rows) },
+                Materialized {
+                    columns,
+                    rows: Rc::new(rs.rows),
+                },
             );
         }
         let mut rs = self.eval_union(&q.body, ctx, &ctes)?;
@@ -861,32 +1143,46 @@ impl Database {
                 match idx {
                     Some(i) => keys.push((i, k.desc)),
                     None => {
-                        if q.body.len() != 1 {
-                            return Err(DbError::Execution(
-                                "ORDER BY over a UNION must name an output column".into(),
-                            ));
-                        }
                         keys.push((visible + hidden.len(), k.desc));
                         hidden.push(&k.expr);
                     }
                 }
             }
             if !hidden.is_empty() {
-                if q.body[0].distinct {
+                if hidden
+                    .iter()
+                    .all(|e| Self::computable_on_output(e, &rs.columns))
+                {
+                    // Every hidden key only references output columns:
+                    // compute the keys on the rows already materialized
+                    // instead of re-running the select core.
+                    let mut env = RowEnv::single("", &rs.columns, &[]);
+                    for row in &mut rs.rows {
+                        env.set_values(row);
+                        for e in &hidden {
+                            row.push(self.eval_expr(e, &env, ctx, &ctes)?);
+                        }
+                    }
+                } else if q.body.len() != 1 {
+                    return Err(DbError::Execution(
+                        "ORDER BY over a UNION must name an output column".into(),
+                    ));
+                } else if q.body[0].distinct {
                     return Err(DbError::Execution(
                         "ORDER BY items must appear in the select list with DISTINCT".into(),
                     ));
+                } else {
+                    // Re-run the single core with the hidden key
+                    // expressions appended as extra projections.
+                    let mut core = q.body[0].clone();
+                    for (i, e) in hidden.iter().enumerate() {
+                        core.projections.push(SelectItem::Expr {
+                            expr: (*e).clone(),
+                            alias: Some(format!("__sort{i}")),
+                        });
+                    }
+                    rs = self.eval_core(&core, ctx, &ctes)?;
                 }
-                // Re-run the single core with the hidden key expressions
-                // appended as extra projections.
-                let mut core = q.body[0].clone();
-                for (i, e) in hidden.iter().enumerate() {
-                    core.projections.push(SelectItem::Expr {
-                        expr: (*e).clone(),
-                        alias: Some(format!("__sort{i}")),
-                    });
-                }
-                rs = self.eval_core(&core, ctx, &ctes)?;
             }
             rs.rows.sort_by(|a, b| {
                 for &(i, desc) in &keys {
@@ -917,7 +1213,9 @@ impl Database {
         ctes: &CteEnv,
     ) -> Result<ResultSet> {
         let mut iter = cores.iter();
-        let first = iter.next().ok_or_else(|| DbError::Execution("empty select body".into()))?;
+        let first = iter
+            .next()
+            .ok_or_else(|| DbError::Execution("empty select body".into()))?;
         let mut rs = self.eval_core(first, ctx, ctes)?;
         for core in iter {
             let next = self.eval_core(core, ctx, ctes)?;
@@ -939,7 +1237,10 @@ impl Database {
         if let Some(m) = ctes.get(&key) {
             return Ok(m.clone());
         }
-        let t = self.tables.get(&key).ok_or_else(|| DbError::NoSuchTable(name.into()))?;
+        let t = self
+            .tables
+            .get(&key)
+            .ok_or_else(|| DbError::NoSuchTable(name.into()))?;
         Ok(Materialized {
             columns: t.schema.column_names(),
             rows: Rc::new(t.rows().cloned().collect()),
@@ -970,27 +1271,26 @@ impl Database {
         };
         for conj in conjuncts {
             // Equality probe.
-            if let Expr::Binary { left, op: BinOp::Eq, right } = conj {
+            if let Expr::Binary {
+                left,
+                op: BinOp::Eq,
+                right,
+            } = conj
+            {
                 for (colside, keyside) in [(left, right), (right, left)] {
                     if let Expr::Column { table: qual, name } = colside.as_ref() {
                         if qual_ok(qual) && Self::row_independent(keyside) {
                             if let Some(ci) = t.schema.column_index(name) {
                                 if t.has_index(ci) {
-                                    let keyv = self.eval_expr(
-                                        keyside,
-                                        &RowEnv::default(),
-                                        ctx,
-                                        ctes,
-                                    )?;
+                                    let keyv =
+                                        self.eval_expr(keyside, &RowEnv::default(), ctx, ctes)?;
                                     let mut rows = Vec::new();
                                     if !keyv.is_null() {
                                         if let Some(ps) = t.index_lookup(ci, &keyv) {
                                             StatsCells::bump(&self.stats.index_lookups, 1);
                                             for &p in ps {
                                                 StatsCells::bump(&self.stats.rows_scanned, 1);
-                                                rows.push(
-                                                    t.row(p).expect("live").clone(),
-                                                );
+                                                rows.push(t.row(p).expect("live").clone());
                                             }
                                         }
                                     }
@@ -1005,7 +1305,12 @@ impl Database {
                 }
             }
             // IN-subquery probe.
-            if let Expr::InSubquery { expr, query, negated: false } = conj {
+            if let Expr::InSubquery {
+                expr,
+                query,
+                negated: false,
+            } = conj
+            {
                 if let Expr::Column { table: qual, name } = expr.as_ref() {
                     if qual_ok(qual) {
                         if let Some(ci) = t.schema.column_index(name) {
@@ -1021,7 +1326,10 @@ impl Database {
                                         }
                                     }
                                 }
-                                return Ok(Materialized { columns, rows: Rc::new(rows) });
+                                return Ok(Materialized {
+                                    columns,
+                                    rows: Rc::new(rows),
+                                });
                             }
                         }
                     }
@@ -1031,22 +1339,25 @@ impl Database {
         self.resolve_source(&tref.name, ctes)
     }
 
-    fn eval_core(
-        &self,
-        core: &SelectCore,
-        ctx: &EvalCtx<'_>,
-        ctes: &CteEnv,
-    ) -> Result<ResultSet> {
+    fn eval_core(&self, core: &SelectCore, ctx: &EvalCtx<'_>, ctes: &CteEnv) -> Result<ResultSet> {
         // --- join phase ---------------------------------------------------
-        let conjuncts: Vec<&Expr> =
-            core.filter.as_ref().map(|f| f.conjuncts()).unwrap_or_default();
+        let conjuncts: Vec<&Expr> = core
+            .filter
+            .as_ref()
+            .map(|f| f.conjuncts())
+            .unwrap_or_default();
         let mut layout: Vec<(String, Vec<String>, usize)> = Vec::new();
         let mut rows: Vec<Vec<Value>> = vec![Vec::new()];
         let mut width = 0usize;
         for tref in &core.from {
             let binding = tref.binding().to_string();
-            if layout.iter().any(|(b, _, _)| b.eq_ignore_ascii_case(&binding)) {
-                return Err(DbError::Schema(format!("duplicate binding `{binding}` in FROM")));
+            if layout
+                .iter()
+                .any(|(b, _, _)| b.eq_ignore_ascii_case(&binding))
+            {
+                return Err(DbError::Schema(format!(
+                    "duplicate binding `{binding}` in FROM"
+                )));
             }
             let src = if layout.is_empty() {
                 // First table: a sargable conjunct on an indexed column
@@ -1056,10 +1367,20 @@ impl Database {
                 self.resolve_source(&tref.name, ctes)?
             };
             // Try to find an equi-join conjunct: src.col = expr-over-bound.
-            let bound_env_proto = RowEnv { layout: layout.clone(), values: Vec::new() };
+            // The proto env doubles as the reusable per-row environment in
+            // the join loop below (layout built once per join step).
+            let mut bound_env_proto = RowEnv {
+                layout: layout.clone(),
+                values: Vec::new(),
+            };
             let mut join: Option<(usize, &Expr)> = None;
             for conj in &conjuncts {
-                if let Expr::Binary { left, op: BinOp::Eq, right } = conj {
+                if let Expr::Binary {
+                    left,
+                    op: BinOp::Eq,
+                    right,
+                } = conj
+                {
                     for (a, b) in [(left, right), (right, left)] {
                         if let Expr::Column { table: qual, name } = a.as_ref() {
                             let qual_matches = qual
@@ -1097,8 +1418,8 @@ impl Database {
                         }
                     }
                     for left_row in &rows {
-                        let env = RowEnv { layout: layout.clone(), values: left_row.clone() };
-                        let key = self.eval_expr(key_expr, &env, ctx, ctes)?;
+                        bound_env_proto.set_values(left_row);
+                        let key = self.eval_expr(key_expr, &bound_env_proto, ctx, ctes)?;
                         if key.is_null() {
                             continue;
                         }
@@ -1130,7 +1451,10 @@ impl Database {
         // --- validation ---------------------------------------------------
         // Column references must resolve even when the input is empty.
         {
-            let probe = RowEnv { layout: layout.clone(), values: Vec::new() };
+            let probe = RowEnv {
+                layout: layout.clone(),
+                values: Vec::new(),
+            };
             if let Some(f) = &core.filter {
                 self.check_columns(f, &probe, ctx)?;
             }
@@ -1144,10 +1468,14 @@ impl Database {
         let mut kept: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
         match &core.filter {
             Some(f) => {
+                let mut env = RowEnv {
+                    layout: layout.clone(),
+                    values: Vec::new(),
+                };
                 for r in rows {
-                    let env = RowEnv { layout: layout.clone(), values: r };
+                    env.values = r;
                     if self.eval_bool(f, &env, ctx, ctes)? == Some(true) {
-                        kept.push(env.values);
+                        kept.push(std::mem::take(&mut env.values));
                     }
                 }
             }
@@ -1185,7 +1513,10 @@ impl Database {
         if aggregate_mode {
             let env_rows: Vec<RowEnv> = kept
                 .into_iter()
-                .map(|r| RowEnv { layout: layout.clone(), values: r })
+                .map(|r| RowEnv {
+                    layout: layout.clone(),
+                    values: r,
+                })
                 .collect();
             let mut row: Row = Vec::with_capacity(core.projections.len());
             for item in &core.projections {
@@ -1200,11 +1531,18 @@ impl Database {
                     }
                 }
             }
-            return Ok(ResultSet { columns: out_columns, rows: vec![row] });
+            return Ok(ResultSet {
+                columns: out_columns,
+                rows: vec![row],
+            });
         }
         let mut out_rows: Vec<Row> = Vec::with_capacity(kept.len());
+        let mut env = RowEnv {
+            layout: layout.clone(),
+            values: Vec::new(),
+        };
         for r in kept {
-            let env = RowEnv { layout: layout.clone(), values: r };
+            env.values = r;
             let mut out = Vec::with_capacity(out_columns.len());
             for item in &core.projections {
                 match item {
@@ -1227,7 +1565,10 @@ impl Database {
             let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(out_rows.len());
             out_rows.retain(|r| seen.insert(r.clone()));
         }
-        Ok(ResultSet { columns: out_columns, rows: out_rows })
+        Ok(ResultSet {
+            columns: out_columns,
+            rows: out_rows,
+        })
     }
 
     /// Verify that every column reference in `e` resolves against `env`
@@ -1235,7 +1576,7 @@ impl Database {
     /// validated in their own scope when evaluated.
     fn check_columns(&self, e: &Expr, env: &RowEnv, ctx: &EvalCtx<'_>) -> Result<()> {
         match e {
-            Expr::Literal(_) => Ok(()),
+            Expr::Literal(_) | Expr::Param(_) => Ok(()),
             Expr::Column { table, name } => {
                 if env.resolve(table.as_deref(), name)?.is_some()
                     || self.pseudo_lookup(ctx, table.as_deref(), name).is_some()
@@ -1257,7 +1598,8 @@ impl Database {
             }
             Expr::InList { expr, list, .. } => {
                 self.check_columns(expr, env, ctx)?;
-                list.iter().try_for_each(|l| self.check_columns(l, env, ctx))
+                list.iter()
+                    .try_for_each(|l| self.check_columns(l, env, ctx))
             }
             Expr::InSubquery { expr, .. } => self.check_columns(expr, env, ctx),
             Expr::Exists { .. } | Expr::ScalarSubquery(_) => Ok(()),
@@ -1272,7 +1614,7 @@ impl Database {
     /// and subqueries)? Used to pick hash-join keys.
     fn expr_resolvable(&self, e: &Expr, env: &RowEnv, ctx: &EvalCtx<'_>) -> bool {
         match e {
-            Expr::Literal(_) => true,
+            Expr::Literal(_) | Expr::Param(_) => true,
             Expr::Column { table, name } => match env.resolve(table.as_deref(), name) {
                 Ok(Some(_)) => true,
                 _ => self.pseudo_lookup(ctx, table.as_deref(), name).is_some(),
@@ -1293,12 +1635,7 @@ impl Database {
         }
     }
 
-    fn pseudo_lookup(
-        &self,
-        ctx: &EvalCtx<'_>,
-        table: Option<&str>,
-        name: &str,
-    ) -> Option<Value> {
+    fn pseudo_lookup(&self, ctx: &EvalCtx<'_>, table: Option<&str>, name: &str) -> Option<Value> {
         let (pname, bindings) = ctx.pseudo_row?;
         match table {
             Some(t) if !t.eq_ignore_ascii_case(pname) => None,
@@ -1318,15 +1655,14 @@ impl Database {
     // `ctes` is threaded through for future correlated-subquery support;
     // today subqueries open their own CTE scope.
     #[allow(clippy::only_used_in_recursion)]
-    fn eval_expr(
-        &self,
-        e: &Expr,
-        env: &RowEnv,
-        ctx: &EvalCtx<'_>,
-        ctes: &CteEnv,
-    ) -> Result<Value> {
+    fn eval_expr(&self, e: &Expr, env: &RowEnv, ctx: &EvalCtx<'_>, ctes: &CteEnv) -> Result<Value> {
         match e {
             Expr::Literal(v) => Ok(v.clone()),
+            Expr::Param(i) => ctx
+                .params
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| DbError::Execution(format!("unbound parameter ${}", i + 1))),
             Expr::Column { table, name } => {
                 if let Some(off) = env.resolve(table.as_deref(), name)? {
                     return Ok(env.values[off].clone());
@@ -1432,7 +1768,11 @@ impl Database {
                 let v = self.eval_expr(expr, env, ctx, ctes)?;
                 Ok(Value::Bool(v.is_null() != *negated))
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let v = self.eval_expr(expr, env, ctx, ctes)?;
                 if v.is_null() {
                     return Ok(Value::Null);
@@ -1452,7 +1792,11 @@ impl Database {
                     Ok(Value::Bool(*negated))
                 }
             }
-            Expr::InSubquery { expr, query, negated } => {
+            Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
                 let v = self.eval_expr(expr, env, ctx, ctes)?;
                 if v.is_null() {
                     return Ok(Value::Null);
@@ -1478,7 +1822,9 @@ impl Database {
                         .first()
                         .cloned()
                         .ok_or_else(|| DbError::Execution("zero-column subquery".into()))?),
-                    n => Err(DbError::Execution(format!("scalar subquery returned {n} rows"))),
+                    n => Err(DbError::Execution(format!(
+                        "scalar subquery returned {n} rows"
+                    ))),
                 }
             }
             Expr::Aggregate { .. } => Err(DbError::Execution(
@@ -1503,7 +1849,11 @@ impl Database {
                 }
             }
         }
-        let cached = Rc::new(CachedSub { rows: rs.rows, set, has_null });
+        let cached = Rc::new(CachedSub {
+            rows: rs.rows,
+            set,
+            has_null,
+        });
         ctx.sub_cache.borrow_mut().insert(key, cached.clone());
         Ok(cached)
     }
@@ -1535,68 +1885,62 @@ impl Database {
         ctes: &CteEnv,
     ) -> Result<Value> {
         match e {
-            Expr::Aggregate { func, arg } => {
-                match func {
-                    AggFunc::Count => match arg {
-                        None => Ok(Value::Int(rows.len() as i64)),
-                        Some(a) => {
-                            let mut n = 0i64;
-                            for env in rows {
-                                if !self.eval_expr(a, env, ctx, ctes)?.is_null() {
-                                    n += 1;
-                                }
-                            }
-                            Ok(Value::Int(n))
-                        }
-                    },
-                    AggFunc::Min | AggFunc::Max => {
-                        let a = arg.as_ref().ok_or_else(|| {
-                            DbError::Execution("MIN/MAX need an argument".into())
-                        })?;
-                        let mut best: Option<Value> = None;
+            Expr::Aggregate { func, arg } => match func {
+                AggFunc::Count => match arg {
+                    None => Ok(Value::Int(rows.len() as i64)),
+                    Some(a) => {
+                        let mut n = 0i64;
                         for env in rows {
-                            let v = self.eval_expr(a, env, ctx, ctes)?;
-                            if v.is_null() {
-                                continue;
-                            }
-                            best = Some(match best {
-                                None => v,
-                                Some(b) => {
-                                    let take_new = match v.sort_cmp(&b) {
-                                        std::cmp::Ordering::Less => *func == AggFunc::Min,
-                                        std::cmp::Ordering::Greater => *func == AggFunc::Max,
-                                        std::cmp::Ordering::Equal => false,
-                                    };
-                                    if take_new {
-                                        v
-                                    } else {
-                                        b
-                                    }
-                                }
-                            });
-                        }
-                        Ok(best.unwrap_or(Value::Null))
-                    }
-                    AggFunc::Sum => {
-                        let a = arg
-                            .as_ref()
-                            .ok_or_else(|| DbError::Execution("SUM needs an argument".into()))?;
-                        let mut sum: Option<i64> = None;
-                        for env in rows {
-                            match self.eval_expr(a, env, ctx, ctes)? {
-                                Value::Null => {}
-                                Value::Int(i) => {
-                                    sum = Some(sum.unwrap_or(0).wrapping_add(i))
-                                }
-                                other => {
-                                    return Err(DbError::Type(format!("SUM over {other}")))
-                                }
+                            if !self.eval_expr(a, env, ctx, ctes)?.is_null() {
+                                n += 1;
                             }
                         }
-                        Ok(sum.map(Value::Int).unwrap_or(Value::Null))
+                        Ok(Value::Int(n))
                     }
+                },
+                AggFunc::Min | AggFunc::Max => {
+                    let a = arg
+                        .as_ref()
+                        .ok_or_else(|| DbError::Execution("MIN/MAX need an argument".into()))?;
+                    let mut best: Option<Value> = None;
+                    for env in rows {
+                        let v = self.eval_expr(a, env, ctx, ctes)?;
+                        if v.is_null() {
+                            continue;
+                        }
+                        best = Some(match best {
+                            None => v,
+                            Some(b) => {
+                                let take_new = match v.sort_cmp(&b) {
+                                    std::cmp::Ordering::Less => *func == AggFunc::Min,
+                                    std::cmp::Ordering::Greater => *func == AggFunc::Max,
+                                    std::cmp::Ordering::Equal => false,
+                                };
+                                if take_new {
+                                    v
+                                } else {
+                                    b
+                                }
+                            }
+                        });
+                    }
+                    Ok(best.unwrap_or(Value::Null))
                 }
-            }
+                AggFunc::Sum => {
+                    let a = arg
+                        .as_ref()
+                        .ok_or_else(|| DbError::Execution("SUM needs an argument".into()))?;
+                    let mut sum: Option<i64> = None;
+                    for env in rows {
+                        match self.eval_expr(a, env, ctx, ctes)? {
+                            Value::Null => {}
+                            Value::Int(i) => sum = Some(sum.unwrap_or(0).wrapping_add(i)),
+                            other => return Err(DbError::Type(format!("SUM over {other}"))),
+                        }
+                    }
+                    Ok(sum.map(Value::Int).unwrap_or(Value::Null))
+                }
+            },
             Expr::Binary { left, op, right } => {
                 let l = self.eval_aggregate_expr(left, rows, ctx, ctes)?;
                 let r = self.eval_aggregate_expr(right, rows, ctx, ctes)?;
@@ -1609,10 +1953,18 @@ impl Database {
             }
             Expr::Unary { op, expr } => {
                 let v = self.eval_aggregate_expr(expr, rows, ctx, ctes)?;
-                let combined = Expr::Unary { op: *op, expr: Box::new(Expr::Literal(v)) };
+                let combined = Expr::Unary {
+                    op: *op,
+                    expr: Box::new(Expr::Literal(v)),
+                };
                 self.eval_expr(&combined, &RowEnv::default(), ctx, ctes)
             }
             Expr::Literal(v) => Ok(v.clone()),
+            Expr::Param(i) => ctx
+                .params
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| DbError::Execution(format!("unbound parameter ${}", i + 1))),
             other => Err(DbError::Execution(format!(
                 "non-aggregate expression in aggregate query: {other:?}"
             ))),

@@ -49,6 +49,10 @@ pub enum Tok {
     Gt,
     /// `>=`
     Ge,
+    /// `?` — positional parameter placeholder.
+    Question,
+    /// `$n` — explicit 1-based parameter placeholder.
+    Dollar(usize),
 }
 
 impl Tok {
@@ -152,6 +156,28 @@ pub fn lex(src: &str) -> Result<Vec<Tok>> {
                     i += 1;
                 }
             }
+            b'?' => {
+                out.push(Tok::Question);
+                i += 1;
+            }
+            b'$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(DbError::SqlParse(format!(
+                        "expected digits after `$` at byte {i}"
+                    )));
+                }
+                let text = std::str::from_utf8(&b[start..j]).unwrap();
+                let n: usize = text
+                    .parse()
+                    .map_err(|_| DbError::SqlParse(format!("parameter index overflow: ${text}")))?;
+                out.push(Tok::Dollar(n));
+                i = j;
+            }
             b'\'' => {
                 i += 1;
                 // Collect raw bytes and decode as UTF-8 at the end —
@@ -246,6 +272,14 @@ mod tests {
     #[test]
     fn unterminated_string_errors() {
         assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn parameter_placeholders() {
+        let toks = lex("SELECT * FROM t WHERE a = ? AND b = $2").unwrap();
+        assert!(toks.contains(&Tok::Question));
+        assert!(toks.contains(&Tok::Dollar(2)));
+        assert!(lex("$x").is_err());
     }
 
     #[test]

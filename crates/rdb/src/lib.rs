@@ -36,11 +36,10 @@ pub mod table;
 pub mod value;
 
 pub use ast::{
-    BinOp, ColumnDef, Expr, InsertSource, SelectStmt, Stmt, TriggerEvent, TriggerGranularity,
-    UnOp,
+    BinOp, ColumnDef, Expr, InsertSource, SelectStmt, Stmt, TriggerEvent, TriggerGranularity, UnOp,
 };
-pub use engine::{Database, ExecResult, ResultSet, Stats, Trigger};
+pub use engine::{Database, ExecResult, PreparedStmt, ResultSet, Stats, Trigger};
 pub use error::{DbError, Result};
-pub use parser::{parse_script, parse_stmt};
+pub use parser::{parse_script, parse_stmt, parse_stmt_with_params};
 pub use table::{Table, TableSchema};
 pub use value::{DataType, Row, Value};

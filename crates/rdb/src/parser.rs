@@ -8,7 +8,11 @@ use crate::value::{DataType, Value};
 /// Parse a script of one or more `;`-separated statements.
 pub fn parse_script(sql: &str) -> Result<Vec<Stmt>> {
     let toks = lex(sql)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        params: 0,
+    };
     let mut out = Vec::new();
     loop {
         while p.eat_tok(&Tok::Semi) {}
@@ -21,16 +25,37 @@ pub fn parse_script(sql: &str) -> Result<Vec<Stmt>> {
 
 /// Parse exactly one statement (trailing `;` allowed).
 pub fn parse_stmt(sql: &str) -> Result<Stmt> {
-    let mut stmts = parse_script(sql)?;
-    match stmts.len() {
-        1 => Ok(stmts.pop().unwrap()),
-        n => Err(DbError::SqlParse(format!("expected one statement, found {n}"))),
+    Ok(parse_stmt_with_params(sql)?.0)
+}
+
+/// Parse exactly one statement and report how many parameter slots it
+/// binds: `?` placeholders are numbered left to right, `$n` placeholders
+/// name their 1-based slot explicitly, and the count is the highest slot
+/// referenced.
+pub fn parse_stmt_with_params(sql: &str) -> Result<(Stmt, usize)> {
+    let toks = lex(sql)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        params: 0,
+    };
+    while p.eat_tok(&Tok::Semi) {}
+    let stmt = p.stmt()?;
+    while p.eat_tok(&Tok::Semi) {}
+    if !p.at_end() {
+        return Err(DbError::SqlParse(
+            "expected one statement, found more".into(),
+        ));
     }
+    Ok((stmt, p.params))
 }
 
 struct Parser {
     toks: Vec<Tok>,
     pos: usize,
+    /// Number of parameter slots seen so far (highest `$n`, or the count
+    /// of `?` placeholders numbered left to right).
+    params: usize,
 }
 
 impl Parser {
@@ -69,7 +94,10 @@ impl Parser {
         if self.eat_tok(t) {
             Ok(())
         } else {
-            Err(DbError::SqlParse(format!("expected {t:?}, found {:?}", self.peek())))
+            Err(DbError::SqlParse(format!(
+                "expected {t:?}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -94,14 +122,19 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(DbError::SqlParse(format!("expected `{kw}`, found {:?}", self.peek())))
+            Err(DbError::SqlParse(format!(
+                "expected `{kw}`, found {:?}",
+                self.peek()
+            )))
         }
     }
 
     fn ident(&mut self) -> Result<String> {
         match self.next_tok()? {
             Tok::Ident(s) => Ok(s),
-            other => Err(DbError::SqlParse(format!("expected identifier, found {other:?}"))),
+            other => Err(DbError::SqlParse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -120,11 +153,16 @@ impl Parser {
             self.delete()
         } else if self.peek_kw("UPDATE") {
             self.update()
-        } else if self.peek_kw("SELECT") || self.peek_kw("WITH") || self.peek() == Some(&Tok::LParen)
+        } else if self.peek_kw("SELECT")
+            || self.peek_kw("WITH")
+            || self.peek() == Some(&Tok::LParen)
         {
             Ok(Stmt::Select(Box::new(self.select_stmt()?)))
         } else {
-            Err(DbError::SqlParse(format!("unexpected statement start: {:?}", self.peek())))
+            Err(DbError::SqlParse(format!(
+                "unexpected statement start: {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -150,7 +188,11 @@ impl Parser {
                 }
             }
             self.expect_tok(&Tok::RParen)?;
-            Ok(Stmt::CreateTable { name, columns, if_not_exists })
+            Ok(Stmt::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            })
         } else if self.eat_kw("INDEX") {
             let name = self.ident()?;
             self.expect_kw("ON")?;
@@ -158,7 +200,11 @@ impl Parser {
             self.expect_tok(&Tok::LParen)?;
             let column = self.ident()?;
             self.expect_tok(&Tok::RParen)?;
-            Ok(Stmt::CreateIndex { name, table, column })
+            Ok(Stmt::CreateIndex {
+                name,
+                table,
+                column,
+            })
         } else if self.eat_kw("TRIGGER") {
             let name = self.ident()?;
             self.expect_kw("AFTER")?;
@@ -167,7 +213,9 @@ impl Parser {
             } else if self.eat_kw("INSERT") {
                 TriggerEvent::Insert
             } else {
-                return Err(DbError::SqlParse("expected DELETE or INSERT after AFTER".into()));
+                return Err(DbError::SqlParse(
+                    "expected DELETE or INSERT after AFTER".into(),
+                ));
             };
             self.expect_kw("ON")?;
             let table = self.ident()?;
@@ -191,9 +239,17 @@ impl Parser {
                 }
                 body.push(self.stmt()?);
             }
-            Ok(Stmt::CreateTrigger { name, event, table, granularity, body })
+            Ok(Stmt::CreateTrigger {
+                name,
+                event,
+                table,
+                granularity,
+                body,
+            })
         } else {
-            Err(DbError::SqlParse("expected TABLE, INDEX, or TRIGGER after CREATE".into()))
+            Err(DbError::SqlParse(
+                "expected TABLE, INDEX, or TRIGGER after CREATE".into(),
+            ))
         }
     }
 
@@ -206,11 +262,18 @@ impl Parser {
             } else {
                 false
             };
-            Ok(Stmt::DropTable { name: self.ident()?, if_exists })
+            Ok(Stmt::DropTable {
+                name: self.ident()?,
+                if_exists,
+            })
         } else if self.eat_kw("TRIGGER") {
-            Ok(Stmt::DropTrigger { name: self.ident()? })
+            Ok(Stmt::DropTrigger {
+                name: self.ident()?,
+            })
         } else {
-            Err(DbError::SqlParse("expected TABLE or TRIGGER after DROP".into()))
+            Err(DbError::SqlParse(
+                "expected TABLE or TRIGGER after DROP".into(),
+            ))
         }
     }
 
@@ -247,8 +310,7 @@ impl Parser {
         // Optional column list: `(` followed by an identifier that is then
         // followed by `,` or `)` — otherwise it is a parenthesized SELECT.
         let mut columns = None;
-        if self.peek() == Some(&Tok::LParen) && !self.peek2_kw("SELECT") && !self.peek2_kw("WITH")
-        {
+        if self.peek() == Some(&Tok::LParen) && !self.peek2_kw("SELECT") && !self.peek2_kw("WITH") {
             self.expect_tok(&Tok::LParen)?;
             let mut cols = Vec::new();
             loop {
@@ -281,14 +343,22 @@ impl Parser {
         } else {
             InsertSource::Select(Box::new(self.select_stmt()?))
         };
-        Ok(Stmt::Insert { table, columns, source })
+        Ok(Stmt::Insert {
+            table,
+            columns,
+            source,
+        })
     }
 
     fn delete(&mut self) -> Result<Stmt> {
         self.expect_kw("DELETE")?;
         self.expect_kw("FROM")?;
         let table = self.ident()?;
-        let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         Ok(Stmt::Delete { table, filter })
     }
 
@@ -305,8 +375,16 @@ impl Parser {
                 break;
             }
         }
-        let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
-        Ok(Stmt::Update { table, sets, filter })
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Update {
+            table,
+            sets,
+            filter,
+        })
     }
 
     // --------------------------------------------------------------
@@ -335,7 +413,11 @@ impl Parser {
                 self.expect_tok(&Tok::LParen)?;
                 let body = self.union_body()?;
                 self.expect_tok(&Tok::RParen)?;
-                ctes.push(Cte { name, columns, body });
+                ctes.push(Cte {
+                    name,
+                    columns,
+                    body,
+                });
                 if !self.eat_tok(&Tok::Comma) {
                     break;
                 }
@@ -368,7 +450,12 @@ impl Parser {
         } else {
             None
         };
-        Ok(SelectStmt { ctes, body, order_by, limit })
+        Ok(SelectStmt {
+            ctes,
+            body,
+            order_by,
+            limit,
+        })
     }
 
     /// `core (UNION ALL core)*` where each core may be parenthesized.
@@ -435,8 +522,17 @@ impl Parser {
                 }
             }
         }
-        let filter = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
-        Ok(SelectCore { distinct, projections, from, filter })
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(SelectCore {
+            distinct,
+            projections,
+            from,
+            filter,
+        })
     }
 
     /// Is the next token a bare projection alias (an identifier that does
@@ -448,7 +544,10 @@ impl Parser {
                 if up == "ORDER" {
                     return !self.peek2_kw("BY");
                 }
-                !matches!(up.as_str(), "FROM" | "WHERE" | "UNION" | "LIMIT" | "AS" | "END")
+                !matches!(
+                    up.as_str(),
+                    "FROM" | "WHERE" | "UNION" | "LIMIT" | "AS" | "END"
+                )
             }
             _ => false,
         }
@@ -462,7 +561,10 @@ impl Parser {
                 if up == "ORDER" {
                     return !self.peek2_kw("BY");
                 }
-                !matches!(up.as_str(), "WHERE" | "UNION" | "LIMIT" | "END" | "ON" | "SET")
+                !matches!(
+                    up.as_str(),
+                    "WHERE" | "UNION" | "LIMIT" | "END" | "ON" | "SET"
+                )
             }
             _ => false,
         }
@@ -480,7 +582,11 @@ impl Parser {
         let mut left = self.and_expr()?;
         while self.eat_kw("OR") {
             let right = self.and_expr()?;
-            left = Expr::Binary { left: Box::new(left), op: BinOp::Or, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinOp::Or,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -489,7 +595,11 @@ impl Parser {
         let mut left = self.not_expr()?;
         while self.eat_kw("AND") {
             let right = self.not_expr()?;
-            left = Expr::Binary { left: Box::new(left), op: BinOp::And, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinOp::And,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -498,7 +608,10 @@ impl Parser {
         if self.peek_kw("NOT") && !self.peek2_kw("EXISTS") {
             self.expect_kw("NOT")?;
             let inner = self.not_expr()?;
-            return Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(inner),
+            });
         }
         self.comparison()
     }
@@ -511,14 +624,20 @@ impl Parser {
             self.expect_tok(&Tok::LParen)?;
             let q = self.select_stmt()?;
             self.expect_tok(&Tok::RParen)?;
-            return Ok(Expr::Exists { query: Box::new(q), negated });
+            return Ok(Expr::Exists {
+                query: Box::new(q),
+                negated,
+            });
         }
         let left = self.additive()?;
         // IS [NOT] NULL
         if self.eat_kw("IS") {
             let negated = self.eat_kw("NOT");
             self.expect_kw("NULL")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         // [NOT] IN
         if self.peek_kw("IN") || (self.peek_kw("NOT") && self.peek2_kw("IN")) {
@@ -528,7 +647,11 @@ impl Parser {
             if self.peek_kw("SELECT") || self.peek_kw("WITH") {
                 let q = self.select_stmt()?;
                 self.expect_tok(&Tok::RParen)?;
-                return Ok(Expr::InSubquery { expr: Box::new(left), query: Box::new(q), negated });
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    query: Box::new(q),
+                    negated,
+                });
             }
             let mut list = Vec::new();
             loop {
@@ -538,7 +661,11 @@ impl Parser {
                 }
             }
             self.expect_tok(&Tok::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         let op = match self.peek() {
             Some(Tok::Eq) => Some(BinOp::Eq),
@@ -552,7 +679,11 @@ impl Parser {
         if let Some(op) = op {
             self.pos += 1;
             let right = self.additive()?;
-            return Ok(Expr::Binary { left: Box::new(left), op, right: Box::new(right) });
+            return Ok(Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            });
         }
         Ok(left)
     }
@@ -567,7 +698,11 @@ impl Parser {
             };
             self.pos += 1;
             let right = self.multiplicative()?;
-            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -583,7 +718,11 @@ impl Parser {
             };
             self.pos += 1;
             let right = self.unary()?;
-            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -591,7 +730,10 @@ impl Parser {
     fn unary(&mut self) -> Result<Expr> {
         if self.eat_tok(&Tok::Minus) {
             let inner = self.unary()?;
-            return Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(inner),
+            });
         }
         self.primary()
     }
@@ -605,6 +747,22 @@ impl Parser {
             Some(Tok::Str(s)) => {
                 self.pos += 1;
                 Ok(Expr::Literal(Value::Str(s)))
+            }
+            Some(Tok::Question) => {
+                self.pos += 1;
+                let idx = self.params;
+                self.params += 1;
+                Ok(Expr::Param(idx))
+            }
+            Some(Tok::Dollar(n)) => {
+                self.pos += 1;
+                if n == 0 {
+                    return Err(DbError::SqlParse(
+                        "parameter indexes are 1-based: $0".into(),
+                    ));
+                }
+                self.params = self.params.max(n);
+                Ok(Expr::Param(n - 1))
             }
             Some(Tok::LParen) => {
                 self.pos += 1;
@@ -657,14 +815,22 @@ impl Parser {
                         self.pos += 1;
                         if self.eat_tok(&Tok::Dot) {
                             let col = self.ident()?;
-                            Ok(Expr::Column { table: Some(word), name: col })
+                            Ok(Expr::Column {
+                                table: Some(word),
+                                name: col,
+                            })
                         } else {
-                            Ok(Expr::Column { table: None, name: word })
+                            Ok(Expr::Column {
+                                table: None,
+                                name: word,
+                            })
                         }
                     }
                 }
             }
-            other => Err(DbError::SqlParse(format!("unexpected token in expression: {other:?}"))),
+            other => Err(DbError::SqlParse(format!(
+                "unexpected token in expression: {other:?}"
+            ))),
         }
     }
 }
@@ -675,12 +841,14 @@ mod tests {
 
     #[test]
     fn create_table_with_types() {
-        let s = parse_stmt(
-            "CREATE TABLE Customer (id INTEGER, Name VARCHAR(50), active BOOLEAN)",
-        )
-        .unwrap();
+        let s = parse_stmt("CREATE TABLE Customer (id INTEGER, Name VARCHAR(50), active BOOLEAN)")
+            .unwrap();
         match s {
-            Stmt::CreateTable { name, columns, if_not_exists } => {
+            Stmt::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            } => {
                 assert_eq!(name, "Customer");
                 assert!(!if_not_exists);
                 assert_eq!(columns.len(), 3);
@@ -695,7 +863,11 @@ mod tests {
     fn insert_values_and_select() {
         let s = parse_stmt("INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)").unwrap();
         match s {
-            Stmt::Insert { columns: Some(c), source: InsertSource::Values(rows), .. } => {
+            Stmt::Insert {
+                columns: Some(c),
+                source: InsertSource::Values(rows),
+                ..
+            } => {
                 assert_eq!(c, vec!["a", "b"]);
                 assert_eq!(rows.len(), 2);
             }
@@ -704,15 +876,18 @@ mod tests {
         let s = parse_stmt("INSERT INTO t SELECT a, b FROM u WHERE a > 3").unwrap();
         assert!(matches!(
             s,
-            Stmt::Insert { source: InsertSource::Select(_), columns: None, .. }
+            Stmt::Insert {
+                source: InsertSource::Select(_),
+                columns: None,
+                ..
+            }
         ));
     }
 
     #[test]
     fn order_as_table_name() {
         // The paper's schema calls a table `Order`; `ORDER BY` must still work.
-        let s = parse_stmt("SELECT id FROM Order O WHERE O.parentId = 4 ORDER BY id DESC")
-            .unwrap();
+        let s = parse_stmt("SELECT id FROM Order O WHERE O.parentId = 4 ORDER BY id DESC").unwrap();
         match s {
             Stmt::Select(sel) => {
                 assert_eq!(sel.body[0].from[0].name, "Order");
@@ -726,11 +901,13 @@ mod tests {
 
     #[test]
     fn not_in_subquery() {
-        let s =
-            parse_stmt("DELETE FROM Order WHERE parentId NOT IN (SELECT id FROM Customer)")
-                .unwrap();
+        let s = parse_stmt("DELETE FROM Order WHERE parentId NOT IN (SELECT id FROM Customer)")
+            .unwrap();
         match s {
-            Stmt::Delete { table, filter: Some(Expr::InSubquery { negated, .. }) } => {
+            Stmt::Delete {
+                table,
+                filter: Some(Expr::InSubquery { negated, .. }),
+            } => {
                 assert_eq!(table, "Order");
                 assert!(negated);
             }
@@ -764,7 +941,13 @@ mod tests {
         END";
         let s = parse_stmt(sql).unwrap();
         match s {
-            Stmt::CreateTrigger { name, event, table, granularity, body } => {
+            Stmt::CreateTrigger {
+                name,
+                event,
+                table,
+                granularity,
+                body,
+            } => {
                 assert_eq!(name, "del_cust");
                 assert_eq!(event, TriggerEvent::Delete);
                 assert_eq!(table, "Customer");
@@ -806,7 +989,11 @@ mod tests {
                 SelectItem::Expr { expr, .. } => {
                     // ((1 + (2*3)) - 4)
                     match expr {
-                        Expr::Binary { op: BinOp::Sub, left, .. } => match left.as_ref() {
+                        Expr::Binary {
+                            op: BinOp::Sub,
+                            left,
+                            ..
+                        } => match left.as_ref() {
                             Expr::Binary { op: BinOp::Add, .. } => {}
                             other => panic!("{other:?}"),
                         },
@@ -850,6 +1037,41 @@ mod tests {
     }
 
     #[test]
+    fn positional_parameters_number_left_to_right() {
+        let (s, n) = parse_stmt_with_params("INSERT INTO t VALUES (?, ?, ?)").unwrap();
+        assert_eq!(n, 3);
+        match s {
+            Stmt::Insert {
+                source: InsertSource::Values(rows),
+                ..
+            } => {
+                assert_eq!(
+                    rows[0],
+                    vec![Expr::Param(0), Expr::Param(1), Expr::Param(2)]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dollar_parameters_reuse_slots() {
+        let (s, n) =
+            parse_stmt_with_params("SELECT * FROM t WHERE a = $1 OR b = $1 OR c = $2").unwrap();
+        assert_eq!(n, 2);
+        assert!(matches!(s, Stmt::Select(_)));
+        assert!(parse_stmt_with_params("SELECT $0").is_err());
+    }
+
+    #[test]
+    fn parameters_allowed_in_where_and_sets() {
+        let (_, n) = parse_stmt_with_params("UPDATE t SET a = ?, b = ? WHERE id = ?").unwrap();
+        assert_eq!(n, 3);
+        let (_, n) = parse_stmt_with_params("DELETE FROM t WHERE id = ?").unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
     fn figure5_outer_union_parses() {
         let sql = "
         WITH Q1(C1, C2, C3, C4, C5, C6, C7, C8, C9) AS (
@@ -886,15 +1108,17 @@ mod tests {
 
     #[test]
     fn exists_and_scalar_subquery() {
-        let s = parse_stmt(
-            "SELECT (SELECT MAX(id) FROM t) FROM u WHERE NOT EXISTS (SELECT * FROM v)",
-        )
-        .unwrap();
+        let s =
+            parse_stmt("SELECT (SELECT MAX(id) FROM t) FROM u WHERE NOT EXISTS (SELECT * FROM v)")
+                .unwrap();
         match s {
             Stmt::Select(sel) => {
                 assert!(matches!(
                     sel.body[0].projections[0],
-                    SelectItem::Expr { expr: Expr::ScalarSubquery(_), .. }
+                    SelectItem::Expr {
+                        expr: Expr::ScalarSubquery(_),
+                        ..
+                    }
                 ));
                 assert!(matches!(
                     sel.body[0].filter,

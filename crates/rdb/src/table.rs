@@ -17,7 +17,9 @@ pub struct TableSchema {
 impl TableSchema {
     /// Index of a column by case-insensitive name.
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     /// Column names in order.
@@ -44,7 +46,12 @@ pub struct Table {
 impl Table {
     /// Create an empty table.
     pub fn new(schema: TableSchema) -> Self {
-        Table { schema, slots: Vec::new(), live: 0, indexes: HashMap::new() }
+        Table {
+            schema,
+            slots: Vec::new(),
+            live: 0,
+            indexes: HashMap::new(),
+        }
     }
 
     /// Number of live rows.
@@ -177,8 +184,14 @@ mod tests {
         TableSchema {
             name: "t".into(),
             columns: vec![
-                ColumnDef { name: "id".into(), ty: DataType::Integer },
-                ColumnDef { name: "name".into(), ty: DataType::Text },
+                ColumnDef {
+                    name: "id".into(),
+                    ty: DataType::Integer,
+                },
+                ColumnDef {
+                    name: "name".into(),
+                    ty: DataType::Text,
+                },
             ],
         }
     }
@@ -220,7 +233,11 @@ mod tests {
         t.insert(vec![Value::Int(7), Value::from("x")]).unwrap();
         t.create_index("id").unwrap();
         assert_eq!(t.index_lookup(0, &Value::Int(7)).unwrap().len(), 1);
-        assert_eq!(t.index_lookup(1, &Value::from("x")), None, "name not indexed");
+        assert_eq!(
+            t.index_lookup(1, &Value::from("x")),
+            None,
+            "name not indexed"
+        );
     }
 
     #[test]

@@ -204,8 +204,12 @@ mod tests {
 
     #[test]
     fn cross_type_sort_is_total() {
-        let mut vals =
-            [Value::Str("a".into()), Value::Bool(true), Value::Int(5), Value::Null];
+        let mut vals = [
+            Value::Str("a".into()),
+            Value::Bool(true),
+            Value::Int(5),
+            Value::Null,
+        ];
         vals.sort_by(Value::sort_cmp);
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[3], Value::Str("a".into()));

@@ -1,0 +1,202 @@
+//! Prepared statements, parameter binding, and plan-cache behavior —
+//! the engine-side analogue of the JDBC `PreparedStatement`s the paper's
+//! middleware holds against DB2.
+
+use xmlup_rdb::{Database, DbError, Value};
+
+fn item_db() -> Database {
+    let mut db = Database::new();
+    db.run_script(
+        "CREATE TABLE Item (id INTEGER, qty INTEGER, name VARCHAR(50),
+                            ok BOOLEAN, note VARCHAR(50));
+         CREATE INDEX item_id ON Item (id);",
+    )
+    .unwrap();
+    db
+}
+
+// ----------------------------------------------------------------------
+// parameter binding
+// ----------------------------------------------------------------------
+
+#[test]
+fn binding_round_trips_every_value_variant() {
+    let mut db = item_db();
+    let ins = db
+        .prepare("INSERT INTO Item VALUES (?, ?, ?, ?, ?)")
+        .unwrap();
+    assert_eq!(ins.param_count(), 5);
+    let bound = [
+        Value::Int(1),
+        Value::Int(42),
+        Value::Str("tire".into()),
+        Value::Bool(true),
+        Value::Null,
+    ];
+    db.execute_prepared(&ins, &bound).unwrap();
+    let rs = db
+        .query("SELECT id, qty, name, ok, note FROM Item")
+        .unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.rows[0], bound.to_vec());
+}
+
+#[test]
+fn parameters_bind_in_predicates() {
+    let mut db = item_db();
+    db.run_script(
+        "INSERT INTO Item VALUES (1, 4, 'tire', TRUE, NULL),
+                                 (2, 2, 'wiper', FALSE, NULL),
+                                 (3, 1, 'battery', TRUE, 'fragile');",
+    )
+    .unwrap();
+    let by_id = db.prepare("SELECT name FROM Item WHERE id = ?").unwrap();
+    for (id, name) in [(1, "tire"), (2, "wiper"), (3, "battery")] {
+        let rs = db.query_prepared(&by_id, &[Value::Int(id)]).unwrap();
+        assert_eq!(rs.rows[0][0], Value::from(name));
+    }
+    // Dollar parameters may repeat a slot.
+    let sel = db
+        .prepare("SELECT name FROM Item WHERE id = $1 OR qty = $1")
+        .unwrap();
+    assert_eq!(sel.param_count(), 1);
+    let rs = db.query_prepared(&sel, &[Value::Int(2)]).unwrap();
+    assert_eq!(rs.rows.len(), 1); // wiper matches on both id and qty
+    assert_eq!(rs.rows[0][0], Value::from("wiper"));
+    let upd = db
+        .prepare("UPDATE Item SET qty = ? WHERE name = ?")
+        .unwrap();
+    let n = db
+        .execute_prepared(&upd, &[Value::Int(9), Value::Str("tire".into())])
+        .unwrap()
+        .affected();
+    assert_eq!(n, 1);
+    let rs = db.query("SELECT qty FROM Item WHERE id = 1").unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(9));
+}
+
+#[test]
+fn arity_mismatch_is_an_error() {
+    let mut db = item_db();
+    let ins = db
+        .prepare("INSERT INTO Item VALUES (?, ?, ?, ?, ?)")
+        .unwrap();
+    let err = db.execute_prepared(&ins, &[Value::Int(1)]).unwrap_err();
+    assert!(matches!(err, DbError::Execution(_)), "got {err:?}");
+    let err = db
+        .execute_prepared(
+            &ins,
+            &[
+                Value::Int(1),
+                Value::Int(2),
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Null,
+            ],
+        )
+        .unwrap_err();
+    assert!(matches!(err, DbError::Execution(_)), "got {err:?}");
+}
+
+// ----------------------------------------------------------------------
+// plan cache
+// ----------------------------------------------------------------------
+
+#[test]
+fn repeated_text_parses_once() {
+    let mut db = item_db();
+    let before = db.stats();
+    for i in 0..10 {
+        db.execute(&format!(
+            "INSERT INTO Item VALUES ({i}, 0, 'x', TRUE, NULL)"
+        ))
+        .ok();
+        db.query("SELECT COUNT(*) FROM Item").unwrap();
+    }
+    let s = db.stats();
+    // The COUNT(*) text repeats: 1 parse, 9 hits. The INSERTs differ.
+    assert_eq!(s.client_statements - before.client_statements, 20);
+    assert!(s.plan_cache_hits - before.plan_cache_hits >= 9);
+}
+
+#[test]
+fn statements_parsed_stays_flat_while_client_statements_grows() {
+    let mut db = item_db();
+    let ins = db
+        .prepare("INSERT INTO Item VALUES (?, ?, ?, ?, ?)")
+        .unwrap();
+    let sel = db.prepare("SELECT name FROM Item WHERE id = ?").unwrap();
+    let parsed_before = db.stats().statements_parsed;
+    let client_before = db.stats().client_statements;
+    for i in 0..50 {
+        db.execute_prepared(
+            &ins,
+            &[
+                Value::Int(i),
+                Value::Int(i % 7),
+                Value::Str(format!("item{i}")),
+                Value::Bool(i % 2 == 0),
+                Value::Null,
+            ],
+        )
+        .unwrap();
+        let rs = db.query_prepared(&sel, &[Value::Int(i)]).unwrap();
+        assert_eq!(rs.rows[0][0], Value::Str(format!("item{i}")));
+    }
+    let s = db.stats();
+    assert_eq!(
+        s.statements_parsed, parsed_before,
+        "no re-parsing after prepare"
+    );
+    assert_eq!(s.client_statements - client_before, 100);
+}
+
+#[test]
+fn ddl_invalidates_the_cache() {
+    for ddl in [
+        "DROP TABLE Item",
+        "CREATE INDEX item_qty ON Item (qty)",
+        "CREATE TABLE Other (id INTEGER)",
+        "CREATE TRIGGER t AFTER DELETE ON Item FOR EACH ROW BEGIN \
+         DELETE FROM Item WHERE id = -1; END",
+    ] {
+        let mut db = item_db();
+        db.query("SELECT COUNT(*) FROM Item").unwrap();
+        db.query("SELECT COUNT(*) FROM Item").unwrap();
+        let hits_before = db.stats().plan_cache_hits;
+        let parsed_before = db.stats().statements_parsed;
+        db.execute(ddl).unwrap();
+        // Re-running the cached text must re-parse after the DDL.
+        if !ddl.starts_with("DROP TABLE") {
+            db.query("SELECT COUNT(*) FROM Item").unwrap();
+            let s = db.stats();
+            assert_eq!(s.plan_cache_hits, hits_before, "cache cleared by `{ddl}`");
+            assert!(
+                s.statements_parsed > parsed_before,
+                "re-parsed after `{ddl}`"
+            );
+        } else {
+            let err = db.query("SELECT COUNT(*) FROM Item").unwrap_err();
+            assert!(matches!(err, DbError::NoSuchTable(_)), "got {err:?}");
+        }
+    }
+}
+
+#[test]
+fn prepared_handle_survives_ddl() {
+    let mut db = item_db();
+    let sel = db.prepare("SELECT COUNT(*) FROM Item").unwrap();
+    // DDL clears the plan cache, but the handle owns its compiled plan
+    // and names resolve at execution time.
+    db.execute("CREATE TABLE Other (id INTEGER)").unwrap();
+    let rs = db.query_prepared(&sel, &[]).unwrap();
+    assert_eq!(rs.scalar().and_then(Value::as_int), Some(0));
+}
+
+#[test]
+fn unbound_parameter_in_plain_execute_errors() {
+    let mut db = item_db();
+    let err = db.query("SELECT name FROM Item WHERE id = ?").unwrap_err();
+    assert!(matches!(err, DbError::Execution(_)), "got {err:?}");
+}

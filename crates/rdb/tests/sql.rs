@@ -83,7 +83,10 @@ fn figure5_outer_union_shape() {
             ORDER BY C1, C5, C7",
         )
         .unwrap();
-    assert_eq!(rs.columns, vec!["C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8", "C9"]);
+    assert_eq!(
+        rs.columns,
+        vec!["C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8", "C9"]
+    );
     // John(1): customer row, then order 10 (lines 100, 101), order 11 (line 102).
     // John(3): customer row only. Total = 1+1+2+1+1 +1 = 7 rows.
     assert_eq!(rs.rows.len(), 7);
@@ -112,12 +115,25 @@ fn per_row_trigger_cascades() {
     )
     .unwrap();
     db.reset_stats();
-    let res = db.execute("DELETE FROM Customer WHERE Name = 'John'").unwrap();
+    let res = db
+        .execute("DELETE FROM Customer WHERE Name = 'John'")
+        .unwrap();
     assert_eq!(res.affected(), 2);
-    assert_eq!(db.table("order_").unwrap().len(), 1, "orders of customer 2 remain");
-    assert_eq!(db.table("orderline").unwrap().len(), 1, "only line 103 remains");
+    assert_eq!(
+        db.table("order_").unwrap().len(),
+        1,
+        "orders of customer 2 remain"
+    );
+    assert_eq!(
+        db.table("orderline").unwrap().len(),
+        1,
+        "only line 103 remains"
+    );
     let stats = db.stats();
-    assert_eq!(stats.client_statements, 1, "single SQL statement issued by the client");
+    assert_eq!(
+        stats.client_statements, 1,
+        "single SQL statement issued by the client"
+    );
     // 2 customer rows fired cust_del; 2 orders fired ord_del.
     assert_eq!(stats.trigger_firings, 4);
 }
@@ -134,7 +150,8 @@ fn per_statement_trigger_deletes_orphans() {
          END;",
     )
     .unwrap();
-    db.execute("DELETE FROM Customer WHERE Name = 'John'").unwrap();
+    db.execute("DELETE FROM Customer WHERE Name = 'John'")
+        .unwrap();
     assert_eq!(db.table("customer").unwrap().len(), 1);
     assert_eq!(db.table("order_").unwrap().len(), 1);
     assert_eq!(db.table("orderline").unwrap().len(), 1);
@@ -145,7 +162,10 @@ fn cascading_delete_application_level() {
     // Paper Section 6.1.2: simulate per-statement triggers with a sequence
     // of NOT IN deletes, stopping when a delete removes nothing.
     let mut db = customer_db();
-    let n = db.execute("DELETE FROM Customer WHERE Name = 'John'").unwrap().affected();
+    let n = db
+        .execute("DELETE FROM Customer WHERE Name = 'John'")
+        .unwrap()
+        .affected();
     assert_eq!(n, 2);
     let n = db
         .execute("DELETE FROM Order_ WHERE parentId NOT IN (SELECT id FROM Customer)")
@@ -162,7 +182,8 @@ fn cascading_delete_application_level() {
 #[test]
 fn insert_select_copies_rows() {
     let mut db = customer_db();
-    db.execute("CREATE TABLE Archive (id INTEGER, name VARCHAR(50))").unwrap();
+    db.execute("CREATE TABLE Archive (id INTEGER, name VARCHAR(50))")
+        .unwrap();
     let n = db
         .execute("INSERT INTO Archive SELECT id, Name FROM Customer WHERE Address_State = 'CA'")
         .unwrap()
@@ -179,14 +200,17 @@ fn update_sets_multiple_columns() {
         .unwrap()
         .affected();
     assert_eq!(n, 2);
-    let rs = db.query("SELECT COUNT(*) FROM Order_ WHERE Status = 'suspended'").unwrap();
+    let rs = db
+        .query("SELECT COUNT(*) FROM Order_ WHERE Status = 'suspended'")
+        .unwrap();
     assert_eq!(rs.scalar(), Some(&Value::Int(2)));
 }
 
 #[test]
 fn update_reads_old_row_values() {
     let mut db = customer_db();
-    db.execute("UPDATE OrderLine SET Qty = Qty + 10 WHERE ItemName = 'tire'").unwrap();
+    db.execute("UPDATE OrderLine SET Qty = Qty + 10 WHERE ItemName = 'tire'")
+        .unwrap();
     let rs = db
         .query("SELECT Qty FROM OrderLine WHERE ItemName = 'tire' ORDER BY id")
         .unwrap();
@@ -200,7 +224,15 @@ fn aggregates_min_max_count_sum() {
     let rs = db
         .query("SELECT MIN(id), MAX(id), COUNT(*), SUM(Qty) FROM OrderLine")
         .unwrap();
-    assert_eq!(rs.rows[0], vec![Value::Int(100), Value::Int(103), Value::Int(4), Value::Int(9)]);
+    assert_eq!(
+        rs.rows[0],
+        vec![
+            Value::Int(100),
+            Value::Int(103),
+            Value::Int(4),
+            Value::Int(9)
+        ]
+    );
 }
 
 #[test]
@@ -221,18 +253,43 @@ fn three_valued_logic() {
     )
     .unwrap();
     // NULL = NULL is unknown, filtered out.
-    assert_eq!(db.query("SELECT * FROM t WHERE b = NULL").unwrap().rows.len(), 0);
-    assert_eq!(db.query("SELECT * FROM t WHERE b IS NULL").unwrap().rows.len(), 2);
-    assert_eq!(db.query("SELECT * FROM t WHERE a IS NOT NULL").unwrap().rows.len(), 2);
-    // NOT IN with NULL in the subquery result yields no rows.
-    db.run_script("CREATE TABLE u (x INTEGER); INSERT INTO u VALUES (1), (NULL);").unwrap();
     assert_eq!(
-        db.query("SELECT * FROM t WHERE a NOT IN (SELECT x FROM u)").unwrap().rows.len(),
+        db.query("SELECT * FROM t WHERE b = NULL")
+            .unwrap()
+            .rows
+            .len(),
+        0
+    );
+    assert_eq!(
+        db.query("SELECT * FROM t WHERE b IS NULL")
+            .unwrap()
+            .rows
+            .len(),
+        2
+    );
+    assert_eq!(
+        db.query("SELECT * FROM t WHERE a IS NOT NULL")
+            .unwrap()
+            .rows
+            .len(),
+        2
+    );
+    // NOT IN with NULL in the subquery result yields no rows.
+    db.run_script("CREATE TABLE u (x INTEGER); INSERT INTO u VALUES (1), (NULL);")
+        .unwrap();
+    assert_eq!(
+        db.query("SELECT * FROM t WHERE a NOT IN (SELECT x FROM u)")
+            .unwrap()
+            .rows
+            .len(),
         0
     );
     // IN finds the match regardless of NULLs.
     assert_eq!(
-        db.query("SELECT * FROM t WHERE a IN (SELECT x FROM u)").unwrap().rows.len(),
+        db.query("SELECT * FROM t WHERE a IN (SELECT x FROM u)")
+            .unwrap()
+            .rows
+            .len(),
         1
     );
 }
@@ -254,7 +311,9 @@ fn exists_and_scalar_subquery() {
         .query("SELECT Name FROM Customer WHERE EXISTS (SELECT * FROM Order_) ORDER BY Name")
         .unwrap();
     assert_eq!(rs.rows.len(), 3);
-    let rs = db.query("SELECT (SELECT MAX(id) FROM OrderLine) FROM Customer").unwrap();
+    let rs = db
+        .query("SELECT (SELECT MAX(id) FROM OrderLine) FROM Customer")
+        .unwrap();
     assert_eq!(rs.rows.len(), 3);
     assert_eq!(rs.rows[0][0], Value::Int(103));
 }
@@ -262,7 +321,9 @@ fn exists_and_scalar_subquery() {
 #[test]
 fn order_by_desc_and_limit() {
     let mut db = customer_db();
-    let rs = db.query("SELECT id FROM OrderLine ORDER BY id DESC LIMIT 2").unwrap();
+    let rs = db
+        .query("SELECT id FROM OrderLine ORDER BY id DESC LIMIT 2")
+        .unwrap();
     assert_eq!(rs.rows.len(), 2);
     assert_eq!(rs.rows[0][0], Value::Int(103));
     assert_eq!(rs.rows[1][0], Value::Int(102));
@@ -271,10 +332,8 @@ fn order_by_desc_and_limit() {
 #[test]
 fn nulls_sort_first_ascending() {
     let mut db = Database::new();
-    db.run_script(
-        "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (2), (NULL), (1);",
-    )
-    .unwrap();
+    db.run_script("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (2), (NULL), (1);")
+        .unwrap();
     let rs = db.query("SELECT a FROM t ORDER BY a").unwrap();
     assert_eq!(rs.rows[0][0], Value::Null);
     assert_eq!(rs.rows[1][0], Value::Int(1));
@@ -284,7 +343,10 @@ fn nulls_sort_first_ascending() {
 fn duplicate_table_and_if_not_exists() {
     let mut db = Database::new();
     db.execute("CREATE TABLE t (a INTEGER)").unwrap();
-    assert!(matches!(db.execute("CREATE TABLE t (a INTEGER)"), Err(DbError::Schema(_))));
+    assert!(matches!(
+        db.execute("CREATE TABLE t (a INTEGER)"),
+        Err(DbError::Schema(_))
+    ));
     assert!(matches!(
         db.execute("CREATE TABLE IF NOT EXISTS t (a INTEGER)"),
         Ok(ExecResult::Ddl)
@@ -297,9 +359,15 @@ fn duplicate_table_and_if_not_exists() {
 #[test]
 fn unknown_table_and_column_errors() {
     let mut db = Database::new();
-    assert!(matches!(db.execute("SELECT * FROM ghost"), Err(DbError::NoSuchTable(_))));
+    assert!(matches!(
+        db.execute("SELECT * FROM ghost"),
+        Err(DbError::NoSuchTable(_))
+    ));
     db.execute("CREATE TABLE t (a INTEGER)").unwrap();
-    assert!(matches!(db.query("SELECT b FROM t"), Err(DbError::NoSuchColumn(_))));
+    assert!(matches!(
+        db.query("SELECT b FROM t"),
+        Err(DbError::NoSuchColumn(_))
+    ));
 }
 
 #[test]
@@ -321,7 +389,8 @@ fn ambiguous_column_detected() {
 #[test]
 fn insert_with_column_list_pads_nulls() {
     let mut db = Database::new();
-    db.execute("CREATE TABLE t (a INTEGER, b VARCHAR(10), c INTEGER)").unwrap();
+    db.execute("CREATE TABLE t (a INTEGER, b VARCHAR(10), c INTEGER)")
+        .unwrap();
     db.execute("INSERT INTO t (c, a) VALUES (3, 1)").unwrap();
     let rs = db.query("SELECT a, b, c FROM t").unwrap();
     assert_eq!(rs.rows[0], vec![Value::Int(1), Value::Null, Value::Int(3)]);
@@ -347,7 +416,10 @@ fn index_lookup_used_for_equality_delete() {
     let s = db.stats();
     assert_eq!(s.index_lookups, 1);
     assert_eq!(s.rows_deleted, 2);
-    assert!(s.rows_scanned <= 2, "only the index hits were scanned, not the table");
+    assert!(
+        s.rows_scanned <= 2,
+        "only the index hits were scanned, not the table"
+    );
 }
 
 #[test]
@@ -388,7 +460,11 @@ fn drop_trigger_stops_firing() {
     .unwrap();
     db.execute("DROP TRIGGER t1").unwrap();
     db.execute("DELETE FROM Customer WHERE id = 1").unwrap();
-    assert_eq!(db.table("order_").unwrap().len(), 3, "no cascade after drop");
+    assert_eq!(
+        db.table("order_").unwrap().len(),
+        3,
+        "no cascade after drop"
+    );
 }
 
 #[test]
@@ -424,15 +500,21 @@ fn allocate_ids_monotone() {
 fn arithmetic_and_division_errors() {
     let mut db = Database::new();
     let rs = db.query("SELECT 2 + 3 * 4 - 1, 10 / 3, 10 % 3").unwrap();
-    assert_eq!(rs.rows[0], vec![Value::Int(13), Value::Int(3), Value::Int(1)]);
+    assert_eq!(
+        rs.rows[0],
+        vec![Value::Int(13), Value::Int(3), Value::Int(1)]
+    );
     assert!(db.query("SELECT 1 / 0").is_err());
 }
 
 #[test]
 fn union_all_arity_mismatch_rejected() {
     let mut db = Database::new();
-    db.run_script("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1);").unwrap();
-    assert!(db.query("SELECT a FROM t UNION ALL SELECT a, a FROM t").is_err());
+    db.run_script("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1);")
+        .unwrap();
+    assert!(db
+        .query("SELECT a FROM t UNION ALL SELECT a, a FROM t")
+        .is_err());
 }
 
 #[test]
@@ -449,12 +531,18 @@ fn qualified_wildcard_projection() {
 #[test]
 fn select_distinct_dedupes() {
     let mut db = customer_db();
-    let rs = db.query("SELECT DISTINCT parentId FROM OrderLine ORDER BY parentId").unwrap();
+    let rs = db
+        .query("SELECT DISTINCT parentId FROM OrderLine ORDER BY parentId")
+        .unwrap();
     assert_eq!(rs.rows.len(), 3);
-    let rs = db.query("SELECT DISTINCT Name FROM Customer ORDER BY Name").unwrap();
+    let rs = db
+        .query("SELECT DISTINCT Name FROM Customer ORDER BY Name")
+        .unwrap();
     assert_eq!(rs.rows.len(), 2, "two distinct names among three customers");
     // DISTINCT with an ORDER BY key outside the select list is rejected.
-    assert!(db.query("SELECT DISTINCT Name FROM Customer ORDER BY id").is_err());
+    assert!(db
+        .query("SELECT DISTINCT Name FROM Customer ORDER BY id")
+        .is_err());
 }
 
 #[test]
@@ -472,11 +560,14 @@ fn distinct_in_subquery() {
 #[test]
 fn non_ascii_strings_roundtrip() {
     let mut db = Database::new();
-    db.run_script("CREATE TABLE t (s TEXT); INSERT INTO t VALUES ('café 中文');").unwrap();
+    db.run_script("CREATE TABLE t (s TEXT); INSERT INTO t VALUES ('café 中文');")
+        .unwrap();
     let rs = db.query("SELECT s FROM t").unwrap();
     assert_eq!(rs.rows[0][0], Value::from("café 中文"));
     // And it matches in predicates.
-    let rs = db.query("SELECT COUNT(*) FROM t WHERE s = 'café 中文'").unwrap();
+    let rs = db
+        .query("SELECT COUNT(*) FROM t WHERE s = 'café 中文'")
+        .unwrap();
     assert_eq!(rs.scalar(), Some(&Value::Int(1)));
 }
 

@@ -8,8 +8,8 @@
 use crate::error::Result;
 use crate::inline::Mapping;
 use crate::loader::sql_literal;
-use xmlup_rdb::{Database, Value};
 use std::collections::HashMap;
+use xmlup_rdb::{Database, Value};
 
 /// An access support relation over the whole mapping tree.
 #[derive(Debug, Clone)]
@@ -32,8 +32,7 @@ impl AsrIndex {
             .map(|&r| format!("id_{}", mapping.relations[r].table))
             .collect();
         let table = "ASR".to_string();
-        let cols: Vec<String> =
-            id_columns.iter().map(|c| format!("{c} INTEGER")).collect();
+        let cols: Vec<String> = id_columns.iter().map(|c| format!("{c} INTEGER")).collect();
         db.execute(&format!(
             "CREATE TABLE {table} ({}, mark BOOLEAN)",
             cols.join(", ")
@@ -45,7 +44,11 @@ impl AsrIndex {
         // `WHERE mark = TRUE`; index the flag so marked paths are probed,
         // not scanned.
         db.execute(&format!("CREATE INDEX idx_asr_mark ON {table} (mark)"))?;
-        let asr = AsrIndex { table, relations, id_columns };
+        let asr = AsrIndex {
+            table,
+            relations,
+            id_columns,
+        };
         asr.populate(db, mapping)?;
         Ok(asr)
     }
@@ -82,8 +85,7 @@ impl AsrIndex {
             let t = db
                 .table(&mapping.relations[self.relations[0]].table)
                 .expect("root table");
-            let mut v: Vec<i64> =
-                t.rows().map(|r| r[0].as_int().expect("id")).collect();
+            let mut v: Vec<i64> = t.rows().map(|r| r[0].as_int().expect("id")).collect();
             v.sort_unstable();
             v
         };
@@ -234,7 +236,9 @@ mod tests {
     fn mark_column_starts_false() {
         let (mut db, mapping) = setup();
         AsrIndex::build(&mut db, &mapping).unwrap();
-        let rs = db.query("SELECT COUNT(*) FROM ASR WHERE mark = TRUE").unwrap();
+        let rs = db
+            .query("SELECT COUNT(*) FROM ASR WHERE mark = TRUE")
+            .unwrap();
         assert_eq!(rs.scalar(), Some(&Value::Int(0)));
     }
 

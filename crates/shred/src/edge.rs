@@ -192,11 +192,16 @@ mod tests {
             .unwrap()
             .as_int()
             .unwrap();
-        db.execute(&format!("DELETE FROM Edge WHERE id = {cust_id}")).unwrap();
+        db.execute(&format!("DELETE FROM Edge WHERE id = {cust_id}"))
+            .unwrap();
         let after = db.table("edge").unwrap().len();
         // First customer: Customer + Name(+text) + Address(+City/State+texts)
         // + 2 Orders with children — substantially more than 20 tuples.
-        assert!(before - after > 20, "cascade removed {} tuples", before - after);
+        assert!(
+            before - after > 20,
+            "cascade removed {} tuples",
+            before - after
+        );
         // No orphans remain.
         let rs = db
             .query(
@@ -230,8 +235,7 @@ mod tests {
                    AND t.id = c.id",
             )
             .unwrap();
-        let mut names: Vec<&str> =
-            rs.rows.iter().filter_map(|r| r[0].as_str()).collect();
+        let mut names: Vec<&str> = rs.rows.iter().filter_map(|r| r[0].as_str()).collect();
         names.sort_unstable();
         assert_eq!(names, vec!["John", "Mary"]);
     }
@@ -267,7 +271,10 @@ pub fn copy_subtree(db: &mut Database, src_id: i64, dst_parent_id: i64) -> Resul
             row[4].clone(),
         ];
         let rendered: Vec<String> = vals.iter().map(sql_literal).collect();
-        db.execute(&format!("INSERT INTO Edge VALUES ({})", rendered.join(", ")))?;
+        db.execute(&format!(
+            "INSERT INTO Edge VALUES ({})",
+            rendered.join(", ")
+        ))?;
         created += 1;
         let kids = db.query(&format!(
             "SELECT id FROM Edge WHERE parentId = {old_id} ORDER BY ord DESC, id DESC"
@@ -309,7 +316,10 @@ mod copy_tests {
             .unwrap();
         let before = db.table("edge").unwrap().len();
         let created = copy_subtree(&mut db, cust_id, root_id).unwrap();
-        assert!(created > 10, "first customer fragment is sizable, got {created}");
+        assert!(
+            created > 10,
+            "first customer fragment is sizable, got {created}"
+        );
         assert_eq!(db.table("edge").unwrap().len(), before + created);
         // The rebuilt document now has four customers. The copy keeps the
         // source's ord (0), so it sorts directly after the original first

@@ -66,8 +66,14 @@ impl Relation {
     /// Full SQL schema: `id`, `parentId`, then the data columns.
     pub fn column_defs(&self) -> Vec<ColumnDef> {
         let mut defs = vec![
-            ColumnDef { name: "id".into(), ty: DataType::Integer },
-            ColumnDef { name: "parentId".into(), ty: DataType::Integer },
+            ColumnDef {
+                name: "id".into(),
+                ty: DataType::Integer,
+            },
+            ColumnDef {
+                name: "parentId".into(),
+                ty: DataType::Integer,
+            },
         ];
         for c in &self.columns {
             let ty = match c.kind {
@@ -75,7 +81,10 @@ impl Relation {
                 ColumnKind::Position => DataType::Integer,
                 _ => DataType::Text,
             };
-            defs.push(ColumnDef { name: c.name.clone(), ty });
+            defs.push(ColumnDef {
+                name: c.name.clone(),
+                ty,
+            });
         }
         defs
     }
@@ -83,7 +92,9 @@ impl Relation {
     /// Index of a data column (0-based among data columns) by its path and
     /// kind.
     pub fn find_column(&self, path: &[String], kind: &ColumnKind) -> Option<usize> {
-        self.columns.iter().position(|c| c.path == *path && c.kind == *kind)
+        self.columns
+            .iter()
+            .position(|c| c.path == *path && c.kind == *kind)
     }
 
     /// `CREATE TABLE` DDL for this relation.
@@ -127,9 +138,15 @@ impl Mapping {
 
     fn build(dtd: &Dtd, root: &str, ordered: bool) -> Result<Mapping> {
         if dtd.element(root).is_none() {
-            return Err(ShredError::Mapping(format!("root element <{root}> not declared")));
+            return Err(ShredError::Mapping(format!(
+                "root element <{root}> not declared"
+            )));
         }
-        let mut m = Mapping { relations: Vec::new(), ordered, by_path: HashMap::new() };
+        let mut m = Mapping {
+            relations: Vec::new(),
+            ordered,
+            by_path: HashMap::new(),
+        };
         let mut used_tables: HashMap<String, usize> = HashMap::new();
         m.build_relation(dtd, root, None, &mut Vec::new(), &mut used_tables)?;
         Ok(m)
@@ -213,7 +230,10 @@ impl Mapping {
 
     /// `CREATE TABLE` statements for all relations.
     pub fn ddl(&self) -> Vec<String> {
-        self.relations.iter().map(Relation::create_table_sql).collect()
+        self.relations
+            .iter()
+            .map(Relation::create_table_sql)
+            .collect()
     }
 
     /// Resolve an element path from the root to either a relation or an
@@ -228,10 +248,16 @@ impl Mapping {
                 let rest: Vec<String> = path[cut..].iter().map(|s| s.to_string()).collect();
                 let rel = &self.relations[r];
                 if let Some(ci) = rel.find_column(&rest, &ColumnKind::Pcdata) {
-                    return Some(PathTarget::Column { relation: r, column: ci });
+                    return Some(PathTarget::Column {
+                        relation: r,
+                        column: ci,
+                    });
                 }
                 if let Some(ci) = rel.find_column(&rest, &ColumnKind::Presence) {
-                    return Some(PathTarget::InlinedElement { relation: r, presence: Some(ci) });
+                    return Some(PathTarget::InlinedElement {
+                        relation: r,
+                        presence: Some(ci),
+                    });
                 }
                 // An inlined element with columns but no presence flag
                 // (PCDATA-only leaf) resolves to its PCDATA column above;
@@ -241,7 +267,10 @@ impl Mapping {
                     .iter()
                     .any(|c| c.path.len() > rest.len() && c.path[..rest.len()] == rest[..]);
                 if has_descendant_cols {
-                    return Some(PathTarget::InlinedElement { relation: r, presence: None });
+                    return Some(PathTarget::InlinedElement {
+                        relation: r,
+                        presence: None,
+                    });
                 }
                 return None;
             }
@@ -353,15 +382,26 @@ impl Mapping {
                 } else {
                     mangle(&path.join("_"))
                 };
-                out.push(DataColumn { name, path: path.clone(), kind: ColumnKind::Pcdata });
+                out.push(DataColumn {
+                    name,
+                    path: path.clone(),
+                    kind: ColumnKind::Pcdata,
+                });
             }
             return Ok(());
         }
         // Mixed content on a relation root stores its text too.
         if let Some(xmlup_xml::ContentModel::Mixed(_)) = dtd.element(element) {
-            let name =
-                if path.is_empty() { "value_".to_string() } else { mangle(&path.join("_")) };
-            out.push(DataColumn { name, path: path.clone(), kind: ColumnKind::Pcdata });
+            let name = if path.is_empty() {
+                "value_".to_string()
+            } else {
+                mangle(&path.join("_"))
+            };
+            out.push(DataColumn {
+                name,
+                path: path.clone(),
+                kind: ColumnKind::Pcdata,
+            });
         }
         // Presence flag for inlined non-leaf elements.
         if !path.is_empty() {
@@ -377,7 +417,9 @@ impl Mapping {
                 continue;
             }
             if dtd.element(&child).is_none() {
-                return Err(ShredError::Mapping(format!("element <{child}> not declared")));
+                return Err(ShredError::Mapping(format!(
+                    "element <{child}> not declared"
+                )));
             }
             if ancestors.contains(&child) || path.contains(&child) {
                 return Err(ShredError::Mapping(format!(
@@ -457,7 +499,10 @@ mod tests {
         assert!(names.contains(&"Name"));
         assert!(names.contains(&"Address_City"));
         assert!(names.contains(&"Address_State"));
-        assert!(names.contains(&"Address_present"), "non-leaf inlined element gets a flag");
+        assert!(
+            names.contains(&"Address_present"),
+            "non-leaf inlined element gets a flag"
+        );
     }
 
     #[test]
@@ -500,7 +545,10 @@ mod tests {
             other => panic!("{other:?}"),
         }
         match m.resolve_path(&["CustDB", "Customer", "Address"]) {
-            Some(PathTarget::InlinedElement { relation, presence: Some(_) }) => {
+            Some(PathTarget::InlinedElement {
+                relation,
+                presence: Some(_),
+            }) => {
                 assert_eq!(relation, cust)
             }
             other => panic!("{other:?}"),

@@ -34,8 +34,13 @@ pub fn shred(db: &mut Database, mapping: &Mapping, doc: &Document) -> Result<usi
             mapping.relations[root_rel].element
         )));
     }
-    let mut loader =
-        Loader { db, mapping, doc, count: 0, buffers: vec![Vec::new(); mapping.relations.len()] };
+    let mut loader = Loader {
+        db,
+        mapping,
+        doc,
+        count: 0,
+        buffers: vec![Vec::new(); mapping.relations.len()],
+    };
     loader.shred_element(root, root_rel, 0, 0)?;
     loader.flush_all()?;
     Ok(loader.count)
@@ -61,8 +66,13 @@ pub fn shred_subtree(
             mapping.relations[rel_idx].element
         )));
     }
-    let mut loader =
-        Loader { db, mapping, doc, count: 0, buffers: vec![Vec::new(); mapping.relations.len()] };
+    let mut loader = Loader {
+        db,
+        mapping,
+        doc,
+        count: 0,
+        buffers: vec![Vec::new(); mapping.relations.len()],
+    };
     loader.shred_element(node, rel_idx, parent_id, ord)?;
     loader.flush_all()?;
     Ok(loader.count)
@@ -156,12 +166,7 @@ impl Loader<'_> {
 }
 
 /// Extract the value of one inlined column from the element `node`.
-pub fn extract_column(
-    doc: &Document,
-    node: NodeId,
-    path: &[String],
-    kind: &ColumnKind,
-) -> Value {
+pub fn extract_column(doc: &Document, node: NodeId, path: &[String], kind: &ColumnKind) -> Value {
     // Navigate the inlined path (each segment occurs at most once).
     let mut cur = node;
     for seg in path {
@@ -379,7 +384,9 @@ mod tests {
         assert_eq!(rs.rows[0][0], Value::Str("John".into()));
         assert_eq!(rs.rows[0][1], Value::Str("Seattle".into()));
         assert_eq!(rs.rows[2][2], Value::Str("CA".into()));
-        let rs = db.query("SELECT COUNT(*) FROM OrderLine WHERE ItemName = 'tire'").unwrap();
+        let rs = db
+            .query("SELECT COUNT(*) FROM OrderLine WHERE ItemName = 'tire'")
+            .unwrap();
         assert_eq!(rs.scalar(), Some(&Value::Int(2)));
     }
 

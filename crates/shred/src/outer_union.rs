@@ -12,7 +12,7 @@
 use crate::error::{Result, ShredError};
 use crate::inline::Mapping;
 use crate::loader::build_element;
-use xmlup_rdb::{Database, ResultSet};
+use xmlup_rdb::{Database, ResultSet, Value};
 use xmlup_xml::{Document, NodeId};
 
 /// Layout of the wide outer-union tuple for a subtree of relations.
@@ -94,7 +94,12 @@ pub fn plan(mapping: &Mapping, root_rel: usize, filter: Option<&str>) -> OuterUn
                 id_offsets[pq] + 1
             )
         };
-        ctes.push(format!("Q{}({}) AS ({})", qi + 1, col_names.join(", "), body));
+        ctes.push(format!(
+            "Q{}({}) AS ({})",
+            qi + 1,
+            col_names.join(", "),
+            body
+        ));
     }
     let unions: Vec<String> = (1..=relations.len())
         .map(|i| format!("(SELECT * FROM Q{i})"))
@@ -106,12 +111,32 @@ pub fn plan(mapping: &Mapping, root_rel: usize, filter: Option<&str>) -> OuterUn
         unions.join(" UNION ALL "),
         order.join(", ")
     );
-    OuterUnionPlan { relations, id_offsets, width, sql }
+    OuterUnionPlan {
+        relations,
+        id_offsets,
+        width,
+        sql,
+    }
 }
 
-/// Execute an outer-union plan.
+/// Execute an outer-union plan. The query is prepared against the
+/// engine's plan cache, so repeat executions of the same plan shape skip
+/// re-parsing the (large) Figure 5 query text.
 pub fn execute(db: &mut Database, p: &OuterUnionPlan) -> Result<ResultSet> {
-    Ok(db.query(&p.sql)?)
+    execute_params(db, p, &[])
+}
+
+/// Execute an outer-union plan whose root filter contains `?`/`$n`
+/// placeholders (e.g. a plan built with `filter = Some("id = ?")`),
+/// binding `params` to them. Lets per-subtree fetch loops reuse one
+/// compiled plan across ids instead of parsing a fresh query per id.
+pub fn execute_params(
+    db: &mut Database,
+    p: &OuterUnionPlan,
+    params: &[Value],
+) -> Result<ResultSet> {
+    let stmt = db.prepare(&p.sql)?;
+    Ok(db.query_prepared(&stmt, params)?)
 }
 
 /// Reassemble the sorted tuple stream into detached XML subtrees inside
@@ -147,13 +172,12 @@ pub fn reassemble(
                 level = Some(li);
             }
         }
-        let level = level.ok_or_else(|| {
-            ShredError::Reconstruct("row with no id columns set".into())
-        })?;
+        let level =
+            level.ok_or_else(|| ShredError::Reconstruct("row with no id columns set".into()))?;
         let off = p.id_offsets[level];
-        let id = row[off].as_int().ok_or_else(|| {
-            ShredError::Reconstruct(format!("non-integer id {:?}", row[off]))
-        })?;
+        let id = row[off]
+            .as_int()
+            .ok_or_else(|| ShredError::Reconstruct(format!("non-integer id {:?}", row[off])))?;
         let rel = &mapping.relations[p.relations[level]];
         let data = &row[off + 1..off + 1 + rel.columns.len()];
         let el = build_element(doc, rel, data)?;
@@ -218,8 +242,21 @@ pub fn fetch_subtrees(
     root_rel: usize,
     filter: Option<&str>,
 ) -> Result<(Document, Vec<NodeId>)> {
+    fetch_subtrees_params(db, mapping, root_rel, filter, &[])
+}
+
+/// [`fetch_subtrees`] with `?`/`$n` placeholders in the filter bound to
+/// `params` — e.g. `filter = Some("id = ?")` fetches one subtree per call
+/// while reusing a single compiled outer-union plan across ids.
+pub fn fetch_subtrees_params(
+    db: &mut Database,
+    mapping: &Mapping,
+    root_rel: usize,
+    filter: Option<&str>,
+    params: &[Value],
+) -> Result<(Document, Vec<NodeId>)> {
     let p = plan(mapping, root_rel, filter);
-    let rs = execute(db, &p)?;
+    let rs = execute_params(db, &p, params)?;
     let mut doc = Document::new("__results__");
     let roots = reassemble(&mut doc, mapping, &p, &rs)?;
     Ok((doc, roots))
@@ -257,7 +294,7 @@ mod tests {
     }
 
     #[test]
-    fn returns_customer_john_example6(){
+    fn returns_customer_john_example6() {
         let (mut db, mapping, _) = setup();
         let cust = mapping.relation_by_element("Customer").unwrap();
         let (doc, roots) = fetch_subtrees(&mut db, &mapping, cust, Some("Name = 'John'")).unwrap();
@@ -299,8 +336,7 @@ mod tests {
     fn filter_selecting_nothing_returns_empty() {
         let (mut db, mapping, _) = setup();
         let cust = mapping.relation_by_element("Customer").unwrap();
-        let (_, roots) =
-            fetch_subtrees(&mut db, &mapping, cust, Some("Name = 'Nobody'")).unwrap();
+        let (_, roots) = fetch_subtrees(&mut db, &mapping, cust, Some("Name = 'Nobody'")).unwrap();
         assert!(roots.is_empty());
     }
 
@@ -313,8 +349,10 @@ mod tests {
         assert_eq!(roots.len(), 2);
         for r in roots {
             assert_eq!(doc.name(r), Some("Order"));
-            assert!(doc.children(r).iter().any(|&c| doc.name(c) == Some("OrderLine")));
+            assert!(doc
+                .children(r)
+                .iter()
+                .any(|&c| doc.name(c) == Some("OrderLine")));
         }
     }
 }
-

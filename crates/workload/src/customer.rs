@@ -22,7 +22,12 @@ pub struct CustomerParams {
 
 impl Default for CustomerParams {
     fn default() -> Self {
-        CustomerParams { customers: 100, max_orders: 3, max_lines: 4, seed: 0xc057 }
+        CustomerParams {
+            customers: 100,
+            max_orders: 3,
+            max_lines: 4,
+            seed: 0xc057,
+        }
     }
 }
 
@@ -31,7 +36,9 @@ pub fn customer_dtd() -> Dtd {
     Dtd::parse(CUSTOMER_DTD).expect("Figure 4 DTD is well-formed")
 }
 
-const FIRST: [&str; 8] = ["John", "Mary", "Wei", "Aisha", "Igor", "Zack", "Alon", "Dan"];
+const FIRST: [&str; 8] = [
+    "John", "Mary", "Wei", "Aisha", "Igor", "Zack", "Alon", "Dan",
+];
 const CITY: [(&str, &str); 6] = [
     ("Seattle", "WA"),
     ("Los Angeles", "CA"),
@@ -112,15 +119,23 @@ mod tests {
 
     #[test]
     fn conforms_to_figure4_dtd() {
-        let doc = customer_document(&CustomerParams { customers: 20, ..Default::default() });
+        let doc = customer_document(&CustomerParams {
+            customers: 20,
+            ..Default::default()
+        });
         customer_dtd().validate(&doc).unwrap();
     }
 
     #[test]
     fn scales_with_customers() {
-        let small = customer_document(&CustomerParams { customers: 5, ..Default::default() });
-        let large =
-            customer_document(&CustomerParams { customers: 50, ..Default::default() });
+        let small = customer_document(&CustomerParams {
+            customers: 5,
+            ..Default::default()
+        });
+        let large = customer_document(&CustomerParams {
+            customers: 50,
+            ..Default::default()
+        });
         assert_eq!(small.children(small.root()).len(), 5);
         assert_eq!(large.children(large.root()).len(), 50);
     }

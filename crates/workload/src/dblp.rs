@@ -84,7 +84,10 @@ pub fn dblp_document(p: &DblpParams) -> Document {
             doc.append_child(conf, pb).expect("fresh attach");
             for (tag, text) in [
                 ("title", format!("Paper {c}-{i} on {}", topic(&mut rng))),
-                ("year", rng.gen_range(p.year_range.0..=p.year_range.1).to_string()),
+                (
+                    "year",
+                    rng.gen_range(p.year_range.0..=p.year_range.1).to_string(),
+                ),
                 ("pages", format!("{}-{}", i * 12 + 1, i * 12 + 12)),
             ] {
                 let el = doc.new_element(tag);
@@ -135,14 +138,22 @@ mod tests {
 
     #[test]
     fn document_conforms_to_dtd() {
-        let p = DblpParams { conferences: 5, pubs_per_conf: 6, ..Default::default() };
+        let p = DblpParams {
+            conferences: 5,
+            pubs_per_conf: 6,
+            ..Default::default()
+        };
         let doc = dblp_document(&p);
         dblp_dtd().validate(&doc).unwrap();
     }
 
     #[test]
     fn shape_is_bushy() {
-        let p = DblpParams { conferences: 10, pubs_per_conf: 10, ..Default::default() };
+        let p = DblpParams {
+            conferences: 10,
+            pubs_per_conf: 10,
+            ..Default::default()
+        };
         let doc = dblp_document(&p);
         assert_eq!(doc.children(doc.root()).len(), 10);
         let pubs = doc
@@ -161,7 +172,10 @@ mod tests {
     fn mapping_has_four_relations() {
         let m = xmlup_shred::Mapping::from_dtd(&dblp_dtd(), "dblp").unwrap();
         let tables: Vec<&str> = m.relations.iter().map(|r| r.table.as_str()).collect();
-        assert_eq!(tables, vec!["dblp", "conference", "inproceedings", "author", "cite"]);
+        assert_eq!(
+            tables,
+            vec!["dblp", "conference", "inproceedings", "author", "cite"]
+        );
     }
 
     #[test]

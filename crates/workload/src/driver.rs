@@ -27,7 +27,10 @@ pub enum Workload {
 impl Workload {
     /// The paper's 10-operation random workload.
     pub fn random10() -> Self {
-        Workload::Random { count: RANDOM_OPS, seed: 0xab1e }
+        Workload::Random {
+            count: RANDOM_OPS,
+            seed: 0xab1e,
+        }
     }
 
     /// Label used in experiment output.
@@ -46,8 +49,10 @@ pub fn pick_targets(repo: &XmlRepository, rel: usize, workload: Workload) -> Vec
         Workload::Bulk => ids,
         Workload::Random { count, seed } => {
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut picked: Vec<i64> =
-                ids.choose_multiple(&mut rng, count.min(ids.len())).copied().collect();
+            let mut picked: Vec<i64> = ids
+                .choose_multiple(&mut rng, count.min(ids.len()))
+                .copied()
+                .collect();
             picked.sort_unstable();
             picked
         }
@@ -82,10 +87,14 @@ pub fn run_insert(repo: &mut XmlRepository, rel: usize, workload: Workload) -> R
     // Map each source to its parent tuple.
     let table = repo.mapping.relations[rel].table.clone();
     let mut created = 0;
+    // Parameterized lookup: one parse for the whole target loop.
+    let lookup = repo
+        .db
+        .prepare(&format!("SELECT parentId FROM {table} WHERE id = ?"))?;
     for id in targets {
         let parent_id = repo
             .db
-            .query(&format!("SELECT parentId FROM {table} WHERE id = {id}"))?
+            .query_prepared(&lookup, &[xmlup_rdb::Value::Int(id)])?
             .scalar()
             .and_then(xmlup_rdb::Value::as_int)
             .unwrap_or(0);

@@ -35,7 +35,12 @@ pub struct SyntheticParams {
 impl SyntheticParams {
     /// Convenience constructor with a fixed default seed.
     pub fn new(scaling_factor: usize, depth: usize, fanout: usize) -> Self {
-        SyntheticParams { scaling_factor, depth, fanout, seed: 0x5eed }
+        SyntheticParams {
+            scaling_factor,
+            depth,
+            fanout,
+            seed: 0x5eed,
+        }
     }
 
     /// Elements per subtree for the fixed shape:
@@ -178,7 +183,11 @@ mod tests {
         assert_eq!(n_elems, 70);
         // Every element has str + num data children.
         let first = doc.children(doc.root())[0];
-        let kids: Vec<_> = doc.children(first).iter().map(|&c| doc.name(c).unwrap()).collect();
+        let kids: Vec<_> = doc
+            .children(first)
+            .iter()
+            .map(|&c| doc.name(c).unwrap())
+            .collect();
         assert_eq!(&kids[..2], &["str", "num"]);
         assert_eq!(doc.string_value(doc.children(first)[0]).len(), 50);
     }
@@ -206,8 +215,14 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = fixed_document(&SyntheticParams { seed: 1, ..SyntheticParams::new(3, 2, 2) });
-        let b = fixed_document(&SyntheticParams { seed: 2, ..SyntheticParams::new(3, 2, 2) });
+        let a = fixed_document(&SyntheticParams {
+            seed: 1,
+            ..SyntheticParams::new(3, 2, 2)
+        });
+        let b = fixed_document(&SyntheticParams {
+            seed: 2,
+            ..SyntheticParams::new(3, 2, 2)
+        });
         assert!(!a.subtree_eq(a.root(), &b, b.root()));
     }
 
@@ -220,8 +235,7 @@ mod tests {
         // root=0, n1=1, …, n5=5; data children one deeper).
         for n in doc.descendants(doc.root()) {
             if let Some(name) = doc.name(n) {
-                if let Some(lvl) = name.strip_prefix('n').and_then(|s| s.parse::<usize>().ok())
-                {
+                if let Some(lvl) = name.strip_prefix('n').and_then(|s| s.parse::<usize>().ok()) {
                     assert!(lvl <= 5, "level {lvl} exceeds max depth");
                 }
             }
@@ -244,8 +258,11 @@ mod tests {
         assert_eq!(m.relations.len(), 5);
         assert_eq!(m.depth(), 5);
         let n1 = m.relation_by_element("n1").unwrap();
-        let cols: Vec<&str> =
-            m.relations[n1].columns.iter().map(|c| c.name.as_str()).collect();
+        let cols: Vec<&str> = m.relations[n1]
+            .columns
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
         assert_eq!(cols, vec!["str", "num"]);
     }
 }

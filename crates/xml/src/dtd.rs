@@ -150,7 +150,13 @@ impl Dtd {
     /// Parse the text of a DTD (an internal subset body or a standalone
     /// `.dtd` file's contents).
     pub fn parse(src: &str) -> Result<Dtd> {
-        DtdParser { src: src.as_bytes(), pos: 0, line: 1, col: 1 }.parse()
+        DtdParser {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+        .parse()
     }
 
     /// Content model for an element, if declared.
@@ -170,7 +176,11 @@ impl Dtd {
 
     /// Declared type of `element/@attr`, if any.
     pub fn attr_type(&self, element: &str, attr: &str) -> Option<&AttrType> {
-        self.attlists.get(element)?.iter().find(|d| d.name == attr).map(|d| &d.ty)
+        self.attlists
+            .get(element)?
+            .iter()
+            .find(|d| d.name == attr)
+            .map(|d| &d.ty)
     }
 
     /// Whether an element's content model is `(#PCDATA)` only.
@@ -190,7 +200,14 @@ impl Dtd {
             Some(ContentModel::Mixed(names)) => {
                 // Mixed content: every named child is optional+repeatable.
                 for n in names {
-                    merge(&mut out, n, Cardinality { optional: true, repeatable: true });
+                    merge(
+                        &mut out,
+                        n,
+                        Cardinality {
+                            optional: true,
+                            repeatable: true,
+                        },
+                    );
                 }
                 return out;
             }
@@ -209,9 +226,14 @@ impl Dtd {
             let opt = opt || p.occurs.optional() || in_choice;
             let rep = rep || p.occurs.repeatable();
             match &p.kind {
-                ParticleKind::Name(n) => {
-                    merge(out, n, Cardinality { optional: opt, repeatable: rep })
-                }
+                ParticleKind::Name(n) => merge(
+                    out,
+                    n,
+                    Cardinality {
+                        optional: opt,
+                        repeatable: rep,
+                    },
+                ),
                 ParticleKind::Seq(ps) => {
                     for c in ps {
                         collect(c, opt, rep, false, out);
@@ -267,7 +289,9 @@ impl Dtd {
         match model {
             ContentModel::Empty => {
                 if !doc.children(node).is_empty() {
-                    return Err(XmlError::Invalid(format!("<{name}> declared EMPTY has content")));
+                    return Err(XmlError::Invalid(format!(
+                        "<{name}> declared EMPTY has content"
+                    )));
                 }
             }
             ContentModel::Any => {}
@@ -433,7 +457,10 @@ struct DtdParser<'a> {
 
 impl<'a> DtdParser<'a> {
     fn here(&self) -> Pos {
-        Pos { line: self.line, col: self.col }
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn err(&self, msg: impl Into<String>) -> XmlError {
@@ -554,7 +581,11 @@ impl<'a> DtdParser<'a> {
                     let ty = self.attr_type()?;
                     self.skip_ws();
                     let default = self.attr_default()?;
-                    decls.push(AttrDecl { name: aname, ty, default });
+                    decls.push(AttrDecl {
+                        name: aname,
+                        ty,
+                        default,
+                    });
                 }
             } else if self.eat_str("<!ENTITY") || self.eat_str("<!NOTATION") {
                 // Skipped: general entities and notations are out of scope.
@@ -660,7 +691,10 @@ impl<'a> DtdParser<'a> {
         } else {
             let n = self.name()?;
             let occurs = self.occurs();
-            Ok(ContentParticle { kind: ParticleKind::Name(n), occurs })
+            Ok(ContentParticle {
+                kind: ParticleKind::Name(n),
+                occurs,
+            })
         }
     }
 
@@ -723,7 +757,9 @@ impl<'a> DtdParser<'a> {
     }
 
     fn quoted(&mut self) -> Result<String> {
-        let q = self.bump().ok_or_else(|| self.err("expected quoted value"))?;
+        let q = self
+            .bump()
+            .ok_or_else(|| self.err("expected quoted value"))?;
         if q != b'"' && q != b'\'' {
             return Err(self.err("expected quoted value"));
         }
@@ -778,7 +814,10 @@ mod tests {
         assert!(order.repeatable, "Order* gets its own relation");
         let oc = d.child_cardinalities("Order");
         let status = oc.iter().find(|(n, _)| n == "Status").unwrap().1;
-        assert!(status.optional && !status.repeatable, "Status? inlines nullable");
+        assert!(
+            status.optional && !status.repeatable,
+            "Status? inlines nullable"
+        );
     }
 
     #[test]
@@ -815,7 +854,10 @@ mod tests {
         .unwrap();
         assert_eq!(d.attr_type("lab", "ID"), Some(&AttrType::Id));
         assert!(d.attr_type("lab", "managers").unwrap().is_reference());
-        assert!(matches!(d.attr_type("lab", "kind"), Some(AttrType::Enum(_))));
+        assert!(matches!(
+            d.attr_type("lab", "kind"),
+            Some(AttrType::Enum(_))
+        ));
     }
 
     #[test]

@@ -40,10 +40,16 @@ pub enum XmlError {
 
 impl XmlError {
     pub(crate) fn parse(msg: impl Into<String>, pos: Pos) -> Self {
-        XmlError::Parse { msg: msg.into(), pos }
+        XmlError::Parse {
+            msg: msg.into(),
+            pos,
+        }
     }
     pub(crate) fn dtd(msg: impl Into<String>, pos: Pos) -> Self {
-        XmlError::DtdParse { msg: msg.into(), pos }
+        XmlError::DtdParse {
+            msg: msg.into(),
+            pos,
+        }
     }
 }
 

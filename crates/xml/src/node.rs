@@ -71,12 +71,18 @@ pub struct Attr {
 impl Attr {
     /// Convenience constructor for a plain text attribute.
     pub fn text(name: impl Into<String>, value: impl Into<String>) -> Self {
-        Attr { name: name.into(), value: AttrValue::Text(value.into()) }
+        Attr {
+            name: name.into(),
+            value: AttrValue::Text(value.into()),
+        }
     }
 
     /// Convenience constructor for a reference-list attribute.
     pub fn refs(name: impl Into<String>, ids: Vec<String>) -> Self {
-        Attr { name: name.into(), value: AttrValue::Refs(ids) }
+        Attr {
+            name: name.into(),
+            value: AttrValue::Refs(ids),
+        }
     }
 }
 
@@ -129,7 +135,10 @@ impl Document {
             parent: None,
             dead: false,
         };
-        Document { nodes: vec![root], root: NodeId(0) }
+        Document {
+            nodes: vec![root],
+            root: NodeId(0),
+        }
     }
 
     /// The root element.
@@ -215,7 +224,8 @@ impl Document {
 
     /// Attribute lookup by name.
     pub fn attr(&self, id: NodeId, name: &str) -> Option<&Attr> {
-        self.element(id).and_then(|e| e.attrs.iter().find(|a| a.name == name))
+        self.element(id)
+            .and_then(|e| e.attrs.iter().find(|a| a.name == name))
     }
 
     /// The element's `ID` attribute value, if present. Both a DTD-declared
@@ -233,7 +243,11 @@ impl Document {
 
     fn alloc(&mut self, kind: NodeKind) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { kind, parent: None, dead: false });
+        self.nodes.push(Node {
+            kind,
+            parent: None,
+            dead: false,
+        });
         id
     }
 
@@ -311,7 +325,9 @@ impl Document {
             return Err(XmlError::DanglingNode(format!("replace_root({new_root})")));
         }
         if self.node(new_root).parent.is_some() {
-            return Err(XmlError::BadUpdate(format!("{new_root} is attached; root must be detached")));
+            return Err(XmlError::BadUpdate(format!(
+                "{new_root} is attached; root must be detached"
+            )));
         }
         if !matches!(self.kind(new_root), NodeKind::Element(_)) {
             return Err(XmlError::BadUpdate("root must be an element".into()));
@@ -400,7 +416,11 @@ impl Document {
             NodeKind::Element(e) => Snapshot::Element {
                 name: e.name.clone(),
                 attrs: e.attrs.clone(),
-                children: e.children.iter().map(|&c| self.clone_structure(c)).collect(),
+                children: e
+                    .children
+                    .iter()
+                    .map(|&c| self.clone_structure(c))
+                    .collect(),
             },
         }
     }
@@ -408,14 +428,19 @@ impl Document {
     fn build_from_snapshot(&mut self, s: &Snapshot) -> NodeId {
         match s {
             Snapshot::Text(t) => self.new_text(t.clone()),
-            Snapshot::Element { name, attrs, children } => {
+            Snapshot::Element {
+                name,
+                attrs,
+                children,
+            } => {
                 let id = self.new_element(name.clone());
                 if let Some(el) = self.element_mut(id) {
                     el.attrs = attrs.clone();
                 }
                 for c in children {
                     let cid = self.build_from_snapshot(c);
-                    self.attach(id, cid, None).expect("fresh node attach cannot fail");
+                    self.attach(id, cid, None)
+                        .expect("fresh node attach cannot fail");
                 }
                 id
             }
@@ -429,7 +454,10 @@ impl Document {
     /// Depth-first, document-order iterator over live node ids starting at
     /// (and including) `start`.
     pub fn descendants(&self, start: NodeId) -> Descendants<'_> {
-        Descendants { doc: self, stack: vec![start] }
+        Descendants {
+            doc: self,
+            stack: vec![start],
+        }
     }
 
     /// All live element ids in document order.
@@ -454,7 +482,8 @@ impl Document {
 
     /// Resolve an IDREF target, using a freshly built id map.
     pub fn resolve_ref(&self, target_id: &str) -> Option<NodeId> {
-        self.descendants(self.root).find(|&n| self.id_value(n) == Some(target_id))
+        self.descendants(self.root)
+            .find(|&n| self.id_value(n) == Some(target_id))
     }
 
     /// Concatenated text content of a subtree (the XPath `string()` value).
@@ -500,7 +529,11 @@ impl Document {
                 n.parent = remap.get(&p).copied();
             }
             if let NodeKind::Element(e) = &mut n.kind {
-                e.children = e.children.iter().filter_map(|c| remap.get(c).copied()).collect();
+                e.children = e
+                    .children
+                    .iter()
+                    .filter_map(|c| remap.get(c).copied())
+                    .collect();
             }
         }
         self.root = remap[&self.root];
@@ -537,7 +570,11 @@ impl Document {
 
 enum Snapshot {
     Text(String),
-    Element { name: String, attrs: Vec<Attr>, children: Vec<Snapshot> },
+    Element {
+        name: String,
+        attrs: Vec<Attr>,
+        children: Vec<Snapshot>,
+    },
 }
 
 /// Iterator returned by [`Document::descendants`].
@@ -634,7 +671,10 @@ mod tests {
     fn id_map_and_refs() {
         let mut d = Document::new("db");
         let a = d.new_element("lab");
-        d.element_mut(a).unwrap().attrs.push(Attr::text("ID", "baselab"));
+        d.element_mut(a)
+            .unwrap()
+            .attrs
+            .push(Attr::text("ID", "baselab"));
         d.append_child(d.root(), a).unwrap();
         let map = d.id_map().unwrap();
         assert_eq!(map["baselab"], a);
@@ -656,7 +696,10 @@ mod tests {
     #[test]
     fn removing_the_root_is_rejected() {
         let mut d = Document::new("db");
-        assert!(matches!(d.remove_subtree(d.root()), Err(XmlError::BadUpdate(_))));
+        assert!(matches!(
+            d.remove_subtree(d.root()),
+            Err(XmlError::BadUpdate(_))
+        ));
         assert!(d.is_live(d.root()));
     }
 
@@ -693,4 +736,3 @@ mod tests {
         assert!(r.is_refs());
     }
 }
-

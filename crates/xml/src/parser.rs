@@ -56,7 +56,13 @@ pub fn parse(input: &str) -> Result<Parsed> {
 
 /// Parse an XML string with explicit [`ParseOptions`].
 pub fn parse_with(input: &str, opts: &ParseOptions) -> Result<Parsed> {
-    let mut p = Parser { src: input.as_bytes(), pos: 0, line: 1, col: 1, opts };
+    let mut p = Parser {
+        src: input.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        opts,
+    };
     p.parse_document()
 }
 
@@ -70,7 +76,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn here(&self) -> Pos {
-        Pos { line: self.line, col: self.col }
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn err(&self, msg: impl Into<String>) -> XmlError {
@@ -306,11 +315,20 @@ impl<'a> Parser<'a> {
                     self.expect_str("=")?;
                     self.skip_ws();
                     let raw = self.parse_attr_value()?;
-                    if doc.element(el).unwrap().attrs.iter().any(|a| a.name == aname) {
+                    if doc
+                        .element(el)
+                        .unwrap()
+                        .attrs
+                        .iter()
+                        .any(|a| a.name == aname)
+                    {
                         return Err(self.err(format!("duplicate attribute `{aname}`")));
                     }
                     let value = self.classify_attr(&name, &aname, raw, dtd);
-                    doc.element_mut(el).unwrap().attrs.push(Attr { name: aname, value });
+                    doc.element_mut(el)
+                        .unwrap()
+                        .attrs
+                        .push(Attr { name: aname, value });
                 }
             }
         }
@@ -402,8 +420,9 @@ impl<'a> Parser<'a> {
             }
             let digits = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
             self.expect_str(";")?;
-            let code: u32 =
-                digits.parse().map_err(|_| self.err("bad decimal character reference"))?;
+            let code: u32 = digits
+                .parse()
+                .map_err(|_| self.err("bad decimal character reference"))?;
             char::from_u32(code).ok_or_else(|| self.err("invalid character reference"))
         } else {
             let name = self.parse_name()?;
@@ -420,7 +439,9 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_attr_value(&mut self) -> Result<String> {
-        let q = self.bump().ok_or_else(|| self.err("expected attribute value"))?;
+        let q = self
+            .bump()
+            .ok_or_else(|| self.err("expected attribute value"))?;
         if q != b'"' && q != b'\'' {
             return Err(self.err("attribute value must be quoted"));
         }
@@ -528,8 +549,8 @@ mod tests {
 
     #[test]
     fn comments_and_pis_skipped() {
-        let p = parse("<?xml version=\"1.0\"?><!-- c --><a><!-- in --><?pi data?><b/></a>")
-            .unwrap();
+        let p =
+            parse("<?xml version=\"1.0\"?><!-- c --><a><!-- in --><?pi data?><b/></a>").unwrap();
         assert_eq!(p.doc.children(p.doc.root()).len(), 1);
     }
 
@@ -538,19 +559,28 @@ mod tests {
         let p = parse("<a>\n  <b/>\n</a>").unwrap();
         let d = &p.doc;
         assert_eq!(d.children(d.root()).len(), 1);
-        assert!(matches!(d.kind(d.children(d.root())[0]), NodeKind::Element(_)));
+        assert!(matches!(
+            d.kind(d.children(d.root())[0]),
+            NodeKind::Element(_)
+        ));
     }
 
     #[test]
     fn whitespace_kept_when_requested() {
-        let opts = ParseOptions { keep_whitespace: true, ..Default::default() };
+        let opts = ParseOptions {
+            keep_whitespace: true,
+            ..Default::default()
+        };
         let p = parse_with("<a> <b/> </a>", &opts).unwrap();
         assert_eq!(p.doc.children(p.doc.root()).len(), 3);
     }
 
     #[test]
     fn mismatched_tags_rejected() {
-        assert!(matches!(parse("<a><b></a></b>"), Err(XmlError::Parse { .. })));
+        assert!(matches!(
+            parse("<a><b></a></b>"),
+            Err(XmlError::Parse { .. })
+        ));
     }
 
     #[test]
@@ -619,7 +649,15 @@ mod tests {
         // db has: university, 2 labs, paper, 2 biologists = 6 children.
         assert_eq!(d.children(d.root()).len(), 6);
         let ids = d.id_map().unwrap();
-        for key in ["ucla", "lalab", "baselab", "lab2", "Smith991231", "smith1", "jones1"] {
+        for key in [
+            "ucla",
+            "lalab",
+            "baselab",
+            "lab2",
+            "Smith991231",
+            "smith1",
+            "jones1",
+        ] {
             assert!(ids.contains_key(key), "missing ID {key}");
         }
         // Root `lab` attribute is an IDREF to lalab.
@@ -629,4 +667,3 @@ mod tests {
         }
     }
 }
-

@@ -51,8 +51,10 @@ fn write_node(doc: &Document, id: NodeId, opts: &WriteOptions, depth: usize, out
             // Indent only pure element content: injecting whitespace around
             // text children of mixed content would change the document's
             // text on reparse.
-            let has_text =
-                e.children.iter().any(|&c| matches!(doc.kind(c), NodeKind::Text(_)));
+            let has_text = e
+                .children
+                .iter()
+                .any(|&c| matches!(doc.kind(c), NodeKind::Text(_)));
             if opts.pretty && !has_text {
                 for &c in &e.children {
                     out.push('\n');
@@ -119,7 +121,10 @@ mod tests {
         let s = to_compact_string(&p.doc);
         let p2 = parse(&s).unwrap();
         assert_eq!(p2.doc.string_value(p2.doc.root()), "x < y & z");
-        assert_eq!(p2.doc.attr(p2.doc.root(), "k").unwrap().value.to_text(), "\"&");
+        assert_eq!(
+            p2.doc.attr(p2.doc.root(), "k").unwrap().value.to_text(),
+            "\"&"
+        );
     }
 
     #[test]
@@ -141,7 +146,10 @@ mod tests {
     fn pretty_never_alters_mixed_content_text() {
         let p = parse("<a>hello<b/>world</a>").unwrap();
         let pretty = to_string(&p.doc);
-        let opts = ParseOptions { keep_whitespace: true, ..Default::default() };
+        let opts = ParseOptions {
+            keep_whitespace: true,
+            ..Default::default()
+        };
         let back = parse_with(&pretty, &opts).unwrap().doc;
         assert_eq!(back.string_value(back.root()), "helloworld");
     }

@@ -104,7 +104,9 @@ pub fn delete(doc: &mut Document, target: NodeId, child: &ObjectRef) -> Result<(
             let before = el.attrs.len();
             el.attrs.retain(|a| a.name != *name);
             if el.attrs.len() == before {
-                return Err(XmlError::BadUpdate(format!("no attribute `{name}` on {target}")));
+                return Err(XmlError::BadUpdate(format!(
+                    "no attribute `{name}` on {target}"
+                )));
             }
             Ok(())
         }
@@ -128,9 +130,9 @@ pub fn delete(doc: &mut Document, target: NodeId, child: &ObjectRef) -> Result<(
                     "ref index {index} out of bounds ({} entries)",
                     ids.len()
                 ))),
-                AttrValue::Text(_) => {
-                    Err(XmlError::BadUpdate(format!("`{attr}` is not an IDREFS attribute")))
-                }
+                AttrValue::Text(_) => Err(XmlError::BadUpdate(format!(
+                    "`{attr}` is not an IDREFS attribute"
+                ))),
             }
         }
     }
@@ -148,7 +150,10 @@ pub fn rename(doc: &mut Document, child: &ObjectRef, new_name: &str) -> Result<(
             el.name = new_name.to_string();
             Ok(())
         }
-        ObjectRef::Attr { owner, name } | ObjectRef::RefEntry { owner, attr: name, .. } => {
+        ObjectRef::Attr { owner, name }
+        | ObjectRef::RefEntry {
+            owner, attr: name, ..
+        } => {
             let el = element_mut(doc, *owner)?;
             if el.attrs.iter().any(|a| a.name == new_name) {
                 return Err(XmlError::BadUpdate(format!(
@@ -247,7 +252,9 @@ pub fn insert_relative(
     match anchor {
         ObjectRef::Node(n) => {
             if doc.parent(*n) != Some(target) {
-                return Err(XmlError::BadUpdate(format!("anchor {n} is not a child of {target}")));
+                return Err(XmlError::BadUpdate(format!(
+                    "anchor {n} is not a child of {target}"
+                )));
             }
             let idx = doc.child_index(*n).expect("anchor has parent");
             let at = match pos {
@@ -298,7 +305,9 @@ pub fn insert_relative(
                     ids.insert(at, id);
                     Ok(())
                 }
-                _ => Err(XmlError::BadUpdate(format!("bad IDREFS anchor `{attr}[{index}]`"))),
+                _ => Err(XmlError::BadUpdate(format!(
+                    "bad IDREFS anchor `{attr}[{index}]`"
+                ))),
             }
         }
         ObjectRef::Attr { .. } => Err(XmlError::BadUpdate(
@@ -324,7 +333,9 @@ pub fn replace(
     match (child, &content) {
         (ObjectRef::Node(n), Content::Text(_) | Content::Element(_)) => {
             if doc.parent(*n) != Some(target) {
-                return Err(XmlError::BadUpdate(format!("{n} is not a child of {target}")));
+                return Err(XmlError::BadUpdate(format!(
+                    "{n} is not a child of {target}"
+                )));
             }
             match model {
                 ExecModel::Ordered => {
@@ -339,7 +350,13 @@ pub fn replace(
         (ObjectRef::Node(_), _) => Err(XmlError::BadUpdate(
             "a node child can only be replaced by an element or PCDATA".into(),
         )),
-        (ObjectRef::Attr { owner, name }, Content::Attribute { name: new_name, value }) => {
+        (
+            ObjectRef::Attr { owner, name },
+            Content::Attribute {
+                name: new_name,
+                value,
+            },
+        ) => {
             require_owner(*owner, target)?;
             let el = element_mut(doc, target)?;
             if new_name != name && el.attrs.iter().any(|a| a.name == *new_name) {
@@ -376,7 +393,9 @@ pub fn replace(
                     ids[*index] = value.clone();
                     Ok(())
                 }
-                _ => Err(XmlError::BadUpdate(format!("bad IDREFS anchor `{attr}[{index}]`"))),
+                _ => Err(XmlError::BadUpdate(format!(
+                    "bad IDREFS anchor `{attr}[{index}]`"
+                ))),
             }
         }
         (ObjectRef::RefEntry { owner, attr, index }, Content::Ref { label, target: t }) => {
@@ -397,7 +416,9 @@ pub fn replace(
                     ids[*index] = t.clone();
                     Ok(())
                 }
-                _ => Err(XmlError::BadUpdate(format!("bad IDREFS anchor `{attr}[{index}]`"))),
+                _ => Err(XmlError::BadUpdate(format!(
+                    "bad IDREFS anchor `{attr}[{index}]`"
+                ))),
             }
         }
         (ObjectRef::Attr { .. }, _) => Err(XmlError::BadUpdate(
@@ -433,11 +454,15 @@ mod tests {
     use crate::samples::{BIO_REF_ATTRS, BIO_XML};
 
     fn bio() -> Document {
-        parse_with(BIO_XML, &ParseOptions::with_ref_attrs(BIO_REF_ATTRS)).unwrap().doc
+        parse_with(BIO_XML, &ParseOptions::with_ref_attrs(BIO_REF_ATTRS))
+            .unwrap()
+            .doc
     }
 
     fn find(doc: &Document, name: &str) -> NodeId {
-        doc.descendants(doc.root()).find(|&n| doc.name(n) == Some(name)).unwrap()
+        doc.descendants(doc.root())
+            .find(|&n| doc.name(n) == Some(name))
+            .unwrap()
     }
 
     fn by_id(doc: &Document, id: &str) -> NodeId {
@@ -451,17 +476,31 @@ mod tests {
         let mut d = bio();
         let paper = find(&d, "paper");
         let title = d.children(paper)[0];
-        delete(&mut d, paper, &ObjectRef::Attr { owner: paper, name: "category".into() })
-            .unwrap();
         delete(
             &mut d,
             paper,
-            &ObjectRef::RefEntry { owner: paper, attr: "biologist".into(), index: 0 },
+            &ObjectRef::Attr {
+                owner: paper,
+                name: "category".into(),
+            },
+        )
+        .unwrap();
+        delete(
+            &mut d,
+            paper,
+            &ObjectRef::RefEntry {
+                owner: paper,
+                attr: "biologist".into(),
+                index: 0,
+            },
         )
         .unwrap();
         delete(&mut d, paper, &ObjectRef::Node(title)).unwrap();
         assert!(d.attr(paper, "category").is_none());
-        assert!(d.attr(paper, "biologist").is_none(), "singleton list removed entirely");
+        assert!(
+            d.attr(paper, "biologist").is_none(),
+            "singleton list removed entirely"
+        );
         assert!(d.children(paper).is_empty());
         // source ref untouched.
         assert!(d.attr(paper, "source").is_some());
@@ -475,21 +514,30 @@ mod tests {
         insert(
             &mut d,
             bio_el,
-            Content::Attribute { name: "age".into(), value: "29".into() },
+            Content::Attribute {
+                name: "age".into(),
+                value: "29".into(),
+            },
             ExecModel::Ordered,
         )
         .unwrap();
         insert(
             &mut d,
             bio_el,
-            Content::Ref { label: "worksAt".into(), target: "ucla".into() },
+            Content::Ref {
+                label: "worksAt".into(),
+                target: "ucla".into(),
+            },
             ExecModel::Ordered,
         )
         .unwrap();
         insert(
             &mut d,
             bio_el,
-            Content::Ref { label: "worksAt".into(), target: "baselab".into() },
+            Content::Ref {
+                label: "worksAt".into(),
+                target: "baselab".into(),
+            },
             ExecModel::Ordered,
         )
         .unwrap();
@@ -517,7 +565,11 @@ mod tests {
         insert_relative(
             &mut d,
             lab,
-            &ObjectRef::RefEntry { owner: lab, attr: "managers".into(), index: 0 },
+            &ObjectRef::RefEntry {
+                owner: lab,
+                attr: "managers".into(),
+                index: 0,
+            },
             Content::Text("jones1".into()),
             Position::Before,
             ExecModel::Ordered,
@@ -555,15 +607,28 @@ mod tests {
         let app = d.new_element("appellation");
         let t = d.new_text("Fancy Lab");
         d.append_child(app, t).unwrap();
-        replace(&mut d, lab, &ObjectRef::Node(name), Content::Element(app), ExecModel::Ordered)
-            .unwrap();
+        replace(
+            &mut d,
+            lab,
+            &ObjectRef::Node(name),
+            Content::Element(app),
+            ExecModel::Ordered,
+        )
+        .unwrap();
         assert_eq!(d.name(d.children(lab)[0]), Some("appellation"));
         assert!(!d.is_live(name));
         replace(
             &mut d,
             lab,
-            &ObjectRef::RefEntry { owner: lab, attr: "managers".into(), index: 0 },
-            Content::Attribute { name: "managers".into(), value: "jones1".into() },
+            &ObjectRef::RefEntry {
+                owner: lab,
+                attr: "managers".into(),
+                index: 0,
+            },
+            Content::Attribute {
+                name: "managers".into(),
+                value: "jones1".into(),
+            },
             ExecModel::Ordered,
         )
         .unwrap();
@@ -580,7 +645,10 @@ mod tests {
         let err = insert(
             &mut d,
             lab,
-            Content::Attribute { name: "ID".into(), value: "x".into() },
+            Content::Attribute {
+                name: "ID".into(),
+                value: "x".into(),
+            },
             ExecModel::Ordered,
         )
         .unwrap_err();
@@ -594,7 +662,11 @@ mod tests {
         delete(
             &mut d,
             lab,
-            &ObjectRef::RefEntry { owner: lab, attr: "managers".into(), index: 0 },
+            &ObjectRef::RefEntry {
+                owner: lab,
+                attr: "managers".into(),
+                index: 0,
+            },
         )
         .unwrap();
         match &d.attr(lab, "managers").unwrap().value {
@@ -609,13 +681,25 @@ mod tests {
         let lab = by_id(&d, "lab2");
         rename(&mut d, &ObjectRef::Node(lab), "laboratory").unwrap();
         assert_eq!(d.name(lab), Some("laboratory"));
-        rename(&mut d, &ObjectRef::Attr { owner: lab, name: "ID".into() }, "ident").unwrap();
+        rename(
+            &mut d,
+            &ObjectRef::Attr {
+                owner: lab,
+                name: "ID".into(),
+            },
+            "ident",
+        )
+        .unwrap();
         assert!(d.attr(lab, "ident").is_some());
         // Renaming a ref entry renames the whole IDREFS.
         let base = by_id(&d, "baselab");
         rename(
             &mut d,
-            &ObjectRef::RefEntry { owner: base, attr: "managers".into(), index: 0 },
+            &ObjectRef::RefEntry {
+                owner: base,
+                attr: "managers".into(),
+                index: 0,
+            },
             "supervisors",
         )
         .unwrap();
@@ -663,8 +747,15 @@ mod tests {
         let err = replace(
             &mut d,
             lab,
-            &ObjectRef::RefEntry { owner: lab, attr: "managers".into(), index: 0 },
-            Content::Ref { label: "owners".into(), target: "jones1".into() },
+            &ObjectRef::RefEntry {
+                owner: lab,
+                attr: "managers".into(),
+                index: 0,
+            },
+            Content::Ref {
+                label: "owners".into(),
+                target: "jones1".into(),
+            },
             ExecModel::Ordered,
         )
         .unwrap_err();
@@ -677,8 +768,14 @@ mod tests {
         let lab = by_id(&d, "lab2"); // children: name, city, country
         let name = d.children(lab)[0];
         let repl = d.new_element("newname");
-        replace(&mut d, lab, &ObjectRef::Node(name), Content::Element(repl), ExecModel::Unordered)
-            .unwrap();
+        replace(
+            &mut d,
+            lab,
+            &ObjectRef::Node(name),
+            Content::Element(repl),
+            ExecModel::Unordered,
+        )
+        .unwrap();
         let kids = d.children(lab);
         assert_eq!(kids.len(), 3);
         assert_eq!(d.name(kids[kids.len() - 1]), Some("newname"));

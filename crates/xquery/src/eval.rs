@@ -70,12 +70,19 @@ pub struct Store {
 impl Store {
     /// Empty store with the ordered execution model.
     pub fn new() -> Self {
-        Store { docs: Vec::new(), parse_opts: ParseOptions::default(), model: ExecModel::Ordered }
+        Store {
+            docs: Vec::new(),
+            parse_opts: ParseOptions::default(),
+            model: ExecModel::Ordered,
+        }
     }
 
     /// Store with an explicit execution model.
     pub fn with_model(model: ExecModel) -> Self {
-        Store { model, ..Store::new() }
+        Store {
+            model,
+            ..Store::new()
+        }
     }
 
     /// Add (or replace) a named document; returns its index.
@@ -102,7 +109,10 @@ impl Store {
 
     /// Mutable access to a document by name.
     pub fn document_mut(&mut self, name: &str) -> Option<&mut Document> {
-        self.docs.iter_mut().find(|(n, _)| n == name).map(|(_, d)| d)
+        self.docs
+            .iter_mut()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| d)
     }
 
     /// A document by index.
@@ -188,7 +198,10 @@ impl Store {
                         skipped += 1;
                     }
                 }
-                Ok(Outcome::Updated { ops_applied: applied, ops_skipped: skipped })
+                Ok(Outcome::Updated {
+                    ops_applied: applied,
+                    ops_skipped: skipped,
+                })
             }
         }
     }
@@ -212,7 +225,8 @@ impl Store {
         // `FOR $d := document(...)/db, $b IN $d/biologist`).
         let for_vars: Vec<&str> = fors.iter().map(|f| f.var.as_str()).collect();
         for l in lets {
-            let depends = matches!(&l.path.start, PathStart::Var(v) if for_vars.contains(&v.as_str()));
+            let depends =
+                matches!(&l.path.start, PathStart::Var(v) if for_vars.contains(&v.as_str()));
             if !depends {
                 let set = self.eval_path(&l.path, env, None)?;
                 env.push((l.var.clone(), BindingValue::Seq(set)));
@@ -286,12 +300,7 @@ impl Store {
     // path evaluation
     // ------------------------------------------------------------------
 
-    fn eval_path(
-        &self,
-        path: &PathExpr,
-        env: &Env,
-        ctx: Option<&Target>,
-    ) -> Result<Vec<Target>> {
+    fn eval_path(&self, path: &PathExpr, env: &Env, ctx: Option<&Target>) -> Result<Vec<Target>> {
         let mut steps = path.steps.as_slice();
         let mut set: Vec<Target> = match &path.start {
             PathStart::Document(name) => {
@@ -299,7 +308,10 @@ impl Store {
                     QueryError::Eval(format!("document(\"{name}\") is not in the store"))
                 })?;
                 let doc = &self.docs[di].1;
-                let root = Target { doc: di, obj: ObjectRef::Node(doc.root()) };
+                let root = Target {
+                    doc: di,
+                    obj: ObjectRef::Node(doc.root()),
+                };
                 // `document()` denotes the document node: a leading child
                 // step selects the root element itself, and a leading `//`
                 // includes the root in the descendant traversal.
@@ -318,7 +330,10 @@ impl Store {
                         for d in doc.descendants(doc.root()) {
                             if let Some(dn) = doc.name(d) {
                                 if name == "*" || dn == name {
-                                    out.push(Target { doc: di, obj: ObjectRef::Node(d) });
+                                    out.push(Target {
+                                        doc: di,
+                                        obj: ObjectRef::Node(d),
+                                    });
                                 }
                             }
                         }
@@ -380,7 +395,10 @@ impl Store {
                         for &c in doc.children(*n) {
                             if let Some(cn) = doc.name(c) {
                                 if name == "*" || cn == name {
-                                    out.push(Target { doc: t.doc, obj: ObjectRef::Node(c) });
+                                    out.push(Target {
+                                        doc: t.doc,
+                                        obj: ObjectRef::Node(c),
+                                    });
                                 }
                             }
                         }
@@ -394,7 +412,10 @@ impl Store {
                         for d in doc.descendants(*n).skip(1) {
                             if let Some(dn) = doc.name(d) {
                                 if name == "*" || dn == name {
-                                    out.push(Target { doc: t.doc, obj: ObjectRef::Node(d) });
+                                    out.push(Target {
+                                        doc: t.doc,
+                                        obj: ObjectRef::Node(d),
+                                    });
                                 }
                             }
                         }
@@ -408,7 +429,10 @@ impl Store {
                         if doc.attr(*n, name).is_some() {
                             out.push(Target {
                                 doc: t.doc,
-                                obj: ObjectRef::Attr { owner: *n, name: name.clone() },
+                                obj: ObjectRef::Attr {
+                                    owner: *n,
+                                    name: name.clone(),
+                                },
                             });
                         }
                     }
@@ -469,7 +493,10 @@ impl Store {
                     };
                     for id in ids {
                         if let Some(n) = doc.resolve_ref(&id) {
-                            out.push(Target { doc: t.doc, obj: ObjectRef::Node(n) });
+                            out.push(Target {
+                                doc: t.doc,
+                                obj: ObjectRef::Node(n),
+                            });
                         }
                     }
                 }
@@ -579,9 +606,10 @@ impl Store {
         let doc = &self.docs[t.doc].1;
         match &t.obj {
             ObjectRef::Node(n) => doc.string_value(*n),
-            ObjectRef::Attr { owner, name } => {
-                doc.attr(*owner, name).map(|a| a.value.to_text()).unwrap_or_default()
-            }
+            ObjectRef::Attr { owner, name } => doc
+                .attr(*owner, name)
+                .map(|a| a.value.to_text())
+                .unwrap_or_default(),
             ObjectRef::RefEntry { owner, attr, index } => {
                 match doc.attr(*owner, attr).map(|a| &a.value) {
                     Some(AttrValue::Refs(ids)) => ids.get(*index).cloned().unwrap_or_default(),
@@ -595,12 +623,7 @@ impl Store {
     // update planning & execution
     // ------------------------------------------------------------------
 
-    fn plan_update_op(
-        &self,
-        op: &UpdateOp,
-        env: &Env,
-        plan: &mut Vec<PlannedOp>,
-    ) -> Result<()> {
+    fn plan_update_op(&self, op: &UpdateOp, env: &Env, plan: &mut Vec<PlannedOp>) -> Result<()> {
         let target = self.lookup_one(env, &op.target)?;
         let target_node = match &target.obj {
             ObjectRef::Node(n) => *n,
@@ -663,12 +686,8 @@ impl Store {
                     // Snapshot semantics: nested bindings expand now, over
                     // the pristine input.
                     let mut inner_env = env.clone();
-                    let tuples = self.expand(
-                        &nested.fors,
-                        &[],
-                        nested.filter.as_ref(),
-                        &mut inner_env,
-                    )?;
+                    let tuples =
+                        self.expand(&nested.fors, &[], nested.filter.as_ref(), &mut inner_env)?;
                     for tuple in &tuples {
                         for inner_op in &nested.updates {
                             self.plan_update_op(inner_op, tuple, plan)?;
@@ -692,12 +711,14 @@ impl Store {
     fn plan_content(&self, c: &ContentExpr, env: &Env) -> Result<PlannedContent> {
         Ok(match c {
             ContentExpr::Element(xml) => PlannedContent::Xml(xml.clone()),
-            ContentExpr::NewAttribute { name, value } => {
-                PlannedContent::Attribute { name: name.clone(), value: value.clone() }
-            }
-            ContentExpr::NewRef { label, target } => {
-                PlannedContent::Ref { label: label.clone(), target: target.clone() }
-            }
+            ContentExpr::NewAttribute { name, value } => PlannedContent::Attribute {
+                name: name.clone(),
+                value: value.clone(),
+            },
+            ContentExpr::NewRef { label, target } => PlannedContent::Ref {
+                label: label.clone(),
+                target: target.clone(),
+            },
             ContentExpr::Text(s) => PlannedContent::Text(s.clone()),
             ContentExpr::Var(v) => PlannedContent::CopyOf(self.lookup_one(env, v)?),
         })
@@ -721,7 +742,12 @@ impl Store {
                 update::rename(&mut self.docs[doc].1, &child, &to)?;
                 Ok(true)
             }
-            PlannedOp::Insert { doc, target, content, anchor } => {
+            PlannedOp::Insert {
+                doc,
+                target,
+                content,
+                anchor,
+            } => {
                 if !self.live(doc, target) {
                     return Ok(false);
                 }
@@ -736,9 +762,7 @@ impl Store {
                 };
                 for content in contents {
                     match &anchor {
-                        None => {
-                            update::insert(&mut self.docs[doc].1, target, content, self.model)?
-                        }
+                        None => update::insert(&mut self.docs[doc].1, target, content, self.model)?,
                         Some((pos, a)) => {
                             let position = match pos {
                                 InsertPosition::Before => Position::Before,
@@ -757,7 +781,12 @@ impl Store {
                 }
                 Ok(true)
             }
-            PlannedOp::Replace { doc, target, child, content } => {
+            PlannedOp::Replace {
+                doc,
+                target,
+                child,
+                content,
+            } => {
                 if !self.live(doc, target) || !self.obj_live(doc, &child) {
                     return Ok(false);
                 }
@@ -861,7 +890,10 @@ impl Store {
                         })?;
                         match &a.value {
                             AttrValue::Text(v) => {
-                                vec![Content::Attribute { name: name.clone(), value: v.clone() }]
+                                vec![Content::Attribute {
+                                    name: name.clone(),
+                                    value: v.clone(),
+                                }]
                             }
                             // Copying an IDREFS attribute carries EVERY
                             // entry, in order.
@@ -882,7 +914,10 @@ impl Store {
                             }
                             _ => String::new(),
                         };
-                        vec![Content::Ref { label: attr.clone(), target: id }]
+                        vec![Content::Ref {
+                            label: attr.clone(),
+                            target: id,
+                        }]
                     }
                 }
             }
@@ -897,11 +932,7 @@ impl Default for Store {
 }
 
 /// Split-borrow two distinct documents from the store.
-fn two_docs(
-    docs: &mut [(String, Document)],
-    src: usize,
-    dst: usize,
-) -> (&Document, &mut Document) {
+fn two_docs(docs: &mut [(String, Document)], src: usize, dst: usize) -> (&Document, &mut Document) {
     assert_ne!(src, dst);
     if src < dst {
         let (a, b) = docs.split_at_mut(dst);
@@ -915,15 +946,28 @@ fn two_docs(
 /// Planned primitive operation (phase-1 output).
 #[derive(Debug)]
 enum PlannedOp {
-    Delete { doc: usize, target: NodeId, child: ObjectRef },
-    Rename { doc: usize, child: ObjectRef, to: String },
+    Delete {
+        doc: usize,
+        target: NodeId,
+        child: ObjectRef,
+    },
+    Rename {
+        doc: usize,
+        child: ObjectRef,
+        to: String,
+    },
     Insert {
         doc: usize,
         target: NodeId,
         content: PlannedContent,
         anchor: Option<(InsertPosition, ObjectRef)>,
     },
-    Replace { doc: usize, target: NodeId, child: ObjectRef, content: PlannedContent },
+    Replace {
+        doc: usize,
+        target: NodeId,
+        child: ObjectRef,
+        content: PlannedContent,
+    },
 }
 
 #[derive(Debug)]

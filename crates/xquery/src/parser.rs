@@ -11,7 +11,10 @@ use crate::error::{QueryError, Result};
 
 /// Parse one statement.
 pub fn parse_statement(src: &str) -> Result<Statement> {
-    let mut p = P { b: src.as_bytes(), i: 0 };
+    let mut p = P {
+        b: src.as_bytes(),
+        i: 0,
+    };
     let stmt = p.statement()?;
     p.ws();
     if p.i != p.b.len() {
@@ -205,7 +208,11 @@ impl<'a> P<'a> {
                 self.expect(",")?;
             }
         }
-        let filter = if self.eat_kw("WHERE") { Some(self.where_list()?) } else { None };
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.where_list()?)
+        } else {
+            None
+        };
         let action = if self.eat_kw("RETURN") {
             Action::Return(self.uexpr()?)
         } else {
@@ -225,7 +232,12 @@ impl<'a> P<'a> {
             }
             Action::Update(ops)
         };
-        Ok(Statement { fors, lets, filter, action })
+        Ok(Statement {
+            fors,
+            lets,
+            filter,
+            action,
+        })
     }
 
     /// Parse `$v IN path` / `$v := path` items separated by commas; LET-style
@@ -335,7 +347,11 @@ impl<'a> P<'a> {
             if !lets.is_empty() {
                 return Err(self.err("LET bindings are not allowed in nested updates"));
             }
-            let filter = if self.eat_kw("WHERE") { Some(self.where_list()?) } else { None };
+            let filter = if self.eat_kw("WHERE") {
+                Some(self.where_list()?)
+            } else {
+                None
+            };
             let mut updates = vec![self.update_op()?];
             loop {
                 self.ws();
@@ -347,7 +363,11 @@ impl<'a> P<'a> {
                     break;
                 }
             }
-            Ok(SubOp::Nested(Box::new(NestedUpdate { fors, filter, updates })))
+            Ok(SubOp::Nested(Box::new(NestedUpdate {
+                fors,
+                filter,
+                updates,
+            })))
         } else {
             Err(self.err("expected DELETE, RENAME, INSERT, REPLACE, or FOR"))
         }
@@ -631,7 +651,11 @@ impl<'a> P<'a> {
             None => Ok(left),
             Some(op) => {
                 let right = self.operand()?;
-                Ok(UExpr::Cmp { left: Box::new(left), op, right: Box::new(right) })
+                Ok(UExpr::Cmp {
+                    left: Box::new(left),
+                    op,
+                    right: Box::new(right),
+                })
             }
         }
     }
@@ -665,7 +689,10 @@ impl<'a> P<'a> {
                 }
                 let mut steps = Vec::new();
                 self.steps_into(&mut steps)?;
-                Ok(UExpr::Path(PathExpr { start: PathStart::Var(var), steps }))
+                Ok(UExpr::Path(PathExpr {
+                    start: PathStart::Var(var),
+                    steps,
+                }))
             }
             _ => Ok(UExpr::Path(self.path()?)),
         }
@@ -691,10 +718,16 @@ mod tests {
         )
         .unwrap();
         assert_eq!(s.fors.len(), 4);
-        assert_eq!(s.fors[1].path.steps, vec![Step::Attribute("category".into())]);
+        assert_eq!(
+            s.fors[1].path.steps,
+            vec![Step::Attribute("category".into())]
+        );
         assert_eq!(
             s.fors[2].path.steps,
-            vec![Step::Ref { label: "biologist".into(), target: "smith1".into() }]
+            vec![Step::Ref {
+                label: "biologist".into(),
+                target: "smith1".into()
+            }]
         );
         match &s.action {
             Action::Update(ops) => {
@@ -720,7 +753,10 @@ mod tests {
         .unwrap();
         assert_eq!(s.fors.len(), 1);
         // Path carries a predicate step.
-        assert!(matches!(s.fors[0].path.steps.last(), Some(Step::Predicate(_))));
+        assert!(matches!(
+            s.fors[0].path.steps.last(),
+            Some(Step::Predicate(_))
+        ));
         match &s.action {
             Action::Update(ops) => {
                 assert_eq!(ops[0].ops.len(), 4);
@@ -785,7 +821,10 @@ mod tests {
         }
         assert_eq!(
             s.fors[2].path.steps,
-            vec![Step::Ref { label: "managers".into(), target: "*".into() }]
+            vec![Step::Ref {
+                label: "managers".into(),
+                target: "*".into()
+            }]
         );
     }
 
@@ -808,10 +847,7 @@ mod tests {
                }"#,
         )
         .unwrap();
-        assert!(matches!(
-            s.filter,
-            Some(UExpr::Cmp { op: CmpOp::Eq, .. })
-        ));
+        assert!(matches!(s.filter, Some(UExpr::Cmp { op: CmpOp::Eq, .. })));
         match &s.action {
             Action::Update(ops) => {
                 assert_eq!(ops[0].ops.len(), 3);
@@ -843,7 +879,10 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(s.fors[0].path.steps[0], Step::Descendant(_)));
-        assert!(matches!(s.fors[0].path.steps[1], Step::Predicate(UExpr::And(_, _))));
+        assert!(matches!(
+            s.fors[0].path.steps[1],
+            Step::Predicate(UExpr::And(_, _))
+        ));
     }
 
     #[test]
@@ -952,7 +991,10 @@ mod tests {
         .unwrap();
         match &s.action {
             Action::Update(ops) => match &ops[0].ops[0] {
-                SubOp::Insert { content: ContentExpr::Element(x), .. } => {
+                SubOp::Insert {
+                    content: ContentExpr::Element(x),
+                    ..
+                } => {
                     assert_eq!(x, r#"<lab ID="x"><name>N</name><city>C</city></lab>"#);
                 }
                 other => panic!("{other:?}"),

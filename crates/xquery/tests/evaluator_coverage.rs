@@ -31,23 +31,25 @@ fn let_binds_whole_sequence() {
 #[test]
 fn wildcard_child_step() {
     let mut s = store_with("<db><a>1</a><b>2</b><c>3</c></db>");
-    let out = s.execute_str(r#"FOR $x IN document("d")/db/* RETURN $x"#).unwrap();
+    let out = s
+        .execute_str(r#"FOR $x IN document("d")/db/* RETURN $x"#)
+        .unwrap();
     assert_eq!(bindings(out).len(), 3);
 }
 
 #[test]
 fn descendant_wildcard() {
     let mut s = store_with("<db><a><b><c/></b></a></db>");
-    let out = s.execute_str(r#"FOR $x IN document("d")//* RETURN $x"#).unwrap();
+    let out = s
+        .execute_str(r#"FOR $x IN document("d")//* RETURN $x"#)
+        .unwrap();
     // db, a, b, c — document() + `//*` includes the root element.
     assert_eq!(bindings(out).len(), 4);
 }
 
 #[test]
 fn predicate_with_not_and_or() {
-    let mut s = store_with(
-        "<db><p><k>red</k></p><p><k>blue</k></p><p><k>green</k></p></db>",
-    );
+    let mut s = store_with("<db><p><k>red</k></p><p><k>blue</k></p><p><k>green</k></p></db>");
     let out = s
         .execute_str(r#"FOR $p IN document("d")/db/p[k="red" or k="blue"] RETURN $p"#)
         .unwrap();
@@ -61,7 +63,9 @@ fn predicate_with_not_and_or() {
 #[test]
 fn existence_predicate() {
     let mut s = store_with("<db><p><opt/></p><p/></db>");
-    let out = s.execute_str(r#"FOR $p IN document("d")/db/p[opt] RETURN $p"#).unwrap();
+    let out = s
+        .execute_str(r#"FOR $p IN document("d")/db/p[opt] RETURN $p"#)
+        .unwrap();
     assert_eq!(bindings(out).len(), 1);
 }
 
@@ -98,7 +102,9 @@ fn unbound_variable_is_an_error() {
 #[test]
 fn missing_document_is_an_error() {
     let mut s = store_with("<db/>");
-    let err = s.execute_str(r#"FOR $x IN document("nope")/db RETURN $x"#).unwrap_err();
+    let err = s
+        .execute_str(r#"FOR $x IN document("nope")/db RETURN $x"#)
+        .unwrap_err();
     assert!(matches!(err, QueryError::Eval(_)));
 }
 
@@ -114,18 +120,39 @@ fn update_target_must_be_element() {
 #[test]
 fn multiple_documents_independent() {
     let mut s = Store::new();
-    s.add_document("a", parse_with("<r><x/></r>", &ParseOptions::default()).unwrap().doc);
-    s.add_document("b", parse_with("<r><x/><x/></r>", &ParseOptions::default()).unwrap().doc);
-    let out = s.execute_str(r#"FOR $x IN document("a")/r/x RETURN $x"#).unwrap();
+    s.add_document(
+        "a",
+        parse_with("<r><x/></r>", &ParseOptions::default())
+            .unwrap()
+            .doc,
+    );
+    s.add_document(
+        "b",
+        parse_with("<r><x/><x/></r>", &ParseOptions::default())
+            .unwrap()
+            .doc,
+    );
+    let out = s
+        .execute_str(r#"FOR $x IN document("a")/r/x RETURN $x"#)
+        .unwrap();
     assert_eq!(bindings(out).len(), 1);
-    let out = s.execute_str(r#"FOR $x IN document("b")/r/x RETURN $x"#).unwrap();
+    let out = s
+        .execute_str(r#"FOR $x IN document("b")/r/x RETURN $x"#)
+        .unwrap();
     assert_eq!(bindings(out).len(), 2);
     // Updating one leaves the other alone.
     s.execute_str(r#"FOR $r IN document("a")/r, $x IN $r/x UPDATE $r { DELETE $x }"#)
         .unwrap();
-    assert!(s.document("a").unwrap().children(s.document("a").unwrap().root()).is_empty());
+    assert!(s
+        .document("a")
+        .unwrap()
+        .children(s.document("a").unwrap().root())
+        .is_empty());
     assert_eq!(
-        s.document("b").unwrap().children(s.document("b").unwrap().root()).len(),
+        s.document("b")
+            .unwrap()
+            .children(s.document("b").unwrap().root())
+            .len(),
         2
     );
 }
@@ -134,7 +161,9 @@ fn multiple_documents_independent() {
 fn add_document_replaces_existing() {
     let mut s = store_with("<old/>");
     s.add_document("d", Document::new("new"));
-    let out = s.execute_str(r#"FOR $x IN document("d")/new RETURN $x"#).unwrap();
+    let out = s
+        .execute_str(r#"FOR $x IN document("d")/new RETURN $x"#)
+        .unwrap();
     assert_eq!(bindings(out).len(), 1);
 }
 
@@ -161,7 +190,10 @@ fn multiple_updates_per_tuple_run_in_sequence() {
         )
         .unwrap();
     match out {
-        Outcome::Updated { ops_applied, ops_skipped } => {
+        Outcome::Updated {
+            ops_applied,
+            ops_skipped,
+        } => {
             assert_eq!(ops_applied, 3);
             assert_eq!(ops_skipped, 0);
         }
@@ -201,7 +233,11 @@ fn where_conjunction_with_commas() {
                RETURN $p"#,
         )
         .unwrap();
-    assert_eq!(bindings(out).len(), 1, "comma-separated WHERE predicates conjoin");
+    assert_eq!(
+        bindings(out).len(),
+        1,
+        "comma-separated WHERE predicates conjoin"
+    );
 }
 
 #[test]
@@ -269,8 +305,9 @@ fn stale_ref_entry_skipped_after_list_shrinks() {
     use xmlup_xml::node::AttrValue;
     use xmlup_xml::{parse_with, ParseOptions};
     let opts = ParseOptions::with_ref_attrs(["managers"]);
-    let doc =
-        parse_with(r#"<db><lab ID="a" managers="m1 m2"/></db>"#, &opts).unwrap().doc;
+    let doc = parse_with(r#"<db><lab ID="a" managers="m1 m2"/></db>"#, &opts)
+        .unwrap()
+        .doc;
     let mut s = Store::new();
     s.parse_opts = opts;
     s.add_document("d", doc);
@@ -285,9 +322,15 @@ fn stale_ref_entry_skipped_after_list_shrinks() {
         )
         .unwrap();
     match out {
-        Outcome::Updated { ops_applied, ops_skipped } => {
+        Outcome::Updated {
+            ops_applied,
+            ops_skipped,
+        } => {
             assert_eq!(ops_applied, 1);
-            assert_eq!(ops_skipped, 1, "stale index must be skipped, not misapplied");
+            assert_eq!(
+                ops_skipped, 1,
+                "stale index must be skipped, not misapplied"
+            );
         }
         other => panic!("{other:?}"),
     }

@@ -109,7 +109,11 @@ fn example3_positional_insertion() {
         AttrValue::Refs(ids) => assert_eq!(ids, &["jones1", "smith1"]),
         other => panic!("{other:?}"),
     }
-    let names: Vec<_> = doc.children(lab).iter().map(|&c| doc.name(c).unwrap()).collect();
+    let names: Vec<_> = doc
+        .children(lab)
+        .iter()
+        .map(|&c| doc.name(c).unwrap())
+        .collect();
     assert_eq!(names, vec!["name", "street", "location"]);
 }
 
@@ -171,7 +175,10 @@ fn example5_multilevel_nested_update_matches_figure3() {
     let labs: Vec<_> = doc.children(ucla).to_vec();
     assert_eq!(labs.len(), 2);
     assert_eq!(doc.id_value(labs[0]), Some("newlab"));
-    assert_eq!(doc.string_value(doc.children(labs[0])[0]), "UCLA Secondary Lab");
+    assert_eq!(
+        doc.string_value(doc.children(labs[0])[0]),
+        "UCLA Secondary Lab"
+    );
     // The original lalab: renamed name, city deleted. Note the nested FOR
     // bound over the *input*, so only lalab (not newlab) was rewritten.
     let lalab = labs[1];
@@ -294,7 +301,11 @@ fn example10_copy_californians_across_documents() {
     let src = store.document("custdb.xml").unwrap();
     let dst = store.document("CA-customers.xml").unwrap();
     assert_eq!(dst.children(dst.root()).len(), 2);
-    assert_eq!(src.children(src.root()).len(), 3, "copy semantics: source intact");
+    assert_eq!(
+        src.children(src.root()).len(),
+        3,
+        "copy semantics: source intact"
+    );
     // Copies are structurally identical to the originals.
     let mary_src = src
         .children(src.root())
@@ -326,7 +337,10 @@ fn deleted_binding_is_skipped_later_in_sequence() {
         )
         .unwrap();
     match out {
-        Outcome::Updated { ops_applied, ops_skipped } => {
+        Outcome::Updated {
+            ops_applied,
+            ops_skipped,
+        } => {
             assert_eq!(ops_applied, 1);
             assert_eq!(ops_skipped, 1);
         }
@@ -379,9 +393,7 @@ fn where_filters_by_string_value() {
 fn numeric_comparison_in_predicate() {
     let mut store = cust_store();
     let out = store
-        .execute_str(
-            r#"FOR $l IN document("custdb.xml")//OrderLine[Qty >= 2] RETURN $l"#,
-        )
+        .execute_str(r#"FOR $l IN document("custdb.xml")//OrderLine[Qty >= 2] RETURN $l"#)
         .unwrap();
     match out {
         Outcome::Bindings(b) => assert_eq!(b.len(), 3, "qty 4, 2, 2"),

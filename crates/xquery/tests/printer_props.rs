@@ -5,8 +5,8 @@
 
 use proptest::prelude::*;
 use xmlup_xquery::{
-    parse_statement, print_statement, Action, CmpOp, ContentExpr, ForBinding, InsertPosition,
-    Lit, NestedUpdate, PathExpr, PathStart, Statement, Step, SubOp, UExpr, UpdateOp,
+    parse_statement, print_statement, Action, CmpOp, ContentExpr, ForBinding, InsertPosition, Lit,
+    NestedUpdate, PathExpr, PathStart, Statement, Step, SubOp, UExpr, UpdateOp,
 };
 
 fn name() -> impl Strategy<Value = String> {
@@ -14,15 +14,28 @@ fn name() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9]{0,5}".prop_filter("not a keyword", |s| {
         !matches!(
             s.as_str(),
-            "for" | "let" | "where" | "update" | "return" | "in" | "delete" | "rename"
-                | "insert" | "replace" | "with" | "to" | "before" | "after" | "and" | "or"
-                | "not" | "ref" | "index" | "document"
+            "for"
+                | "let"
+                | "where"
+                | "update"
+                | "return"
+                | "in"
+                | "delete"
+                | "rename"
+                | "insert"
+                | "replace"
+                | "with"
+                | "to"
+                | "before"
+                | "after"
+                | "and"
+                | "or"
+                | "not"
+                | "ref"
+                | "index"
+                | "document"
         )
     })
-}
-
-fn var() -> impl Strategy<Value = String> {
-    name()
 }
 
 fn lit() -> impl Strategy<Value = Lit> {
@@ -45,8 +58,10 @@ fn step(vars: Vec<String>) -> impl Strategy<Value = Step> {
 }
 
 fn rel_path() -> impl Strategy<Value = PathExpr> {
-    prop::collection::vec(name().prop_map(Step::Child), 1..3)
-        .prop_map(|steps| PathExpr { start: PathStart::Relative, steps })
+    prop::collection::vec(name().prop_map(Step::Child), 1..3).prop_map(|steps| PathExpr {
+        start: PathStart::Relative,
+        steps,
+    })
 }
 
 fn path(vars: Vec<String>) -> impl Strategy<Value = PathExpr> {
@@ -90,11 +105,14 @@ fn path(vars: Vec<String>) -> impl Strategy<Value = PathExpr> {
                 }
             }
         }
-        PathExpr { start, steps: fixed }
+        PathExpr {
+            start,
+            steps: fixed,
+        }
     })
 }
 
-fn uexpr(vars: Vec<String>, depth: u32) -> BoxedStrategy<UExpr> {
+fn uexpr(_vars: Vec<String>, depth: u32) -> BoxedStrategy<UExpr> {
     let atom = prop_oneof![
         3 => (rel_path(), any::<u8>(), lit()).prop_map(|(p, op, l)| {
             let op = match op % 6 {
@@ -116,7 +134,7 @@ fn uexpr(vars: Vec<String>, depth: u32) -> BoxedStrategy<UExpr> {
     if depth >= 2 {
         return atom.boxed();
     }
-    let inner = uexpr(vars, depth + 1);
+    let inner = uexpr(_vars, depth + 1);
     prop_oneof![
         4 => atom,
         1 => (inner.clone(), inner.clone())
@@ -139,8 +157,10 @@ fn content() -> impl Strategy<Value = ContentExpr> {
         }),
         (name(), "[a-zA-Z0-9]{0,6}")
             .prop_map(|(n, v)| ContentExpr::NewAttribute { name: n, value: v }),
-        (name(), "[a-z0-9]{1,6}")
-            .prop_map(|(l, t)| ContentExpr::NewRef { label: l, target: t }),
+        (name(), "[a-z0-9]{1,6}").prop_map(|(l, t)| ContentExpr::NewRef {
+            label: l,
+            target: t
+        }),
         "[a-zA-Z0-9 ]{0,8}".prop_map(ContentExpr::Text),
     ]
 }
@@ -152,13 +172,21 @@ fn sub_op(child_vars: Vec<String>) -> impl Strategy<Value = SubOp> {
     prop_oneof![
         cv.clone().prop_map(|child| SubOp::Delete { child }),
         (cv2, name()).prop_map(|(child, to)| SubOp::Rename { child, to }),
-        (content(), prop::option::of((any::<bool>(), cv.clone())))
-            .prop_map(|(content, pos)| SubOp::Insert {
+        (content(), prop::option::of((any::<bool>(), cv.clone()))).prop_map(|(content, pos)| {
+            SubOp::Insert {
                 content,
                 position: pos.map(|(b, v)| {
-                    (if b { InsertPosition::Before } else { InsertPosition::After }, v)
+                    (
+                        if b {
+                            InsertPosition::Before
+                        } else {
+                            InsertPosition::After
+                        },
+                        v,
+                    )
                 }),
-            }),
+            }
+        }),
         (cv3, content()).prop_map(|(child, with)| SubOp::Replace { child, with }),
     ]
 }
@@ -177,7 +205,10 @@ fn statement() -> impl Strategy<Value = Statement> {
                     let visible: Vec<String> = vars[..i].to_vec();
                     let v = v.clone();
                     path(visible)
-                        .prop_map(move |p| ForBinding { var: v.clone(), path: p })
+                        .prop_map(move |p| ForBinding {
+                            var: v.clone(),
+                            path: p,
+                        })
                         .boxed()
                 })
                 .collect();
@@ -218,7 +249,10 @@ fn statement() -> impl Strategy<Value = Statement> {
                         fors,
                         lets: vec![],
                         filter,
-                        action: Action::Update(vec![UpdateOp { target: target.clone(), ops }]),
+                        action: Action::Update(vec![UpdateOp {
+                            target: target.clone(),
+                            ops,
+                        }]),
                     }
                 })
         })

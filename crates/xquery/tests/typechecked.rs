@@ -100,14 +100,18 @@ fn unchecked_documents_are_not_validated() {
         )
         .unwrap();
     let doc = store.document("custdb.xml").unwrap();
-    assert!(doc.descendants(doc.root()).any(|n| doc.name(n) == Some("Bogus")));
+    assert!(doc
+        .descendants(doc.root())
+        .any(|n| doc.name(n) == Some("Bogus")));
 }
 
 #[test]
 fn parse_error_leaves_store_untouched() {
     let (mut store, dtd) = setup();
     let before = xmlup_xml::serializer::to_compact_string(store.document("custdb.xml").unwrap());
-    let _ = store.execute_checked("FOR $x IN", &[("custdb.xml", &dtd)]).unwrap_err();
+    let _ = store
+        .execute_checked("FOR $x IN", &[("custdb.xml", &dtd)])
+        .unwrap_err();
     let after = xmlup_xml::serializer::to_compact_string(store.document("custdb.xml").unwrap());
     assert_eq!(before, after);
 }

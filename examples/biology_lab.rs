@@ -9,12 +9,18 @@ use xmlup_xquery::{Outcome, Store};
 
 fn show(store: &Store, heading: &str) {
     println!("== {heading} ==");
-    println!("{}\n", serializer::to_string(store.document("bio.xml").unwrap()));
+    println!(
+        "{}\n",
+        serializer::to_string(store.document("bio.xml").unwrap())
+    );
 }
 
 fn apply(store: &mut Store, caption: &str, stmt: &str) {
     match store.execute_str(stmt).expect("statement runs") {
-        Outcome::Updated { ops_applied, ops_skipped } => {
+        Outcome::Updated {
+            ops_applied,
+            ops_skipped,
+        } => {
             println!("-- {caption}: {ops_applied} primitive op(s) applied, {ops_skipped} skipped")
         }
         Outcome::Bindings(b) => println!("-- {caption}: {} binding(s)", b.len()),
@@ -23,7 +29,9 @@ fn apply(store: &mut Store, caption: &str, stmt: &str) {
 
 fn main() {
     let opts = ParseOptions::with_ref_attrs(samples::BIO_REF_ATTRS);
-    let doc = parse_with(samples::BIO_XML, &opts).expect("Figure 1 parses").doc;
+    let doc = parse_with(samples::BIO_XML, &opts)
+        .expect("Figure 1 parses")
+        .doc;
     let mut store = Store::new();
     store.parse_opts = opts;
     store.add_document("bio.xml", doc);
@@ -100,18 +108,23 @@ fn main() {
     );
 
     println!();
-    show(&store, "After Examples 1-5 (university subtree matches Figure 3)");
+    show(
+        &store,
+        "After Examples 1-5 (university subtree matches Figure 3)",
+    );
 
     // A final query: which biologists remain, and where do they work?
     let out = store
-        .execute_str(
-            r#"FOR $b IN document("bio.xml")/db/biologist, $n IN $b/lastname RETURN $n"#,
-        )
+        .execute_str(r#"FOR $b IN document("bio.xml")/db/biologist, $n IN $b/lastname RETURN $n"#)
         .expect("query runs");
     if let Outcome::Bindings(names) = out {
         println!(
             "biologists: {}",
-            names.iter().map(|t| store.string_value(t)).collect::<Vec<_>>().join(", ")
+            names
+                .iter()
+                .map(|t| store.string_value(t))
+                .collect::<Vec<_>>()
+                .join(", ")
         );
     }
 }

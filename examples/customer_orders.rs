@@ -12,7 +12,10 @@ use xmlup_workload::{run_delete, run_insert, Workload};
 
 fn fresh(ds: DeleteStrategy, is: InsertStrategy) -> XmlRepository {
     let dtd = customer_dtd();
-    let doc = customer_document(&CustomerParams { customers: 200, ..Default::default() });
+    let doc = customer_document(&CustomerParams {
+        customers: 200,
+        ..Default::default()
+    });
     let mut repo = XmlRepository::new(
         &dtd,
         "CustDB",

@@ -20,7 +20,10 @@ fn main() {
     );
 
     println!("\n== delete publications of year 2000 ==");
-    println!("{:<22} {:>10} {:>14} {:>12}", "strategy", "time ms", "pubs deleted", "client SQL");
+    println!(
+        "{:<22} {:>10} {:>14} {:>12}",
+        "strategy", "time ms", "pubs deleted", "client SQL"
+    );
     for ds in DeleteStrategy::ALL {
         let mut repo = XmlRepository::new(
             &dtd,
@@ -44,11 +47,20 @@ fn main() {
             .expect("delete runs");
         let ms = start.elapsed().as_secs_f64() * 1e3;
         let s = repo.stats();
-        println!("{:<22} {:>10.2} {:>14} {:>12}", ds.label(), ms, n, s.client_statements);
+        println!(
+            "{:<22} {:>10.2} {:>14} {:>12}",
+            ds.label(),
+            ms,
+            n,
+            s.client_statements
+        );
     }
 
     println!("\n== replicate 10 random conference subtrees ==");
-    println!("{:<22} {:>10} {:>14} {:>12}", "strategy", "time ms", "tuples copied", "client SQL");
+    println!(
+        "{:<22} {:>10} {:>14} {:>12}",
+        "strategy", "time ms", "tuples copied", "client SQL"
+    );
     for is in InsertStrategy::ALL {
         let mut repo = XmlRepository::new(
             &dtd,
@@ -67,7 +79,13 @@ fn main() {
         let n = run_insert(&mut repo, conf, Workload::random10()).expect("insert runs");
         let ms = start.elapsed().as_secs_f64() * 1e3;
         let s = repo.stats();
-        println!("{:<22} {:>10.2} {:>14} {:>12}", is.label(), ms, n, s.client_statements);
+        println!(
+            "{:<22} {:>10.2} {:>14} {:>12}",
+            is.label(),
+            ms,
+            n,
+            s.client_statements
+        );
     }
     println!(
         "\nThe paper's Table 2 findings: per-tuple trigger deletes win on bushy\n\

@@ -32,8 +32,7 @@ fn main() {
     .unwrap()
     .doc;
 
-    let mut repo =
-        XmlRepository::new_ordered(&dtd, "playlist", RepoConfig::default()).unwrap();
+    let mut repo = XmlRepository::new_ordered(&dtd, "playlist", RepoConfig::default()).unwrap();
     repo.load(&doc).unwrap();
     let track = repo.mapping.relation_by_element("track").unwrap();
 

@@ -17,7 +17,9 @@ fn main() {
     // 1. In-memory documents + XQuery updates
     // ----------------------------------------------------------------
     let opts = ParseOptions::with_ref_attrs(samples::BIO_REF_ATTRS);
-    let doc = parse_with(samples::BIO_XML, &opts).expect("bio.xml parses").doc;
+    let doc = parse_with(samples::BIO_XML, &opts)
+        .expect("bio.xml parses")
+        .doc;
 
     let mut store = Store::new();
     store.parse_opts = opts;
@@ -47,7 +49,9 @@ fn main() {
     // 2. XML shredded into relations + SQL-translated updates
     // ----------------------------------------------------------------
     let dtd = Dtd::parse(samples::CUSTOMER_DTD).expect("Figure 4 DTD parses");
-    let custdoc = xmlup_xml::parse(samples::CUSTOMER_XML).expect("customer doc parses").doc;
+    let custdoc = xmlup_xml::parse(samples::CUSTOMER_XML)
+        .expect("customer doc parses")
+        .doc;
 
     let mut repo = XmlRepository::new(
         &dtd,
@@ -60,7 +64,10 @@ fn main() {
     )
     .expect("schema builds");
     let tuples = repo.load(&custdoc).expect("document shreds");
-    println!("== shredded {tuples} tuples into tables {:?} ==", repo.db.table_names());
+    println!(
+        "== shredded {tuples} tuples into tables {:?} ==",
+        repo.db.table_names()
+    );
 
     // Paper Example 9: delete customers named John. With per-tuple
     // triggers this is ONE SQL statement; the engine cascades.
@@ -84,6 +91,9 @@ fn main() {
     let (xml, roots) = repo.fetch(cust, None).expect("outer union runs");
     println!("\n== remaining customers (reconstructed from tuples) ==");
     for r in roots {
-        println!("{}", serializer::subtree_to_string(&xml, r, &Default::default()));
+        println!(
+            "{}",
+            serializer::subtree_to_string(&xml, r, &Default::default())
+        );
     }
 }

@@ -84,9 +84,10 @@ fn main() {
         ordered,
     };
     if let Some(f) = dtd_file {
-        match std::fs::read_to_string(&f).map_err(|e| e.to_string()).and_then(|s| {
-            Dtd::parse(&s).map_err(|e| e.to_string())
-        }) {
+        match std::fs::read_to_string(&f)
+            .map_err(|e| e.to_string())
+            .and_then(|s| Dtd::parse(&s).map_err(|e| e.to_string()))
+        {
             Ok(d) => cli.dtd = Some(d),
             Err(e) => {
                 eprintln!("cannot load DTD {f}: {e}");
@@ -100,10 +101,15 @@ fn main() {
     }
     if relational {
         let dtd = cli.dtd.as_ref().unwrap();
-        let root = cli.root_name.clone().unwrap_or_else(|| {
-            dtd.element_names().first().cloned().unwrap_or_default()
-        });
-        let mk = if cli.ordered { XmlRepository::new_ordered } else { XmlRepository::new };
+        let root = cli
+            .root_name
+            .clone()
+            .unwrap_or_else(|| dtd.element_names().first().cloned().unwrap_or_default());
+        let mk = if cli.ordered {
+            XmlRepository::new_ordered
+        } else {
+            XmlRepository::new
+        };
         match mk(dtd, &root, RepoConfig::default()) {
             Ok(r) => cli.repo = Some(r),
             Err(e) => {
@@ -257,12 +263,15 @@ impl Cli {
             Some("sql") => {
                 let stmt: Vec<&str> = parts.collect();
                 let repo = self.repo.as_mut().ok_or("not in --relational mode")?;
-                match repo.db.execute(&stmt.join(" ")).map_err(|e| e.to_string())? {
+                match repo
+                    .db
+                    .execute(&stmt.join(" "))
+                    .map_err(|e| e.to_string())?
+                {
                     xmlup::rdb::ExecResult::Rows(rs) => {
                         println!("{}", rs.columns.join("\t"));
                         for row in &rs.rows {
-                            let cells: Vec<String> =
-                                row.iter().map(|v| v.render()).collect();
+                            let cells: Vec<String> = row.iter().map(|v| v.render()).collect();
                             println!("{}", cells.join("\t"));
                         }
                     }
@@ -324,9 +333,10 @@ impl Cli {
                 // Rebuild the repository with the new strategy, reloading
                 // the current document.
                 let dtd = self.dtd.as_ref().ok_or("no DTD loaded")?;
-                let root = self.root_name.clone().unwrap_or_else(|| {
-                    dtd.element_names().first().cloned().unwrap_or_default()
-                });
+                let root = self
+                    .root_name
+                    .clone()
+                    .unwrap_or_else(|| dtd.element_names().first().cloned().unwrap_or_default());
                 let mk = if self.ordered {
                     XmlRepository::new_ordered
                 } else {
@@ -353,8 +363,7 @@ impl Cli {
 
     fn load(&mut self, name: &str, file: &str) -> Result<(), String> {
         let text = std::fs::read_to_string(file).map_err(|e| e.to_string())?;
-        let parsed =
-            parse_with(&text, &ParseOptions::default()).map_err(|e| e.to_string())?;
+        let parsed = parse_with(&text, &ParseOptions::default()).map_err(|e| e.to_string())?;
         if let (Some(dtd), Some(_)) = (&self.dtd, &self.repo) {
             dtd.validate(&parsed.doc).map_err(|e| e.to_string())?;
         }
@@ -460,7 +469,10 @@ impl Cli {
                     println!("… and {} more", b.len() - 20);
                 }
             }
-            Outcome::Updated { ops_applied, ops_skipped } => {
+            Outcome::Updated {
+                ops_applied,
+                ops_skipped,
+            } => {
                 println!("in-memory: {ops_applied} op(s) applied, {ops_skipped} skipped");
             }
         }

@@ -103,7 +103,10 @@ fn invalid_document_rejected_in_relational_mode() {
         None,
     );
     assert!(!ok);
-    assert!(stderr.contains("Bogus") || stderr.contains("undeclared"), "{stderr}");
+    assert!(
+        stderr.contains("Bogus") || stderr.contains("undeclared"),
+        "{stderr}"
+    );
 }
 
 #[test]

@@ -184,14 +184,20 @@ fn statement_ordering_of_example8_respected() {
         .descendants(mem.root())
         .filter(|&n| mem.name(n) == Some("comment"))
         .count();
-    assert_eq!(comments, 2, "nested bindings made before outer inserts took effect");
+    assert_eq!(
+        comments, 2,
+        "nested bindings made before outer inserts took effect"
+    );
 }
 
 #[test]
 fn full_pipeline_on_generated_data() {
     use xmlup_workload::customer::{customer_document, customer_dtd, CustomerParams};
     let dtd = customer_dtd();
-    let doc = customer_document(&CustomerParams { customers: 60, ..Default::default() });
+    let doc = customer_document(&CustomerParams {
+        customers: 60,
+        ..Default::default()
+    });
     let mut repo = XmlRepository::new(&dtd, "CustDB", RepoConfig::default()).unwrap();
     let loaded = repo.load(&doc).unwrap();
     assert!(loaded > 60);

@@ -12,8 +12,7 @@ fn ordered_repo(sf: usize) -> XmlRepository {
     let p = SyntheticParams::new(sf, 2, 2);
     let dtd = synthetic_dtd(2);
     let doc = fixed_document(&p);
-    let mut repo =
-        XmlRepository::new_ordered(&dtd, "root", RepoConfig::default()).unwrap();
+    let mut repo = XmlRepository::new_ordered(&dtd, "root", RepoConfig::default()).unwrap();
     repo.load(&doc).unwrap();
     repo
 }
@@ -197,13 +196,21 @@ fn copied_subtrees_get_fresh_appended_positions() {
             .db
             .query("SELECT pos_, id FROM n1 WHERE parentId = 0 ORDER BY pos_")
             .unwrap();
-        let positions: Vec<i64> =
-            rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        let positions: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
         let mut dedup = positions.clone();
         dedup.dedup();
-        assert_eq!(positions, dedup, "{}: duplicate sibling positions", is.label());
+        assert_eq!(
+            positions,
+            dedup,
+            "{}: duplicate sibling positions",
+            is.label()
+        );
         let last_id = rs.rows.last().unwrap()[1].as_int().unwrap();
-        assert!(last_id > repo.ids_of(n1)[2], "{}: copy must sort last", is.label());
+        assert!(
+            last_id > repo.ids_of(n1)[2],
+            "{}: copy must sort last",
+            is.label()
+        );
         // Reconstruction shows the copy as the fourth subtree.
         let back = unshred(&mut repo.db, &repo.mapping).unwrap();
         assert_eq!(back.children(back.root()).len(), 4);
@@ -225,10 +232,15 @@ fn imported_subtree_appends_on_ordered_mapping() {
     dst.import_subtree(&mut src, n1, sid, n1, droot).unwrap();
     let rs = dst
         .db
-        .query(&format!("SELECT pos_ FROM n1 WHERE parentId = {droot} ORDER BY pos_"))
+        .query(&format!(
+            "SELECT pos_ FROM n1 WHERE parentId = {droot} ORDER BY pos_"
+        ))
         .unwrap();
     let positions: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
     let mut dedup = positions.clone();
     dedup.dedup();
-    assert_eq!(positions, dedup, "imported subtree must not collide with existing children");
+    assert_eq!(
+        positions, dedup,
+        "imported subtree must not collide with existing children"
+    );
 }

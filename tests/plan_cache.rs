@@ -1,0 +1,67 @@
+//! Regression tests for the prepared-statement layer on the paper's hot
+//! update paths: a workload of per-tuple operations must parse each
+//! distinct SQL shape exactly once — repeats are served by prepared
+//! statements and the plan cache.
+
+use xmlup_core::{DeleteStrategy, InsertStrategy, RepoConfig, XmlRepository};
+use xmlup_workload::{
+    fixed_document, run_delete, run_insert, synthetic_dtd, SyntheticParams, Workload,
+};
+
+fn repo(ds: DeleteStrategy, is: InsertStrategy) -> (XmlRepository, usize) {
+    let p = SyntheticParams::new(40, 4, 2);
+    let dtd = synthetic_dtd(p.depth);
+    let doc = fixed_document(&p);
+    let mut repo = XmlRepository::new(
+        &dtd,
+        "root",
+        RepoConfig {
+            delete_strategy: ds,
+            insert_strategy: is,
+            build_asr: false,
+            statement_cost_us: 0,
+        },
+    )
+    .unwrap();
+    repo.load(&doc).unwrap();
+    repo.reset_stats(); // count only the workload, not schema + shred
+    let rel = repo.mapping.relation_by_element("n1").unwrap();
+    (repo, rel)
+}
+
+#[test]
+fn tuple_insert_workload_parses_each_shape_once() {
+    let (mut repo, rel) = repo(DeleteStrategy::PerTupleTrigger, InsertStrategy::Tuple);
+    run_insert(&mut repo, rel, Workload::random10()).unwrap();
+    let after_first = repo.stats();
+    assert!(
+        after_first.statements_parsed < after_first.client_statements,
+        "prepared statements must amortize parsing: parsed {} of {} stmts",
+        after_first.statements_parsed,
+        after_first.client_statements
+    );
+    // A second identical workload re-executes only already-compiled
+    // shapes: zero additional parses.
+    run_insert(&mut repo, rel, Workload::random10()).unwrap();
+    let after_second = repo.stats();
+    assert_eq!(
+        after_second.statements_parsed, after_first.statements_parsed,
+        "second tuple-insert run re-parsed statements"
+    );
+    assert!(after_second.client_statements > after_first.client_statements);
+}
+
+#[test]
+fn per_tuple_delete_workload_parses_each_shape_once() {
+    let (mut repo, rel) = repo(DeleteStrategy::PerTupleTrigger, InsertStrategy::Tuple);
+    run_delete(&mut repo, rel, Workload::random10()).unwrap();
+    let after_first = repo.stats();
+    assert!(after_first.statements_parsed < after_first.client_statements);
+    run_delete(&mut repo, rel, Workload::random10()).unwrap();
+    let after_second = repo.stats();
+    assert_eq!(
+        after_second.statements_parsed, after_first.statements_parsed,
+        "second per-tuple-delete run re-parsed statements"
+    );
+    assert!(after_second.client_statements > after_first.client_statements);
+}

@@ -19,7 +19,11 @@ use xmlup_xml::{Attr, Document, NodeId};
 #[derive(Debug, Clone)]
 enum GenNode {
     Text(String),
-    Element { name: String, attrs: Vec<(String, String)>, children: Vec<GenNode> },
+    Element {
+        name: String,
+        attrs: Vec<(String, String)>,
+        children: Vec<GenNode>,
+    },
 }
 
 fn name_strategy() -> impl Strategy<Value = String> {
@@ -37,8 +41,15 @@ fn gen_node(depth: u32) -> impl Strategy<Value = GenNode> {
         text_strategy()
             .prop_filter("no ws-only text", |s| !s.trim().is_empty())
             .prop_map(GenNode::Text),
-        (name_strategy(), prop::collection::vec((name_strategy(), text_strategy()), 0..3))
-            .prop_map(|(name, attrs)| GenNode::Element { name, attrs, children: vec![] }),
+        (
+            name_strategy(),
+            prop::collection::vec((name_strategy(), text_strategy()), 0..3)
+        )
+            .prop_map(|(name, attrs)| GenNode::Element {
+                name,
+                attrs,
+                children: vec![]
+            }),
     ];
     leaf.prop_recursive(depth, 24, 4, |inner| {
         (
@@ -46,14 +57,22 @@ fn gen_node(depth: u32) -> impl Strategy<Value = GenNode> {
             prop::collection::vec((name_strategy(), text_strategy()), 0..3),
             prop::collection::vec(inner, 0..4),
         )
-            .prop_map(|(name, attrs, children)| GenNode::Element { name, attrs, children })
+            .prop_map(|(name, attrs, children)| GenNode::Element {
+                name,
+                attrs,
+                children,
+            })
     })
 }
 
 fn gen_document() -> impl Strategy<Value = Document> {
     (name_strategy(), prop::collection::vec(gen_node(3), 0..4)).prop_map(|(root, kids)| {
         let mut doc = Document::new("__placeholder__");
-        let tree = GenNode::Element { name: root, attrs: vec![], children: kids };
+        let tree = GenNode::Element {
+            name: root,
+            attrs: vec![],
+            children: kids,
+        };
         let r = build(&mut doc, &tree);
         doc.replace_root(r).unwrap();
         doc
@@ -63,12 +82,19 @@ fn gen_document() -> impl Strategy<Value = Document> {
 fn build(doc: &mut Document, g: &GenNode) -> NodeId {
     match g {
         GenNode::Text(t) => doc.new_text(t.clone()),
-        GenNode::Element { name, attrs, children } => {
+        GenNode::Element {
+            name,
+            attrs,
+            children,
+        } => {
             let el = doc.new_element(name.clone());
             let mut seen = std::collections::HashSet::new();
             for (an, av) in attrs {
                 if seen.insert(an.clone()) {
-                    doc.element_mut(el).unwrap().attrs.push(Attr::text(an.clone(), av.clone()));
+                    doc.element_mut(el)
+                        .unwrap()
+                        .attrs
+                        .push(Attr::text(an.clone(), av.clone()));
                 }
             }
             // Adjacent text children would merge on reparse; coalesce them
@@ -128,8 +154,11 @@ proptest! {
 // ----------------------------------------------------------------------
 
 fn small_params() -> impl Strategy<Value = SyntheticParams> {
-    (1usize..12, 1usize..4, 1usize..4, any::<u64>()).prop_map(|(sf, d, f, seed)| {
-        SyntheticParams { scaling_factor: sf, depth: d, fanout: f, seed }
+    (1usize..12, 1usize..4, 1usize..4, any::<u64>()).prop_map(|(sf, d, f, seed)| SyntheticParams {
+        scaling_factor: sf,
+        depth: d,
+        fanout: f,
+        seed,
     })
 }
 

@@ -4,7 +4,9 @@
 //! scanned, trigger firings. Each test cites the claim it pins down.
 
 use xmlup_core::{DeleteStrategy, InsertStrategy, RepoConfig, XmlRepository};
-use xmlup_workload::{fixed_document, run_delete, run_insert, synthetic_dtd, SyntheticParams, Workload};
+use xmlup_workload::{
+    fixed_document, run_delete, run_insert, synthetic_dtd, SyntheticParams, Workload,
+};
 
 fn repo(p: &SyntheticParams, ds: DeleteStrategy, is: InsertStrategy) -> (XmlRepository, usize) {
     let dtd = synthetic_dtd(p.depth);
@@ -43,7 +45,10 @@ fn per_tuple_trigger_work_is_size_independent() {
             r.stats().rows_scanned
         })
         .collect();
-    assert_eq!(scans[0], scans[1], "per-tuple trigger scans must not grow with sf");
+    assert_eq!(
+        scans[0], scans[1],
+        "per-tuple trigger scans must not grow with sf"
+    );
 }
 
 /// §7.3: per-statement triggers "involve a scan of entire child relations",
@@ -123,7 +128,11 @@ fn insert_statement_counts() {
     // The table method's statement count depends on relation levels, not
     // on subtree size: double the fanout (2× the tuples), same statements.
     let p_wide = SyntheticParams::new(10, 5, 4); // subtree = 341 tuples
-    let (mut r, n1) = repo(&p_wide, DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+    let (mut r, n1) = repo(
+        &p_wide,
+        DeleteStrategy::PerTupleTrigger,
+        InsertStrategy::Table,
+    );
     let src = r.ids_of(n1)[0];
     let root = r.root_id().unwrap();
     r.reset_stats();
@@ -151,7 +160,10 @@ fn asr_path_plan_is_flat_and_equivalent() {
     let mut with_asr = XmlRepository::new(
         &dtd,
         "root",
-        RepoConfig { build_asr: true, ..RepoConfig::default() },
+        RepoConfig {
+            build_asr: true,
+            ..RepoConfig::default()
+        },
     )
     .unwrap();
     with_asr.load(&doc).unwrap();
@@ -165,13 +177,10 @@ fn asr_path_plan_is_flat_and_equivalent() {
     // intermediate relations entirely.
     let stmt = xmlup_xquery::parse_statement(q).unwrap();
     let spec = xmlup_core::translate::translate_query(&stmt, &with_asr.mapping).unwrap();
-    let sql = xmlup_core::translate::query_filter_sql(
-        &spec,
-        &with_asr.mapping,
-        with_asr.asr.as_ref(),
-    )
-    .unwrap()
-    .unwrap();
+    let sql =
+        xmlup_core::translate::query_filter_sql(&spec, &with_asr.mapping, with_asr.asr.as_ref())
+            .unwrap()
+            .unwrap();
     assert!(sql.contains("FROM ASR"));
     for mid in ["FROM n2", "FROM n3", "FROM n4"] {
         assert!(!sql.contains(mid), "intermediate relation joined: {sql}");
@@ -202,7 +211,10 @@ fn id_allocation_styles_differ() {
     let p = SyntheticParams::new(10, 3, 2);
     // Delete a middle subtree first so the id space has a hole; the table
     // method's offset heuristic will then skip ids, the tuple method not.
-    for (is, gapless) in [(InsertStrategy::Tuple, true), (InsertStrategy::Table, false)] {
+    for (is, gapless) in [
+        (InsertStrategy::Tuple, true),
+        (InsertStrategy::Table, false),
+    ] {
         let (mut r, n1) = repo(&p, DeleteStrategy::PerTupleTrigger, is);
         let ids = r.ids_of(n1);
         r.delete_by_id(n1, ids[1]).unwrap();
@@ -212,7 +224,10 @@ fn id_allocation_styles_differ() {
         let copied = r.copy_subtree(n1, src, root).unwrap() as i64;
         let used = r.db.peek_next_id() - before;
         if gapless {
-            assert_eq!(used, copied, "tuple method allocates exactly one id per tuple");
+            assert_eq!(
+                used, copied,
+                "tuple method allocates exactly one id per tuple"
+            );
         } else {
             assert!(used >= copied, "table method may reserve a range with gaps");
         }

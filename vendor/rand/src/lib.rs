@@ -1,0 +1,194 @@
+//! Offline drop-in for the subset of the `rand` 0.8 API this workspace
+//! uses. The build environment has no access to crates.io, so the
+//! workspace vendors a deterministic implementation: `StdRng` here is a
+//! SplitMix64 generator, which is plenty for seeded workload generation
+//! (the only use in this repository). It is **not** cryptographically
+//! secure and makes no attempt to match upstream `rand`'s value streams.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Ranges that can produce a uniform sample.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Integers uniform sampling understands. The blanket `SampleRange`
+/// impls below go through this trait so type inference (including the
+/// `i32` integer-literal fallback) behaves as it does with real `rand`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Widen losslessly for span arithmetic.
+    fn to_i128(self) -> i128;
+    /// Narrow back after sampling (the value is always in range).
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> $t {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = (self.end.to_i128() - self.start.to_i128()) as u128;
+        let off = (rng.next_u64() as u128) % span;
+        T::from_i128(self.start.to_i128() + off as i128)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        let span = (hi.to_i128() - lo.to_i128()) as u128 + 1;
+        let off = (rng.next_u64() as u128) % span;
+        T::from_i128(lo.to_i128() + off as i128)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    /// Deterministic SplitMix64 generator standing in for `rand`'s
+    /// `StdRng`. Seeded via [`crate::SeedableRng::seed_from_u64`].
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    /// Same generator under the small-RNG name.
+    pub type SmallRng = StdRng;
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related sampling helpers.
+
+    use crate::RngCore;
+
+    /// Random selection from slices.
+    pub trait SliceRandom {
+        /// Element type of the underlying slice.
+        type Item;
+
+        /// `amount` distinct elements in random order (fewer if the slice
+        /// is shorter), as an iterator of references.
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&T> {
+            let amount = amount.min(self.len());
+            let mut idx: Vec<usize> = (0..self.len()).collect();
+            // Partial Fisher-Yates: only the first `amount` slots matter.
+            for i in 0..amount {
+                let j = i + (rng.next_u64() as usize) % (idx.len() - i);
+                idx.swap(i, j);
+            }
+            idx.truncate(amount);
+            idx.into_iter()
+                .map(|i| &self[i])
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000i64), b.gen_range(0..1_000_000i64));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..10);
+            assert!((3..10).contains(&v));
+            let w: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn choose_multiple_yields_distinct_elements() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let items: Vec<i64> = (0..50).collect();
+        let picked: Vec<i64> = items.choose_multiple(&mut rng, 10).copied().collect();
+        assert_eq!(picked.len(), 10);
+        let mut dedup = picked.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10, "picks must be distinct: {picked:?}");
+    }
+}
