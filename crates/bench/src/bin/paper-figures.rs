@@ -1,7 +1,7 @@
 //! Regenerate the tables and figures of *Updating XML* (SIGMOD 2001).
 //!
 //! ```text
-//! paper-figures [all|table1|fig6|fig7|fig8|fig9|fig10|fig11|table2|asr-paths|randomized|ordered|storage|plan-cache]
+//! paper-figures [all|table1|fig6|fig7|fig8|fig9|fig10|fig11|table2|asr-paths|randomized|ordered|storage|plan-cache|txn]
 //!               [--full]
 //! ```
 //!
@@ -74,6 +74,16 @@ fn main() {
     if run("plan-cache") {
         let rows = exp::plan_cache_stats(if full { 400 } else { 100 });
         exp::print_plan_cache(&rows);
+    }
+    if run("txn") {
+        let batches: &[usize] = if full {
+            &[100, 400, 1600, 6400]
+        } else {
+            &[100, 400, 1600]
+        };
+        exp::txn_overhead(batches).print();
+        let rows = exp::txn_rollback_cost(&scaling);
+        exp::print_txn_rollback(&rows);
     }
     if run("ordered") {
         let rows = exp::ordered_ablation(&scaling);

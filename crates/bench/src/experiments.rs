@@ -672,3 +672,97 @@ pub fn print_storage(rows: &[(usize, Millis, Millis, Millis, Millis)]) {
     }
     println!();
 }
+
+/// Transaction overhead: an N-statement insert batch run under
+/// autocommit (one engine transaction per statement) vs inside a single
+/// `BEGIN … COMMIT`. The gap is the per-statement commit bookkeeping —
+/// small by design, since commit just discards the undo log.
+pub fn txn_overhead(batch_sizes: &[usize]) -> Figure {
+    let setup = || {
+        let mut db = xmlup_rdb::Database::new();
+        db.run_script(
+            "CREATE TABLE t (id INTEGER, v VARCHAR(12));
+             CREATE INDEX t_id ON t (id);",
+        )
+        .expect("schema");
+        db
+    };
+    let insert_all = |db: &mut xmlup_rdb::Database, n: usize| {
+        for i in 0..n {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, 'payload')"))
+                .expect("insert");
+        }
+    };
+    let mut auto = Series {
+        label: "autocommit".into(),
+        points: Vec::new(),
+    };
+    let mut single = Series {
+        label: "single txn".into(),
+        points: Vec::new(),
+    };
+    for &n in batch_sizes {
+        auto.points
+            .push((n, time_runs(RUNS, setup, |db| insert_all(db, n))));
+        single.points.push((
+            n,
+            time_runs(RUNS, setup, |db| {
+                db.begin().expect("begin");
+                insert_all(db, n);
+                db.commit().expect("commit");
+            }),
+        ));
+    }
+    Figure {
+        title: "Txn overhead: autocommit vs one BEGIN..COMMIT (insert batch)".into(),
+        x_label: "stmts".into(),
+        series: vec![auto, single],
+    }
+}
+
+/// Rollback cost vs update size: run the bulk per-tuple-trigger delete
+/// (the paper's largest update) inside an explicit transaction, then
+/// `ROLLBACK`. Returns `(sf, undo_records, apply_ms, rollback_ms)` —
+/// rollback replays the undo log newest-first, so its cost is linear in
+/// the number of rows the update touched.
+pub fn txn_rollback_cost(scaling: &[usize]) -> Vec<(usize, u64, Millis, Millis)> {
+    let mut rows = Vec::new();
+    for &sf in scaling {
+        let p = SyntheticParams::new(sf, 3, 2);
+        let pending = || {
+            let mut repo = build_repo(&p, DeleteStrategy::PerTupleTrigger, InsertStrategy::Tuple);
+            let rel = repo.mapping.relation_by_element("n1").expect("n1");
+            repo.db.begin().expect("begin");
+            run_delete(&mut repo, rel, Workload::Bulk).expect("delete runs");
+            repo
+        };
+        let apply_ms = time_runs(
+            RUNS,
+            || build_repo(&p, DeleteStrategy::PerTupleTrigger, InsertStrategy::Tuple),
+            |repo| {
+                let rel = repo.mapping.relation_by_element("n1").expect("n1");
+                repo.db.begin().expect("begin");
+                run_delete(repo, rel, Workload::Bulk).expect("delete runs");
+            },
+        );
+        let undo = pending().db.undo_log_len() as u64;
+        let rollback_ms = time_runs(RUNS, pending, |repo| {
+            repo.db.rollback().expect("rollback");
+        });
+        rows.push((sf, undo, apply_ms, rollback_ms));
+    }
+    rows
+}
+
+/// Print the transaction rollback-cost experiment.
+pub fn print_txn_rollback(rows: &[(usize, u64, Millis, Millis)]) {
+    println!("# Rollback cost vs update size (bulk per-tuple delete, depth=3, fanout=2)");
+    println!(
+        "{:<8} {:>14} {:>12} {:>14}",
+        "sf", "undo records", "apply ms", "rollback ms"
+    );
+    for (sf, undo, apply, rollback) in rows {
+        println!("{sf:<8} {undo:>14} {apply:>12.3} {rollback:>14.3}");
+    }
+    println!();
+}

@@ -11,6 +11,13 @@
 //! | per-statement trigger | 1                     | RDBMS, per statement (orphan scan of each child relation) |
 //! | cascading             | 1 per relation level  | application (`NOT IN` anti-joins) |
 //! | ASR                   | ~3 + 1 per level      | application via the ASR's marked paths |
+//!
+//! Atomicity: the multi-statement strategies (cascading, ASR) issue several
+//! client statements per logical delete. [`crate::XmlRepository`] runs each
+//! translated delete inside one engine transaction, so a failure at any
+//! statement rolls the whole cascade back; the single-statement trigger
+//! strategies already get this from statement-level atomicity (a trigger
+//! body shares its statement's undo scope).
 
 use crate::error::{CoreError, Result};
 use xmlup_rdb::{Database, Value};

@@ -36,6 +36,22 @@ impl fmt::Display for CoreError {
     }
 }
 
+impl CoreError {
+    /// True when the root cause is an injected fault
+    /// ([`DbError::FaultInjected`]): the failing statement — and the
+    /// enclosing translated operation, which the repository runs as one
+    /// transaction — has been rolled back, and the operation can simply
+    /// be retried.
+    pub fn is_injected_fault(&self) -> bool {
+        let db = match self {
+            CoreError::Db(e) => e,
+            CoreError::Shred(ShredError::Db(e)) => e,
+            _ => return false,
+        };
+        matches!(db.root_cause(), DbError::FaultInjected(_))
+    }
+}
+
 impl std::error::Error for CoreError {}
 
 impl From<DbError> for CoreError {

@@ -10,6 +10,12 @@
 //! | tuple    | per-tuple map, gap-free ids | 1 INSERT per copied tuple |
 //! | table    | `offset = nextId − minId` over temp tables | ~4 per relation |
 //! | ASR      | same offset heuristic over marked ASR paths | ~2 per relation + ASR maintenance |
+//!
+//! Atomicity: every strategy here issues multiple client statements per
+//! logical insert (and the table-based one creates and drops temporary
+//! tables). [`crate::XmlRepository`] wraps each translated insert in one
+//! engine transaction, so a mid-copy failure removes the partial subtree
+//! *and* any leftover temp tables — the DDL undo restores the catalog too.
 
 use crate::error::{CoreError, Result};
 use std::collections::HashMap;

@@ -10,6 +10,11 @@
 //! takes the midpoint of its neighbours, and only when a gap is exhausted
 //! are the parent's children renumbered (one UPDATE per sibling — the
 //! cost the paper anticipated, paid rarely).
+//!
+//! Atomicity: a positional insert that triggers renumbering issues one
+//! UPDATE per sibling before the INSERT itself. [`crate::XmlRepository`]
+//! runs the whole sequence in one engine transaction, so a failure after
+//! renumbering rolls the sibling positions back along with the insert.
 
 use crate::error::{CoreError, Result};
 use xmlup_rdb::{Database, Value};

@@ -91,8 +91,37 @@ impl XmlRepository {
         })
     }
 
+    /// Run `f` as one transaction against the store — the paper
+    /// Section 3 atomicity guarantee for a translated update: either
+    /// every SQL statement the operation issued (triggers included)
+    /// commits, or a mid-operation error rolls the store back to its
+    /// byte-identical pre-operation state. When a transaction is already
+    /// open (e.g. a multi-operation `UPDATE { … }` block wrapping
+    /// several sub-operations), the outer transaction owns atomicity and
+    /// `f` runs inside it unchanged.
+    fn atomically<T>(&mut self, f: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
+        if self.db.in_transaction() {
+            return f(self);
+        }
+        self.db.begin()?;
+        match f(self) {
+            Ok(v) => {
+                self.db.commit()?;
+                Ok(v)
+            }
+            Err(e) => {
+                // Restore the pre-operation state; surface the original
+                // error, not any rollback-side problem.
+                let _ = self.db.rollback();
+                Err(e)
+            }
+        }
+    }
+
     /// Positional insert of a new child tuple (order-preserving mappings
-    /// only); see [`crate::ordered`].
+    /// only); see [`crate::ordered`]. Atomic: the position probe, any
+    /// gap-exhaustion renumbering, and the insert commit or roll back
+    /// together.
     pub fn insert_tuple_at(
         &mut self,
         rel: usize,
@@ -100,7 +129,9 @@ impl XmlRepository {
         values: &[(String, Value)],
         at: crate::ordered::InsertAt,
     ) -> Result<crate::ordered::PositionalInsert> {
-        crate::ordered::insert_tuple_at(&mut self.db, &self.mapping, rel, parent_id, values, at)
+        self.atomically(|r| {
+            crate::ordered::insert_tuple_at(&mut r.db, &r.mapping, rel, parent_id, values, at)
+        })
     }
 
     /// The active configuration.
@@ -109,15 +140,18 @@ impl XmlRepository {
     }
 
     /// Shred a document into the store (building the ASR afterwards when
-    /// configured). Returns tuples inserted.
+    /// configured). Returns tuples inserted. Atomic: a failed load (bad
+    /// document mid-shred) leaves the store as it was.
     pub fn load(&mut self, doc: &Document) -> Result<usize> {
-        let n = loader::shred(&mut self.db, &self.mapping, doc)?;
-        if self.config.needs_asr() && self.asr.is_none() {
-            self.asr = Some(AsrIndex::build(&mut self.db, &self.mapping)?);
-        } else if let Some(asr) = &self.asr {
-            asr.populate(&mut self.db, &self.mapping)?;
-        }
-        Ok(n)
+        self.atomically(|r| {
+            let n = loader::shred(&mut r.db, &r.mapping, doc)?;
+            if r.config.needs_asr() && r.asr.is_none() {
+                r.asr = Some(AsrIndex::build(&mut r.db, &r.mapping)?);
+            } else if let Some(asr) = &r.asr {
+                asr.populate(&mut r.db, &r.mapping)?;
+            }
+            Ok(n)
+        })
     }
 
     /// Execution statistics of the underlying engine.
@@ -170,30 +204,36 @@ impl XmlRepository {
 
     /// [`XmlRepository::delete_where`] with `?`/`$n` placeholders in the
     /// filter bound to `params`.
+    ///
+    /// The whole delete — trigger cascades, the cascading strategy's
+    /// per-level statements, ASR maintenance — executes as one
+    /// transaction: a mid-delete error restores the pre-delete state.
     pub fn delete_where_params(
         &mut self,
         rel: usize,
         filter: Option<&str>,
         params: &[Value],
     ) -> Result<usize> {
-        let n = delete::delete_where_params(
-            &mut self.db,
-            &self.mapping,
-            self.asr.as_ref(),
-            self.config.delete_strategy,
-            rel,
-            filter,
-            params,
-        )?;
-        // The ASR strategy maintains the index incrementally; any other
-        // strategy leaves a built ASR stale — refresh it so ASR-accelerated
-        // queries keep answering correctly.
-        if n > 0 && self.config.delete_strategy != DeleteStrategy::Asr {
-            if let Some(asr) = &self.asr {
-                asr.populate(&mut self.db, &self.mapping)?;
+        self.atomically(|r| {
+            let n = delete::delete_where_params(
+                &mut r.db,
+                &r.mapping,
+                r.asr.as_ref(),
+                r.config.delete_strategy,
+                rel,
+                filter,
+                params,
+            )?;
+            // The ASR strategy maintains the index incrementally; any other
+            // strategy leaves a built ASR stale — refresh it so ASR-accelerated
+            // queries keep answering correctly.
+            if n > 0 && r.config.delete_strategy != DeleteStrategy::Asr {
+                if let Some(asr) = &r.asr {
+                    asr.populate(&mut r.db, &r.mapping)?;
+                }
             }
-        }
-        Ok(n)
+            Ok(n)
+        })
     }
 
     /// Complex delete of one subtree by id. Parameterized (`id = ?`), so
@@ -204,22 +244,28 @@ impl XmlRepository {
 
     /// Complex insert: copy the subtree at (`rel`, `src_id`) under
     /// `dst_parent_id`. Returns tuples created.
+    ///
+    /// Atomic: the table-based strategy's temporary tables (DDL), the
+    /// per-level load statements, id allocation, and ASR maintenance
+    /// all commit or roll back as one unit.
     pub fn copy_subtree(&mut self, rel: usize, src_id: i64, dst_parent_id: i64) -> Result<usize> {
-        let n = insert::copy_subtree(
-            &mut self.db,
-            &self.mapping,
-            self.asr.as_ref(),
-            self.config.insert_strategy,
-            rel,
-            src_id,
-            dst_parent_id,
-        )?;
-        if n > 0 && self.config.insert_strategy != InsertStrategy::Asr {
-            if let Some(asr) = &self.asr {
-                asr.populate(&mut self.db, &self.mapping)?;
+        self.atomically(|r| {
+            let n = insert::copy_subtree(
+                &mut r.db,
+                &r.mapping,
+                r.asr.as_ref(),
+                r.config.insert_strategy,
+                rel,
+                src_id,
+                dst_parent_id,
+            )?;
+            if n > 0 && r.config.insert_strategy != InsertStrategy::Asr {
+                if let Some(asr) = &r.asr {
+                    asr.populate(&mut r.db, &r.mapping)?;
+                }
             }
-        }
-        Ok(n)
+            Ok(n)
+        })
     }
 
     /// Fetch subtrees of `rel` matching `filter` via the Sorted Outer
@@ -272,6 +318,10 @@ impl XmlRepository {
     /// prescribes: all target bindings are computed with queries *before*
     /// any sub-operation executes, so an earlier operation cannot disturb
     /// a later operation's selection (the Example 8 ordering hazard).
+    ///
+    /// The whole statement is one transaction: bindings are computed
+    /// over the pre-update snapshot, and if any sub-operation fails the
+    /// store rolls back to that snapshot (no half-applied update block).
     pub fn execute_xquery(&mut self, statement: &str) -> Result<usize> {
         let stmt = parse_statement(statement)?;
         let ops = translate::translate_update(&stmt, &self.mapping)?;
@@ -279,15 +329,14 @@ impl XmlRepository {
             // Simple statements translate to direct SQL (Section 6.1/6.2).
             return self.execute_translated(&ops[0]);
         }
-        let bound: Vec<BoundOp> = ops
-            .iter()
-            .map(|op| self.bind_op(op))
-            .collect::<Result<_>>()?;
-        let mut affected = 0;
-        for b in bound {
-            affected += self.exec_bound(b)?;
-        }
-        Ok(affected)
+        self.atomically(|r| {
+            let bound: Vec<BoundOp> = ops.iter().map(|op| r.bind_op(op)).collect::<Result<_>>()?;
+            let mut affected = 0;
+            for b in bound {
+                affected += r.exec_bound(b)?;
+            }
+            Ok(affected)
+        })
     }
 
     /// Ids of `rel` tuples matching a translated filter.
@@ -469,8 +518,13 @@ impl XmlRepository {
         }
     }
 
-    /// Execute one translated operation.
+    /// Execute one translated operation, atomically (see
+    /// [`XmlRepository::execute_xquery`]).
     pub fn execute_translated(&mut self, op: &TranslatedOp) -> Result<usize> {
+        self.atomically(|r| r.execute_translated_inner(op))
+    }
+
+    fn execute_translated_inner(&mut self, op: &TranslatedOp) -> Result<usize> {
         match op {
             TranslatedOp::DeleteSubtrees { rel, filter } => {
                 self.delete_where(*rel, filter.as_deref())
@@ -672,41 +726,43 @@ impl XmlRepository {
             ));
         }
         let (doc, roots) = src.fetch_params(src_rel, Some("id = ?"), &[Value::Int(src_id)])?;
-        // Sibling ordinal for ordered mappings: append after every existing
-        // child of the destination parent.
-        let mut ord: i64 = 0;
-        if self.mapping.ordered {
-            for &crel in &self.mapping.relations
-                [self.mapping.relations[dst_rel].parent.unwrap_or(dst_rel)]
-            .children
-            .clone()
-            {
-                let t = &self.mapping.relations[crel].table;
-                let stmt = self
-                    .db
-                    .prepare(&format!("SELECT COUNT(*) FROM {t} WHERE parentId = ?"))?;
-                let rs = self
-                    .db
-                    .query_prepared(&stmt, &[Value::Int(dst_parent_id)])?;
-                ord += rs.scalar().and_then(Value::as_int).unwrap_or(0);
+        // The whole import into *this* store is one transaction: a failure
+        // mid-shred leaves the destination untouched.
+        self.atomically(|rp| {
+            // Sibling ordinal for ordered mappings: append after every
+            // existing child of the destination parent.
+            let mut ord: i64 = 0;
+            if rp.mapping.ordered {
+                for &crel in &rp.mapping.relations
+                    [rp.mapping.relations[dst_rel].parent.unwrap_or(dst_rel)]
+                .children
+                .clone()
+                {
+                    let t = &rp.mapping.relations[crel].table;
+                    let stmt = rp
+                        .db
+                        .prepare(&format!("SELECT COUNT(*) FROM {t} WHERE parentId = ?"))?;
+                    let rs = rp.db.query_prepared(&stmt, &[Value::Int(dst_parent_id)])?;
+                    ord += rs.scalar().and_then(Value::as_int).unwrap_or(0);
+                }
             }
-        }
-        let mut created = 0;
-        for r in roots {
-            created += loader::shred_subtree(
-                &mut self.db,
-                &self.mapping,
-                &doc,
-                r,
-                dst_rel,
-                dst_parent_id,
-                ord,
-            )?;
-            ord += 1;
-        }
-        if let Some(asr) = &self.asr {
-            asr.populate(&mut self.db, &self.mapping)?;
-        }
-        Ok(created)
+            let mut created = 0;
+            for r in &roots {
+                created += loader::shred_subtree(
+                    &mut rp.db,
+                    &rp.mapping,
+                    &doc,
+                    *r,
+                    dst_rel,
+                    dst_parent_id,
+                    ord,
+                )?;
+                ord += 1;
+            }
+            if let Some(asr) = &rp.asr {
+                asr.populate(&mut rp.db, &rp.mapping)?;
+            }
+            Ok(created)
+        })
     }
 }

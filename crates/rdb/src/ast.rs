@@ -110,6 +110,34 @@ pub enum Stmt {
     },
     /// A query.
     Select(Box<SelectStmt>),
+    /// `BEGIN [TRANSACTION | WORK]` — open an explicit transaction.
+    Begin,
+    /// `COMMIT [TRANSACTION | WORK]` — commit the open transaction.
+    Commit,
+    /// `ROLLBACK [TRANSACTION | WORK] [TO [SAVEPOINT] name]` — roll the
+    /// open transaction back entirely, or to a named savepoint.
+    Rollback {
+        /// Savepoint to roll back to; `None` rolls back the whole
+        /// transaction.
+        to_savepoint: Option<String>,
+    },
+    /// `SAVEPOINT name` — mark a partial-rollback point.
+    Savepoint {
+        /// Savepoint name.
+        name: String,
+    },
+}
+
+impl Stmt {
+    /// Whether this is a transaction-control statement (`BEGIN`,
+    /// `COMMIT`, `ROLLBACK`, `SAVEPOINT`). These manage the undo log
+    /// rather than run under it, and are rejected inside trigger bodies.
+    pub fn is_txn_control(&self) -> bool {
+        matches!(
+            self,
+            Stmt::Begin | Stmt::Commit | Stmt::Rollback { .. } | Stmt::Savepoint { .. }
+        )
+    }
 }
 
 /// Row source of an `INSERT`.

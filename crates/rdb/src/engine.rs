@@ -10,8 +10,9 @@
 
 use crate::ast::*;
 use crate::error::{DbError, Result};
-use crate::parser::{parse_script, parse_stmt_with_params};
+use crate::parser::{parse_script_with_text, parse_stmt_with_params};
 use crate::table::{Table, TableSchema};
+use crate::txn::{FaultState, Savepoint, TxnState, UndoRecord};
 use crate::value::{Row, Value};
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
@@ -55,6 +56,14 @@ pub struct Stats {
     pub plan_cache_hits: u64,
     /// `execute`/`prepare` calls that had to parse.
     pub plan_cache_misses: u64,
+    /// Transactions committed: explicit `COMMIT`s plus autocommitted
+    /// statements that mutated state.
+    pub txn_commits: u64,
+    /// Rollbacks applied: explicit `ROLLBACK`/`ROLLBACK TO` plus
+    /// automatic statement-level rollbacks of failed statements.
+    pub txn_rollbacks: u64,
+    /// Undo records appended to the transaction log.
+    pub undo_records: u64,
 }
 
 #[derive(Debug, Default)]
@@ -70,6 +79,9 @@ struct StatsCells {
     statements_parsed: Cell<u64>,
     plan_cache_hits: Cell<u64>,
     plan_cache_misses: Cell<u64>,
+    txn_commits: Cell<u64>,
+    txn_rollbacks: Cell<u64>,
+    undo_records: Cell<u64>,
 }
 
 impl StatsCells {
@@ -86,6 +98,9 @@ impl StatsCells {
             statements_parsed: self.statements_parsed.get(),
             plan_cache_hits: self.plan_cache_hits.get(),
             plan_cache_misses: self.plan_cache_misses.get(),
+            txn_commits: self.txn_commits.get(),
+            txn_rollbacks: self.txn_rollbacks.get(),
+            undo_records: self.undo_records.get(),
         }
     }
 
@@ -141,6 +156,9 @@ pub enum ExecResult {
     Affected(usize),
     /// DDL completed.
     Ddl,
+    /// Transaction control (`BEGIN`/`COMMIT`/`ROLLBACK`/`SAVEPOINT`)
+    /// completed.
+    Txn,
 }
 
 impl ExecResult {
@@ -259,6 +277,11 @@ pub struct Database {
     /// Compiled plans for SQL text seen by `execute`/`prepare`, cleared
     /// on any DDL.
     plan_cache: RefCell<PlanCache>,
+    /// Undo log, explicit-transaction flag, and savepoints.
+    txn: TxnState,
+    /// Armed fault-injection counters (see
+    /// [`Database::fail_after_statements`]).
+    fault: FaultState,
 }
 
 /// A materialized relation (CTE or intermediate result).
@@ -269,6 +292,10 @@ struct Materialized {
 }
 
 type CteEnv = HashMap<String, Materialized>;
+
+/// A deleted row captured for undo: its slot position, the row itself,
+/// and its offset inside each index bucket.
+type DeletedRowUndo = (usize, Row, Vec<(usize, usize)>);
 
 /// Per-statement evaluation context: the `OLD`/`NEW` trigger row, if any,
 /// and a cache for uncorrelated subquery results.
@@ -380,6 +407,8 @@ impl Database {
             next_id: Cell::new(0),
             statement_cost: Cell::new(std::time::Duration::ZERO),
             plan_cache: RefCell::new(PlanCache::default()),
+            txn: TxnState::default(),
+            fault: FaultState::default(),
         }
     }
 
@@ -480,7 +509,7 @@ impl Database {
         let (stmt, _) = self.plan_for(sql)?;
         StatsCells::bump(&self.stats.client_statements, 1);
         self.charge_statement();
-        self.exec_internal(&stmt, &EvalCtx::new(), 0)
+        self.exec_client(&stmt, &EvalCtx::new())
     }
 
     /// Compile `sql` into a reusable [`PreparedStmt`]. `?` placeholders
@@ -514,7 +543,7 @@ impl Database {
         }
         StatsCells::bump(&self.stats.client_statements, 1);
         self.charge_statement();
-        self.exec_internal(&stmt.stmt, &EvalCtx::with_params(params), 0)
+        self.exec_client(&stmt.stmt, &EvalCtx::with_params(params))
     }
 
     /// Execute a prepared query and return its result set.
@@ -529,18 +558,37 @@ impl Database {
     pub fn execute_stmt(&mut self, stmt: &Stmt) -> Result<ExecResult> {
         StatsCells::bump(&self.stats.client_statements, 1);
         self.charge_statement();
-        self.exec_internal(stmt, &EvalCtx::new(), 0)
+        self.exec_client(stmt, &EvalCtx::new())
     }
 
     /// Execute a `;`-separated script.
+    ///
+    /// On failure the error is a [`DbError::ScriptStatement`] carrying
+    /// the failing statement's 0-based index and SQL text. Under
+    /// autocommit every statement *preceding* the failing one stays
+    /// applied (each committed on its own); the failing statement itself
+    /// rolls back atomically. If the script opened an explicit
+    /// transaction (`BEGIN`) that is still uncommitted at the point of
+    /// failure, the preceding statements of that transaction remain
+    /// pending — the caller decides whether to `COMMIT` or `ROLLBACK`
+    /// them.
     pub fn run_script(&mut self, sql: &str) -> Result<Vec<ExecResult>> {
-        let stmts = parse_script(sql)?;
+        let stmts = parse_script_with_text(sql)?;
         StatsCells::bump(&self.stats.statements_parsed, stmts.len() as u64);
         let mut out = Vec::with_capacity(stmts.len());
-        for s in &stmts {
+        for (index, (s, text)) in stmts.iter().enumerate() {
             StatsCells::bump(&self.stats.client_statements, 1);
             self.charge_statement();
-            out.push(self.exec_internal(s, &EvalCtx::new(), 0)?);
+            match self.exec_client(s, &EvalCtx::new()) {
+                Ok(r) => out.push(r),
+                Err(cause) => {
+                    return Err(DbError::ScriptStatement {
+                        index,
+                        sql: text.clone(),
+                        cause: Box::new(cause),
+                    })
+                }
+            }
         }
         Ok(out)
     }
@@ -551,6 +599,247 @@ impl Database {
             ExecResult::Rows(rs) => Ok(rs),
             other => Err(DbError::Execution(format!("not a query: {other:?}"))),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // transactions
+    // ------------------------------------------------------------------
+
+    /// Client-statement funnel: every public execution path lands here.
+    ///
+    /// Non-control statements run under statement-level atomicity — on
+    /// error, everything the statement did (including trigger-body
+    /// mutations, which share the same undo log) is rolled back before
+    /// the error is returned, matching how a real RDBMS aborts a failed
+    /// statement. Outside an explicit transaction a successful statement
+    /// autocommits (its undo records are discarded).
+    fn exec_client(&mut self, stmt: &Stmt, ctx: &EvalCtx<'_>) -> Result<ExecResult> {
+        if stmt.is_txn_control() {
+            // Control statements manage the log; they are not run under
+            // it and are exempt from the statement fault (so a test can
+            // arm a fault and still COMMIT/ROLLBACK around it).
+            return self.exec_internal(stmt, ctx, 0);
+        }
+        self.fault.check_statement()?;
+        let mark = self.txn.mark();
+        match self.exec_internal(stmt, ctx, 0) {
+            Ok(r) => {
+                if !self.txn.explicit && !self.txn.log.is_empty() {
+                    // Autocommit: the statement is durable, drop its
+                    // undo records.
+                    self.txn.log.clear();
+                    StatsCells::bump(&self.stats.txn_commits, 1);
+                }
+                Ok(r)
+            }
+            Err(e) => {
+                self.rollback_to_mark(mark);
+                StatsCells::bump(&self.stats.txn_rollbacks, 1);
+                Err(e)
+            }
+        }
+    }
+
+    /// Open an explicit transaction. Statements until [`Database::commit`]
+    /// or [`Database::rollback`] accumulate undo records as one unit.
+    /// Nested transactions are not supported — use
+    /// [`Database::savepoint`]. Direct API transaction control does not
+    /// count as a client statement (it models JDBC's connection-level
+    /// `setAutoCommit`/`commit`, not a round trip).
+    pub fn begin(&mut self) -> Result<()> {
+        if self.txn.explicit {
+            return Err(DbError::Txn(
+                "already in a transaction (nested BEGIN; use SAVEPOINT)".into(),
+            ));
+        }
+        debug_assert!(self.txn.log.is_empty(), "autocommit left undo records");
+        self.txn.explicit = true;
+        self.txn.start_next_id = self.next_id.get();
+        Ok(())
+    }
+
+    /// Commit the open transaction, discarding its undo log.
+    pub fn commit(&mut self) -> Result<()> {
+        if !self.txn.explicit {
+            return Err(DbError::Txn("COMMIT outside a transaction".into()));
+        }
+        self.txn.reset();
+        StatsCells::bump(&self.stats.txn_commits, 1);
+        Ok(())
+    }
+
+    /// Roll the open transaction back entirely: every recorded effect is
+    /// undone (newest first) and the id counter returns to its
+    /// `BEGIN`-time value.
+    pub fn rollback(&mut self) -> Result<()> {
+        if !self.txn.explicit {
+            return Err(DbError::Txn("ROLLBACK outside a transaction".into()));
+        }
+        self.rollback_to_mark(0);
+        self.next_id.set(self.txn.start_next_id);
+        self.txn.reset();
+        StatsCells::bump(&self.stats.txn_rollbacks, 1);
+        Ok(())
+    }
+
+    /// Mark a savepoint inside the open transaction.
+    pub fn savepoint(&mut self, name: &str) -> Result<()> {
+        if !self.txn.explicit {
+            return Err(DbError::Txn(format!(
+                "SAVEPOINT {name} outside a transaction"
+            )));
+        }
+        self.txn.savepoints.push(Savepoint {
+            name: name.to_string(),
+            mark: self.txn.mark(),
+            next_id: self.next_id.get(),
+        });
+        Ok(())
+    }
+
+    /// Roll back to the most recent savepoint named `name`
+    /// (case-insensitive). The savepoint stays active, so a transaction
+    /// can retry past it; later savepoints are discarded.
+    pub fn rollback_to(&mut self, name: &str) -> Result<()> {
+        if !self.txn.explicit {
+            return Err(DbError::Txn(format!(
+                "ROLLBACK TO {name} outside a transaction"
+            )));
+        }
+        let at = self
+            .txn
+            .savepoints
+            .iter()
+            .rposition(|s| s.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| DbError::Txn(format!("no savepoint named `{name}`")))?;
+        let sp = self.txn.savepoints[at].clone();
+        self.txn.savepoints.truncate(at + 1);
+        self.rollback_to_mark(sp.mark);
+        self.next_id.set(sp.next_id);
+        StatsCells::bump(&self.stats.txn_rollbacks, 1);
+        Ok(())
+    }
+
+    /// Whether an explicit transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.explicit
+    }
+
+    /// Number of undo records currently in the transaction log.
+    pub fn undo_log_len(&self) -> usize {
+        self.txn.log.len()
+    }
+
+    /// Undo all records above `mark`, newest first. If any undone record
+    /// was DDL the plan cache is invalidated, mirroring the forward DDL
+    /// path (satellite: ROLLBACK of DDL must not leave stale plans).
+    fn rollback_to_mark(&mut self, mark: usize) {
+        let mut ddl = false;
+        while self.txn.log.len() > mark {
+            let rec = self.txn.log.pop().expect("len > mark");
+            ddl |= rec.is_ddl();
+            self.apply_undo(rec);
+        }
+        if ddl {
+            self.plan_cache.borrow_mut().clear();
+        }
+    }
+
+    /// Apply one undo record. Records are self-describing; a missing
+    /// table means the sequence was corrupted, so the undo degrades to a
+    /// no-op rather than panicking.
+    fn apply_undo(&mut self, rec: UndoRecord) {
+        match rec {
+            UndoRecord::InsertedRow { table, pos } => {
+                if let Some(t) = self.tables.get_mut(&table) {
+                    t.undo_insert(pos);
+                }
+            }
+            UndoRecord::DeletedRow {
+                table,
+                pos,
+                row,
+                index_offsets,
+            } => {
+                if let Some(t) = self.tables.get_mut(&table) {
+                    t.restore_row(pos, row, &index_offsets);
+                }
+            }
+            UndoRecord::UpdatedCell {
+                table,
+                pos,
+                column,
+                old,
+                old_offset,
+            } => {
+                if let Some(t) = self.tables.get_mut(&table) {
+                    t.unupdate_cell(pos, column, old, old_offset);
+                }
+            }
+            UndoRecord::CreatedTable { name } => {
+                self.tables.remove(&name);
+            }
+            UndoRecord::DroppedTable {
+                name,
+                table,
+                triggers,
+            } => {
+                self.tables.insert(name, *table);
+                for (at, trig) in triggers {
+                    self.triggers.insert(at.min(self.triggers.len()), trig);
+                }
+            }
+            UndoRecord::CreatedIndex { table, column } => {
+                if let Some(t) = self.tables.get_mut(&table) {
+                    t.drop_index(column);
+                }
+            }
+            UndoRecord::CreatedTrigger { name } => {
+                self.triggers
+                    .retain(|t| !t.name.eq_ignore_ascii_case(&name));
+            }
+            UndoRecord::DroppedTrigger { position, trigger } => {
+                self.triggers
+                    .insert(position.min(self.triggers.len()), *trigger);
+            }
+        }
+    }
+
+    /// Append an undo record for a forward mutation.
+    fn record_undo(&mut self, rec: UndoRecord) {
+        StatsCells::bump(&self.stats.undo_records, 1);
+        self.txn.log.push(rec);
+    }
+
+    // ------------------------------------------------------------------
+    // fault injection
+    // ------------------------------------------------------------------
+
+    /// Arm a one-shot deterministic fault: the `n`th client statement
+    /// from now (1 = the very next one) fails with
+    /// [`DbError::FaultInjected`] before executing. Transaction-control
+    /// statements are not counted. The armed fault survives until it
+    /// fires or [`Database::clear_faults`] is called.
+    pub fn fail_after_statements(&mut self, n: u64) {
+        self.fault.arm_statement(n);
+    }
+
+    /// Arm a one-shot fault on the `n`th row write (insert, delete, or
+    /// cell update) to `table`, firing *mid-statement* — the
+    /// statement-level rollback then has real partial work to undo,
+    /// including any trigger-body writes already applied.
+    pub fn fail_on_table_write(&mut self, table: &str, n: u64) {
+        self.fault.arm_table_write(table, n);
+    }
+
+    /// Disarm all injected faults.
+    pub fn clear_faults(&mut self) {
+        self.fault.clear();
+    }
+
+    /// Whether any injected fault is still armed.
+    pub fn faults_armed(&self) -> bool {
+        self.fault.armed()
     }
 
     // ------------------------------------------------------------------
@@ -602,28 +891,61 @@ impl Database {
                     }
                 }
                 self.tables.insert(
-                    key,
+                    key.clone(),
                     Table::new(TableSchema {
                         name: name.clone(),
                         columns: columns.clone(),
                     }),
                 );
+                self.record_undo(UndoRecord::CreatedTable { name: key });
                 Ok(ExecResult::Ddl)
             }
             Stmt::DropTable { name, if_exists } => {
                 let key = name.to_ascii_lowercase();
-                if self.tables.remove(&key).is_none() && !*if_exists {
-                    return Err(DbError::NoSuchTable(name.clone()));
+                match self.tables.remove(&key) {
+                    None => {
+                        if !*if_exists {
+                            return Err(DbError::NoSuchTable(name.clone()));
+                        }
+                    }
+                    Some(table) => {
+                        // Capture the triggers removed with the table at
+                        // their positions so undo can splice them back.
+                        let mut removed = Vec::new();
+                        let mut kept = Vec::with_capacity(self.triggers.len());
+                        for (at, trig) in std::mem::take(&mut self.triggers).into_iter().enumerate()
+                        {
+                            if trig.table == key {
+                                removed.push((at, trig));
+                            } else {
+                                kept.push(trig);
+                            }
+                        }
+                        self.triggers = kept;
+                        self.record_undo(UndoRecord::DroppedTable {
+                            name: key,
+                            table: Box::new(table),
+                            triggers: removed,
+                        });
+                    }
                 }
-                self.triggers.retain(|t| t.table != key);
                 Ok(ExecResult::Ddl)
             }
             Stmt::CreateIndex { table, column, .. } => {
+                let key = table.to_ascii_lowercase();
                 let t = self
                     .tables
-                    .get_mut(&table.to_ascii_lowercase())
+                    .get_mut(&key)
                     .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
+                let ci = t.schema.column_index(column);
+                let was_new = ci.map(|ci| !t.has_index(ci)).unwrap_or(false);
                 t.create_index(column)?;
+                if was_new {
+                    self.record_undo(UndoRecord::CreatedIndex {
+                        table: key,
+                        column: ci.expect("checked above"),
+                    });
+                }
                 Ok(ExecResult::Ddl)
             }
             Stmt::CreateTrigger {
@@ -651,14 +973,20 @@ impl Database {
                     granularity: *granularity,
                     body: Rc::new(body.clone()),
                 });
+                self.record_undo(UndoRecord::CreatedTrigger { name: name.clone() });
                 Ok(ExecResult::Ddl)
             }
             Stmt::DropTrigger { name } => {
-                let before = self.triggers.len();
-                self.triggers.retain(|t| !t.name.eq_ignore_ascii_case(name));
-                if self.triggers.len() == before {
-                    return Err(DbError::Schema(format!("no trigger `{name}`")));
-                }
+                let at = self
+                    .triggers
+                    .iter()
+                    .position(|t| t.name.eq_ignore_ascii_case(name))
+                    .ok_or_else(|| DbError::Schema(format!("no trigger `{name}`")))?;
+                let trigger = self.triggers.remove(at);
+                self.record_undo(UndoRecord::DroppedTrigger {
+                    position: at,
+                    trigger: Box::new(trigger),
+                });
                 Ok(ExecResult::Ddl)
             }
             Stmt::Insert {
@@ -673,6 +1001,24 @@ impl Database {
                 filter,
             } => self.exec_update(table, sets, filter.as_ref(), ctx),
             Stmt::Select(q) => Ok(ExecResult::Rows(self.eval_select(q, ctx)?)),
+            Stmt::Begin | Stmt::Commit | Stmt::Rollback { .. } | Stmt::Savepoint { .. } => {
+                if depth > 0 {
+                    return Err(DbError::Txn(
+                        "transaction control inside a trigger body".into(),
+                    ));
+                }
+                match stmt {
+                    Stmt::Begin => self.begin()?,
+                    Stmt::Commit => self.commit()?,
+                    Stmt::Rollback { to_savepoint } => match to_savepoint {
+                        Some(name) => self.rollback_to(name)?,
+                        None => self.rollback()?,
+                    },
+                    Stmt::Savepoint { name } => self.savepoint(name)?,
+                    _ => unreachable!("outer match covers txn control"),
+                }
+                Ok(ExecResult::Txn)
+            }
         }
     }
 
@@ -758,20 +1104,56 @@ impl Database {
             inserted_rows.push(full);
         }
         let n = inserted_rows.len();
+        // Rows applied so far are recorded in the undo log even when the
+        // statement fails partway (arity error, injected fault): the
+        // client funnel rolls the partial work back before surfacing the
+        // error.
+        let mut positions = Vec::with_capacity(n);
+        let mut failure = None;
         {
             let t = self.tables.get_mut(&key).unwrap();
             if has_insert_triggers {
                 for row in &inserted_rows {
-                    t.insert(row.clone())?;
+                    if let Err(e) = self.fault.check_table_write(&key) {
+                        failure = Some(e);
+                        break;
+                    }
+                    match t.insert(row.clone()) {
+                        Ok(p) => positions.push(p),
+                        Err(e) => {
+                            failure = Some(e);
+                            break;
+                        }
+                    }
                 }
             } else {
                 // No trigger needs the rows afterwards: move them in.
                 for row in std::mem::take(&mut inserted_rows) {
-                    t.insert(row)?;
+                    if let Err(e) = self.fault.check_table_write(&key) {
+                        failure = Some(e);
+                        break;
+                    }
+                    match t.insert(row) {
+                        Ok(p) => positions.push(p),
+                        Err(e) => {
+                            failure = Some(e);
+                            break;
+                        }
+                    }
                 }
             }
         }
-        StatsCells::bump(&self.stats.rows_inserted, n as u64);
+        let applied = positions.len();
+        for pos in positions {
+            self.record_undo(UndoRecord::InsertedRow {
+                table: key.clone(),
+                pos,
+            });
+        }
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        StatsCells::bump(&self.stats.rows_inserted, applied as u64);
         if n > 0 && has_insert_triggers {
             self.fire_triggers(&key, TriggerEvent::Insert, &inserted_rows, depth)?;
         }
@@ -787,15 +1169,47 @@ impl Database {
     ) -> Result<ExecResult> {
         let key = table.to_ascii_lowercase();
         let positions = self.select_positions(&key, filter, ctx)?;
-        let deleted: Vec<Row> = {
+        let has_delete_triggers = self
+            .triggers
+            .iter()
+            .any(|t| t.table == key && t.event == TriggerEvent::Delete);
+        let mut failure = None;
+        let deleted: Vec<DeletedRowUndo> = {
             let t = self.tables.get_mut(&key).unwrap();
-            positions.iter().filter_map(|&p| t.delete(p)).collect()
+            let mut out = Vec::with_capacity(positions.len());
+            for &p in &positions {
+                if let Err(e) = self.fault.check_table_write(&key) {
+                    failure = Some(e);
+                    break;
+                }
+                if let Some((row, offsets)) = t.delete_with_undo(p) {
+                    out.push((p, row, offsets));
+                }
+            }
+            out
         };
-        StatsCells::bump(&self.stats.rows_deleted, deleted.len() as u64);
-        if !deleted.is_empty() {
-            self.fire_triggers(&key, TriggerEvent::Delete, &deleted, depth)?;
+        let n = deleted.len();
+        // Triggers bind OLD per deleted row; clone only when one exists.
+        let mut trigger_rows: Vec<Row> = Vec::new();
+        for (pos, row, index_offsets) in deleted {
+            if has_delete_triggers {
+                trigger_rows.push(row.clone());
+            }
+            self.record_undo(UndoRecord::DeletedRow {
+                table: key.clone(),
+                pos,
+                row,
+                index_offsets,
+            });
         }
-        Ok(ExecResult::Affected(deleted.len()))
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        StatsCells::bump(&self.stats.rows_deleted, n as u64);
+        if !trigger_rows.is_empty() {
+            self.fire_triggers(&key, TriggerEvent::Delete, &trigger_rows, depth)?;
+        }
+        Ok(ExecResult::Affected(n))
     }
 
     fn exec_update(
@@ -837,13 +1251,37 @@ impl Database {
             pending.push((p, vals));
         }
         let n = pending.len();
+        let mut failure = None;
+        let mut cell_undo: Vec<(usize, usize, Value, Option<usize>)> = Vec::new();
         {
             let t = self.tables.get_mut(&key).unwrap();
-            for (p, vals) in pending {
+            'rows: for (p, vals) in pending {
                 for (&ci, v) in set_indices.iter().zip(vals) {
-                    t.update_cell(p, ci, v)?;
+                    if let Err(e) = self.fault.check_table_write(&key) {
+                        failure = Some(e);
+                        break 'rows;
+                    }
+                    match t.update_cell_with_undo(p, ci, v) {
+                        Ok((old, old_offset)) => cell_undo.push((p, ci, old, old_offset)),
+                        Err(e) => {
+                            failure = Some(e);
+                            break 'rows;
+                        }
+                    }
                 }
             }
+        }
+        for (pos, column, old, old_offset) in cell_undo {
+            self.record_undo(UndoRecord::UpdatedCell {
+                table: key.clone(),
+                pos,
+                column,
+                old,
+                old_offset,
+            });
+        }
+        if let Some(e) = failure {
+            return Err(e);
         }
         StatsCells::bump(&self.stats.rows_updated, n as u64);
         Ok(ExecResult::Affected(n))

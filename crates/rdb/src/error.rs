@@ -19,6 +19,33 @@ pub enum DbError {
     Execution(String),
     /// Trigger recursion exceeded the safety limit.
     TriggerDepth(String),
+    /// Transaction-control misuse (nested `BEGIN`, `COMMIT` outside a
+    /// transaction, unknown savepoint, …).
+    Txn(String),
+    /// A deterministic injected fault fired (see
+    /// `Database::fail_after_statements` / `Database::fail_on_table_write`).
+    FaultInjected(String),
+    /// A statement inside `Database::run_script` failed; carries the
+    /// failing statement's 0-based index and SQL text plus the
+    /// underlying error.
+    ScriptStatement {
+        /// 0-based index of the failing statement within the script.
+        index: usize,
+        /// SQL text of the failing statement.
+        sql: String,
+        /// The underlying engine error.
+        cause: Box<DbError>,
+    },
+}
+
+impl DbError {
+    /// The innermost error, unwrapping any script-statement context.
+    pub fn root_cause(&self) -> &DbError {
+        match self {
+            DbError::ScriptStatement { cause, .. } => cause.root_cause(),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for DbError {
@@ -31,6 +58,11 @@ impl fmt::Display for DbError {
             DbError::Type(m) => write!(f, "type error: {m}"),
             DbError::Execution(m) => write!(f, "execution error: {m}"),
             DbError::TriggerDepth(m) => write!(f, "trigger recursion limit: {m}"),
+            DbError::Txn(m) => write!(f, "transaction error: {m}"),
+            DbError::FaultInjected(m) => write!(f, "injected fault: {m}"),
+            DbError::ScriptStatement { index, sql, cause } => {
+                write!(f, "script statement #{index} (`{sql}`): {cause}")
+            }
         }
     }
 }

@@ -62,6 +62,36 @@ impl Tok {
     }
 }
 
+impl std::fmt::Display for Tok {
+    /// Render the token back as SQL text (string literals re-escaped).
+    /// Used for error messages that quote the statement being executed.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(n) => write!(f, "{n}"),
+            Tok::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Comma => write!(f, ","),
+            Tok::Dot => write!(f, "."),
+            Tok::Semi => write!(f, ";"),
+            Tok::Star => write!(f, "*"),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Percent => write!(f, "%"),
+            Tok::Eq => write!(f, "="),
+            Tok::Ne => write!(f, "<>"),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::Question => write!(f, "?"),
+            Tok::Dollar(n) => write!(f, "${n}"),
+        }
+    }
+}
+
 /// Tokenize SQL text. `--` line comments and `/* … */` block comments are
 /// skipped.
 pub fn lex(src: &str) -> Result<Vec<Tok>> {

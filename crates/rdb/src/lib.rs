@@ -10,8 +10,14 @@
 //!
 //! Execution statistics ([`Stats`]) expose the quantities the paper's
 //! analysis reasons about: SQL statements executed (client vs. total,
-//! including trigger bodies), rows scanned, trigger firings, and index
-//! lookups.
+//! including trigger bodies), rows scanned, trigger firings, index
+//! lookups, and transaction commits/rollbacks.
+//!
+//! The [`txn`] module supplies transactions: `BEGIN`/`COMMIT`/`ROLLBACK`
+//! and `SAVEPOINT`/`ROLLBACK TO` (both as SQL and as the
+//! [`Database::begin`]-family API), statement-level atomicity under
+//! autocommit, exact undo of DML *and* DDL, and deterministic fault
+//! injection for crash-recovery tests.
 //!
 //! ```
 //! use xmlup_rdb::{Database, Value};
@@ -33,6 +39,7 @@ pub mod error;
 pub mod lexer;
 pub mod parser;
 pub mod table;
+pub mod txn;
 pub mod value;
 
 pub use ast::{
@@ -40,6 +47,7 @@ pub use ast::{
 };
 pub use engine::{Database, ExecResult, PreparedStmt, ResultSet, Stats, Trigger};
 pub use error::{DbError, Result};
-pub use parser::{parse_script, parse_stmt, parse_stmt_with_params};
+pub use parser::{parse_script, parse_script_with_text, parse_stmt, parse_stmt_with_params};
 pub use table::{Table, TableSchema};
+pub use txn::UndoRecord;
 pub use value::{DataType, Row, Value};

@@ -23,6 +23,51 @@ pub fn parse_script(sql: &str) -> Result<Vec<Stmt>> {
     }
 }
 
+/// Parse a script like [`parse_script`], additionally returning each
+/// statement's SQL text (re-rendered from its tokens) so callers can
+/// attribute an execution error to the statement that raised it.
+pub fn parse_script_with_text(sql: &str) -> Result<Vec<(Stmt, String)>> {
+    let toks = lex(sql)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        params: 0,
+    };
+    let mut out = Vec::new();
+    loop {
+        while p.eat_tok(&Tok::Semi) {}
+        if p.at_end() {
+            return Ok(out);
+        }
+        let start = p.pos;
+        let stmt = p.stmt()?;
+        let text = render_tokens(&p.toks[start..p.pos]);
+        out.push((stmt, text));
+    }
+}
+
+/// Join tokens back into readable SQL: single spaces between tokens,
+/// except none before `,`/`)`/`;`, none after `(`, and none around `.`.
+fn render_tokens(toks: &[Tok]) -> String {
+    let mut out = String::new();
+    let mut prev: Option<&Tok> = None;
+    for t in toks {
+        let glue = !matches!(
+            (prev, t),
+            (None, _)
+                | (_, Tok::Comma | Tok::RParen | Tok::Semi | Tok::Dot)
+                | (Some(Tok::LParen | Tok::Dot), _)
+        );
+        if glue {
+            out.push(' ');
+        }
+        use std::fmt::Write as _;
+        let _ = write!(out, "{t}");
+        prev = Some(t);
+    }
+    out
+}
+
 /// Parse exactly one statement (trailing `;` allowed).
 pub fn parse_stmt(sql: &str) -> Result<Stmt> {
     Ok(parse_stmt_with_params(sql)?.0)
@@ -158,6 +203,28 @@ impl Parser {
             || self.peek() == Some(&Tok::LParen)
         {
             Ok(Stmt::Select(Box::new(self.select_stmt()?)))
+        } else if self.eat_kw("BEGIN") {
+            // `BEGIN [TRANSACTION | WORK]`. A trigger definition's body
+            // delimiter is consumed inside `create()`, so a `BEGIN` seen
+            // here is unambiguously transaction control.
+            let _ = self.eat_kw("TRANSACTION") || self.eat_kw("WORK");
+            Ok(Stmt::Begin)
+        } else if self.eat_kw("COMMIT") {
+            let _ = self.eat_kw("TRANSACTION") || self.eat_kw("WORK");
+            Ok(Stmt::Commit)
+        } else if self.eat_kw("ROLLBACK") {
+            let _ = self.eat_kw("TRANSACTION") || self.eat_kw("WORK");
+            let to_savepoint = if self.eat_kw("TO") {
+                let _ = self.eat_kw("SAVEPOINT");
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            Ok(Stmt::Rollback { to_savepoint })
+        } else if self.eat_kw("SAVEPOINT") {
+            Ok(Stmt::Savepoint {
+                name: self.ident()?,
+            })
         } else {
             Err(DbError::SqlParse(format!(
                 "unexpected statement start: {:?}",

@@ -6,7 +6,7 @@ use crate::value::{Row, Value};
 use std::collections::HashMap;
 
 /// Schema of one table.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableSchema {
     /// Table name as created.
     pub name: String,
@@ -33,7 +33,12 @@ impl TableSchema {
 /// Rows live in slots (`Vec<Option<Row>>`); deletion tombstones the slot so
 /// that row positions remain stable during statement execution. Indexes are
 /// maintained eagerly on insert/delete/update.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the full physical state — slot vector (including
+/// tombstones), live count, and index bucket contents *in order* — which
+/// is exactly the "byte-identical" equality the transaction layer's
+/// exact undo restores (see `crate::txn`).
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     /// The table's schema.
     pub schema: TableSchema,
@@ -150,6 +155,131 @@ impl Table {
             idx.entry(value).or_default().push(pos);
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // undo support (see `crate::txn`)
+    //
+    // The engine records enough from each forward mutation to restore the
+    // table *exactly*: inserts are undone while they are still the last
+    // slot (rollback applies records newest-first), and delete/update
+    // undo re-inserts the slot position at its recorded offset inside
+    // each index bucket, reproducing bucket ordering.
+    // ------------------------------------------------------------------
+
+    /// Delete the row at `pos` like [`Table::delete`], additionally
+    /// returning the `(column, offset)` of the slot in each index bucket
+    /// it is removed from, so [`Table::restore_row`] can splice it back
+    /// in place.
+    pub(crate) fn delete_with_undo(&mut self, pos: usize) -> Option<(Row, Vec<(usize, usize)>)> {
+        {
+            let row = self.slots.get(pos)?.as_ref()?;
+            let mut offsets = Vec::new();
+            for (ci, idx) in self.indexes.iter() {
+                if let Some(off) = idx
+                    .get(&row[*ci])
+                    .and_then(|v| v.iter().position(|&p| p == pos))
+                {
+                    offsets.push((*ci, off));
+                }
+            }
+            let row = self.delete(pos)?;
+            Some((row, offsets))
+        }
+    }
+
+    /// Undo a delete: put `row` back at `pos` and re-insert the slot at
+    /// its recorded offset in each index bucket.
+    pub(crate) fn restore_row(&mut self, pos: usize, row: Row, offsets: &[(usize, usize)]) {
+        for &(ci, off) in offsets {
+            if let Some(idx) = self.indexes.get_mut(&ci) {
+                let bucket = idx.entry(row[ci].clone()).or_default();
+                bucket.insert(off.min(bucket.len()), pos);
+            }
+        }
+        if let Some(slot) = self.slots.get_mut(pos) {
+            if slot.replace(row).is_none() {
+                self.live += 1;
+            }
+        }
+    }
+
+    /// Overwrite a cell like [`Table::update_cell`], additionally
+    /// returning the previous value and, when the column is indexed, the
+    /// slot's offset in the old value's bucket.
+    pub(crate) fn update_cell_with_undo(
+        &mut self,
+        pos: usize,
+        column_idx: usize,
+        value: Value,
+    ) -> Result<(Value, Option<usize>)> {
+        let old = self
+            .row(pos)
+            .and_then(|r| r.get(column_idx))
+            .cloned()
+            .ok_or_else(|| DbError::Execution(format!("no live row at slot {pos}")))?;
+        let old_offset = self
+            .indexes
+            .get(&column_idx)
+            .and_then(|idx| idx.get(&old))
+            .and_then(|v| v.iter().position(|&p| p == pos));
+        self.update_cell(pos, column_idx, value)?;
+        Ok((old, old_offset))
+    }
+
+    /// Undo a cell update: restore `old` and rebuild the index entry at
+    /// its recorded bucket offset.
+    pub(crate) fn unupdate_cell(
+        &mut self,
+        pos: usize,
+        column_idx: usize,
+        old: Value,
+        old_offset: Option<usize>,
+    ) {
+        let row = match self.slots.get_mut(pos).and_then(Option::as_mut) {
+            Some(r) => r,
+            None => return,
+        };
+        let current = std::mem::replace(&mut row[column_idx], old.clone());
+        if let Some(idx) = self.indexes.get_mut(&column_idx) {
+            if let Some(v) = idx.get_mut(&current) {
+                v.retain(|&p| p != pos);
+                if v.is_empty() {
+                    idx.remove(&current);
+                }
+            }
+            if let Some(off) = old_offset {
+                let bucket = idx.entry(old).or_default();
+                bucket.insert(off.min(bucket.len()), pos);
+            }
+        }
+    }
+
+    /// Undo an insert of the row at `pos`. Rollback applies records
+    /// newest-first, so any later appends were already undone and `pos`
+    /// is the last slot again: popping it restores the slot vector's
+    /// original length.
+    pub(crate) fn undo_insert(&mut self, pos: usize) {
+        if let Some(row) = self.slots.get_mut(pos).and_then(Option::take) {
+            self.live -= 1;
+            for (ci, idx) in self.indexes.iter_mut() {
+                if let Some(v) = idx.get_mut(&row[*ci]) {
+                    v.retain(|&p| p != pos);
+                    if v.is_empty() {
+                        idx.remove(&row[*ci]);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(pos + 1, self.slots.len(), "insert undo must be last slot");
+        if pos + 1 == self.slots.len() {
+            self.slots.pop();
+        }
+    }
+
+    /// Drop the hash index on `column_idx` (undo of `CREATE INDEX`).
+    pub(crate) fn drop_index(&mut self, column_idx: usize) {
+        self.indexes.remove(&column_idx);
     }
 
     /// Slot positions of all live rows.

@@ -200,3 +200,58 @@ fn unbound_parameter_in_plain_execute_errors() {
     let err = db.query("SELECT name FROM Item WHERE id = ?").unwrap_err();
     assert!(matches!(err, DbError::Execution(_)), "got {err:?}");
 }
+
+#[test]
+fn rollback_of_ddl_invalidates_the_cache() {
+    // Satellite regression: a transaction creates a table and caches a
+    // plan against it; ROLLBACK undoes the DDL, so the cached plan must
+    // not survive (it would resolve against a table that no longer
+    // exists — or, worse, shadow a later table of the same name).
+    let mut db = item_db();
+    db.execute("BEGIN").unwrap();
+    db.execute("CREATE TABLE Tmp (x INTEGER)").unwrap();
+    db.execute("INSERT INTO Tmp VALUES (1)").unwrap();
+    db.query("SELECT COUNT(*) FROM Tmp").unwrap();
+    db.execute("ROLLBACK").unwrap();
+    let err = db.query("SELECT COUNT(*) FROM Tmp").unwrap_err();
+    assert!(
+        matches!(err, DbError::NoSuchTable(_)),
+        "stale plan served after rollback of DDL: {err:?}"
+    );
+
+    // And the mirror image: cached plans from *before* the transaction
+    // must be re-validated after a rollback that undid a DROP TABLE.
+    let mut db = item_db();
+    db.query("SELECT COUNT(*) FROM Item").unwrap();
+    db.query("SELECT COUNT(*) FROM Item").unwrap();
+    db.execute("BEGIN").unwrap();
+    db.execute("DROP TABLE Item").unwrap();
+    db.execute("ROLLBACK").unwrap();
+    let hits_before = db.stats().plan_cache_hits;
+    let parsed_before = db.stats().statements_parsed;
+    db.query("SELECT COUNT(*) FROM Item").unwrap();
+    let s = db.stats();
+    assert_eq!(s.plan_cache_hits, hits_before, "cache cleared by rollback");
+    assert!(
+        s.statements_parsed > parsed_before,
+        "re-parsed after rollback"
+    );
+}
+
+#[test]
+fn rollback_without_ddl_keeps_the_cache() {
+    let mut db = item_db();
+    db.execute("INSERT INTO Item VALUES (1, 1, 'a', TRUE, NULL)")
+        .unwrap();
+    db.query("SELECT COUNT(*) FROM Item").unwrap();
+    db.execute("BEGIN").unwrap();
+    db.execute("DELETE FROM Item").unwrap();
+    db.execute("ROLLBACK").unwrap();
+    let hits_before = db.stats().plan_cache_hits;
+    db.query("SELECT COUNT(*) FROM Item").unwrap();
+    assert_eq!(
+        db.stats().plan_cache_hits,
+        hits_before + 1,
+        "pure-DML rollback must not evict cached plans"
+    );
+}

@@ -1,0 +1,345 @@
+//! Transaction semantics: BEGIN/COMMIT/ROLLBACK, savepoints, autocommit
+//! statement atomicity, trigger-aware undo, DDL undo, fault injection,
+//! and `run_script` error context.
+
+use xmlup_rdb::{Database, DbError, ExecResult, Table};
+
+fn db_with_items() -> Database {
+    let mut db = Database::new();
+    db.run_script(
+        "CREATE TABLE Item (id INTEGER, qty INTEGER, name VARCHAR(20));
+         CREATE INDEX item_id ON Item (id);
+         INSERT INTO Item VALUES (1, 10, 'a'), (2, 20, 'b'), (3, 30, 'c');",
+    )
+    .unwrap();
+    db
+}
+
+/// Deep snapshot of every table (slots, tombstones, index buckets).
+fn snapshot(db: &Database) -> Vec<(String, Table)> {
+    db.table_names()
+        .into_iter()
+        .map(|n| {
+            let t = db.table(&n).unwrap().clone();
+            (n, t)
+        })
+        .collect()
+}
+
+fn ids(db: &mut Database) -> Vec<i64> {
+    db.query("SELECT id FROM Item ORDER BY id")
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r[0].clone().as_int().unwrap())
+        .collect()
+}
+
+#[test]
+fn commit_keeps_changes() {
+    let mut db = db_with_items();
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO Item VALUES (4, 40, 'd')").unwrap();
+    db.execute("DELETE FROM Item WHERE id = 1").unwrap();
+    db.execute("COMMIT").unwrap();
+    assert_eq!(ids(&mut db), vec![2, 3, 4]);
+    assert_eq!(db.stats().txn_commits, 4); // 3 autocommitted loads + COMMIT
+}
+
+#[test]
+fn rollback_restores_dml_exactly() {
+    let mut db = db_with_items();
+    let before = snapshot(&db);
+    let next_id_before = db.peek_next_id();
+    db.execute("BEGIN TRANSACTION").unwrap();
+    db.execute("INSERT INTO Item VALUES (4, 40, 'd')").unwrap();
+    db.execute("UPDATE Item SET qty = 99 WHERE id = 2").unwrap();
+    db.execute("DELETE FROM Item WHERE id = 1").unwrap();
+    db.allocate_ids(17);
+    db.execute("ROLLBACK").unwrap();
+    assert_eq!(snapshot(&db), before, "byte-identical restore");
+    assert_eq!(db.peek_next_id(), next_id_before, "next_id restored");
+    assert!(!db.in_transaction());
+    assert!(db.stats().txn_rollbacks >= 1);
+    assert!(db.stats().undo_records >= 3);
+}
+
+#[test]
+fn rollback_restores_index_bucket_order() {
+    let mut db = db_with_items();
+    // Duplicate ids so one index bucket holds several positions.
+    db.execute("INSERT INTO Item VALUES (2, 21, 'b2'), (2, 22, 'b3')")
+        .unwrap();
+    let before = snapshot(&db);
+    db.execute("BEGIN").unwrap();
+    // Delete the *middle* occupant of the id=2 bucket, then rollback:
+    // the restored bucket must preserve the original ordering.
+    db.execute("DELETE FROM Item WHERE qty = 21").unwrap();
+    db.execute("UPDATE Item SET id = 7 WHERE qty = 20").unwrap();
+    db.execute("ROLLBACK").unwrap();
+    assert_eq!(snapshot(&db), before);
+}
+
+#[test]
+fn savepoint_partial_rollback() {
+    let mut db = db_with_items();
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO Item VALUES (4, 40, 'd')").unwrap();
+    db.execute("SAVEPOINT sp1").unwrap();
+    db.execute("INSERT INTO Item VALUES (5, 50, 'e')").unwrap();
+    db.execute("ROLLBACK TO sp1").unwrap();
+    // Savepoint survives a partial rollback and can be reused.
+    db.execute("INSERT INTO Item VALUES (6, 60, 'f')").unwrap();
+    db.execute("ROLLBACK TO SAVEPOINT sp1").unwrap();
+    db.execute("COMMIT").unwrap();
+    assert_eq!(ids(&mut db), vec![1, 2, 3, 4]);
+}
+
+#[test]
+fn txn_control_errors() {
+    let mut db = db_with_items();
+    assert!(matches!(db.execute("COMMIT"), Err(DbError::Txn(_))));
+    assert!(matches!(db.execute("ROLLBACK"), Err(DbError::Txn(_))));
+    assert!(matches!(db.execute("SAVEPOINT s"), Err(DbError::Txn(_))));
+    db.execute("BEGIN").unwrap();
+    assert!(matches!(db.execute("BEGIN"), Err(DbError::Txn(_))));
+    assert!(matches!(
+        db.execute("ROLLBACK TO nowhere"),
+        Err(DbError::Txn(_))
+    ));
+    db.execute("ROLLBACK").unwrap();
+    assert!(matches!(db.execute("BEGIN WORK"), Ok(ExecResult::Txn)));
+    db.execute("COMMIT WORK").unwrap();
+}
+
+#[test]
+fn autocommit_statement_is_atomic() {
+    let mut db = db_with_items();
+    let before = snapshot(&db);
+    // Second row has the wrong arity: the whole INSERT must vanish even
+    // though the first row was already applied.
+    let err = db
+        .execute("INSERT INTO Item SELECT id + 10, qty, name FROM Item WHERE id = 1 UNION ALL SELECT id, qty FROM Item WHERE id = 2")
+        .unwrap_err();
+    let _ = err;
+    assert_eq!(snapshot(&db), before, "failed statement fully undone");
+    assert_eq!(db.undo_log_len(), 0);
+}
+
+#[test]
+fn trigger_mutations_roll_back_with_statement() {
+    let mut db = Database::new();
+    db.run_script(
+        "CREATE TABLE Parent (id INTEGER);
+         CREATE TABLE Child (id INTEGER, parentId INTEGER);
+         CREATE TABLE Audit (msg VARCHAR(10));
+         INSERT INTO Parent VALUES (1), (2);
+         INSERT INTO Child VALUES (10, 1), (11, 1), (12, 2);
+         CREATE TRIGGER pd AFTER DELETE ON Parent FOR EACH ROW BEGIN
+            DELETE FROM Child WHERE parentId = OLD.id;
+            INSERT INTO Audit VALUES ('del');
+         END;",
+    )
+    .unwrap();
+    let before = snapshot(&db);
+    db.execute("BEGIN").unwrap();
+    db.execute("DELETE FROM Parent WHERE id = 1").unwrap();
+    assert_eq!(db.table("Child").unwrap().len(), 1, "trigger cascaded");
+    assert_eq!(db.table("Audit").unwrap().len(), 1);
+    db.execute("ROLLBACK").unwrap();
+    assert_eq!(snapshot(&db), before, "trigger-body work undone too");
+}
+
+#[test]
+fn failed_statement_undoes_its_trigger_work() {
+    let mut db = Database::new();
+    db.run_script(
+        "CREATE TABLE Parent (id INTEGER);
+         CREATE TABLE Audit (msg VARCHAR(10));
+         INSERT INTO Parent VALUES (1), (2);
+         CREATE TRIGGER pd AFTER DELETE ON Parent FOR EACH ROW BEGIN
+            INSERT INTO Audit VALUES ('del');
+         END;",
+    )
+    .unwrap();
+    let before = snapshot(&db);
+    // Fault on Audit's 2nd write: the DELETE fires two row triggers, the
+    // second insert fails, and the whole statement (both parent deletes
+    // + the first audit row) must roll back under autocommit.
+    db.fail_on_table_write("Audit", 2);
+    let err = db.execute("DELETE FROM Parent").unwrap_err();
+    assert!(matches!(err, DbError::FaultInjected(_)), "{err:?}");
+    assert_eq!(snapshot(&db), before);
+}
+
+#[test]
+fn ddl_rolls_back() {
+    let mut db = db_with_items();
+    db.run_script(
+        "CREATE TABLE Keep (id INTEGER);
+         CREATE TRIGGER keep_t AFTER DELETE ON Keep FOR EACH ROW BEGIN
+            DELETE FROM Item WHERE id = OLD.id;
+         END;",
+    )
+    .unwrap();
+    let before = snapshot(&db);
+    let triggers_before: Vec<String> = db.triggers().iter().map(|t| t.name.clone()).collect();
+    db.execute("BEGIN").unwrap();
+    db.run_script(
+        "CREATE TABLE Tmp (x INTEGER);
+         INSERT INTO Tmp VALUES (1);
+         CREATE INDEX tmp_x ON Tmp (x);
+         DROP TABLE Keep;
+         DROP TABLE Item;
+         CREATE TRIGGER ghost AFTER INSERT ON Tmp FOR EACH ROW BEGIN
+            DELETE FROM Tmp WHERE x = 0;
+         END;",
+    )
+    .unwrap();
+    assert!(db.table("Item").is_none());
+    db.execute("ROLLBACK").unwrap();
+    assert_eq!(snapshot(&db), before, "tables and contents restored");
+    let triggers_after: Vec<String> = db.triggers().iter().map(|t| t.name.clone()).collect();
+    assert_eq!(triggers_after, triggers_before, "trigger list restored");
+    assert!(db.table("Tmp").is_none(), "created table dropped by undo");
+}
+
+#[test]
+fn dropped_index_restored_with_table() {
+    let mut db = db_with_items();
+    db.execute("BEGIN").unwrap();
+    db.execute("DROP TABLE Item").unwrap();
+    db.execute("ROLLBACK").unwrap();
+    let t = db.table("Item").unwrap();
+    let ci = t.schema.column_index("id").unwrap();
+    assert!(t.has_index(ci), "index came back with the table snapshot");
+}
+
+#[test]
+fn statement_fault_fires_on_nth_statement() {
+    let mut db = db_with_items();
+    db.fail_after_statements(2);
+    db.execute("INSERT INTO Item VALUES (4, 40, 'd')").unwrap();
+    let err = db
+        .execute("INSERT INTO Item VALUES (5, 50, 'e')")
+        .unwrap_err();
+    assert!(matches!(err, DbError::FaultInjected(_)));
+    assert!(!db.faults_armed(), "fault is one-shot");
+    // Life goes on after the fault.
+    db.execute("INSERT INTO Item VALUES (6, 60, 'f')").unwrap();
+    assert_eq!(ids(&mut db), vec![1, 2, 3, 4, 6]);
+}
+
+#[test]
+fn table_write_fault_counts_all_dml_kinds() {
+    let mut db = db_with_items();
+    db.fail_on_table_write("Item", 3);
+    db.execute("INSERT INTO Item VALUES (4, 40, 'd')").unwrap(); // write 1
+                                                                 // Writes 2 and 3 within one statement: fails mid-statement, and the
+                                                                 // statement rolls back while the previous one stays applied.
+    let err = db.execute("DELETE FROM Item WHERE id <= 2").unwrap_err();
+    assert!(matches!(err, DbError::FaultInjected(_)));
+    assert_eq!(ids(&mut db), vec![1, 2, 3, 4]);
+    // UPDATE cell writes tick the same counter.
+    db.fail_on_table_write("Item", 2);
+    let err = db.execute("UPDATE Item SET qty = 0").unwrap_err();
+    assert!(matches!(err, DbError::FaultInjected(_)));
+    let qtys: Vec<i64> = db
+        .query("SELECT qty FROM Item ORDER BY id")
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r[0].clone().as_int().unwrap())
+        .collect();
+    assert_eq!(qtys, vec![10, 20, 30, 40], "partial update rolled back");
+}
+
+#[test]
+fn api_transactions_match_sql_transactions() {
+    let mut db = db_with_items();
+    let before = snapshot(&db);
+    db.begin().unwrap();
+    assert!(db.in_transaction());
+    db.execute("DELETE FROM Item").unwrap();
+    db.rollback().unwrap();
+    assert_eq!(snapshot(&db), before);
+    db.begin().unwrap();
+    db.savepoint("s").unwrap();
+    db.execute("DELETE FROM Item WHERE id = 1").unwrap();
+    db.rollback_to("s").unwrap();
+    db.commit().unwrap();
+    assert_eq!(snapshot(&db), before);
+}
+
+#[test]
+fn txn_control_rejected_inside_triggers() {
+    let mut db = Database::new();
+    db.run_script(
+        "CREATE TABLE T (id INTEGER);
+         INSERT INTO T VALUES (1);
+         CREATE TRIGGER bad AFTER DELETE ON T FOR EACH ROW BEGIN
+            COMMIT;
+         END;",
+    )
+    .unwrap();
+    let err = db.execute("DELETE FROM T").unwrap_err();
+    assert!(matches!(err, DbError::Txn(_)), "{err:?}");
+    assert_eq!(db.table("T").unwrap().len(), 1, "statement rolled back");
+}
+
+#[test]
+fn run_script_reports_failing_statement() {
+    let mut db = Database::new();
+    let err = db
+        .run_script(
+            "CREATE TABLE T (id INTEGER);
+             INSERT INTO T VALUES (1);
+             DELETE FROM Ghost WHERE id = 1;
+             INSERT INTO T VALUES (2);",
+        )
+        .unwrap_err();
+    match &err {
+        DbError::ScriptStatement { index, sql, cause } => {
+            assert_eq!(*index, 2);
+            assert_eq!(sql, "DELETE FROM Ghost WHERE id = 1");
+            assert!(matches!(**cause, DbError::NoSuchTable(_)));
+        }
+        other => panic!("expected ScriptStatement, got {other:?}"),
+    }
+    assert!(matches!(err.root_cause(), DbError::NoSuchTable(_)));
+    let msg = err.to_string();
+    assert!(
+        msg.contains("#2") && msg.contains("DELETE FROM Ghost"),
+        "{msg}"
+    );
+    // Under autocommit the preceding statements stay applied.
+    assert_eq!(db.table("T").unwrap().len(), 1);
+}
+
+#[test]
+fn run_script_can_span_a_transaction() {
+    let mut db = db_with_items();
+    db.run_script(
+        "BEGIN;
+         DELETE FROM Item WHERE id = 1;
+         SAVEPOINT s;
+         DELETE FROM Item;
+         ROLLBACK TO s;
+         COMMIT;",
+    )
+    .unwrap();
+    assert_eq!(ids(&mut db), vec![2, 3]);
+}
+
+#[test]
+fn undo_records_counted() {
+    let mut db = db_with_items();
+    db.reset_stats();
+    db.execute("BEGIN").unwrap();
+    db.execute("DELETE FROM Item").unwrap(); // 3 undo records
+    db.execute("ROLLBACK").unwrap();
+    let s = db.stats();
+    assert_eq!(s.undo_records, 3);
+    assert_eq!(s.txn_rollbacks, 1);
+    assert_eq!(s.txn_commits, 0);
+}

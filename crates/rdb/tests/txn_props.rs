@@ -1,0 +1,147 @@
+//! Property tests for the transaction layer: for random DML sequences,
+//! `BEGIN … COMMIT` is observationally identical to autocommit, and
+//! `BEGIN … ROLLBACK` restores the byte-identical pre-transaction state
+//! — slots, tombstones, index bucket ordering, and the `next_id`
+//! counter.
+
+use proptest::prelude::*;
+use xmlup_rdb::{Database, Table};
+
+/// One step of a random DML sequence over a two-column indexed table.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, String),
+    DeleteWhere(i64),
+    UpdateWhere(i64, String),
+    AllocateIds(i64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..20, "[a-z]{1,6}").prop_map(|(k, s)| Op::Insert(k, s)),
+        (0i64..20).prop_map(Op::DeleteWhere),
+        (0i64..20, "[a-z]{1,6}").prop_map(|(k, s)| Op::UpdateWhere(k, s)),
+        (1i64..8).prop_map(Op::AllocateIds),
+    ]
+}
+
+fn op_sql(op: &Op) -> Option<String> {
+    match op {
+        Op::Insert(k, s) => Some(format!("INSERT INTO t VALUES ({k}, '{s}')")),
+        Op::DeleteWhere(k) => Some(format!("DELETE FROM t WHERE k = {k}")),
+        Op::UpdateWhere(k, s) => Some(format!("UPDATE t SET v = '{s}' WHERE k = {k}")),
+        Op::AllocateIds(_) => None,
+    }
+}
+
+/// Fresh database with an indexed table and some seed rows (so deletes
+/// and updates have something to bite on, and the index has buckets with
+/// several occupants).
+fn seeded(seed_rows: &[(i64, String)]) -> Database {
+    let mut db = Database::new();
+    db.run_script(
+        "CREATE TABLE t (k INTEGER, v VARCHAR(10));
+         CREATE INDEX t_k ON t (k);",
+    )
+    .unwrap();
+    for (k, s) in seed_rows {
+        db.execute(&format!("INSERT INTO t VALUES ({k}, '{s}')"))
+            .unwrap();
+    }
+    db.bump_next_id(100);
+    db
+}
+
+/// Deep physical snapshot: every table's slots, live count, and index
+/// buckets, plus the id counter.
+fn physical_state(db: &Database) -> (Vec<(String, Table)>, i64) {
+    (
+        db.table_names()
+            .into_iter()
+            .map(|n| {
+                let t = db.table(&n).unwrap().clone();
+                (n, t)
+            })
+            .collect(),
+        db.peek_next_id(),
+    )
+}
+
+fn apply(db: &mut Database, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::AllocateIds(n) => {
+                db.allocate_ids(*n);
+            }
+            other => {
+                db.execute(&op_sql(other).unwrap()).unwrap();
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn commit_equals_autocommit(
+        seed_rows in prop::collection::vec((0i64..20, "[a-z]{1,6}"), 0..10),
+        ops in prop::collection::vec(arb_op(), 0..30),
+    ) {
+        let mut wrapped = seeded(&seed_rows);
+        let mut auto = seeded(&seed_rows);
+
+        wrapped.begin().unwrap();
+        apply(&mut wrapped, &ops);
+        wrapped.commit().unwrap();
+
+        apply(&mut auto, &ops);
+
+        prop_assert_eq!(physical_state(&wrapped), physical_state(&auto));
+    }
+
+    #[test]
+    fn rollback_restores_byte_identical_state(
+        seed_rows in prop::collection::vec((0i64..20, "[a-z]{1,6}"), 0..10),
+        ops in prop::collection::vec(arb_op(), 0..30),
+        use_sql_txn in any::<bool>(),
+    ) {
+        let mut db = seeded(&seed_rows);
+        let before = physical_state(&db);
+
+        if use_sql_txn {
+            db.execute("BEGIN").unwrap();
+        } else {
+            db.begin().unwrap();
+        }
+        apply(&mut db, &ops);
+        if use_sql_txn {
+            db.execute("ROLLBACK").unwrap();
+        } else {
+            db.rollback().unwrap();
+        }
+
+        prop_assert_eq!(physical_state(&db), before);
+        prop_assert_eq!(db.undo_log_len(), 0);
+        prop_assert!(!db.in_transaction());
+    }
+
+    #[test]
+    fn rollback_to_savepoint_restores_midpoint(
+        seed_rows in prop::collection::vec((0i64..20, "[a-z]{1,6}"), 0..8),
+        head in prop::collection::vec(arb_op(), 0..15),
+        tail in prop::collection::vec(arb_op(), 0..15),
+    ) {
+        let mut db = seeded(&seed_rows);
+        db.begin().unwrap();
+        apply(&mut db, &head);
+        let midpoint = physical_state(&db);
+        db.savepoint("mid").unwrap();
+        apply(&mut db, &tail);
+        db.rollback_to("mid").unwrap();
+        prop_assert_eq!(physical_state(&db), midpoint);
+        // The head of the transaction is still live and committable.
+        db.commit().unwrap();
+        prop_assert_eq!(physical_state(&db), midpoint);
+    }
+}

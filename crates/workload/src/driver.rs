@@ -104,6 +104,94 @@ pub fn run_insert(repo: &mut XmlRepository, rel: usize, workload: Workload) -> R
     Ok(created)
 }
 
+/// Outcome of a fault-tolerant workload run
+/// ([`run_delete_recovering`] / [`run_insert_recovering`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Logical operations that completed (after any retries).
+    pub completed: usize,
+    /// Injected faults absorbed: each one aborted a single operation,
+    /// whose transaction rolled back, and the operation was retried.
+    pub faults_absorbed: usize,
+    /// Root tuples deleted or tuples created by the completed operations.
+    pub rows_affected: usize,
+}
+
+/// Run `op`, retrying whenever it fails with an *injected* fault. The
+/// repository executes each translated operation as one transaction, so a
+/// fault leaves the store exactly as before the attempt — retrying is
+/// safe. Injected faults are one-shot (they disarm on firing), so the
+/// loop terminates. Real errors propagate. Returns `(rows, faults)`.
+fn retry_on_fault(
+    repo: &mut XmlRepository,
+    mut op: impl FnMut(&mut XmlRepository) -> Result<usize>,
+) -> Result<(usize, usize)> {
+    let mut faults = 0;
+    loop {
+        match op(repo) {
+            Ok(n) => return Ok((n, faults)),
+            Err(e) if e.is_injected_fault() => faults += 1,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// [`run_delete`], but surviving injected faults: an operation killed
+/// mid-cascade rolls back and is retried, and the rest of the workload
+/// still runs.
+pub fn run_delete_recovering(
+    repo: &mut XmlRepository,
+    rel: usize,
+    workload: Workload,
+) -> Result<RecoveryReport> {
+    let mut report = RecoveryReport::default();
+    match workload {
+        Workload::Bulk => {
+            let (n, f) = retry_on_fault(repo, |r| r.delete_where(rel, None))?;
+            report.completed = 1;
+            report.faults_absorbed = f;
+            report.rows_affected = n;
+        }
+        Workload::Random { .. } => {
+            for id in pick_targets(repo, rel, workload) {
+                let (n, f) = retry_on_fault(repo, |r| r.delete_by_id(rel, id))?;
+                report.completed += 1;
+                report.faults_absorbed += f;
+                report.rows_affected += n;
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// [`run_insert`], but surviving injected faults: a self-copy killed
+/// mid-shred rolls back (including any temp tables) and is retried.
+pub fn run_insert_recovering(
+    repo: &mut XmlRepository,
+    rel: usize,
+    workload: Workload,
+) -> Result<RecoveryReport> {
+    let targets = pick_targets(repo, rel, workload);
+    let table = repo.mapping.relations[rel].table.clone();
+    let lookup = repo
+        .db
+        .prepare(&format!("SELECT parentId FROM {table} WHERE id = ?"))?;
+    let mut report = RecoveryReport::default();
+    for id in targets {
+        let parent_id = repo
+            .db
+            .query_prepared(&lookup, &[xmlup_rdb::Value::Int(id)])?
+            .scalar()
+            .and_then(xmlup_rdb::Value::as_int)
+            .unwrap_or(0);
+        let (n, f) = retry_on_fault(repo, |r| r.copy_subtree(rel, id, parent_id))?;
+        report.completed += 1;
+        report.faults_absorbed += f;
+        report.rows_affected += n;
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +272,50 @@ mod tests {
             counts.push(r.tuple_count());
         }
         assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn random_delete_recovers_from_injected_fault() {
+        let (mut r, n1) = repo(DeleteStrategy::Cascading, InsertStrategy::Table);
+        let before = r.tuple_count();
+        // Kill the 5th client statement: mid-workload, inside some
+        // delete's cascade.
+        r.db.fail_after_statements(5);
+        let report = run_delete_recovering(&mut r, n1, Workload::random10()).unwrap();
+        assert_eq!(report.completed, 10);
+        assert_eq!(report.faults_absorbed, 1);
+        assert_eq!(report.rows_affected, 10);
+        // Same net effect as a fault-free run: 10 subtrees of 7 tuples.
+        assert_eq!(before - r.tuple_count(), 70);
+        assert!(!r.db.faults_armed());
+    }
+
+    #[test]
+    fn random_insert_recovers_from_table_write_fault() {
+        let (mut r, n1) = repo(DeleteStrategy::PerTupleTrigger, InsertStrategy::Tuple);
+        let before = r.tuple_count();
+        // Kill the 12th write to the n2 table: some self-copy dies
+        // mid-subtree and must roll back cleanly before the retry.
+        let n2_table = r.mapping.relations[r.mapping.relation_by_element("n2").unwrap()]
+            .table
+            .clone();
+        r.db.fail_on_table_write(&n2_table, 12);
+        let report = run_insert_recovering(&mut r, n1, Workload::random10()).unwrap();
+        assert_eq!(report.completed, 10);
+        assert_eq!(report.faults_absorbed, 1);
+        assert_eq!(report.rows_affected, 70);
+        assert_eq!(r.tuple_count(), before + 70);
+    }
+
+    #[test]
+    fn real_errors_still_propagate() {
+        let (mut r, n1) = repo(DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
+        // A genuine SQL error (unknown column) is not an injected fault
+        // and must not be swallowed by the retry loop.
+        let err = retry_on_fault(&mut r, |repo| {
+            repo.delete_where(n1, Some("no_such_column = 1"))
+        });
+        assert!(err.is_err());
     }
 
     #[test]

@@ -18,5 +18,8 @@ pub mod dblp;
 pub mod driver;
 pub mod synthetic;
 
-pub use driver::{pick_targets, run_delete, run_insert, Workload, RANDOM_OPS};
+pub use driver::{
+    pick_targets, run_delete, run_delete_recovering, run_insert, run_insert_recovering,
+    RecoveryReport, Workload, RANDOM_OPS,
+};
 pub use synthetic::{fixed_document, randomized_document, synthetic_dtd, SyntheticParams};

@@ -1,0 +1,213 @@
+//! Acceptance test for the transaction subsystem (ISSUE: txn, rollback &
+//! fault injection): killing a random-workload update at an arbitrary
+//! statement must leave every shredded relation — under the Shared
+//! Inlining mapping AND the Edge mapping — byte-identical to the
+//! pre-update snapshot, and the workload driver must complete the
+//! remaining updates after the rollback.
+//!
+//! "Byte-identical" is checked with [`Table`]'s `PartialEq`, which
+//! compares the full physical state: every slot (including tombstones),
+//! the live count, and the index buckets in order — plus the engine's id
+//! counter.
+
+use xmlup_core::{DeleteStrategy, InsertStrategy, RepoConfig, XmlRepository};
+use xmlup_rdb::{Database, Table};
+use xmlup_shred::edge;
+use xmlup_workload::driver::{pick_targets, run_delete_recovering, Workload};
+use xmlup_workload::{fixed_document, synthetic_dtd, SyntheticParams};
+
+/// Deep physical snapshot of every relation plus the id counter.
+fn snapshot(db: &Database) -> (Vec<(String, Table)>, i64) {
+    let mut tables: Vec<(String, Table)> = db
+        .table_names()
+        .into_iter()
+        .map(|n| {
+            let t = db.table(&n).unwrap().clone();
+            (n, t)
+        })
+        .collect();
+    tables.sort_by(|a, b| a.0.cmp(&b.0));
+    (tables, db.peek_next_id())
+}
+
+fn inline_repo(ds: DeleteStrategy) -> (XmlRepository, usize) {
+    let p = SyntheticParams::new(20, 3, 2);
+    let dtd = synthetic_dtd(3);
+    let doc = fixed_document(&p);
+    let mut repo = XmlRepository::new(
+        &dtd,
+        "root",
+        RepoConfig {
+            delete_strategy: ds,
+            insert_strategy: InsertStrategy::Tuple,
+            build_asr: ds == DeleteStrategy::Asr,
+            statement_cost_us: 0,
+        },
+    )
+    .unwrap();
+    repo.load(&doc).unwrap();
+    let n1 = repo.mapping.relation_by_element("n1").unwrap();
+    (repo, n1)
+}
+
+/// Shared Inlining: for several arbitrary fault positions, the update
+/// that dies rolls back to a byte-identical store, and retrying it plus
+/// finishing the workload reaches the exact state of a fault-free run.
+#[test]
+fn inline_update_killed_at_arbitrary_statement_restores_exactly() {
+    for ds in [
+        DeleteStrategy::PerTupleTrigger,
+        DeleteStrategy::Cascading,
+        DeleteStrategy::Asr,
+    ] {
+        // Fault-free reference run.
+        let (mut reference, rel) = inline_repo(ds);
+        let targets = pick_targets(&reference, rel, Workload::random10());
+        for &id in &targets {
+            reference.delete_by_id(rel, id).unwrap();
+        }
+        let reference_state = snapshot(&reference.db);
+
+        // Kill the workload at several arbitrary client statements.
+        for fail_at in [1, 2, 5, 9] {
+            let (mut repo, rel) = inline_repo(ds);
+            repo.db.fail_after_statements(fail_at);
+            let mut faults = 0;
+            for &id in &targets {
+                let pre = snapshot(&repo.db);
+                match repo.delete_by_id(rel, id) {
+                    Ok(_) => {}
+                    Err(e) => {
+                        assert!(e.is_injected_fault(), "{ds:?}/{fail_at}: {e}");
+                        faults += 1;
+                        // The aborted update left no trace: every relation
+                        // byte-identical, id counter restored.
+                        assert_eq!(
+                            snapshot(&repo.db),
+                            pre,
+                            "{ds:?}: fault at stmt {fail_at} did not restore exactly"
+                        );
+                        // Retry (the fault is one-shot) and carry on.
+                        repo.delete_by_id(rel, id).unwrap();
+                    }
+                }
+            }
+            assert_eq!(faults, 1, "{ds:?}: fault at stmt {fail_at} never fired");
+            // The recovered workload converges on the fault-free state.
+            assert_eq!(snapshot(&repo.db), reference_state, "{ds:?}/{fail_at}");
+        }
+    }
+}
+
+/// Shared Inlining via the recovering driver: the workload completes its
+/// remaining updates after the mid-workload rollback without caller-side
+/// retry logic.
+#[test]
+fn inline_workload_driver_completes_after_mid_workload_fault() {
+    let (mut reference, rel) = inline_repo(DeleteStrategy::PerTupleTrigger);
+    run_delete_recovering(&mut reference, rel, Workload::random10()).unwrap();
+    let reference_state = snapshot(&reference.db);
+
+    let (mut repo, rel) = inline_repo(DeleteStrategy::PerTupleTrigger);
+    repo.db.fail_after_statements(6);
+    let report = run_delete_recovering(&mut repo, rel, Workload::random10()).unwrap();
+    assert_eq!(report.completed, 10);
+    assert_eq!(report.faults_absorbed, 1);
+    assert_eq!(snapshot(&repo.db), reference_state);
+}
+
+fn edge_db() -> Database {
+    let doc = xmlup_xml::parse(xmlup_xml::samples::CUSTOMER_XML)
+        .unwrap()
+        .doc;
+    let mut db = Database::new();
+    db.bump_next_id(1);
+    edge::create_schema(&mut db).unwrap();
+    edge::shred(&mut db, &doc).unwrap();
+    db
+}
+
+fn edge_id_of(db: &mut Database, name: &str) -> i64 {
+    db.query(&format!("SELECT MIN(id) FROM Edge WHERE name = '{name}'"))
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_int()
+        .unwrap()
+}
+
+/// Edge mapping: a multi-statement subtree copy killed at an arbitrary
+/// tuple write rolls back to a byte-identical store, and the retried copy
+/// then matches a fault-free run exactly.
+#[test]
+fn edge_copy_killed_mid_subtree_restores_exactly() {
+    // Fault-free reference.
+    let mut reference = edge_db();
+    let root = edge_id_of(&mut reference, "CustDB");
+    let cust = edge_id_of(&mut reference, "Customer");
+    let created = edge::copy_subtree(&mut reference, cust, root).unwrap();
+    let reference_state = snapshot(&reference);
+
+    for fail_at in [1, 3, created as u64] {
+        let mut db = edge_db();
+        let pre = snapshot(&db);
+        // The edge copy issues one INSERT per tuple; wrap it in one
+        // transaction so the injected fault aborts the whole copy.
+        db.begin().unwrap();
+        db.fail_on_table_write("Edge", fail_at);
+        let err = edge::copy_subtree(&mut db, cust, root).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                xmlup_shred::ShredError::Db(e)
+                    if matches!(e.root_cause(), xmlup_rdb::DbError::FaultInjected(_))
+            ),
+            "write {fail_at}: {err}"
+        );
+        db.rollback().unwrap();
+        assert_eq!(snapshot(&db), pre, "fault at write {fail_at}");
+        // Recovery: the retried copy completes and matches the reference.
+        let n = edge::copy_subtree(&mut db, cust, root).unwrap();
+        assert_eq!(n, created);
+        assert_eq!(
+            snapshot(&db),
+            reference_state,
+            "after retry, write {fail_at}"
+        );
+    }
+}
+
+/// Edge mapping: the cascading delete trigger's mid-cascade death rolls
+/// the whole statement back under plain autocommit (statement-level
+/// atomicity — no explicit transaction needed for a single DELETE).
+#[test]
+fn edge_trigger_cascade_killed_mid_statement_restores_exactly() {
+    let mut db = edge_db();
+    edge::create_delete_trigger(&mut db).unwrap();
+    let cust = edge_id_of(&mut db, "Customer");
+    let pre = snapshot(&db);
+
+    db.fail_on_table_write("Edge", 4);
+    let err = db
+        .execute(&format!("DELETE FROM Edge WHERE id = {cust}"))
+        .unwrap_err();
+    assert!(matches!(
+        err.root_cause(),
+        xmlup_rdb::DbError::FaultInjected(_)
+    ));
+    assert_eq!(snapshot(&db), pre);
+
+    // The retried delete removes the whole subtree.
+    db.execute(&format!("DELETE FROM Edge WHERE id = {cust}"))
+        .unwrap();
+    let left = db
+        .query(&format!(
+            "SELECT COUNT(*) FROM Edge WHERE parentId = {cust}"
+        ))
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_int()
+        .unwrap();
+    assert_eq!(left, 0);
+}
