@@ -1,7 +1,7 @@
 //! Regenerate the tables and figures of *Updating XML* (SIGMOD 2001).
 //!
 //! ```text
-//! paper-figures [all|table1|fig6|fig7|fig8|fig9|fig10|fig11|table2|asr-paths|randomized|ordered|storage|plan-cache|txn]
+//! paper-figures [all|table1|fig6|fig7|fig8|fig9|fig10|fig11|table2|asr-paths|randomized|ordered|storage|plan-cache|txn|wal]
 //!               [--full]
 //! ```
 //!
@@ -84,6 +84,16 @@ fn main() {
         exp::txn_overhead(batches).print();
         let rows = exp::txn_rollback_cost(&scaling);
         exp::print_txn_rollback(&rows);
+    }
+    if run("wal") {
+        let batches: &[usize] = if full {
+            &[100, 400, 1600, 6400]
+        } else {
+            &[100, 400, 1600]
+        };
+        exp::wal_overhead(batches).print();
+        let rows = exp::wal_recovery(batches);
+        exp::print_wal_recovery(&rows);
     }
     if run("ordered") {
         let rows = exp::ordered_ablation(&scaling);

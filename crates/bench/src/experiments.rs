@@ -766,3 +766,146 @@ pub fn print_txn_rollback(rows: &[(usize, u64, Millis, Millis)]) {
     }
     println!();
 }
+
+/// A durable database plus the scratch directory holding it; removing
+/// the directory on drop keeps repeated `time_runs` setups from
+/// littering the temp dir.
+struct ScratchDb {
+    db: Option<xmlup_rdb::Database>,
+    dir: std::path::PathBuf,
+}
+
+impl Drop for ScratchDb {
+    fn drop(&mut self) {
+        self.db.take();
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Fresh unique scratch directory under the system temp dir.
+fn scratch_dir() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "xmlup-bench-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+const WAL_SCHEMA: &str = "CREATE TABLE t (id INTEGER, v VARCHAR(12));
+                          CREATE INDEX t_id ON t (id);";
+
+fn insert_batch(db: &mut xmlup_rdb::Database, n: usize) {
+    for i in 0..n {
+        db.execute(&format!("INSERT INTO t VALUES ({i}, 'payload')"))
+            .expect("insert");
+    }
+}
+
+/// WAL overhead on the insert batch of [`txn_overhead`]: the same
+/// autocommit workload against an in-memory store, a durable store that
+/// flushes each commit to the OS but skips `fsync`, and a durable store
+/// that syncs every commit — plus the group-commit case, where one
+/// explicit transaction turns the whole batch into a single WAL frame
+/// and a single sync.
+pub fn wal_overhead(batch_sizes: &[usize]) -> Figure {
+    let mem_setup = || {
+        let mut db = xmlup_rdb::Database::new();
+        db.run_script(WAL_SCHEMA).expect("schema");
+        ScratchDb {
+            db: Some(db),
+            dir: std::path::PathBuf::new(),
+        }
+    };
+    let durable_setup = |sync: bool| {
+        move || {
+            let dir = scratch_dir();
+            let mut db = xmlup_rdb::Database::open(&dir).expect("open");
+            db.set_wal_sync(sync);
+            db.run_script(WAL_SCHEMA).expect("schema");
+            ScratchDb { db: Some(db), dir }
+        }
+    };
+    let mut series: Vec<Series> = ["in-memory", "wal", "wal+fsync", "fsync 1 txn"]
+        .iter()
+        .map(|l| Series {
+            label: (*l).into(),
+            points: Vec::new(),
+        })
+        .collect();
+    for &n in batch_sizes {
+        let auto = |s: &mut ScratchDb| insert_batch(s.db.as_mut().unwrap(), n);
+        series[0].points.push((n, time_runs(RUNS, mem_setup, auto)));
+        series[1]
+            .points
+            .push((n, time_runs(RUNS, durable_setup(false), auto)));
+        series[2]
+            .points
+            .push((n, time_runs(RUNS, durable_setup(true), auto)));
+        series[3].points.push((
+            n,
+            time_runs(RUNS, durable_setup(true), |s| {
+                let db = s.db.as_mut().unwrap();
+                db.begin().expect("begin");
+                insert_batch(db, n);
+                db.commit().expect("commit");
+            }),
+        ));
+    }
+    Figure {
+        title: "WAL overhead: autocommit insert batch, by durability level".into(),
+        x_label: "stmts".into(),
+        series,
+    }
+}
+
+/// Recovery time vs WAL length: build a store of `n` committed inserts,
+/// then time `Database::open` replaying the whole WAL, and again after a
+/// checkpoint truncated the WAL to nothing (recovery = snapshot load).
+/// Returns `(n, wal_bytes, replay_ms, snapshot_ms)` per point.
+pub fn wal_recovery(batch_sizes: &[usize]) -> Vec<(usize, u64, Millis, Millis)> {
+    let mut rows = Vec::new();
+    for &n in batch_sizes {
+        let dir = scratch_dir();
+        let mut db = xmlup_rdb::Database::open(&dir).expect("open");
+        db.set_wal_sync(false);
+        db.run_script(WAL_SCHEMA).expect("schema");
+        insert_batch(&mut db, n);
+        let wal_bytes = db.wal_size();
+        drop(db); // a kill, not a clean close: recovery does the work
+        let replay_ms = time_runs(
+            RUNS,
+            || dir.clone(),
+            |d| {
+                xmlup_rdb::Database::open(&*d).expect("reopen");
+            },
+        );
+        let mut db = xmlup_rdb::Database::open(&dir).expect("reopen");
+        db.checkpoint().expect("checkpoint");
+        drop(db);
+        let snapshot_ms = time_runs(
+            RUNS,
+            || dir.clone(),
+            |d| {
+                xmlup_rdb::Database::open(&*d).expect("reopen");
+            },
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        rows.push((n, wal_bytes, replay_ms, snapshot_ms));
+    }
+    rows
+}
+
+/// Print the crash-recovery-time experiment.
+pub fn print_wal_recovery(rows: &[(usize, u64, Millis, Millis)]) {
+    println!("# Recovery time vs WAL length (committed insert batches)");
+    println!(
+        "{:<8} {:>12} {:>12} {:>14}",
+        "stmts", "wal bytes", "replay ms", "snapshot ms"
+    );
+    for (n, bytes, replay, snap) in rows {
+        println!("{n:<8} {bytes:>12} {replay:>12.3} {snap:>14.3}");
+    }
+    println!();
+}

@@ -91,6 +91,53 @@ impl XmlRepository {
         })
     }
 
+    /// Open (or create) a durable repository rooted at `path`: the
+    /// relational store lives on disk behind a write-ahead log (see
+    /// [`Database::open`]). A fresh directory gets the schema and the
+    /// strategy's triggers; an existing one is crash-recovered to its
+    /// last committed state — snapshot and WAL already carry the schema,
+    /// triggers, data, and id counter, so nothing is re-created, and a
+    /// previously built ASR is reattached rather than rebuilt.
+    pub fn open_durable(
+        path: impl AsRef<std::path::Path>,
+        mapping: Mapping,
+        config: RepoConfig,
+    ) -> Result<Self> {
+        let mut db = Database::open(path)?;
+        db.set_statement_cost(std::time::Duration::from_micros(config.statement_cost_us));
+        if db.table_names().is_empty() {
+            loader::create_schema(&mut db, &mapping)?;
+            delete::install_triggers(&mut db, &mapping, config.delete_strategy)?;
+        }
+        let asr = if config.needs_asr() && db.table("ASR").is_some() {
+            Some(AsrIndex::attach(&mapping))
+        } else {
+            None
+        };
+        Ok(XmlRepository {
+            db,
+            mapping,
+            asr,
+            config,
+        })
+    }
+
+    /// Checkpoint the underlying durable store: write a full snapshot
+    /// and truncate the write-ahead log. Errors on a non-durable
+    /// repository or inside an open transaction.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        Ok(self.db.checkpoint()?)
+    }
+
+    /// Flush and fsync the WAL, then close the store. A no-op beyond
+    /// dropping for an in-memory repository. Crash recovery does not
+    /// require this — dropping the repository is equivalent to a kill,
+    /// and committed state survives either way — but a clean close
+    /// surfaces any deferred I/O error instead of swallowing it.
+    pub fn close_durable(self) -> Result<()> {
+        Ok(self.db.close()?)
+    }
+
     /// Run `f` as one transaction against the store — the paper
     /// Section 3 atomicity guarantee for a translated update: either
     /// every SQL statement the operation issued (triggers included)

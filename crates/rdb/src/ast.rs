@@ -126,6 +126,10 @@ pub enum Stmt {
         /// Savepoint name.
         name: String,
     },
+    /// `CHECKPOINT` — snapshot a durable database and truncate its WAL
+    /// (see `crate::wal`). Rejected inside explicit transactions and
+    /// trigger bodies, and on non-durable databases.
+    Checkpoint,
 }
 
 impl Stmt {

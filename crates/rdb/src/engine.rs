@@ -11,11 +11,16 @@
 use crate::ast::*;
 use crate::error::{DbError, Result};
 use crate::parser::{parse_script_with_text, parse_stmt_with_params};
+use crate::sql::stmt_to_sql;
 use crate::table::{Table, TableSchema};
 use crate::txn::{FaultState, Savepoint, TxnState, UndoRecord};
 use crate::value::{Row, Value};
+use crate::wal::{self, WalRecord};
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 use std::rc::Rc;
 
 /// Cascading triggers deeper than this abort execution (recursive schemas
@@ -64,6 +69,17 @@ pub struct Stats {
     pub txn_rollbacks: u64,
     /// Undo records appended to the transaction log.
     pub undo_records: u64,
+    /// WAL records written to disk (frame markers included).
+    pub wal_records: u64,
+    /// Bytes appended to the WAL (framing included).
+    pub wal_bytes: u64,
+    /// `fsync` calls issued by WAL appends (group-flushed commits).
+    pub wal_fsyncs: u64,
+    /// Checkpoints taken (snapshot written, WAL truncated).
+    pub checkpoints: u64,
+    /// Committed transactions replayed from the WAL by the most recent
+    /// [`Database::open`]. Set once at open; `reset_stats` zeroes it.
+    pub recovered_txns: u64,
 }
 
 #[derive(Debug, Default)]
@@ -82,6 +98,11 @@ struct StatsCells {
     txn_commits: Cell<u64>,
     txn_rollbacks: Cell<u64>,
     undo_records: Cell<u64>,
+    wal_records: Cell<u64>,
+    wal_bytes: Cell<u64>,
+    wal_fsyncs: Cell<u64>,
+    checkpoints: Cell<u64>,
+    recovered_txns: Cell<u64>,
 }
 
 impl StatsCells {
@@ -101,6 +122,11 @@ impl StatsCells {
             txn_commits: self.txn_commits.get(),
             txn_rollbacks: self.txn_rollbacks.get(),
             undo_records: self.undo_records.get(),
+            wal_records: self.wal_records.get(),
+            wal_bytes: self.wal_bytes.get(),
+            wal_fsyncs: self.wal_fsyncs.get(),
+            checkpoints: self.checkpoints.get(),
+            recovered_txns: self.recovered_txns.get(),
         }
     }
 
@@ -159,6 +185,8 @@ pub enum ExecResult {
     /// Transaction control (`BEGIN`/`COMMIT`/`ROLLBACK`/`SAVEPOINT`)
     /// completed.
     Txn,
+    /// `CHECKPOINT` completed: snapshot written, WAL truncated.
+    Checkpoint,
 }
 
 impl ExecResult {
@@ -282,6 +310,41 @@ pub struct Database {
     /// Armed fault-injection counters (see
     /// [`Database::fail_after_statements`]).
     fault: FaultState,
+    /// Durable-storage attachment, present iff the database was created
+    /// with [`Database::open`]. `None` while recovery replays the log so
+    /// replayed work is not re-logged.
+    durable: Option<DurableState>,
+}
+
+/// On-disk attachment of a durable database: the storage directory, the
+/// open WAL appender, and the checkpoint generation bookkeeping.
+#[derive(Debug)]
+struct DurableState {
+    /// Directory holding `wal.bin` and `snapshot.bin`.
+    dir: PathBuf,
+    /// Buffered appender positioned at the WAL's end.
+    wal: RefCell<std::io::BufWriter<fs::File>>,
+    /// Whether commits `fsync` the WAL (default true; benchmarks may
+    /// disable it to isolate the logging cost from the disk cost).
+    sync: Cell<bool>,
+    /// Checkpoint generation stamped in both the snapshot body and the
+    /// WAL header. A WAL whose generation trails the snapshot's is
+    /// leftover from before a checkpoint whose truncation never landed —
+    /// recovery discards it.
+    generation: u64,
+    /// Monotonic transaction sequence number for WAL frames.
+    txn_seq: Cell<u64>,
+}
+
+/// WAL file name inside a durable database's directory.
+const WAL_FILE: &str = "wal.bin";
+/// Snapshot file name inside a durable database's directory.
+const SNAPSHOT_FILE: &str = "snapshot.bin";
+/// Temporary snapshot name; atomically renamed over [`SNAPSHOT_FILE`].
+const SNAPSHOT_TMP: &str = "snapshot.tmp";
+
+fn storage_err(ctx: &str, e: &std::io::Error) -> DbError {
+    DbError::Storage(format!("{ctx}: {e}"))
 }
 
 /// A materialized relation (CTE or intermediate result).
@@ -409,6 +472,7 @@ impl Database {
             plan_cache: RefCell::new(PlanCache::default()),
             txn: TxnState::default(),
             fault: FaultState::default(),
+            durable: None,
         }
     }
 
@@ -455,6 +519,12 @@ impl Database {
     pub fn allocate_ids(&self, count: i64) -> i64 {
         let start = self.next_id.get();
         self.next_id.set(start + count);
+        if count != 0 {
+            self.wal_push(WalRecord::NextId {
+                value: start + count,
+            });
+            self.autoflush_id_counter();
+        }
         start
     }
 
@@ -462,6 +532,19 @@ impl Database {
     pub fn bump_next_id(&self, floor: i64) {
         if self.next_id.get() < floor {
             self.next_id.set(floor);
+            self.wal_push(WalRecord::NextId { value: floor });
+            self.autoflush_id_counter();
+        }
+    }
+
+    /// Id allocation happens between statements, so outside an explicit
+    /// transaction nothing else would flush the `NextId` record — a
+    /// crash right after a bulk load must not recover a stale counter
+    /// under persisted rows. Best-effort: on failure the record stays
+    /// buffered and the next successful flush carries it.
+    fn autoflush_id_counter(&self) {
+        if !self.txn.explicit {
+            let _ = self.wal_flush_commit();
         }
     }
 
@@ -614,7 +697,7 @@ impl Database {
     /// statement. Outside an explicit transaction a successful statement
     /// autocommits (its undo records are discarded).
     fn exec_client(&mut self, stmt: &Stmt, ctx: &EvalCtx<'_>) -> Result<ExecResult> {
-        if stmt.is_txn_control() {
+        if stmt.is_txn_control() || matches!(stmt, Stmt::Checkpoint) {
             // Control statements manage the log; they are not run under
             // it and are exempt from the statement fault (so a test can
             // arm a fault and still COMMIT/ROLLBACK around it).
@@ -622,18 +705,29 @@ impl Database {
         }
         self.fault.check_statement()?;
         let mark = self.txn.mark();
+        let redo_mark = self.txn.redo_mark();
         match self.exec_internal(stmt, ctx, 0) {
             Ok(r) => {
-                if !self.txn.explicit && !self.txn.log.is_empty() {
-                    // Autocommit: the statement is durable, drop its
-                    // undo records.
-                    self.txn.log.clear();
-                    StatsCells::bump(&self.stats.txn_commits, 1);
+                if !self.txn.explicit {
+                    // Autocommit: group-flush the statement's redo
+                    // records as one committed WAL frame before
+                    // declaring it durable and dropping the undo.
+                    if let Err(e) = self.wal_flush_commit() {
+                        self.rollback_to_mark(mark);
+                        self.txn.redo.borrow_mut().truncate(redo_mark);
+                        StatsCells::bump(&self.stats.txn_rollbacks, 1);
+                        return Err(e);
+                    }
+                    if !self.txn.log.is_empty() {
+                        self.txn.log.clear();
+                        StatsCells::bump(&self.stats.txn_commits, 1);
+                    }
                 }
                 Ok(r)
             }
             Err(e) => {
                 self.rollback_to_mark(mark);
+                self.txn.redo.borrow_mut().truncate(redo_mark);
                 StatsCells::bump(&self.stats.txn_rollbacks, 1);
                 Err(e)
             }
@@ -658,11 +752,16 @@ impl Database {
         Ok(())
     }
 
-    /// Commit the open transaction, discarding its undo log.
+    /// Commit the open transaction, discarding its undo log. On a durable
+    /// database the buffered redo records are group-flushed to the WAL as
+    /// one `TxnBegin … TxnCommit` frame first; if that write fails the
+    /// transaction stays open (nothing was made durable) and the error is
+    /// surfaced.
     pub fn commit(&mut self) -> Result<()> {
         if !self.txn.explicit {
             return Err(DbError::Txn("COMMIT outside a transaction".into()));
         }
+        self.wal_flush_commit()?;
         self.txn.reset();
         StatsCells::bump(&self.stats.txn_commits, 1);
         Ok(())
@@ -676,8 +775,29 @@ impl Database {
             return Err(DbError::Txn("ROLLBACK outside a transaction".into()));
         }
         self.rollback_to_mark(0);
+        let id_changed = self.next_id.get() != self.txn.start_next_id;
         self.next_id.set(self.txn.start_next_id);
+        let had_redo = !self.txn.redo.borrow().is_empty();
         self.txn.reset();
+        if self.durable.is_some() && had_redo {
+            // Audit marker only: the aborted frame was discarded
+            // unflushed, so replay has nothing to skip. Best-effort — a
+            // failed append must not fail the (already complete)
+            // rollback.
+            let txn = self.next_wal_txn();
+            let mut buf = Vec::new();
+            wal::encode_frame(&WalRecord::TxnAbort { txn }, &mut buf);
+            let _ = self.wal_append(&buf, 1);
+        }
+        if id_changed {
+            // Re-assert the id counter (rolled back in memory) so the
+            // durable image converges with it immediately: the aborted
+            // transaction's NextId records were discarded with its frame.
+            self.wal_push(WalRecord::NextId {
+                value: self.next_id.get(),
+            });
+            self.autoflush_id_counter();
+        }
         StatsCells::bump(&self.stats.txn_rollbacks, 1);
         Ok(())
     }
@@ -693,6 +813,7 @@ impl Database {
             name: name.to_string(),
             mark: self.txn.mark(),
             next_id: self.next_id.get(),
+            redo_mark: self.txn.redo_mark(),
         });
         Ok(())
     }
@@ -715,6 +836,7 @@ impl Database {
         let sp = self.txn.savepoints[at].clone();
         self.txn.savepoints.truncate(at + 1);
         self.rollback_to_mark(sp.mark);
+        self.txn.redo.borrow_mut().truncate(sp.redo_mark);
         self.next_id.set(sp.next_id);
         StatsCells::bump(&self.stats.txn_rollbacks, 1);
         Ok(())
@@ -843,6 +965,402 @@ impl Database {
     }
 
     // ------------------------------------------------------------------
+    // durable storage: WAL, checkpoint, recovery
+    // ------------------------------------------------------------------
+
+    /// Open (or create) a durable database rooted at `path`.
+    ///
+    /// Recovery loads `snapshot.bin` if present, then replays the WAL's
+    /// committed frames on top: each complete `TxnBegin … TxnCommit`
+    /// frame is applied, an uncommitted trailing frame (the transaction
+    /// the crash caught in flight) is discarded, and a torn final record
+    /// is truncated away. Replay is physical — rows land at the slot
+    /// positions the log recorded — so the recovered state is
+    /// byte-identical to the pre-crash committed state. A WAL whose
+    /// generation trails the snapshot's is leftover from a checkpoint
+    /// whose truncation never landed; its effects are already inside the
+    /// snapshot, so it is discarded.
+    pub fn open(path: impl AsRef<Path>) -> Result<Database> {
+        let dir = path.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(|e| storage_err("create database directory", &e))?;
+        let mut db = Database::new();
+        let mut generation = 0u64;
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        if snap_path.exists() {
+            let bytes = fs::read(&snap_path).map_err(|e| storage_err("read snapshot", &e))?;
+            let snap = wal::decode_snapshot(&bytes)?;
+            generation = snap.generation;
+            db.restore_snapshot(snap)?;
+        }
+        let wal_path = dir.join(WAL_FILE);
+        let mut file = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&wal_path)
+            .map_err(|e| storage_err("open WAL", &e))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| storage_err("read WAL", &e))?;
+        let mut recovered = 0u64;
+        let mut reset_wal = true;
+        if bytes.len() >= wal::WAL_HEADER_LEN {
+            if let Ok(contents) = wal::decode_wal(&bytes) {
+                if contents.generation == generation {
+                    recovered = db.replay(contents.records)?;
+                    if (contents.clean_len as usize) < bytes.len() {
+                        // Torn tail from a crash mid-append: discard it.
+                        file.set_len(contents.clean_len)
+                            .map_err(|e| storage_err("truncate torn WAL tail", &e))?;
+                    }
+                    reset_wal = false;
+                }
+            }
+        }
+        if reset_wal {
+            file.set_len(0).map_err(|e| storage_err("reset WAL", &e))?;
+            file.seek(SeekFrom::Start(0))
+                .map_err(|e| storage_err("reset WAL", &e))?;
+            file.write_all(&wal::encode_wal_header(generation))
+                .map_err(|e| storage_err("write WAL header", &e))?;
+            file.sync_data()
+                .map_err(|e| storage_err("sync WAL header", &e))?;
+        }
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| storage_err("seek WAL end", &e))?;
+        // Replay ran with `durable` unset so nothing re-logged itself;
+        // wipe its undo/stats bookkeeping before arming the appender.
+        db.txn = TxnState::default();
+        db.plan_cache.borrow_mut().clear();
+        db.stats = StatsCells::default();
+        db.stats.recovered_txns.set(recovered);
+        db.durable = Some(DurableState {
+            dir,
+            wal: RefCell::new(std::io::BufWriter::new(file)),
+            sync: Cell::new(true),
+            generation,
+            txn_seq: Cell::new(0),
+        });
+        Ok(db)
+    }
+
+    /// Flush and sync the WAL, then drop the database. An explicit
+    /// transaction still open at close is discarded unflushed — exactly
+    /// as a crash would discard it.
+    pub fn close(mut self) -> Result<()> {
+        if let Some(d) = self.durable.take() {
+            let file = d.wal.into_inner().into_inner().map_err(|e| {
+                let e = e.into_error();
+                storage_err("flush WAL on close", &e)
+            })?;
+            file.sync_all()
+                .map_err(|e| storage_err("sync WAL on close", &e))?;
+        }
+        Ok(())
+    }
+
+    /// Write a checkpoint: snapshot the full state (catalog, heaps,
+    /// indexes, triggers, id counter) to `snapshot.bin` and truncate the
+    /// WAL. The snapshot is written to a temporary file, synced, and
+    /// renamed over the old one, so a crash at any point leaves either
+    /// the old snapshot (with a usable or discarded-stale WAL) or the
+    /// new one — never a torn snapshot.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        if self.durable.is_none() {
+            return Err(DbError::Storage(
+                "CHECKPOINT requires a durable database (Database::open)".into(),
+            ));
+        }
+        if self.txn.explicit {
+            return Err(DbError::Txn(
+                "CHECKPOINT inside an explicit transaction".into(),
+            ));
+        }
+        let generation = self.durable.as_ref().expect("checked above").generation + 1;
+        let bytes = wal::encode_snapshot(&self.build_snapshot(generation));
+        let d = self.durable.as_mut().expect("checked above");
+        let tmp = d.dir.join(SNAPSHOT_TMP);
+        let dest = d.dir.join(SNAPSHOT_FILE);
+        let io = (|| -> std::io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+            drop(f);
+            fs::rename(&tmp, &dest)?;
+            // Make the rename durable before truncating the WAL the
+            // snapshot subsumes; a crash in between leaves a stale WAL,
+            // which the generation check at open discards.
+            if let Ok(dirf) = fs::File::open(&d.dir) {
+                let _ = dirf.sync_all();
+            }
+            let mut w = d.wal.borrow_mut();
+            w.flush()?;
+            let f = w.get_mut();
+            f.set_len(0)?;
+            f.seek(SeekFrom::Start(0))?;
+            f.write_all(&wal::encode_wal_header(generation))?;
+            f.sync_data()?;
+            Ok(())
+        })();
+        io.map_err(|e| storage_err("checkpoint", &e))?;
+        d.generation = generation;
+        StatsCells::bump(&self.stats.checkpoints, 1);
+        Ok(())
+    }
+
+    /// Whether this database was opened durably ([`Database::open`]).
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Storage directory of a durable database.
+    pub fn storage_dir(&self) -> Option<&Path> {
+        self.durable.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Toggle per-commit `fsync` of the WAL (on by default). With sync
+    /// off commits are still written and flushed to the OS — a process
+    /// crash loses nothing; only an OS crash can. Benchmarks use this to
+    /// separate the logging cost from the disk-sync cost.
+    pub fn set_wal_sync(&mut self, sync: bool) {
+        if let Some(d) = &self.durable {
+            d.sync.set(sync);
+        }
+    }
+
+    /// Current WAL file size in bytes (0 for a non-durable database).
+    pub fn wal_size(&self) -> u64 {
+        self.durable
+            .as_ref()
+            .and_then(|d| fs::metadata(d.dir.join(WAL_FILE)).ok())
+            .map(|m| m.len())
+            .unwrap_or(0)
+    }
+
+    /// Buffer a redo record for the current transaction (no-op on a
+    /// non-durable database).
+    fn wal_push(&self, rec: WalRecord) {
+        if self.durable.is_some() {
+            self.txn.redo.borrow_mut().push(rec);
+        }
+    }
+
+    fn next_wal_txn(&self) -> u64 {
+        let d = self.durable.as_ref().expect("durable database");
+        let n = d.txn_seq.get() + 1;
+        d.txn_seq.set(n);
+        n
+    }
+
+    /// Append pre-framed bytes to the WAL: always written and flushed to
+    /// the OS (a process crash loses nothing committed), `fsync`ed when
+    /// sync mode is on.
+    fn wal_append(&self, bytes: &[u8], records: u64) -> Result<()> {
+        let d = self.durable.as_ref().expect("durable database");
+        let mut w = d.wal.borrow_mut();
+        w.write_all(bytes)
+            .map_err(|e| storage_err("WAL append", &e))?;
+        w.flush().map_err(|e| storage_err("WAL flush", &e))?;
+        if d.sync.get() {
+            w.get_ref()
+                .sync_data()
+                .map_err(|e| storage_err("WAL fsync", &e))?;
+            StatsCells::bump(&self.stats.wal_fsyncs, 1);
+        }
+        StatsCells::bump(&self.stats.wal_records, records);
+        StatsCells::bump(&self.stats.wal_bytes, bytes.len() as u64);
+        Ok(())
+    }
+
+    /// Group-flush the buffered redo records as one committed WAL frame
+    /// (`TxnBegin`, the records, `TxnCommit`). On failure the buffer is
+    /// left intact — the caller decides whether to roll back; on success
+    /// it is cleared. No-op when non-durable or nothing is buffered.
+    fn wal_flush_commit(&self) -> Result<()> {
+        if self.durable.is_none() || self.txn.redo.borrow().is_empty() {
+            return Ok(());
+        }
+        let txn = self.next_wal_txn();
+        let (buf, n) = {
+            let records = self.txn.redo.borrow();
+            let mut buf = Vec::new();
+            wal::encode_frame(&WalRecord::TxnBegin { txn }, &mut buf);
+            for r in records.iter() {
+                wal::encode_frame(r, &mut buf);
+            }
+            wal::encode_frame(&WalRecord::TxnCommit { txn }, &mut buf);
+            (buf, records.len() as u64 + 2)
+        };
+        self.wal_append(&buf, n)?;
+        self.txn.redo.borrow_mut().clear();
+        Ok(())
+    }
+
+    /// Reconstruct state from a decoded snapshot (open-time only).
+    fn restore_snapshot(&mut self, snap: wal::Snapshot) -> Result<()> {
+        for st in snap.tables {
+            let schema = TableSchema {
+                name: st.name,
+                columns: st
+                    .columns
+                    .into_iter()
+                    .map(|(name, ty)| ColumnDef { name, ty })
+                    .collect(),
+            };
+            let mut indexes: HashMap<usize, HashMap<Value, Vec<usize>>> = HashMap::new();
+            for (column, buckets) in st.indexes {
+                let map = buckets
+                    .into_iter()
+                    .map(|(v, ps)| (v, ps.into_iter().map(|p| p as usize).collect()))
+                    .collect();
+                indexes.insert(column as usize, map);
+            }
+            self.tables
+                .insert(st.key, Table::from_parts(schema, st.slots, indexes));
+        }
+        for sql in snap.triggers {
+            let (stmt, _) = parse_stmt_with_params(&sql)?;
+            self.exec_internal(&stmt, &EvalCtx::new(), 0)?;
+        }
+        self.next_id.set(snap.next_id);
+        Ok(())
+    }
+
+    /// Serialize the full state for a checkpoint. Tables and index
+    /// buckets are sorted so the snapshot bytes are deterministic.
+    fn build_snapshot(&self, generation: u64) -> wal::Snapshot {
+        let mut tables: Vec<wal::SnapshotTable> = self
+            .tables
+            .iter()
+            .map(|(key, t)| {
+                let mut indexes: wal::IndexBuckets = t
+                    .indexes_raw()
+                    .iter()
+                    .map(|(ci, buckets)| {
+                        let mut bs: Vec<(Value, Vec<u64>)> = buckets
+                            .iter()
+                            .map(|(v, ps)| (v.clone(), ps.iter().map(|&p| p as u64).collect()))
+                            .collect();
+                        bs.sort_by(|a, b| a.0.sort_cmp(&b.0));
+                        (*ci as u32, bs)
+                    })
+                    .collect();
+                indexes.sort_by_key(|(ci, _)| *ci);
+                wal::SnapshotTable {
+                    key: key.clone(),
+                    name: t.schema.name.clone(),
+                    columns: t
+                        .schema
+                        .columns
+                        .iter()
+                        .map(|c| (c.name.clone(), c.ty))
+                        .collect(),
+                    slots: t.slots_raw().to_vec(),
+                    indexes,
+                }
+            })
+            .collect();
+        tables.sort_by(|a, b| a.key.cmp(&b.key));
+        wal::Snapshot {
+            generation,
+            next_id: self.next_id.get(),
+            tables,
+            triggers: self
+                .triggers
+                .iter()
+                .map(|t| {
+                    stmt_to_sql(&Stmt::CreateTrigger {
+                        name: t.name.clone(),
+                        event: t.event,
+                        table: t.table.clone(),
+                        granularity: t.granularity,
+                        body: (*t.body).clone(),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Apply the WAL's records: complete `TxnBegin … TxnCommit` frames
+    /// are applied, aborted or uncommitted (trailing) frames discarded,
+    /// top-level records applied immediately. Returns the number of
+    /// committed transactions replayed.
+    fn replay(&mut self, records: Vec<WalRecord>) -> Result<u64> {
+        let mut pending: Vec<WalRecord> = Vec::new();
+        let mut in_txn = false;
+        let mut committed = 0u64;
+        for rec in records {
+            match rec {
+                WalRecord::TxnBegin { .. } => {
+                    pending.clear();
+                    in_txn = true;
+                }
+                WalRecord::TxnCommit { .. } => {
+                    for r in pending.drain(..) {
+                        self.apply_wal_record(r)?;
+                    }
+                    if in_txn {
+                        committed += 1;
+                    }
+                    in_txn = false;
+                }
+                WalRecord::TxnAbort { .. } => {
+                    pending.clear();
+                    in_txn = false;
+                }
+                other if in_txn => pending.push(other),
+                other => self.apply_wal_record(other)?,
+            }
+        }
+        // A trailing frame with no commit is the transaction the crash
+        // caught in flight: `pending` is simply dropped.
+        Ok(committed)
+    }
+
+    /// Redo one record. DML is physical (slot positions recorded at log
+    /// time); trigger-fired statements were logged as their own records,
+    /// so triggers are not re-fired here. DDL replays as SQL text.
+    fn apply_wal_record(&mut self, rec: WalRecord) -> Result<()> {
+        let missing =
+            |t: &str| DbError::Storage(format!("WAL replay references missing table `{t}`"));
+        match rec {
+            WalRecord::Insert { table, row } => {
+                self.tables
+                    .get_mut(&table)
+                    .ok_or_else(|| missing(&table))?
+                    .insert(row)?;
+            }
+            WalRecord::Delete { table, pos } => {
+                self.tables
+                    .get_mut(&table)
+                    .ok_or_else(|| missing(&table))?
+                    .delete(pos as usize);
+            }
+            WalRecord::Update {
+                table,
+                pos,
+                column,
+                value,
+            } => {
+                self.tables
+                    .get_mut(&table)
+                    .ok_or_else(|| missing(&table))?
+                    .update_cell(pos as usize, column as usize, value)?;
+            }
+            WalRecord::Ddl { sql } => {
+                let (stmt, _) = parse_stmt_with_params(&sql)?;
+                self.exec_internal(&stmt, &EvalCtx::new(), 0)?;
+            }
+            WalRecord::NextId { value } => self.next_id.set(value),
+            WalRecord::TxnBegin { .. }
+            | WalRecord::TxnCommit { .. }
+            | WalRecord::TxnAbort { .. } => {}
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
     // statement dispatch
     // ------------------------------------------------------------------
 
@@ -858,17 +1376,18 @@ impl Database {
         StatsCells::bump(&self.stats.total_statements, 1);
         // Any DDL may change what cached plans would resolve to (tables,
         // indexes, triggers), so the plan cache is dropped wholesale.
-        if matches!(
+        let is_ddl = matches!(
             stmt,
             Stmt::CreateTable { .. }
                 | Stmt::DropTable { .. }
                 | Stmt::CreateIndex { .. }
                 | Stmt::CreateTrigger { .. }
                 | Stmt::DropTrigger { .. }
-        ) {
+        );
+        if is_ddl {
             self.plan_cache.borrow_mut().clear();
         }
-        match stmt {
+        let result = match stmt {
             Stmt::CreateTable {
                 name,
                 columns,
@@ -1019,7 +1538,24 @@ impl Database {
                 }
                 Ok(ExecResult::Txn)
             }
+            Stmt::Checkpoint => {
+                if depth > 0 {
+                    return Err(DbError::Txn("CHECKPOINT inside a trigger body".into()));
+                }
+                self.checkpoint()?;
+                Ok(ExecResult::Checkpoint)
+            }
+        };
+        // DDL is redone from the WAL as SQL text: one `Ddl` record per
+        // successful statement, rendered by the exact-roundtrip printer.
+        // (No-op DDL such as `CREATE TABLE IF NOT EXISTS` on an existing
+        // table returns early above and is not logged.)
+        if is_ddl && result.is_ok() {
+            self.wal_push(WalRecord::Ddl {
+                sql: stmt_to_sql(stmt),
+            });
         }
+        result
     }
 
     // ------------------------------------------------------------------
@@ -1144,6 +1680,21 @@ impl Database {
             }
         }
         let applied = positions.len();
+        if self.durable.is_some() {
+            // Redo is physical: the row as it landed, at its slot. A
+            // partially-applied failing statement's records are truncated
+            // by the client funnel along with the undo.
+            let t = self.tables.get(&key).expect("resolved above");
+            let mut redo = self.txn.redo.borrow_mut();
+            for &pos in &positions {
+                if let Some(row) = t.row(pos) {
+                    redo.push(WalRecord::Insert {
+                        table: key.clone(),
+                        row: row.clone(),
+                    });
+                }
+            }
+        }
         for pos in positions {
             self.record_undo(UndoRecord::InsertedRow {
                 table: key.clone(),
@@ -1189,6 +1740,15 @@ impl Database {
             out
         };
         let n = deleted.len();
+        if self.durable.is_some() {
+            let mut redo = self.txn.redo.borrow_mut();
+            for (pos, _, _) in &deleted {
+                redo.push(WalRecord::Delete {
+                    table: key.clone(),
+                    pos: *pos as u64,
+                });
+            }
+        }
         // Triggers bind OLD per deleted row; clone only when one exists.
         let mut trigger_rows: Vec<Row> = Vec::new();
         for (pos, row, index_offsets) in deleted {
@@ -1268,6 +1828,22 @@ impl Database {
                             break 'rows;
                         }
                     }
+                }
+            }
+        }
+        if self.durable.is_some() {
+            // Log the value as written (read back from the table), one
+            // record per cell, in application order.
+            let t = self.tables.get(&key).expect("resolved above");
+            let mut redo = self.txn.redo.borrow_mut();
+            for (pos, ci, _, _) in &cell_undo {
+                if let Some(row) = t.row(*pos) {
+                    redo.push(WalRecord::Update {
+                        table: key.clone(),
+                        pos: *pos as u64,
+                        column: *ci as u32,
+                        value: row[*ci].clone(),
+                    });
                 }
             }
         }

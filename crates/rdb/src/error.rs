@@ -25,6 +25,9 @@ pub enum DbError {
     /// A deterministic injected fault fired (see
     /// `Database::fail_after_statements` / `Database::fail_on_table_write`).
     FaultInjected(String),
+    /// Durable-storage failure: WAL/snapshot I/O, a corrupt snapshot, or
+    /// `CHECKPOINT` against a non-durable database.
+    Storage(String),
     /// A statement inside `Database::run_script` failed; carries the
     /// failing statement's 0-based index and SQL text plus the
     /// underlying error.
@@ -60,6 +63,7 @@ impl fmt::Display for DbError {
             DbError::TriggerDepth(m) => write!(f, "trigger recursion limit: {m}"),
             DbError::Txn(m) => write!(f, "transaction error: {m}"),
             DbError::FaultInjected(m) => write!(f, "injected fault: {m}"),
+            DbError::Storage(m) => write!(f, "storage error: {m}"),
             DbError::ScriptStatement { index, sql, cause } => {
                 write!(f, "script statement #{index} (`{sql}`): {cause}")
             }

@@ -38,9 +38,11 @@ pub mod engine;
 pub mod error;
 pub mod lexer;
 pub mod parser;
+pub mod sql;
 pub mod table;
 pub mod txn;
 pub mod value;
+pub mod wal;
 
 pub use ast::{
     BinOp, ColumnDef, Expr, InsertSource, SelectStmt, Stmt, TriggerEvent, TriggerGranularity, UnOp,
@@ -48,6 +50,8 @@ pub use ast::{
 pub use engine::{Database, ExecResult, PreparedStmt, ResultSet, Stats, Trigger};
 pub use error::{DbError, Result};
 pub use parser::{parse_script, parse_script_with_text, parse_stmt, parse_stmt_with_params};
+pub use sql::stmt_to_sql;
 pub use table::{Table, TableSchema};
 pub use txn::UndoRecord;
 pub use value::{DataType, Row, Value};
+pub use wal::WalRecord;

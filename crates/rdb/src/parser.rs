@@ -225,6 +225,8 @@ impl Parser {
             Ok(Stmt::Savepoint {
                 name: self.ident()?,
             })
+        } else if self.eat_kw("CHECKPOINT") {
+            Ok(Stmt::Checkpoint)
         } else {
             Err(DbError::SqlParse(format!(
                 "unexpected statement start: {:?}",

@@ -282,6 +282,37 @@ impl Table {
         self.indexes.remove(&column_idx);
     }
 
+    // ------------------------------------------------------------------
+    // snapshot support (see `crate::wal`)
+    // ------------------------------------------------------------------
+
+    /// The raw slot vector, tombstones included (snapshot serialization).
+    pub(crate) fn slots_raw(&self) -> &[Option<Row>] {
+        &self.slots
+    }
+
+    /// The raw index map (snapshot serialization).
+    pub(crate) fn indexes_raw(&self) -> &HashMap<usize, HashMap<Value, Vec<usize>>> {
+        &self.indexes
+    }
+
+    /// Rebuild a table from snapshot parts. The live count is derived
+    /// from the slots; index buckets are installed verbatim so in-bucket
+    /// position order survives the round trip.
+    pub(crate) fn from_parts(
+        schema: TableSchema,
+        slots: Vec<Option<Row>>,
+        indexes: HashMap<usize, HashMap<Value, Vec<usize>>>,
+    ) -> Self {
+        let live = slots.iter().filter(|s| s.is_some()).count();
+        Table {
+            schema,
+            slots,
+            live,
+            indexes,
+        }
+    }
+
     /// Slot positions of all live rows.
     pub fn live_positions(&self) -> Vec<usize> {
         self.slots

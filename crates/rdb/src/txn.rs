@@ -21,7 +21,8 @@ use crate::engine::Trigger;
 use crate::error::{DbError, Result};
 use crate::table::Table;
 use crate::value::{Row, Value};
-use std::cell::Cell;
+use crate::wal::WalRecord;
+use std::cell::{Cell, RefCell};
 
 /// One reversible effect recorded by the engine. Records are appended in
 /// execution order and applied in reverse on rollback.
@@ -124,6 +125,10 @@ pub(crate) struct Savepoint {
     pub name: String,
     pub mark: usize,
     pub next_id: i64,
+    /// Redo-buffer length at creation time: `ROLLBACK TO` truncates the
+    /// buffered WAL records along with the undo log, so discarded work
+    /// is never flushed.
+    pub redo_mark: usize,
 }
 
 /// Transaction bookkeeping owned by the `Database`.
@@ -136,6 +141,12 @@ pub(crate) struct Savepoint {
 pub(crate) struct TxnState {
     /// Reversible effects, in execution order.
     pub log: Vec<UndoRecord>,
+    /// Buffered WAL redo records mirroring `log` (populated only on a
+    /// durable database). Flushed as one `TxnBegin … TxnCommit` frame at
+    /// commit; truncated in lockstep with the undo log on rollback, so
+    /// an aborted transaction never reaches the disk at all. Lives in a
+    /// `RefCell` because `&self` paths (id allocation) also emit records.
+    pub redo: RefCell<Vec<WalRecord>>,
     /// Inside an explicit `BEGIN … COMMIT/ROLLBACK` block.
     pub explicit: bool,
     /// Active savepoints, oldest first.
@@ -150,9 +161,15 @@ impl TxnState {
         self.log.len()
     }
 
+    /// Current redo-buffer length, the WAL-side statement mark.
+    pub fn redo_mark(&self) -> usize {
+        self.redo.borrow().len()
+    }
+
     /// Forget everything (after COMMIT or a completed rollback).
     pub fn reset(&mut self) {
         self.log.clear();
+        self.redo.borrow_mut().clear();
         self.savepoints.clear();
         self.explicit = false;
     }

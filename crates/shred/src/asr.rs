@@ -26,31 +26,47 @@ impl AsrIndex {
     /// Create and populate the ASR from the mapping's already-loaded
     /// tables. Creates hash indexes on every id column.
     pub fn build(db: &mut Database, mapping: &Mapping) -> Result<AsrIndex> {
+        let asr = AsrIndex::attach(mapping);
+        let cols: Vec<String> = asr
+            .id_columns
+            .iter()
+            .map(|c| format!("{c} INTEGER"))
+            .collect();
+        db.execute(&format!(
+            "CREATE TABLE {} ({}, mark BOOLEAN)",
+            asr.table,
+            cols.join(", ")
+        ))?;
+        for c in &asr.id_columns {
+            db.execute(&format!("CREATE INDEX idx_asr_{c} ON {} ({c})", asr.table))?;
+        }
+        // The marking schemes (Sections 6.1.3 / 6.2.3) repeatedly select
+        // `WHERE mark = TRUE`; index the flag so marked paths are probed,
+        // not scanned.
+        db.execute(&format!(
+            "CREATE INDEX idx_asr_mark ON {} (mark)",
+            asr.table
+        ))?;
+        asr.populate(db, mapping)?;
+        Ok(asr)
+    }
+
+    /// Reconstruct the descriptor of an ASR that already exists in the
+    /// database — e.g. after crash recovery reopened a durable store
+    /// whose WAL/snapshot carry the ASR table and its contents. Issues
+    /// no DDL and touches no data; the descriptor is fully determined by
+    /// the mapping, so it matches whatever [`AsrIndex::build`] created.
+    pub fn attach(mapping: &Mapping) -> AsrIndex {
         let relations = mapping.subtree(mapping.root());
         let id_columns: Vec<String> = relations
             .iter()
             .map(|&r| format!("id_{}", mapping.relations[r].table))
             .collect();
-        let table = "ASR".to_string();
-        let cols: Vec<String> = id_columns.iter().map(|c| format!("{c} INTEGER")).collect();
-        db.execute(&format!(
-            "CREATE TABLE {table} ({}, mark BOOLEAN)",
-            cols.join(", ")
-        ))?;
-        for c in &id_columns {
-            db.execute(&format!("CREATE INDEX idx_asr_{c} ON {table} ({c})"))?;
-        }
-        // The marking schemes (Sections 6.1.3 / 6.2.3) repeatedly select
-        // `WHERE mark = TRUE`; index the flag so marked paths are probed,
-        // not scanned.
-        db.execute(&format!("CREATE INDEX idx_asr_mark ON {table} (mark)"))?;
-        let asr = AsrIndex {
-            table,
+        AsrIndex {
+            table: "ASR".to_string(),
             relations,
             id_columns,
-        };
-        asr.populate(db, mapping)?;
-        Ok(asr)
+        }
     }
 
     /// Column position for a relation index, if covered.

@@ -6,6 +6,13 @@
 //! the killed operation's transaction rolls back, the operation is
 //! retried, and the rest of the workload completes.
 //!
+//! With `--db-path` the store is durable (WAL + checkpoint snapshots,
+//! see the `xmlup_rdb::wal` module); `--crash-and-recover` additionally
+//! simulates a process kill at the first injected fault — the database
+//! handle is dropped without a clean close, reopened from disk, and the
+//! recovered state verified byte-identical to the pre-crash committed
+//! state before the workload resumes.
+//!
 //! ```text
 //! workload [--op delete|insert] [--workload bulk|random]
 //!          [--delete-strategy per-tuple|per-statement|cascading|asr]
@@ -13,10 +20,17 @@
 //!          [--scale N] [--depth N] [--fanout N] [--seed N]
 //!          [--fail-at N]        fail the Nth client SQL statement
 //!          [--fail-table T:N]   fail the Nth write to table T
+//!          [--db-path DIR]      durable store rooted at DIR
+//!          [--checkpoint-every N]  CHECKPOINT after every N operations
+//!          [--crash-and-recover]   kill + reopen + verify at the fault
 //! ```
 
 use xmlup_core::{DeleteStrategy, InsertStrategy, RepoConfig, XmlRepository};
-use xmlup_workload::driver::{run_delete_recovering, run_insert_recovering, Workload};
+use xmlup_rdb::{Table, Value};
+use xmlup_shred::Mapping;
+use xmlup_workload::driver::{
+    pick_targets, run_delete_recovering, run_insert_recovering, RecoveryReport, Workload,
+};
 use xmlup_workload::synthetic::{fixed_document, synthetic_dtd, SyntheticParams};
 
 struct Args {
@@ -29,6 +43,9 @@ struct Args {
     fanout: usize,
     fail_at: Option<u64>,
     fail_table: Option<(String, u64)>,
+    db_path: Option<String>,
+    checkpoint_every: Option<usize>,
+    crash_and_recover: bool,
 }
 
 fn usage() -> ! {
@@ -37,9 +54,16 @@ fn usage() -> ! {
          \x20               [--delete-strategy per-tuple|per-statement|cascading|asr]\n\
          \x20               [--insert-strategy tuple|table|asr]\n\
          \x20               [--scale N] [--depth N] [--fanout N] [--seed N]\n\
-         \x20               [--fail-at N] [--fail-table TABLE:N]"
+         \x20               [--fail-at N] [--fail-table TABLE:N]\n\
+         \x20               [--db-path DIR] [--checkpoint-every N] [--crash-and-recover]"
     );
     std::process::exit(2);
+}
+
+/// Reject a flag combination, naming the offending flag.
+fn flag_error(msg: &str) -> ! {
+    eprintln!("workload: {msg}");
+    usage();
 }
 
 fn parse_args() -> Args {
@@ -53,6 +77,9 @@ fn parse_args() -> Args {
         fanout: 2,
         fail_at: None,
         fail_table: None,
+        db_path: None,
+        checkpoint_every: None,
+        crash_and_recover: false,
     };
     let mut seed = 0xab1e_u64;
     let mut random = true;
@@ -97,6 +124,11 @@ fn parse_args() -> Args {
                 let (t, n) = v.split_once(':').unwrap_or_else(|| usage());
                 args.fail_table = Some((t.to_string(), n.parse().unwrap_or_else(|_| usage())));
             }
+            "--db-path" => args.db_path = Some(value(&mut i)),
+            "--checkpoint-every" => {
+                args.checkpoint_every = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--crash-and-recover" => args.crash_and_recover = true,
             _ => usage(),
         }
         i += 1;
@@ -109,39 +141,35 @@ fn parse_args() -> Args {
     } else {
         args.workload = Workload::Bulk;
     }
+    // Contradictory flag combinations are rejected up front, naming the
+    // offending flag, rather than failing obscurely mid-run.
+    if args.fail_at.is_some() && args.fail_table.is_some() {
+        flag_error("--fail-at conflicts with --fail-table: arm one fault at a time");
+    }
+    if args.crash_and_recover && args.db_path.is_none() {
+        flag_error("--crash-and-recover requires --db-path: crash recovery needs a durable store");
+    }
+    if args.checkpoint_every.is_some() && args.db_path.is_none() {
+        flag_error("--checkpoint-every requires --db-path: CHECKPOINT needs a durable store");
+    }
+    if args.checkpoint_every == Some(0) {
+        flag_error("--checkpoint-every expects N >= 1");
+    }
     args
 }
 
-fn main() {
-    let args = parse_args();
-    if args.op != "delete" && args.op != "insert" {
-        usage();
-    }
-
-    let params = SyntheticParams::new(args.scale, args.depth, args.fanout);
-    let dtd = synthetic_dtd(args.depth);
-    let doc = fixed_document(&params);
+fn config_of(args: &Args) -> RepoConfig {
     let needs_asr =
         args.delete_strategy == DeleteStrategy::Asr || args.insert_strategy == InsertStrategy::Asr;
-    let mut repo = XmlRepository::new(
-        &dtd,
-        "root",
-        RepoConfig {
-            delete_strategy: args.delete_strategy,
-            insert_strategy: args.insert_strategy,
-            build_asr: needs_asr,
-            statement_cost_us: 0,
-        },
-    )
-    .expect("mapping");
-    repo.load(&doc).expect("load");
-    let rel = repo.mapping.relation_by_element("n1").expect("n1");
-    let before = repo.tuple_count();
-    println!(
-        "loaded synthetic document: scale={} depth={} fanout={} ({} tuples)",
-        args.scale, args.depth, args.fanout, before
-    );
+    RepoConfig {
+        delete_strategy: args.delete_strategy,
+        insert_strategy: args.insert_strategy,
+        build_asr: needs_asr,
+        statement_cost_us: 0,
+    }
+}
 
+fn arm_faults(repo: &mut XmlRepository, args: &Args) {
     if let Some(n) = args.fail_at {
         repo.db.fail_after_statements(n);
         println!("armed fault: fail client statement #{n}");
@@ -150,13 +178,209 @@ fn main() {
         repo.db.fail_on_table_write(table, *n);
         println!("armed fault: fail write #{n} to table {table}");
     }
+}
+
+fn main() {
+    let args = parse_args();
+    if args.op != "delete" && args.op != "insert" {
+        usage();
+    }
+    match &args.db_path {
+        Some(path) => run_durable(&args, path),
+        None => run_in_memory(&args),
+    }
+}
+
+/// The original in-memory path: load, arm, run, report.
+fn run_in_memory(args: &Args) {
+    let params = SyntheticParams::new(args.scale, args.depth, args.fanout);
+    let dtd = synthetic_dtd(args.depth);
+    let doc = fixed_document(&params);
+    let mut repo = XmlRepository::new(&dtd, "root", config_of(args)).expect("mapping");
+    repo.load(&doc).expect("load");
+    let rel = repo.mapping.relation_by_element("n1").expect("n1");
+    let before = repo.tuple_count();
+    println!(
+        "loaded synthetic document: scale={} depth={} fanout={} ({} tuples)",
+        args.scale, args.depth, args.fanout, before
+    );
+    arm_faults(&mut repo, args);
 
     let report = match args.op.as_str() {
         "delete" => run_delete_recovering(&mut repo, rel, args.workload),
         _ => run_insert_recovering(&mut repo, rel, args.workload),
     }
     .expect("workload failed with a non-injected error");
+    print_report(&repo, args, before, &report, 0, 0);
+}
 
+/// One logical workload operation, replayable after a crash.
+enum PlannedOp {
+    DeleteAll,
+    DeleteId(i64),
+    CopyUnderParent(i64),
+}
+
+fn exec_op(repo: &mut XmlRepository, rel: usize, op: &PlannedOp) -> xmlup_core::Result<usize> {
+    match op {
+        PlannedOp::DeleteAll => repo.delete_where(rel, None),
+        PlannedOp::DeleteId(id) => repo.delete_by_id(rel, *id),
+        PlannedOp::CopyUnderParent(id) => {
+            let table = repo.mapping.relations[rel].table.clone();
+            let parent = repo
+                .db
+                .query(&format!("SELECT parentId FROM {table} WHERE id = {id}"))?
+                .scalar()
+                .and_then(Value::as_int)
+                .unwrap_or(0);
+            repo.copy_subtree(rel, *id, parent)
+        }
+    }
+}
+
+/// Full physical dump of the store: every table plus the id counter.
+/// `Table`'s `PartialEq` is physical equality, so equal dumps mean a
+/// byte-identical recovered state.
+fn dump(repo: &XmlRepository) -> (Vec<(String, Table)>, i64) {
+    (
+        repo.db
+            .table_names()
+            .into_iter()
+            .map(|n| (n.clone(), repo.db.table(&n).unwrap().clone()))
+            .collect(),
+        repo.db.peek_next_id(),
+    )
+}
+
+fn open_repo(args: &Args, path: &str) -> XmlRepository {
+    let dtd = synthetic_dtd(args.depth);
+    let mapping = Mapping::from_dtd(&dtd, "root").expect("mapping");
+    XmlRepository::open_durable(path, mapping, config_of(args)).expect("open durable store")
+}
+
+/// Durable path: open (or recover) the store, then drive the operations
+/// one by one so checkpoints and the simulated crash can interleave.
+fn run_durable(args: &Args, path: &str) {
+    let params = SyntheticParams::new(args.scale, args.depth, args.fanout);
+    let mut repo = open_repo(args, path);
+    if repo.tuple_count() == 0 {
+        let doc = fixed_document(&params);
+        repo.load(&doc).expect("load");
+        println!(
+            "loaded synthetic document into durable store at {path}: scale={} depth={} fanout={}",
+            args.scale, args.depth, args.fanout
+        );
+    } else {
+        println!(
+            "recovered durable store at {path}: {} tuples, {} committed txns replayed",
+            repo.tuple_count(),
+            repo.db.stats().recovered_txns
+        );
+    }
+    let rel = repo.mapping.relation_by_element("n1").expect("n1");
+    let before = repo.tuple_count();
+
+    let mut args_armed = args;
+    let defaulted;
+    if args.crash_and_recover && args.fail_at.is_none() && args.fail_table.is_none() {
+        // A crash needs a trigger: default to killing an early statement.
+        defaulted = Args {
+            fail_at: Some(12),
+            ..clone_args(args)
+        };
+        args_armed = &defaulted;
+    }
+    arm_faults(&mut repo, args_armed);
+
+    let ops: Vec<PlannedOp> = match (args.op.as_str(), args.workload) {
+        ("delete", Workload::Bulk) => vec![PlannedOp::DeleteAll],
+        ("delete", _) => pick_targets(&repo, rel, args.workload)
+            .into_iter()
+            .map(PlannedOp::DeleteId)
+            .collect(),
+        (_, w) => pick_targets(&repo, rel, w)
+            .into_iter()
+            .map(PlannedOp::CopyUnderParent)
+            .collect(),
+    };
+
+    let mut report = RecoveryReport::default();
+    let mut checkpoints = 0usize;
+    let mut crashes = 0usize;
+    let mut i = 0;
+    while i < ops.len() {
+        match exec_op(&mut repo, rel, &ops[i]) {
+            Ok(n) => {
+                report.completed += 1;
+                report.rows_affected += n;
+                i += 1;
+                if let Some(every) = args.checkpoint_every {
+                    if report.completed % every == 0 {
+                        repo.db.execute("CHECKPOINT").expect("checkpoint");
+                        checkpoints += 1;
+                    }
+                }
+            }
+            Err(e) if e.is_injected_fault() => {
+                report.faults_absorbed += 1;
+                if args.crash_and_recover && crashes == 0 {
+                    crashes += 1;
+                    // The fault's transaction has rolled back, so the
+                    // in-memory state is the committed state. Kill the
+                    // process (drop without close) and recover.
+                    let expected = dump(&repo);
+                    drop(repo);
+                    repo = open_repo(args, path);
+                    let recovered = dump(&repo);
+                    if recovered != expected {
+                        eprintln!(
+                            "workload: CRASH RECOVERY MISMATCH at operation {i}: \
+                             recovered state differs from pre-crash committed state"
+                        );
+                        std::process::exit(1);
+                    }
+                    println!(
+                        "crash simulated at operation {}: reopened from {path}, {} committed \
+                         txns replayed, state verified byte-identical",
+                        i,
+                        repo.db.stats().recovered_txns
+                    );
+                }
+                // Retry the killed operation.
+            }
+            Err(e) => panic!("workload failed with a non-injected error: {e}"),
+        }
+    }
+    print_report(&repo, args, before, &report, checkpoints, crashes);
+    repo.close_durable().expect("close durable store");
+}
+
+/// Manual clone: `Args` holds only plain data but derives nothing.
+fn clone_args(a: &Args) -> Args {
+    Args {
+        op: a.op.clone(),
+        workload: a.workload,
+        delete_strategy: a.delete_strategy,
+        insert_strategy: a.insert_strategy,
+        scale: a.scale,
+        depth: a.depth,
+        fanout: a.fanout,
+        fail_at: a.fail_at,
+        fail_table: a.fail_table.clone(),
+        db_path: a.db_path.clone(),
+        checkpoint_every: a.checkpoint_every,
+        crash_and_recover: a.crash_and_recover,
+    }
+}
+
+fn print_report(
+    repo: &XmlRepository,
+    args: &Args,
+    before: usize,
+    report: &RecoveryReport,
+    checkpoints: usize,
+    crashes: usize,
+) {
     let stats = repo.db.stats();
     println!(
         "{} {} workload: {} operations completed, {} injected fault(s) absorbed, {} rows affected",
@@ -174,6 +398,12 @@ fn main() {
         stats.txn_rollbacks,
         stats.undo_records
     );
+    if repo.db.is_durable() {
+        println!(
+            "durable: {} WAL records ({} bytes, {} fsyncs), {} checkpoint(s), {} simulated crash(es)",
+            stats.wal_records, stats.wal_bytes, stats.wal_fsyncs, checkpoints, crashes
+        );
+    }
     if report.faults_absorbed > 0 {
         println!("recovered: every aborted operation rolled back and was retried successfully");
     }

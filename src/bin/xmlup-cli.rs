@@ -278,6 +278,7 @@ impl Cli {
                     xmlup::rdb::ExecResult::Affected(n) => println!("{n} row(s) affected"),
                     xmlup::rdb::ExecResult::Ddl => println!("ok"),
                     xmlup::rdb::ExecResult::Txn => println!("ok"),
+                    xmlup::rdb::ExecResult::Checkpoint => println!("checkpoint"),
                 }
                 Ok(())
             }
