@@ -1,0 +1,108 @@
+//! Criterion benches for join-heavy SELECTs — the query shapes the
+//! paper's translation strategies generate: multi-way equi-joins over the
+//! level relations (the Sorted Outer Union of Section 5.2 joins every
+//! level against its parent), the cascading-delete `NOT IN` orphan chain
+//! of Section 6.1.1, and `LIMIT` over a large scan. These are the
+//! workloads the planner's hash-join selection, predicate pushdown, and
+//! limit pushdown are meant to speed up.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmlup_rdb::Database;
+
+/// Three level relations n1 → n2 → n3, `fanout` children per parent.
+fn level_db(n1_rows: i64, fanout: i64) -> Database {
+    let mut db = Database::new();
+    db.run_script(
+        "CREATE TABLE n1 (id INTEGER, parentId INTEGER, num INTEGER);
+         CREATE TABLE n2 (id INTEGER, parentId INTEGER, num INTEGER);
+         CREATE TABLE n3 (id INTEGER, parentId INTEGER, num INTEGER);
+         CREATE INDEX n1_parent ON n1 (parentId);
+         CREATE INDEX n2_parent ON n2 (parentId);
+         CREATE INDEX n3_parent ON n3 (parentId);",
+    )
+    .unwrap();
+    let ins1 = db.prepare("INSERT INTO n1 VALUES (?, ?, ?)").unwrap();
+    let ins2 = db.prepare("INSERT INTO n2 VALUES (?, ?, ?)").unwrap();
+    let ins3 = db.prepare("INSERT INTO n3 VALUES (?, ?, ?)").unwrap();
+    let mut next = 1i64;
+    for i in 0..n1_rows {
+        let n1_id = next;
+        next += 1;
+        db.execute_prepared(&ins1, &[n1_id.into(), 0.into(), i.into()])
+            .unwrap();
+        for j in 0..fanout {
+            let n2_id = next;
+            next += 1;
+            db.execute_prepared(&ins2, &[n2_id.into(), n1_id.into(), j.into()])
+                .unwrap();
+            for k in 0..fanout {
+                let n3_id = next;
+                next += 1;
+                db.execute_prepared(&ins3, &[n3_id.into(), n2_id.into(), k.into()])
+                    .unwrap();
+            }
+        }
+    }
+    db
+}
+
+fn bench_equi_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("joins/equi_join");
+    // 400 n1 rows × fanout 2 → 800 n2 / 1600 n3 rows.
+    let mut db = level_db(400, 2);
+    group.bench_function("two_way", |b| {
+        b.iter(|| {
+            let rs = db
+                .query("SELECT n1.id, n2.id FROM n1, n2 WHERE n2.parentId = n1.id")
+                .unwrap();
+            assert_eq!(rs.rows.len(), 800);
+        });
+    });
+    group.bench_function("three_way", |b| {
+        b.iter(|| {
+            let rs = db
+                .query(
+                    "SELECT n1.id, n3.id FROM n1, n2, n3 \
+                     WHERE n2.parentId = n1.id AND n3.parentId = n2.id",
+                )
+                .unwrap();
+            assert_eq!(rs.rows.len(), 1600);
+        });
+    });
+    group.finish();
+}
+
+fn bench_not_in_chain(c: &mut Criterion) {
+    // The cascading delete's orphan probe, run as a SELECT so the bench
+    // is repeatable: rows of n2 whose parent is gone.
+    let mut group = c.benchmark_group("joins/not_in");
+    let mut db = level_db(400, 2);
+    db.query("SELECT COUNT(*) FROM n1").unwrap();
+    group.bench_function("orphan_probe", |b| {
+        b.iter(|| {
+            let rs = db
+                .query(
+                    "SELECT COUNT(*) FROM n2 \
+                     WHERE parentId NOT IN (SELECT id FROM n1 WHERE num < 200)",
+                )
+                .unwrap();
+            assert_eq!(rs.rows.len(), 1);
+        });
+    });
+    group.finish();
+}
+
+fn bench_limit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("joins/limit");
+    let mut db = level_db(400, 2);
+    group.bench_function("limit1_no_order", |b| {
+        b.iter(|| {
+            let rs = db.query("SELECT id FROM n3 LIMIT 1").unwrap();
+            assert_eq!(rs.rows.len(), 1);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_equi_join, bench_not_in_chain, bench_limit);
+criterion_main!(benches);

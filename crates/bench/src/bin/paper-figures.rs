@@ -1,7 +1,7 @@
 //! Regenerate the tables and figures of *Updating XML* (SIGMOD 2001).
 //!
 //! ```text
-//! paper-figures [all|table1|fig6|fig7|fig8|fig9|fig10|fig11|table2|asr-paths|randomized|ordered|storage|plan-cache|txn|wal]
+//! paper-figures [all|table1|fig6|fig7|fig8|fig9|fig10|fig11|table2|asr-paths|randomized|ordered|storage|plan-cache|planner|txn|wal]
 //!               [--full]
 //! ```
 //!
@@ -74,6 +74,14 @@ fn main() {
     if run("plan-cache") {
         let rows = exp::plan_cache_stats(if full { 400 } else { 100 });
         exp::print_plan_cache(&rows);
+    }
+    if run("planner") {
+        let sizes: &[usize] = if full {
+            &[8, 16, 32, 64, 128]
+        } else {
+            &[8, 16, 32, 64]
+        };
+        exp::planner_comparison(sizes).print();
     }
     if run("txn") {
         let batches: &[usize] = if full {

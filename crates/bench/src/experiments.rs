@@ -720,6 +720,90 @@ pub fn txn_overhead(batch_sizes: &[usize]) -> Figure {
     }
 }
 
+/// Interpreter vs planner on the reconstruction-style join queries
+/// (Section 7's query side): a three-level edge forest joined
+/// parent→child→grandchild with a selective predicate on the root. The
+/// "interpreter" series runs with [`xmlup_rdb::Database::set_planner_naive`]
+/// set — hash joins where equality conjuncts allow (the pre-planner AST
+/// interpreter made the same choice) but the whole filter re-checked on
+/// every joined row and no predicate pushdown or index-access selection.
+/// The "planned" series runs the default planner. `sizes` are level-1
+/// row counts; lower levels get 4× each.
+pub fn planner_comparison(sizes: &[usize]) -> Figure {
+    let setup = |n1: usize, naive: bool| {
+        let mut db = xmlup_rdb::Database::new();
+        if naive {
+            db.set_planner_naive(true);
+        }
+        db.run_script(
+            "CREATE TABLE n1 (id INTEGER, parentId INTEGER, num INTEGER);
+             CREATE TABLE n2 (id INTEGER, parentId INTEGER, num INTEGER);
+             CREATE TABLE n3 (id INTEGER, parentId INTEGER, num INTEGER);
+             CREATE INDEX n1_id ON n1 (id);
+             CREATE INDEX n2_parent ON n2 (parentId);
+             CREATE INDEX n3_parent ON n3 (parentId);",
+        )
+        .expect("schema");
+        let ins1 = db.prepare("INSERT INTO n1 VALUES ($1, $2, $3)").unwrap();
+        let ins2 = db.prepare("INSERT INTO n2 VALUES ($1, $2, $3)").unwrap();
+        let ins3 = db.prepare("INSERT INTO n3 VALUES ($1, $2, $3)").unwrap();
+        use xmlup_rdb::Value::Int;
+        for i in 0..n1 as i64 {
+            db.execute_prepared(&ins1, &[Int(i), Int(0), Int(i % 97)])
+                .unwrap();
+            for j in 0..4i64 {
+                let id2 = i * 4 + j;
+                db.execute_prepared(&ins2, &[Int(id2), Int(i), Int(id2 % 53)])
+                    .unwrap();
+                for k in 0..4i64 {
+                    let id3 = id2 * 4 + k;
+                    db.execute_prepared(&ins3, &[Int(id3), Int(id2), Int(id3 % 31)])
+                        .unwrap();
+                }
+            }
+        }
+        db
+    };
+    let query = "SELECT n3.id, n3.num FROM n1, n2, n3 \
+                 WHERE n2.parentId = n1.id AND n3.parentId = n2.id AND n1.num < 24";
+    let mut interp = Series {
+        label: "interpreter".into(),
+        points: Vec::new(),
+    };
+    let mut planned = Series {
+        label: "planned".into(),
+        points: Vec::new(),
+    };
+    for &n in sizes {
+        interp.points.push((
+            n,
+            time_runs(
+                RUNS,
+                || setup(n, true),
+                |db| {
+                    db.query(query).expect("query");
+                },
+            ),
+        ));
+        planned.points.push((
+            n,
+            time_runs(
+                RUNS,
+                || setup(n, false),
+                |db| {
+                    db.query(query).expect("query");
+                },
+            ),
+        ));
+    }
+    Figure {
+        title: "Planner: 3-way reconstruction join, interpreter (post-join filter) vs planned (pushdown + index probes)"
+            .into(),
+        x_label: "n1 rows".into(),
+        series: vec![interp, planned],
+    }
+}
+
 /// Rollback cost vs update size: run the bulk per-tuple-trigger delete
 /// (the paper's largest update) inside an explicit transaction, then
 /// `ROLLBACK`. Returns `(sf, undo_records, apply_ms, rollback_ms)` —

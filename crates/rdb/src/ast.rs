@@ -130,6 +130,10 @@ pub enum Stmt {
     /// (see `crate::wal`). Rejected inside explicit transactions and
     /// trigger bodies, and on non-durable databases.
     Checkpoint,
+    /// `EXPLAIN stmt` — compile the inner statement into a physical plan
+    /// and return the rendered operator tree (one output row per line)
+    /// without executing it.
+    Explain(Box<Stmt>),
 }
 
 impl Stmt {

@@ -10,7 +10,9 @@
 
 use crate::ast::*;
 use crate::error::{DbError, Result};
+use crate::exec::{EvalCtx, RowEnv};
 use crate::parser::{parse_script_with_text, parse_stmt_with_params};
+use crate::plan::{PlanSlot, SelectPlan};
 use crate::sql::stmt_to_sql;
 use crate::table::{Table, TableSchema};
 use crate::txn::{FaultState, Savepoint, TxnState, UndoRecord};
@@ -80,29 +82,46 @@ pub struct Stats {
     /// Committed transactions replayed from the WAL by the most recent
     /// [`Database::open`]. Set once at open; `reset_stats` zeroes it.
     pub recovered_txns: u64,
+    /// Physical SELECT plans compiled by the planner (cache hits on a
+    /// still-valid plan slot do not recompile).
+    pub plans_built: u64,
+    /// Sequential scans opened by the executor.
+    pub seq_scans: u64,
+    /// Index scans opened by the executor (SELECT probes plus the
+    /// DELETE/UPDATE position-finding probes).
+    pub index_scans: u64,
+    /// Hash-join build sides materialized.
+    pub hash_join_builds: u64,
+    /// Filter conjuncts pushed down into scans at plan time.
+    pub predicates_pushed: u64,
 }
 
 #[derive(Debug, Default)]
-struct StatsCells {
-    client_statements: Cell<u64>,
-    total_statements: Cell<u64>,
-    rows_scanned: Cell<u64>,
-    rows_inserted: Cell<u64>,
-    rows_deleted: Cell<u64>,
-    rows_updated: Cell<u64>,
-    trigger_firings: Cell<u64>,
-    index_lookups: Cell<u64>,
-    statements_parsed: Cell<u64>,
-    plan_cache_hits: Cell<u64>,
-    plan_cache_misses: Cell<u64>,
-    txn_commits: Cell<u64>,
-    txn_rollbacks: Cell<u64>,
-    undo_records: Cell<u64>,
-    wal_records: Cell<u64>,
-    wal_bytes: Cell<u64>,
-    wal_fsyncs: Cell<u64>,
-    checkpoints: Cell<u64>,
-    recovered_txns: Cell<u64>,
+pub(crate) struct StatsCells {
+    pub(crate) client_statements: Cell<u64>,
+    pub(crate) total_statements: Cell<u64>,
+    pub(crate) rows_scanned: Cell<u64>,
+    pub(crate) rows_inserted: Cell<u64>,
+    pub(crate) rows_deleted: Cell<u64>,
+    pub(crate) rows_updated: Cell<u64>,
+    pub(crate) trigger_firings: Cell<u64>,
+    pub(crate) index_lookups: Cell<u64>,
+    pub(crate) statements_parsed: Cell<u64>,
+    pub(crate) plan_cache_hits: Cell<u64>,
+    pub(crate) plan_cache_misses: Cell<u64>,
+    pub(crate) txn_commits: Cell<u64>,
+    pub(crate) txn_rollbacks: Cell<u64>,
+    pub(crate) undo_records: Cell<u64>,
+    pub(crate) wal_records: Cell<u64>,
+    pub(crate) wal_bytes: Cell<u64>,
+    pub(crate) wal_fsyncs: Cell<u64>,
+    pub(crate) checkpoints: Cell<u64>,
+    pub(crate) recovered_txns: Cell<u64>,
+    pub(crate) plans_built: Cell<u64>,
+    pub(crate) seq_scans: Cell<u64>,
+    pub(crate) index_scans: Cell<u64>,
+    pub(crate) hash_join_builds: Cell<u64>,
+    pub(crate) predicates_pushed: Cell<u64>,
 }
 
 impl StatsCells {
@@ -127,10 +146,15 @@ impl StatsCells {
             wal_fsyncs: self.wal_fsyncs.get(),
             checkpoints: self.checkpoints.get(),
             recovered_txns: self.recovered_txns.get(),
+            plans_built: self.plans_built.get(),
+            seq_scans: self.seq_scans.get(),
+            index_scans: self.index_scans.get(),
+            hash_join_builds: self.hash_join_builds.get(),
+            predicates_pushed: self.predicates_pushed.get(),
         }
     }
 
-    fn bump(cell: &Cell<u64>, by: u64) {
+    pub(crate) fn bump(cell: &Cell<u64>, by: u64) {
         cell.set(cell.get() + by);
     }
 }
@@ -212,6 +236,9 @@ pub struct PreparedStmt {
     stmt: Rc<Stmt>,
     params: usize,
     sql: String,
+    /// Physical-plan slot shared with the SQL-text plan cache entry for
+    /// the same text; replanned lazily when the schema epoch moves.
+    slot: Rc<PlanSlot>,
 }
 
 impl PreparedStmt {
@@ -240,6 +267,7 @@ struct CachedPlan {
     stmt: Rc<Stmt>,
     params: usize,
     last_used: u64,
+    slot: Rc<PlanSlot>,
 }
 
 impl Default for PlanCache {
@@ -253,16 +281,16 @@ impl Default for PlanCache {
 }
 
 impl PlanCache {
-    fn get(&mut self, sql: &str) -> Option<(Rc<Stmt>, usize)> {
+    fn get(&mut self, sql: &str) -> Option<(Rc<Stmt>, usize, Rc<PlanSlot>)> {
         self.tick += 1;
         let tick = self.tick;
         self.plans.get_mut(sql).map(|p| {
             p.last_used = tick;
-            (p.stmt.clone(), p.params)
+            (p.stmt.clone(), p.params, p.slot.clone())
         })
     }
 
-    fn insert(&mut self, sql: &str, stmt: Rc<Stmt>, params: usize) {
+    fn insert(&mut self, sql: &str, stmt: Rc<Stmt>, params: usize, slot: Rc<PlanSlot>) {
         if self.plans.len() >= self.capacity && !self.plans.contains_key(sql) {
             // Evict the least recently used plan. O(n), but only on the
             // rare capacity-overflow path.
@@ -283,6 +311,7 @@ impl PlanCache {
                 stmt,
                 params,
                 last_used: tick,
+                slot,
             },
         );
     }
@@ -295,9 +324,9 @@ impl PlanCache {
 /// The in-memory relational database.
 #[derive(Debug, Default)]
 pub struct Database {
-    tables: HashMap<String, Table>,
+    pub(crate) tables: HashMap<String, Table>,
     triggers: Vec<Trigger>,
-    stats: StatsCells,
+    pub(crate) stats: StatsCells,
     next_id: Cell<i64>,
     /// Simulated per-client-statement overhead (see
     /// [`Database::set_statement_cost`]).
@@ -305,6 +334,14 @@ pub struct Database {
     /// Compiled plans for SQL text seen by `execute`/`prepare`, cleared
     /// on any DDL.
     plan_cache: RefCell<PlanCache>,
+    /// Bumped on every DDL (and plan-cache clear); physical plans carry
+    /// the epoch they were built under and replan when it moves.
+    pub(crate) schema_epoch: Cell<u64>,
+    /// When set, the planner skips predicate pushdown and index-access
+    /// selection and re-checks the whole filter on joined rows,
+    /// reproducing the pre-planner AST interpreter's strategy (for A/B
+    /// experiments).
+    pub(crate) planner_naive: Cell<bool>,
     /// Undo log, explicit-transaction flag, and savepoints.
     txn: TxnState,
     /// Armed fault-injection counters (see
@@ -347,118 +384,9 @@ fn storage_err(ctx: &str, e: &std::io::Error) -> DbError {
     DbError::Storage(format!("{ctx}: {e}"))
 }
 
-/// A materialized relation (CTE or intermediate result).
-#[derive(Debug, Clone)]
-struct Materialized {
-    columns: Vec<String>,
-    rows: Rc<Vec<Row>>,
-}
-
-type CteEnv = HashMap<String, Materialized>;
-
 /// A deleted row captured for undo: its slot position, the row itself,
 /// and its offset inside each index bucket.
 type DeletedRowUndo = (usize, Row, Vec<(usize, usize)>);
-
-/// Per-statement evaluation context: the `OLD`/`NEW` trigger row, if any,
-/// and a cache for uncorrelated subquery results.
-struct EvalCtx<'a> {
-    /// Pseudo-table name (`OLD` or `NEW`) and its column/value bindings.
-    pseudo_row: Option<(&'a str, &'a [(String, Value)])>,
-    /// Values bound to `?`/`$n` placeholders, indexed by slot.
-    params: &'a [Value],
-    sub_cache: RefCell<HashMap<usize, Rc<CachedSub>>>,
-}
-
-struct CachedSub {
-    rows: Vec<Row>,
-    /// First-column value set for IN probes (nulls excluded, tracked apart).
-    set: HashSet<Value>,
-    has_null: bool,
-}
-
-impl<'a> EvalCtx<'a> {
-    fn new() -> Self {
-        EvalCtx {
-            pseudo_row: None,
-            params: &[],
-            sub_cache: RefCell::new(HashMap::new()),
-        }
-    }
-
-    fn with_pseudo(name: &'a str, row: &'a [(String, Value)]) -> Self {
-        EvalCtx {
-            pseudo_row: Some((name, row)),
-            params: &[],
-            sub_cache: RefCell::new(HashMap::new()),
-        }
-    }
-
-    fn with_params(params: &'a [Value]) -> Self {
-        EvalCtx {
-            pseudo_row: None,
-            params,
-            sub_cache: RefCell::new(HashMap::new()),
-        }
-    }
-}
-
-/// Row environment during expression evaluation: bindings with their
-/// column names, laid out contiguously in `values`.
-#[derive(Debug, Default, Clone)]
-struct RowEnv {
-    /// (binding name, column names, offset into `values`).
-    layout: Vec<(String, Vec<String>, usize)>,
-    values: Vec<Value>,
-}
-
-impl RowEnv {
-    fn single(binding: &str, columns: &[String], row: &[Value]) -> Self {
-        RowEnv {
-            layout: vec![(binding.to_string(), columns.to_vec(), 0)],
-            values: row.to_vec(),
-        }
-    }
-
-    /// Rebind the environment to a new row without rebuilding the layout.
-    /// Hot per-row loops construct the layout once per statement and call
-    /// this per tuple.
-    fn set_values(&mut self, row: &[Value]) {
-        self.values.clear();
-        self.values.extend_from_slice(row);
-    }
-
-    /// Resolve a possibly-qualified column to an offset.
-    fn resolve(&self, table: Option<&str>, name: &str) -> Result<Option<usize>> {
-        match table {
-            Some(t) => {
-                for (binding, cols, off) in &self.layout {
-                    if binding.eq_ignore_ascii_case(t) {
-                        if let Some(ci) = cols.iter().position(|c| c.eq_ignore_ascii_case(name)) {
-                            return Ok(Some(off + ci));
-                        }
-                        return Err(DbError::NoSuchColumn(format!("{t}.{name}")));
-                    }
-                }
-                Ok(None)
-            }
-            None => {
-                let mut found = None;
-                for (binding, cols, off) in &self.layout {
-                    if let Some(ci) = cols.iter().position(|c| c.eq_ignore_ascii_case(name)) {
-                        if found.is_some() {
-                            return Err(DbError::NoSuchColumn(format!(
-                                "ambiguous column `{name}` (also in `{binding}`)"
-                            )));
-                        }
-                        found = Some(off + ci);
-                    }
-                }
-                Ok(found)
-            }
-        }
-    }
-}
 
 impl Database {
     /// Create an empty database.
@@ -470,6 +398,8 @@ impl Database {
             next_id: Cell::new(0),
             statement_cost: Cell::new(std::time::Duration::ZERO),
             plan_cache: RefCell::new(PlanCache::default()),
+            schema_epoch: Cell::new(0),
+            planner_naive: Cell::new(false),
             txn: TxnState::default(),
             fault: FaultState::default(),
             durable: None,
@@ -571,7 +501,7 @@ impl Database {
     }
 
     /// Look up the compiled plan for `sql`, parsing and caching on a miss.
-    fn plan_for(&self, sql: &str) -> Result<(Rc<Stmt>, usize)> {
+    fn plan_for(&self, sql: &str) -> Result<(Rc<Stmt>, usize, Rc<PlanSlot>)> {
         if let Some(hit) = self.plan_cache.borrow_mut().get(sql) {
             StatsCells::bump(&self.stats.plan_cache_hits, 1);
             return Ok(hit);
@@ -580,19 +510,69 @@ impl Database {
         StatsCells::bump(&self.stats.statements_parsed, 1);
         let (stmt, params) = parse_stmt_with_params(sql)?;
         let stmt = Rc::new(stmt);
+        let slot = Rc::new(PlanSlot::default());
         self.plan_cache
             .borrow_mut()
-            .insert(sql, stmt.clone(), params);
-        Ok((stmt, params))
+            .insert(sql, stmt.clone(), params, slot.clone());
+        Ok((stmt, params, slot))
+    }
+
+    /// Drop all cached statement plans and advance the schema epoch so
+    /// physical plans held by prepared statements replan lazily.
+    fn invalidate_plans(&self) {
+        self.plan_cache.borrow_mut().clear();
+        self.schema_epoch.set(self.schema_epoch.get() + 1);
+    }
+
+    /// Disable (or re-enable) the planner's predicate pushdown and
+    /// index-access selection. With `naive` set, a SELECT still picks
+    /// hash joins where an equality conjunct allows (the interpreter did
+    /// too) but re-evaluates the whole filter on every joined row and
+    /// never probes an index or pushes a predicate into a scan — the
+    /// pre-planner AST interpreter's strategy, which the experiments use
+    /// as the A side of interpreter-vs-planner comparisons.
+    pub fn set_planner_naive(&mut self, naive: bool) {
+        self.planner_naive.set(naive);
+        self.invalidate_plans();
+    }
+
+    /// Physical plan for a top-level SELECT: reuse the statement's plan
+    /// slot when its epoch is current, otherwise compile and store. The
+    /// returned plan is pinned in `ctx.keepalive` for the statement.
+    fn select_plan_for(&self, q: &SelectStmt, ctx: &EvalCtx<'_>) -> Result<Rc<SelectPlan>> {
+        let plan = match &ctx.plan_slot {
+            Some(slot) => {
+                let epoch = self.schema_epoch.get();
+                let cached = slot
+                    .0
+                    .borrow()
+                    .as_ref()
+                    .filter(|(e, _)| *e == epoch)
+                    .map(|(_, p)| p.clone());
+                match cached {
+                    Some(p) => p,
+                    None => {
+                        let p = Rc::new(self.build_select_plan(q, ctx)?);
+                        *slot.0.borrow_mut() = Some((epoch, p.clone()));
+                        p
+                    }
+                }
+            }
+            None => Rc::new(self.build_select_plan(q, ctx)?),
+        };
+        ctx.keepalive.borrow_mut().push(plan.clone());
+        Ok(plan)
     }
 
     /// Execute one SQL statement. Repeat executions of the same SQL text
     /// reuse the cached plan instead of re-parsing.
     pub fn execute(&mut self, sql: &str) -> Result<ExecResult> {
-        let (stmt, _) = self.plan_for(sql)?;
+        let (stmt, _, slot) = self.plan_for(sql)?;
         StatsCells::bump(&self.stats.client_statements, 1);
         self.charge_statement();
-        self.exec_client(&stmt, &EvalCtx::new())
+        let mut ctx = EvalCtx::new();
+        ctx.plan_slot = Some(slot);
+        self.exec_client(&stmt, &ctx)
     }
 
     /// Compile `sql` into a reusable [`PreparedStmt`]. `?` placeholders
@@ -600,11 +580,12 @@ impl Database {
     /// Preparation does not count as a client statement — only
     /// [`Database::execute_prepared`] calls do.
     pub fn prepare(&self, sql: &str) -> Result<PreparedStmt> {
-        let (stmt, params) = self.plan_for(sql)?;
+        let (stmt, params, slot) = self.plan_for(sql)?;
         Ok(PreparedStmt {
             stmt,
             params,
             sql: sql.to_string(),
+            slot,
         })
     }
 
@@ -626,7 +607,9 @@ impl Database {
         }
         StatsCells::bump(&self.stats.client_statements, 1);
         self.charge_statement();
-        self.exec_client(&stmt.stmt, &EvalCtx::with_params(params))
+        let mut ctx = EvalCtx::with_params(params);
+        ctx.plan_slot = Some(stmt.slot.clone());
+        self.exec_client(&stmt.stmt, &ctx)
     }
 
     /// Execute a prepared query and return its result set.
@@ -863,7 +846,7 @@ impl Database {
             self.apply_undo(rec);
         }
         if ddl {
-            self.plan_cache.borrow_mut().clear();
+            self.invalidate_plans();
         }
     }
 
@@ -1032,7 +1015,7 @@ impl Database {
         // Replay ran with `durable` unset so nothing re-logged itself;
         // wipe its undo/stats bookkeeping before arming the appender.
         db.txn = TxnState::default();
-        db.plan_cache.borrow_mut().clear();
+        db.invalidate_plans();
         db.stats = StatsCells::default();
         db.stats.recovered_txns.set(recovered);
         db.durable = Some(DurableState {
@@ -1385,7 +1368,7 @@ impl Database {
                 | Stmt::DropTrigger { .. }
         );
         if is_ddl {
-            self.plan_cache.borrow_mut().clear();
+            self.invalidate_plans();
         }
         let result = match stmt {
             Stmt::CreateTable {
@@ -1519,7 +1502,11 @@ impl Database {
                 sets,
                 filter,
             } => self.exec_update(table, sets, filter.as_ref(), ctx),
-            Stmt::Select(q) => Ok(ExecResult::Rows(self.eval_select(q, ctx)?)),
+            Stmt::Select(q) => {
+                let plan = self.select_plan_for(q, ctx)?;
+                Ok(ExecResult::Rows(self.exec_select_plan(&plan, ctx)?))
+            }
+            Stmt::Explain(inner) => Ok(ExecResult::Rows(self.explain_stmt(inner, ctx)?)),
             Stmt::Begin | Stmt::Commit | Stmt::Rollback { .. } | Stmt::Savepoint { .. } => {
                 if depth > 0 {
                     return Err(DbError::Txn(
@@ -1892,6 +1879,7 @@ impl Database {
                 if !keyv.is_null() {
                     if let Some(positions) = t.index_lookup(ci, &keyv) {
                         StatsCells::bump(&self.stats.index_lookups, 1);
+                        StatsCells::bump(&self.stats.index_scans, 1);
                         let mut out = Vec::new();
                         for &p in positions {
                             let row = t.row(p).expect("index points at live row");
@@ -1924,6 +1912,7 @@ impl Database {
                         if let Some(ci) = t.schema.column_index(name) {
                             if t.has_index(ci) {
                                 let sub = self.cached_subquery(query, ctx)?;
+                                StatsCells::bump(&self.stats.index_scans, 1);
                                 let mut out = Vec::new();
                                 for key in &sub.set {
                                     if let Some(positions) = t.index_lookup(ci, key) {
@@ -1949,6 +1938,7 @@ impl Database {
             }
         }
         // Full scan.
+        StatsCells::bump(&self.stats.seq_scans, 1);
         let mut out = Vec::new();
         for p in t.live_positions() {
             let row = t.row(p).expect("live position");
@@ -1963,7 +1953,7 @@ impl Database {
 
     /// Find a conjunct `col = expr` (or `expr = col`) where `col` is an
     /// indexed column of `t` and `expr` does not reference `t`'s row.
-    fn find_index_probe<'e>(
+    pub(crate) fn find_index_probe<'e>(
         &self,
         t: &Table,
         filter: &'e Expr,
@@ -1994,58 +1984,6 @@ impl Database {
             }
         }
         None
-    }
-
-    /// Whether an ORDER BY key expression can be evaluated against an
-    /// already-materialized result set: every column it references is an
-    /// unqualified name of an output column. Qualified references and
-    /// aggregates need the source rows, so they fall back to re-running
-    /// the select core.
-    fn computable_on_output(e: &Expr, columns: &[String]) -> bool {
-        match e {
-            Expr::Literal(_) | Expr::Param(_) => true,
-            Expr::Column { table: None, name } => {
-                columns.iter().any(|c| c.eq_ignore_ascii_case(name))
-            }
-            Expr::Column { table: Some(_), .. } => false,
-            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => {
-                Self::computable_on_output(expr, columns)
-            }
-            Expr::Binary { left, right, .. } => {
-                Self::computable_on_output(left, columns)
-                    && Self::computable_on_output(right, columns)
-            }
-            Expr::InList { expr, list, .. } => {
-                Self::computable_on_output(expr, columns)
-                    && list.iter().all(|l| Self::computable_on_output(l, columns))
-            }
-            Expr::InSubquery { expr, .. } => Self::computable_on_output(expr, columns),
-            Expr::Exists { .. } | Expr::ScalarSubquery(_) => true,
-            Expr::Aggregate { .. } => false,
-        }
-    }
-
-    /// Whether an expression can be evaluated without a row environment
-    /// (literals, OLD/NEW references, uncorrelated subqueries).
-    fn row_independent(e: &Expr) -> bool {
-        match e {
-            Expr::Literal(_) | Expr::Param(_) => true,
-            Expr::Column { table: Some(t), .. } => {
-                t.eq_ignore_ascii_case("OLD") || t.eq_ignore_ascii_case("NEW")
-            }
-            Expr::Column { .. } => false,
-            Expr::Unary { expr, .. } => Self::row_independent(expr),
-            Expr::Binary { left, right, .. } => {
-                Self::row_independent(left) && Self::row_independent(right)
-            }
-            Expr::IsNull { expr, .. } => Self::row_independent(expr),
-            Expr::InList { expr, list, .. } => {
-                Self::row_independent(expr) && list.iter().all(Self::row_independent)
-            }
-            Expr::InSubquery { expr, .. } => Self::row_independent(expr),
-            Expr::Exists { .. } | Expr::ScalarSubquery(_) => true,
-            Expr::Aggregate { .. } => false,
-        }
     }
 
     // ------------------------------------------------------------------
@@ -2100,888 +2038,5 @@ impl Database {
             }
         }
         Ok(())
-    }
-
-    // ------------------------------------------------------------------
-    // query evaluation
-    // ------------------------------------------------------------------
-
-    fn eval_select(&self, q: &SelectStmt, ctx: &EvalCtx<'_>) -> Result<ResultSet> {
-        let mut ctes: CteEnv = HashMap::new();
-        for cte in &q.ctes {
-            let rs = self.eval_union(&cte.body, ctx, &ctes)?;
-            let columns = match &cte.columns {
-                Some(cols) => {
-                    if cols.len() != rs.columns.len() {
-                        return Err(DbError::Schema(format!(
-                            "CTE `{}` declares {} columns but produces {}",
-                            cte.name,
-                            cols.len(),
-                            rs.columns.len()
-                        )));
-                    }
-                    cols.clone()
-                }
-                None => rs.columns,
-            };
-            ctes.insert(
-                cte.name.to_ascii_lowercase(),
-                Materialized {
-                    columns,
-                    rows: Rc::new(rs.rows),
-                },
-            );
-        }
-        let mut rs = self.eval_union(&q.body, ctx, &ctes)?;
-        if !q.order_by.is_empty() {
-            // Resolve each key against the output columns; for single-core
-            // bodies a key may also be an arbitrary expression over the
-            // source rows, computed as a hidden column.
-            let visible = rs.columns.len();
-            let mut keys: Vec<(usize, bool)> = Vec::with_capacity(q.order_by.len());
-            let mut hidden: Vec<&Expr> = Vec::new();
-            for k in &q.order_by {
-                let idx = match &k.expr {
-                    Expr::Column { table: None, name } => rs.column_index(name),
-                    Expr::Literal(Value::Int(n)) => {
-                        if *n >= 1 && (*n as usize) <= visible {
-                            Some(*n as usize - 1)
-                        } else {
-                            return Err(DbError::Execution(format!(
-                                "ORDER BY position {n} is out of range (1..={visible})"
-                            )));
-                        }
-                    }
-                    _ => None,
-                };
-                match idx {
-                    Some(i) => keys.push((i, k.desc)),
-                    None => {
-                        keys.push((visible + hidden.len(), k.desc));
-                        hidden.push(&k.expr);
-                    }
-                }
-            }
-            if !hidden.is_empty() {
-                if hidden
-                    .iter()
-                    .all(|e| Self::computable_on_output(e, &rs.columns))
-                {
-                    // Every hidden key only references output columns:
-                    // compute the keys on the rows already materialized
-                    // instead of re-running the select core.
-                    let mut env = RowEnv::single("", &rs.columns, &[]);
-                    for row in &mut rs.rows {
-                        env.set_values(row);
-                        for e in &hidden {
-                            row.push(self.eval_expr(e, &env, ctx, &ctes)?);
-                        }
-                    }
-                } else if q.body.len() != 1 {
-                    return Err(DbError::Execution(
-                        "ORDER BY over a UNION must name an output column".into(),
-                    ));
-                } else if q.body[0].distinct {
-                    return Err(DbError::Execution(
-                        "ORDER BY items must appear in the select list with DISTINCT".into(),
-                    ));
-                } else {
-                    // Re-run the single core with the hidden key
-                    // expressions appended as extra projections.
-                    let mut core = q.body[0].clone();
-                    for (i, e) in hidden.iter().enumerate() {
-                        core.projections.push(SelectItem::Expr {
-                            expr: (*e).clone(),
-                            alias: Some(format!("__sort{i}")),
-                        });
-                    }
-                    rs = self.eval_core(&core, ctx, &ctes)?;
-                }
-            }
-            rs.rows.sort_by(|a, b| {
-                for &(i, desc) in &keys {
-                    let ord = a[i].sort_cmp(&b[i]);
-                    if ord != std::cmp::Ordering::Equal {
-                        return if desc { ord.reverse() } else { ord };
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
-            if !hidden.is_empty() {
-                rs.columns.truncate(visible);
-                for row in &mut rs.rows {
-                    row.truncate(visible);
-                }
-            }
-        }
-        if let Some(n) = q.limit {
-            rs.rows.truncate(n as usize);
-        }
-        Ok(rs)
-    }
-
-    fn eval_union(
-        &self,
-        cores: &[SelectCore],
-        ctx: &EvalCtx<'_>,
-        ctes: &CteEnv,
-    ) -> Result<ResultSet> {
-        let mut iter = cores.iter();
-        let first = iter
-            .next()
-            .ok_or_else(|| DbError::Execution("empty select body".into()))?;
-        let mut rs = self.eval_core(first, ctx, ctes)?;
-        for core in iter {
-            let next = self.eval_core(core, ctx, ctes)?;
-            if next.columns.len() != rs.columns.len() {
-                return Err(DbError::Schema(format!(
-                    "UNION ALL arity mismatch: {} vs {}",
-                    rs.columns.len(),
-                    next.columns.len()
-                )));
-            }
-            rs.rows.extend(next.rows);
-        }
-        Ok(rs)
-    }
-
-    /// Resolve a FROM source to (columns, rows).
-    fn resolve_source(&self, name: &str, ctes: &CteEnv) -> Result<Materialized> {
-        let key = name.to_ascii_lowercase();
-        if let Some(m) = ctes.get(&key) {
-            return Ok(m.clone());
-        }
-        let t = self
-            .tables
-            .get(&key)
-            .ok_or_else(|| DbError::NoSuchTable(name.into()))?;
-        Ok(Materialized {
-            columns: t.schema.column_names(),
-            rows: Rc::new(t.rows().cloned().collect()),
-        })
-    }
-
-    /// Materialize the first FROM source, using a persistent index when a
-    /// conjunct `binding.col = <const>` or `binding.col IN (subquery)`
-    /// applies to an indexed base-table column.
-    fn materialize_first_source(
-        &self,
-        tref: &TableRef,
-        binding: &str,
-        conjuncts: &[&Expr],
-        ctx: &EvalCtx<'_>,
-        ctes: &CteEnv,
-    ) -> Result<Materialized> {
-        let key = tref.name.to_ascii_lowercase();
-        let t = match (ctes.contains_key(&key), self.tables.get(&key)) {
-            (false, Some(t)) => t,
-            _ => return self.resolve_source(&tref.name, ctes),
-        };
-        let columns = t.schema.column_names();
-        let qual_ok = |qual: &Option<String>| {
-            qual.as_deref()
-                .map(|q| q.eq_ignore_ascii_case(binding))
-                .unwrap_or(true)
-        };
-        for conj in conjuncts {
-            // Equality probe.
-            if let Expr::Binary {
-                left,
-                op: BinOp::Eq,
-                right,
-            } = conj
-            {
-                for (colside, keyside) in [(left, right), (right, left)] {
-                    if let Expr::Column { table: qual, name } = colside.as_ref() {
-                        if qual_ok(qual) && Self::row_independent(keyside) {
-                            if let Some(ci) = t.schema.column_index(name) {
-                                if t.has_index(ci) {
-                                    let keyv =
-                                        self.eval_expr(keyside, &RowEnv::default(), ctx, ctes)?;
-                                    let mut rows = Vec::new();
-                                    if !keyv.is_null() {
-                                        if let Some(ps) = t.index_lookup(ci, &keyv) {
-                                            StatsCells::bump(&self.stats.index_lookups, 1);
-                                            for &p in ps {
-                                                StatsCells::bump(&self.stats.rows_scanned, 1);
-                                                rows.push(t.row(p).expect("live").clone());
-                                            }
-                                        }
-                                    }
-                                    return Ok(Materialized {
-                                        columns,
-                                        rows: Rc::new(rows),
-                                    });
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            // IN-subquery probe.
-            if let Expr::InSubquery {
-                expr,
-                query,
-                negated: false,
-            } = conj
-            {
-                if let Expr::Column { table: qual, name } = expr.as_ref() {
-                    if qual_ok(qual) {
-                        if let Some(ci) = t.schema.column_index(name) {
-                            if t.has_index(ci) {
-                                let sub = self.cached_subquery(query, ctx)?;
-                                let mut rows = Vec::new();
-                                for keyv in &sub.set {
-                                    if let Some(ps) = t.index_lookup(ci, keyv) {
-                                        StatsCells::bump(&self.stats.index_lookups, 1);
-                                        for &p in ps {
-                                            StatsCells::bump(&self.stats.rows_scanned, 1);
-                                            rows.push(t.row(p).expect("live").clone());
-                                        }
-                                    }
-                                }
-                                return Ok(Materialized {
-                                    columns,
-                                    rows: Rc::new(rows),
-                                });
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        self.resolve_source(&tref.name, ctes)
-    }
-
-    fn eval_core(&self, core: &SelectCore, ctx: &EvalCtx<'_>, ctes: &CteEnv) -> Result<ResultSet> {
-        // --- join phase ---------------------------------------------------
-        let conjuncts: Vec<&Expr> = core
-            .filter
-            .as_ref()
-            .map(|f| f.conjuncts())
-            .unwrap_or_default();
-        let mut layout: Vec<(String, Vec<String>, usize)> = Vec::new();
-        let mut rows: Vec<Vec<Value>> = vec![Vec::new()];
-        let mut width = 0usize;
-        for tref in &core.from {
-            let binding = tref.binding().to_string();
-            if layout
-                .iter()
-                .any(|(b, _, _)| b.eq_ignore_ascii_case(&binding))
-            {
-                return Err(DbError::Schema(format!(
-                    "duplicate binding `{binding}` in FROM"
-                )));
-            }
-            let src = if layout.is_empty() {
-                // First table: a sargable conjunct on an indexed column
-                // lets us materialize only the matching rows.
-                self.materialize_first_source(tref, &binding, &conjuncts, ctx, ctes)?
-            } else {
-                self.resolve_source(&tref.name, ctes)?
-            };
-            // Try to find an equi-join conjunct: src.col = expr-over-bound.
-            // The proto env doubles as the reusable per-row environment in
-            // the join loop below (layout built once per join step).
-            let mut bound_env_proto = RowEnv {
-                layout: layout.clone(),
-                values: Vec::new(),
-            };
-            let mut join: Option<(usize, &Expr)> = None;
-            for conj in &conjuncts {
-                if let Expr::Binary {
-                    left,
-                    op: BinOp::Eq,
-                    right,
-                } = conj
-                {
-                    for (a, b) in [(left, right), (right, left)] {
-                        if let Expr::Column { table: qual, name } = a.as_ref() {
-                            let qual_matches = qual
-                                .as_deref()
-                                .map(|q| q.eq_ignore_ascii_case(&binding))
-                                .unwrap_or(false);
-                            if qual_matches {
-                                if let Some(ci) = src
-                                    .columns
-                                    .iter()
-                                    .position(|c| c.eq_ignore_ascii_case(name))
-                                {
-                                    if self.expr_resolvable(b, &bound_env_proto, ctx) {
-                                        join = Some((ci, b));
-                                        break;
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-                if join.is_some() {
-                    break;
-                }
-            }
-            let mut next_rows: Vec<Vec<Value>> = Vec::new();
-            match join {
-                Some((ci, key_expr)) if !rows.is_empty() => {
-                    // Hash join: build on the new source.
-                    let mut hash: HashMap<&Value, Vec<&Row>> = HashMap::new();
-                    for r in src.rows.iter() {
-                        StatsCells::bump(&self.stats.rows_scanned, 1);
-                        if !r[ci].is_null() {
-                            hash.entry(&r[ci]).or_default().push(r);
-                        }
-                    }
-                    for left_row in &rows {
-                        bound_env_proto.set_values(left_row);
-                        let key = self.eval_expr(key_expr, &bound_env_proto, ctx, ctes)?;
-                        if key.is_null() {
-                            continue;
-                        }
-                        if let Some(matches) = hash.get(&key) {
-                            for m in matches {
-                                let mut combined = left_row.clone();
-                                combined.extend(m.iter().cloned());
-                                next_rows.push(combined);
-                            }
-                        }
-                    }
-                }
-                _ => {
-                    // Cartesian product (filtered later).
-                    for left_row in &rows {
-                        for r in src.rows.iter() {
-                            StatsCells::bump(&self.stats.rows_scanned, 1);
-                            let mut combined = left_row.clone();
-                            combined.extend(r.iter().cloned());
-                            next_rows.push(combined);
-                        }
-                    }
-                }
-            }
-            layout.push((binding, src.columns.clone(), width));
-            width += src.columns.len();
-            rows = next_rows;
-        }
-        // --- validation ---------------------------------------------------
-        // Column references must resolve even when the input is empty.
-        {
-            let probe = RowEnv {
-                layout: layout.clone(),
-                values: Vec::new(),
-            };
-            if let Some(f) = &core.filter {
-                self.check_columns(f, &probe, ctx)?;
-            }
-            for item in &core.projections {
-                if let SelectItem::Expr { expr, .. } = item {
-                    self.check_columns(expr, &probe, ctx)?;
-                }
-            }
-        }
-        // --- filter phase -------------------------------------------------
-        let mut kept: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
-        match &core.filter {
-            Some(f) => {
-                let mut env = RowEnv {
-                    layout: layout.clone(),
-                    values: Vec::new(),
-                };
-                for r in rows {
-                    env.values = r;
-                    if self.eval_bool(f, &env, ctx, ctes)? == Some(true) {
-                        kept.push(std::mem::take(&mut env.values));
-                    }
-                }
-            }
-            None => kept = rows,
-        }
-        // --- projection phase ----------------------------------------------
-        let aggregate_mode = core.projections.iter().any(|p| match p {
-            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
-            _ => false,
-        });
-        let mut out_columns: Vec<String> = Vec::new();
-        for (i, item) in core.projections.iter().enumerate() {
-            match item {
-                SelectItem::Wildcard => {
-                    for (_, cols, _) in &layout {
-                        out_columns.extend(cols.iter().cloned());
-                    }
-                }
-                SelectItem::QualifiedWildcard(t) => {
-                    let (_, cols, _) = layout
-                        .iter()
-                        .find(|(b, _, _)| b.eq_ignore_ascii_case(t))
-                        .ok_or_else(|| DbError::NoSuchTable(format!("{t}.*")))?;
-                    out_columns.extend(cols.iter().cloned());
-                }
-                SelectItem::Expr { expr, alias } => out_columns.push(match alias {
-                    Some(a) => a.clone(),
-                    None => match expr {
-                        Expr::Column { name, .. } => name.clone(),
-                        _ => format!("col{}", i + 1),
-                    },
-                }),
-            }
-        }
-        if aggregate_mode {
-            let env_rows: Vec<RowEnv> = kept
-                .into_iter()
-                .map(|r| RowEnv {
-                    layout: layout.clone(),
-                    values: r,
-                })
-                .collect();
-            let mut row: Row = Vec::with_capacity(core.projections.len());
-            for item in &core.projections {
-                match item {
-                    SelectItem::Expr { expr, .. } => {
-                        row.push(self.eval_aggregate_expr(expr, &env_rows, ctx, ctes)?)
-                    }
-                    _ => {
-                        return Err(DbError::Execution(
-                            "wildcards cannot be mixed with aggregates".into(),
-                        ))
-                    }
-                }
-            }
-            return Ok(ResultSet {
-                columns: out_columns,
-                rows: vec![row],
-            });
-        }
-        let mut out_rows: Vec<Row> = Vec::with_capacity(kept.len());
-        let mut env = RowEnv {
-            layout: layout.clone(),
-            values: Vec::new(),
-        };
-        for r in kept {
-            env.values = r;
-            let mut out = Vec::with_capacity(out_columns.len());
-            for item in &core.projections {
-                match item {
-                    SelectItem::Wildcard => out.extend(env.values.iter().cloned()),
-                    SelectItem::QualifiedWildcard(t) => {
-                        let (_, cols, off) = layout
-                            .iter()
-                            .find(|(b, _, _)| b.eq_ignore_ascii_case(t))
-                            .expect("validated above");
-                        out.extend(env.values[*off..off + cols.len()].iter().cloned());
-                    }
-                    SelectItem::Expr { expr, .. } => {
-                        out.push(self.eval_expr(expr, &env, ctx, ctes)?)
-                    }
-                }
-            }
-            out_rows.push(out);
-        }
-        if core.distinct {
-            let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(out_rows.len());
-            out_rows.retain(|r| seen.insert(r.clone()));
-        }
-        Ok(ResultSet {
-            columns: out_columns,
-            rows: out_rows,
-        })
-    }
-
-    /// Verify that every column reference in `e` resolves against `env`
-    /// (or the OLD/NEW pseudo-row). Subquery bodies are skipped — they are
-    /// validated in their own scope when evaluated.
-    fn check_columns(&self, e: &Expr, env: &RowEnv, ctx: &EvalCtx<'_>) -> Result<()> {
-        match e {
-            Expr::Literal(_) | Expr::Param(_) => Ok(()),
-            Expr::Column { table, name } => {
-                if env.resolve(table.as_deref(), name)?.is_some()
-                    || self.pseudo_lookup(ctx, table.as_deref(), name).is_some()
-                {
-                    Ok(())
-                } else {
-                    Err(DbError::NoSuchColumn(match table {
-                        Some(t) => format!("{t}.{name}"),
-                        None => name.clone(),
-                    }))
-                }
-            }
-            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => {
-                self.check_columns(expr, env, ctx)
-            }
-            Expr::Binary { left, right, .. } => {
-                self.check_columns(left, env, ctx)?;
-                self.check_columns(right, env, ctx)
-            }
-            Expr::InList { expr, list, .. } => {
-                self.check_columns(expr, env, ctx)?;
-                list.iter()
-                    .try_for_each(|l| self.check_columns(l, env, ctx))
-            }
-            Expr::InSubquery { expr, .. } => self.check_columns(expr, env, ctx),
-            Expr::Exists { .. } | Expr::ScalarSubquery(_) => Ok(()),
-            Expr::Aggregate { arg, .. } => match arg {
-                Some(a) => self.check_columns(a, env, ctx),
-                None => Ok(()),
-            },
-        }
-    }
-
-    /// Can `e` be evaluated given only the bindings in `env` (plus OLD/NEW
-    /// and subqueries)? Used to pick hash-join keys.
-    fn expr_resolvable(&self, e: &Expr, env: &RowEnv, ctx: &EvalCtx<'_>) -> bool {
-        match e {
-            Expr::Literal(_) | Expr::Param(_) => true,
-            Expr::Column { table, name } => match env.resolve(table.as_deref(), name) {
-                Ok(Some(_)) => true,
-                _ => self.pseudo_lookup(ctx, table.as_deref(), name).is_some(),
-            },
-            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => {
-                self.expr_resolvable(expr, env, ctx)
-            }
-            Expr::Binary { left, right, .. } => {
-                self.expr_resolvable(left, env, ctx) && self.expr_resolvable(right, env, ctx)
-            }
-            Expr::InList { expr, list, .. } => {
-                self.expr_resolvable(expr, env, ctx)
-                    && list.iter().all(|l| self.expr_resolvable(l, env, ctx))
-            }
-            Expr::InSubquery { expr, .. } => self.expr_resolvable(expr, env, ctx),
-            Expr::Exists { .. } | Expr::ScalarSubquery(_) => true,
-            Expr::Aggregate { .. } => false,
-        }
-    }
-
-    fn pseudo_lookup(&self, ctx: &EvalCtx<'_>, table: Option<&str>, name: &str) -> Option<Value> {
-        let (pname, bindings) = ctx.pseudo_row?;
-        match table {
-            Some(t) if !t.eq_ignore_ascii_case(pname) => None,
-            Some(_) => bindings
-                .iter()
-                .find(|(c, _)| c.eq_ignore_ascii_case(name))
-                .map(|(_, v)| v.clone()),
-            // Unqualified names do not silently fall through to OLD/NEW.
-            None => None,
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // expression evaluation
-    // ------------------------------------------------------------------
-
-    // `ctes` is threaded through for future correlated-subquery support;
-    // today subqueries open their own CTE scope.
-    #[allow(clippy::only_used_in_recursion)]
-    fn eval_expr(&self, e: &Expr, env: &RowEnv, ctx: &EvalCtx<'_>, ctes: &CteEnv) -> Result<Value> {
-        match e {
-            Expr::Literal(v) => Ok(v.clone()),
-            Expr::Param(i) => ctx
-                .params
-                .get(*i)
-                .cloned()
-                .ok_or_else(|| DbError::Execution(format!("unbound parameter ${}", i + 1))),
-            Expr::Column { table, name } => {
-                if let Some(off) = env.resolve(table.as_deref(), name)? {
-                    return Ok(env.values[off].clone());
-                }
-                if let Some(v) = self.pseudo_lookup(ctx, table.as_deref(), name) {
-                    return Ok(v);
-                }
-                Err(DbError::NoSuchColumn(match table {
-                    Some(t) => format!("{t}.{name}"),
-                    None => name.clone(),
-                }))
-            }
-            Expr::Unary { op, expr } => {
-                let v = self.eval_expr(expr, env, ctx, ctes)?;
-                match op {
-                    UnOp::Neg => match v {
-                        Value::Null => Ok(Value::Null),
-                        Value::Int(i) => Ok(Value::Int(i.wrapping_neg())),
-                        other => Err(DbError::Type(format!("cannot negate {other}"))),
-                    },
-                    UnOp::Not => match self.truth(&v)? {
-                        None => Ok(Value::Null),
-                        Some(b) => Ok(Value::Bool(!b)),
-                    },
-                }
-            }
-            Expr::Binary { left, op, right } => {
-                if matches!(op, BinOp::And | BinOp::Or) {
-                    let l = self.eval_expr(left, env, ctx, ctes)?;
-                    let lt = self.truth(&l)?;
-                    // Short-circuit per 3VL.
-                    match (op, lt) {
-                        (BinOp::And, Some(false)) => return Ok(Value::Bool(false)),
-                        (BinOp::Or, Some(true)) => return Ok(Value::Bool(true)),
-                        _ => {}
-                    }
-                    let r = self.eval_expr(right, env, ctx, ctes)?;
-                    let rt = self.truth(&r)?;
-                    return Ok(match (op, lt, rt) {
-                        (BinOp::And, Some(true), Some(true)) => Value::Bool(true),
-                        (BinOp::And, _, Some(false)) => Value::Bool(false),
-                        (BinOp::And, _, _) => Value::Null,
-                        (BinOp::Or, _, Some(true)) => Value::Bool(true),
-                        (BinOp::Or, Some(false), Some(false)) => Value::Bool(false),
-                        (BinOp::Or, _, _) => Value::Null,
-                        _ => unreachable!(),
-                    });
-                }
-                let l = self.eval_expr(left, env, ctx, ctes)?;
-                let r = self.eval_expr(right, env, ctx, ctes)?;
-                if op.is_comparison() {
-                    return Ok(match l.sql_cmp(&r) {
-                        None => {
-                            if l.is_null() || r.is_null() {
-                                Value::Null
-                            } else {
-                                // Incomparable types: unequal.
-                                match op {
-                                    BinOp::Ne => Value::Bool(true),
-                                    _ => Value::Bool(false),
-                                }
-                            }
-                        }
-                        Some(ord) => Value::Bool(match op {
-                            BinOp::Eq => ord.is_eq(),
-                            BinOp::Ne => !ord.is_eq(),
-                            BinOp::Lt => ord.is_lt(),
-                            BinOp::Le => ord.is_le(),
-                            BinOp::Gt => ord.is_gt(),
-                            BinOp::Ge => ord.is_ge(),
-                            _ => unreachable!(),
-                        }),
-                    });
-                }
-                // Arithmetic.
-                match (l, r) {
-                    (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
-                    (Value::Int(a), Value::Int(b)) => match op {
-                        BinOp::Add => Ok(Value::Int(a.wrapping_add(b))),
-                        BinOp::Sub => Ok(Value::Int(a.wrapping_sub(b))),
-                        BinOp::Mul => Ok(Value::Int(a.wrapping_mul(b))),
-                        BinOp::Div => {
-                            if b == 0 {
-                                Err(DbError::Execution("division by zero".into()))
-                            } else {
-                                // wrapping: i64::MIN / -1 must not abort.
-                                Ok(Value::Int(a.wrapping_div(b)))
-                            }
-                        }
-                        BinOp::Mod => {
-                            if b == 0 {
-                                Err(DbError::Execution("modulo by zero".into()))
-                            } else {
-                                Ok(Value::Int(a.wrapping_rem(b)))
-                            }
-                        }
-                        _ => unreachable!(),
-                    },
-                    (a, b) => Err(DbError::Type(format!("arithmetic on {a} and {b}"))),
-                }
-            }
-            Expr::IsNull { expr, negated } => {
-                let v = self.eval_expr(expr, env, ctx, ctes)?;
-                Ok(Value::Bool(v.is_null() != *negated))
-            }
-            Expr::InList {
-                expr,
-                list,
-                negated,
-            } => {
-                let v = self.eval_expr(expr, env, ctx, ctes)?;
-                if v.is_null() {
-                    return Ok(Value::Null);
-                }
-                let mut saw_null = false;
-                for item in list {
-                    let iv = self.eval_expr(item, env, ctx, ctes)?;
-                    if iv.is_null() {
-                        saw_null = true;
-                    } else if iv == v {
-                        return Ok(Value::Bool(!negated));
-                    }
-                }
-                if saw_null {
-                    Ok(Value::Null)
-                } else {
-                    Ok(Value::Bool(*negated))
-                }
-            }
-            Expr::InSubquery {
-                expr,
-                query,
-                negated,
-            } => {
-                let v = self.eval_expr(expr, env, ctx, ctes)?;
-                if v.is_null() {
-                    return Ok(Value::Null);
-                }
-                let sub = self.cached_subquery(query, ctx)?;
-                if sub.set.contains(&v) {
-                    Ok(Value::Bool(!negated))
-                } else if sub.has_null {
-                    Ok(Value::Null)
-                } else {
-                    Ok(Value::Bool(*negated))
-                }
-            }
-            Expr::Exists { query, negated } => {
-                let sub = self.cached_subquery(query, ctx)?;
-                Ok(Value::Bool(sub.rows.is_empty() == *negated))
-            }
-            Expr::ScalarSubquery(query) => {
-                let sub = self.cached_subquery(query, ctx)?;
-                match sub.rows.len() {
-                    0 => Ok(Value::Null),
-                    1 => Ok(sub.rows[0]
-                        .first()
-                        .cloned()
-                        .ok_or_else(|| DbError::Execution("zero-column subquery".into()))?),
-                    n => Err(DbError::Execution(format!(
-                        "scalar subquery returned {n} rows"
-                    ))),
-                }
-            }
-            Expr::Aggregate { .. } => Err(DbError::Execution(
-                "aggregate used outside an aggregate query".into(),
-            )),
-        }
-    }
-
-    fn cached_subquery(&self, q: &SelectStmt, ctx: &EvalCtx<'_>) -> Result<Rc<CachedSub>> {
-        let key = q as *const SelectStmt as usize;
-        if let Some(hit) = ctx.sub_cache.borrow().get(&key) {
-            return Ok(hit.clone());
-        }
-        let rs = self.eval_select(q, ctx)?;
-        let mut set = HashSet::with_capacity(rs.rows.len());
-        let mut has_null = false;
-        for r in &rs.rows {
-            match r.first() {
-                Some(Value::Null) | None => has_null = true,
-                Some(v) => {
-                    set.insert(v.clone());
-                }
-            }
-        }
-        let cached = Rc::new(CachedSub {
-            rows: rs.rows,
-            set,
-            has_null,
-        });
-        ctx.sub_cache.borrow_mut().insert(key, cached.clone());
-        Ok(cached)
-    }
-
-    fn truth(&self, v: &Value) -> Result<Option<bool>> {
-        match v {
-            Value::Null => Ok(None),
-            Value::Bool(b) => Ok(Some(*b)),
-            other => Err(DbError::Type(format!("expected boolean, got {other}"))),
-        }
-    }
-
-    fn eval_bool(
-        &self,
-        e: &Expr,
-        env: &RowEnv,
-        ctx: &EvalCtx<'_>,
-        ctes: &CteEnv,
-    ) -> Result<Option<bool>> {
-        let v = self.eval_expr(e, env, ctx, ctes)?;
-        self.truth(&v)
-    }
-
-    fn eval_aggregate_expr(
-        &self,
-        e: &Expr,
-        rows: &[RowEnv],
-        ctx: &EvalCtx<'_>,
-        ctes: &CteEnv,
-    ) -> Result<Value> {
-        match e {
-            Expr::Aggregate { func, arg } => match func {
-                AggFunc::Count => match arg {
-                    None => Ok(Value::Int(rows.len() as i64)),
-                    Some(a) => {
-                        let mut n = 0i64;
-                        for env in rows {
-                            if !self.eval_expr(a, env, ctx, ctes)?.is_null() {
-                                n += 1;
-                            }
-                        }
-                        Ok(Value::Int(n))
-                    }
-                },
-                AggFunc::Min | AggFunc::Max => {
-                    let a = arg
-                        .as_ref()
-                        .ok_or_else(|| DbError::Execution("MIN/MAX need an argument".into()))?;
-                    let mut best: Option<Value> = None;
-                    for env in rows {
-                        let v = self.eval_expr(a, env, ctx, ctes)?;
-                        if v.is_null() {
-                            continue;
-                        }
-                        best = Some(match best {
-                            None => v,
-                            Some(b) => {
-                                let take_new = match v.sort_cmp(&b) {
-                                    std::cmp::Ordering::Less => *func == AggFunc::Min,
-                                    std::cmp::Ordering::Greater => *func == AggFunc::Max,
-                                    std::cmp::Ordering::Equal => false,
-                                };
-                                if take_new {
-                                    v
-                                } else {
-                                    b
-                                }
-                            }
-                        });
-                    }
-                    Ok(best.unwrap_or(Value::Null))
-                }
-                AggFunc::Sum => {
-                    let a = arg
-                        .as_ref()
-                        .ok_or_else(|| DbError::Execution("SUM needs an argument".into()))?;
-                    let mut sum: Option<i64> = None;
-                    for env in rows {
-                        match self.eval_expr(a, env, ctx, ctes)? {
-                            Value::Null => {}
-                            Value::Int(i) => sum = Some(sum.unwrap_or(0).wrapping_add(i)),
-                            other => return Err(DbError::Type(format!("SUM over {other}"))),
-                        }
-                    }
-                    Ok(sum.map(Value::Int).unwrap_or(Value::Null))
-                }
-            },
-            Expr::Binary { left, op, right } => {
-                let l = self.eval_aggregate_expr(left, rows, ctx, ctes)?;
-                let r = self.eval_aggregate_expr(right, rows, ctx, ctes)?;
-                let combined = Expr::Binary {
-                    left: Box::new(Expr::Literal(l)),
-                    op: *op,
-                    right: Box::new(Expr::Literal(r)),
-                };
-                self.eval_expr(&combined, &RowEnv::default(), ctx, ctes)
-            }
-            Expr::Unary { op, expr } => {
-                let v = self.eval_aggregate_expr(expr, rows, ctx, ctes)?;
-                let combined = Expr::Unary {
-                    op: *op,
-                    expr: Box::new(Expr::Literal(v)),
-                };
-                self.eval_expr(&combined, &RowEnv::default(), ctx, ctes)
-            }
-            Expr::Literal(v) => Ok(v.clone()),
-            Expr::Param(i) => ctx
-                .params
-                .get(*i)
-                .cloned()
-                .ok_or_else(|| DbError::Execution(format!("unbound parameter ${}", i + 1))),
-            other => Err(DbError::Execution(format!(
-                "non-aggregate expression in aggregate query: {other:?}"
-            ))),
-        }
     }
 }

@@ -1,0 +1,1274 @@
+//! Volcano-style pull executor for compiled physical plans.
+//!
+//! Each operator is a cursor exposing `next()`, which yields one output
+//! row at a time. Rows are materialized lazily: base-table scans iterate
+//! the table's slot array by reference and only clone rows that survive
+//! the predicates pushed down into the scan, instead of cloning whole
+//! tables up front the way the old AST interpreter did.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use crate::ast::{AggFunc, BinOp, Expr, SelectStmt, UnOp};
+use crate::engine::{Database, ResultSet, StatsCells};
+use crate::error::{DbError, Result};
+use crate::plan::{Access, CorePlan, JoinKind, PlanSlot, ProjStep, ScanPlan, SelectPlan};
+use crate::table::Table;
+use crate::value::{Row, Value};
+
+/// Resolve a possibly-qualified column name against a binding layout.
+/// Returns the offset into the joined row, `Ok(None)` when the name is
+/// absent (so OLD/NEW pseudo-rows can be tried next), or an error for
+/// ambiguous or half-resolved references.
+pub(crate) fn layout_resolve(
+    layout: &[(String, Vec<String>, usize)],
+    table: Option<&str>,
+    name: &str,
+) -> Result<Option<usize>> {
+    match table {
+        Some(t) => {
+            for (binding, cols, off) in layout {
+                if binding.eq_ignore_ascii_case(t) {
+                    if let Some(ci) = cols.iter().position(|c| c.eq_ignore_ascii_case(name)) {
+                        return Ok(Some(off + ci));
+                    }
+                    return Err(DbError::NoSuchColumn(format!("{t}.{name}")));
+                }
+            }
+            Ok(None)
+        }
+        None => {
+            let mut found = None;
+            for (binding, cols, off) in layout {
+                if let Some(ci) = cols.iter().position(|c| c.eq_ignore_ascii_case(name)) {
+                    if found.is_some() {
+                        return Err(DbError::NoSuchColumn(format!(
+                            "ambiguous column `{name}` (also in `{binding}`)"
+                        )));
+                    }
+                    found = Some(off + ci);
+                }
+            }
+            Ok(found)
+        }
+    }
+}
+
+/// A row environment expressions can be evaluated against: resolves
+/// column names to offsets and hands out values by offset.
+pub(crate) trait Scope {
+    fn resolve(&self, table: Option<&str>, name: &str) -> Result<Option<usize>>;
+    fn value(&self, off: usize) -> &Value;
+}
+
+/// Borrowed view over a binding layout plus a flat value slice — the
+/// executor's zero-copy scope. An empty value slice is legal for
+/// resolution-only probes (validation, row-independent key evaluation).
+pub(crate) struct SliceEnv<'a> {
+    pub layout: &'a [(String, Vec<String>, usize)],
+    pub values: &'a [Value],
+}
+
+impl Scope for SliceEnv<'_> {
+    fn resolve(&self, table: Option<&str>, name: &str) -> Result<Option<usize>> {
+        layout_resolve(self.layout, table, name)
+    }
+    fn value(&self, off: usize) -> &Value {
+        &self.values[off]
+    }
+}
+
+/// Row environment during expression evaluation: bindings with their
+/// column names, laid out contiguously in `values`. Owned variant used
+/// by the DML paths (INSERT/UPDATE/DELETE), which bind one table's row.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct RowEnv {
+    /// (binding name, column names, offset into `values`).
+    pub layout: Vec<(String, Vec<String>, usize)>,
+    pub values: Vec<Value>,
+}
+
+impl RowEnv {
+    pub fn single(binding: &str, columns: &[String], row: &[Value]) -> Self {
+        RowEnv {
+            layout: vec![(binding.to_string(), columns.to_vec(), 0)],
+            values: row.to_vec(),
+        }
+    }
+
+    /// Rebind the environment to a new row without rebuilding the layout.
+    /// Hot per-row loops construct the layout once per statement and call
+    /// this per tuple.
+    pub fn set_values(&mut self, row: &[Value]) {
+        self.values.clear();
+        self.values.extend_from_slice(row);
+    }
+
+    /// Resolve a possibly-qualified column to an offset.
+    pub fn resolve(&self, table: Option<&str>, name: &str) -> Result<Option<usize>> {
+        layout_resolve(&self.layout, table, name)
+    }
+}
+
+impl Scope for RowEnv {
+    fn resolve(&self, table: Option<&str>, name: &str) -> Result<Option<usize>> {
+        RowEnv::resolve(self, table, name)
+    }
+    fn value(&self, off: usize) -> &Value {
+        &self.values[off]
+    }
+}
+
+/// A materialized relation (CTE body executed once per statement).
+/// Column names live in the scan plans that read it, so only the rows
+/// are kept here.
+#[derive(Debug, Clone)]
+pub(crate) struct Materialized {
+    pub rows: Rc<Vec<Row>>,
+}
+
+pub(crate) type CteEnv = HashMap<String, Materialized>;
+
+pub(crate) struct CachedSub {
+    pub rows: Vec<Row>,
+    /// First-column value set for IN probes (nulls excluded, tracked apart).
+    pub set: HashSet<Value>,
+    pub has_null: bool,
+}
+
+/// Per-statement evaluation context: the `OLD`/`NEW` trigger row, if any,
+/// bound parameter values, and a cache for uncorrelated subquery results.
+pub(crate) struct EvalCtx<'a> {
+    /// Pseudo-table name (`OLD` or `NEW`) and its column/value bindings.
+    pub pseudo_row: Option<(&'a str, &'a [(String, Value)])>,
+    /// Values bound to `?`/`$n` placeholders, indexed by slot.
+    pub params: &'a [Value],
+    pub sub_cache: RefCell<HashMap<usize, Rc<CachedSub>>>,
+    /// Plans executed during this statement. The subquery cache keys on
+    /// `&SelectStmt` addresses inside plan expressions, so every plan that
+    /// ran must outlive the statement even if the shared plan slot is
+    /// replaced mid-statement.
+    pub keepalive: RefCell<Vec<Rc<SelectPlan>>>,
+    /// Shared plan slot for the top-level statement, set by
+    /// `execute`/`execute_prepared` after construction. Only the outer
+    /// SELECT consults it; nested selects (subqueries, triggers) always
+    /// plan fresh, so the slot can never serve the wrong statement.
+    pub plan_slot: Option<Rc<PlanSlot>>,
+}
+
+impl<'a> EvalCtx<'a> {
+    pub fn new() -> Self {
+        EvalCtx {
+            pseudo_row: None,
+            params: &[],
+            sub_cache: RefCell::new(HashMap::new()),
+            keepalive: RefCell::new(Vec::new()),
+            plan_slot: None,
+        }
+    }
+
+    pub fn with_pseudo(name: &'a str, row: &'a [(String, Value)]) -> Self {
+        EvalCtx {
+            pseudo_row: Some((name, row)),
+            params: &[],
+            sub_cache: RefCell::new(HashMap::new()),
+            keepalive: RefCell::new(Vec::new()),
+            plan_slot: None,
+        }
+    }
+
+    pub fn with_params(params: &'a [Value]) -> Self {
+        EvalCtx {
+            pseudo_row: None,
+            params,
+            sub_cache: RefCell::new(HashMap::new()),
+            keepalive: RefCell::new(Vec::new()),
+            plan_slot: None,
+        }
+    }
+}
+
+/// Everything a cursor needs besides its own state.
+pub(crate) struct ExecCtx<'a, 'c> {
+    pub db: &'a Database,
+    pub ctx: &'a EvalCtx<'c>,
+    pub ctes: &'a CteEnv,
+}
+
+/// A Volcano operator: yields one row per `next()` call, `None` at end.
+trait Cursor {
+    fn next(&mut self, ex: &ExecCtx<'_, '_>) -> Result<Option<Row>>;
+}
+
+type BoxCursor<'a> = Box<dyn Cursor + 'a>;
+
+/// Degenerate FROM-less source: exactly one empty row.
+struct OneRow {
+    done: bool,
+}
+
+impl Cursor for OneRow {
+    fn next(&mut self, _ex: &ExecCtx<'_, '_>) -> Result<Option<Row>> {
+        if self.done {
+            Ok(None)
+        } else {
+            self.done = true;
+            Ok(Some(Vec::new()))
+        }
+    }
+}
+
+enum ScanSrc<'a> {
+    Table(&'a Table),
+    Mat(Rc<Vec<Row>>),
+}
+
+enum ScanState {
+    Start,
+    SeqTable { pos: usize },
+    SeqMat { i: usize },
+    Bucket { rows: Vec<Row>, i: usize },
+    Done,
+}
+
+/// Leaf scan: sequential over a table's slot array, an index probe, or a
+/// materialized CTE. Pushed-down predicates filter before rows clone.
+pub(crate) struct ScanCur<'a> {
+    plan: &'a ScanPlan,
+    src: ScanSrc<'a>,
+    layout: Vec<(String, Vec<String>, usize)>,
+    state: ScanState,
+}
+
+impl<'a> ScanCur<'a> {
+    fn new(plan: &'a ScanPlan, src: ScanSrc<'a>) -> Self {
+        let layout = vec![(plan.binding.clone(), plan.columns.clone(), 0)];
+        ScanCur {
+            plan,
+            src,
+            layout,
+            state: ScanState::Start,
+        }
+    }
+
+    /// Do all pushed-down conjuncts accept this row?
+    fn passes(&self, row: &[Value], ex: &ExecCtx<'_, '_>) -> Result<bool> {
+        if self.plan.pushed.is_empty() {
+            return Ok(true);
+        }
+        let env = SliceEnv {
+            layout: &self.layout,
+            values: row,
+        };
+        for p in &self.plan.pushed {
+            if ex.db.eval_bool(p, &env, ex.ctx, ex.ctes)? != Some(true) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn start(&self, ex: &ExecCtx<'_, '_>) -> Result<ScanState> {
+        match (&self.plan.access, &self.src) {
+            (_, ScanSrc::Mat(_)) => Ok(ScanState::SeqMat { i: 0 }),
+            (Access::Seq, ScanSrc::Table(_)) => {
+                StatsCells::bump(&ex.db.stats.seq_scans, 1);
+                Ok(ScanState::SeqTable { pos: 0 })
+            }
+            (Access::IndexEq { ci, key }, ScanSrc::Table(t)) => {
+                StatsCells::bump(&ex.db.stats.index_scans, 1);
+                let empty = SliceEnv {
+                    layout: &[],
+                    values: &[],
+                };
+                let keyv = ex.db.eval_expr(key, &empty, ex.ctx, ex.ctes)?;
+                let mut rows = Vec::new();
+                if !keyv.is_null() {
+                    if let Some(ps) = t.index_lookup(*ci, &keyv) {
+                        StatsCells::bump(&ex.db.stats.index_lookups, 1);
+                        for &p in ps {
+                            StatsCells::bump(&ex.db.stats.rows_scanned, 1);
+                            let row = t.row(p).expect("index points at live row");
+                            if self.passes(row, ex)? {
+                                rows.push(row.clone());
+                            }
+                        }
+                    }
+                }
+                Ok(ScanState::Bucket { rows, i: 0 })
+            }
+            (Access::IndexIn { ci, query }, ScanSrc::Table(t)) => {
+                StatsCells::bump(&ex.db.stats.index_scans, 1);
+                let sub = ex.db.cached_subquery(query, ex.ctx)?;
+                let mut rows = Vec::new();
+                for keyv in &sub.set {
+                    if let Some(ps) = t.index_lookup(*ci, keyv) {
+                        StatsCells::bump(&ex.db.stats.index_lookups, 1);
+                        for &p in ps {
+                            StatsCells::bump(&ex.db.stats.rows_scanned, 1);
+                            let row = t.row(p).expect("index points at live row");
+                            if self.passes(row, ex)? {
+                                rows.push(row.clone());
+                            }
+                        }
+                    }
+                }
+                Ok(ScanState::Bucket { rows, i: 0 })
+            }
+        }
+    }
+}
+
+impl Cursor for ScanCur<'_> {
+    fn next(&mut self, ex: &ExecCtx<'_, '_>) -> Result<Option<Row>> {
+        loop {
+            match std::mem::replace(&mut self.state, ScanState::Done) {
+                ScanState::Start => {
+                    self.state = self.start(ex)?;
+                }
+                ScanState::SeqTable { mut pos } => {
+                    let ScanSrc::Table(t) = &self.src else {
+                        unreachable!("SeqTable state implies a table source")
+                    };
+                    let slots = t.slots_raw();
+                    while pos < slots.len() {
+                        if let Some(row) = &slots[pos] {
+                            StatsCells::bump(&ex.db.stats.rows_scanned, 1);
+                            if self.passes(row, ex)? {
+                                let out = row.clone();
+                                self.state = ScanState::SeqTable { pos: pos + 1 };
+                                return Ok(Some(out));
+                            }
+                        }
+                        pos += 1;
+                    }
+                    return Ok(None);
+                }
+                ScanState::SeqMat { mut i } => {
+                    let ScanSrc::Mat(rows) = &self.src else {
+                        unreachable!("SeqMat state implies a materialized source")
+                    };
+                    while i < rows.len() {
+                        StatsCells::bump(&ex.db.stats.rows_scanned, 1);
+                        if self.passes(&rows[i], ex)? {
+                            let out = rows[i].clone();
+                            self.state = ScanState::SeqMat { i: i + 1 };
+                            return Ok(Some(out));
+                        }
+                        i += 1;
+                    }
+                    return Ok(None);
+                }
+                ScanState::Bucket { rows, i } => {
+                    if i < rows.len() {
+                        let out = rows[i].clone();
+                        self.state = ScanState::Bucket { rows, i: i + 1 };
+                        return Ok(Some(out));
+                    }
+                    return Ok(None);
+                }
+                ScanState::Done => return Ok(None),
+            }
+        }
+    }
+}
+
+/// Materialized right side of a hash join: the kept rows plus a map
+/// from join-key value to indices into them.
+type BuildSide = (Vec<Row>, HashMap<Value, Vec<usize>>);
+
+/// Hash join: builds a hash table over the right scan on the first left
+/// row (an empty left side never pays for the build), then probes with
+/// the left key evaluated against the prefix layout.
+struct HashJoinCur<'a> {
+    left: BoxCursor<'a>,
+    right: Option<ScanCur<'a>>,
+    right_ci: usize,
+    left_key: &'a Expr,
+    /// Pre-resolved offset of `left_key` in the prefix layout when the
+    /// key is a plain column — probes index the left row directly
+    /// instead of re-resolving the name per row.
+    left_off: Option<usize>,
+    /// Layout covering only the bindings to the LEFT of this join — the
+    /// key must resolve exactly as it did at plan time, before the right
+    /// binding (and later ones) were in scope.
+    left_layout: &'a [(String, Vec<String>, usize)],
+    build: Option<BuildSide>,
+    pending: Option<(Row, Vec<usize>, usize)>,
+}
+
+impl Cursor for HashJoinCur<'_> {
+    fn next(&mut self, ex: &ExecCtx<'_, '_>) -> Result<Option<Row>> {
+        loop {
+            if let Some((lrow, hits, i)) = &mut self.pending {
+                if *i < hits.len() {
+                    let build = self.build.as_ref().expect("pending implies built");
+                    let mut out = lrow.clone();
+                    out.extend(build.0[hits[*i]].iter().cloned());
+                    *i += 1;
+                    return Ok(Some(out));
+                }
+                self.pending = None;
+            }
+            let Some(lrow) = self.left.next(ex)? else {
+                return Ok(None);
+            };
+            if self.build.is_none() {
+                let mut scan = self.right.take().expect("first build takes the scan");
+                let mut rows: Vec<Row> = Vec::new();
+                let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
+                while let Some(rrow) = scan.next(ex)? {
+                    let key = &rrow[self.right_ci];
+                    if !key.is_null() {
+                        map.entry(key.clone()).or_default().push(rows.len());
+                    }
+                    rows.push(rrow);
+                }
+                StatsCells::bump(&ex.db.stats.hash_join_builds, 1);
+                self.build = Some((rows, map));
+            }
+            let build = self.build.as_ref().expect("built above");
+            let hits = match self.left_off {
+                Some(off) => {
+                    if lrow[off].is_null() {
+                        continue;
+                    }
+                    build.1.get(&lrow[off])
+                }
+                None => {
+                    let env = SliceEnv {
+                        layout: self.left_layout,
+                        values: &lrow,
+                    };
+                    let keyv = ex.db.eval_expr(self.left_key, &env, ex.ctx, ex.ctes)?;
+                    if keyv.is_null() {
+                        continue;
+                    }
+                    build.1.get(&keyv)
+                }
+            };
+            if let Some(hits) = hits {
+                let hits = hits.clone();
+                self.pending = Some((lrow, hits, 0));
+            }
+        }
+    }
+}
+
+/// Cartesian nested-loop join; the right side is materialized once, on
+/// the first left row.
+struct LoopJoinCur<'a> {
+    left: BoxCursor<'a>,
+    right: Option<ScanCur<'a>>,
+    right_rows: Option<Vec<Row>>,
+    pending: Option<(Row, usize)>,
+}
+
+impl Cursor for LoopJoinCur<'_> {
+    fn next(&mut self, ex: &ExecCtx<'_, '_>) -> Result<Option<Row>> {
+        loop {
+            if let Some((lrow, i)) = &mut self.pending {
+                let rows = self.right_rows.as_ref().expect("pending implies rows");
+                if *i < rows.len() {
+                    let mut out = lrow.clone();
+                    out.extend(rows[*i].iter().cloned());
+                    *i += 1;
+                    return Ok(Some(out));
+                }
+                self.pending = None;
+            }
+            let Some(lrow) = self.left.next(ex)? else {
+                return Ok(None);
+            };
+            if self.right_rows.is_none() {
+                let mut scan = self.right.take().expect("first loop takes the scan");
+                let mut rows = Vec::new();
+                while let Some(r) = scan.next(ex)? {
+                    rows.push(r);
+                }
+                self.right_rows = Some(rows);
+            }
+            self.pending = Some((lrow, 0));
+        }
+    }
+}
+
+/// Residual predicate filter over the full joined layout.
+struct FilterCur<'a> {
+    input: BoxCursor<'a>,
+    residual: &'a [Expr],
+    layout: &'a [(String, Vec<String>, usize)],
+}
+
+impl Cursor for FilterCur<'_> {
+    fn next(&mut self, ex: &ExecCtx<'_, '_>) -> Result<Option<Row>> {
+        'rows: while let Some(row) = self.input.next(ex)? {
+            let env = SliceEnv {
+                layout: self.layout,
+                values: &row,
+            };
+            for p in self.residual {
+                if ex.db.eval_bool(p, &env, ex.ctx, ex.ctes)? != Some(true) {
+                    continue 'rows;
+                }
+            }
+            return Ok(Some(row));
+        }
+        Ok(None)
+    }
+}
+
+/// Projection: wildcards copy ranges, expressions are evaluated.
+struct ProjectCur<'a> {
+    input: BoxCursor<'a>,
+    steps: &'a [ProjStep],
+    layout: &'a [(String, Vec<String>, usize)],
+}
+
+impl Cursor for ProjectCur<'_> {
+    fn next(&mut self, ex: &ExecCtx<'_, '_>) -> Result<Option<Row>> {
+        let Some(row) = self.input.next(ex)? else {
+            return Ok(None);
+        };
+        let env = SliceEnv {
+            layout: self.layout,
+            values: &row,
+        };
+        let mut out = Vec::with_capacity(self.steps.len());
+        for step in self.steps {
+            match step {
+                ProjStep::All => out.extend(row.iter().cloned()),
+                ProjStep::Range { off, len } => {
+                    out.extend(row[*off..off + len].iter().cloned());
+                }
+                ProjStep::Col(off) => out.push(row[*off].clone()),
+                ProjStep::Expr(e) => out.push(ex.db.eval_expr(e, &env, ex.ctx, ex.ctes)?),
+            }
+        }
+        Ok(Some(out))
+    }
+}
+
+/// DISTINCT: first occurrence of each row wins; order preserved.
+struct DistinctCur<'a> {
+    input: BoxCursor<'a>,
+    seen: HashSet<Row>,
+}
+
+impl Cursor for DistinctCur<'_> {
+    fn next(&mut self, ex: &ExecCtx<'_, '_>) -> Result<Option<Row>> {
+        while let Some(row) = self.input.next(ex)? {
+            if self.seen.insert(row.clone()) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Aggregation: drains the input entirely, then emits a single row of
+/// aggregate expression results.
+struct AggCur<'a> {
+    input: BoxCursor<'a>,
+    exprs: &'a [Expr],
+    layout: &'a [(String, Vec<String>, usize)],
+    done: bool,
+}
+
+impl Cursor for AggCur<'_> {
+    fn next(&mut self, ex: &ExecCtx<'_, '_>) -> Result<Option<Row>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let mut rows = Vec::new();
+        while let Some(row) = self.input.next(ex)? {
+            rows.push(row);
+        }
+        let mut out = Vec::with_capacity(self.exprs.len());
+        for e in self.exprs {
+            out.push(
+                ex.db
+                    .eval_aggregate_expr(e, self.layout, &rows, ex.ctx, ex.ctes)?,
+            );
+        }
+        Ok(Some(out))
+    }
+}
+
+impl Database {
+    /// Open the leaf cursor for one scan plan.
+    fn open_scan<'a>(&'a self, plan: &'a ScanPlan, ctes: &CteEnv) -> Result<ScanCur<'a>> {
+        let src = if plan.is_cte {
+            let m = ctes
+                .get(&plan.key)
+                .ok_or_else(|| DbError::NoSuchTable(plan.name.clone()))?;
+            ScanSrc::Mat(m.rows.clone())
+        } else {
+            let t = self
+                .tables
+                .get(&plan.key)
+                .ok_or_else(|| DbError::NoSuchTable(plan.name.clone()))?;
+            ScanSrc::Table(t)
+        };
+        Ok(ScanCur::new(plan, src))
+    }
+
+    /// Assemble the cursor tree for one SELECT core.
+    fn open_core<'a>(&'a self, core: &'a CorePlan, ctes: &CteEnv) -> Result<BoxCursor<'a>> {
+        let mut cur: BoxCursor<'a> = if core.scans.is_empty() {
+            Box::new(OneRow { done: false })
+        } else {
+            Box::new(self.open_scan(&core.scans[0].0, ctes)?)
+        };
+        for (i, (scan_plan, kind)) in core.scans.iter().enumerate().skip(1) {
+            let right = self.open_scan(scan_plan, ctes)?;
+            cur = match kind {
+                JoinKind::Hash { right_ci, left_key } => {
+                    let left_layout = &core.layout[..i];
+                    let left_off = match left_key {
+                        Expr::Column { table, name } => {
+                            layout_resolve(left_layout, table.as_deref(), name)
+                                .ok()
+                                .flatten()
+                        }
+                        _ => None,
+                    };
+                    Box::new(HashJoinCur {
+                        left: cur,
+                        right: Some(right),
+                        right_ci: *right_ci,
+                        left_key,
+                        left_off,
+                        left_layout,
+                        build: None,
+                        pending: None,
+                    })
+                }
+                JoinKind::Loop => Box::new(LoopJoinCur {
+                    left: cur,
+                    right: Some(right),
+                    right_rows: None,
+                    pending: None,
+                }),
+            };
+        }
+        if !core.residual.is_empty() {
+            cur = Box::new(FilterCur {
+                input: cur,
+                residual: &core.residual,
+                layout: &core.layout,
+            });
+        }
+        if let Some(agg_exprs) = &core.aggregate {
+            cur = Box::new(AggCur {
+                input: cur,
+                exprs: agg_exprs,
+                layout: &core.layout,
+                done: false,
+            });
+        } else {
+            cur = Box::new(ProjectCur {
+                input: cur,
+                steps: &core.projections,
+                layout: &core.layout,
+            });
+            if core.distinct {
+                cur = Box::new(DistinctCur {
+                    input: cur,
+                    seen: HashSet::new(),
+                });
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Run every core of a (possibly UNION ALL) body. With `pull_limit`
+    /// the pipeline stops as soon as that many rows surfaced — the
+    /// limit-pushdown path for `LIMIT` without `ORDER BY`.
+    fn run_cores(
+        &self,
+        cores: &[CorePlan],
+        pull_limit: Option<u64>,
+        ctx: &EvalCtx<'_>,
+        ctes: &CteEnv,
+    ) -> Result<Vec<Row>> {
+        if pull_limit == Some(0) {
+            return Ok(Vec::new());
+        }
+        let ex = ExecCtx {
+            db: self,
+            ctx,
+            ctes,
+        };
+        let mut out = Vec::new();
+        'cores: for core in cores {
+            let mut cur = self.open_core(core, ctes)?;
+            while let Some(row) = cur.next(&ex)? {
+                out.push(row);
+                if let Some(n) = pull_limit {
+                    if out.len() as u64 >= n {
+                        break 'cores;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Execute a compiled SELECT plan: materialize CTEs, run the body,
+    /// then apply ORDER BY / LIMIT.
+    pub(crate) fn exec_select_plan(
+        &self,
+        plan: &SelectPlan,
+        ctx: &EvalCtx<'_>,
+    ) -> Result<ResultSet> {
+        let mut ctes: CteEnv = HashMap::new();
+        for cte in &plan.ctes {
+            let rows = self.run_cores(&cte.body, None, ctx, &ctes)?;
+            ctes.insert(
+                cte.key.clone(),
+                Materialized {
+                    rows: Rc::new(rows),
+                },
+            );
+        }
+        if plan.keys.is_empty() {
+            let rows = self.run_cores(&plan.body, plan.limit, ctx, &ctes)?;
+            return Ok(ResultSet {
+                columns: plan.columns.clone(),
+                rows,
+            });
+        }
+        let mut rows = self.run_cores(&plan.body, None, ctx, &ctes)?;
+        if !plan.hidden_on_output.is_empty() {
+            let out_layout: Vec<(String, Vec<String>, usize)> =
+                vec![(String::new(), plan.columns.clone(), 0)];
+            for row in &mut rows {
+                let extras = {
+                    let env = SliceEnv {
+                        layout: &out_layout,
+                        values: row,
+                    };
+                    let mut extras = Vec::with_capacity(plan.hidden_on_output.len());
+                    for e in &plan.hidden_on_output {
+                        extras.push(self.eval_expr(e, &env, ctx, &ctes)?);
+                    }
+                    extras
+                };
+                row.extend(extras);
+            }
+        }
+        rows.sort_by(|a, b| {
+            for &(i, desc) in &plan.keys {
+                let ord = a[i].sort_cmp(&b[i]);
+                if ord != std::cmp::Ordering::Equal {
+                    return if desc { ord.reverse() } else { ord };
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        if rows.first().is_some_and(|r| r.len() > plan.visible) {
+            for row in &mut rows {
+                row.truncate(plan.visible);
+            }
+        }
+        if let Some(n) = plan.limit {
+            rows.truncate(n as usize);
+        }
+        Ok(ResultSet {
+            columns: plan.columns.clone(),
+            rows,
+        })
+    }
+
+    /// Plan and execute an ad-hoc SELECT (subqueries, trigger bodies,
+    /// `INSERT ... SELECT`, script statements). The plan is pinned for
+    /// the rest of the statement so subquery-cache keys — addresses of
+    /// expressions inside it — stay valid.
+    pub(crate) fn eval_select(&self, q: &SelectStmt, ctx: &EvalCtx<'_>) -> Result<ResultSet> {
+        let plan = Rc::new(self.build_select_plan(q, ctx)?);
+        ctx.keepalive.borrow_mut().push(plan.clone());
+        self.exec_select_plan(&plan, ctx)
+    }
+
+    /// Whether an ORDER BY key expression can be evaluated against an
+    /// already-materialized result set: every column it references is an
+    /// unqualified name of an output column. Qualified references and
+    /// aggregates need the source rows.
+    pub(crate) fn computable_on_output(e: &Expr, columns: &[String]) -> bool {
+        match e {
+            Expr::Literal(_) | Expr::Param(_) => true,
+            Expr::Column { table: None, name } => {
+                columns.iter().any(|c| c.eq_ignore_ascii_case(name))
+            }
+            Expr::Column { table: Some(_), .. } => false,
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => {
+                Self::computable_on_output(expr, columns)
+            }
+            Expr::Binary { left, right, .. } => {
+                Self::computable_on_output(left, columns)
+                    && Self::computable_on_output(right, columns)
+            }
+            Expr::InList { expr, list, .. } => {
+                Self::computable_on_output(expr, columns)
+                    && list.iter().all(|l| Self::computable_on_output(l, columns))
+            }
+            Expr::InSubquery { expr, .. } => Self::computable_on_output(expr, columns),
+            Expr::Exists { .. } | Expr::ScalarSubquery(_) => true,
+            Expr::Aggregate { .. } => false,
+        }
+    }
+
+    /// Whether an expression can be evaluated without a row environment
+    /// (literals, OLD/NEW references, uncorrelated subqueries).
+    pub(crate) fn row_independent(e: &Expr) -> bool {
+        match e {
+            Expr::Literal(_) | Expr::Param(_) => true,
+            Expr::Column { table: Some(t), .. } => {
+                t.eq_ignore_ascii_case("OLD") || t.eq_ignore_ascii_case("NEW")
+            }
+            Expr::Column { .. } => false,
+            Expr::Unary { expr, .. } => Self::row_independent(expr),
+            Expr::Binary { left, right, .. } => {
+                Self::row_independent(left) && Self::row_independent(right)
+            }
+            Expr::IsNull { expr, .. } => Self::row_independent(expr),
+            Expr::InList { expr, list, .. } => {
+                Self::row_independent(expr) && list.iter().all(Self::row_independent)
+            }
+            Expr::InSubquery { expr, .. } => Self::row_independent(expr),
+            Expr::Exists { .. } | Expr::ScalarSubquery(_) => true,
+            Expr::Aggregate { .. } => false,
+        }
+    }
+
+    /// Verify that every column reference in `e` resolves against `env`
+    /// (or the OLD/NEW pseudo-row). Subquery bodies are skipped — they are
+    /// validated in their own scope when evaluated.
+    pub(crate) fn check_columns(&self, e: &Expr, env: &dyn Scope, ctx: &EvalCtx<'_>) -> Result<()> {
+        match e {
+            Expr::Literal(_) | Expr::Param(_) => Ok(()),
+            Expr::Column { table, name } => {
+                if env.resolve(table.as_deref(), name)?.is_some()
+                    || self.pseudo_lookup(ctx, table.as_deref(), name).is_some()
+                {
+                    Ok(())
+                } else {
+                    Err(DbError::NoSuchColumn(match table {
+                        Some(t) => format!("{t}.{name}"),
+                        None => name.clone(),
+                    }))
+                }
+            }
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => {
+                self.check_columns(expr, env, ctx)
+            }
+            Expr::Binary { left, right, .. } => {
+                self.check_columns(left, env, ctx)?;
+                self.check_columns(right, env, ctx)
+            }
+            Expr::InList { expr, list, .. } => {
+                self.check_columns(expr, env, ctx)?;
+                list.iter()
+                    .try_for_each(|l| self.check_columns(l, env, ctx))
+            }
+            Expr::InSubquery { expr, .. } => self.check_columns(expr, env, ctx),
+            Expr::Exists { .. } | Expr::ScalarSubquery(_) => Ok(()),
+            Expr::Aggregate { arg, .. } => match arg {
+                Some(a) => self.check_columns(a, env, ctx),
+                None => Ok(()),
+            },
+        }
+    }
+
+    /// Can `e` be evaluated given only the bindings in `env` (plus OLD/NEW
+    /// and subqueries)? Used to pick hash-join keys.
+    pub(crate) fn expr_resolvable(&self, e: &Expr, env: &dyn Scope, ctx: &EvalCtx<'_>) -> bool {
+        match e {
+            Expr::Literal(_) | Expr::Param(_) => true,
+            Expr::Column { table, name } => match env.resolve(table.as_deref(), name) {
+                Ok(Some(_)) => true,
+                _ => self.pseudo_lookup(ctx, table.as_deref(), name).is_some(),
+            },
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => {
+                self.expr_resolvable(expr, env, ctx)
+            }
+            Expr::Binary { left, right, .. } => {
+                self.expr_resolvable(left, env, ctx) && self.expr_resolvable(right, env, ctx)
+            }
+            Expr::InList { expr, list, .. } => {
+                self.expr_resolvable(expr, env, ctx)
+                    && list.iter().all(|l| self.expr_resolvable(l, env, ctx))
+            }
+            Expr::InSubquery { expr, .. } => self.expr_resolvable(expr, env, ctx),
+            Expr::Exists { .. } | Expr::ScalarSubquery(_) => true,
+            Expr::Aggregate { .. } => false,
+        }
+    }
+
+    pub(crate) fn pseudo_lookup(
+        &self,
+        ctx: &EvalCtx<'_>,
+        table: Option<&str>,
+        name: &str,
+    ) -> Option<Value> {
+        let (pname, bindings) = ctx.pseudo_row?;
+        match table {
+            Some(t) if !t.eq_ignore_ascii_case(pname) => None,
+            Some(_) => bindings
+                .iter()
+                .find(|(c, _)| c.eq_ignore_ascii_case(name))
+                .map(|(_, v)| v.clone()),
+            // Unqualified names do not silently fall through to OLD/NEW.
+            None => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // expression evaluation
+    // ------------------------------------------------------------------
+
+    // `ctes` is threaded through for future correlated-subquery support;
+    // today subqueries open their own CTE scope.
+    #[allow(clippy::only_used_in_recursion)]
+    pub(crate) fn eval_expr(
+        &self,
+        e: &Expr,
+        env: &dyn Scope,
+        ctx: &EvalCtx<'_>,
+        ctes: &CteEnv,
+    ) -> Result<Value> {
+        match e {
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Param(i) => ctx
+                .params
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| DbError::Execution(format!("unbound parameter ${}", i + 1))),
+            Expr::Column { table, name } => {
+                if let Some(off) = env.resolve(table.as_deref(), name)? {
+                    return Ok(env.value(off).clone());
+                }
+                if let Some(v) = self.pseudo_lookup(ctx, table.as_deref(), name) {
+                    return Ok(v);
+                }
+                Err(DbError::NoSuchColumn(match table {
+                    Some(t) => format!("{t}.{name}"),
+                    None => name.clone(),
+                }))
+            }
+            Expr::Unary { op, expr } => {
+                let v = self.eval_expr(expr, env, ctx, ctes)?;
+                match op {
+                    UnOp::Neg => match v {
+                        Value::Null => Ok(Value::Null),
+                        Value::Int(i) => Ok(Value::Int(i.wrapping_neg())),
+                        other => Err(DbError::Type(format!("cannot negate {other}"))),
+                    },
+                    UnOp::Not => match self.truth(&v)? {
+                        None => Ok(Value::Null),
+                        Some(b) => Ok(Value::Bool(!b)),
+                    },
+                }
+            }
+            Expr::Binary { left, op, right } => {
+                if matches!(op, BinOp::And | BinOp::Or) {
+                    let l = self.eval_expr(left, env, ctx, ctes)?;
+                    let lt = self.truth(&l)?;
+                    // Short-circuit per 3VL.
+                    match (op, lt) {
+                        (BinOp::And, Some(false)) => return Ok(Value::Bool(false)),
+                        (BinOp::Or, Some(true)) => return Ok(Value::Bool(true)),
+                        _ => {}
+                    }
+                    let r = self.eval_expr(right, env, ctx, ctes)?;
+                    let rt = self.truth(&r)?;
+                    return Ok(match (op, lt, rt) {
+                        (BinOp::And, Some(true), Some(true)) => Value::Bool(true),
+                        (BinOp::And, _, Some(false)) => Value::Bool(false),
+                        (BinOp::And, _, _) => Value::Null,
+                        (BinOp::Or, _, Some(true)) => Value::Bool(true),
+                        (BinOp::Or, Some(false), Some(false)) => Value::Bool(false),
+                        (BinOp::Or, _, _) => Value::Null,
+                        _ => unreachable!(),
+                    });
+                }
+                let l = self.eval_expr(left, env, ctx, ctes)?;
+                let r = self.eval_expr(right, env, ctx, ctes)?;
+                if op.is_comparison() {
+                    return Ok(match l.sql_cmp(&r) {
+                        None => {
+                            if l.is_null() || r.is_null() {
+                                Value::Null
+                            } else {
+                                // Incomparable types: unequal.
+                                match op {
+                                    BinOp::Ne => Value::Bool(true),
+                                    _ => Value::Bool(false),
+                                }
+                            }
+                        }
+                        Some(ord) => Value::Bool(match op {
+                            BinOp::Eq => ord.is_eq(),
+                            BinOp::Ne => !ord.is_eq(),
+                            BinOp::Lt => ord.is_lt(),
+                            BinOp::Le => ord.is_le(),
+                            BinOp::Gt => ord.is_gt(),
+                            BinOp::Ge => ord.is_ge(),
+                            _ => unreachable!(),
+                        }),
+                    });
+                }
+                // Arithmetic.
+                match (l, r) {
+                    (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                    (Value::Int(a), Value::Int(b)) => match op {
+                        BinOp::Add => Ok(Value::Int(a.wrapping_add(b))),
+                        BinOp::Sub => Ok(Value::Int(a.wrapping_sub(b))),
+                        BinOp::Mul => Ok(Value::Int(a.wrapping_mul(b))),
+                        BinOp::Div => {
+                            if b == 0 {
+                                Err(DbError::Execution("division by zero".into()))
+                            } else {
+                                // wrapping: i64::MIN / -1 must not abort.
+                                Ok(Value::Int(a.wrapping_div(b)))
+                            }
+                        }
+                        BinOp::Mod => {
+                            if b == 0 {
+                                Err(DbError::Execution("modulo by zero".into()))
+                            } else {
+                                Ok(Value::Int(a.wrapping_rem(b)))
+                            }
+                        }
+                        _ => unreachable!(),
+                    },
+                    (a, b) => Err(DbError::Type(format!("arithmetic on {a} and {b}"))),
+                }
+            }
+            Expr::IsNull { expr, negated } => {
+                let v = self.eval_expr(expr, env, ctx, ctes)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = self.eval_expr(expr, env, ctx, ctes)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    let iv = self.eval_expr(item, env, ctx, ctes)?;
+                    if iv.is_null() {
+                        saw_null = true;
+                    } else if iv == v {
+                        return Ok(Value::Bool(!negated));
+                    }
+                }
+                if saw_null {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Bool(*negated))
+                }
+            }
+            Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
+                let v = self.eval_expr(expr, env, ctx, ctes)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let sub = self.cached_subquery(query, ctx)?;
+                if sub.set.contains(&v) {
+                    Ok(Value::Bool(!negated))
+                } else if sub.has_null {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Bool(*negated))
+                }
+            }
+            Expr::Exists { query, negated } => {
+                let sub = self.cached_subquery(query, ctx)?;
+                Ok(Value::Bool(sub.rows.is_empty() == *negated))
+            }
+            Expr::ScalarSubquery(query) => {
+                let sub = self.cached_subquery(query, ctx)?;
+                match sub.rows.len() {
+                    0 => Ok(Value::Null),
+                    1 => Ok(sub.rows[0]
+                        .first()
+                        .cloned()
+                        .ok_or_else(|| DbError::Execution("zero-column subquery".into()))?),
+                    n => Err(DbError::Execution(format!(
+                        "scalar subquery returned {n} rows"
+                    ))),
+                }
+            }
+            Expr::Aggregate { .. } => Err(DbError::Execution(
+                "aggregate used outside an aggregate query".into(),
+            )),
+        }
+    }
+
+    pub(crate) fn cached_subquery(
+        &self,
+        q: &SelectStmt,
+        ctx: &EvalCtx<'_>,
+    ) -> Result<Rc<CachedSub>> {
+        let key = q as *const SelectStmt as usize;
+        if let Some(hit) = ctx.sub_cache.borrow().get(&key) {
+            return Ok(hit.clone());
+        }
+        let rs = self.eval_select(q, ctx)?;
+        let mut set = HashSet::with_capacity(rs.rows.len());
+        let mut has_null = false;
+        for r in &rs.rows {
+            match r.first() {
+                Some(Value::Null) | None => has_null = true,
+                Some(v) => {
+                    set.insert(v.clone());
+                }
+            }
+        }
+        let cached = Rc::new(CachedSub {
+            rows: rs.rows,
+            set,
+            has_null,
+        });
+        ctx.sub_cache.borrow_mut().insert(key, cached.clone());
+        Ok(cached)
+    }
+
+    pub(crate) fn truth(&self, v: &Value) -> Result<Option<bool>> {
+        match v {
+            Value::Null => Ok(None),
+            Value::Bool(b) => Ok(Some(*b)),
+            other => Err(DbError::Type(format!("expected boolean, got {other}"))),
+        }
+    }
+
+    pub(crate) fn eval_bool(
+        &self,
+        e: &Expr,
+        env: &dyn Scope,
+        ctx: &EvalCtx<'_>,
+        ctes: &CteEnv,
+    ) -> Result<Option<bool>> {
+        let v = self.eval_expr(e, env, ctx, ctes)?;
+        self.truth(&v)
+    }
+
+    pub(crate) fn eval_aggregate_expr(
+        &self,
+        e: &Expr,
+        layout: &[(String, Vec<String>, usize)],
+        rows: &[Row],
+        ctx: &EvalCtx<'_>,
+        ctes: &CteEnv,
+    ) -> Result<Value> {
+        match e {
+            Expr::Aggregate { func, arg } => match func {
+                AggFunc::Count => match arg {
+                    None => Ok(Value::Int(rows.len() as i64)),
+                    Some(a) => {
+                        let mut n = 0i64;
+                        for row in rows {
+                            let env = SliceEnv {
+                                layout,
+                                values: row,
+                            };
+                            if !self.eval_expr(a, &env, ctx, ctes)?.is_null() {
+                                n += 1;
+                            }
+                        }
+                        Ok(Value::Int(n))
+                    }
+                },
+                AggFunc::Min | AggFunc::Max => {
+                    let a = arg
+                        .as_ref()
+                        .ok_or_else(|| DbError::Execution("MIN/MAX need an argument".into()))?;
+                    let mut best: Option<Value> = None;
+                    for row in rows {
+                        let env = SliceEnv {
+                            layout,
+                            values: row,
+                        };
+                        let v = self.eval_expr(a, &env, ctx, ctes)?;
+                        if v.is_null() {
+                            continue;
+                        }
+                        best = Some(match best {
+                            None => v,
+                            Some(b) => {
+                                let take_new = match v.sort_cmp(&b) {
+                                    std::cmp::Ordering::Less => *func == AggFunc::Min,
+                                    std::cmp::Ordering::Greater => *func == AggFunc::Max,
+                                    std::cmp::Ordering::Equal => false,
+                                };
+                                if take_new {
+                                    v
+                                } else {
+                                    b
+                                }
+                            }
+                        });
+                    }
+                    Ok(best.unwrap_or(Value::Null))
+                }
+                AggFunc::Sum => {
+                    let a = arg
+                        .as_ref()
+                        .ok_or_else(|| DbError::Execution("SUM needs an argument".into()))?;
+                    let mut sum: Option<i64> = None;
+                    for row in rows {
+                        let env = SliceEnv {
+                            layout,
+                            values: row,
+                        };
+                        match self.eval_expr(a, &env, ctx, ctes)? {
+                            Value::Null => {}
+                            Value::Int(i) => sum = Some(sum.unwrap_or(0).wrapping_add(i)),
+                            other => return Err(DbError::Type(format!("SUM over {other}"))),
+                        }
+                    }
+                    Ok(sum.map(Value::Int).unwrap_or(Value::Null))
+                }
+            },
+            Expr::Binary { left, op, right } => {
+                let l = self.eval_aggregate_expr(left, layout, rows, ctx, ctes)?;
+                let r = self.eval_aggregate_expr(right, layout, rows, ctx, ctes)?;
+                let combined = Expr::Binary {
+                    left: Box::new(Expr::Literal(l)),
+                    op: *op,
+                    right: Box::new(Expr::Literal(r)),
+                };
+                self.eval_expr(&combined, &RowEnv::default(), ctx, ctes)
+            }
+            Expr::Unary { op, expr } => {
+                let v = self.eval_aggregate_expr(expr, layout, rows, ctx, ctes)?;
+                let combined = Expr::Unary {
+                    op: *op,
+                    expr: Box::new(Expr::Literal(v)),
+                };
+                self.eval_expr(&combined, &RowEnv::default(), ctx, ctes)
+            }
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Param(i) => ctx
+                .params
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| DbError::Execution(format!("unbound parameter ${}", i + 1))),
+            other => Err(DbError::Execution(format!(
+                "non-aggregate expression in aggregate query: {other:?}"
+            ))),
+        }
+    }
+}

@@ -36,8 +36,10 @@
 pub mod ast;
 pub mod engine;
 pub mod error;
+mod exec;
 pub mod lexer;
 pub mod parser;
+mod plan;
 pub mod sql;
 pub mod table;
 pub mod txn;

@@ -227,6 +227,8 @@ impl Parser {
             })
         } else if self.eat_kw("CHECKPOINT") {
             Ok(Stmt::Checkpoint)
+        } else if self.eat_kw("EXPLAIN") {
+            Ok(Stmt::Explain(Box::new(self.stmt()?)))
         } else {
             Err(DbError::SqlParse(format!(
                 "unexpected statement start: {:?}",

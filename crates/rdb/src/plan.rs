@@ -1,0 +1,877 @@
+//! Rule-based query planner: compiles a [`SelectStmt`] AST into a
+//! physical [`SelectPlan`] executed by the Volcano cursors in `exec`.
+//!
+//! Planning is a single pass per core, mirroring the access decisions
+//! the old interpreter made on the fly so results (and the counters the
+//! paper's experiments read) stay comparable:
+//!
+//! 1. **Join selection** — for each FROM source after the first, the
+//!    first equality conjunct `src.col = expr-over-earlier-bindings`
+//!    turns the source into a hash-join build side; everything else
+//!    falls back to a nested-loop (cartesian) join.
+//! 2. **Predicate pushdown** — each remaining conjunct that references
+//!    exactly one binding is pushed into that binding's scan, filtering
+//!    rows before they are cloned out of the table's slot array.
+//! 3. **Access selection** — a pushed conjunct of the shape
+//!    `col = <row-independent>` or `col IN (subquery)` over an indexed
+//!    base-table column turns the scan into an index probe.
+//!
+//! Consuming an equality conjunct without re-checking it is sound
+//! because index buckets and hash-join tables group values by
+//! `Value`'s derived equality, which agrees with SQL `=` on the
+//! non-null, same-type values that reach them (nulls never enter
+//! buckets or build tables).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::ast::{Expr, InsertSource, SelectCore, SelectItem, SelectStmt, Stmt};
+use crate::engine::{Database, ResultSet, StatsCells};
+use crate::error::{DbError, Result};
+use crate::exec::{EvalCtx, SliceEnv};
+use crate::sql::{expr_to_sql, stmt_to_sql};
+use crate::value::Value;
+
+/// How a scan reaches its rows.
+#[derive(Debug, Clone)]
+pub(crate) enum Access {
+    /// Walk every live slot.
+    Seq,
+    /// Probe the index on column `ci` with a row-independent key.
+    IndexEq { ci: usize, key: Expr },
+    /// Probe the index on column `ci` with every value produced by an
+    /// uncorrelated subquery.
+    IndexIn { ci: usize, query: Box<SelectStmt> },
+}
+
+/// One FROM source compiled to a physical scan.
+#[derive(Debug, Clone)]
+pub(crate) struct ScanPlan {
+    /// Whether the source is a CTE of the same statement (resolved in
+    /// the per-execution CTE environment, not the catalog).
+    pub is_cte: bool,
+    /// Catalog/CTE key (lower-cased name).
+    pub key: String,
+    /// Source name as written (for error messages and EXPLAIN).
+    pub name: String,
+    /// FROM-clause binding (alias or table name).
+    pub binding: String,
+    /// Column names of the source.
+    pub columns: Vec<String>,
+    pub access: Access,
+    /// Conjuncts referencing only this binding, evaluated before the
+    /// row is cloned out of the source.
+    pub pushed: Vec<Expr>,
+}
+
+/// How a scan joins against the bindings to its left.
+#[derive(Debug, Clone)]
+pub(crate) enum JoinKind {
+    /// Build a hash table on this scan's column `right_ci`; probe with
+    /// `left_key` evaluated over the prefix layout.
+    Hash { right_ci: usize, left_key: Expr },
+    /// Cartesian nested loop (residual predicates filter later).
+    Loop,
+}
+
+/// One projection output.
+#[derive(Debug, Clone)]
+pub(crate) enum ProjStep {
+    /// `*` — the whole joined row.
+    All,
+    /// `binding.*` — a contiguous column range of the joined row.
+    Range { off: usize, len: usize },
+    /// A plain column reference, pre-resolved to its row offset.
+    Col(usize),
+    /// A computed expression.
+    Expr(Expr),
+}
+
+/// Physical plan for one SELECT core.
+#[derive(Debug, Clone)]
+pub(crate) struct CorePlan {
+    /// Scans in FROM order; the join kind of the first entry is unused.
+    pub scans: Vec<(ScanPlan, JoinKind)>,
+    /// (binding, columns, offset) for the fully joined row.
+    pub layout: Vec<(String, Vec<String>, usize)>,
+    /// Conjuncts not consumed by joins, pushdown, or index probes.
+    pub residual: Vec<Expr>,
+    pub projections: Vec<ProjStep>,
+    pub out_columns: Vec<String>,
+    /// `Some(projection exprs)` when any projection aggregates.
+    pub aggregate: Option<Vec<Expr>>,
+    pub distinct: bool,
+}
+
+/// Physical plan for one CTE.
+#[derive(Debug, Clone)]
+pub(crate) struct CtePlan {
+    pub key: String,
+    pub name: String,
+    pub columns: Vec<String>,
+    pub body: Vec<CorePlan>,
+}
+
+/// Physical plan for a full SELECT statement.
+#[derive(Debug, Clone)]
+pub(crate) struct SelectPlan {
+    pub ctes: Vec<CtePlan>,
+    pub body: Vec<CorePlan>,
+    /// ORDER BY keys as (row offset, descending).
+    pub keys: Vec<(usize, bool)>,
+    /// Hidden sort keys computable from the output columns alone,
+    /// appended to each output row before sorting.
+    pub hidden_on_output: Vec<Expr>,
+    /// Number of visible output columns (rows are truncated back to
+    /// this width after sorting on hidden keys).
+    pub visible: usize,
+    pub limit: Option<u64>,
+    pub columns: Vec<String>,
+}
+
+/// A shared, epoch-stamped slot for a statement's compiled [`SelectPlan`].
+/// The same slot is held by the SQL-text plan cache and by every
+/// [`PreparedStmt`](crate::PreparedStmt) for that text, so replanning
+/// after DDL benefits all holders at once.
+#[derive(Debug, Default)]
+pub(crate) struct PlanSlot(pub(crate) RefCell<Option<(u64, Rc<SelectPlan>)>>);
+
+impl Database {
+    /// Compile a SELECT into a physical plan.
+    pub(crate) fn build_select_plan(
+        &self,
+        q: &SelectStmt,
+        ctx: &EvalCtx<'_>,
+    ) -> Result<SelectPlan> {
+        StatsCells::bump(&self.stats.plans_built, 1);
+        let naive = self.planner_naive.get();
+        let mut cte_cols: HashMap<String, Vec<String>> = HashMap::new();
+        let mut cte_plans: Vec<CtePlan> = Vec::new();
+        for cte in &q.ctes {
+            let body = self.plan_cores(&cte.body, ctx, &cte_cols, naive)?;
+            let derived = body[0].out_columns.clone();
+            let columns = match &cte.columns {
+                Some(cols) => {
+                    if cols.len() != derived.len() {
+                        return Err(DbError::Schema(format!(
+                            "CTE `{}` declares {} columns but produces {}",
+                            cte.name,
+                            cols.len(),
+                            derived.len()
+                        )));
+                    }
+                    cols.clone()
+                }
+                None => derived,
+            };
+            let key = cte.name.to_ascii_lowercase();
+            cte_cols.insert(key.clone(), columns.clone());
+            cte_plans.push(CtePlan {
+                key,
+                name: cte.name.clone(),
+                columns,
+                body,
+            });
+        }
+        let mut body = self.plan_cores(&q.body, ctx, &cte_cols, naive)?;
+        let columns = body[0].out_columns.clone();
+        let visible = columns.len();
+        let mut keys: Vec<(usize, bool)> = Vec::with_capacity(q.order_by.len());
+        let mut hidden: Vec<&Expr> = Vec::new();
+        for k in &q.order_by {
+            let idx = match &k.expr {
+                Expr::Column { table: None, name } => {
+                    columns.iter().position(|c| c.eq_ignore_ascii_case(name))
+                }
+                Expr::Literal(Value::Int(n)) => {
+                    if *n >= 1 && (*n as usize) <= visible {
+                        Some(*n as usize - 1)
+                    } else {
+                        return Err(DbError::Execution(format!(
+                            "ORDER BY position {n} is out of range (1..={visible})"
+                        )));
+                    }
+                }
+                _ => None,
+            };
+            match idx {
+                Some(i) => keys.push((i, k.desc)),
+                None => {
+                    keys.push((visible + hidden.len(), k.desc));
+                    hidden.push(&k.expr);
+                }
+            }
+        }
+        let mut hidden_on_output: Vec<Expr> = Vec::new();
+        if !hidden.is_empty() {
+            if hidden
+                .iter()
+                .all(|e| Self::computable_on_output(e, &columns))
+            {
+                hidden_on_output = hidden.iter().map(|e| (*e).clone()).collect();
+            } else if q.body.len() != 1 {
+                return Err(DbError::Execution(
+                    "ORDER BY over a UNION must name an output column".into(),
+                ));
+            } else if q.body[0].distinct {
+                return Err(DbError::Execution(
+                    "ORDER BY items must appear in the select list with DISTINCT".into(),
+                ));
+            } else {
+                // Hidden keys over the source rows: append them to the
+                // single core as extra (invisible) projections.
+                let core = &mut body[0];
+                {
+                    let probe = SliceEnv {
+                        layout: &core.layout,
+                        values: &[],
+                    };
+                    for e in &hidden {
+                        self.check_columns(e, &probe, ctx)?;
+                    }
+                }
+                for e in &hidden {
+                    match &mut core.aggregate {
+                        Some(exprs) => exprs.push((*e).clone()),
+                        None => core.projections.push(ProjStep::Expr((*e).clone())),
+                    }
+                }
+            }
+        }
+        Ok(SelectPlan {
+            ctes: cte_plans,
+            body,
+            keys,
+            hidden_on_output,
+            visible,
+            limit: q.limit,
+            columns,
+        })
+    }
+
+    fn plan_cores(
+        &self,
+        cores: &[SelectCore],
+        ctx: &EvalCtx<'_>,
+        cte_cols: &HashMap<String, Vec<String>>,
+        naive: bool,
+    ) -> Result<Vec<CorePlan>> {
+        let mut out: Vec<CorePlan> = Vec::with_capacity(cores.len());
+        for core in cores {
+            let plan = self.plan_core(core, ctx, cte_cols, naive)?;
+            if let Some(first) = out.first() {
+                if plan.out_columns.len() != first.out_columns.len() {
+                    return Err(DbError::Schema(format!(
+                        "UNION ALL arity mismatch: {} vs {}",
+                        first.out_columns.len(),
+                        plan.out_columns.len()
+                    )));
+                }
+            }
+            out.push(plan);
+        }
+        if out.is_empty() {
+            return Err(DbError::Execution("empty select body".into()));
+        }
+        Ok(out)
+    }
+
+    fn plan_core(
+        &self,
+        core: &SelectCore,
+        ctx: &EvalCtx<'_>,
+        cte_cols: &HashMap<String, Vec<String>>,
+        naive: bool,
+    ) -> Result<CorePlan> {
+        let conjuncts: Vec<Expr> = core
+            .filter
+            .as_ref()
+            .map(|f| f.conjuncts().into_iter().cloned().collect())
+            .unwrap_or_default();
+        let mut consumed = vec![false; conjuncts.len()];
+
+        // --- sources -----------------------------------------------------
+        let mut scans: Vec<(ScanPlan, JoinKind)> = Vec::with_capacity(core.from.len());
+        let mut layout: Vec<(String, Vec<String>, usize)> = Vec::new();
+        let mut width = 0usize;
+        for tref in &core.from {
+            let binding = tref.binding().to_string();
+            if layout
+                .iter()
+                .any(|(b, _, _)| b.eq_ignore_ascii_case(&binding))
+            {
+                return Err(DbError::Schema(format!(
+                    "duplicate binding `{binding}` in FROM"
+                )));
+            }
+            let key = tref.name.to_ascii_lowercase();
+            let (is_cte, columns) = if let Some(cols) = cte_cols.get(&key) {
+                (true, cols.clone())
+            } else if let Some(t) = self.tables.get(&key) {
+                (false, t.schema.column_names())
+            } else {
+                return Err(DbError::NoSuchTable(tref.name.clone()));
+            };
+            layout.push((binding.clone(), columns.clone(), width));
+            width += columns.len();
+            scans.push((
+                ScanPlan {
+                    is_cte,
+                    key,
+                    name: tref.name.clone(),
+                    binding,
+                    columns,
+                    access: Access::Seq,
+                    pushed: Vec::new(),
+                },
+                JoinKind::Loop,
+            ));
+        }
+
+        // --- validation --------------------------------------------------
+        // Column references must resolve even when the input is empty.
+        {
+            let probe = SliceEnv {
+                layout: &layout,
+                values: &[],
+            };
+            if let Some(f) = &core.filter {
+                self.check_columns(f, &probe, ctx)?;
+            }
+            for item in &core.projections {
+                if let SelectItem::Expr { expr, .. } = item {
+                    self.check_columns(expr, &probe, ctx)?;
+                }
+            }
+        }
+
+        // --- join selection ----------------------------------------------
+        // For each source after the first, take the first equality
+        // conjunct `src.col = expr-over-earlier-bindings` (either operand
+        // order) as a hash-join key. The pre-planner interpreter made the
+        // same choice, so join selection runs in naive mode too — but
+        // there the conjunct is NOT consumed, reproducing the
+        // interpreter's re-check of the whole filter on joined rows.
+        for i in 1..scans.len() {
+            let prefix = SliceEnv {
+                layout: &layout[..i],
+                values: &[],
+            };
+            'conj: for (ci_conj, conj) in conjuncts.iter().enumerate() {
+                if consumed[ci_conj] {
+                    continue;
+                }
+                if let Expr::Binary {
+                    left,
+                    op: crate::ast::BinOp::Eq,
+                    right,
+                } = conj
+                {
+                    for (a, b) in [(left, right), (right, left)] {
+                        if let Expr::Column { table: qual, name } = a.as_ref() {
+                            let qual_matches = qual
+                                .as_deref()
+                                .map(|q| q.eq_ignore_ascii_case(&scans[i].0.binding))
+                                .unwrap_or(false);
+                            if qual_matches {
+                                if let Some(col) = scans[i]
+                                    .0
+                                    .columns
+                                    .iter()
+                                    .position(|c| c.eq_ignore_ascii_case(name))
+                                {
+                                    if self.expr_resolvable(b, &prefix, ctx) {
+                                        scans[i].1 = JoinKind::Hash {
+                                            right_ci: col,
+                                            left_key: (**b).clone(),
+                                        };
+                                        if !naive {
+                                            consumed[ci_conj] = true;
+                                        }
+                                        break 'conj;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if !naive {
+            // --- predicate pushdown --------------------------------------
+            // A conjunct whose column references land in exactly one
+            // binding filters inside that binding's scan. Conjuncts that
+            // reference no binding stay residual so their evaluation
+            // errors surface exactly as the filter's would.
+            if scans.len() <= 64 {
+                for (ci_conj, conj) in conjuncts.iter().enumerate() {
+                    if consumed[ci_conj] {
+                        continue;
+                    }
+                    if let Some(mask) = Self::binding_mask(conj, &layout) {
+                        if mask.count_ones() == 1 {
+                            let target = mask.trailing_zeros() as usize;
+                            scans[target].0.pushed.push(conj.clone());
+                            consumed[ci_conj] = true;
+                            StatsCells::bump(&self.stats.predicates_pushed, 1);
+                        }
+                    }
+                }
+            }
+
+            // --- access selection ----------------------------------------
+            // A pushed conjunct `col = <row-independent>` or
+            // `col IN (subquery)` over an indexed base-table column turns
+            // the scan into an index probe and is consumed by it.
+            for (scan, _) in &mut scans {
+                if scan.is_cte {
+                    continue;
+                }
+                let Some(t) = self.tables.get(&scan.key) else {
+                    continue;
+                };
+                let mut probe: Option<(usize, Access)> = None;
+                'pushed: for (pi, p) in scan.pushed.iter().enumerate() {
+                    if let Expr::Binary {
+                        left,
+                        op: crate::ast::BinOp::Eq,
+                        right,
+                    } = p
+                    {
+                        for (colside, keyside) in [(left, right), (right, left)] {
+                            if let Expr::Column { table: qual, name } = colside.as_ref() {
+                                let qual_ok = qual
+                                    .as_deref()
+                                    .map(|q| q.eq_ignore_ascii_case(&scan.binding))
+                                    .unwrap_or(true);
+                                if qual_ok && Self::row_independent(keyside) {
+                                    if let Some(ci) = t.schema.column_index(name) {
+                                        if t.has_index(ci) {
+                                            probe = Some((
+                                                pi,
+                                                Access::IndexEq {
+                                                    ci,
+                                                    key: (**keyside).clone(),
+                                                },
+                                            ));
+                                            break 'pushed;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if let Expr::InSubquery {
+                        expr,
+                        query,
+                        negated: false,
+                    } = p
+                    {
+                        if let Expr::Column { table: qual, name } = expr.as_ref() {
+                            let qual_ok = qual
+                                .as_deref()
+                                .map(|q| q.eq_ignore_ascii_case(&scan.binding))
+                                .unwrap_or(true);
+                            if qual_ok {
+                                if let Some(ci) = t.schema.column_index(name) {
+                                    if t.has_index(ci) {
+                                        probe = Some((
+                                            pi,
+                                            Access::IndexIn {
+                                                ci,
+                                                query: query.clone(),
+                                            },
+                                        ));
+                                        break 'pushed;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                if let Some((pi, access)) = probe {
+                    scan.pushed.remove(pi);
+                    scan.access = access;
+                }
+            }
+        }
+
+        let residual: Vec<Expr> = conjuncts
+            .into_iter()
+            .zip(&consumed)
+            .filter(|(_, c)| !**c)
+            .map(|(e, _)| e)
+            .collect();
+
+        // --- projections -------------------------------------------------
+        let aggregate_mode = core.projections.iter().any(|p| match p {
+            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        });
+        let mut out_columns: Vec<String> = Vec::new();
+        let mut steps: Vec<ProjStep> = Vec::new();
+        let mut agg_exprs: Vec<Expr> = Vec::new();
+        for (i, item) in core.projections.iter().enumerate() {
+            match item {
+                SelectItem::Wildcard => {
+                    if aggregate_mode {
+                        return Err(DbError::Execution(
+                            "wildcards cannot be mixed with aggregates".into(),
+                        ));
+                    }
+                    for (_, cols, _) in &layout {
+                        out_columns.extend(cols.iter().cloned());
+                    }
+                    steps.push(ProjStep::All);
+                }
+                SelectItem::QualifiedWildcard(t) => {
+                    if aggregate_mode {
+                        return Err(DbError::Execution(
+                            "wildcards cannot be mixed with aggregates".into(),
+                        ));
+                    }
+                    let (_, cols, off) = layout
+                        .iter()
+                        .find(|(b, _, _)| b.eq_ignore_ascii_case(t))
+                        .ok_or_else(|| DbError::NoSuchTable(format!("{t}.*")))?;
+                    out_columns.extend(cols.iter().cloned());
+                    steps.push(ProjStep::Range {
+                        off: *off,
+                        len: cols.len(),
+                    });
+                }
+                SelectItem::Expr { expr, alias } => {
+                    out_columns.push(match alias {
+                        Some(a) => a.clone(),
+                        None => match expr {
+                            Expr::Column { name, .. } => name.clone(),
+                            _ => format!("col{}", i + 1),
+                        },
+                    });
+                    if aggregate_mode {
+                        agg_exprs.push(expr.clone());
+                    } else if let Expr::Column { table, name } = expr {
+                        // Pre-resolve plain columns to row offsets; OLD/NEW
+                        // pseudo references resolve to None and stay as
+                        // expressions.
+                        match crate::exec::layout_resolve(&layout, table.as_deref(), name)? {
+                            Some(off) => steps.push(ProjStep::Col(off)),
+                            None => steps.push(ProjStep::Expr(expr.clone())),
+                        }
+                    } else {
+                        steps.push(ProjStep::Expr(expr.clone()));
+                    }
+                }
+            }
+        }
+
+        Ok(CorePlan {
+            scans,
+            layout,
+            residual,
+            projections: steps,
+            out_columns,
+            aggregate: if aggregate_mode {
+                Some(agg_exprs)
+            } else {
+                None
+            },
+            distinct: core.distinct,
+        })
+    }
+
+    /// Bitmask of bindings an expression's column references land in, or
+    /// `None` when the expression cannot be classified (aggregates,
+    /// unresolvable names). Pseudo-row (OLD/NEW) references contribute no
+    /// bits — they are row-independent constants during a statement.
+    fn binding_mask(e: &Expr, layout: &[(String, Vec<String>, usize)]) -> Option<u64> {
+        match e {
+            Expr::Literal(_) | Expr::Param(_) => Some(0),
+            Expr::Column { table, name } => match table.as_deref() {
+                Some(t) => {
+                    if let Some(i) = layout
+                        .iter()
+                        .position(|(b, _, _)| b.eq_ignore_ascii_case(t))
+                    {
+                        Some(1u64 << i)
+                    } else {
+                        // Validated already: must be an OLD/NEW pseudo
+                        // reference, constant for the statement.
+                        Some(0)
+                    }
+                }
+                None => layout
+                    .iter()
+                    .position(|(_, cols, _)| cols.iter().any(|c| c.eq_ignore_ascii_case(name)))
+                    .map(|i| 1u64 << i),
+            },
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => {
+                Self::binding_mask(expr, layout)
+            }
+            Expr::Binary { left, right, .. } => {
+                Some(Self::binding_mask(left, layout)? | Self::binding_mask(right, layout)?)
+            }
+            Expr::InList { expr, list, .. } => {
+                let mut m = Self::binding_mask(expr, layout)?;
+                for l in list {
+                    m |= Self::binding_mask(l, layout)?;
+                }
+                Some(m)
+            }
+            Expr::InSubquery { expr, .. } => Self::binding_mask(expr, layout),
+            Expr::Exists { .. } | Expr::ScalarSubquery(_) => Some(0),
+            Expr::Aggregate { .. } => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // EXPLAIN
+    // ------------------------------------------------------------------
+
+    /// Render the physical plan of a statement without executing it:
+    /// one output row per operator line, indented by tree depth.
+    pub(crate) fn explain_stmt(&self, stmt: &Stmt, ctx: &EvalCtx<'_>) -> Result<ResultSet> {
+        let mut lines: Vec<String> = Vec::new();
+        self.explain_into(stmt, ctx, 0, &mut lines)?;
+        Ok(ResultSet {
+            columns: vec!["plan".into()],
+            rows: lines.into_iter().map(|l| vec![Value::Str(l)]).collect(),
+        })
+    }
+
+    fn explain_into(
+        &self,
+        stmt: &Stmt,
+        ctx: &EvalCtx<'_>,
+        ind: usize,
+        lines: &mut Vec<String>,
+    ) -> Result<()> {
+        match stmt {
+            Stmt::Explain(inner) => self.explain_into(inner, ctx, ind, lines),
+            Stmt::Select(q) => {
+                let plan = self.build_select_plan(q, ctx)?;
+                render_select_plan(&plan, ind, lines);
+                Ok(())
+            }
+            Stmt::Insert { table, source, .. } => match source {
+                InsertSource::Values(rows) => {
+                    push(
+                        lines,
+                        ind,
+                        format!("Insert {table} ({} row(s))", rows.len()),
+                    );
+                    Ok(())
+                }
+                InsertSource::Select(q) => {
+                    push(lines, ind, format!("Insert {table}"));
+                    let plan = self.build_select_plan(q, ctx)?;
+                    render_select_plan(&plan, ind + 1, lines);
+                    Ok(())
+                }
+            },
+            Stmt::Delete { table, filter } => {
+                push(lines, ind, format!("Delete {table}"));
+                self.explain_dml_access(table, filter.as_ref(), ind + 1, lines)
+            }
+            Stmt::Update { table, filter, .. } => {
+                push(lines, ind, format!("Update {table}"));
+                self.explain_dml_access(table, filter.as_ref(), ind + 1, lines)
+            }
+            other => {
+                push(lines, ind, stmt_to_sql(other));
+                Ok(())
+            }
+        }
+    }
+
+    /// Mirror of the access choice `select_positions` makes for DELETE
+    /// and UPDATE: an equality or IN-subquery index probe when one
+    /// applies, otherwise a sequential scan. The full filter is always
+    /// re-checked on those paths, so it renders as a `[filter: …]` tag.
+    fn explain_dml_access(
+        &self,
+        table: &str,
+        filter: Option<&Expr>,
+        ind: usize,
+        lines: &mut Vec<String>,
+    ) -> Result<()> {
+        let key = table.to_ascii_lowercase();
+        let t = self
+            .tables
+            .get(&key)
+            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        let suffix = match filter {
+            Some(f) => format!(" [filter: {}]", expr_to_sql(f)),
+            None => String::new(),
+        };
+        if let Some(f) = filter {
+            if let Some((ci, key_expr)) = self.find_index_probe(t, f, &[]) {
+                push(
+                    lines,
+                    ind,
+                    format!(
+                        "IndexScan {} ({} = {}){suffix}",
+                        t.schema.name,
+                        t.schema.columns[ci].name,
+                        expr_to_sql(key_expr)
+                    ),
+                );
+                return Ok(());
+            }
+            for conj in f.conjuncts() {
+                if let Expr::InSubquery {
+                    expr,
+                    negated: false,
+                    ..
+                } = conj
+                {
+                    if let Expr::Column { table: qual, name } = expr.as_ref() {
+                        let qual_ok = qual
+                            .as_deref()
+                            .map(|q| q.eq_ignore_ascii_case(&t.schema.name))
+                            .unwrap_or(true);
+                        if qual_ok {
+                            if let Some(ci) = t.schema.column_index(name) {
+                                if t.has_index(ci) {
+                                    push(
+                                        lines,
+                                        ind,
+                                        format!(
+                                            "IndexScan {} ({} IN (subquery)){suffix}",
+                                            t.schema.name, t.schema.columns[ci].name
+                                        ),
+                                    );
+                                    return Ok(());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        push(lines, ind, format!("SeqScan {}{suffix}", t.schema.name));
+        Ok(())
+    }
+}
+
+fn push(lines: &mut Vec<String>, ind: usize, line: String) {
+    lines.push(format!("{}{line}", "  ".repeat(ind)));
+}
+
+fn render_select_plan(plan: &SelectPlan, ind: usize, lines: &mut Vec<String>) {
+    for cte in &plan.ctes {
+        push(
+            lines,
+            ind,
+            format!("CTE {} [{}]", cte.name, cte.columns.join(", ")),
+        );
+        render_cores(&cte.body, ind + 1, lines);
+    }
+    let mut ind = ind;
+    if let Some(n) = plan.limit {
+        push(lines, ind, format!("Limit {n}"));
+        ind += 1;
+    }
+    if !plan.keys.is_empty() {
+        let keys: Vec<String> = plan
+            .keys
+            .iter()
+            .map(|(i, desc)| format!("#{}{}", i + 1, if *desc { " DESC" } else { "" }))
+            .collect();
+        push(lines, ind, format!("Sort [{}]", keys.join(", ")));
+        ind += 1;
+    }
+    render_cores(&plan.body, ind, lines);
+}
+
+fn render_cores(cores: &[CorePlan], ind: usize, lines: &mut Vec<String>) {
+    let mut ind = ind;
+    if cores.len() > 1 {
+        push(lines, ind, "UnionAll".to_string());
+        ind += 1;
+    }
+    for core in cores {
+        render_core(core, ind, lines);
+    }
+}
+
+fn render_core(core: &CorePlan, ind: usize, lines: &mut Vec<String>) {
+    let mut ind = ind;
+    if core.distinct && core.aggregate.is_none() {
+        push(lines, ind, "Distinct".to_string());
+        ind += 1;
+    }
+    match &core.aggregate {
+        Some(exprs) => {
+            let rendered: Vec<String> = exprs.iter().map(expr_to_sql).collect();
+            push(lines, ind, format!("Aggregate [{}]", rendered.join(", ")));
+        }
+        None => push(
+            lines,
+            ind,
+            format!("Project [{}]", core.out_columns.join(", ")),
+        ),
+    }
+    ind += 1;
+    if !core.residual.is_empty() {
+        let rendered: Vec<String> = core.residual.iter().map(expr_to_sql).collect();
+        push(lines, ind, format!("Filter ({})", rendered.join(" AND ")));
+        ind += 1;
+    }
+    render_joins(core, core.scans.len(), ind, lines);
+}
+
+fn render_joins(core: &CorePlan, n: usize, ind: usize, lines: &mut Vec<String>) {
+    match n {
+        0 => push(lines, ind, "Result (one row)".to_string()),
+        1 => render_scan(&core.scans[0].0, ind, lines),
+        _ => {
+            let (scan, kind) = &core.scans[n - 1];
+            match kind {
+                JoinKind::Hash { right_ci, left_key } => push(
+                    lines,
+                    ind,
+                    format!(
+                        "HashJoin ({}.{} = {})",
+                        scan.binding,
+                        scan.columns[*right_ci],
+                        expr_to_sql(left_key)
+                    ),
+                ),
+                JoinKind::Loop => push(lines, ind, "NestedLoop".to_string()),
+            }
+            render_joins(core, n - 1, ind + 1, lines);
+            render_scan(scan, ind + 1, lines);
+        }
+    }
+}
+
+fn render_scan(scan: &ScanPlan, ind: usize, lines: &mut Vec<String>) {
+    let mut line = if scan.is_cte {
+        format!("CteScan {}", scan.name)
+    } else {
+        match &scan.access {
+            Access::Seq => format!("SeqScan {}", scan.name),
+            Access::IndexEq { ci, key } => format!(
+                "IndexScan {} ({} = {})",
+                scan.name,
+                scan.columns[*ci],
+                expr_to_sql(key)
+            ),
+            Access::IndexIn { ci, .. } => format!(
+                "IndexScan {} ({} IN (subquery))",
+                scan.name, scan.columns[*ci]
+            ),
+        }
+    };
+    if !scan.binding.eq_ignore_ascii_case(&scan.name) {
+        line.push_str(&format!(" AS {}", scan.binding));
+    }
+    if !scan.pushed.is_empty() {
+        let rendered: Vec<String> = scan.pushed.iter().map(expr_to_sql).collect();
+        line.push_str(&format!(" [filter: {}]", rendered.join(" AND ")));
+    }
+    push(lines, ind, line);
+}

@@ -156,7 +156,18 @@ fn write_stmt(out: &mut String, stmt: &Stmt) {
             let _ = write!(out, "SAVEPOINT {name}");
         }
         Stmt::Checkpoint => out.push_str("CHECKPOINT"),
+        Stmt::Explain(inner) => {
+            out.push_str("EXPLAIN ");
+            write_stmt(out, inner);
+        }
     }
+}
+
+/// Render one expression as SQL (fully parenthesized), for plan display.
+pub(crate) fn expr_to_sql(e: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, e);
+    out
 }
 
 fn write_select(out: &mut String, q: &SelectStmt) {
@@ -449,5 +460,13 @@ mod tests {
     fn parameters_roundtrip() {
         roundtrip("INSERT INTO t VALUES ($1, $2, $3)");
         roundtrip("UPDATE t SET a = $1 WHERE id = $2");
+    }
+
+    #[test]
+    fn explain_roundtrips() {
+        roundtrip("EXPLAIN SELECT id FROM t WHERE id = 1");
+        roundtrip("EXPLAIN DELETE FROM t WHERE parentId NOT IN (SELECT id FROM u)");
+        roundtrip("EXPLAIN INSERT INTO t SELECT a, b FROM u");
+        roundtrip("EXPLAIN EXPLAIN SELECT * FROM t");
     }
 }

@@ -327,6 +327,16 @@ impl Table {
         self.slots.iter().filter_map(Option::as_ref)
     }
 
+    /// Iterate live rows with their slot positions. This is the scan
+    /// surface the Volcano executor pulls from: rows are borrowed from
+    /// the heap, never cloned wholesale into an intermediate relation.
+    pub fn iter_live(&self) -> impl Iterator<Item = (usize, &Row)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (i, r)))
+    }
+
     /// Index lookup: positions of live rows with `row[column_idx] == key`.
     /// Returns `None` if the column is not indexed.
     pub fn index_lookup(&self, column_idx: usize, key: &Value) -> Option<&[usize]> {

@@ -295,7 +295,9 @@ impl Cli {
                 let s = repo.stats();
                 println!(
                     "client statements: {}\ntotal statements:  {}\nrows scanned:      {}\n\
-                     rows ins/del/upd:  {}/{}/{}\ntrigger firings:   {}\nindex lookups:     {}",
+                     rows ins/del/upd:  {}/{}/{}\ntrigger firings:   {}\nindex lookups:     {}\n\
+                     plans built:       {}\nseq scans:         {}\nindex scans:       {}\n\
+                     hash join builds:  {}\npredicates pushed: {}",
                     s.client_statements,
                     s.total_statements,
                     s.rows_scanned,
@@ -303,7 +305,12 @@ impl Cli {
                     s.rows_deleted,
                     s.rows_updated,
                     s.trigger_firings,
-                    s.index_lookups
+                    s.index_lookups,
+                    s.plans_built,
+                    s.seq_scans,
+                    s.index_scans,
+                    s.hash_join_builds,
+                    s.predicates_pushed
                 );
                 Ok(())
             }
