@@ -1,13 +1,22 @@
 //! Regenerate the tables and figures of *Updating XML* (SIGMOD 2001).
 //!
 //! ```text
-//! paper-figures [all|table1|fig6|fig7|fig8|fig9|fig10|fig11|table2|asr-paths|randomized|ordered|storage|plan-cache|planner|txn|wal]
+//! paper-figures [all|table1|fig6|fig7|fig8|fig9|fig10|fig11|table2|asr-paths|randomized|ordered|storage|plan-cache|planner|txn|wal|obs|obs-overhead]
 //!               [--full]
 //! ```
 //!
 //! Default parameter ranges are trimmed so the whole suite runs in a few
 //! minutes; `--full` uses the paper's complete ranges (scaling factors to
 //! 1000, depths to 6).
+//!
+//! When `BENCH_JSON_DIR` is set, every figure additionally writes a
+//! machine-readable `BENCH_<figure>.json` file into that directory.
+//!
+//! `obs` measures the tracing-overhead ladder (off / spans-only /
+//! spans+analyze); `obs-overhead` is the CI guard: it exits nonzero if
+//! the observability off-state costs more than 2% on the joins
+//! benchmark (rows_scanned-normalized, tracing-on as the upper bound).
+//! `obs-overhead` runs only when named explicitly, never under `all`.
 
 use xmlup_bench::experiments as exp;
 use xmlup_workload::dblp::DblpParams;
@@ -33,6 +42,10 @@ fn main() {
         vec![2, 3, 4, 5]
     };
     let run = |name: &str| what == "all" || what == name;
+    let show = |tag: &str, fig: xmlup_bench::experiments::Figure| {
+        fig.print();
+        exp::emit_figure_json(tag, &fig);
+    };
 
     if run("table1") {
         exp::print_table1();
@@ -47,25 +60,37 @@ fn main() {
         exp::print_asr_paths(&rows);
     }
     if run("fig6") {
-        exp::delete_vs_scaling(Workload::Bulk, &scaling, "6").print();
+        show(
+            "fig6",
+            exp::delete_vs_scaling(Workload::Bulk, &scaling, "6"),
+        );
     }
     if run("fig7") {
-        exp::delete_vs_scaling(Workload::random10(), &scaling, "7").print();
+        show(
+            "fig7",
+            exp::delete_vs_scaling(Workload::random10(), &scaling, "7"),
+        );
     }
     if run("fig8") {
-        exp::delete_vs_depth(Workload::Bulk, &depths, "8").print();
+        show("fig8", exp::delete_vs_depth(Workload::Bulk, &depths, "8"));
     }
     if run("fig9") {
-        exp::delete_vs_depth(Workload::random10(), &depths, "9").print();
+        show(
+            "fig9",
+            exp::delete_vs_depth(Workload::random10(), &depths, "9"),
+        );
     }
     if run("fig10") {
-        exp::insert_vs_depth(Workload::Bulk, &depths, "10").print();
+        show("fig10", exp::insert_vs_depth(Workload::Bulk, &depths, "10"));
     }
     if run("fig11") {
-        exp::insert_vs_depth(Workload::random10(), &depths, "11").print();
+        show(
+            "fig11",
+            exp::insert_vs_depth(Workload::random10(), &depths, "11"),
+        );
     }
     if run("randomized") {
-        exp::randomized_delete(&scaling).print();
+        show("randomized", exp::randomized_delete(&scaling));
     }
     if run("storage") {
         let rows = exp::storage_ablation(&scaling);
@@ -81,7 +106,7 @@ fn main() {
         } else {
             &[8, 16, 32, 64]
         };
-        exp::planner_comparison(sizes).print();
+        show("planner", exp::planner_comparison(sizes));
     }
     if run("txn") {
         let batches: &[usize] = if full {
@@ -89,7 +114,7 @@ fn main() {
         } else {
             &[100, 400, 1600]
         };
-        exp::txn_overhead(batches).print();
+        show("txn", exp::txn_overhead(batches));
         let rows = exp::txn_rollback_cost(&scaling);
         exp::print_txn_rollback(&rows);
     }
@@ -99,9 +124,34 @@ fn main() {
         } else {
             &[100, 400, 1600]
         };
-        exp::wal_overhead(batches).print();
+        show("wal", exp::wal_overhead(batches));
         let rows = exp::wal_recovery(batches);
         exp::print_wal_recovery(&rows);
+    }
+    if run("obs") {
+        let sizes: &[usize] = if full { &[16, 32, 64] } else { &[16, 32] };
+        let rows = exp::obs_ladder(sizes);
+        exp::print_obs_ladder(&rows);
+    }
+    // The CI off-state guard is opt-in only: it exits nonzero on failure
+    // and would make casual `paper-figures all` runs flaky on a loaded
+    // machine.
+    if what == "obs-overhead" {
+        let m = exp::obs_off_overhead(64, 15);
+        println!(
+            "obs-overhead guard: {:.2} ns per inert span site × {} sites/stmt \
+             = {:.0} ns against {:.0} ns/stmt ({} rows scanned): {:.4}% off-state overhead",
+            m.ns_per_span,
+            m.spans_per_stmt,
+            m.ns_per_span * m.spans_per_stmt as f64,
+            m.query_ns,
+            m.rows_scanned,
+            m.overhead_pct
+        );
+        if m.overhead_pct >= 2.0 {
+            eprintln!("obs-overhead guard FAILED: off-state overhead exceeds 2%");
+            std::process::exit(1);
+        }
     }
     if run("ordered") {
         let rows = exp::ordered_ablation(&scaling);

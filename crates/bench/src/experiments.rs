@@ -720,6 +720,50 @@ pub fn txn_overhead(batch_sizes: &[usize]) -> Figure {
     }
 }
 
+/// The Section-7 reconstruction-style join: a three-level edge forest
+/// joined parent→child→grandchild with a selective root predicate.
+pub const JOIN_QUERY: &str = "SELECT n3.id, n3.num FROM n1, n2, n3 \
+                              WHERE n2.parentId = n1.id AND n3.parentId = n2.id AND n1.num < 24";
+
+/// Build the three-level edge forest [`JOIN_QUERY`] runs over: `n1`
+/// roots, 4 children each at every lower level, with indexes on the id
+/// and parent columns. `naive` disables the planner (AST-interpreter
+/// behaviour).
+pub fn three_level_join_db(n1: usize, naive: bool) -> xmlup_rdb::Database {
+    let mut db = xmlup_rdb::Database::new();
+    if naive {
+        db.set_planner_naive(true);
+    }
+    db.run_script(
+        "CREATE TABLE n1 (id INTEGER, parentId INTEGER, num INTEGER);
+         CREATE TABLE n2 (id INTEGER, parentId INTEGER, num INTEGER);
+         CREATE TABLE n3 (id INTEGER, parentId INTEGER, num INTEGER);
+         CREATE INDEX n1_id ON n1 (id);
+         CREATE INDEX n2_parent ON n2 (parentId);
+         CREATE INDEX n3_parent ON n3 (parentId);",
+    )
+    .expect("schema");
+    let ins1 = db.prepare("INSERT INTO n1 VALUES ($1, $2, $3)").unwrap();
+    let ins2 = db.prepare("INSERT INTO n2 VALUES ($1, $2, $3)").unwrap();
+    let ins3 = db.prepare("INSERT INTO n3 VALUES ($1, $2, $3)").unwrap();
+    use xmlup_rdb::Value::Int;
+    for i in 0..n1 as i64 {
+        db.execute_prepared(&ins1, &[Int(i), Int(0), Int(i % 97)])
+            .unwrap();
+        for j in 0..4i64 {
+            let id2 = i * 4 + j;
+            db.execute_prepared(&ins2, &[Int(id2), Int(i), Int(id2 % 53)])
+                .unwrap();
+            for k in 0..4i64 {
+                let id3 = id2 * 4 + k;
+                db.execute_prepared(&ins3, &[Int(id3), Int(id2), Int(id3 % 31)])
+                    .unwrap();
+            }
+        }
+    }
+    db
+}
+
 /// Interpreter vs planner on the reconstruction-style join queries
 /// (Section 7's query side): a three-level edge forest joined
 /// parent→child→grandchild with a selective predicate on the root. The
@@ -730,42 +774,8 @@ pub fn txn_overhead(batch_sizes: &[usize]) -> Figure {
 /// The "planned" series runs the default planner. `sizes` are level-1
 /// row counts; lower levels get 4× each.
 pub fn planner_comparison(sizes: &[usize]) -> Figure {
-    let setup = |n1: usize, naive: bool| {
-        let mut db = xmlup_rdb::Database::new();
-        if naive {
-            db.set_planner_naive(true);
-        }
-        db.run_script(
-            "CREATE TABLE n1 (id INTEGER, parentId INTEGER, num INTEGER);
-             CREATE TABLE n2 (id INTEGER, parentId INTEGER, num INTEGER);
-             CREATE TABLE n3 (id INTEGER, parentId INTEGER, num INTEGER);
-             CREATE INDEX n1_id ON n1 (id);
-             CREATE INDEX n2_parent ON n2 (parentId);
-             CREATE INDEX n3_parent ON n3 (parentId);",
-        )
-        .expect("schema");
-        let ins1 = db.prepare("INSERT INTO n1 VALUES ($1, $2, $3)").unwrap();
-        let ins2 = db.prepare("INSERT INTO n2 VALUES ($1, $2, $3)").unwrap();
-        let ins3 = db.prepare("INSERT INTO n3 VALUES ($1, $2, $3)").unwrap();
-        use xmlup_rdb::Value::Int;
-        for i in 0..n1 as i64 {
-            db.execute_prepared(&ins1, &[Int(i), Int(0), Int(i % 97)])
-                .unwrap();
-            for j in 0..4i64 {
-                let id2 = i * 4 + j;
-                db.execute_prepared(&ins2, &[Int(id2), Int(i), Int(id2 % 53)])
-                    .unwrap();
-                for k in 0..4i64 {
-                    let id3 = id2 * 4 + k;
-                    db.execute_prepared(&ins3, &[Int(id3), Int(id2), Int(id3 % 31)])
-                        .unwrap();
-                }
-            }
-        }
-        db
-    };
-    let query = "SELECT n3.id, n3.num FROM n1, n2, n3 \
-                 WHERE n2.parentId = n1.id AND n3.parentId = n2.id AND n1.num < 24";
+    let setup = three_level_join_db;
+    let query = JOIN_QUERY;
     let mut interp = Series {
         label: "interpreter".into(),
         points: Vec::new(),
@@ -944,11 +954,33 @@ pub fn wal_overhead(batch_sizes: &[usize]) -> Figure {
     }
 }
 
+/// One crash-recovery measurement point. The `recovered_txns`,
+/// `replayed_bytes`, and `recovery_micros` columns come from the
+/// engine's own metric registry (`rdb_recovered_txns_total`,
+/// `rdb_wal_replayed_bytes_total`, `rdb_recovery_micros_total`), not
+/// from external timing — the figure plots what the engine reports.
+#[derive(Debug, Clone)]
+pub struct WalRecoveryRow {
+    /// Committed insert statements in the WAL.
+    pub stmts: usize,
+    /// WAL file size before the simulated crash.
+    pub wal_bytes: u64,
+    /// Committed transactions replayed on reopen (engine metric).
+    pub recovered_txns: u64,
+    /// WAL payload bytes replayed on reopen (engine metric).
+    pub replayed_bytes: u64,
+    /// Recovery wall time as self-reported by `Database::open` (engine metric).
+    pub recovery_micros: u64,
+    /// Externally timed reopen replaying the whole WAL.
+    pub replay_ms: Millis,
+    /// Externally timed reopen after a checkpoint truncated the WAL.
+    pub snapshot_ms: Millis,
+}
+
 /// Recovery time vs WAL length: build a store of `n` committed inserts,
 /// then time `Database::open` replaying the whole WAL, and again after a
 /// checkpoint truncated the WAL to nothing (recovery = snapshot load).
-/// Returns `(n, wal_bytes, replay_ms, snapshot_ms)` per point.
-pub fn wal_recovery(batch_sizes: &[usize]) -> Vec<(usize, u64, Millis, Millis)> {
+pub fn wal_recovery(batch_sizes: &[usize]) -> Vec<WalRecoveryRow> {
     let mut rows = Vec::new();
     for &n in batch_sizes {
         let dir = scratch_dir();
@@ -966,6 +998,7 @@ pub fn wal_recovery(batch_sizes: &[usize]) -> Vec<(usize, u64, Millis, Millis)> 
             },
         );
         let mut db = xmlup_rdb::Database::open(&dir).expect("reopen");
+        let stats = db.stats();
         db.checkpoint().expect("checkpoint");
         drop(db);
         let snapshot_ms = time_runs(
@@ -976,20 +1009,238 @@ pub fn wal_recovery(batch_sizes: &[usize]) -> Vec<(usize, u64, Millis, Millis)> 
             },
         );
         let _ = std::fs::remove_dir_all(&dir);
-        rows.push((n, wal_bytes, replay_ms, snapshot_ms));
+        rows.push(WalRecoveryRow {
+            stmts: n,
+            wal_bytes,
+            recovered_txns: stats.recovered_txns,
+            replayed_bytes: stats.wal_replayed_bytes,
+            recovery_micros: stats.recovery_micros,
+            replay_ms,
+            snapshot_ms,
+        });
     }
     rows
 }
 
-/// Print the crash-recovery-time experiment.
-pub fn print_wal_recovery(rows: &[(usize, u64, Millis, Millis)]) {
+/// One rung of the tracing-overhead ladder for a given join size:
+/// the same [`JOIN_QUERY`] timed with observability off, with span
+/// tracing on, and under `EXPLAIN ANALYZE` (per-operator profiling).
+#[derive(Debug, Clone)]
+pub struct ObsLadderRow {
+    /// Level-1 row count (lower levels get 4× each).
+    pub n1: usize,
+    /// Tracing disabled — the production configuration.
+    pub off_ms: Millis,
+    /// `obs::set_tracing(true)`: span events + phase histograms recorded.
+    pub spans_ms: Millis,
+    /// `EXPLAIN ANALYZE`: spans plus per-operator row/loop/time profiling.
+    pub analyze_ms: Millis,
+}
+
+/// Measure the tracing-overhead ladder (off / spans-only /
+/// spans+analyze) on the three-level reconstruction join. All rungs run
+/// against the same warmed database so only the observability mode
+/// varies.
+pub fn obs_ladder(sizes: &[usize]) -> Vec<ObsLadderRow> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let mut db = three_level_join_db(n, false);
+        db.query(JOIN_QUERY).expect("warm-up");
+        xmlup_rdb::obs::set_tracing(false);
+        let off_ms = time_runs(
+            RUNS,
+            || (),
+            |_| {
+                db.query(JOIN_QUERY).expect("query");
+            },
+        );
+        xmlup_rdb::obs::set_tracing(true);
+        let spans_ms = time_runs(
+            RUNS,
+            || (),
+            |_| {
+                db.query(JOIN_QUERY).expect("query");
+            },
+        );
+        let analyze = format!("EXPLAIN ANALYZE {JOIN_QUERY}");
+        let analyze_ms = time_runs(
+            RUNS,
+            || (),
+            |_| {
+                db.query(&analyze).expect("analyze");
+            },
+        );
+        xmlup_rdb::obs::set_tracing(false);
+        xmlup_rdb::obs::clear_trace();
+        rows.push(ObsLadderRow {
+            n1: n,
+            off_ms,
+            spans_ms,
+            analyze_ms,
+        });
+    }
+    rows
+}
+
+/// Print the tracing-overhead ladder with overhead percentages relative
+/// to the off rung.
+pub fn print_obs_ladder(rows: &[ObsLadderRow]) {
+    println!("# Tracing overhead ladder: 3-way join, off / spans / spans+analyze");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "n1 rows", "off ms", "spans ms", "analyze ms", "spans %", "analyze %"
+    );
+    for r in rows {
+        let pct = |x: Millis| (x / r.off_ms - 1.0) * 100.0;
+        println!(
+            "{:<8} {:>10.3} {:>10.3} {:>10.3} {:>8.2}% {:>8.2}%",
+            r.n1,
+            r.off_ms,
+            r.spans_ms,
+            r.analyze_ms,
+            pct(r.spans_ms),
+            pct(r.analyze_ms)
+        );
+    }
+    println!();
+}
+
+/// The off-state overhead guard's measurement, decomposed so the bound
+/// is deterministic rather than an A/B of two noisy wall-clock series.
+#[derive(Debug, Clone)]
+pub struct ObsOffOverhead {
+    /// Cost of one inert span site (tracing off): a thread-local flag
+    /// read plus construction of a no-op guard.
+    pub ns_per_span: f64,
+    /// Span sites actually executed by one [`JOIN_QUERY`] statement.
+    pub spans_per_stmt: u64,
+    /// Rows the statement scans (for the per-row normalization).
+    pub rows_scanned: u64,
+    /// Statement wall time, minimum over the measurement runs.
+    pub query_ns: f64,
+    /// `100 × ns_per_span × spans_per_stmt / query_ns` — the off-state
+    /// instrumentation cost as a percentage of statement time.
+    pub overhead_pct: f64,
+}
+
+/// Measure the observability off-state overhead on the joins benchmark
+/// directly: time the inert [`xmlup_rdb::Span::enter`] path in a tight
+/// loop, count the span sites one [`JOIN_QUERY`] execution passes
+/// through, and divide by the statement's wall time (minimum over
+/// `runs`, since interference only ever adds time). Unlike timing two
+/// whole-statement series against each other, every term here is
+/// either deterministic (site count) or a tight-loop nanobenchmark, so
+/// the resulting bound does not flap with scheduler noise.
+pub fn obs_off_overhead(n1: usize, runs: usize) -> ObsOffOverhead {
+    use std::hint::black_box;
+    xmlup_rdb::obs::set_tracing(false);
+    // Inert-span cost: best of three 1M-iteration loops.
+    let iters = 1_000_000u32;
+    let mut ns_per_span = f64::INFINITY;
+    for _ in 0..3 {
+        let t = std::time::Instant::now();
+        for _ in 0..iters {
+            let s = xmlup_rdb::Span::enter(black_box("obs.guard"));
+            black_box(&s);
+        }
+        ns_per_span = ns_per_span.min(t.elapsed().as_nanos() as f64 / f64::from(iters));
+    }
+    let mut db = three_level_join_db(n1, false);
+    // Span sites per statement, counted from the first (cold) traced
+    // execution — parse and plan spans included, which a plan-cache hit
+    // would skip, so the count is conservative.
+    xmlup_rdb::obs::clear_trace();
+    xmlup_rdb::obs::set_tracing(true);
+    db.query(JOIN_QUERY).expect("count spans");
+    let spans_per_stmt = xmlup_rdb::obs::trace_events().len() as u64;
+    xmlup_rdb::obs::set_tracing(false);
+    xmlup_rdb::obs::clear_trace();
+    for _ in 0..4 {
+        db.query(JOIN_QUERY).expect("warm-up");
+    }
+    // Statement wall time with tracing off.
+    let before = db.stats().rows_scanned;
+    let mut query_ns = f64::INFINITY;
+    for _ in 0..runs {
+        let t = std::time::Instant::now();
+        db.query(JOIN_QUERY).expect("query");
+        query_ns = query_ns.min(t.elapsed().as_nanos() as f64);
+    }
+    let rows_scanned = (db.stats().rows_scanned - before) / runs.max(1) as u64;
+    let overhead_pct = 100.0 * ns_per_span * spans_per_stmt as f64 / query_ns;
+    ObsOffOverhead {
+        ns_per_span,
+        spans_per_stmt,
+        rows_scanned,
+        query_ns,
+        overhead_pct,
+    }
+}
+
+/// Write `BENCH_<tag>.json` into `$BENCH_JSON_DIR` (if set): the figure
+/// name, axis labels, and every measured series point, for
+/// machine-readable consumption alongside the printed tables.
+pub fn emit_figure_json(tag: &str, fig: &Figure) {
+    let Ok(dir) = std::env::var("BENCH_JSON_DIR") else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let series = fig
+        .series
+        .iter()
+        .map(|s| {
+            let points = s
+                .points
+                .iter()
+                .map(|(x, ms)| {
+                    format!(
+                        "{{\"x\":{x},\"time_ms\":{ms:.6},\"time_ns\":{}}}",
+                        (ms * 1e6) as u64
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(
+                "{{\"label\":\"{}\",\"points\":[{points}]}}",
+                escape(&s.label)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let json = format!(
+        "{{\"figure\":\"{}\",\"title\":\"{}\",\"x_label\":\"{}\",\"series\":[{series}]}}\n",
+        escape(tag),
+        escape(&fig.title),
+        escape(&fig.x_label)
+    );
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{tag}.json"));
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("paper-figures: failed to write {}: {e}", path.display());
+    }
+}
+
+/// Print the crash-recovery-time experiment. The txns/bytes/µs columns
+/// are the engine's self-reported recovery metrics.
+pub fn print_wal_recovery(rows: &[WalRecoveryRow]) {
     println!("# Recovery time vs WAL length (committed insert batches)");
     println!(
-        "{:<8} {:>12} {:>12} {:>14}",
-        "stmts", "wal bytes", "replay ms", "snapshot ms"
+        "{:<8} {:>12} {:>10} {:>14} {:>12} {:>12} {:>14}",
+        "stmts", "wal bytes", "txns", "replayed B", "recover µs", "replay ms", "snapshot ms"
     );
-    for (n, bytes, replay, snap) in rows {
-        println!("{n:<8} {bytes:>12} {replay:>12.3} {snap:>14.3}");
+    for r in rows {
+        println!(
+            "{:<8} {:>12} {:>10} {:>14} {:>12} {:>12.3} {:>14.3}",
+            r.stmts,
+            r.wal_bytes,
+            r.recovered_txns,
+            r.replayed_bytes,
+            r.recovery_micros,
+            r.replay_ms,
+            r.snapshot_ms
+        );
     }
     println!();
 }

@@ -6,7 +6,7 @@ use crate::delete::{self, DeleteStrategy};
 use crate::error::{CoreError, Result};
 use crate::insert::{self, InsertStrategy};
 use crate::translate::{self, TranslatedOp};
-use xmlup_rdb::{Database, Stats, Value};
+use xmlup_rdb::{Database, Span, Stats, Value};
 use xmlup_shred::{loader, outer_union, AsrIndex, Mapping};
 use xmlup_xml::dtd::Dtd;
 use xmlup_xml::{Document, NodeId};
@@ -191,7 +191,9 @@ impl XmlRepository {
     /// document mid-shred) leaves the store as it was.
     pub fn load(&mut self, doc: &Document) -> Result<usize> {
         self.atomically(|r| {
+            let shred_span = Span::enter("shred.emit");
             let n = loader::shred(&mut r.db, &r.mapping, doc)?;
+            drop(shred_span);
             if r.config.needs_asr() && r.asr.is_none() {
                 r.asr = Some(AsrIndex::build(&mut r.db, &r.mapping)?);
             } else if let Some(asr) = &r.asr {
@@ -209,6 +211,15 @@ impl XmlRepository {
     /// Reset the engine's statistics counters.
     pub fn reset_stats(&mut self) {
         self.db.reset_stats();
+    }
+
+    /// The engine's metrics registry rendered in the Prometheus text
+    /// exposition format (see [`Database::metrics_text`]). For a
+    /// crash-recovered repository this includes the recovery series
+    /// (`rdb_recovered_txns_total`, `rdb_wal_replayed_bytes_total`,
+    /// `rdb_recovery_micros_total`).
+    pub fn metrics_text(&self) -> String {
+        self.db.metrics_text()
     }
 
     /// Total live tuples across the mapping's tables (Table 1's
@@ -347,9 +358,13 @@ impl XmlRepository {
     /// matching subtrees as XML. Uses the ASR to skip intermediate joins
     /// when one is available and the path is covered (Section 5.3).
     pub fn query_xml(&mut self, statement: &str) -> Result<(Document, Vec<NodeId>)> {
+        let parse_span = Span::enter("xquery.parse");
         let stmt = parse_statement(statement)?;
+        drop(parse_span);
+        let translate_span = Span::enter("xquery.translate");
         let q = translate::translate_query(&stmt, &self.mapping)?;
         let filter = translate::query_filter_sql(&q, &self.mapping, self.asr.as_ref())?;
+        drop(translate_span);
         self.fetch(q.rel, filter.as_deref())
     }
 
@@ -370,8 +385,12 @@ impl XmlRepository {
     /// over the pre-update snapshot, and if any sub-operation fails the
     /// store rolls back to that snapshot (no half-applied update block).
     pub fn execute_xquery(&mut self, statement: &str) -> Result<usize> {
+        let parse_span = Span::enter("xquery.parse");
         let stmt = parse_statement(statement)?;
+        drop(parse_span);
+        let translate_span = Span::enter("xquery.translate");
         let ops = translate::translate_update(&stmt, &self.mapping)?;
+        drop(translate_span);
         if ops.len() == 1 {
             // Simple statements translate to direct SQL (Section 6.1/6.2).
             return self.execute_translated(&ops[0]);

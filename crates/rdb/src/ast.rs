@@ -130,10 +130,18 @@ pub enum Stmt {
     /// (see `crate::wal`). Rejected inside explicit transactions and
     /// trigger bodies, and on non-durable databases.
     Checkpoint,
-    /// `EXPLAIN stmt` — compile the inner statement into a physical plan
-    /// and return the rendered operator tree (one output row per line)
-    /// without executing it.
-    Explain(Box<Stmt>),
+    /// `EXPLAIN [ANALYZE] stmt` — compile the inner statement into a
+    /// physical plan and return the rendered operator tree (one output
+    /// row per line). Plain `EXPLAIN` does not execute; `EXPLAIN
+    /// ANALYZE` executes the statement (side effects included) and
+    /// annotates each operator with actual rows, loops, and elapsed
+    /// time next to the planner's estimates.
+    Explain {
+        /// Execute and annotate with actuals (`EXPLAIN ANALYZE`).
+        analyze: bool,
+        /// The statement being explained.
+        stmt: Box<Stmt>,
+    },
 }
 
 impl Stmt {

@@ -10,7 +10,8 @@
 
 use crate::ast::*;
 use crate::error::{DbError, Result};
-use crate::exec::{EvalCtx, RowEnv};
+use crate::exec::{EvalCtx, PlanProf, RowEnv};
+use crate::obs::{self, Metric, SlowQuery, Span};
 use crate::parser::{parse_script_with_text, parse_stmt_with_params};
 use crate::plan::{PlanSlot, SelectPlan};
 use crate::sql::stmt_to_sql;
@@ -94,6 +95,12 @@ pub struct Stats {
     pub hash_join_builds: u64,
     /// Filter conjuncts pushed down into scans at plan time.
     pub predicates_pushed: u64,
+    /// WAL payload bytes replayed by the most recent [`Database::open`]
+    /// (header excluded). Set once at open; `reset_stats` zeroes it.
+    pub wal_replayed_bytes: u64,
+    /// Wall-clock time of the most recent [`Database::open`] recovery
+    /// (snapshot load + WAL replay), in microseconds.
+    pub recovery_micros: u64,
 }
 
 #[derive(Debug, Default)]
@@ -122,6 +129,8 @@ pub(crate) struct StatsCells {
     pub(crate) index_scans: Cell<u64>,
     pub(crate) hash_join_builds: Cell<u64>,
     pub(crate) predicates_pushed: Cell<u64>,
+    pub(crate) wal_replayed_bytes: Cell<u64>,
+    pub(crate) recovery_micros: Cell<u64>,
 }
 
 impl StatsCells {
@@ -151,6 +160,8 @@ impl StatsCells {
             index_scans: self.index_scans.get(),
             hash_join_builds: self.hash_join_builds.get(),
             predicates_pushed: self.predicates_pushed.get(),
+            wal_replayed_bytes: self.wal_replayed_bytes.get(),
+            recovery_micros: self.recovery_micros.get(),
         }
     }
 
@@ -351,6 +362,12 @@ pub struct Database {
     /// with [`Database::open`]. `None` while recovery replays the log so
     /// replayed work is not re-logged.
     durable: Option<DurableState>,
+    /// Slow-query threshold; statements at or above it are recorded in
+    /// `slow_log`. `None` disables the log (the default).
+    slow_threshold: Cell<Option<std::time::Duration>>,
+    /// Retained slow-query records, oldest first, capped at
+    /// [`obs::SLOW_QUERY_CAPACITY`](crate::obs).
+    slow_log: RefCell<Vec<SlowQuery>>,
 }
 
 /// On-disk attachment of a durable database: the storage directory, the
@@ -403,6 +420,8 @@ impl Database {
             txn: TxnState::default(),
             fault: FaultState::default(),
             durable: None,
+            slow_threshold: Cell::new(None),
+            slow_log: RefCell::new(Vec::new()),
         }
     }
 
@@ -441,6 +460,214 @@ impl Database {
     /// Zero all counters.
     pub fn reset_stats(&mut self) {
         self.stats = StatsCells::default();
+    }
+
+    /// Record statements whose wall-clock latency is at or above
+    /// `threshold` in the slow-query log (SQL text, phase breakdown,
+    /// rows touched). `None` disables the log. The log keeps the most
+    /// recent [`obs::SLOW_QUERY_CAPACITY`](crate::obs) entries.
+    pub fn set_slow_query_threshold(&mut self, threshold: Option<std::time::Duration>) {
+        self.slow_threshold.set(threshold);
+    }
+
+    /// Drain the slow-query log, oldest first.
+    pub fn take_slow_queries(&mut self) -> Vec<SlowQuery> {
+        std::mem::take(&mut *self.slow_log.borrow_mut())
+    }
+
+    /// The metrics registry: every [`Stats`] counter as an `rdb_*`
+    /// counter metric, point-in-time gauges (tables, plan-cache entries,
+    /// WAL size, transaction state), and — when tracing has recorded
+    /// spans — per-phase latency series labelled by phase name.
+    pub fn metrics(&self) -> Vec<Metric> {
+        let s = self.stats.snapshot();
+        let mut m = vec![
+            Metric::counter(
+                "rdb_client_statements_total",
+                "Statements submitted through the public API",
+                s.client_statements,
+            ),
+            Metric::counter(
+                "rdb_total_statements_total",
+                "All statements executed, including trigger bodies",
+                s.total_statements,
+            ),
+            Metric::counter(
+                "rdb_rows_scanned_total",
+                "Rows visited by scans and hash-build passes",
+                s.rows_scanned,
+            ),
+            Metric::counter("rdb_rows_inserted_total", "Rows inserted", s.rows_inserted),
+            Metric::counter("rdb_rows_deleted_total", "Rows deleted", s.rows_deleted),
+            Metric::counter("rdb_rows_updated_total", "Rows updated", s.rows_updated),
+            Metric::counter(
+                "rdb_trigger_firings_total",
+                "Trigger firings (per-row triggers count once per row)",
+                s.trigger_firings,
+            ),
+            Metric::counter(
+                "rdb_index_lookups_total",
+                "Probes answered by a persistent index",
+                s.index_lookups,
+            ),
+            Metric::counter(
+                "rdb_statements_parsed_total",
+                "Statements compiled from SQL text",
+                s.statements_parsed,
+            ),
+            Metric::counter(
+                "rdb_plan_cache_hits_total",
+                "execute/prepare calls answered by the plan cache",
+                s.plan_cache_hits,
+            ),
+            Metric::counter(
+                "rdb_plan_cache_misses_total",
+                "execute/prepare calls that had to parse",
+                s.plan_cache_misses,
+            ),
+            Metric::counter(
+                "rdb_txn_commits_total",
+                "Transactions committed (explicit plus autocommit)",
+                s.txn_commits,
+            ),
+            Metric::counter(
+                "rdb_txn_rollbacks_total",
+                "Rollbacks applied (explicit plus statement-level)",
+                s.txn_rollbacks,
+            ),
+            Metric::counter(
+                "rdb_undo_records_total",
+                "Undo records appended to the transaction log",
+                s.undo_records,
+            ),
+            Metric::counter(
+                "rdb_wal_records_total",
+                "WAL records written to disk (frame markers included)",
+                s.wal_records,
+            ),
+            Metric::counter(
+                "rdb_wal_bytes_total",
+                "Bytes appended to the WAL (framing included)",
+                s.wal_bytes,
+            ),
+            Metric::counter(
+                "rdb_wal_fsyncs_total",
+                "fsync calls issued by WAL appends",
+                s.wal_fsyncs,
+            ),
+            Metric::counter(
+                "rdb_checkpoints_total",
+                "Checkpoints taken (snapshot written, WAL truncated)",
+                s.checkpoints,
+            ),
+            Metric::counter(
+                "rdb_recovered_txns_total",
+                "Committed transactions replayed by the most recent open",
+                s.recovered_txns,
+            ),
+            Metric::counter(
+                "rdb_wal_replayed_bytes_total",
+                "WAL payload bytes replayed by the most recent open",
+                s.wal_replayed_bytes,
+            ),
+            Metric::counter(
+                "rdb_recovery_micros_total",
+                "Wall-clock recovery time of the most recent open (microseconds)",
+                s.recovery_micros,
+            ),
+            Metric::counter(
+                "rdb_plans_built_total",
+                "Physical SELECT plans compiled by the planner",
+                s.plans_built,
+            ),
+            Metric::counter(
+                "rdb_seq_scans_total",
+                "Sequential scans opened by the executor",
+                s.seq_scans,
+            ),
+            Metric::counter(
+                "rdb_index_scans_total",
+                "Index scans opened by the executor",
+                s.index_scans,
+            ),
+            Metric::counter(
+                "rdb_hash_join_builds_total",
+                "Hash-join build sides materialized",
+                s.hash_join_builds,
+            ),
+            Metric::counter(
+                "rdb_predicates_pushed_total",
+                "Filter conjuncts pushed down into scans at plan time",
+                s.predicates_pushed,
+            ),
+            Metric::gauge(
+                "rdb_tables",
+                "Tables in the catalog",
+                self.tables.len() as u64,
+            ),
+            Metric::gauge(
+                "rdb_plan_cache_entries",
+                "Compiled plans cached by SQL text",
+                self.plan_cache.borrow().plans.len() as u64,
+            ),
+            Metric::gauge(
+                "rdb_wal_size_bytes",
+                "Current WAL file size (0 when non-durable)",
+                self.wal_size(),
+            ),
+            Metric::gauge(
+                "rdb_in_transaction",
+                "Whether an explicit transaction is open",
+                self.txn.explicit as u64,
+            ),
+            Metric::gauge(
+                "rdb_undo_log_len",
+                "Undo records currently in the transaction log",
+                self.txn.log.len() as u64,
+            ),
+            Metric::gauge(
+                "rdb_slow_queries",
+                "Slow-query records currently retained",
+                self.slow_log.borrow().len() as u64,
+            ),
+        ];
+        // Grouped per family so the Prometheus renderer emits each
+        // HELP/TYPE header once.
+        let phases = obs::phase_stats();
+        for ps in &phases {
+            let mut metric = Metric::counter(
+                "rdb_phase_spans_total",
+                "Spans recorded per phase",
+                ps.count,
+            );
+            metric.labels.push(("phase", ps.name.to_string()));
+            m.push(metric);
+        }
+        for ps in &phases {
+            let mut metric = Metric::counter(
+                "rdb_phase_ns_total",
+                "Total time spent per phase (nanoseconds)",
+                ps.total_ns,
+            );
+            metric.labels.push(("phase", ps.name.to_string()));
+            m.push(metric);
+        }
+        for ps in &phases {
+            let mut metric = Metric::gauge(
+                "rdb_phase_p95_ns",
+                "95th-percentile phase latency estimate (nanoseconds)",
+                ps.p95_ns,
+            );
+            metric.labels.push(("phase", ps.name.to_string()));
+            m.push(metric);
+        }
+        m
+    }
+
+    /// The metrics registry rendered in the Prometheus text exposition
+    /// format.
+    pub fn metrics_text(&self) -> String {
+        obs::render_prometheus(&self.metrics())
     }
 
     /// The system-wide "next available id" counter used by the id
@@ -508,7 +735,9 @@ impl Database {
         }
         StatsCells::bump(&self.stats.plan_cache_misses, 1);
         StatsCells::bump(&self.stats.statements_parsed, 1);
+        let parse_span = Span::enter("sql.parse");
         let (stmt, params) = parse_stmt_with_params(sql)?;
+        drop(parse_span);
         let stmt = Rc::new(stmt);
         let slot = Rc::new(PlanSlot::default());
         self.plan_cache
@@ -572,7 +801,7 @@ impl Database {
         self.charge_statement();
         let mut ctx = EvalCtx::new();
         ctx.plan_slot = Some(slot);
-        self.exec_client(&stmt, &ctx)
+        self.exec_client_logged(&stmt, &ctx, Some(sql))
     }
 
     /// Compile `sql` into a reusable [`PreparedStmt`]. `?` placeholders
@@ -609,7 +838,7 @@ impl Database {
         self.charge_statement();
         let mut ctx = EvalCtx::with_params(params);
         ctx.plan_slot = Some(stmt.slot.clone());
-        self.exec_client(&stmt.stmt, &ctx)
+        self.exec_client_logged(&stmt.stmt, &ctx, Some(&stmt.sql))
     }
 
     /// Execute a prepared query and return its result set.
@@ -624,7 +853,7 @@ impl Database {
     pub fn execute_stmt(&mut self, stmt: &Stmt) -> Result<ExecResult> {
         StatsCells::bump(&self.stats.client_statements, 1);
         self.charge_statement();
-        self.exec_client(stmt, &EvalCtx::new())
+        self.exec_client_logged(stmt, &EvalCtx::new(), None)
     }
 
     /// Execute a `;`-separated script.
@@ -645,7 +874,7 @@ impl Database {
         for (index, (s, text)) in stmts.iter().enumerate() {
             StatsCells::bump(&self.stats.client_statements, 1);
             self.charge_statement();
-            match self.exec_client(s, &EvalCtx::new()) {
+            match self.exec_client_logged(s, &EvalCtx::new(), Some(text)) {
                 Ok(r) => out.push(r),
                 Err(cause) => {
                     return Err(DbError::ScriptStatement {
@@ -671,6 +900,55 @@ impl Database {
     // transactions
     // ------------------------------------------------------------------
 
+    /// [`exec_client`] plus slow-query accounting. When a threshold is
+    /// set the statement is timed, its spans are collected (even with
+    /// tracing off), and on breach a [`SlowQuery`] record lands in the
+    /// log with the SQL text (rendered from the AST when `sql` is not
+    /// at hand), per-phase breakdown, and rows touched. With no
+    /// threshold configured this is a single `Cell` read on top of
+    /// [`exec_client`].
+    fn exec_client_logged(
+        &mut self,
+        stmt: &Stmt,
+        ctx: &EvalCtx<'_>,
+        sql: Option<&str>,
+    ) -> Result<ExecResult> {
+        let Some(threshold) = self.slow_threshold.get() else {
+            return self.exec_client(stmt, ctx);
+        };
+        let touched_before = self.rows_touched();
+        obs::stmt_collect_begin();
+        let start = std::time::Instant::now();
+        let result = self.exec_client(stmt, ctx);
+        let elapsed = start.elapsed();
+        let phases = obs::stmt_collect_end();
+        if elapsed >= threshold {
+            let mut log = self.slow_log.borrow_mut();
+            if log.len() >= obs::SLOW_QUERY_CAPACITY {
+                log.remove(0);
+            }
+            log.push(SlowQuery {
+                sql: match sql {
+                    Some(s) => s.to_string(),
+                    None => stmt_to_sql(stmt),
+                },
+                total_ns: elapsed.as_nanos() as u64,
+                phases,
+                rows_touched: self.rows_touched() - touched_before,
+            });
+        }
+        result
+    }
+
+    /// Rows scanned + inserted + deleted + updated so far (slow-query
+    /// "rows touched" bookkeeping).
+    fn rows_touched(&self) -> u64 {
+        self.stats.rows_scanned.get()
+            + self.stats.rows_inserted.get()
+            + self.stats.rows_deleted.get()
+            + self.stats.rows_updated.get()
+    }
+
     /// Client-statement funnel: every public execution path lands here.
     ///
     /// Non-control statements run under statement-level atomicity — on
@@ -680,6 +958,7 @@ impl Database {
     /// statement. Outside an explicit transaction a successful statement
     /// autocommits (its undo records are discarded).
     fn exec_client(&mut self, stmt: &Stmt, ctx: &EvalCtx<'_>) -> Result<ExecResult> {
+        let _span = Span::enter("sql.execute");
         if stmt.is_txn_control() || matches!(stmt, Stmt::Checkpoint) {
             // Control statements manage the log; they are not run under
             // it and are exempt from the statement fault (so a test can
@@ -744,6 +1023,7 @@ impl Database {
         if !self.txn.explicit {
             return Err(DbError::Txn("COMMIT outside a transaction".into()));
         }
+        let _span = Span::enter("txn.commit");
         self.wal_flush_commit()?;
         self.txn.reset();
         StatsCells::bump(&self.stats.txn_commits, 1);
@@ -964,6 +1244,8 @@ impl Database {
     /// whose truncation never landed; its effects are already inside the
     /// snapshot, so it is discarded.
     pub fn open(path: impl AsRef<Path>) -> Result<Database> {
+        let _span = Span::enter("db.recover");
+        let recover_start = std::time::Instant::now();
         let dir = path.as_ref().to_path_buf();
         fs::create_dir_all(&dir).map_err(|e| storage_err("create database directory", &e))?;
         let mut db = Database::new();
@@ -987,10 +1269,12 @@ impl Database {
         file.read_to_end(&mut bytes)
             .map_err(|e| storage_err("read WAL", &e))?;
         let mut recovered = 0u64;
+        let mut replayed_bytes = 0u64;
         let mut reset_wal = true;
         if bytes.len() >= wal::WAL_HEADER_LEN {
             if let Ok(contents) = wal::decode_wal(&bytes) {
                 if contents.generation == generation {
+                    replayed_bytes = contents.clean_len - wal::WAL_HEADER_LEN as u64;
                     recovered = db.replay(contents.records)?;
                     if (contents.clean_len as usize) < bytes.len() {
                         // Torn tail from a crash mid-append: discard it.
@@ -1018,6 +1302,10 @@ impl Database {
         db.invalidate_plans();
         db.stats = StatsCells::default();
         db.stats.recovered_txns.set(recovered);
+        db.stats.wal_replayed_bytes.set(replayed_bytes);
+        db.stats
+            .recovery_micros
+            .set(recover_start.elapsed().as_micros() as u64);
         db.durable = Some(DurableState {
             dir,
             wal: RefCell::new(std::io::BufWriter::new(file)),
@@ -1140,12 +1428,14 @@ impl Database {
     /// the OS (a process crash loses nothing committed), `fsync`ed when
     /// sync mode is on.
     fn wal_append(&self, bytes: &[u8], records: u64) -> Result<()> {
+        let _span = Span::enter("wal.append");
         let d = self.durable.as_ref().expect("durable database");
         let mut w = d.wal.borrow_mut();
         w.write_all(bytes)
             .map_err(|e| storage_err("WAL append", &e))?;
         w.flush().map_err(|e| storage_err("WAL flush", &e))?;
         if d.sync.get() {
+            let _fsync_span = Span::enter("wal.fsync");
             w.get_ref()
                 .sync_data()
                 .map_err(|e| storage_err("WAL fsync", &e))?;
@@ -1506,7 +1796,15 @@ impl Database {
                 let plan = self.select_plan_for(q, ctx)?;
                 Ok(ExecResult::Rows(self.exec_select_plan(&plan, ctx)?))
             }
-            Stmt::Explain(inner) => Ok(ExecResult::Rows(self.explain_stmt(inner, ctx)?)),
+            Stmt::Explain { analyze, stmt } => {
+                if *analyze {
+                    Ok(ExecResult::Rows(
+                        self.exec_explain_analyze(stmt, ctx, depth)?,
+                    ))
+                } else {
+                    Ok(ExecResult::Rows(self.explain_stmt(stmt, ctx)?))
+                }
+            }
             Stmt::Begin | Stmt::Commit | Stmt::Rollback { .. } | Stmt::Savepoint { .. } => {
                 if depth > 0 {
                     return Err(DbError::Txn(
@@ -1543,6 +1841,55 @@ impl Database {
             });
         }
         result
+    }
+
+    /// `EXPLAIN ANALYZE`: execute the statement for real and render its
+    /// plan tree annotated with per-operator actuals (rows produced,
+    /// loop counts, wall time) against the planner's estimates. As in
+    /// PostgreSQL the statement really runs, so DML under
+    /// `EXPLAIN ANALYZE` mutates the database. Per-operator profiling
+    /// state is allocated per execution and never stored on the
+    /// (possibly cached, shared) plan.
+    fn exec_explain_analyze(
+        &mut self,
+        stmt: &Stmt,
+        ctx: &EvalCtx<'_>,
+        depth: usize,
+    ) -> Result<ResultSet> {
+        let mut lines: Vec<String> = Vec::new();
+        let start = std::time::Instant::now();
+        match stmt {
+            Stmt::Select(q) => {
+                let plan = self.select_plan_for(q, ctx)?;
+                let prof = PlanProf::for_plan(&plan);
+                self.exec_select_plan_prof(&plan, ctx, Some(&prof))?;
+                let total_ns = start.elapsed().as_nanos() as u64;
+                crate::plan::render_select_plan_prof(&plan, 0, &mut lines, Some(&prof));
+                lines.push(format!("Execution time: {}", obs::fmt_ns(total_ns)));
+            }
+            other => {
+                // DML (and DDL) has no cursor tree; report the plan the
+                // non-analyzing EXPLAIN would print plus an `Actual:`
+                // line derived from the statement's stats deltas.
+                let before = self.stats.snapshot();
+                let result = self.exec_internal(other, ctx, depth)?;
+                let total_ns = start.elapsed().as_nanos() as u64;
+                let after = self.stats.snapshot();
+                self.explain_into(other, ctx, 0, &mut lines)?;
+                lines.push(format!(
+                    "Actual: rows={} scanned={} index_lookups={} triggers={} time={}",
+                    result.affected(),
+                    after.rows_scanned - before.rows_scanned,
+                    after.index_lookups - before.index_lookups,
+                    after.trigger_firings - before.trigger_firings,
+                    obs::fmt_ns(total_ns)
+                ));
+            }
+        }
+        Ok(ResultSet {
+            columns: vec!["plan".into()],
+            rows: lines.into_iter().map(|l| vec![Value::Str(l)]).collect(),
+        })
     }
 
     // ------------------------------------------------------------------
@@ -2006,6 +2353,7 @@ impl Database {
         if fired.is_empty() {
             return Ok(());
         }
+        let _span = Span::enter("trigger.fire");
         let columns: Vec<String> = self
             .tables
             .get(table_key)

@@ -6,9 +6,10 @@
 //! the predicates pushed down into the scan, instead of cloning whole
 //! tables up front the way the old AST interpreter did.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
+use std::time::Instant;
 
 use crate::ast::{AggFunc, BinOp, Expr, SelectStmt, UnOp};
 use crate::engine::{Database, ResultSet, StatsCells};
@@ -196,12 +197,110 @@ pub(crate) struct ExecCtx<'a, 'c> {
     pub ctes: &'a CteEnv,
 }
 
+/// Per-operator actuals accumulated during an `EXPLAIN ANALYZE` run.
+/// Plain execution never allocates these, so the un-analyzed path pays
+/// nothing for the instrumentation.
+#[derive(Debug, Default)]
+pub(crate) struct OpProf {
+    /// Rows the operator emitted.
+    pub rows: Cell<u64>,
+    /// Times the operator was (re)started; for index scans, the number
+    /// of index probes issued.
+    pub loops: Cell<u64>,
+    /// Nanoseconds spent inside the operator's `next()` calls
+    /// (children included — the tree is read top-down like `EXPLAIN
+    /// ANALYZE` output in other engines).
+    pub ns: Cell<u64>,
+}
+
+impl OpProf {
+    fn add(cell: &Cell<u64>, by: u64) {
+        cell.set(cell.get() + by);
+    }
+}
+
+/// Profiling mirror of one [`CorePlan`]: an [`OpProf`] per operator the
+/// renderer will print, keyed by position so the rendered tree and the
+/// actuals stay aligned by construction.
+#[derive(Debug, Default)]
+pub(crate) struct CoreProf {
+    /// The Project or Aggregate at the top of the core.
+    pub output: OpProf,
+    /// The Distinct wrapper, when present.
+    pub distinct: OpProf,
+    /// The residual Filter, when present.
+    pub filter: OpProf,
+    /// `joins[i]` profiles the join that brings in `scans[i + 1]`.
+    pub joins: Vec<OpProf>,
+    /// One per scan, in FROM order.
+    pub scans: Vec<OpProf>,
+}
+
+impl CoreProf {
+    fn for_core(core: &CorePlan) -> CoreProf {
+        CoreProf {
+            joins: (1..core.scans.len()).map(|_| OpProf::default()).collect(),
+            scans: (0..core.scans.len()).map(|_| OpProf::default()).collect(),
+            ..CoreProf::default()
+        }
+    }
+}
+
+/// Profiling mirror of a full [`SelectPlan`], allocated per `EXPLAIN
+/// ANALYZE` execution (never stored on the shared/cached plan).
+#[derive(Debug, Default)]
+pub(crate) struct PlanProf {
+    /// One `Vec<CoreProf>` per CTE, in definition order.
+    pub ctes: Vec<Vec<CoreProf>>,
+    /// One per body core.
+    pub cores: Vec<CoreProf>,
+}
+
+impl PlanProf {
+    /// Build the profiling mirror for `plan`.
+    pub fn for_plan(plan: &SelectPlan) -> PlanProf {
+        PlanProf {
+            ctes: plan
+                .ctes
+                .iter()
+                .map(|c| c.body.iter().map(CoreProf::for_core).collect())
+                .collect(),
+            cores: plan.body.iter().map(CoreProf::for_core).collect(),
+        }
+    }
+}
+
 /// A Volcano operator: yields one row per `next()` call, `None` at end.
 trait Cursor {
     fn next(&mut self, ex: &ExecCtx<'_, '_>) -> Result<Option<Row>>;
 }
 
 type BoxCursor<'a> = Box<dyn Cursor + 'a>;
+
+/// Timing/row-count wrapper installed around non-scan operators during
+/// `EXPLAIN ANALYZE`. Scans instrument themselves (they know their
+/// probe counts); everything else is uniform.
+struct ProfCur<'a> {
+    inner: BoxCursor<'a>,
+    prof: &'a OpProf,
+    started: bool,
+}
+
+impl Cursor for ProfCur<'_> {
+    fn next(&mut self, ex: &ExecCtx<'_, '_>) -> Result<Option<Row>> {
+        if !self.started {
+            self.started = true;
+            OpProf::add(&self.prof.loops, 1);
+        }
+        let t0 = Instant::now();
+        let r = self.inner.next(ex);
+        OpProf::add(&self.prof.ns, t0.elapsed().as_nanos() as u64);
+        if matches!(r, Ok(Some(_))) {
+            OpProf::add(&self.prof.rows, 1);
+        }
+        r
+    }
+}
 
 /// Degenerate FROM-less source: exactly one empty row.
 struct OneRow {
@@ -239,16 +338,25 @@ pub(crate) struct ScanCur<'a> {
     src: ScanSrc<'a>,
     layout: Vec<(String, Vec<String>, usize)>,
     state: ScanState,
+    /// `EXPLAIN ANALYZE` actuals; `None` on the plain execution path.
+    prof: Option<&'a OpProf>,
 }
 
 impl<'a> ScanCur<'a> {
-    fn new(plan: &'a ScanPlan, src: ScanSrc<'a>) -> Self {
+    fn new(plan: &'a ScanPlan, src: ScanSrc<'a>, prof: Option<&'a OpProf>) -> Self {
         let layout = vec![(plan.binding.clone(), plan.columns.clone(), 0)];
         ScanCur {
             plan,
             src,
             layout,
             state: ScanState::Start,
+            prof,
+        }
+    }
+
+    fn prof_loop(&self, by: u64) {
+        if let Some(p) = self.prof {
+            OpProf::add(&p.loops, by);
         }
     }
 
@@ -271,13 +379,18 @@ impl<'a> ScanCur<'a> {
 
     fn start(&self, ex: &ExecCtx<'_, '_>) -> Result<ScanState> {
         match (&self.plan.access, &self.src) {
-            (_, ScanSrc::Mat(_)) => Ok(ScanState::SeqMat { i: 0 }),
+            (_, ScanSrc::Mat(_)) => {
+                self.prof_loop(1);
+                Ok(ScanState::SeqMat { i: 0 })
+            }
             (Access::Seq, ScanSrc::Table(_)) => {
                 StatsCells::bump(&ex.db.stats.seq_scans, 1);
+                self.prof_loop(1);
                 Ok(ScanState::SeqTable { pos: 0 })
             }
             (Access::IndexEq { ci, key }, ScanSrc::Table(t)) => {
                 StatsCells::bump(&ex.db.stats.index_scans, 1);
+                self.prof_loop(1);
                 let empty = SliceEnv {
                     layout: &[],
                     values: &[],
@@ -303,6 +416,7 @@ impl<'a> ScanCur<'a> {
                 let sub = ex.db.cached_subquery(query, ex.ctx)?;
                 let mut rows = Vec::new();
                 for keyv in &sub.set {
+                    self.prof_loop(1);
                     if let Some(ps) = t.index_lookup(*ci, keyv) {
                         StatsCells::bump(&ex.db.stats.index_lookups, 1);
                         for &p in ps {
@@ -320,8 +434,8 @@ impl<'a> ScanCur<'a> {
     }
 }
 
-impl Cursor for ScanCur<'_> {
-    fn next(&mut self, ex: &ExecCtx<'_, '_>) -> Result<Option<Row>> {
+impl ScanCur<'_> {
+    fn next_inner(&mut self, ex: &ExecCtx<'_, '_>) -> Result<Option<Row>> {
         loop {
             match std::mem::replace(&mut self.state, ScanState::Done) {
                 ScanState::Start => {
@@ -369,6 +483,23 @@ impl Cursor for ScanCur<'_> {
                     return Ok(None);
                 }
                 ScanState::Done => return Ok(None),
+            }
+        }
+    }
+}
+
+impl Cursor for ScanCur<'_> {
+    fn next(&mut self, ex: &ExecCtx<'_, '_>) -> Result<Option<Row>> {
+        match self.prof {
+            None => self.next_inner(ex),
+            Some(p) => {
+                let t0 = Instant::now();
+                let r = self.next_inner(ex);
+                OpProf::add(&p.ns, t0.elapsed().as_nanos() as u64);
+                if matches!(r, Ok(Some(_))) {
+                    OpProf::add(&p.rows, 1);
+                }
+                r
             }
         }
     }
@@ -599,7 +730,12 @@ impl Cursor for AggCur<'_> {
 
 impl Database {
     /// Open the leaf cursor for one scan plan.
-    fn open_scan<'a>(&'a self, plan: &'a ScanPlan, ctes: &CteEnv) -> Result<ScanCur<'a>> {
+    fn open_scan<'a>(
+        &'a self,
+        plan: &'a ScanPlan,
+        ctes: &CteEnv,
+        prof: Option<&'a OpProf>,
+    ) -> Result<ScanCur<'a>> {
         let src = if plan.is_cte {
             let m = ctes
                 .get(&plan.key)
@@ -612,18 +748,35 @@ impl Database {
                 .ok_or_else(|| DbError::NoSuchTable(plan.name.clone()))?;
             ScanSrc::Table(t)
         };
-        Ok(ScanCur::new(plan, src))
+        Ok(ScanCur::new(plan, src, prof))
     }
 
-    /// Assemble the cursor tree for one SELECT core.
-    fn open_core<'a>(&'a self, core: &'a CorePlan, ctes: &CteEnv) -> Result<BoxCursor<'a>> {
+    /// Assemble the cursor tree for one SELECT core. With `prof` set
+    /// (`EXPLAIN ANALYZE`), every operator is wrapped or self-instruments
+    /// so rows/loops/time land in the matching [`CoreProf`] slot.
+    fn open_core<'a>(
+        &'a self,
+        core: &'a CorePlan,
+        ctes: &CteEnv,
+        prof: Option<&'a CoreProf>,
+    ) -> Result<BoxCursor<'a>> {
+        let wrap = |cur: BoxCursor<'a>, p: Option<&'a OpProf>| -> BoxCursor<'a> {
+            match p {
+                Some(prof) => Box::new(ProfCur {
+                    inner: cur,
+                    prof,
+                    started: false,
+                }),
+                None => cur,
+            }
+        };
         let mut cur: BoxCursor<'a> = if core.scans.is_empty() {
             Box::new(OneRow { done: false })
         } else {
-            Box::new(self.open_scan(&core.scans[0].0, ctes)?)
+            Box::new(self.open_scan(&core.scans[0].0, ctes, prof.map(|p| &p.scans[0]))?)
         };
         for (i, (scan_plan, kind)) in core.scans.iter().enumerate().skip(1) {
-            let right = self.open_scan(scan_plan, ctes)?;
+            let right = self.open_scan(scan_plan, ctes, prof.map(|p| &p.scans[i]))?;
             cur = match kind {
                 JoinKind::Hash { right_ci, left_key } => {
                     let left_layout = &core.layout[..i];
@@ -653,6 +806,7 @@ impl Database {
                     pending: None,
                 }),
             };
+            cur = wrap(cur, prof.map(|p| &p.joins[i - 1]));
         }
         if !core.residual.is_empty() {
             cur = Box::new(FilterCur {
@@ -660,6 +814,7 @@ impl Database {
                 residual: &core.residual,
                 layout: &core.layout,
             });
+            cur = wrap(cur, prof.map(|p| &p.filter));
         }
         if let Some(agg_exprs) = &core.aggregate {
             cur = Box::new(AggCur {
@@ -668,17 +823,20 @@ impl Database {
                 layout: &core.layout,
                 done: false,
             });
+            cur = wrap(cur, prof.map(|p| &p.output));
         } else {
             cur = Box::new(ProjectCur {
                 input: cur,
                 steps: &core.projections,
                 layout: &core.layout,
             });
+            cur = wrap(cur, prof.map(|p| &p.output));
             if core.distinct {
                 cur = Box::new(DistinctCur {
                     input: cur,
                     seen: HashSet::new(),
                 });
+                cur = wrap(cur, prof.map(|p| &p.distinct));
             }
         }
         Ok(cur)
@@ -693,6 +851,7 @@ impl Database {
         pull_limit: Option<u64>,
         ctx: &EvalCtx<'_>,
         ctes: &CteEnv,
+        prof: Option<&[CoreProf]>,
     ) -> Result<Vec<Row>> {
         if pull_limit == Some(0) {
             return Ok(Vec::new());
@@ -703,8 +862,8 @@ impl Database {
             ctes,
         };
         let mut out = Vec::new();
-        'cores: for core in cores {
-            let mut cur = self.open_core(core, ctes)?;
+        'cores: for (ci, core) in cores.iter().enumerate() {
+            let mut cur = self.open_core(core, ctes, prof.map(|ps| &ps[ci]))?;
             while let Some(row) = cur.next(&ex)? {
                 out.push(row);
                 if let Some(n) = pull_limit {
@@ -724,9 +883,21 @@ impl Database {
         plan: &SelectPlan,
         ctx: &EvalCtx<'_>,
     ) -> Result<ResultSet> {
+        self.exec_select_plan_prof(plan, ctx, None)
+    }
+
+    /// [`exec_select_plan`] with an optional per-operator profile sink.
+    /// The profile is per-execution state owned by the caller — never
+    /// stored on the (possibly cached and shared) plan itself.
+    pub(crate) fn exec_select_plan_prof(
+        &self,
+        plan: &SelectPlan,
+        ctx: &EvalCtx<'_>,
+        prof: Option<&PlanProf>,
+    ) -> Result<ResultSet> {
         let mut ctes: CteEnv = HashMap::new();
-        for cte in &plan.ctes {
-            let rows = self.run_cores(&cte.body, None, ctx, &ctes)?;
+        for (i, cte) in plan.ctes.iter().enumerate() {
+            let rows = self.run_cores(&cte.body, None, ctx, &ctes, prof.map(|p| &p.ctes[i][..]))?;
             ctes.insert(
                 cte.key.clone(),
                 Materialized {
@@ -734,14 +905,15 @@ impl Database {
                 },
             );
         }
+        let body_prof = prof.map(|p| &p.cores[..]);
         if plan.keys.is_empty() {
-            let rows = self.run_cores(&plan.body, plan.limit, ctx, &ctes)?;
+            let rows = self.run_cores(&plan.body, plan.limit, ctx, &ctes, body_prof)?;
             return Ok(ResultSet {
                 columns: plan.columns.clone(),
                 rows,
             });
         }
-        let mut rows = self.run_cores(&plan.body, None, ctx, &ctes)?;
+        let mut rows = self.run_cores(&plan.body, None, ctx, &ctes, body_prof)?;
         if !plan.hidden_on_output.is_empty() {
             let out_layout: Vec<(String, Vec<String>, usize)> =
                 vec![(String::new(), plan.columns.clone(), 0)];

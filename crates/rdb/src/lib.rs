@@ -33,11 +33,14 @@
 //! assert_eq!(rs.rows[0][0], Value::Str("Mary".into()));
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod ast;
 pub mod engine;
 pub mod error;
 mod exec;
 pub mod lexer;
+pub mod obs;
 pub mod parser;
 mod plan;
 pub mod sql;
@@ -51,6 +54,7 @@ pub use ast::{
 };
 pub use engine::{Database, ExecResult, PreparedStmt, ResultSet, Stats, Trigger};
 pub use error::{DbError, Result};
+pub use obs::{Metric, MetricKind, PhaseStat, SlowQuery, Span, TraceEvent};
 pub use parser::{parse_script, parse_script_with_text, parse_stmt, parse_stmt_with_params};
 pub use sql::stmt_to_sql;
 pub use table::{Table, TableSchema};

@@ -228,7 +228,11 @@ impl Parser {
         } else if self.eat_kw("CHECKPOINT") {
             Ok(Stmt::Checkpoint)
         } else if self.eat_kw("EXPLAIN") {
-            Ok(Stmt::Explain(Box::new(self.stmt()?)))
+            let analyze = self.eat_kw("ANALYZE");
+            Ok(Stmt::Explain {
+                analyze,
+                stmt: Box::new(self.stmt()?),
+            })
         } else {
             Err(DbError::SqlParse(format!(
                 "unexpected statement start: {:?}",

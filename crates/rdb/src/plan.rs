@@ -29,7 +29,7 @@ use std::rc::Rc;
 use crate::ast::{Expr, InsertSource, SelectCore, SelectItem, SelectStmt, Stmt};
 use crate::engine::{Database, ResultSet, StatsCells};
 use crate::error::{DbError, Result};
-use crate::exec::{EvalCtx, SliceEnv};
+use crate::exec::{CoreProf, EvalCtx, OpProf, PlanProf, SliceEnv};
 use crate::sql::{expr_to_sql, stmt_to_sql};
 use crate::value::Value;
 
@@ -63,6 +63,10 @@ pub(crate) struct ScanPlan {
     /// Conjuncts referencing only this binding, evaluated before the
     /// row is cloned out of the source.
     pub pushed: Vec<Expr>,
+    /// Planner cardinality estimate: table size for a sequential scan,
+    /// average index-bucket size for a probe, 0 for CTEs (unknown at
+    /// plan time). Shown by `EXPLAIN ANALYZE` next to actual rows.
+    pub est_rows: u64,
 }
 
 /// How a scan joins against the bindings to its left.
@@ -144,6 +148,7 @@ impl Database {
         q: &SelectStmt,
         ctx: &EvalCtx<'_>,
     ) -> Result<SelectPlan> {
+        let _span = crate::obs::Span::enter("sql.plan");
         StatsCells::bump(&self.stats.plans_built, 1);
         let naive = self.planner_naive.get();
         let mut cte_cols: HashMap<String, Vec<String>> = HashMap::new();
@@ -324,6 +329,7 @@ impl Database {
                     columns,
                     access: Access::Seq,
                     pushed: Vec::new(),
+                    est_rows: 0,
                 },
                 JoinKind::Loop,
             ));
@@ -498,6 +504,31 @@ impl Database {
             }
         }
 
+        // --- cardinality estimates ---------------------------------------
+        // Seq scans expect the whole table; index probes expect the
+        // average bucket size (rows / distinct keys). CTE sizes are
+        // unknown at plan time.
+        for (scan, _) in &mut scans {
+            scan.est_rows = if scan.is_cte {
+                0
+            } else if let Some(t) = self.tables.get(&scan.key) {
+                let total = t.len() as u64;
+                match &scan.access {
+                    Access::Seq => total,
+                    Access::IndexEq { ci, .. } | Access::IndexIn { ci, .. } => {
+                        let distinct = t.indexes_raw().get(ci).map_or(0, |m| m.len()) as u64;
+                        if distinct == 0 {
+                            0
+                        } else {
+                            total.div_ceil(distinct)
+                        }
+                    }
+                }
+            } else {
+                0
+            };
+        }
+
         let residual: Vec<Expr> = conjuncts
             .into_iter()
             .zip(&consumed)
@@ -641,7 +672,7 @@ impl Database {
         })
     }
 
-    fn explain_into(
+    pub(crate) fn explain_into(
         &self,
         stmt: &Stmt,
         ctx: &EvalCtx<'_>,
@@ -649,7 +680,7 @@ impl Database {
         lines: &mut Vec<String>,
     ) -> Result<()> {
         match stmt {
-            Stmt::Explain(inner) => self.explain_into(inner, ctx, ind, lines),
+            Stmt::Explain { stmt, .. } => self.explain_into(stmt, ctx, ind, lines),
             Stmt::Select(q) => {
                 let plan = self.build_select_plan(q, ctx)?;
                 render_select_plan(&plan, ind, lines);
@@ -760,14 +791,37 @@ fn push(lines: &mut Vec<String>, ind: usize, line: String) {
     lines.push(format!("{}{line}", "  ".repeat(ind)));
 }
 
+/// ` (actual rows=R loops=L time=T)` suffix for an analyzed operator;
+/// empty when no profile is attached (plain `EXPLAIN` stays unchanged).
+fn actual_suffix(prof: Option<&OpProf>) -> String {
+    match prof {
+        Some(p) => format!(
+            " (actual rows={} loops={} time={})",
+            p.rows.get(),
+            p.loops.get(),
+            crate::obs::fmt_ns(p.ns.get())
+        ),
+        None => String::new(),
+    }
+}
+
 fn render_select_plan(plan: &SelectPlan, ind: usize, lines: &mut Vec<String>) {
-    for cte in &plan.ctes {
+    render_select_plan_prof(plan, ind, lines, None);
+}
+
+pub(crate) fn render_select_plan_prof(
+    plan: &SelectPlan,
+    ind: usize,
+    lines: &mut Vec<String>,
+    prof: Option<&PlanProf>,
+) {
+    for (i, cte) in plan.ctes.iter().enumerate() {
         push(
             lines,
             ind,
             format!("CTE {} [{}]", cte.name, cte.columns.join(", ")),
         );
-        render_cores(&cte.body, ind + 1, lines);
+        render_cores(&cte.body, ind + 1, lines, prof.map(|p| &p.ctes[i][..]));
     }
     let mut ind = ind;
     if let Some(n) = plan.limit {
@@ -783,72 +837,108 @@ fn render_select_plan(plan: &SelectPlan, ind: usize, lines: &mut Vec<String>) {
         push(lines, ind, format!("Sort [{}]", keys.join(", ")));
         ind += 1;
     }
-    render_cores(&plan.body, ind, lines);
+    render_cores(&plan.body, ind, lines, prof.map(|p| &p.cores[..]));
 }
 
-fn render_cores(cores: &[CorePlan], ind: usize, lines: &mut Vec<String>) {
+fn render_cores(
+    cores: &[CorePlan],
+    ind: usize,
+    lines: &mut Vec<String>,
+    prof: Option<&[CoreProf]>,
+) {
     let mut ind = ind;
     if cores.len() > 1 {
         push(lines, ind, "UnionAll".to_string());
         ind += 1;
     }
-    for core in cores {
-        render_core(core, ind, lines);
+    for (i, core) in cores.iter().enumerate() {
+        render_core(core, ind, lines, prof.map(|ps| &ps[i]));
     }
 }
 
-fn render_core(core: &CorePlan, ind: usize, lines: &mut Vec<String>) {
+fn render_core(core: &CorePlan, ind: usize, lines: &mut Vec<String>, prof: Option<&CoreProf>) {
     let mut ind = ind;
     if core.distinct && core.aggregate.is_none() {
-        push(lines, ind, "Distinct".to_string());
+        push(
+            lines,
+            ind,
+            format!("Distinct{}", actual_suffix(prof.map(|p| &p.distinct))),
+        );
         ind += 1;
     }
     match &core.aggregate {
         Some(exprs) => {
             let rendered: Vec<String> = exprs.iter().map(expr_to_sql).collect();
-            push(lines, ind, format!("Aggregate [{}]", rendered.join(", ")));
+            push(
+                lines,
+                ind,
+                format!(
+                    "Aggregate [{}]{}",
+                    rendered.join(", "),
+                    actual_suffix(prof.map(|p| &p.output))
+                ),
+            );
         }
         None => push(
             lines,
             ind,
-            format!("Project [{}]", core.out_columns.join(", ")),
+            format!(
+                "Project [{}]{}",
+                core.out_columns.join(", "),
+                actual_suffix(prof.map(|p| &p.output))
+            ),
         ),
     }
     ind += 1;
     if !core.residual.is_empty() {
         let rendered: Vec<String> = core.residual.iter().map(expr_to_sql).collect();
-        push(lines, ind, format!("Filter ({})", rendered.join(" AND ")));
+        push(
+            lines,
+            ind,
+            format!(
+                "Filter ({}){}",
+                rendered.join(" AND "),
+                actual_suffix(prof.map(|p| &p.filter))
+            ),
+        );
         ind += 1;
     }
-    render_joins(core, core.scans.len(), ind, lines);
+    render_joins(core, core.scans.len(), ind, lines, prof);
 }
 
-fn render_joins(core: &CorePlan, n: usize, ind: usize, lines: &mut Vec<String>) {
+fn render_joins(
+    core: &CorePlan,
+    n: usize,
+    ind: usize,
+    lines: &mut Vec<String>,
+    prof: Option<&CoreProf>,
+) {
     match n {
         0 => push(lines, ind, "Result (one row)".to_string()),
-        1 => render_scan(&core.scans[0].0, ind, lines),
+        1 => render_scan(&core.scans[0].0, ind, lines, prof.map(|p| &p.scans[0])),
         _ => {
+            let join_suffix = actual_suffix(prof.map(|p| &p.joins[n - 2]));
             let (scan, kind) = &core.scans[n - 1];
             match kind {
                 JoinKind::Hash { right_ci, left_key } => push(
                     lines,
                     ind,
                     format!(
-                        "HashJoin ({}.{} = {})",
+                        "HashJoin ({}.{} = {}){join_suffix}",
                         scan.binding,
                         scan.columns[*right_ci],
                         expr_to_sql(left_key)
                     ),
                 ),
-                JoinKind::Loop => push(lines, ind, "NestedLoop".to_string()),
+                JoinKind::Loop => push(lines, ind, format!("NestedLoop{join_suffix}")),
             }
-            render_joins(core, n - 1, ind + 1, lines);
-            render_scan(scan, ind + 1, lines);
+            render_joins(core, n - 1, ind + 1, lines, prof);
+            render_scan(scan, ind + 1, lines, prof.map(|p| &p.scans[n - 1]));
         }
     }
 }
 
-fn render_scan(scan: &ScanPlan, ind: usize, lines: &mut Vec<String>) {
+fn render_scan(scan: &ScanPlan, ind: usize, lines: &mut Vec<String>, prof: Option<&OpProf>) {
     let mut line = if scan.is_cte {
         format!("CteScan {}", scan.name)
     } else {
@@ -872,6 +962,10 @@ fn render_scan(scan: &ScanPlan, ind: usize, lines: &mut Vec<String>) {
     if !scan.pushed.is_empty() {
         let rendered: Vec<String> = scan.pushed.iter().map(expr_to_sql).collect();
         line.push_str(&format!(" [filter: {}]", rendered.join(" AND ")));
+    }
+    if prof.is_some() {
+        line.push_str(&format!(" (est rows={})", scan.est_rows));
+        line.push_str(&actual_suffix(prof));
     }
     push(lines, ind, line);
 }

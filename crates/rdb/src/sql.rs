@@ -156,9 +156,13 @@ fn write_stmt(out: &mut String, stmt: &Stmt) {
             let _ = write!(out, "SAVEPOINT {name}");
         }
         Stmt::Checkpoint => out.push_str("CHECKPOINT"),
-        Stmt::Explain(inner) => {
-            out.push_str("EXPLAIN ");
-            write_stmt(out, inner);
+        Stmt::Explain { analyze, stmt } => {
+            out.push_str(if *analyze {
+                "EXPLAIN ANALYZE "
+            } else {
+                "EXPLAIN "
+            });
+            write_stmt(out, stmt);
         }
     }
 }

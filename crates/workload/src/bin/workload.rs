@@ -23,6 +23,7 @@
 //!          [--db-path DIR]      durable store rooted at DIR
 //!          [--checkpoint-every N]  CHECKPOINT after every N operations
 //!          [--crash-and-recover]   kill + reopen + verify at the fault
+//!          [--metrics-out FILE]    dump the final metric registry as JSON
 //! ```
 
 use xmlup_core::{DeleteStrategy, InsertStrategy, RepoConfig, XmlRepository};
@@ -46,6 +47,7 @@ struct Args {
     db_path: Option<String>,
     checkpoint_every: Option<usize>,
     crash_and_recover: bool,
+    metrics_out: Option<String>,
 }
 
 fn usage() -> ! {
@@ -55,7 +57,8 @@ fn usage() -> ! {
          \x20               [--insert-strategy tuple|table|asr]\n\
          \x20               [--scale N] [--depth N] [--fanout N] [--seed N]\n\
          \x20               [--fail-at N] [--fail-table TABLE:N]\n\
-         \x20               [--db-path DIR] [--checkpoint-every N] [--crash-and-recover]"
+         \x20               [--db-path DIR] [--checkpoint-every N] [--crash-and-recover]\n\
+         \x20               [--metrics-out FILE]"
     );
     std::process::exit(2);
 }
@@ -80,6 +83,7 @@ fn parse_args() -> Args {
         db_path: None,
         checkpoint_every: None,
         crash_and_recover: false,
+        metrics_out: None,
     };
     let mut seed = 0xab1e_u64;
     let mut random = true;
@@ -129,6 +133,7 @@ fn parse_args() -> Args {
                 args.checkpoint_every = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
             }
             "--crash-and-recover" => args.crash_and_recover = true,
+            "--metrics-out" => args.metrics_out = Some(value(&mut i)),
             _ => usage(),
         }
         i += 1;
@@ -212,6 +217,7 @@ fn run_in_memory(args: &Args) {
     }
     .expect("workload failed with a non-injected error");
     print_report(&repo, args, before, &report, 0, 0);
+    write_metrics(&repo, args);
 }
 
 /// One logical workload operation, replayable after a crash.
@@ -352,6 +358,7 @@ fn run_durable(args: &Args, path: &str) {
         }
     }
     print_report(&repo, args, before, &report, checkpoints, crashes);
+    write_metrics(&repo, args);
     repo.close_durable().expect("close durable store");
 }
 
@@ -370,7 +377,37 @@ fn clone_args(a: &Args) -> Args {
         db_path: a.db_path.clone(),
         checkpoint_every: a.checkpoint_every,
         crash_and_recover: a.crash_and_recover,
+        metrics_out: a.metrics_out.clone(),
     }
+}
+
+/// Dump the final metric registry as a JSON array, one object per
+/// sample: `{"name":…,"kind":…,"labels":{…},"value":…}`.
+fn write_metrics(repo: &XmlRepository, args: &Args) {
+    let Some(path) = &args.metrics_out else {
+        return;
+    };
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut out = String::from("[\n");
+    let metrics = repo.db.metrics();
+    for (i, m) in metrics.iter().enumerate() {
+        let labels = m
+            .labels
+            .iter()
+            .map(|(k, v)| format!("\"{}\":\"{}\"", escape(k), escape(v)))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&format!(
+            "  {{\"name\":\"{}\",\"kind\":\"{:?}\",\"labels\":{{{labels}}},\"value\":{}}}{}\n",
+            m.name,
+            m.kind,
+            m.value,
+            if i + 1 < metrics.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out).expect("write --metrics-out file");
+    println!("wrote {} metric(s) to {path}", metrics.len());
 }
 
 fn print_report(

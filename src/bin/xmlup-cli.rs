@@ -20,6 +20,9 @@
 //! .stats             engine statistics
 //! .strategy delete per-tuple|per-stm|cascade|asr
 //! .strategy insert tuple|table|asr
+//! .metrics           metrics registry (Prometheus text format)
+//! .trace on|off      toggle span tracing; off prints the phase table
+//! .trace dump FILE   write buffered spans as chrome://tracing JSON
 //! .help              this text
 //! .quit
 //! ```
@@ -151,7 +154,7 @@ fn print_help() {
         "xmlup-cli [--relational] [--ordered] [--dtd FILE] [--root NAME] \
          [--load NAME=FILE]... [SCRIPT]\n\
          Statements end with `;;`. Dot-commands: .load .show .sql .tables \
-         .stats .strategy .help .quit"
+         .stats .metrics .trace .strategy .help .quit"
     );
 }
 
@@ -314,6 +317,40 @@ impl Cli {
                 );
                 Ok(())
             }
+            Some("metrics") => {
+                let repo = self.repo.as_ref().ok_or("not in --relational mode")?;
+                print!("{}", repo.metrics_text());
+                Ok(())
+            }
+            Some("trace") => match parts.next() {
+                Some("on") => {
+                    xmlup::rdb::obs::set_tracing(true);
+                    println!("tracing on");
+                    Ok(())
+                }
+                Some("off") => {
+                    xmlup::rdb::obs::set_tracing(false);
+                    print!("{}", xmlup::rdb::obs::render_phase_table());
+                    Ok(())
+                }
+                Some("dump") => {
+                    let path = parts.next().ok_or(".trace dump FILE")?;
+                    let json = xmlup::rdb::obs::trace_json();
+                    std::fs::write(path, &json).map_err(|e| e.to_string())?;
+                    let dropped = xmlup::rdb::obs::trace_events_dropped();
+                    println!(
+                        "wrote {} event(s) to {path}{}",
+                        xmlup::rdb::obs::trace_events().len(),
+                        if dropped > 0 {
+                            format!(" ({dropped} dropped)")
+                        } else {
+                            String::new()
+                        }
+                    );
+                    Ok(())
+                }
+                _ => Err(".trace on|off or .trace dump FILE".into()),
+            },
             Some("strategy") => {
                 let repo_cfg = self.repo.as_ref().map(|r| r.config());
                 let which = parts.next().ok_or(".strategy delete|insert NAME")?;

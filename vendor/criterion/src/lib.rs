@@ -4,6 +4,11 @@
 //! wall-clock measurement loop and prints mean time per iteration. Under
 //! `cargo test` (when the harness passes `--test`) every benchmark runs
 //! exactly once, as a smoke test.
+//!
+//! When the `BENCH_JSON_DIR` environment variable is set, each benchmark
+//! additionally writes a machine-readable `BENCH_<label>.json` file into
+//! that directory recording the figure name, parameter string, and the
+//! per-iteration median in nanoseconds.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -142,6 +147,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(label: &str, test_mode: bool, measure: Dura
         measure,
         iters: 0,
         elapsed: Duration::ZERO,
+        samples: Vec::new(),
     };
     f(&mut b);
     if test_mode {
@@ -153,6 +159,44 @@ fn run_bench<F: FnMut(&mut Bencher)>(label: &str, test_mode: bool, measure: Dura
             fmt_time(mean),
             b.iters
         );
+    }
+    write_bench_json(label, &b);
+}
+
+/// Emit `BENCH_<label>.json` into `$BENCH_JSON_DIR`, if set. The label's
+/// group prefix (up to the first `/`) is the figure name; the remainder
+/// is the parameter string.
+fn write_bench_json(label: &str, b: &Bencher) {
+    let Ok(dir) = std::env::var("BENCH_JSON_DIR") else {
+        return;
+    };
+    if dir.is_empty() || b.samples.is_empty() {
+        return;
+    }
+    let (figure, params) = match label.split_once('/') {
+        Some((f, p)) => (f, p),
+        None => (label, ""),
+    };
+    let mut sorted = b.samples.clone();
+    sorted.sort_unstable();
+    let median_ns = sorted[sorted.len() / 2];
+    let mean_ns = sorted.iter().sum::<u64>() / sorted.len() as u64;
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let json = format!(
+        "{{\"figure\":\"{}\",\"params\":\"{}\",\"median_ns\":{},\"mean_ns\":{},\"iters\":{}}}\n",
+        escape(figure),
+        escape(params),
+        median_ns,
+        mean_ns,
+        b.iters
+    );
+    let file: String = label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{file}.json"));
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("criterion shim: failed to write {}: {e}", path.display());
     }
 }
 
@@ -174,13 +218,17 @@ pub struct Bencher {
     measure: Duration,
     iters: u64,
     elapsed: Duration,
+    /// Per-iteration wall times in nanoseconds, for the JSON median.
+    samples: Vec<u64>,
 }
 
 impl Bencher {
     /// Time `routine` repeatedly.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         if self.test_mode {
+            let t = Instant::now();
             black_box(routine());
+            self.samples.push(t.elapsed().as_nanos() as u64);
             self.iters = 1;
             return;
         }
@@ -190,7 +238,9 @@ impl Bencher {
         while start.elapsed() < self.measure && self.iters < 100_000 {
             let t = Instant::now();
             black_box(routine());
-            self.elapsed += t.elapsed();
+            let d = t.elapsed();
+            self.elapsed += d;
+            self.samples.push(d.as_nanos() as u64);
             self.iters += 1;
         }
     }
@@ -202,7 +252,10 @@ impl Bencher {
         F: FnMut(I) -> O,
     {
         if self.test_mode {
-            black_box(routine(setup()));
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed().as_nanos() as u64);
             self.iters = 1;
             return;
         }
@@ -212,7 +265,9 @@ impl Bencher {
             let input = setup();
             let t = Instant::now();
             black_box(routine(input));
-            self.elapsed += t.elapsed();
+            let d = t.elapsed();
+            self.elapsed += d;
+            self.samples.push(d.as_nanos() as u64);
             self.iters += 1;
         }
     }
