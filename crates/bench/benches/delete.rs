@@ -16,6 +16,7 @@ fn make_repo(p: &SyntheticParams, ds: DeleteStrategy) -> (XmlRepository, usize) 
             insert_strategy: InsertStrategy::Table,
             build_asr: ds == DeleteStrategy::Asr,
             statement_cost_us: 0,
+            ..RepoConfig::default()
         },
     )
     .unwrap();

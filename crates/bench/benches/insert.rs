@@ -16,6 +16,7 @@ fn make_repo(p: &SyntheticParams, is: InsertStrategy) -> (XmlRepository, usize) 
             insert_strategy: is,
             build_asr: is == InsertStrategy::Asr,
             statement_cost_us: 0,
+            ..RepoConfig::default()
         },
     )
     .unwrap();

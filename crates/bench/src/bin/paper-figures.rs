@@ -1,7 +1,7 @@
 //! Regenerate the tables and figures of *Updating XML* (SIGMOD 2001).
 //!
 //! ```text
-//! paper-figures [all|table1|fig6|fig7|fig8|fig9|fig10|fig11|table2|asr-paths|randomized|ordered|storage|plan-cache|planner|txn|wal|obs|obs-overhead]
+//! paper-figures [all|table1|fig6|fig7|fig8|fig9|fig10|fig11|table2|asr-paths|randomized|ordered|storage|plan-cache|planner|txn|wal|throughput|obs|obs-overhead]
 //!               [--full]
 //! ```
 //!
@@ -127,6 +127,15 @@ fn main() {
         show("wal", exp::wal_overhead(batches));
         let rows = exp::wal_recovery(batches);
         exp::print_wal_recovery(&rows);
+    }
+    if run("throughput") {
+        // 10× the workload default (scale 50, 10 random ops) in the full
+        // configuration; the trimmed run keeps CI smoke fast while still
+        // exercising every grid point.
+        let (sf, ops) = if full { (500, 100) } else { (200, 64) };
+        let rows = exp::update_throughput(sf, ops);
+        exp::print_throughput(&rows);
+        exp::emit_throughput_json(&rows);
     }
     if run("obs") {
         let sizes: &[usize] = if full { &[16, 32, 64] } else { &[16, 32] };

@@ -95,6 +95,7 @@ fn build_repo_doc(
             insert_strategy: is,
             build_asr: ds == DeleteStrategy::Asr || is == InsertStrategy::Asr,
             statement_cost_us: STATEMENT_COST_US,
+            ..RepoConfig::default()
         },
     )
     .expect("schema builds");
@@ -406,6 +407,7 @@ pub fn table2(params: &DblpParams) -> Vec<(String, Millis)> {
                         insert_strategy: InsertStrategy::Table,
                         build_asr: ds == DeleteStrategy::Asr,
                         statement_cost_us: STATEMENT_COST_US,
+                        ..RepoConfig::default()
                     },
                 )
                 .unwrap();
@@ -435,6 +437,7 @@ pub fn table2(params: &DblpParams) -> Vec<(String, Millis)> {
                         insert_strategy: is,
                         build_asr: is == InsertStrategy::Asr,
                         statement_cost_us: STATEMENT_COST_US,
+                        ..RepoConfig::default()
                     },
                 )
                 .unwrap();
@@ -1174,6 +1177,218 @@ pub fn obs_off_overhead(n1: usize, runs: usize) -> ObsOffOverhead {
         rows_scanned,
         query_ns,
         overhead_pct,
+    }
+}
+
+/// One point of the batched-translation × group-commit grid measured by
+/// [`update_throughput`]: a random-delete workload against a durable
+/// store, driven at a given translation batch size and WAL group-commit
+/// window.
+#[derive(Debug, Clone)]
+pub struct ThroughputRow {
+    /// Grid-point label.
+    pub label: String,
+    /// Rows folded per translated SQL statement.
+    pub batch_size: usize,
+    /// Commits per WAL fsync group.
+    pub group_window: u64,
+    /// Client SQL statements the workload issued.
+    pub statements_issued: u64,
+    /// Tuples removed (subtree roots plus descendants).
+    pub rows_affected: usize,
+    /// Workload wall time.
+    pub elapsed_ms: Millis,
+    /// Tuples removed per second of workload time.
+    pub rows_per_sec: f64,
+    /// Transactions committed by the workload.
+    pub txn_commits: u64,
+    /// WAL fsyncs the workload paid.
+    pub wal_fsyncs: u64,
+    /// Commits acknowledged per fsync (the group-commit amortization).
+    pub commits_per_fsync: f64,
+}
+
+/// The 10×-scale random-update throughput figure: delete `ops` random
+/// subtrees of a scale-`sf` document (10× the workload default on both
+/// axes in the full configuration) against a durable, fsync-on store,
+/// across the {per-tuple, batched} × {fsync-per-commit, group-commit}
+/// grid. One transaction per translated batch, so the group-commit
+/// window spans successive commits exactly as concurrent clients would.
+///
+/// Statement cost simulation is on ([`STATEMENT_COST_US`]), as in every
+/// other experiment: the paper's statement-count trade-off is the effect
+/// under measurement.
+pub fn update_throughput(sf: usize, ops: usize) -> Vec<ThroughputRow> {
+    use xmlup_shred::Mapping;
+    use xmlup_workload::driver::pick_targets;
+    const GRID: [(usize, u64, &str); 4] = [
+        (1, 1, "per-tuple"),
+        (256, 1, "batched"),
+        (1, 16, "group-commit"),
+        (256, 16, "batched+group"),
+    ];
+    let p = SyntheticParams::new(sf, 3, 2);
+    let dtd = synthetic_dtd(p.depth);
+    let doc = fixed_document(&p);
+    let mut rows = Vec::new();
+    for (batch, window, label) in GRID {
+        let dir = scratch_dir();
+        let mapping = Mapping::from_dtd(&dtd, "root").expect("mapping");
+        let mut repo = XmlRepository::open_durable(
+            dir.to_str().expect("utf-8 temp path"),
+            mapping,
+            RepoConfig {
+                statement_cost_us: STATEMENT_COST_US,
+                batch_size: batch,
+                ..RepoConfig::default()
+            },
+        )
+        .expect("open durable store");
+        repo.db.set_wal_sync(true);
+        repo.db.set_wal_group_commit(window);
+        repo.load(&doc).expect("load");
+        let rel = repo.mapping.relation_by_element("n1").expect("n1");
+        let targets = pick_targets(
+            &repo,
+            rel,
+            Workload::Random {
+                count: ops,
+                seed: 0xab1e,
+            },
+        );
+        let before = repo.tuple_count();
+        repo.reset_stats();
+        let start = std::time::Instant::now();
+        // One transaction — one commit — per translated batch, driven
+        // from outside `delete_by_ids` (which would otherwise wrap every
+        // chunk in a single transaction and hide the commit stream the
+        // group-commit window amortizes).
+        for chunk in targets.chunks(batch) {
+            repo.delete_by_ids(rel, chunk).expect("batched delete");
+        }
+        // Release the final (possibly sub-window) group so every commit
+        // is durably acknowledged before the clock stops.
+        repo.db.wal_sync().expect("final group fsync");
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        let stats = repo.stats();
+        let rows_affected = before - repo.tuple_count();
+        let rows_per_sec = rows_affected as f64 / (elapsed_ms / 1e3);
+        let commits_per_fsync = stats.txn_commits as f64 / stats.wal_fsyncs.max(1) as f64;
+        rows.push(ThroughputRow {
+            label: label.into(),
+            batch_size: batch,
+            group_window: window,
+            statements_issued: stats.client_statements,
+            rows_affected,
+            elapsed_ms,
+            rows_per_sec,
+            txn_commits: stats.txn_commits,
+            wal_fsyncs: stats.wal_fsyncs,
+            commits_per_fsync,
+        });
+        drop(repo);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    rows
+}
+
+/// Print the throughput grid with its two headline ratios.
+pub fn print_throughput(rows: &[ThroughputRow]) {
+    println!("# Random-update throughput: batched translation x group commit");
+    println!(
+        "{:<16} {:>6} {:>7} {:>8} {:>8} {:>10} {:>12} {:>8} {:>7} {:>14}",
+        "config",
+        "batch",
+        "window",
+        "stmts",
+        "rows",
+        "ms",
+        "rows/sec",
+        "commits",
+        "fsyncs",
+        "commits/fsync"
+    );
+    for r in rows {
+        println!(
+            "{:<16} {:>6} {:>7} {:>8} {:>8} {:>10.3} {:>12.0} {:>8} {:>7} {:>14.2}",
+            r.label,
+            r.batch_size,
+            r.group_window,
+            r.statements_issued,
+            r.rows_affected,
+            r.elapsed_ms,
+            r.rows_per_sec,
+            r.txn_commits,
+            r.wal_fsyncs,
+            r.commits_per_fsync
+        );
+    }
+    let of = |label: &str| rows.iter().find(|r| r.label == label);
+    if let (Some(pt), Some(b), Some(g)) = (of("per-tuple"), of("batched"), of("group-commit")) {
+        println!(
+            "# batched translation speedup (rows/sec, batch 256 vs 1): {:.2}x",
+            b.rows_per_sec / pt.rows_per_sec
+        );
+        println!(
+            "# group-commit amortization (commits/fsync, window 16 vs 1): {:.2}x",
+            g.commits_per_fsync / pt.commits_per_fsync
+        );
+    }
+    println!();
+}
+
+/// Write `BENCH_throughput.json` into `$BENCH_JSON_DIR` (if set): the
+/// full grid with `rows_per_sec` and `commits_per_fsync` per point, plus
+/// the two headline ratios, so the throughput trajectory is tracked
+/// release over release.
+pub fn emit_throughput_json(rows: &[ThroughputRow]) {
+    let Ok(dir) = std::env::var("BENCH_JSON_DIR") else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let points = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"label\":\"{}\",\"batch_size\":{},\"group_window\":{},\
+                 \"statements_issued\":{},\"rows_affected\":{},\"elapsed_ms\":{:.6},\
+                 \"rows_per_sec\":{:.3},\"txn_commits\":{},\"wal_fsyncs\":{},\
+                 \"commits_per_fsync\":{:.4}}}",
+                escape(&r.label),
+                r.batch_size,
+                r.group_window,
+                r.statements_issued,
+                r.rows_affected,
+                r.elapsed_ms,
+                r.rows_per_sec,
+                r.txn_commits,
+                r.wal_fsyncs,
+                r.commits_per_fsync
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let of = |label: &str| rows.iter().find(|r| r.label == label);
+    let (speedup, amortization) = match (of("per-tuple"), of("batched"), of("group-commit")) {
+        (Some(pt), Some(b), Some(g)) => (
+            b.rows_per_sec / pt.rows_per_sec,
+            g.commits_per_fsync / pt.commits_per_fsync,
+        ),
+        _ => (0.0, 0.0),
+    };
+    let json = format!(
+        "{{\"figure\":\"throughput\",\
+         \"title\":\"Random-update throughput: batched translation x group commit\",\
+         \"rows_per_sec_speedup\":{speedup:.4},\
+         \"commits_per_fsync_gain\":{amortization:.4},\
+         \"points\":[{points}]}}\n"
+    );
+    let path = std::path::Path::new(&dir).join("BENCH_throughput.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("paper-figures: failed to write {}: {e}", path.display());
     }
 }
 

@@ -100,6 +100,7 @@ fn appended_pos(
 /// copy hangs under parent tuple `dst_parent_id` (a tuple of `rel`'s
 /// parent relation — or the same parent for sibling replication). Returns
 /// the number of tuples created.
+#[allow(clippy::too_many_arguments)]
 pub fn copy_subtree(
     db: &mut Database,
     mapping: &Mapping,
@@ -108,9 +109,10 @@ pub fn copy_subtree(
     rel: usize,
     src_id: i64,
     dst_parent_id: i64,
+    batch_size: usize,
 ) -> Result<usize> {
     match strategy {
-        InsertStrategy::Tuple => tuple_insert(db, mapping, rel, src_id, dst_parent_id),
+        InsertStrategy::Tuple => tuple_insert(db, mapping, rel, src_id, dst_parent_id, batch_size),
         InsertStrategy::Table => table_insert(db, mapping, rel, src_id, dst_parent_id),
         InsertStrategy::Asr => {
             let asr = asr.ok_or_else(|| {
@@ -131,7 +133,9 @@ fn tuple_insert(
     rel: usize,
     src_id: i64,
     dst_parent_id: i64,
+    batch_size: usize,
 ) -> Result<usize> {
+    let batch = batch_size.max(1);
     // Stream the source subtree via the Sorted Outer Union. The root
     // filter is a parameter so every copy of this relation shape reuses
     // one compiled outer-union plan.
@@ -140,9 +144,15 @@ fn tuple_insert(
     // old id → new id; parents appear before children in the sorted stream.
     let mut remap: HashMap<i64, i64> = HashMap::new();
     let mut inserted = 0usize;
-    // One prepared `INSERT INTO t VALUES (?, …)` per plan level, compiled
-    // lazily on the first tuple of that level.
+    // Ids are remapped tuple by tuple (the map above), but the INSERTs are
+    // folded: each level buffers remapped rows and flushes a multi-row
+    // `INSERT INTO t VALUES (…), (…)` every `batch` tuples — n/batch
+    // statements instead of n. One prepared full-batch statement per
+    // level, compiled lazily; the sub-batch tail flushes after the loop.
+    let mut bufs: Vec<Vec<Value>> = vec![Vec::new(); plan.relations.len()];
+    let mut widths: Vec<usize> = vec![0; plan.relations.len()];
     let mut insert_stmts: Vec<Option<PreparedStmt>> = vec![None; plan.relations.len()];
+    let row_marks = |width: usize| format!("({})", vec!["?"; width].join(", "));
     for row in &rs.rows {
         // Level = deepest non-null id column (see outer_union::reassemble).
         let mut level = 0;
@@ -182,16 +192,33 @@ fn tuple_insert(
                 vals[2 + pi] = Value::Int(pos);
             }
         }
-        if insert_stmts[level].is_none() {
-            let placeholders = vec!["?"; vals.len()].join(", ");
-            insert_stmts[level] = Some(db.prepare(&format!(
-                "INSERT INTO {} VALUES ({placeholders})",
-                relation.table
-            ))?);
-        }
-        let stmt = insert_stmts[level].as_ref().expect("prepared above");
-        db.execute_prepared(stmt, &vals)?;
+        widths[level] = vals.len();
+        bufs[level].extend(vals);
         inserted += 1;
+        if bufs[level].len() == widths[level] * batch {
+            if insert_stmts[level].is_none() {
+                let rows = vec![row_marks(widths[level]); batch].join(", ");
+                insert_stmts[level] =
+                    Some(db.prepare(&format!("INSERT INTO {} VALUES {rows}", relation.table))?);
+            }
+            let stmt = insert_stmts[level].as_ref().expect("prepared above");
+            db.execute_prepared(stmt, &bufs[level])?;
+            bufs[level].clear();
+        }
+    }
+    // Tail flush: whatever each level buffered short of a full batch, in
+    // level order so parents land before descendants.
+    for (level, buf) in bufs.iter().enumerate() {
+        if buf.is_empty() {
+            continue;
+        }
+        let nrows = buf.len() / widths[level];
+        let rows = vec![row_marks(widths[level]); nrows].join(", ");
+        let stmt = db.prepare(&format!(
+            "INSERT INTO {} VALUES {rows}",
+            mapping.relations[plan.relations[level]].table
+        ))?;
+        db.execute_prepared(&stmt, buf)?;
     }
     Ok(inserted)
 }

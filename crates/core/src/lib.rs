@@ -24,6 +24,7 @@
 //!     insert_strategy: InsertStrategy::Table,
 //!     build_asr: false,
 //!     statement_cost_us: 0,
+//!     ..RepoConfig::default()
 //! }).unwrap();
 //! repo.load(&doc).unwrap();
 //!

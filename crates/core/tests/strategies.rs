@@ -20,6 +20,7 @@ fn repo_with(ds: DeleteStrategy, is: InsertStrategy) -> XmlRepository {
             insert_strategy: is,
             build_asr: false,
             statement_cost_us: 0,
+            ..RepoConfig::default()
         },
     )
     .unwrap();
@@ -112,6 +113,7 @@ fn asr_delete_maintains_index() {
             insert_strategy: InsertStrategy::Asr,
             build_asr: true,
             statement_cost_us: 0,
+            ..RepoConfig::default()
         },
     )
     .unwrap();
@@ -165,6 +167,7 @@ fn all_insert_strategies_agree() {
                 insert_strategy: is,
                 build_asr: is == InsertStrategy::Asr,
                 statement_cost_us: 0,
+                ..RepoConfig::default()
             },
         )
         .unwrap();
@@ -239,6 +242,7 @@ fn asr_insert_maintains_index() {
             insert_strategy: InsertStrategy::Asr,
             build_asr: true,
             statement_cost_us: 0,
+            ..RepoConfig::default()
         },
     )
     .unwrap();

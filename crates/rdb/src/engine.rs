@@ -93,6 +93,11 @@ pub struct Stats {
     pub index_scans: u64,
     /// Hash-join build sides materialized.
     pub hash_join_builds: u64,
+    /// IN-list probe sets materialized (once per statement per list;
+    /// correlated lists never build one).
+    pub in_list_builds: u64,
+    /// Row batches emitted by the vectorized executor.
+    pub exec_batches: u64,
     /// Filter conjuncts pushed down into scans at plan time.
     pub predicates_pushed: u64,
     /// WAL payload bytes replayed by the most recent [`Database::open`]
@@ -128,6 +133,8 @@ pub(crate) struct StatsCells {
     pub(crate) seq_scans: Cell<u64>,
     pub(crate) index_scans: Cell<u64>,
     pub(crate) hash_join_builds: Cell<u64>,
+    pub(crate) in_list_builds: Cell<u64>,
+    pub(crate) exec_batches: Cell<u64>,
     pub(crate) predicates_pushed: Cell<u64>,
     pub(crate) wal_replayed_bytes: Cell<u64>,
     pub(crate) recovery_micros: Cell<u64>,
@@ -159,6 +166,8 @@ impl StatsCells {
             seq_scans: self.seq_scans.get(),
             index_scans: self.index_scans.get(),
             hash_join_builds: self.hash_join_builds.get(),
+            in_list_builds: self.in_list_builds.get(),
+            exec_batches: self.exec_batches.get(),
             predicates_pushed: self.predicates_pushed.get(),
             wal_replayed_bytes: self.wal_replayed_bytes.get(),
             recovery_micros: self.recovery_micros.get(),
@@ -381,6 +390,23 @@ struct DurableState {
     /// Whether commits `fsync` the WAL (default true; benchmarks may
     /// disable it to isolate the logging cost from the disk cost).
     sync: Cell<bool>,
+    /// Group-commit window: commits coalesced per `fsync` (≤ 1 syncs
+    /// every commit, the default). With a window of N, each commit
+    /// appends and flushes its frames immediately but the `fsync` is
+    /// deferred until N commits have joined the group; the one
+    /// `sync_data` then acknowledges them all.
+    group_window: Cell<u64>,
+    /// Commits appended since the last fsync — the open group.
+    pending_commits: Cell<u64>,
+    /// WAL length in bytes known to be fsynced: the group-commit sync
+    /// ticket. A commit whose frames end at or before this offset is
+    /// acknowledged durable.
+    synced_len: Cell<u64>,
+    /// WAL length in bytes appended and flushed to the OS.
+    appended_len: Cell<u64>,
+    /// Commits acknowledged by a group fsync (or subsumed by a
+    /// checkpoint snapshot) so far.
+    acked_commits: Cell<u64>,
     /// Checkpoint generation stamped in both the snapshot body and the
     /// WAL header. A WAL whose generation trails the snapshot's is
     /// leftover from before a checkpoint whose truncation never landed —
@@ -594,6 +620,16 @@ impl Database {
                 "rdb_hash_join_builds_total",
                 "Hash-join build sides materialized",
                 s.hash_join_builds,
+            ),
+            Metric::counter(
+                "rdb_in_list_builds_total",
+                "IN-list probe sets materialized (once per statement per list)",
+                s.in_list_builds,
+            ),
+            Metric::counter(
+                "rdb_exec_batches_total",
+                "Row batches emitted by the vectorized executor",
+                s.exec_batches,
             ),
             Metric::counter(
                 "rdb_predicates_pushed_total",
@@ -1294,7 +1330,8 @@ impl Database {
             file.sync_data()
                 .map_err(|e| storage_err("sync WAL header", &e))?;
         }
-        file.seek(SeekFrom::End(0))
+        let wal_len = file
+            .seek(SeekFrom::End(0))
             .map_err(|e| storage_err("seek WAL end", &e))?;
         // Replay ran with `durable` unset so nothing re-logged itself;
         // wipe its undo/stats bookkeeping before arming the appender.
@@ -1310,6 +1347,11 @@ impl Database {
             dir,
             wal: RefCell::new(std::io::BufWriter::new(file)),
             sync: Cell::new(true),
+            group_window: Cell::new(1),
+            pending_commits: Cell::new(0),
+            synced_len: Cell::new(wal_len),
+            appended_len: Cell::new(wal_len),
+            acked_commits: Cell::new(0),
             generation,
             txn_seq: Cell::new(0),
         });
@@ -1376,6 +1418,14 @@ impl Database {
         })();
         io.map_err(|e| storage_err("checkpoint", &e))?;
         d.generation = generation;
+        // The snapshot subsumes everything appended so far, including
+        // any group-commit window still waiting on its fsync — those
+        // commits are now durably acknowledged by the snapshot itself.
+        d.acked_commits
+            .set(d.acked_commits.get() + d.pending_commits.get());
+        d.pending_commits.set(0);
+        d.appended_len.set(wal::WAL_HEADER_LEN as u64);
+        d.synced_len.set(wal::WAL_HEADER_LEN as u64);
         StatsCells::bump(&self.stats.checkpoints, 1);
         Ok(())
     }
@@ -1398,6 +1448,63 @@ impl Database {
         if let Some(d) = &self.durable {
             d.sync.set(sync);
         }
+    }
+
+    /// Configure the group-commit window (the `set_wal_sync` extension):
+    /// coalesce up to `window` commits per WAL `fsync`. Commits still
+    /// append and flush their frames immediately — a process crash loses
+    /// nothing — but the disk sync is deferred until `window` commits
+    /// have joined the group, and the single `sync_data` acknowledges
+    /// every one of them. `window <= 1` restores fsync-per-commit. Use
+    /// [`Database::wal_sync`] to force the pending group out early.
+    pub fn set_wal_group_commit(&mut self, window: u64) {
+        if let Some(d) = &self.durable {
+            d.group_window.set(window);
+        }
+    }
+
+    /// Force the pending group-commit fsync now, acknowledging every
+    /// commit waiting on the sync ticket. No-op when nothing is pending
+    /// or the database is non-durable.
+    pub fn wal_sync(&mut self) -> Result<()> {
+        let Some(d) = &self.durable else {
+            return Ok(());
+        };
+        let mut w = d.wal.borrow_mut();
+        w.flush().map_err(|e| storage_err("WAL flush", &e))?;
+        if d.pending_commits.get() > 0 || d.synced_len.get() < d.appended_len.get() {
+            let _fsync_span = Span::enter("wal.fsync");
+            w.get_ref()
+                .sync_data()
+                .map_err(|e| storage_err("WAL fsync", &e))?;
+            StatsCells::bump(&self.stats.wal_fsyncs, 1);
+            d.synced_len.set(d.appended_len.get());
+            d.acked_commits
+                .set(d.acked_commits.get() + d.pending_commits.get());
+            d.pending_commits.set(0);
+        }
+        Ok(())
+    }
+
+    /// Commits acknowledged durable so far: covered by a group fsync or
+    /// subsumed by a checkpoint snapshot. With group commit active this
+    /// trails [`Stats::txn_commits`] by up to `window - 1`.
+    pub fn wal_acked_commits(&self) -> u64 {
+        self.durable.as_ref().map_or(0, |d| d.acked_commits.get())
+    }
+
+    /// Commits appended and flushed but not yet covered by a group
+    /// fsync — the open group waiting on the sync ticket.
+    pub fn wal_pending_commits(&self) -> u64 {
+        self.durable.as_ref().map_or(0, |d| d.pending_commits.get())
+    }
+
+    /// WAL length in bytes known to be fsynced (the group-commit sync
+    /// ticket). Bytes past this offset survive a process crash but not
+    /// necessarily an OS crash; crash tests truncate here to simulate
+    /// losing the unsynced tail.
+    pub fn wal_synced_len(&self) -> u64 {
+        self.durable.as_ref().map_or(0, |d| d.synced_len.get())
     }
 
     /// Current WAL file size in bytes (0 for a non-durable database).
@@ -1425,8 +1532,12 @@ impl Database {
     }
 
     /// Append pre-framed bytes to the WAL: always written and flushed to
-    /// the OS (a process crash loses nothing committed), `fsync`ed when
-    /// sync mode is on.
+    /// the OS (a process crash loses nothing committed). With sync mode
+    /// on, the commit joins the group-commit window: the `fsync` is
+    /// issued once the window fills, and that one `sync_data` advances
+    /// the sync ticket past every commit in the group — acknowledging
+    /// them all. A window of 1 (the default) degenerates to the classic
+    /// fsync-per-commit behavior.
     fn wal_append(&self, bytes: &[u8], records: u64) -> Result<()> {
         let _span = Span::enter("wal.append");
         let d = self.durable.as_ref().expect("durable database");
@@ -1434,12 +1545,21 @@ impl Database {
         w.write_all(bytes)
             .map_err(|e| storage_err("WAL append", &e))?;
         w.flush().map_err(|e| storage_err("WAL flush", &e))?;
+        d.appended_len
+            .set(d.appended_len.get() + bytes.len() as u64);
         if d.sync.get() {
-            let _fsync_span = Span::enter("wal.fsync");
-            w.get_ref()
-                .sync_data()
-                .map_err(|e| storage_err("WAL fsync", &e))?;
-            StatsCells::bump(&self.stats.wal_fsyncs, 1);
+            d.pending_commits.set(d.pending_commits.get() + 1);
+            if d.pending_commits.get() >= d.group_window.get().max(1) {
+                let _fsync_span = Span::enter("wal.fsync");
+                w.get_ref()
+                    .sync_data()
+                    .map_err(|e| storage_err("WAL fsync", &e))?;
+                StatsCells::bump(&self.stats.wal_fsyncs, 1);
+                d.synced_len.set(d.appended_len.get());
+                d.acked_commits
+                    .set(d.acked_commits.get() + d.pending_commits.get());
+                d.pending_commits.set(0);
+            }
         }
         StatsCells::bump(&self.stats.wal_records, records);
         StatsCells::bump(&self.stats.wal_bytes, bytes.len() as u64);
@@ -2278,6 +2398,55 @@ impl Database {
                                 }
                                 out.sort_unstable();
                                 return Ok(out);
+                            }
+                        }
+                    }
+                }
+            }
+            // Literal IN-list probe: `indexed_col IN (v1, …, vN)` — the
+            // batched-DML shape — probes the index once per distinct list
+            // value instead of scanning the table.
+            if let Expr::InList {
+                expr,
+                list,
+                negated: false,
+            } = conj
+            {
+                if let Expr::Column { table: qual, name } = expr.as_ref() {
+                    let qual_ok = qual
+                        .as_deref()
+                        .map(|q| q.eq_ignore_ascii_case(&t.schema.name))
+                        .unwrap_or(true);
+                    if qual_ok {
+                        if let Some(ci) = t.schema.column_index(name) {
+                            if t.has_index(ci) {
+                                if let Some(probe) =
+                                    self.cached_in_list(list, ctx, &HashMap::new())?
+                                {
+                                    StatsCells::bump(&self.stats.index_scans, 1);
+                                    let mut out = Vec::new();
+                                    for key in &probe.set {
+                                        if let Some(positions) = t.index_lookup(ci, key) {
+                                            StatsCells::bump(&self.stats.index_lookups, 1);
+                                            for &p in positions {
+                                                let row = t.row(p).expect("live");
+                                                StatsCells::bump(&self.stats.rows_scanned, 1);
+                                                env.set_values(row);
+                                                if self.eval_bool(
+                                                    filter,
+                                                    &env,
+                                                    ctx,
+                                                    &HashMap::new(),
+                                                )? == Some(true)
+                                                {
+                                                    out.push(p);
+                                                }
+                                            }
+                                        }
+                                    }
+                                    out.sort_unstable();
+                                    return Ok(out);
+                                }
                             }
                         }
                     }

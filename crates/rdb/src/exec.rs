@@ -138,6 +138,13 @@ pub(crate) struct CachedSub {
     pub has_null: bool,
 }
 
+/// Probe set for a row-independent `IN (v1, v2, …)` list, built once per
+/// statement instead of re-evaluating the list for every outer row.
+pub(crate) struct CachedList {
+    pub set: HashSet<Value>,
+    pub has_null: bool,
+}
+
 /// Per-statement evaluation context: the `OLD`/`NEW` trigger row, if any,
 /// bound parameter values, and a cache for uncorrelated subquery results.
 pub(crate) struct EvalCtx<'a> {
@@ -146,6 +153,9 @@ pub(crate) struct EvalCtx<'a> {
     /// Values bound to `?`/`$n` placeholders, indexed by slot.
     pub params: &'a [Value],
     pub sub_cache: RefCell<HashMap<usize, Rc<CachedSub>>>,
+    /// Probe sets for row-independent IN-lists, keyed by the list's
+    /// address inside the (kept-alive) statement or plan.
+    pub list_cache: RefCell<HashMap<usize, Rc<CachedList>>>,
     /// Plans executed during this statement. The subquery cache keys on
     /// `&SelectStmt` addresses inside plan expressions, so every plan that
     /// ran must outlive the statement even if the shared plan slot is
@@ -164,6 +174,7 @@ impl<'a> EvalCtx<'a> {
             pseudo_row: None,
             params: &[],
             sub_cache: RefCell::new(HashMap::new()),
+            list_cache: RefCell::new(HashMap::new()),
             keepalive: RefCell::new(Vec::new()),
             plan_slot: None,
         }
@@ -174,6 +185,7 @@ impl<'a> EvalCtx<'a> {
             pseudo_row: Some((name, row)),
             params: &[],
             sub_cache: RefCell::new(HashMap::new()),
+            list_cache: RefCell::new(HashMap::new()),
             keepalive: RefCell::new(Vec::new()),
             plan_slot: None,
         }
@@ -184,6 +196,7 @@ impl<'a> EvalCtx<'a> {
             pseudo_row: None,
             params,
             sub_cache: RefCell::new(HashMap::new()),
+            list_cache: RefCell::new(HashMap::new()),
             keepalive: RefCell::new(Vec::new()),
             plan_slot: None,
         }
@@ -270,9 +283,53 @@ impl PlanProf {
     }
 }
 
+/// Rows pulled per [`Cursor::next_batch`] call by the vectorized
+/// execution path.
+pub(crate) const EXEC_BATCH: usize = 1024;
+
+/// A batch of rows plus an optional selection vector. With `sel` set,
+/// only the indexed rows are logically present: Filter emits selection
+/// vectors instead of compacting survivors, and batch consumers iterate
+/// the selected indices. `sel` indices are strictly increasing.
+pub(crate) struct RowBatch {
+    pub rows: Vec<Row>,
+    pub sel: Option<Vec<u32>>,
+}
+
+impl RowBatch {
+    fn len(&self) -> usize {
+        self.sel.as_ref().map_or(self.rows.len(), |s| s.len())
+    }
+}
+
 /// A Volcano operator: yields one row per `next()` call, `None` at end.
+///
+/// `next_batch` is the vectorized pull: up to `max.min(EXEC_BATCH)`
+/// rows per call (`max` carries the remaining LIMIT budget so limit
+/// pushdown keeps stopping scans early). The default accumulates
+/// through `next()`, so stateful operators (joins, DISTINCT,
+/// aggregation) fall back to per-row pull automatically; Scan, Filter,
+/// and Project override it with native batch paths. A given cursor
+/// instance is driven through exactly one of the two entry points,
+/// never both.
 trait Cursor {
     fn next(&mut self, ex: &ExecCtx<'_, '_>) -> Result<Option<Row>>;
+
+    fn next_batch(&mut self, ex: &ExecCtx<'_, '_>, max: usize) -> Result<Option<RowBatch>> {
+        let cap = max.min(EXEC_BATCH);
+        let mut rows = Vec::new();
+        while rows.len() < cap {
+            match self.next(ex)? {
+                Some(r) => rows.push(r),
+                None => break,
+            }
+        }
+        if rows.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(RowBatch { rows, sel: None }))
+        }
+    }
 }
 
 type BoxCursor<'a> = Box<dyn Cursor + 'a>;
@@ -430,6 +487,28 @@ impl<'a> ScanCur<'a> {
                 }
                 Ok(ScanState::Bucket { rows, i: 0 })
             }
+            (Access::IndexInList { ci, list }, ScanSrc::Table(t)) => {
+                StatsCells::bump(&ex.db.stats.index_scans, 1);
+                let probe = ex
+                    .db
+                    .cached_in_list(list, ex.ctx, ex.ctes)?
+                    .expect("planner only picks row-independent lists");
+                let mut rows = Vec::new();
+                for keyv in &probe.set {
+                    self.prof_loop(1);
+                    if let Some(ps) = t.index_lookup(*ci, keyv) {
+                        StatsCells::bump(&ex.db.stats.index_lookups, 1);
+                        for &p in ps {
+                            StatsCells::bump(&ex.db.stats.rows_scanned, 1);
+                            let row = t.row(p).expect("index points at live row");
+                            if self.passes(row, ex)? {
+                                rows.push(row.clone());
+                            }
+                        }
+                    }
+                }
+                Ok(ScanState::Bucket { rows, i: 0 })
+            }
         }
     }
 }
@@ -501,6 +580,27 @@ impl Cursor for ScanCur<'_> {
                 }
                 r
             }
+        }
+    }
+
+    /// Native scan batch: fill straight from the scan state machine,
+    /// skipping the per-row virtual `next()` round trip.
+    fn next_batch(&mut self, ex: &ExecCtx<'_, '_>, max: usize) -> Result<Option<RowBatch>> {
+        let cap = max.min(EXEC_BATCH);
+        let mut rows = Vec::new();
+        while rows.len() < cap {
+            match self.next_inner(ex)? {
+                Some(r) => rows.push(r),
+                None => break,
+            }
+        }
+        if let Some(p) = self.prof {
+            OpProf::add(&p.rows, rows.len() as u64);
+        }
+        if rows.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(RowBatch { rows, sel: None }))
         }
     }
 }
@@ -648,6 +748,39 @@ impl Cursor for FilterCur<'_> {
         }
         Ok(None)
     }
+
+    /// Vectorized filter: evaluates the residual over a whole input
+    /// batch and emits a selection vector over it — survivors are never
+    /// copied or compacted here.
+    fn next_batch(&mut self, ex: &ExecCtx<'_, '_>, max: usize) -> Result<Option<RowBatch>> {
+        while let Some(batch) = self.input.next_batch(ex, max)? {
+            let mut sel: Vec<u32> = Vec::with_capacity(batch.len());
+            let candidates: Box<dyn Iterator<Item = u32>> = match &batch.sel {
+                Some(s) => Box::new(s.iter().copied()),
+                None => Box::new(0..batch.rows.len() as u32),
+            };
+            'rows: for i in candidates {
+                let env = SliceEnv {
+                    layout: self.layout,
+                    values: &batch.rows[i as usize],
+                };
+                for p in self.residual {
+                    if ex.db.eval_bool(p, &env, ex.ctx, ex.ctes)? != Some(true) {
+                        continue 'rows;
+                    }
+                }
+                sel.push(i);
+            }
+            if !sel.is_empty() {
+                return Ok(Some(RowBatch {
+                    rows: batch.rows,
+                    sel: Some(sel),
+                }));
+            }
+            // Entire batch rejected: pull the next one.
+        }
+        Ok(None)
+    }
 }
 
 /// Projection: wildcards copy ranges, expressions are evaluated.
@@ -657,14 +790,11 @@ struct ProjectCur<'a> {
     layout: &'a [(String, Vec<String>, usize)],
 }
 
-impl Cursor for ProjectCur<'_> {
-    fn next(&mut self, ex: &ExecCtx<'_, '_>) -> Result<Option<Row>> {
-        let Some(row) = self.input.next(ex)? else {
-            return Ok(None);
-        };
+impl<'a> ProjectCur<'a> {
+    fn project_one(&self, row: &[Value], ex: &ExecCtx<'_, '_>) -> Result<Row> {
         let env = SliceEnv {
             layout: self.layout,
-            values: &row,
+            values: row,
         };
         let mut out = Vec::with_capacity(self.steps.len());
         for step in self.steps {
@@ -677,7 +807,38 @@ impl Cursor for ProjectCur<'_> {
                 ProjStep::Expr(e) => out.push(ex.db.eval_expr(e, &env, ex.ctx, ex.ctes)?),
             }
         }
-        Ok(Some(out))
+        Ok(out)
+    }
+}
+
+impl Cursor for ProjectCur<'_> {
+    fn next(&mut self, ex: &ExecCtx<'_, '_>) -> Result<Option<Row>> {
+        let Some(row) = self.input.next(ex)? else {
+            return Ok(None);
+        };
+        Ok(Some(self.project_one(&row, ex)?))
+    }
+
+    /// Vectorized projection: consumes the input's selection vector and
+    /// emits a compact batch of projected rows.
+    fn next_batch(&mut self, ex: &ExecCtx<'_, '_>, max: usize) -> Result<Option<RowBatch>> {
+        let Some(batch) = self.input.next_batch(ex, max)? else {
+            return Ok(None);
+        };
+        let mut rows = Vec::with_capacity(batch.len());
+        match &batch.sel {
+            None => {
+                for row in &batch.rows {
+                    rows.push(self.project_one(row, ex)?);
+                }
+            }
+            Some(sel) => {
+                for &i in sel {
+                    rows.push(self.project_one(&batch.rows[i as usize], ex)?);
+                }
+            }
+        }
+        Ok(Some(RowBatch { rows, sel: None }))
     }
 }
 
@@ -862,13 +1023,43 @@ impl Database {
             ctes,
         };
         let mut out = Vec::new();
+        // `EXPLAIN ANALYZE` instruments per-row, so profiled runs stay
+        // on the row-at-a-time pull; everything else pulls batches.
+        let batched = prof.is_none();
         'cores: for (ci, core) in cores.iter().enumerate() {
             let mut cur = self.open_core(core, ctes, prof.map(|ps| &ps[ci]))?;
-            while let Some(row) = cur.next(&ex)? {
-                out.push(row);
-                if let Some(n) = pull_limit {
-                    if out.len() as u64 >= n {
-                        break 'cores;
+            if batched {
+                loop {
+                    let budget = match pull_limit {
+                        Some(n) => (n as usize).saturating_sub(out.len()).max(1),
+                        None => EXEC_BATCH,
+                    };
+                    let Some(mut batch) = cur.next_batch(&ex, budget)? else {
+                        break;
+                    };
+                    StatsCells::bump(&self.stats.exec_batches, 1);
+                    match batch.sel.take() {
+                        None => out.append(&mut batch.rows),
+                        Some(sel) => {
+                            for &i in &sel {
+                                out.push(std::mem::take(&mut batch.rows[i as usize]));
+                            }
+                        }
+                    }
+                    if let Some(n) = pull_limit {
+                        if out.len() as u64 >= n {
+                            out.truncate(n as usize);
+                            break 'cores;
+                        }
+                    }
+                }
+            } else {
+                while let Some(row) = cur.next(&ex)? {
+                    out.push(row);
+                    if let Some(n) = pull_limit {
+                        if out.len() as u64 >= n {
+                            break 'cores;
+                        }
                     }
                 }
             }
@@ -1233,6 +1424,18 @@ impl Database {
                 if v.is_null() {
                     return Ok(Value::Null);
                 }
+                // Row-independent lists (the common shape, e.g. batched
+                // `id IN (…)` deletes) build their probe set once per
+                // statement; only correlated lists re-evaluate per row.
+                if let Some(cl) = self.cached_in_list(list, ctx, ctes)? {
+                    return Ok(if cl.set.contains(&v) {
+                        Value::Bool(!negated)
+                    } else if cl.has_null {
+                        Value::Null
+                    } else {
+                        Value::Bool(*negated)
+                    });
+                }
                 let mut saw_null = false;
                 for item in list {
                     let iv = self.eval_expr(item, env, ctx, ctes)?;
@@ -1316,6 +1519,44 @@ impl Database {
         });
         ctx.sub_cache.borrow_mut().insert(key, cached.clone());
         Ok(cached)
+    }
+
+    /// Probe set for a row-independent IN-list, materialized once per
+    /// statement and cached by the list's address (the statement or plan
+    /// holding it outlives the execution — see `EvalCtx::keepalive`).
+    /// Returns `None` for correlated lists, which must be re-evaluated
+    /// against each outer row.
+    pub(crate) fn cached_in_list(
+        &self,
+        list: &[Expr],
+        ctx: &EvalCtx<'_>,
+        ctes: &CteEnv,
+    ) -> Result<Option<Rc<CachedList>>> {
+        let key = list.as_ptr() as usize;
+        if let Some(hit) = ctx.list_cache.borrow().get(&key) {
+            return Ok(Some(hit.clone()));
+        }
+        if !list.iter().all(Self::row_independent) {
+            return Ok(None);
+        }
+        StatsCells::bump(&self.stats.in_list_builds, 1);
+        let empty = SliceEnv {
+            layout: &[],
+            values: &[],
+        };
+        let mut set = HashSet::with_capacity(list.len());
+        let mut has_null = false;
+        for item in list {
+            let v = self.eval_expr(item, &empty, ctx, ctes)?;
+            if v.is_null() {
+                has_null = true;
+            } else {
+                set.insert(v);
+            }
+        }
+        let cached = Rc::new(CachedList { set, has_null });
+        ctx.list_cache.borrow_mut().insert(key, cached.clone());
+        Ok(Some(cached))
     }
 
     pub(crate) fn truth(&self, v: &Value) -> Result<Option<bool>> {

@@ -43,6 +43,9 @@ pub(crate) enum Access {
     /// Probe the index on column `ci` with every value produced by an
     /// uncorrelated subquery.
     IndexIn { ci: usize, query: Box<SelectStmt> },
+    /// Probe the index on column `ci` with every distinct value of a
+    /// row-independent IN-list (the batched-DML shape `id IN (…)`).
+    IndexInList { ci: usize, list: Vec<Expr> },
 }
 
 /// One FROM source compiled to a physical scan.
@@ -496,6 +499,33 @@ impl Database {
                             }
                         }
                     }
+                    if let Expr::InList {
+                        expr,
+                        list,
+                        negated: false,
+                    } = p
+                    {
+                        if let Expr::Column { table: qual, name } = expr.as_ref() {
+                            let qual_ok = qual
+                                .as_deref()
+                                .map(|q| q.eq_ignore_ascii_case(&scan.binding))
+                                .unwrap_or(true);
+                            if qual_ok && list.iter().all(Self::row_independent) {
+                                if let Some(ci) = t.schema.column_index(name) {
+                                    if t.has_index(ci) {
+                                        probe = Some((
+                                            pi,
+                                            Access::IndexInList {
+                                                ci,
+                                                list: list.clone(),
+                                            },
+                                        ));
+                                        break 'pushed;
+                                    }
+                                }
+                            }
+                        }
+                    }
                 }
                 if let Some((pi, access)) = probe {
                     scan.pushed.remove(pi);
@@ -515,7 +545,9 @@ impl Database {
                 let total = t.len() as u64;
                 match &scan.access {
                     Access::Seq => total,
-                    Access::IndexEq { ci, .. } | Access::IndexIn { ci, .. } => {
+                    Access::IndexEq { ci, .. }
+                    | Access::IndexIn { ci, .. }
+                    | Access::IndexInList { ci, .. } => {
                         let distinct = t.indexes_raw().get(ci).map_or(0, |m| m.len()) as u64;
                         if distinct == 0 {
                             0
@@ -780,6 +812,36 @@ impl Database {
                         }
                     }
                 }
+                if let Expr::InList {
+                    expr,
+                    list,
+                    negated: false,
+                } = conj
+                {
+                    if let Expr::Column { table: qual, name } = expr.as_ref() {
+                        let qual_ok = qual
+                            .as_deref()
+                            .map(|q| q.eq_ignore_ascii_case(&t.schema.name))
+                            .unwrap_or(true);
+                        if qual_ok && list.iter().all(Self::row_independent) {
+                            if let Some(ci) = t.schema.column_index(name) {
+                                if t.has_index(ci) {
+                                    push(
+                                        lines,
+                                        ind,
+                                        format!(
+                                            "IndexScan {} ({} IN ({} values)){suffix}",
+                                            t.schema.name,
+                                            t.schema.columns[ci].name,
+                                            list.len()
+                                        ),
+                                    );
+                                    return Ok(());
+                                }
+                            }
+                        }
+                    }
+                }
             }
         }
         push(lines, ind, format!("SeqScan {}{suffix}", t.schema.name));
@@ -953,6 +1015,12 @@ fn render_scan(scan: &ScanPlan, ind: usize, lines: &mut Vec<String>, prof: Optio
             Access::IndexIn { ci, .. } => format!(
                 "IndexScan {} ({} IN (subquery))",
                 scan.name, scan.columns[*ci]
+            ),
+            Access::IndexInList { ci, list } => format!(
+                "IndexScan {} ({} IN ({} values))",
+                scan.name,
+                scan.columns[*ci],
+                list.len()
             ),
         }
     };

@@ -1,0 +1,214 @@
+//! Group commit (async batched fsync): fsync-amortization accounting
+//! and the durability contract under OS-crash simulation. Commits
+//! append and flush their WAL frames immediately; one deferred
+//! `sync_data` acknowledges the whole group. An *OS* crash may lose the
+//! flushed-but-unsynced tail — recovery must then come back to exactly
+//! the acknowledged prefix of commits (a longer prefix only when
+//! unsynced bytes happen to survive; never a hole, never a torn frame).
+//!
+//! The crash tests simulate the lost tail by truncating `wal.bin` to
+//! [`Database::wal_synced_len`] — the group-commit sync ticket — after
+//! dropping the handle.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use xmlup_rdb::Database;
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!(
+            "xmlup-group-{}-{}-{}",
+            std::process::id(),
+            name,
+            DIR_SEQ.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &PathBuf {
+        &self.0
+    }
+
+    fn wal(&self) -> PathBuf {
+        self.0.join("wal.bin")
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Open a durable db with table `t`, then arm a group-commit window.
+/// The schema commits under the default window (1) so the baseline is
+/// fully synced before the group opens.
+fn db_with_window(scratch: &Scratch, window: u64) -> Database {
+    let mut db = Database::open(scratch.path()).unwrap();
+    db.run_script("CREATE TABLE t (id INTEGER)").unwrap();
+    db.set_wal_group_commit(window);
+    db
+}
+
+/// Commit `n` autocommit INSERTs: one WAL frame (= one group member)
+/// each, carrying row value `0..n`.
+fn commit_rows(db: &mut Database, n: i64) {
+    for i in 0..n {
+        db.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+    }
+}
+
+/// The committed rows visible in `t`, ascending.
+fn rows(db: &mut Database) -> Vec<i64> {
+    db.query("SELECT id FROM t ORDER BY id")
+        .unwrap()
+        .rows
+        .iter()
+        .filter_map(|r| r[0].as_int())
+        .collect()
+}
+
+#[test]
+fn group_window_amortizes_fsyncs_and_acks_in_groups() {
+    let scratch = Scratch::new("amortize");
+    let mut db = db_with_window(&scratch, 4);
+    let base_fsyncs = db.stats().wal_fsyncs;
+    let base_acked = db.wal_acked_commits();
+
+    commit_rows(&mut db, 10);
+    // 10 commits through a window of 4: groups close at 4 and 8, two
+    // commits stay pending on the sync ticket.
+    assert_eq!(db.stats().wal_fsyncs - base_fsyncs, 2);
+    assert_eq!(db.wal_acked_commits() - base_acked, 8);
+    assert_eq!(db.wal_pending_commits(), 2);
+
+    // Forcing the group out acknowledges the stragglers with one fsync…
+    db.wal_sync().unwrap();
+    assert_eq!(db.stats().wal_fsyncs - base_fsyncs, 3);
+    assert_eq!(db.wal_acked_commits() - base_acked, 10);
+    assert_eq!(db.wal_pending_commits(), 0);
+    assert_eq!(db.wal_synced_len(), db.wal_size());
+
+    // …and an empty group is a no-op.
+    db.wal_sync().unwrap();
+    assert_eq!(db.stats().wal_fsyncs - base_fsyncs, 3);
+
+    // `window <= 1` restores fsync-per-commit.
+    db.set_wal_group_commit(1);
+    commit_rows(&mut db, 3);
+    assert_eq!(db.stats().wal_fsyncs - base_fsyncs, 6);
+    assert_eq!(db.wal_pending_commits(), 0);
+}
+
+#[test]
+fn os_crash_between_append_and_group_fsync_recovers_acked_prefix() {
+    let scratch = Scratch::new("acked-prefix");
+    let mut db = db_with_window(&scratch, 4);
+    let base_acked = db.wal_acked_commits();
+    commit_rows(&mut db, 10);
+    // Rows 0..8 are acknowledged (two closed groups); 8 and 9 wait on
+    // the open group's sync ticket.
+    assert_eq!(db.wal_acked_commits() - base_acked, 8);
+    let synced = db.wal_synced_len();
+    assert!(synced < db.wal_size(), "open group must trail the file");
+    drop(db); // process crash…
+
+    // …plus OS crash: the flushed-but-unsynced tail never hit the disk.
+    let wal = scratch.wal();
+    let full = fs::read(&wal).unwrap();
+    fs::write(&wal, &full[..synced as usize]).unwrap();
+
+    let mut db2 = Database::open(scratch.path()).unwrap();
+    assert_eq!(
+        rows(&mut db2),
+        (0..8).collect::<Vec<i64>>(),
+        "recovery must land on exactly the acknowledged prefix"
+    );
+}
+
+#[test]
+fn os_crash_mid_frame_recovers_a_prefix_no_shorter_than_acked() {
+    // Truncate at every byte offset across the unsynced tail: whatever
+    // survives, recovery yields a contiguous prefix of the commit
+    // order, at least as long as the acknowledged one, and trims the
+    // WAL back to the last whole frame.
+    let scratch = Scratch::new("torn-tail");
+    let mut db = db_with_window(&scratch, 4);
+    commit_rows(&mut db, 10);
+    let synced = db.wal_synced_len() as usize;
+    db.close().unwrap();
+    let full = fs::read(scratch.wal()).unwrap();
+
+    let probes: Vec<usize> = (synced..full.len())
+        .step_by(7)
+        .chain([full.len()])
+        .collect();
+    for cut in probes {
+        let case = Scratch::new("torn-case");
+        fs::create_dir_all(case.path()).unwrap();
+        let snap = scratch.path().join("snapshot.bin");
+        if snap.exists() {
+            fs::copy(&snap, case.path().join("snapshot.bin")).unwrap();
+        }
+        fs::write(case.wal(), &full[..cut]).unwrap();
+
+        let mut db2 = Database::open(case.path()).unwrap();
+        let got = rows(&mut db2);
+        assert!(
+            got.len() >= 8,
+            "cut at {cut}: lost an acked commit: {got:?}"
+        );
+        assert_eq!(
+            got,
+            (0..got.len() as i64).collect::<Vec<i64>>(),
+            "cut at {cut}: recovered commits must form a prefix"
+        );
+        assert!(
+            db2.wal_size() as usize <= cut,
+            "cut at {cut}: recovery must trim the torn frame"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_subsumes_the_pending_group() {
+    let scratch = Scratch::new("checkpoint");
+    let mut db = db_with_window(&scratch, 100);
+    let base_acked = db.wal_acked_commits();
+    commit_rows(&mut db, 5);
+    assert_eq!(db.wal_pending_commits(), 5, "window never filled");
+
+    // The snapshot itself is the durability point: no group fsync ever
+    // ran, yet every commit is acknowledged and survives an OS crash of
+    // the (now empty) WAL.
+    db.checkpoint().unwrap();
+    assert_eq!(db.wal_pending_commits(), 0);
+    assert_eq!(db.wal_acked_commits() - base_acked, 5);
+    drop(db);
+
+    let mut db2 = Database::open(scratch.path()).unwrap();
+    assert_eq!(rows(&mut db2), (0..5).collect::<Vec<i64>>());
+    assert_eq!(db2.stats().recovered_txns, 0, "snapshot, not WAL replay");
+}
+
+#[test]
+fn process_crash_alone_loses_nothing() {
+    // The weaker failure mode: the process dies but the OS survives.
+    // Every frame was flushed to the OS at commit time, so even the
+    // unacknowledged group recovers in full.
+    let scratch = Scratch::new("process-crash");
+    let mut db = db_with_window(&scratch, 4);
+    commit_rows(&mut db, 10);
+    assert_eq!(db.wal_pending_commits(), 2);
+    drop(db); // no truncation: the OS page cache survives
+
+    let mut db2 = Database::open(scratch.path()).unwrap();
+    assert_eq!(rows(&mut db2), (0..10).collect::<Vec<i64>>());
+}

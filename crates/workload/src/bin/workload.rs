@@ -17,6 +17,7 @@
 //! workload [--op delete|insert] [--workload bulk|random]
 //!          [--delete-strategy per-tuple|per-statement|cascading|asr]
 //!          [--insert-strategy tuple|table|asr]
+//!          [--batch-size N]     rows folded per translated SQL statement
 //!          [--scale N] [--depth N] [--fanout N] [--seed N]
 //!          [--fail-at N]        fail the Nth client SQL statement
 //!          [--fail-table T:N]   fail the Nth write to table T
@@ -39,6 +40,7 @@ struct Args {
     workload: Workload,
     delete_strategy: DeleteStrategy,
     insert_strategy: InsertStrategy,
+    batch_size: usize,
     scale: usize,
     depth: usize,
     fanout: usize,
@@ -55,6 +57,7 @@ fn usage() -> ! {
         "usage: workload [--op delete|insert] [--workload bulk|random]\n\
          \x20               [--delete-strategy per-tuple|per-statement|cascading|asr]\n\
          \x20               [--insert-strategy tuple|table|asr]\n\
+         \x20               [--batch-size N]\n\
          \x20               [--scale N] [--depth N] [--fanout N] [--seed N]\n\
          \x20               [--fail-at N] [--fail-table TABLE:N]\n\
          \x20               [--db-path DIR] [--checkpoint-every N] [--crash-and-recover]\n\
@@ -75,6 +78,7 @@ fn parse_args() -> Args {
         workload: Workload::random10(),
         delete_strategy: DeleteStrategy::Cascading,
         insert_strategy: InsertStrategy::Tuple,
+        batch_size: 256,
         scale: 50,
         depth: 3,
         fanout: 2,
@@ -118,6 +122,7 @@ fn parse_args() -> Args {
                     _ => usage(),
                 }
             }
+            "--batch-size" => args.batch_size = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--scale" => args.scale = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--depth" => args.depth = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--fanout" => args.fanout = value(&mut i).parse().unwrap_or_else(|_| usage()),
@@ -160,6 +165,9 @@ fn parse_args() -> Args {
     if args.checkpoint_every == Some(0) {
         flag_error("--checkpoint-every expects N >= 1");
     }
+    if args.batch_size == 0 {
+        flag_error("--batch-size expects N >= 1");
+    }
     args
 }
 
@@ -171,6 +179,7 @@ fn config_of(args: &Args) -> RepoConfig {
         insert_strategy: args.insert_strategy,
         build_asr: needs_asr,
         statement_cost_us: 0,
+        batch_size: args.batch_size,
     }
 }
 
@@ -211,26 +220,28 @@ fn run_in_memory(args: &Args) {
     );
     arm_faults(&mut repo, args);
 
+    let stmts_before = repo.db.stats().client_statements;
     let report = match args.op.as_str() {
         "delete" => run_delete_recovering(&mut repo, rel, args.workload),
         _ => run_insert_recovering(&mut repo, rel, args.workload),
     }
     .expect("workload failed with a non-injected error");
-    print_report(&repo, args, before, &report, 0, 0);
-    write_metrics(&repo, args);
+    let statements_issued = repo.db.stats().client_statements - stmts_before;
+    print_report(&repo, args, before, &report, 0, 0, statements_issued);
+    write_metrics(&repo, args, statements_issued, report.rows_affected);
 }
 
 /// One logical workload operation, replayable after a crash.
 enum PlannedOp {
     DeleteAll,
-    DeleteId(i64),
+    DeleteIds(Vec<i64>),
     CopyUnderParent(i64),
 }
 
 fn exec_op(repo: &mut XmlRepository, rel: usize, op: &PlannedOp) -> xmlup_core::Result<usize> {
     match op {
         PlannedOp::DeleteAll => repo.delete_where(rel, None),
-        PlannedOp::DeleteId(id) => repo.delete_by_id(rel, *id),
+        PlannedOp::DeleteIds(ids) => repo.delete_by_ids(rel, ids),
         PlannedOp::CopyUnderParent(id) => {
             let table = repo.mapping.relations[rel].table.clone();
             let parent = repo
@@ -300,9 +311,12 @@ fn run_durable(args: &Args, path: &str) {
 
     let ops: Vec<PlannedOp> = match (args.op.as_str(), args.workload) {
         ("delete", Workload::Bulk) => vec![PlannedOp::DeleteAll],
+        // Each batch of subtree roots is one replayable (and atomic)
+        // operation, so checkpoints and the simulated crash interleave at
+        // batch granularity.
         ("delete", _) => pick_targets(&repo, rel, args.workload)
-            .into_iter()
-            .map(PlannedOp::DeleteId)
+            .chunks(args.batch_size.max(1))
+            .map(|c| PlannedOp::DeleteIds(c.to_vec()))
             .collect(),
         (_, w) => pick_targets(&repo, rel, w)
             .into_iter()
@@ -313,9 +327,17 @@ fn run_durable(args: &Args, path: &str) {
     let mut report = RecoveryReport::default();
     let mut checkpoints = 0usize;
     let mut crashes = 0usize;
+    // Statement counting survives the simulated crash: the counter base
+    // resets when the store reopens (a fresh handle starts at zero).
+    let mut statements_issued = 0u64;
+    let mut stmt_base = repo.db.stats().client_statements;
     let mut i = 0;
     while i < ops.len() {
-        match exec_op(&mut repo, rel, &ops[i]) {
+        let r = exec_op(&mut repo, rel, &ops[i]);
+        let now = repo.db.stats().client_statements;
+        statements_issued += now - stmt_base;
+        stmt_base = now;
+        match r {
             Ok(n) => {
                 report.completed += 1;
                 report.rows_affected += n;
@@ -337,6 +359,7 @@ fn run_durable(args: &Args, path: &str) {
                     let expected = dump(&repo);
                     drop(repo);
                     repo = open_repo(args, path);
+                    stmt_base = repo.db.stats().client_statements;
                     let recovered = dump(&repo);
                     if recovered != expected {
                         eprintln!(
@@ -357,8 +380,16 @@ fn run_durable(args: &Args, path: &str) {
             Err(e) => panic!("workload failed with a non-injected error: {e}"),
         }
     }
-    print_report(&repo, args, before, &report, checkpoints, crashes);
-    write_metrics(&repo, args);
+    print_report(
+        &repo,
+        args,
+        before,
+        &report,
+        checkpoints,
+        crashes,
+        statements_issued,
+    );
+    write_metrics(&repo, args, statements_issued, report.rows_affected);
     repo.close_durable().expect("close durable store");
 }
 
@@ -369,6 +400,7 @@ fn clone_args(a: &Args) -> Args {
         workload: a.workload,
         delete_strategy: a.delete_strategy,
         insert_strategy: a.insert_strategy,
+        batch_size: a.batch_size,
         scale: a.scale,
         depth: a.depth,
         fanout: a.fanout,
@@ -382,15 +414,17 @@ fn clone_args(a: &Args) -> Args {
 }
 
 /// Dump the final metric registry as a JSON array, one object per
-/// sample: `{"name":…,"kind":…,"labels":{…},"value":…}`.
-fn write_metrics(repo: &XmlRepository, args: &Args) {
+/// sample: `{"name":…,"kind":…,"labels":{…},"value":…}`, followed by the
+/// workload-level batching samples (`workload_statements_issued`,
+/// `workload_rows_per_statement`).
+fn write_metrics(repo: &XmlRepository, args: &Args, statements_issued: u64, rows_affected: usize) {
     let Some(path) = &args.metrics_out else {
         return;
     };
     let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
     let mut out = String::from("[\n");
     let metrics = repo.db.metrics();
-    for (i, m) in metrics.iter().enumerate() {
+    for m in metrics.iter() {
         let labels = m
             .labels
             .iter()
@@ -398,18 +432,29 @@ fn write_metrics(repo: &XmlRepository, args: &Args) {
             .collect::<Vec<_>>()
             .join(",");
         out.push_str(&format!(
-            "  {{\"name\":\"{}\",\"kind\":\"{:?}\",\"labels\":{{{labels}}},\"value\":{}}}{}\n",
-            m.name,
-            m.kind,
-            m.value,
-            if i + 1 < metrics.len() { "," } else { "" }
+            "  {{\"name\":\"{}\",\"kind\":\"{:?}\",\"labels\":{{{labels}}},\"value\":{}}},\n",
+            m.name, m.kind, m.value,
         ));
     }
+    let rows_per_statement = if statements_issued == 0 {
+        0.0
+    } else {
+        rows_affected as f64 / statements_issued as f64
+    };
+    out.push_str(&format!(
+        "  {{\"name\":\"workload_statements_issued\",\"kind\":\"Counter\",\"labels\":{{\"batch_size\":\"{}\"}},\"value\":{statements_issued}}},\n",
+        args.batch_size
+    ));
+    out.push_str(&format!(
+        "  {{\"name\":\"workload_rows_per_statement\",\"kind\":\"Gauge\",\"labels\":{{\"batch_size\":\"{}\"}},\"value\":{rows_per_statement}}}\n",
+        args.batch_size
+    ));
     out.push_str("]\n");
     std::fs::write(path, out).expect("write --metrics-out file");
-    println!("wrote {} metric(s) to {path}", metrics.len());
+    println!("wrote {} metric(s) to {path}", metrics.len() + 2);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn print_report(
     repo: &XmlRepository,
     args: &Args,
@@ -417,6 +462,7 @@ fn print_report(
     report: &RecoveryReport,
     checkpoints: usize,
     crashes: usize,
+    statements_issued: u64,
 ) {
     let stats = repo.db.stats();
     println!(
@@ -426,6 +472,15 @@ fn print_report(
         report.completed,
         report.faults_absorbed,
         report.rows_affected
+    );
+    let rows_per_statement = if statements_issued == 0 {
+        0.0
+    } else {
+        report.rows_affected as f64 / statements_issued as f64
+    };
+    println!(
+        "batching: batch_size {}, {} SQL statement(s) issued, {:.2} rows/statement",
+        args.batch_size, statements_issued, rows_per_statement
     );
     println!(
         "tuples {} -> {}; txn commits {}, rollbacks {}, undo records {}",

@@ -65,6 +65,7 @@ fn config(ds: DeleteStrategy) -> RepoConfig {
         insert_strategy: InsertStrategy::Tuple,
         build_asr: ds == DeleteStrategy::Asr,
         statement_cost_us: 0,
+        ..RepoConfig::default()
     }
 }
 

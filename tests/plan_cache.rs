@@ -8,7 +8,7 @@ use xmlup_workload::{
     fixed_document, run_delete, run_insert, synthetic_dtd, SyntheticParams, Workload,
 };
 
-fn repo(ds: DeleteStrategy, is: InsertStrategy) -> (XmlRepository, usize) {
+fn repo(ds: DeleteStrategy, is: InsertStrategy, batch_size: usize) -> (XmlRepository, usize) {
     let p = SyntheticParams::new(40, 4, 2);
     let dtd = synthetic_dtd(p.depth);
     let doc = fixed_document(&p);
@@ -20,6 +20,7 @@ fn repo(ds: DeleteStrategy, is: InsertStrategy) -> (XmlRepository, usize) {
             insert_strategy: is,
             build_asr: false,
             statement_cost_us: 0,
+            batch_size,
         },
     )
     .unwrap();
@@ -31,7 +32,9 @@ fn repo(ds: DeleteStrategy, is: InsertStrategy) -> (XmlRepository, usize) {
 
 #[test]
 fn tuple_insert_workload_parses_each_shape_once() {
-    let (mut repo, rel) = repo(DeleteStrategy::PerTupleTrigger, InsertStrategy::Tuple);
+    // batch_size 1 pins the paper's one-statement-per-tuple translation,
+    // which is the shape-amortization path under test here.
+    let (mut repo, rel) = repo(DeleteStrategy::PerTupleTrigger, InsertStrategy::Tuple, 1);
     run_insert(&mut repo, rel, Workload::random10()).unwrap();
     let after_first = repo.stats();
     assert!(
@@ -53,7 +56,7 @@ fn tuple_insert_workload_parses_each_shape_once() {
 
 #[test]
 fn per_tuple_delete_workload_parses_each_shape_once() {
-    let (mut repo, rel) = repo(DeleteStrategy::PerTupleTrigger, InsertStrategy::Tuple);
+    let (mut repo, rel) = repo(DeleteStrategy::PerTupleTrigger, InsertStrategy::Tuple, 1);
     run_delete(&mut repo, rel, Workload::random10()).unwrap();
     let after_first = repo.stats();
     assert!(after_first.statements_parsed < after_first.client_statements);

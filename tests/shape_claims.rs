@@ -103,7 +103,21 @@ fn client_statement_counts_per_strategy() {
 #[test]
 fn insert_statement_counts() {
     let p = SyntheticParams::new(10, 5, 3); // subtree = 1+3+9+27+81 = 121 tuples
-    let (mut r, n1) = repo(&p, DeleteStrategy::PerTupleTrigger, InsertStrategy::Tuple);
+                                            // batch_size 1 reproduces the paper's translation: one INSERT per
+                                            // copied tuple.
+    let dtd = synthetic_dtd(p.depth);
+    let mut r = XmlRepository::new(
+        &dtd,
+        "root",
+        RepoConfig {
+            insert_strategy: InsertStrategy::Tuple,
+            batch_size: 1,
+            ..RepoConfig::default()
+        },
+    )
+    .unwrap();
+    r.load(&fixed_document(&p)).unwrap();
+    let n1 = r.mapping.relation_by_element("n1").unwrap();
     let src = r.ids_of(n1)[0];
     let root = r.root_id().unwrap();
     r.reset_stats();
@@ -113,6 +127,19 @@ fn insert_statement_counts() {
     assert!(
         tuple_stmts >= copied as u64,
         "tuple method: ≥1 INSERT per tuple ({tuple_stmts} for {copied})"
+    );
+
+    // Batched translation (default batch_size) folds those per-tuple
+    // INSERTs into multi-row VALUES: far fewer statements, same copy.
+    let (mut r, n1) = repo(&p, DeleteStrategy::PerTupleTrigger, InsertStrategy::Tuple);
+    let src = r.ids_of(n1)[0];
+    let root = r.root_id().unwrap();
+    r.reset_stats();
+    assert_eq!(r.copy_subtree(n1, src, root).unwrap(), copied);
+    let batched_stmts = r.stats().client_statements;
+    assert!(
+        batched_stmts * 4 < tuple_stmts,
+        "batched tuple method must issue far fewer statements ({batched_stmts} vs {tuple_stmts})"
     );
 
     let (mut r, n1) = repo(&p, DeleteStrategy::PerTupleTrigger, InsertStrategy::Table);
