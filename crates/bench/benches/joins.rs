@@ -49,7 +49,7 @@ fn level_db(n1_rows: i64, fanout: i64) -> Database {
 fn bench_equi_join(c: &mut Criterion) {
     let mut group = c.benchmark_group("joins/equi_join");
     // 400 n1 rows × fanout 2 → 800 n2 / 1600 n3 rows.
-    let mut db = level_db(400, 2);
+    let db = level_db(400, 2);
     group.bench_function("two_way", |b| {
         b.iter(|| {
             let rs = db
@@ -76,7 +76,7 @@ fn bench_not_in_chain(c: &mut Criterion) {
     // The cascading delete's orphan probe, run as a SELECT so the bench
     // is repeatable: rows of n2 whose parent is gone.
     let mut group = c.benchmark_group("joins/not_in");
-    let mut db = level_db(400, 2);
+    let db = level_db(400, 2);
     db.query("SELECT COUNT(*) FROM n1").unwrap();
     group.bench_function("orphan_probe", |b| {
         b.iter(|| {
@@ -94,7 +94,7 @@ fn bench_not_in_chain(c: &mut Criterion) {
 
 fn bench_limit(c: &mut Criterion) {
     let mut group = c.benchmark_group("joins/limit");
-    let mut db = level_db(400, 2);
+    let db = level_db(400, 2);
     group.bench_function("limit1_no_order", |b| {
         b.iter(|| {
             let rs = db.query("SELECT id FROM n3 LIMIT 1").unwrap();

@@ -66,7 +66,7 @@ fn bench_indexed_select(c: &mut Criterion) {
     const ROWS: i64 = 2_000;
     let mut group = c.benchmark_group("statements/indexed_select");
 
-    let mut db = fresh_db(ROWS);
+    let db = fresh_db(ROWS);
     let mut i = 0i64;
     group.bench_function("uncached_literals", |b| {
         b.iter(|| {
@@ -76,7 +76,7 @@ fn bench_indexed_select(c: &mut Criterion) {
         });
     });
 
-    let mut db = fresh_db(ROWS);
+    let db = fresh_db(ROWS);
     group.bench_function("cached_text", |b| {
         b.iter(|| {
             // Constant text: the second and later iterations are answered
@@ -85,7 +85,7 @@ fn bench_indexed_select(c: &mut Criterion) {
         });
     });
 
-    let mut db = fresh_db(ROWS);
+    let db = fresh_db(ROWS);
     let stmt = db.prepare("SELECT name FROM Item WHERE id = ?").unwrap();
     let mut i = 0i64;
     group.bench_function("prepared", |b| {

@@ -142,6 +142,12 @@ fn main() {
         let rows = exp::obs_ladder(sizes);
         exp::print_obs_ladder(&rows);
     }
+    if run("concurrency") {
+        let window_ms = if full { 2000 } else { 800 };
+        let rows = exp::concurrency_scaling(&[1, 2, 4, 8], window_ms);
+        exp::print_concurrency(&rows);
+        exp::emit_concurrency_json(&rows);
+    }
     // The CI off-state guard is opt-in only: it exits nonzero on failure
     // and would make casual `paper-figures all` runs flaky on a loaded
     // machine.

@@ -1047,7 +1047,7 @@ pub struct ObsLadderRow {
 pub fn obs_ladder(sizes: &[usize]) -> Vec<ObsLadderRow> {
     let mut rows = Vec::new();
     for &n in sizes {
-        let mut db = three_level_join_db(n, false);
+        let db = three_level_join_db(n, false);
         db.query(JOIN_QUERY).expect("warm-up");
         xmlup_rdb::obs::set_tracing(false);
         let off_ms = time_runs(
@@ -1148,7 +1148,7 @@ pub fn obs_off_overhead(n1: usize, runs: usize) -> ObsOffOverhead {
         }
         ns_per_span = ns_per_span.min(t.elapsed().as_nanos() as f64 / f64::from(iters));
     }
-    let mut db = three_level_join_db(n1, false);
+    let db = three_level_join_db(n1, false);
     // Span sites per statement, counted from the first (cold) traced
     // execution — parse and plan spans included, which a plan-cache hit
     // would skip, so the count is conservative.
@@ -1458,4 +1458,214 @@ pub fn print_wal_recovery(rows: &[WalRecoveryRow]) {
         );
     }
     println!();
+}
+
+// ----------------------------------------------------------------------
+// concurrency: snapshot-read scaling under a churning writer
+// ----------------------------------------------------------------------
+
+/// One reader-count point of the concurrency experiment.
+#[derive(Debug, Clone)]
+pub struct ConcurrencyRow {
+    /// Concurrent reader sessions.
+    pub readers: usize,
+    /// Wall-clock measurement window.
+    pub elapsed_ms: Millis,
+    /// Snapshot read transactions completed across all readers.
+    pub reads: u64,
+    /// Aggregate read transactions per second.
+    pub reads_per_sec: f64,
+    /// Snapshot-isolation violations observed (must be 0).
+    pub violations: u64,
+    /// Writer transactions committed during the window.
+    pub writer_commits: u64,
+}
+
+/// Read-throughput scaling of the MVCC session layer: `reader_counts`
+/// concurrent reader sessions against one churning writer, measured for
+/// `window_ms` each.
+///
+/// The experiment reproduces the paper's client/server setting rather
+/// than raw in-process scan bandwidth: every reader transaction pays
+/// [`STATEMENT_COST_US`]-scale client latency (modeled with a sleep, as
+/// in every other experiment's `statement_cost_us`), so aggregate
+/// throughput scales with how many of those round-trip waits the engine
+/// can overlap — which is precisely what conflict-free snapshot-reader
+/// admission buys, and works on a single hardware thread (readers
+/// overlap waits, not CPU). Each reader transaction BEGINs, counts the
+/// table twice, and COMMITs; the writer deletes and reinserts rows in
+/// explicit transactions that preserve the total count, so *any* reader
+/// observing a non-baseline or unstable count is a snapshot-isolation
+/// violation.
+pub fn concurrency_scaling(reader_counts: &[usize], window_ms: u64) -> Vec<ConcurrencyRow> {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use xmlup_rdb::session::SqlOutcome;
+    use xmlup_rdb::{Database, SharedDatabase};
+
+    const ROWS: i64 = 256;
+    let mut db = Database::new();
+    db.run_script(
+        "CREATE TABLE t (id INTEGER, grp INTEGER, v VARCHAR(16)); CREATE INDEX t_id ON t (id);",
+    )
+    .unwrap();
+    for chunk in (0..ROWS).collect::<Vec<_>>().chunks(64) {
+        let vals: Vec<String> = chunk
+            .iter()
+            .map(|i| format!("({i}, {}, 'v{i}')", i % 4))
+            .collect();
+        db.execute(&format!("INSERT INTO t VALUES {}", vals.join(", ")))
+            .unwrap();
+    }
+    let shared = SharedDatabase::new(db);
+
+    let count = |sess: &mut xmlup_rdb::Session, sql: &str| -> i64 {
+        match sess.execute(sql).unwrap() {
+            SqlOutcome::Rows(rs) => rs.rows[0][0].as_int().unwrap(),
+            _ => -1,
+        }
+    };
+
+    let mut out = Vec::new();
+    for &n in reader_counts {
+        let stop = Arc::new(AtomicBool::new(false));
+        let reads = Arc::new(AtomicU64::new(0));
+        let violations = Arc::new(AtomicU64::new(0));
+        let writer_commits = Arc::new(AtomicU64::new(0));
+
+        let writer = {
+            let shared = shared.clone();
+            let stop = stop.clone();
+            let commits = writer_commits.clone();
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let mut sess = shared.session();
+                    let id = (i % ROWS as u64) as i64;
+                    sess.execute("BEGIN").unwrap();
+                    sess.execute(&format!("DELETE FROM t WHERE id = {id}"))
+                        .unwrap();
+                    sess.execute(&format!("INSERT INTO t VALUES ({id}, {}, 'w{i}')", id % 4))
+                        .unwrap();
+                    sess.execute("COMMIT").unwrap();
+                    commits.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                    // The writer is also a remote client: one round-trip
+                    // of think time between transactions.
+                    std::thread::sleep(std::time::Duration::from_micros(5 * STATEMENT_COST_US));
+                }
+            })
+        };
+
+        let start = std::time::Instant::now();
+        let deadline = start + std::time::Duration::from_millis(window_ms);
+        let mut handles = Vec::new();
+        for r in 0..n {
+            let shared = shared.clone();
+            let reads = reads.clone();
+            let violations = violations.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut k = r as i64;
+                while std::time::Instant::now() < deadline {
+                    let mut sess = shared.session();
+                    sess.execute("BEGIN").unwrap();
+                    let a = count(&mut sess, "SELECT COUNT(*) FROM t");
+                    k = (k + 7) % ROWS;
+                    let point = count(&mut sess, &format!("SELECT COUNT(*) FROM t WHERE id = {k}"));
+                    let b = count(&mut sess, "SELECT COUNT(*) FROM t");
+                    sess.execute("COMMIT").unwrap();
+                    if a != ROWS || b != ROWS || point != 1 {
+                        violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                    reads.fetch_add(1, Ordering::Relaxed);
+                    // Client round-trip latency per transaction (the
+                    // statement_cost model of every other experiment).
+                    std::thread::sleep(std::time::Duration::from_micros(5 * STATEMENT_COST_US));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+
+        let total = reads.load(Ordering::Relaxed);
+        out.push(ConcurrencyRow {
+            readers: n,
+            elapsed_ms: elapsed,
+            reads: total,
+            reads_per_sec: total as f64 / (elapsed / 1e3),
+            violations: violations.load(Ordering::Relaxed),
+            writer_commits: writer_commits.load(Ordering::Relaxed),
+        });
+    }
+    out
+}
+
+/// Print the concurrency-scaling experiment.
+pub fn print_concurrency(rows: &[ConcurrencyRow]) {
+    println!("# Snapshot-read scaling vs concurrent reader sessions (one churning writer)");
+    println!(
+        "{:<8} {:>12} {:>10} {:>14} {:>10} {:>12} {:>14}",
+        "readers", "elapsed_ms", "reads", "reads_per_sec", "scaling", "violations", "writer_txns"
+    );
+    let base = rows.first().map(|r| r.reads_per_sec).unwrap_or(0.0);
+    for r in rows {
+        println!(
+            "{:<8} {:>12.1} {:>10} {:>14.1} {:>9.2}x {:>12} {:>14}",
+            r.readers,
+            r.elapsed_ms,
+            r.reads,
+            r.reads_per_sec,
+            if base > 0.0 {
+                r.reads_per_sec / base
+            } else {
+                0.0
+            },
+            r.violations,
+            r.writer_commits
+        );
+    }
+    println!();
+}
+
+/// Write `BENCH_concurrency.json` into `$BENCH_JSON_DIR` (if set): every
+/// reader-count point plus the headline scaling ratio (throughput at the
+/// widest point over single-reader) and the total violation count.
+pub fn emit_concurrency_json(rows: &[ConcurrencyRow]) {
+    let Ok(dir) = std::env::var("BENCH_JSON_DIR") else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    let points = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"readers\":{},\"elapsed_ms\":{:.3},\"reads\":{},\
+                 \"reads_per_sec\":{:.3},\"violations\":{},\"writer_commits\":{}}}",
+                r.readers, r.elapsed_ms, r.reads, r.reads_per_sec, r.violations, r.writer_commits
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let scaling = match (rows.first(), rows.last()) {
+        (Some(a), Some(b)) if a.reads_per_sec > 0.0 => b.reads_per_sec / a.reads_per_sec,
+        _ => 0.0,
+    };
+    let violations: u64 = rows.iter().map(|r| r.violations).sum();
+    let json = format!(
+        "{{\"figure\":\"concurrency\",\
+         \"title\":\"Snapshot-read throughput vs concurrent reader sessions\",\
+         \"read_scaling\":{scaling:.4},\
+         \"violations\":{violations},\
+         \"points\":[{points}]}}\n"
+    );
+    let path = std::path::Path::new(&dir).join("BENCH_concurrency.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("paper-figures: failed to write {}: {e}", path.display());
+    }
 }

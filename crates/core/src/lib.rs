@@ -38,6 +38,7 @@
 //! assert_eq!(n, 2);
 //! ```
 
+pub mod concurrent;
 pub mod delete;
 pub mod error;
 pub mod insert;
@@ -45,6 +46,7 @@ pub mod ordered;
 pub mod repository;
 pub mod translate;
 
+pub use concurrent::{RepoSnapshot, SharedRepository};
 pub use delete::DeleteStrategy;
 pub use error::{CoreError, Result};
 pub use insert::InsertStrategy;

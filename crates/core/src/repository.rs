@@ -153,6 +153,12 @@ impl XmlRepository {
     /// open (e.g. a multi-operation `UPDATE { … }` block wrapping
     /// several sub-operations), the outer transaction owns atomicity and
     /// `f` runs inside it unchanged.
+    pub fn in_transaction<T>(&mut self, f: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
+        self.atomically(f)
+    }
+
+    /// [`XmlRepository::in_transaction`]'s internal twin (kept private so
+    /// doc links on the public name stay the single entry point).
     fn atomically<T>(&mut self, f: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
         if self.db.in_transaction() {
             return f(self);

@@ -9,8 +9,10 @@
 //! firings, index lookups).
 
 use crate::ast::*;
+use crate::cells::{Counter, DurCell, FlagCell, IdCell, OptDurCell};
 use crate::error::{DbError, Result};
 use crate::exec::{EvalCtx, PlanProf, RowEnv};
+use crate::mvcc::MvccState;
 use crate::obs::{self, Metric, SlowQuery, Span};
 use crate::parser::{parse_script_with_text, parse_stmt_with_params};
 use crate::plan::{PlanSlot, SelectPlan};
@@ -19,12 +21,12 @@ use crate::table::{Table, TableSchema};
 use crate::txn::{FaultState, Savepoint, TxnState, UndoRecord};
 use crate::value::{Row, Value};
 use crate::wal::{self, WalRecord};
-use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Cascading triggers deeper than this abort execution (recursive schemas
 /// with always-firing triggers would otherwise loop; see the cascading
@@ -110,34 +112,34 @@ pub struct Stats {
 
 #[derive(Debug, Default)]
 pub(crate) struct StatsCells {
-    pub(crate) client_statements: Cell<u64>,
-    pub(crate) total_statements: Cell<u64>,
-    pub(crate) rows_scanned: Cell<u64>,
-    pub(crate) rows_inserted: Cell<u64>,
-    pub(crate) rows_deleted: Cell<u64>,
-    pub(crate) rows_updated: Cell<u64>,
-    pub(crate) trigger_firings: Cell<u64>,
-    pub(crate) index_lookups: Cell<u64>,
-    pub(crate) statements_parsed: Cell<u64>,
-    pub(crate) plan_cache_hits: Cell<u64>,
-    pub(crate) plan_cache_misses: Cell<u64>,
-    pub(crate) txn_commits: Cell<u64>,
-    pub(crate) txn_rollbacks: Cell<u64>,
-    pub(crate) undo_records: Cell<u64>,
-    pub(crate) wal_records: Cell<u64>,
-    pub(crate) wal_bytes: Cell<u64>,
-    pub(crate) wal_fsyncs: Cell<u64>,
-    pub(crate) checkpoints: Cell<u64>,
-    pub(crate) recovered_txns: Cell<u64>,
-    pub(crate) plans_built: Cell<u64>,
-    pub(crate) seq_scans: Cell<u64>,
-    pub(crate) index_scans: Cell<u64>,
-    pub(crate) hash_join_builds: Cell<u64>,
-    pub(crate) in_list_builds: Cell<u64>,
-    pub(crate) exec_batches: Cell<u64>,
-    pub(crate) predicates_pushed: Cell<u64>,
-    pub(crate) wal_replayed_bytes: Cell<u64>,
-    pub(crate) recovery_micros: Cell<u64>,
+    pub(crate) client_statements: Counter,
+    pub(crate) total_statements: Counter,
+    pub(crate) rows_scanned: Counter,
+    pub(crate) rows_inserted: Counter,
+    pub(crate) rows_deleted: Counter,
+    pub(crate) rows_updated: Counter,
+    pub(crate) trigger_firings: Counter,
+    pub(crate) index_lookups: Counter,
+    pub(crate) statements_parsed: Counter,
+    pub(crate) plan_cache_hits: Counter,
+    pub(crate) plan_cache_misses: Counter,
+    pub(crate) txn_commits: Counter,
+    pub(crate) txn_rollbacks: Counter,
+    pub(crate) undo_records: Counter,
+    pub(crate) wal_records: Counter,
+    pub(crate) wal_bytes: Counter,
+    pub(crate) wal_fsyncs: Counter,
+    pub(crate) checkpoints: Counter,
+    pub(crate) recovered_txns: Counter,
+    pub(crate) plans_built: Counter,
+    pub(crate) seq_scans: Counter,
+    pub(crate) index_scans: Counter,
+    pub(crate) hash_join_builds: Counter,
+    pub(crate) in_list_builds: Counter,
+    pub(crate) exec_batches: Counter,
+    pub(crate) predicates_pushed: Counter,
+    pub(crate) wal_replayed_bytes: Counter,
+    pub(crate) recovery_micros: Counter,
 }
 
 impl StatsCells {
@@ -174,8 +176,8 @@ impl StatsCells {
         }
     }
 
-    pub(crate) fn bump(cell: &Cell<u64>, by: u64) {
-        cell.set(cell.get() + by);
+    pub(crate) fn bump(cell: &Counter, by: u64) {
+        cell.add(by);
     }
 }
 
@@ -191,7 +193,7 @@ pub struct Trigger {
     /// Firing granularity.
     pub granularity: TriggerGranularity,
     /// Parsed body.
-    pub body: Rc<Vec<Stmt>>,
+    pub body: Arc<Vec<Stmt>>,
 }
 
 /// A query result: column names plus rows.
@@ -253,12 +255,12 @@ impl ExecResult {
 /// it: names are resolved against the catalog at execution time.
 #[derive(Debug, Clone)]
 pub struct PreparedStmt {
-    stmt: Rc<Stmt>,
+    stmt: Arc<Stmt>,
     params: usize,
     sql: String,
     /// Physical-plan slot shared with the SQL-text plan cache entry for
     /// the same text; replanned lazily when the schema epoch moves.
-    slot: Rc<PlanSlot>,
+    slot: Arc<PlanSlot>,
 }
 
 impl PreparedStmt {
@@ -284,10 +286,10 @@ struct PlanCache {
 
 #[derive(Debug)]
 struct CachedPlan {
-    stmt: Rc<Stmt>,
+    stmt: Arc<Stmt>,
     params: usize,
     last_used: u64,
-    slot: Rc<PlanSlot>,
+    slot: Arc<PlanSlot>,
 }
 
 impl Default for PlanCache {
@@ -301,7 +303,7 @@ impl Default for PlanCache {
 }
 
 impl PlanCache {
-    fn get(&mut self, sql: &str) -> Option<(Rc<Stmt>, usize, Rc<PlanSlot>)> {
+    fn get(&mut self, sql: &str) -> Option<(Arc<Stmt>, usize, Arc<PlanSlot>)> {
         self.tick += 1;
         let tick = self.tick;
         self.plans.get_mut(sql).map(|p| {
@@ -310,7 +312,7 @@ impl PlanCache {
         })
     }
 
-    fn insert(&mut self, sql: &str, stmt: Rc<Stmt>, params: usize, slot: Rc<PlanSlot>) {
+    fn insert(&mut self, sql: &str, stmt: Arc<Stmt>, params: usize, slot: Arc<PlanSlot>) {
         if self.plans.len() >= self.capacity && !self.plans.contains_key(sql) {
             // Evict the least recently used plan. O(n), but only on the
             // rare capacity-overflow path.
@@ -347,21 +349,21 @@ pub struct Database {
     pub(crate) tables: HashMap<String, Table>,
     triggers: Vec<Trigger>,
     pub(crate) stats: StatsCells,
-    next_id: Cell<i64>,
+    next_id: IdCell,
     /// Simulated per-client-statement overhead (see
     /// [`Database::set_statement_cost`]).
-    statement_cost: Cell<std::time::Duration>,
+    statement_cost: DurCell,
     /// Compiled plans for SQL text seen by `execute`/`prepare`, cleared
     /// on any DDL.
-    plan_cache: RefCell<PlanCache>,
+    plan_cache: Mutex<PlanCache>,
     /// Bumped on every DDL (and plan-cache clear); physical plans carry
     /// the epoch they were built under and replan when it moves.
-    pub(crate) schema_epoch: Cell<u64>,
+    pub(crate) schema_epoch: Counter,
     /// When set, the planner skips predicate pushdown and index-access
     /// selection and re-checks the whole filter on joined rows,
     /// reproducing the pre-planner AST interpreter's strategy (for A/B
     /// experiments).
-    pub(crate) planner_naive: Cell<bool>,
+    pub(crate) planner_naive: FlagCell,
     /// Undo log, explicit-transaction flag, and savepoints.
     txn: TxnState,
     /// Armed fault-injection counters (see
@@ -373,10 +375,13 @@ pub struct Database {
     durable: Option<DurableState>,
     /// Slow-query threshold; statements at or above it are recorded in
     /// `slow_log`. `None` disables the log (the default).
-    slow_threshold: Cell<Option<std::time::Duration>>,
+    slow_threshold: OptDurCell,
     /// Retained slow-query records, oldest first, capped at
     /// [`obs::SLOW_QUERY_CAPACITY`](crate::obs).
-    slow_log: RefCell<Vec<SlowQuery>>,
+    slow_log: Mutex<Vec<SlowQuery>>,
+    /// MVCC epoch, snapshot registry, and concurrency metrics (see
+    /// [`crate::mvcc`]).
+    pub(crate) mvcc: MvccState,
 }
 
 /// On-disk attachment of a durable database: the storage directory, the
@@ -386,34 +391,34 @@ struct DurableState {
     /// Directory holding `wal.bin` and `snapshot.bin`.
     dir: PathBuf,
     /// Buffered appender positioned at the WAL's end.
-    wal: RefCell<std::io::BufWriter<fs::File>>,
+    wal: Mutex<std::io::BufWriter<fs::File>>,
     /// Whether commits `fsync` the WAL (default true; benchmarks may
     /// disable it to isolate the logging cost from the disk cost).
-    sync: Cell<bool>,
+    sync: FlagCell,
     /// Group-commit window: commits coalesced per `fsync` (≤ 1 syncs
     /// every commit, the default). With a window of N, each commit
     /// appends and flushes its frames immediately but the `fsync` is
     /// deferred until N commits have joined the group; the one
     /// `sync_data` then acknowledges them all.
-    group_window: Cell<u64>,
+    group_window: Counter,
     /// Commits appended since the last fsync — the open group.
-    pending_commits: Cell<u64>,
+    pending_commits: Counter,
     /// WAL length in bytes known to be fsynced: the group-commit sync
     /// ticket. A commit whose frames end at or before this offset is
     /// acknowledged durable.
-    synced_len: Cell<u64>,
+    synced_len: Counter,
     /// WAL length in bytes appended and flushed to the OS.
-    appended_len: Cell<u64>,
+    appended_len: Counter,
     /// Commits acknowledged by a group fsync (or subsumed by a
     /// checkpoint snapshot) so far.
-    acked_commits: Cell<u64>,
+    acked_commits: Counter,
     /// Checkpoint generation stamped in both the snapshot body and the
     /// WAL header. A WAL whose generation trails the snapshot's is
     /// leftover from before a checkpoint whose truncation never landed —
     /// recovery discards it.
     generation: u64,
     /// Monotonic transaction sequence number for WAL frames.
-    txn_seq: Cell<u64>,
+    txn_seq: Counter,
 }
 
 /// WAL file name inside a durable database's directory.
@@ -438,16 +443,17 @@ impl Database {
             tables: HashMap::new(),
             triggers: Vec::new(),
             stats: StatsCells::default(),
-            next_id: Cell::new(0),
-            statement_cost: Cell::new(std::time::Duration::ZERO),
-            plan_cache: RefCell::new(PlanCache::default()),
-            schema_epoch: Cell::new(0),
-            planner_naive: Cell::new(false),
+            next_id: IdCell::new(0),
+            statement_cost: DurCell::default(),
+            plan_cache: Mutex::new(PlanCache::default()),
+            schema_epoch: Counter::new(0),
+            planner_naive: FlagCell::new(false),
             txn: TxnState::default(),
             fault: FaultState::default(),
             durable: None,
-            slow_threshold: Cell::new(None),
-            slow_log: RefCell::new(Vec::new()),
+            slow_threshold: OptDurCell::default(),
+            slow_log: Mutex::new(Vec::new()),
+            mvcc: MvccState::default(),
         }
     }
 
@@ -498,7 +504,7 @@ impl Database {
 
     /// Drain the slow-query log, oldest first.
     pub fn take_slow_queries(&mut self) -> Vec<SlowQuery> {
-        std::mem::take(&mut *self.slow_log.borrow_mut())
+        std::mem::take(&mut *self.slow_log.lock().unwrap())
     }
 
     /// The metrics registry: every [`Stats`] counter as an `rdb_*`
@@ -644,7 +650,7 @@ impl Database {
             Metric::gauge(
                 "rdb_plan_cache_entries",
                 "Compiled plans cached by SQL text",
-                self.plan_cache.borrow().plans.len() as u64,
+                self.plan_cache.lock().unwrap().plans.len() as u64,
             ),
             Metric::gauge(
                 "rdb_wal_size_bytes",
@@ -664,9 +670,49 @@ impl Database {
             Metric::gauge(
                 "rdb_slow_queries",
                 "Slow-query records currently retained",
-                self.slow_log.borrow().len() as u64,
+                self.slow_log.lock().unwrap().len() as u64,
+            ),
+            Metric::counter(
+                "rdb_snapshot_reads_total",
+                "Queries answered against a pinned MVCC snapshot",
+                self.mvcc.snapshot_reads.get(),
+            ),
+            Metric::gauge(
+                "rdb_active_sessions",
+                "Sessions currently open on the shared database",
+                self.mvcc.active_sessions.get(),
+            ),
+            Metric::gauge(
+                "rdb_snapshot_versions_retained",
+                "MVCC before-images retained across all tables",
+                self.snapshot_versions_retained(),
             ),
         ];
+        {
+            // Writer-admission wait histogram (recorded in ns, reported
+            // in µs to match the metric name).
+            let h = self.mvcc.write_lock_wait_us.lock().unwrap();
+            m.push(Metric::counter(
+                "rdb_write_lock_wait_count",
+                "Writer-admission waits recorded",
+                h.count(),
+            ));
+            m.push(Metric::counter(
+                "rdb_write_lock_wait_us_sum",
+                "Total writer-admission wait time (microseconds)",
+                h.sum_ns() / 1000,
+            ));
+            m.push(Metric::gauge(
+                "rdb_write_lock_wait_us_p50",
+                "Median writer-admission wait (microseconds)",
+                h.p50_ns() / 1000,
+            ));
+            m.push(Metric::gauge(
+                "rdb_write_lock_wait_us_p95",
+                "95th-percentile writer-admission wait (microseconds)",
+                h.p95_ns() / 1000,
+            ));
+        }
         // Grouped per family so the Prometheus renderer emits each
         // HELP/TYPE header once.
         let phases = obs::phase_stats();
@@ -764,8 +810,8 @@ impl Database {
     }
 
     /// Look up the compiled plan for `sql`, parsing and caching on a miss.
-    fn plan_for(&self, sql: &str) -> Result<(Rc<Stmt>, usize, Rc<PlanSlot>)> {
-        if let Some(hit) = self.plan_cache.borrow_mut().get(sql) {
+    fn plan_for(&self, sql: &str) -> Result<(Arc<Stmt>, usize, Arc<PlanSlot>)> {
+        if let Some(hit) = self.plan_cache.lock().unwrap().get(sql) {
             StatsCells::bump(&self.stats.plan_cache_hits, 1);
             return Ok(hit);
         }
@@ -774,10 +820,11 @@ impl Database {
         let parse_span = Span::enter("sql.parse");
         let (stmt, params) = parse_stmt_with_params(sql)?;
         drop(parse_span);
-        let stmt = Rc::new(stmt);
-        let slot = Rc::new(PlanSlot::default());
+        let stmt = Arc::new(stmt);
+        let slot = Arc::new(PlanSlot::default());
         self.plan_cache
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .insert(sql, stmt.clone(), params, slot.clone());
         Ok((stmt, params, slot))
     }
@@ -785,7 +832,7 @@ impl Database {
     /// Drop all cached statement plans and advance the schema epoch so
     /// physical plans held by prepared statements replan lazily.
     fn invalidate_plans(&self) {
-        self.plan_cache.borrow_mut().clear();
+        self.plan_cache.lock().unwrap().clear();
         self.schema_epoch.set(self.schema_epoch.get() + 1);
     }
 
@@ -804,26 +851,27 @@ impl Database {
     /// Physical plan for a top-level SELECT: reuse the statement's plan
     /// slot when its epoch is current, otherwise compile and store. The
     /// returned plan is pinned in `ctx.keepalive` for the statement.
-    fn select_plan_for(&self, q: &SelectStmt, ctx: &EvalCtx<'_>) -> Result<Rc<SelectPlan>> {
+    fn select_plan_for(&self, q: &SelectStmt, ctx: &EvalCtx<'_>) -> Result<Arc<SelectPlan>> {
         let plan = match &ctx.plan_slot {
             Some(slot) => {
                 let epoch = self.schema_epoch.get();
                 let cached = slot
                     .0
-                    .borrow()
+                    .lock()
+                    .unwrap()
                     .as_ref()
                     .filter(|(e, _)| *e == epoch)
                     .map(|(_, p)| p.clone());
                 match cached {
                     Some(p) => p,
                     None => {
-                        let p = Rc::new(self.build_select_plan(q, ctx)?);
-                        *slot.0.borrow_mut() = Some((epoch, p.clone()));
+                        let p = Arc::new(self.build_select_plan(q, ctx)?);
+                        *slot.0.lock().unwrap() = Some((epoch, p.clone()));
                         p
                     }
                 }
             }
-            None => Rc::new(self.build_select_plan(q, ctx)?),
+            None => Arc::new(self.build_select_plan(q, ctx)?),
         };
         ctx.keepalive.borrow_mut().push(plan.clone());
         Ok(plan)
@@ -877,12 +925,33 @@ impl Database {
         self.exec_client_logged(&stmt.stmt, &ctx, Some(&stmt.sql))
     }
 
-    /// Execute a prepared query and return its result set.
-    pub fn query_prepared(&mut self, stmt: &PreparedStmt, params: &[Value]) -> Result<ResultSet> {
-        match self.execute_prepared(stmt, params)? {
-            ExecResult::Rows(rs) => Ok(rs),
-            other => Err(DbError::Execution(format!("not a query: {other:?}"))),
+    /// Execute a prepared read-only query and return its result set.
+    /// Shares the `&self` read path with [`Database::query`].
+    pub fn query_prepared(&self, stmt: &PreparedStmt, params: &[Value]) -> Result<ResultSet> {
+        self.query_prepared_at(stmt, params, None)
+    }
+
+    /// [`Database::query_prepared`] against a pinned MVCC snapshot.
+    pub fn query_prepared_at(
+        &self,
+        stmt: &PreparedStmt,
+        params: &[Value],
+        snapshot: Option<u64>,
+    ) -> Result<ResultSet> {
+        if params.len() != stmt.params {
+            return Err(DbError::Execution(format!(
+                "prepared statement binds {} parameter(s), got {}: {}",
+                stmt.params,
+                params.len(),
+                stmt.sql
+            )));
         }
+        StatsCells::bump(&self.stats.client_statements, 1);
+        self.charge_statement();
+        let mut ctx = EvalCtx::with_params(params);
+        ctx.plan_slot = Some(stmt.slot.clone());
+        ctx.snapshot = snapshot;
+        self.query_logged(&stmt.stmt, &ctx, Some(&stmt.sql))
     }
 
     /// Execute a pre-parsed statement (counts as one client statement).
@@ -924,8 +993,37 @@ impl Database {
         Ok(out)
     }
 
-    /// Run a query and return its result set.
-    pub fn query(&mut self, sql: &str) -> Result<ResultSet> {
+    /// Run a read-only query (`SELECT`, `EXPLAIN`, or
+    /// `EXPLAIN ANALYZE <select>`) and return its result set.
+    ///
+    /// Takes `&self`: concurrent sessions holding a shared reference can
+    /// query simultaneously while a writer serializes through the
+    /// `&mut self` statement paths (see [`crate::session`]). Reads see
+    /// the live committed state; for a transaction-consistent view across
+    /// statements use [`Database::query_at`] with a pinned snapshot.
+    pub fn query(&self, sql: &str) -> Result<ResultSet> {
+        self.query_at(sql, None)
+    }
+
+    /// [`Database::query`] against a pinned MVCC snapshot (from
+    /// [`Database::begin_snapshot`]): every table is reconstructed as of
+    /// that epoch, so a sequence of `query_at` calls with the same
+    /// snapshot observes one transaction-consistent state regardless of
+    /// concurrently committing writers.
+    pub fn query_at(&self, sql: &str, snapshot: Option<u64>) -> Result<ResultSet> {
+        let (stmt, _, slot) = self.plan_for(sql)?;
+        StatsCells::bump(&self.stats.client_statements, 1);
+        self.charge_statement();
+        let mut ctx = EvalCtx::new();
+        ctx.plan_slot = Some(slot);
+        ctx.snapshot = snapshot;
+        self.query_logged(&stmt, &ctx, Some(sql))
+    }
+
+    /// Run a statement that returns rows through the full `&mut`
+    /// statement funnel — needed for `EXPLAIN ANALYZE` over DML, which
+    /// really executes its statement and therefore mutates.
+    pub fn query_mut(&mut self, sql: &str) -> Result<ResultSet> {
         match self.execute(sql)? {
             ExecResult::Rows(rs) => Ok(rs),
             other => Err(DbError::Execution(format!("not a query: {other:?}"))),
@@ -959,7 +1057,7 @@ impl Database {
         let elapsed = start.elapsed();
         let phases = obs::stmt_collect_end();
         if elapsed >= threshold {
-            let mut log = self.slow_log.borrow_mut();
+            let mut log = self.slow_log.lock().unwrap();
             if log.len() >= obs::SLOW_QUERY_CAPACITY {
                 log.remove(0);
             }
@@ -974,6 +1072,92 @@ impl Database {
             });
         }
         result
+    }
+
+    /// [`exec_read`] plus slow-query accounting — the `&self` twin of
+    /// [`exec_client_logged`], sharing the same threshold, capacity, and
+    /// record shape so read-path statements land in the same log.
+    fn query_logged(&self, stmt: &Stmt, ctx: &EvalCtx<'_>, sql: Option<&str>) -> Result<ResultSet> {
+        if ctx.snapshot.is_some() {
+            StatsCells::bump(&self.mvcc.snapshot_reads, 1);
+        }
+        let Some(threshold) = self.slow_threshold.get() else {
+            return self.exec_read(stmt, ctx);
+        };
+        let touched_before = self.rows_touched();
+        obs::stmt_collect_begin();
+        let start = std::time::Instant::now();
+        let result = self.exec_read(stmt, ctx);
+        let elapsed = start.elapsed();
+        let phases = obs::stmt_collect_end();
+        if elapsed >= threshold {
+            let mut log = self.slow_log.lock().unwrap();
+            if log.len() >= obs::SLOW_QUERY_CAPACITY {
+                log.remove(0);
+            }
+            log.push(SlowQuery {
+                sql: match sql {
+                    Some(s) => s.to_string(),
+                    None => stmt_to_sql(stmt),
+                },
+                total_ns: elapsed.as_nanos() as u64,
+                phases,
+                rows_touched: self.rows_touched() - touched_before,
+            });
+        }
+        result
+    }
+
+    /// Read-only statement funnel: `SELECT`, plain `EXPLAIN`, and
+    /// `EXPLAIN ANALYZE` over a SELECT. Mirrors [`exec_client`]'s
+    /// bookkeeping (fault injection, statement counters, rollback stat
+    /// on error) without touching the undo/redo machinery — a failed
+    /// read has nothing to roll back.
+    fn exec_read(&self, stmt: &Stmt, ctx: &EvalCtx<'_>) -> Result<ResultSet> {
+        let _span = Span::enter("sql.execute");
+        self.fault.check_statement()?;
+        StatsCells::bump(&self.stats.total_statements, 1);
+        let result = match stmt {
+            Stmt::Select(q) => {
+                let plan = self.select_plan_for(q, ctx)?;
+                self.exec_select_plan(&plan, ctx)
+            }
+            Stmt::Explain { analyze, stmt } => match (*analyze, stmt.as_ref()) {
+                (false, _) => self.explain_stmt(stmt, ctx),
+                (true, Stmt::Select(q)) => self.explain_analyze_select(q, ctx),
+                (true, _) => Err(DbError::Execution(
+                    "EXPLAIN ANALYZE of DML executes the statement; \
+                     use a write path (`execute`/`query_mut`)"
+                        .into(),
+                )),
+            },
+            other => Err(DbError::Execution(format!(
+                "not a query: {}",
+                stmt_to_sql(other)
+            ))),
+        };
+        if result.is_err() {
+            StatsCells::bump(&self.stats.txn_rollbacks, 1);
+        }
+        result
+    }
+
+    /// `EXPLAIN ANALYZE` for a SELECT: runs the plan with a per-operator
+    /// profile and renders actuals. Shared by the `&self` read path and
+    /// [`exec_explain_analyze`].
+    fn explain_analyze_select(&self, q: &SelectStmt, ctx: &EvalCtx<'_>) -> Result<ResultSet> {
+        let mut lines: Vec<String> = Vec::new();
+        let start = std::time::Instant::now();
+        let plan = self.select_plan_for(q, ctx)?;
+        let prof = PlanProf::for_plan(&plan);
+        self.exec_select_plan_prof(&plan, ctx, Some(&prof))?;
+        let total_ns = start.elapsed().as_nanos() as u64;
+        crate::plan::render_select_plan_prof(&plan, 0, &mut lines, Some(&prof));
+        lines.push(format!("Execution time: {}", obs::fmt_ns(total_ns)));
+        Ok(ResultSet {
+            columns: vec!["plan".into()],
+            rows: lines.into_iter().map(|l| vec![Value::Str(l)]).collect(),
+        })
     }
 
     /// Rows scanned + inserted + deleted + updated so far (slow-query
@@ -1012,20 +1196,21 @@ impl Database {
                     // declaring it durable and dropping the undo.
                     if let Err(e) = self.wal_flush_commit() {
                         self.rollback_to_mark(mark);
-                        self.txn.redo.borrow_mut().truncate(redo_mark);
+                        self.txn.redo.lock().unwrap().truncate(redo_mark);
                         StatsCells::bump(&self.stats.txn_rollbacks, 1);
                         return Err(e);
                     }
                     if !self.txn.log.is_empty() {
                         self.txn.log.clear();
                         StatsCells::bump(&self.stats.txn_commits, 1);
+                        self.mvcc_commit();
                     }
                 }
                 Ok(r)
             }
             Err(e) => {
                 self.rollback_to_mark(mark);
-                self.txn.redo.borrow_mut().truncate(redo_mark);
+                self.txn.redo.lock().unwrap().truncate(redo_mark);
                 StatsCells::bump(&self.stats.txn_rollbacks, 1);
                 Err(e)
             }
@@ -1063,6 +1248,7 @@ impl Database {
         self.wal_flush_commit()?;
         self.txn.reset();
         StatsCells::bump(&self.stats.txn_commits, 1);
+        self.mvcc_commit();
         Ok(())
     }
 
@@ -1076,7 +1262,7 @@ impl Database {
         self.rollback_to_mark(0);
         let id_changed = self.next_id.get() != self.txn.start_next_id;
         self.next_id.set(self.txn.start_next_id);
-        let had_redo = !self.txn.redo.borrow().is_empty();
+        let had_redo = !self.txn.redo.lock().unwrap().is_empty();
         self.txn.reset();
         if self.durable.is_some() && had_redo {
             // Audit marker only: the aborted frame was discarded
@@ -1086,7 +1272,11 @@ impl Database {
             let txn = self.next_wal_txn();
             let mut buf = Vec::new();
             wal::encode_frame(&WalRecord::TxnAbort { txn }, &mut buf);
-            let _ = self.wal_append(&buf, 1);
+            // The abort marker is not a commit: it must not claim a
+            // group-commit sync ticket (`commits: 0`), or a rollback in
+            // the window would inflate `wal_pending_commits` and a later
+            // group fsync would acknowledge a commit that never happened.
+            let _ = self.wal_append(&buf, 1, 0);
         }
         if id_changed {
             // Re-assert the id counter (rolled back in memory) so the
@@ -1135,7 +1325,7 @@ impl Database {
         let sp = self.txn.savepoints[at].clone();
         self.txn.savepoints.truncate(at + 1);
         self.rollback_to_mark(sp.mark);
-        self.txn.redo.borrow_mut().truncate(sp.redo_mark);
+        self.txn.redo.lock().unwrap().truncate(sp.redo_mark);
         self.next_id.set(sp.next_id);
         StatsCells::bump(&self.stats.txn_rollbacks, 1);
         Ok(())
@@ -1345,15 +1535,15 @@ impl Database {
             .set(recover_start.elapsed().as_micros() as u64);
         db.durable = Some(DurableState {
             dir,
-            wal: RefCell::new(std::io::BufWriter::new(file)),
-            sync: Cell::new(true),
-            group_window: Cell::new(1),
-            pending_commits: Cell::new(0),
-            synced_len: Cell::new(wal_len),
-            appended_len: Cell::new(wal_len),
-            acked_commits: Cell::new(0),
+            wal: Mutex::new(std::io::BufWriter::new(file)),
+            sync: FlagCell::new(true),
+            group_window: Counter::new(1),
+            pending_commits: Counter::new(0),
+            synced_len: Counter::new(wal_len),
+            appended_len: Counter::new(wal_len),
+            acked_commits: Counter::new(0),
             generation,
-            txn_seq: Cell::new(0),
+            txn_seq: Counter::new(0),
         });
         Ok(db)
     }
@@ -1363,10 +1553,15 @@ impl Database {
     /// as a crash would discard it.
     pub fn close(mut self) -> Result<()> {
         if let Some(d) = self.durable.take() {
-            let file = d.wal.into_inner().into_inner().map_err(|e| {
-                let e = e.into_error();
-                storage_err("flush WAL on close", &e)
-            })?;
+            let file = d
+                .wal
+                .into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .into_inner()
+                .map_err(|e| {
+                    let e = e.into_error();
+                    storage_err("flush WAL on close", &e)
+                })?;
             file.sync_all()
                 .map_err(|e| storage_err("sync WAL on close", &e))?;
         }
@@ -1407,7 +1602,7 @@ impl Database {
             if let Ok(dirf) = fs::File::open(&d.dir) {
                 let _ = dirf.sync_all();
             }
-            let mut w = d.wal.borrow_mut();
+            let mut w = d.wal.lock().unwrap();
             w.flush()?;
             let f = w.get_mut();
             f.set_len(0)?;
@@ -1470,7 +1665,7 @@ impl Database {
         let Some(d) = &self.durable else {
             return Ok(());
         };
-        let mut w = d.wal.borrow_mut();
+        let mut w = d.wal.lock().unwrap();
         w.flush().map_err(|e| storage_err("WAL flush", &e))?;
         if d.pending_commits.get() > 0 || d.synced_len.get() < d.appended_len.get() {
             let _fsync_span = Span::enter("wal.fsync");
@@ -1520,7 +1715,7 @@ impl Database {
     /// non-durable database).
     fn wal_push(&self, rec: WalRecord) {
         if self.durable.is_some() {
-            self.txn.redo.borrow_mut().push(rec);
+            self.txn.redo.lock().unwrap().push(rec);
         }
     }
 
@@ -1538,17 +1733,20 @@ impl Database {
     /// the sync ticket past every commit in the group — acknowledging
     /// them all. A window of 1 (the default) degenerates to the classic
     /// fsync-per-commit behavior.
-    fn wal_append(&self, bytes: &[u8], records: u64) -> Result<()> {
+    fn wal_append(&self, bytes: &[u8], records: u64, commits: u64) -> Result<()> {
         let _span = Span::enter("wal.append");
         let d = self.durable.as_ref().expect("durable database");
-        let mut w = d.wal.borrow_mut();
+        let mut w = d.wal.lock().unwrap();
         w.write_all(bytes)
             .map_err(|e| storage_err("WAL append", &e))?;
         w.flush().map_err(|e| storage_err("WAL flush", &e))?;
         d.appended_len
             .set(d.appended_len.get() + bytes.len() as u64);
         if d.sync.get() {
-            d.pending_commits.set(d.pending_commits.get() + 1);
+            // Only committed frames take a sync ticket; audit records
+            // (TxnAbort markers) ride along and are covered by whatever
+            // fsync the group eventually issues.
+            d.pending_commits.set(d.pending_commits.get() + commits);
             if d.pending_commits.get() >= d.group_window.get().max(1) {
                 let _fsync_span = Span::enter("wal.fsync");
                 w.get_ref()
@@ -1571,12 +1769,12 @@ impl Database {
     /// left intact — the caller decides whether to roll back; on success
     /// it is cleared. No-op when non-durable or nothing is buffered.
     fn wal_flush_commit(&self) -> Result<()> {
-        if self.durable.is_none() || self.txn.redo.borrow().is_empty() {
+        if self.durable.is_none() || self.txn.redo.lock().unwrap().is_empty() {
             return Ok(());
         }
         let txn = self.next_wal_txn();
         let (buf, n) = {
-            let records = self.txn.redo.borrow();
+            let records = self.txn.redo.lock().unwrap();
             let mut buf = Vec::new();
             wal::encode_frame(&WalRecord::TxnBegin { txn }, &mut buf);
             for r in records.iter() {
@@ -1585,8 +1783,8 @@ impl Database {
             wal::encode_frame(&WalRecord::TxnCommit { txn }, &mut buf);
             (buf, records.len() as u64 + 2)
         };
-        self.wal_append(&buf, n)?;
-        self.txn.redo.borrow_mut().clear();
+        self.wal_append(&buf, n, 1)?;
+        self.txn.redo.lock().unwrap().clear();
         Ok(())
     }
 
@@ -1883,7 +2081,7 @@ impl Database {
                     event: *event,
                     table: key,
                     granularity: *granularity,
-                    body: Rc::new(body.clone()),
+                    body: Arc::new(body.clone()),
                 });
                 self.record_undo(UndoRecord::CreatedTrigger { name: name.clone() });
                 Ok(ExecResult::Ddl)
@@ -1979,14 +2177,7 @@ impl Database {
         let mut lines: Vec<String> = Vec::new();
         let start = std::time::Instant::now();
         match stmt {
-            Stmt::Select(q) => {
-                let plan = self.select_plan_for(q, ctx)?;
-                let prof = PlanProf::for_plan(&plan);
-                self.exec_select_plan_prof(&plan, ctx, Some(&prof))?;
-                let total_ns = start.elapsed().as_nanos() as u64;
-                crate::plan::render_select_plan_prof(&plan, 0, &mut lines, Some(&prof));
-                lines.push(format!("Execution time: {}", obs::fmt_ns(total_ns)));
-            }
+            Stmt::Select(q) => return self.explain_analyze_select(q, ctx),
             other => {
                 // DML (and DDL) has no cursor tree; report the plan the
                 // non-analyzing EXPLAIN would print plus an `Actual:`
@@ -2100,6 +2291,7 @@ impl Database {
         // error.
         let mut positions = Vec::with_capacity(n);
         let mut failure = None;
+        let mvcc_epoch = self.mvcc.enabled().then(|| self.mvcc.write_epoch());
         {
             let t = self.tables.get_mut(&key).unwrap();
             if has_insert_triggers {
@@ -2134,12 +2326,20 @@ impl Database {
             }
         }
         let applied = positions.len();
+        if let Some(epoch) = mvcc_epoch {
+            // Inserted slots had no prior row: snapshots older than this
+            // epoch must reconstruct them as absent.
+            let t = self.tables.get_mut(&key).expect("resolved above");
+            for &pos in &positions {
+                t.note_insert(epoch, pos);
+            }
+        }
         if self.durable.is_some() {
             // Redo is physical: the row as it landed, at its slot. A
             // partially-applied failing statement's records are truncated
             // by the client funnel along with the undo.
             let t = self.tables.get(&key).expect("resolved above");
-            let mut redo = self.txn.redo.borrow_mut();
+            let mut redo = self.txn.redo.lock().unwrap();
             for &pos in &positions {
                 if let Some(row) = t.row(pos) {
                     redo.push(WalRecord::Insert {
@@ -2179,6 +2379,7 @@ impl Database {
             .iter()
             .any(|t| t.table == key && t.event == TriggerEvent::Delete);
         let mut failure = None;
+        let mvcc_epoch = self.mvcc.enabled().then(|| self.mvcc.write_epoch());
         let deleted: Vec<DeletedRowUndo> = {
             let t = self.tables.get_mut(&key).unwrap();
             let mut out = Vec::with_capacity(positions.len());
@@ -2186,6 +2387,11 @@ impl Database {
                 if let Err(e) = self.fault.check_table_write(&key) {
                     failure = Some(e);
                     break;
+                }
+                if let Some(epoch) = mvcc_epoch {
+                    // Before-image of the slot, captured ahead of the
+                    // physical delete.
+                    t.note_version(epoch, p);
                 }
                 if let Some((row, offsets)) = t.delete_with_undo(p) {
                     out.push((p, row, offsets));
@@ -2195,7 +2401,7 @@ impl Database {
         };
         let n = deleted.len();
         if self.durable.is_some() {
-            let mut redo = self.txn.redo.borrow_mut();
+            let mut redo = self.txn.redo.lock().unwrap();
             for (pos, _, _) in &deleted {
                 redo.push(WalRecord::Delete {
                     table: key.clone(),
@@ -2267,9 +2473,17 @@ impl Database {
         let n = pending.len();
         let mut failure = None;
         let mut cell_undo: Vec<(usize, usize, Value, Option<usize>)> = Vec::new();
+        let mvcc_epoch = self.mvcc.enabled().then(|| self.mvcc.write_epoch());
         {
             let t = self.tables.get_mut(&key).unwrap();
             'rows: for (p, vals) in pending {
+                if let Some(epoch) = mvcc_epoch {
+                    // One before-image per row, ahead of the first cell
+                    // write; the visibility scan keeps the oldest entry
+                    // per slot, so later statements in the same epoch
+                    // don't clobber it.
+                    t.note_version(epoch, p);
+                }
                 for (&ci, v) in set_indices.iter().zip(vals) {
                     if let Err(e) = self.fault.check_table_write(&key) {
                         failure = Some(e);
@@ -2289,7 +2503,7 @@ impl Database {
             // Log the value as written (read back from the table), one
             // record per cell, in application order.
             let t = self.tables.get(&key).expect("resolved above");
-            let mut redo = self.txn.redo.borrow_mut();
+            let mut redo = self.txn.redo.lock().unwrap();
             for (pos, ci, _, _) in &cell_undo {
                 if let Some(row) = t.row(*pos) {
                     redo.push(WalRecord::Update {

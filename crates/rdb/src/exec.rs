@@ -160,12 +160,18 @@ pub(crate) struct EvalCtx<'a> {
     /// `&SelectStmt` addresses inside plan expressions, so every plan that
     /// ran must outlive the statement even if the shared plan slot is
     /// replaced mid-statement.
-    pub keepalive: RefCell<Vec<Rc<SelectPlan>>>,
+    pub keepalive: RefCell<Vec<std::sync::Arc<SelectPlan>>>,
     /// Shared plan slot for the top-level statement, set by
     /// `execute`/`execute_prepared` after construction. Only the outer
     /// SELECT consults it; nested selects (subqueries, triggers) always
     /// plan fresh, so the slot can never serve the wrong statement.
-    pub plan_slot: Option<Rc<PlanSlot>>,
+    pub plan_slot: Option<std::sync::Arc<PlanSlot>>,
+    /// MVCC snapshot epoch the statement reads at, set by the `&self`
+    /// read path (`Database::query_at`). `None` reads the live committed
+    /// state. Scans over tables that changed since the snapshot fall
+    /// back to reconstructing the epoch's row image (see
+    /// [`ScanCur::start`]).
+    pub snapshot: Option<u64>,
 }
 
 impl<'a> EvalCtx<'a> {
@@ -177,6 +183,7 @@ impl<'a> EvalCtx<'a> {
             list_cache: RefCell::new(HashMap::new()),
             keepalive: RefCell::new(Vec::new()),
             plan_slot: None,
+            snapshot: None,
         }
     }
 
@@ -188,6 +195,7 @@ impl<'a> EvalCtx<'a> {
             list_cache: RefCell::new(HashMap::new()),
             keepalive: RefCell::new(Vec::new()),
             plan_slot: None,
+            snapshot: None,
         }
     }
 
@@ -199,6 +207,7 @@ impl<'a> EvalCtx<'a> {
             list_cache: RefCell::new(HashMap::new()),
             keepalive: RefCell::new(Vec::new()),
             plan_slot: None,
+            snapshot: None,
         }
     }
 }
@@ -435,6 +444,14 @@ impl<'a> ScanCur<'a> {
     }
 
     fn start(&self, ex: &ExecCtx<'_, '_>) -> Result<ScanState> {
+        if let (Some(s), ScanSrc::Table(t)) = (ex.ctx.snapshot, &self.src) {
+            if t.changed_since(s) {
+                // The live heap (and its indexes) moved past this
+                // statement's snapshot: reconstruct the epoch's row image
+                // and scan that instead.
+                return self.start_snapshot(ex, t, s);
+            }
+        }
         match (&self.plan.access, &self.src) {
             (_, ScanSrc::Mat(_)) => {
                 self.prof_loop(1);
@@ -510,6 +527,68 @@ impl<'a> ScanCur<'a> {
                 Ok(ScanState::Bucket { rows, i: 0 })
             }
         }
+    }
+
+    /// Stale-snapshot fallback: materialize the table as it stood at
+    /// epoch `s` and scan that image. The live indexes describe the
+    /// *current* heap, so index access paths degrade to a filtered pass
+    /// over the reconstructed rows — the planner removed the probe
+    /// conjunct from `pushed` when it chose index access, so the probe is
+    /// re-applied here by hand. Correctness over speed: a table only
+    /// takes this path while a writer has committed past the reader's
+    /// snapshot, and version GC retires the detour as snapshots close.
+    fn start_snapshot(&self, ex: &ExecCtx<'_, '_>, t: &Table, s: u64) -> Result<ScanState> {
+        StatsCells::bump(&ex.db.stats.seq_scans, 1);
+        self.prof_loop(1);
+        let visible = t.rows_visible_at(s);
+        let mut rows = Vec::new();
+        match &self.plan.access {
+            Access::Seq => {
+                for row in visible {
+                    StatsCells::bump(&ex.db.stats.rows_scanned, 1);
+                    if self.passes(&row, ex)? {
+                        rows.push(row);
+                    }
+                }
+            }
+            Access::IndexEq { ci, key } => {
+                let empty = SliceEnv {
+                    layout: &[],
+                    values: &[],
+                };
+                let keyv = ex.db.eval_expr(key, &empty, ex.ctx, ex.ctes)?;
+                if !keyv.is_null() {
+                    for row in visible {
+                        StatsCells::bump(&ex.db.stats.rows_scanned, 1);
+                        if row[*ci] == keyv && self.passes(&row, ex)? {
+                            rows.push(row);
+                        }
+                    }
+                }
+            }
+            Access::IndexIn { ci, query } => {
+                let sub = ex.db.cached_subquery(query, ex.ctx)?;
+                for row in visible {
+                    StatsCells::bump(&ex.db.stats.rows_scanned, 1);
+                    if sub.set.contains(&row[*ci]) && self.passes(&row, ex)? {
+                        rows.push(row);
+                    }
+                }
+            }
+            Access::IndexInList { ci, list } => {
+                let probe = ex
+                    .db
+                    .cached_in_list(list, ex.ctx, ex.ctes)?
+                    .expect("planner only picks row-independent lists");
+                for row in visible {
+                    StatsCells::bump(&ex.db.stats.rows_scanned, 1);
+                    if probe.set.contains(&row[*ci]) && self.passes(&row, ex)? {
+                        rows.push(row);
+                    }
+                }
+            }
+        }
+        Ok(ScanState::Bucket { rows, i: 0 })
     }
 }
 
@@ -1151,7 +1230,7 @@ impl Database {
     /// the rest of the statement so subquery-cache keys — addresses of
     /// expressions inside it — stay valid.
     pub(crate) fn eval_select(&self, q: &SelectStmt, ctx: &EvalCtx<'_>) -> Result<ResultSet> {
-        let plan = Rc::new(self.build_select_plan(q, ctx)?);
+        let plan = std::sync::Arc::new(self.build_select_plan(q, ctx)?);
         ctx.keepalive.borrow_mut().push(plan.clone());
         self.exec_select_plan(&plan, ctx)
     }

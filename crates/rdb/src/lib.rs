@@ -36,13 +36,17 @@
 #![deny(missing_docs)]
 
 pub mod ast;
+mod cells;
 pub mod engine;
 pub mod error;
 mod exec;
 pub mod lexer;
+pub mod mvcc;
 pub mod obs;
 pub mod parser;
 mod plan;
+pub mod server;
+pub mod session;
 pub mod sql;
 pub mod table;
 pub mod txn;
@@ -56,6 +60,8 @@ pub use engine::{Database, ExecResult, PreparedStmt, ResultSet, Stats, Trigger};
 pub use error::{DbError, Result};
 pub use obs::{Metric, MetricKind, PhaseStat, SlowQuery, Span, TraceEvent};
 pub use parser::{parse_script, parse_script_with_text, parse_stmt, parse_stmt_with_params};
+pub use server::{Server, ServerHandle};
+pub use session::{Session, SharedDatabase};
 pub use sql::stmt_to_sql;
 pub use table::{Table, TableSchema};
 pub use txn::UndoRecord;

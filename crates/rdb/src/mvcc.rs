@@ -1,0 +1,223 @@
+//! Multi-version concurrency control: epoch-stamped snapshot visibility.
+//!
+//! The paper's experiments run one JDBC client against DB2; the ROADMAP
+//! north-star serves many. This module gives the engine the read side of
+//! that story: every committed transaction advances a global *epoch*, and
+//! mutations record per-slot before-images stamped with the epoch they
+//! will commit under (see [`crate::table`]). A reader that pins a
+//! snapshot epoch `S` then reconstructs, at any later time, exactly the
+//! state that was committed when `S` was current — uncommitted or
+//! later-committed writes are invisible because their before-images
+//! (stamped `> S`) are layered back over the heap.
+//!
+//! The scheme is undo-based rather than copy-on-write: the live heap is
+//! always the newest version, readers pay a reconstruction cost only on
+//! tables that actually changed since their snapshot, and version
+//! retention is bounded by the oldest registered snapshot (entries older
+//! than every active snapshot are dropped at commit — the version GC).
+//!
+//! Writers are unaffected: they serialize through the existing
+//! transaction/WAL path and always see the newest state. This is
+//! snapshot isolation for readers, single-writer serialization for
+//! updates — the concurrency model DESIGN.md §11 documents.
+
+use crate::cells::{Counter, FlagCell};
+use crate::engine::Database;
+use crate::obs::Histogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// MVCC bookkeeping owned by the [`Database`].
+#[derive(Debug, Default)]
+pub(crate) struct MvccState {
+    /// Whether mutations retain version history. Off by default: a
+    /// single-threaded database pays nothing for the subsystem.
+    enabled: FlagCell,
+    /// Epoch of the most recently committed transaction. Mutations are
+    /// stamped `committed + 1`; commit publishes by advancing this.
+    committed: AtomicU64,
+    /// Active snapshot epochs → reference count. Keyed in a `BTreeMap`
+    /// so the GC horizon (the oldest active snapshot) is the first key.
+    snapshots: Mutex<BTreeMap<u64, usize>>,
+    /// Queries answered against a pinned snapshot (`snapshot_reads`).
+    pub(crate) snapshot_reads: Counter,
+    /// Sessions currently open against this database (gauge).
+    pub(crate) active_sessions: Counter,
+    /// Waits for the writer-admission token, in microseconds.
+    pub(crate) write_lock_wait_us: Mutex<Histogram>,
+}
+
+impl MvccState {
+    pub fn enabled(&self) -> bool {
+        self.enabled.get()
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.set(on);
+    }
+
+    pub fn committed(&self) -> u64 {
+        self.committed.load(Ordering::Acquire)
+    }
+
+    /// The epoch in-flight mutations are stamped with.
+    pub fn write_epoch(&self) -> u64 {
+        self.committed() + 1
+    }
+
+    /// Publish a commit: everything stamped `committed + 1` becomes
+    /// visible to snapshots taken from now on.
+    pub fn publish_commit(&self) {
+        self.committed.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Oldest epoch any active snapshot still needs; `committed` when no
+    /// snapshot is registered (then only open-transaction entries,
+    /// stamped `committed + 1`, survive GC).
+    pub fn gc_horizon(&self) -> u64 {
+        let snaps = self.snapshots.lock().unwrap();
+        snaps
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or_else(|| self.committed())
+            .min(self.committed())
+    }
+}
+
+impl Database {
+    /// Enable (or disable) multi-version snapshot reads. With MVCC on,
+    /// every mutation records a before-image stamped with its commit
+    /// epoch, [`Database::begin_snapshot`] pins a consistent read point,
+    /// and [`Database::query_at`] reads against it from `&self`. Off by
+    /// default — single-session databases pay nothing.
+    ///
+    /// Disabling drops all retained versions.
+    pub fn enable_mvcc(&mut self, on: bool) {
+        self.mvcc.set_enabled(on);
+        if !on {
+            for t in self.tables.values_mut() {
+                t.gc_versions(u64::MAX);
+            }
+        }
+    }
+
+    /// Whether MVCC version retention is enabled.
+    pub fn mvcc_enabled(&self) -> bool {
+        self.mvcc.enabled()
+    }
+
+    /// Epoch of the most recently committed transaction.
+    pub fn committed_epoch(&self) -> u64 {
+        self.mvcc.committed()
+    }
+
+    /// Register a snapshot at the current committed epoch and return it.
+    /// The version GC will not discard any before-image the snapshot
+    /// could still need until [`Database::end_snapshot`] releases it.
+    /// Snapshots are reference-counted: concurrent sessions at the same
+    /// epoch share one registry slot.
+    pub fn begin_snapshot(&self) -> u64 {
+        let epoch = self.mvcc.committed();
+        *self
+            .mvcc
+            .snapshots
+            .lock()
+            .unwrap()
+            .entry(epoch)
+            .or_insert(0) += 1;
+        epoch
+    }
+
+    /// Release a snapshot taken with [`Database::begin_snapshot`].
+    pub fn end_snapshot(&self, snapshot: u64) {
+        let mut snaps = self.mvcc.snapshots.lock().unwrap();
+        if let Some(n) = snaps.get_mut(&snapshot) {
+            *n -= 1;
+            if *n == 0 {
+                snaps.remove(&snapshot);
+            }
+        }
+    }
+
+    /// Number of snapshots currently registered (distinct epochs may
+    /// be shared; this counts registrations).
+    pub fn active_snapshots(&self) -> usize {
+        self.mvcc.snapshots.lock().unwrap().values().sum()
+    }
+
+    /// Total MVCC version entries retained across all tables
+    /// (`snapshot_versions_retained`).
+    pub fn snapshot_versions_retained(&self) -> u64 {
+        self.tables
+            .values()
+            .map(|t| t.versions_retained() as u64)
+            .sum()
+    }
+
+    /// Publish the just-committed transaction's versions and garbage-
+    /// collect entries no active snapshot can reach. Called by the
+    /// commit paths after the WAL flush succeeds; no-op with MVCC off.
+    pub(crate) fn mvcc_commit(&mut self) {
+        if !self.mvcc.enabled() {
+            return;
+        }
+        self.mvcc.publish_commit();
+        let horizon = self.mvcc.gc_horizon();
+        for t in self.tables.values_mut() {
+            t.gc_versions(horizon);
+        }
+    }
+
+    /// Record a write-lock wait (microseconds) in the
+    /// `write_lock_wait_us` histogram. Used by the session layer's
+    /// writer-admission token.
+    pub fn record_write_lock_wait(&self, micros: u64) {
+        // The histogram buckets are nanosecond-based powers of two; the
+        // session layer reports microseconds, so scale on the way in and
+        // back out in the metrics rendering.
+        self.mvcc
+            .write_lock_wait_us
+            .lock()
+            .unwrap()
+            .record(micros.saturating_mul(1000));
+    }
+
+    /// Bump/drop the `active_sessions` gauge (session layer lifecycle).
+    pub(crate) fn session_opened(&self) {
+        self.mvcc.active_sessions.add(1);
+    }
+
+    pub(crate) fn session_closed(&self) {
+        let n = self.mvcc.active_sessions.get();
+        self.mvcc.active_sessions.set(n.saturating_sub(1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Database;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn database_is_send_sync() {
+        assert_send_sync::<Database>();
+        assert_send_sync::<crate::PreparedStmt>();
+    }
+
+    #[test]
+    fn snapshot_registry_refcounts() {
+        let mut db = Database::new();
+        db.enable_mvcc(true);
+        let s1 = db.begin_snapshot();
+        let s2 = db.begin_snapshot();
+        assert_eq!(s1, s2);
+        assert_eq!(db.active_snapshots(), 2);
+        db.end_snapshot(s1);
+        assert_eq!(db.active_snapshots(), 1);
+        db.end_snapshot(s2);
+        assert_eq!(db.active_snapshots(), 0);
+    }
+}

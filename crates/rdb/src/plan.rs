@@ -22,9 +22,8 @@
 //! non-null, same-type values that reach them (nulls never enter
 //! buckets or build tables).
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::ast::{Expr, InsertSource, SelectCore, SelectItem, SelectStmt, Stmt};
 use crate::engine::{Database, ResultSet, StatsCells};
@@ -142,7 +141,7 @@ pub(crate) struct SelectPlan {
 /// [`PreparedStmt`](crate::PreparedStmt) for that text, so replanning
 /// after DDL benefits all holders at once.
 #[derive(Debug, Default)]
-pub(crate) struct PlanSlot(pub(crate) RefCell<Option<(u64, Rc<SelectPlan>)>>);
+pub(crate) struct PlanSlot(pub(crate) Mutex<Option<(u64, Arc<SelectPlan>)>>);
 
 impl Database {
     /// Compile a SELECT into a physical plan.

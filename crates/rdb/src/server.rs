@@ -1,0 +1,179 @@
+//! Line-protocol TCP front-end over a [`SharedDatabase`].
+//!
+//! One session per connection, one statement per line. Responses:
+//!
+//! - `ROWS <n>` followed by `n` tab-separated rows, for a result set
+//! - `OK <n>` for DML (`n` rows affected)
+//! - `OK` for DDL and transaction control
+//! - `ERR <message>` on failure (the connection stays usable)
+//!
+//! `BEGIN`/`COMMIT`/`ROLLBACK` scope a per-connection transaction via
+//! [`Session`]; a connection that drops mid-transaction is rolled back
+//! by the session's `Drop`. `QUIT` (or EOF) closes the connection.
+//!
+//! Shutdown is graceful: the accept loop stops admitting connections,
+//! handler threads finish their in-flight statement and close, and the
+//! final drain forces the pending group-commit window to disk
+//! ([`Database::wal_sync`](crate::Database::wal_sync)) so every
+//! acknowledged commit is durable before [`ServerHandle::shutdown`]
+//! returns.
+
+use crate::session::{Session, SqlOutcome};
+use crate::SharedDatabase;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// TCP server builder: binds and spawns the accept loop.
+pub struct Server;
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve `shared` until
+    /// [`ServerHandle::shutdown`]. Each connection gets its own session
+    /// and handler thread.
+    pub fn start(shared: SharedDatabase, addr: &str) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = stop.clone();
+        let accept_shared = shared.clone();
+        let accept = std::thread::spawn(move || {
+            let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+            while !accept_stop.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let shared = accept_shared.clone();
+                        let stop = accept_stop.clone();
+                        handlers.push(std::thread::spawn(move || {
+                            let _ = serve_connection(stream, &shared, &stop);
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+                handlers.retain(|h| !h.is_finished());
+            }
+            for h in handlers {
+                let _ = h.join();
+            }
+        });
+        Ok(ServerHandle {
+            shared,
+            addr: local,
+            stop,
+            accept: Mutex::new(Some(accept)),
+        })
+    }
+}
+
+/// Handle to a running server: its bound address and the shutdown knob.
+pub struct ServerHandle {
+    shared: SharedDatabase,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, let in-flight statements finish, join every
+    /// handler, then drain the group-commit window to disk. Idempotent.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept.lock().unwrap().take() {
+            let _ = h.join();
+        }
+        // Drain: any commits still waiting on the group-commit sync
+        // ticket are fsynced and acknowledged before shutdown returns.
+        self.shared.with_write(|db| {
+            let _ = db.wal_sync();
+        });
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serve one connection: read statements line by line, write responses.
+fn serve_connection(
+    stream: TcpStream,
+    shared: &SharedDatabase,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    // Short read timeouts let the handler notice shutdown between
+    // statements without a dedicated control channel.
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut session = shared.session();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        let sql = line.trim();
+        if sql.is_empty() {
+            continue;
+        }
+        if sql.eq_ignore_ascii_case("quit") {
+            break;
+        }
+        respond(&mut writer, &mut session, sql)?;
+        // In-flight work finished; shut down between statements only.
+        if stop.load(Ordering::Acquire) && !session.in_transaction() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn respond(out: &mut TcpStream, session: &mut Session, sql: &str) -> std::io::Result<()> {
+    match session.execute(sql) {
+        Ok(SqlOutcome::Rows(rs)) => {
+            let mut buf = format!("ROWS {}\n", rs.rows.len());
+            for row in &rs.rows {
+                let mut first = true;
+                for v in row {
+                    if !first {
+                        buf.push('\t');
+                    }
+                    first = false;
+                    buf.push_str(&v.to_string());
+                }
+                buf.push('\n');
+            }
+            out.write_all(buf.as_bytes())
+        }
+        Ok(SqlOutcome::Affected(n)) => out.write_all(format!("OK {n}\n").as_bytes()),
+        Ok(SqlOutcome::Done) => out.write_all(b"OK\n"),
+        Err(e) => {
+            let msg = e.to_string().replace('\n', " ");
+            out.write_all(format!("ERR {msg}\n").as_bytes())
+        }
+    }
+}

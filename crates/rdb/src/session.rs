@@ -1,0 +1,422 @@
+//! Shared-database facade and per-connection sessions.
+//!
+//! [`SharedDatabase`] wraps one [`Database`] for concurrent use: readers
+//! run simultaneously under a shared `RwLock` guard and always read
+//! through a pinned MVCC snapshot (see [`crate::mvcc`]), so a reader can
+//! never observe a half-committed transaction; writers serialize through
+//! a writer-admission token (one engine-level transaction at a time,
+//! measured into the `write_lock_wait_us` histogram) and then take the
+//! exclusive lock per statement.
+//!
+//! [`Session`] is the unit of connection state: autocommit by default,
+//! `BEGIN` opens either a read transaction (a snapshot held across
+//! statements) that lazily upgrades to a write transaction on the first
+//! mutating statement, acquiring the writer token for the rest of the
+//! transaction. `COMMIT`/`ROLLBACK` release it. Dropping a session rolls
+//! back anything uncommitted — a dropped connection can never leave the
+//! engine's single transaction slot occupied or a sync ticket pending.
+//!
+//! Lock order is fixed everywhere: writer token first, `RwLock` guard
+//! second. Readers never touch the token, so reader admission is
+//! conflict-free.
+
+use crate::engine::{Database, ExecResult, ResultSet};
+use crate::error::{DbError, Result};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Instant;
+
+/// Shared state behind every handle and session.
+struct Shared {
+    db: RwLock<Database>,
+    /// Writer-admission token: `true` while some session owns the write
+    /// side (an explicit write transaction or an autocommit write
+    /// statement). Guards the engine's single transaction slot.
+    writer: Mutex<bool>,
+    writer_cv: Condvar,
+}
+
+impl Shared {
+    /// Acquire the writer token, recording the wait in the
+    /// `write_lock_wait_us` histogram.
+    fn acquire_writer(&self) {
+        let start = Instant::now();
+        let mut held = self.writer.lock().unwrap();
+        while *held {
+            held = self.writer_cv.wait(held).unwrap();
+        }
+        *held = true;
+        drop(held);
+        let waited = start.elapsed().as_micros() as u64;
+        self.db.read().unwrap().record_write_lock_wait(waited);
+    }
+
+    fn release_writer(&self) {
+        *self.writer.lock().unwrap() = false;
+        self.writer_cv.notify_one();
+    }
+}
+
+/// A concurrency facade over one [`Database`]: cheap to clone, safe to
+/// share across threads. Construction enables MVCC on the engine so
+/// every mutation retains the before-images snapshot readers need.
+#[derive(Clone)]
+pub struct SharedDatabase {
+    inner: Arc<Shared>,
+}
+
+impl SharedDatabase {
+    /// Wrap `db` for shared use (enables MVCC version retention).
+    pub fn new(mut db: Database) -> Self {
+        db.enable_mvcc(true);
+        SharedDatabase {
+            inner: Arc::new(Shared {
+                db: RwLock::new(db),
+                writer: Mutex::new(false),
+                writer_cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Open a new session (one per connection / thread of control).
+    pub fn session(&self) -> Session {
+        self.inner.db.read().unwrap().session_opened();
+        Session {
+            shared: self.inner.clone(),
+            state: SessionTxn::Idle,
+        }
+    }
+
+    /// Run a closure against a shared read guard. The closure sees the
+    /// live committed state; use a [`Session`] for snapshot-consistent
+    /// multi-statement reads.
+    pub fn with_read<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.inner.db.read().unwrap())
+    }
+
+    /// Run a closure against the exclusive write guard, serialized
+    /// behind the writer-admission token. The closure may use the full
+    /// `&mut` engine API (explicit transactions included) but must leave
+    /// no transaction open on return.
+    pub fn with_write<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        self.inner.acquire_writer();
+        let r = f(&mut self.inner.db.write().unwrap());
+        self.inner.release_writer();
+        r
+    }
+
+    /// One-shot snapshot read (autocommit SELECT).
+    pub fn query(&self, sql: &str) -> Result<ResultSet> {
+        let db = self.inner.db.read().unwrap();
+        let snap = db.begin_snapshot();
+        let result = db.query_at(sql, Some(snap));
+        db.end_snapshot(snap);
+        result
+    }
+
+    /// One-shot write statement (autocommit), serialized behind the
+    /// writer token.
+    pub fn execute(&self, sql: &str) -> Result<ExecResult> {
+        self.with_write(|db| db.execute(sql))
+    }
+
+    /// Metrics text of the underlying database.
+    pub fn metrics_text(&self) -> String {
+        self.with_read(|db| db.metrics_text())
+    }
+}
+
+/// Per-session transaction state.
+enum SessionTxn {
+    /// Autocommit: reads take a fresh snapshot per statement, writes
+    /// take the token per statement.
+    Idle,
+    /// `BEGIN` was issued and no write has happened yet: all reads pin
+    /// this snapshot, so the transaction sees one consistent epoch.
+    Read { snapshot: u64 },
+    /// The transaction wrote: the session owns the writer token and the
+    /// engine's explicit-transaction slot until `COMMIT`/`ROLLBACK`.
+    Write,
+}
+
+/// What a statement produced, shaped for a wire protocol.
+#[derive(Debug)]
+pub enum SqlOutcome {
+    /// A result set (SELECT / EXPLAIN).
+    Rows(ResultSet),
+    /// Rows affected by DML.
+    Affected(usize),
+    /// Statement executed with nothing to report (DDL, txn control).
+    Done,
+}
+
+/// One connection's view of a [`SharedDatabase`]: autocommit statements
+/// plus `BEGIN`/`COMMIT`/`ROLLBACK` transaction scoping.
+pub struct Session {
+    shared: Arc<Shared>,
+    state: SessionTxn,
+}
+
+impl Session {
+    /// Execute one SQL statement in this session.
+    pub fn execute(&mut self, sql: &str) -> Result<SqlOutcome> {
+        match classify(sql) {
+            StmtClass::Begin => self.begin(),
+            StmtClass::Commit => self.commit(),
+            StmtClass::Rollback => self.rollback(),
+            StmtClass::Read => self.run_read(sql),
+            StmtClass::Write => self.run_write(sql),
+        }
+    }
+
+    /// Whether the session is inside an explicit transaction.
+    pub fn in_transaction(&self) -> bool {
+        !matches!(self.state, SessionTxn::Idle)
+    }
+
+    fn begin(&mut self) -> Result<SqlOutcome> {
+        if self.in_transaction() {
+            return Err(DbError::Txn(
+                "already in a transaction (nested BEGIN; use SAVEPOINT)".into(),
+            ));
+        }
+        // Snapshot acquisition at BEGIN: reads in this transaction all
+        // see the epoch current right now.
+        let snapshot = self.shared.db.read().unwrap().begin_snapshot();
+        self.state = SessionTxn::Read { snapshot };
+        Ok(SqlOutcome::Done)
+    }
+
+    fn commit(&mut self) -> Result<SqlOutcome> {
+        match std::mem::replace(&mut self.state, SessionTxn::Idle) {
+            SessionTxn::Idle => Err(DbError::Txn("COMMIT outside a transaction".into())),
+            SessionTxn::Read { snapshot } => {
+                // A read-only transaction commits trivially: release the
+                // snapshot so version GC can advance.
+                self.shared.db.read().unwrap().end_snapshot(snapshot);
+                Ok(SqlOutcome::Done)
+            }
+            SessionTxn::Write => {
+                let result = self.shared.db.write().unwrap().commit();
+                self.shared.release_writer();
+                result.map(|()| SqlOutcome::Done)
+            }
+        }
+    }
+
+    fn rollback(&mut self) -> Result<SqlOutcome> {
+        match std::mem::replace(&mut self.state, SessionTxn::Idle) {
+            SessionTxn::Idle => Err(DbError::Txn("ROLLBACK outside a transaction".into())),
+            SessionTxn::Read { snapshot } => {
+                self.shared.db.read().unwrap().end_snapshot(snapshot);
+                Ok(SqlOutcome::Done)
+            }
+            SessionTxn::Write => {
+                let result = self.shared.db.write().unwrap().rollback();
+                self.shared.release_writer();
+                result.map(|()| SqlOutcome::Done)
+            }
+        }
+    }
+
+    fn run_read(&mut self, sql: &str) -> Result<SqlOutcome> {
+        let db = self.shared.db.read().unwrap();
+        match self.state {
+            // Inside a write transaction reads must see the session's
+            // own uncommitted writes, so they read the live heap. No
+            // other writer can be active (the session holds the token),
+            // and concurrent readers are snapshot-pinned, so nobody else
+            // observes those uncommitted rows.
+            SessionTxn::Write => db.query(sql).map(SqlOutcome::Rows),
+            SessionTxn::Read { snapshot } => db.query_at(sql, Some(snapshot)).map(SqlOutcome::Rows),
+            SessionTxn::Idle => {
+                let snap = db.begin_snapshot();
+                let result = db.query_at(sql, Some(snap));
+                db.end_snapshot(snap);
+                result.map(SqlOutcome::Rows)
+            }
+        }
+    }
+
+    fn run_write(&mut self, sql: &str) -> Result<SqlOutcome> {
+        match self.state {
+            SessionTxn::Idle => {
+                // Autocommit write: token for the duration of the
+                // statement.
+                self.shared.acquire_writer();
+                let result = self.shared.db.write().unwrap().execute(sql);
+                self.shared.release_writer();
+                result.map(outcome)
+            }
+            SessionTxn::Read { snapshot } => {
+                // First write upgrades the transaction: drop the read
+                // snapshot, claim the writer token and the engine's
+                // transaction slot, then run the statement inside it.
+                self.shared.acquire_writer();
+                {
+                    let mut db = self.shared.db.write().unwrap();
+                    db.end_snapshot(snapshot);
+                    if let Err(e) = db.begin() {
+                        drop(db);
+                        self.shared.release_writer();
+                        self.state = SessionTxn::Idle;
+                        return Err(e);
+                    }
+                }
+                self.state = SessionTxn::Write;
+                self.run_write_stmt(sql)
+            }
+            SessionTxn::Write => self.run_write_stmt(sql),
+        }
+    }
+
+    /// A write statement inside the session's open write transaction. On
+    /// error the engine has already rolled the statement back; the
+    /// transaction stays open (the client decides).
+    fn run_write_stmt(&mut self, sql: &str) -> Result<SqlOutcome> {
+        self.shared.db.write().unwrap().execute(sql).map(outcome)
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        match std::mem::replace(&mut self.state, SessionTxn::Idle) {
+            SessionTxn::Idle => {}
+            SessionTxn::Read { snapshot } => {
+                self.shared.db.read().unwrap().end_snapshot(snapshot);
+            }
+            SessionTxn::Write => {
+                // A dropped connection mid-transaction rolls back, so
+                // the engine's transaction slot and the group-commit
+                // ticket accounting stay clean.
+                let _ = self.shared.db.write().unwrap().rollback();
+                self.shared.release_writer();
+            }
+        }
+        self.shared.db.read().unwrap().session_closed();
+    }
+}
+
+fn outcome(r: ExecResult) -> SqlOutcome {
+    match r {
+        ExecResult::Rows(rs) => SqlOutcome::Rows(rs),
+        ExecResult::Affected(n) => SqlOutcome::Affected(n),
+        _ => SqlOutcome::Done,
+    }
+}
+
+enum StmtClass {
+    Begin,
+    Commit,
+    Rollback,
+    Read,
+    Write,
+}
+
+/// Route a statement by its leading keyword(s). `SELECT` and plain
+/// `EXPLAIN` are reads; `EXPLAIN ANALYZE` executes its inner statement
+/// (which may be DML) and `ROLLBACK TO <savepoint>` targets the open
+/// engine transaction, so both take the write path.
+fn classify(sql: &str) -> StmtClass {
+    let mut words = sql
+        .split([' ', '\t', '\r', '\n', ';'])
+        .filter(|w| !w.is_empty());
+    let first = words.next().unwrap_or("").to_ascii_uppercase();
+    let second = words.next().unwrap_or("").to_ascii_uppercase();
+    match first.as_str() {
+        "SELECT" => StmtClass::Read,
+        "EXPLAIN" if second != "ANALYZE" => StmtClass::Read,
+        "BEGIN" => StmtClass::Begin,
+        "COMMIT" => StmtClass::Commit,
+        "ROLLBACK" if second != "TO" => StmtClass::Rollback,
+        _ => StmtClass::Write,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared() -> SharedDatabase {
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE t (id INTEGER, v VARCHAR(10));
+             CREATE INDEX t_id ON t (id);
+             INSERT INTO t VALUES (1, 'a'), (2, 'b');",
+        )
+        .unwrap();
+        SharedDatabase::new(db)
+    }
+
+    #[test]
+    fn autocommit_read_and_write() {
+        let s = shared();
+        let mut sess = s.session();
+        match sess.execute("SELECT COUNT(*) FROM t").unwrap() {
+            SqlOutcome::Rows(rs) => assert_eq!(rs.rows[0][0], crate::Value::Int(2)),
+            other => panic!("expected rows: {other:?}"),
+        }
+        match sess.execute("INSERT INTO t VALUES (3, 'c')").unwrap() {
+            SqlOutcome::Affected(1) => {}
+            other => panic!("expected 1 affected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_txn_pins_its_snapshot() {
+        let s = shared();
+        let mut reader = s.session();
+        reader.execute("BEGIN").unwrap();
+        let before = match reader.execute("SELECT COUNT(*) FROM t").unwrap() {
+            SqlOutcome::Rows(rs) => rs.rows[0][0].clone(),
+            other => panic!("{other:?}"),
+        };
+        // A concurrent session commits a write.
+        let mut writer = s.session();
+        writer.execute("INSERT INTO t VALUES (3, 'c')").unwrap();
+        // The reader still sees its BEGIN-time state.
+        let after = match reader.execute("SELECT COUNT(*) FROM t").unwrap() {
+            SqlOutcome::Rows(rs) => rs.rows[0][0].clone(),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(before, after);
+        reader.execute("COMMIT").unwrap();
+        // A fresh statement sees the new row.
+        match reader.execute("SELECT COUNT(*) FROM t").unwrap() {
+            SqlOutcome::Rows(rs) => assert_eq!(rs.rows[0][0], crate::Value::Int(3)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_txn_rolls_back_on_drop() {
+        let s = shared();
+        {
+            let mut sess = s.session();
+            sess.execute("BEGIN").unwrap();
+            sess.execute("DELETE FROM t").unwrap();
+            // dropped here without COMMIT
+        }
+        let mut sess = s.session();
+        match sess.execute("SELECT COUNT(*) FROM t").unwrap() {
+            SqlOutcome::Rows(rs) => assert_eq!(rs.rows[0][0], crate::Value::Int(2)),
+            other => panic!("{other:?}"),
+        }
+        // The writer token was released: a new write transaction works.
+        sess.execute("BEGIN").unwrap();
+        sess.execute("INSERT INTO t VALUES (9, 'z')").unwrap();
+        sess.execute("COMMIT").unwrap();
+    }
+
+    #[test]
+    fn session_gauge_tracks_open_sessions() {
+        let s = shared();
+        let a = s.session();
+        let b = s.session();
+        assert!(s
+            .with_read(|db| db.metrics_text())
+            .contains("rdb_active_sessions 2"));
+        drop(a);
+        drop(b);
+        assert!(s.metrics_text().contains("rdb_active_sessions 0"));
+    }
+}

@@ -28,6 +28,21 @@ impl TableSchema {
     }
 }
 
+/// One undo-style version record retained for MVCC snapshot reads:
+/// "before `epoch` committed, slot `pos` held `prior`" (`None` = the slot
+/// did not hold a live row). Entries are appended in mutation order, so
+/// epochs are non-decreasing and the *first* matching entry for a slot is
+/// the oldest — the one a snapshot reconstructs from.
+#[derive(Debug, Clone)]
+pub(crate) struct VersionEntry {
+    /// Epoch the mutation commits under (`committed + 1` at write time).
+    pub epoch: u64,
+    /// Slot position the mutation touched.
+    pub pos: usize,
+    /// The slot's content immediately before the mutation.
+    pub prior: Option<Row>,
+}
+
 /// A heap of rows with optional hash indexes on single columns.
 ///
 /// Rows live in slots (`Vec<Option<Row>>`); deletion tombstones the slot so
@@ -37,8 +52,10 @@ impl TableSchema {
 /// `PartialEq` compares the full physical state — slot vector (including
 /// tombstones), live count, and index bucket contents *in order* — which
 /// is exactly the "byte-identical" equality the transaction layer's
-/// exact undo restores (see `crate::txn`).
-#[derive(Debug, Clone, PartialEq)]
+/// exact undo restores (see `crate::txn`). The MVCC version history is
+/// deliberately excluded: it is read-side reconstruction state, not part
+/// of the committed physical image.
+#[derive(Debug, Clone)]
 pub struct Table {
     /// The table's schema.
     pub schema: TableSchema,
@@ -46,6 +63,18 @@ pub struct Table {
     live: usize,
     /// column index → (value → slot positions)
     indexes: HashMap<usize, HashMap<Value, Vec<usize>>>,
+    /// Version records for snapshot visibility (empty unless the owning
+    /// database has MVCC enabled; see `crate::mvcc`).
+    history: Vec<VersionEntry>,
+}
+
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema
+            && self.slots == other.slots
+            && self.live == other.live
+            && self.indexes == other.indexes
+    }
 }
 
 impl Table {
@@ -56,6 +85,7 @@ impl Table {
             slots: Vec::new(),
             live: 0,
             indexes: HashMap::new(),
+            history: Vec::new(),
         }
     }
 
@@ -310,6 +340,7 @@ impl Table {
             slots,
             live,
             indexes,
+            history: Vec::new(),
         }
     }
 
@@ -343,6 +374,97 @@ impl Table {
         self.indexes
             .get(&column_idx)
             .map(|m| m.get(key).map(Vec::as_slice).unwrap_or(&[]))
+    }
+
+    // ------------------------------------------------------------------
+    // MVCC version history (see `crate::mvcc`)
+    //
+    // The engine records the *before* image of every slot a mutation is
+    // about to touch, stamped with the epoch the enclosing transaction
+    // will commit under. A reader holding snapshot epoch `S` reconstructs
+    // each slot from the oldest entry with `epoch > S` (its `prior` is the
+    // slot's content when `S` was current); slots with no such entry are
+    // unchanged since the snapshot and read straight from the heap.
+    // ------------------------------------------------------------------
+
+    /// Record the before-image of `pos` under `epoch` before a mutation.
+    /// No-op unless the owning database enabled version retention
+    /// (single-threaded databases pay nothing). Repeated writes to one
+    /// slot in one transaction are all recorded; only the first matters
+    /// for visibility and GC drops them together.
+    pub(crate) fn note_version(&mut self, epoch: u64, pos: usize) {
+        let prior = self.slots.get(pos).cloned().unwrap_or(None);
+        self.history.push(VersionEntry { epoch, pos, prior });
+    }
+
+    /// Record a freshly-inserted slot: its before-image is "no row", so
+    /// snapshots older than `epoch` must not see it. Called *after* the
+    /// insert with the returned position (the prior content of a new
+    /// slot is always empty, so nothing needs capturing beforehand).
+    pub(crate) fn note_insert(&mut self, epoch: u64, pos: usize) {
+        self.history.push(VersionEntry {
+            epoch,
+            pos,
+            prior: None,
+        });
+    }
+
+    /// Whether any version entry is newer than snapshot `epoch` — i.e.
+    /// whether a reader at that snapshot can trust the live heap and its
+    /// indexes directly. Entries are appended with non-decreasing epochs,
+    /// so only the newest needs checking.
+    pub fn changed_since(&self, epoch: u64) -> bool {
+        self.history.last().is_some_and(|e| e.epoch > epoch)
+    }
+
+    /// Materialize the rows visible at snapshot `epoch`: heap contents
+    /// with every newer mutation's before-image layered back on. The
+    /// executor only takes this path when [`Table::changed_since`] says
+    /// the heap has moved past the snapshot.
+    pub(crate) fn rows_visible_at(&self, epoch: u64) -> Vec<Row> {
+        let mut overrides: HashMap<usize, &Option<Row>> = HashMap::new();
+        for e in &self.history {
+            if e.epoch > epoch {
+                // First entry per slot wins: the oldest before-image is
+                // the slot's content when the snapshot was current.
+                overrides.entry(e.pos).or_insert(&e.prior);
+            }
+        }
+        let max_pos = self
+            .slots
+            .len()
+            .max(overrides.keys().map(|p| p + 1).max().unwrap_or(0));
+        let mut rows = Vec::new();
+        for pos in 0..max_pos {
+            let visible = match overrides.get(&pos) {
+                Some(prior) => prior.as_ref(),
+                None => self.slots.get(pos).and_then(Option::as_ref),
+            };
+            if let Some(row) = visible {
+                rows.push(row.clone());
+            }
+        }
+        rows
+    }
+
+    /// Drop version entries no active snapshot can still need: an entry
+    /// stamped `epoch` serves snapshots strictly older than it, so once
+    /// the oldest active snapshot has reached `min_snapshot >= epoch` the
+    /// entry is garbage. Entries of the open (uncommitted) transaction
+    /// carry `committed + 1 > min_snapshot` and always survive.
+    pub(crate) fn gc_versions(&mut self, min_snapshot: u64) {
+        if self
+            .history
+            .first()
+            .is_some_and(|e| e.epoch <= min_snapshot)
+        {
+            self.history.retain(|e| e.epoch > min_snapshot);
+        }
+    }
+
+    /// Number of version entries currently retained.
+    pub fn versions_retained(&self) -> usize {
+        self.history.len()
     }
 }
 

@@ -17,12 +17,13 @@
 //! `tests/txn_props.rs` meaningful and is relied on by the fault
 //! injection acceptance test at the workspace root.
 
+use crate::cells::Counter;
 use crate::engine::Trigger;
 use crate::error::{DbError, Result};
 use crate::table::Table;
 use crate::value::{Row, Value};
 use crate::wal::WalRecord;
-use std::cell::{Cell, RefCell};
+use std::sync::Mutex;
 
 /// One reversible effect recorded by the engine. Records are appended in
 /// execution order and applied in reverse on rollback.
@@ -145,8 +146,8 @@ pub(crate) struct TxnState {
     /// durable database). Flushed as one `TxnBegin … TxnCommit` frame at
     /// commit; truncated in lockstep with the undo log on rollback, so
     /// an aborted transaction never reaches the disk at all. Lives in a
-    /// `RefCell` because `&self` paths (id allocation) also emit records.
-    pub redo: RefCell<Vec<WalRecord>>,
+    /// `Mutex` because `&self` paths (id allocation) also emit records.
+    pub redo: Mutex<Vec<WalRecord>>,
     /// Inside an explicit `BEGIN … COMMIT/ROLLBACK` block.
     pub explicit: bool,
     /// Active savepoints, oldest first.
@@ -163,13 +164,13 @@ impl TxnState {
 
     /// Current redo-buffer length, the WAL-side statement mark.
     pub fn redo_mark(&self) -> usize {
-        self.redo.borrow().len()
+        self.redo.lock().unwrap().len()
     }
 
     /// Forget everything (after COMMIT or a completed rollback).
     pub fn reset(&mut self) {
         self.log.clear();
-        self.redo.borrow_mut().clear();
+        self.redo.lock().unwrap().clear();
         self.savepoints.clear();
         self.explicit = false;
     }
@@ -177,17 +178,18 @@ impl TxnState {
 
 /// Deterministic fault injection armed on the `Database`.
 ///
-/// Counters live in `Cell`s so the hot DML loops can consult them while
-/// a mutable borrow of the table map is live (disjoint field borrows).
+/// Counters live in atomic cells so the hot DML loops can consult them
+/// while a mutable borrow of the table map is live (disjoint field
+/// borrows) and the shared-database facade stays `Sync`.
 /// Faults are one-shot: once fired they disarm themselves.
 #[derive(Debug, Default)]
 pub(crate) struct FaultState {
     /// Fail the Nth client statement from now (0 = disarmed; 1 = next).
-    stmt_countdown: Cell<u64>,
+    stmt_countdown: Counter,
     /// Fail the Nth row write to this table (lower-cased key).
     write_table: Option<String>,
     /// Row-write countdown for `write_table` (0 = disarmed).
-    write_countdown: Cell<u64>,
+    write_countdown: Counter,
 }
 
 impl FaultState {

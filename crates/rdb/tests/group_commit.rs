@@ -108,6 +108,77 @@ fn group_window_amortizes_fsyncs_and_acks_in_groups() {
 }
 
 #[test]
+fn rollback_in_the_window_takes_no_sync_ticket() {
+    let scratch = Scratch::new("rollback-ticket");
+    let mut db = db_with_window(&scratch, 3);
+    let base_fsyncs = db.stats().wal_fsyncs;
+    let base_acked = db.wal_acked_commits();
+
+    // Two commits join the group; the window (3) stays open.
+    commit_rows(&mut db, 2);
+    assert_eq!(db.wal_pending_commits(), 2);
+    assert_eq!(db.stats().wal_fsyncs - base_fsyncs, 0);
+
+    // A transaction writes, then rolls back. Its WAL abort marker is an
+    // audit record, not a commit — it must not claim a sync ticket.
+    // (The old accounting counted the marker as a pending commit,
+    // closing the window here and "acknowledging" a commit that never
+    // happened.)
+    db.begin().unwrap();
+    db.execute("INSERT INTO t VALUES (100)").unwrap();
+    db.rollback().unwrap();
+    assert_eq!(
+        db.wal_pending_commits(),
+        2,
+        "an abort marker must not take a group-commit sync ticket"
+    );
+    assert_eq!(db.wal_acked_commits() - base_acked, 0);
+    assert_eq!(db.stats().wal_fsyncs - base_fsyncs, 0);
+
+    // The third real commit fills the window: one fsync, exactly three
+    // commits acknowledged.
+    commit_rows(&mut db, 1);
+    assert_eq!(db.stats().wal_fsyncs - base_fsyncs, 1);
+    assert_eq!(db.wal_acked_commits() - base_acked, 3);
+    assert_eq!(db.wal_pending_commits(), 0);
+}
+
+#[test]
+fn dropped_connection_mid_txn_keeps_ticket_accounting() {
+    use xmlup_rdb::SharedDatabase;
+
+    let scratch = Scratch::new("dropped-conn");
+    let db = db_with_window(&scratch, 3);
+    let shared = SharedDatabase::new(db);
+    let base_acked = shared.with_read(|db| db.wal_acked_commits());
+
+    shared.execute("INSERT INTO t VALUES (0)").unwrap();
+    shared.execute("INSERT INTO t VALUES (1)").unwrap();
+    assert_eq!(shared.with_read(|db| db.wal_pending_commits()), 2);
+
+    {
+        let mut sess = shared.session();
+        sess.execute("BEGIN").unwrap();
+        sess.execute("INSERT INTO t VALUES (100)").unwrap();
+        // The connection drops mid-transaction: the session rolls back.
+    }
+    assert_eq!(
+        shared.with_read(|db| db.wal_pending_commits()),
+        2,
+        "a dropped committer must not leave a sync ticket behind"
+    );
+
+    // The next commit closes the window and acknowledges exactly the
+    // three real commits.
+    shared.execute("INSERT INTO t VALUES (2)").unwrap();
+    assert_eq!(shared.with_read(|db| db.wal_pending_commits()), 0);
+    assert_eq!(
+        shared.with_read(|db| db.wal_acked_commits()) - base_acked,
+        3
+    );
+}
+
+#[test]
 fn os_crash_between_append_and_group_fsync_recovers_acked_prefix() {
     let scratch = Scratch::new("acked-prefix");
     let mut db = db_with_window(&scratch, 4);

@@ -6,9 +6,11 @@
 use std::time::Duration;
 use xmlup_rdb::{obs, Database, Value};
 
-/// Collect an EXPLAIN/EXPLAIN ANALYZE result as one string.
+/// Collect an EXPLAIN/EXPLAIN ANALYZE result as one string. Goes
+/// through the `&mut` statement funnel because `EXPLAIN ANALYZE` over
+/// DML executes (and so mutates); the read-only `query` path rejects it.
 fn explain(db: &mut Database, sql: &str) -> String {
-    let rs = db.query(sql).unwrap();
+    let rs = db.query_mut(sql).unwrap();
     rs.rows
         .iter()
         .map(|r| match &r[0] {
@@ -143,7 +145,7 @@ Execution time: X";
 
 #[test]
 fn in_list_probe_set_is_built_once_per_statement() {
-    let mut db = forest_db();
+    let db = forest_db();
     // No index on n3.num, so the IN-list runs as a row filter over all
     // 48 n3 rows — the probe set must still be materialized exactly
     // once for the whole scan, not once per row.
@@ -270,7 +272,7 @@ fn histogram_bucket_math() {
 
 #[test]
 fn metrics_text_format_is_stable() {
-    let mut db = forest_db();
+    let db = forest_db();
     db.query("SELECT COUNT(*) FROM n2").unwrap();
     let text = db.metrics_text();
     // Counter families the dashboards depend on.
@@ -333,7 +335,7 @@ fn metrics_text_format_is_stable() {
 fn trace_json_schema_and_lifecycle() {
     obs::clear_trace();
     obs::set_tracing(true);
-    let mut db = forest_db();
+    let db = forest_db();
     db.query("SELECT id FROM n1 WHERE id = 3").unwrap();
     obs::set_tracing(false);
 

@@ -316,7 +316,7 @@ fn planned_results_match_naive_interpretation() {
         "SELECT id FROM n1 WHERE EXISTS (SELECT * FROM n2 WHERE num > 28) ORDER BY id LIMIT 3",
         "SELECT id, num FROM n2 ORDER BY num DESC, id LIMIT 9",
     ];
-    let mut planned = edge_db();
+    let planned = edge_db();
     let mut naive = edge_db();
     naive.set_planner_naive(true);
     for sql in queries {
@@ -340,7 +340,7 @@ fn planned_results_match_naive_interpretation() {
 
 #[test]
 fn planner_errors_match_interpreter_shapes() {
-    let mut db = edge_db();
+    let db = edge_db();
     // Unknown table / column errors still surface from planning.
     assert!(db.query("SELECT * FROM nosuch").is_err());
     assert!(db.query("SELECT nosuch FROM n1").is_err());

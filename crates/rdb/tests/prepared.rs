@@ -196,7 +196,7 @@ fn prepared_handle_survives_ddl() {
 
 #[test]
 fn unbound_parameter_in_plain_execute_errors() {
-    let mut db = item_db();
+    let db = item_db();
     let err = db.query("SELECT name FROM Item WHERE id = ?").unwrap_err();
     assert!(matches!(err, DbError::Execution(_)), "got {err:?}");
 }

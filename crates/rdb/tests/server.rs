@@ -1,0 +1,149 @@
+//! TCP server tests: the line protocol, per-connection transactions,
+//! rollback on connection drop, and graceful shutdown draining the
+//! group-commit window.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use xmlup_rdb::{Database, Server, SharedDatabase};
+
+struct Client {
+    out: TcpStream,
+    lines: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let out = TcpStream::connect(addr).unwrap();
+        let lines = BufReader::new(out.try_clone().unwrap());
+        Client { out, lines }
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        self.lines.read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    }
+
+    /// Send one statement; collect the full response.
+    fn send(&mut self, sql: &str) -> (String, Vec<String>) {
+        writeln!(self.out, "{sql}").unwrap();
+        let head = self.read_line();
+        let mut rows = Vec::new();
+        if let Some(n) = head.strip_prefix("ROWS ") {
+            for _ in 0..n.parse::<usize>().unwrap() {
+                rows.push(self.read_line());
+            }
+        }
+        (head, rows)
+    }
+}
+
+fn serve() -> (xmlup_rdb::ServerHandle, SharedDatabase) {
+    let mut db = Database::new();
+    db.run_script(
+        "CREATE TABLE t (id INTEGER, v VARCHAR(10));
+         INSERT INTO t VALUES (1, 'a'), (2, 'b');",
+    )
+    .unwrap();
+    let shared = SharedDatabase::new(db);
+    let handle = Server::start(shared.clone(), "127.0.0.1:0").unwrap();
+    (handle, shared)
+}
+
+#[test]
+fn protocol_round_trips_rows_dml_and_errors() {
+    let (handle, _shared) = serve();
+    let mut c = Client::connect(handle.addr());
+
+    let (head, rows) = c.send("SELECT id, v FROM t ORDER BY id");
+    assert_eq!(head, "ROWS 2");
+    assert_eq!(rows, vec!["1\ta", "2\tb"]);
+
+    let (head, _) = c.send("INSERT INTO t VALUES (3, 'c')");
+    assert_eq!(head, "OK 1");
+
+    let (head, _) = c.send("CREATE INDEX t_id ON t (id)");
+    assert_eq!(head, "OK");
+
+    let (head, _) = c.send("SELECT nope FROM t");
+    assert!(head.starts_with("ERR "), "{head}");
+
+    // The connection survives an error.
+    let (head, rows) = c.send("SELECT COUNT(*) FROM t");
+    assert_eq!(head, "ROWS 1");
+    assert_eq!(rows, vec!["3"]);
+
+    handle.shutdown();
+}
+
+#[test]
+fn transactions_are_per_connection_and_dropped_connections_roll_back() {
+    let (handle, shared) = serve();
+
+    {
+        let mut a = Client::connect(handle.addr());
+        let (head, _) = a.send("BEGIN");
+        assert_eq!(head, "OK");
+        let (head, _) = a.send("DELETE FROM t");
+        assert_eq!(head, "OK 2");
+        // Inside the transaction, connection A sees its own delete…
+        let (_, rows) = a.send("SELECT COUNT(*) FROM t");
+        assert_eq!(rows, vec!["0"]);
+        // …while connection B still sees committed state.
+        let mut b = Client::connect(handle.addr());
+        let (_, rows) = b.send("SELECT COUNT(*) FROM t");
+        assert_eq!(rows, vec!["2"]);
+        // A's connection drops without COMMIT.
+    }
+
+    // The dropped transaction rolled back; new connections see the
+    // original rows and can open a write transaction immediately (the
+    // writer token was released).
+    let mut c = Client::connect(handle.addr());
+    let (_, rows) = c.send("SELECT COUNT(*) FROM t");
+    assert_eq!(rows, vec!["2"]);
+    let (head, _) = c.send("BEGIN");
+    assert_eq!(head, "OK");
+    let (head, _) = c.send("UPDATE t SET v = 'z' WHERE id = 1");
+    assert_eq!(head, "OK 1");
+    let (head, _) = c.send("COMMIT");
+    assert_eq!(head, "OK");
+
+    handle.shutdown();
+    assert_eq!(
+        shared.query("SELECT v FROM t WHERE id = 1").unwrap().rows[0][0],
+        xmlup_rdb::Value::Str("z".into())
+    );
+}
+
+#[test]
+fn shutdown_drains_the_group_commit_window() {
+    // A durable database with a wide group-commit window: commits sent
+    // over TCP wait on the sync ticket; shutdown must fsync them out.
+    let dir = std::env::temp_dir().join(format!("xmlup-server-drain-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut db = Database::open(&dir).unwrap();
+    db.run_script("CREATE TABLE t (id INTEGER)").unwrap();
+    db.set_wal_group_commit(100);
+    let shared = SharedDatabase::new(db);
+    let handle = Server::start(shared.clone(), "127.0.0.1:0").unwrap();
+
+    let mut c = Client::connect(handle.addr());
+    for i in 0..5 {
+        let (head, _) = c.send(&format!("INSERT INTO t VALUES ({i})"));
+        assert_eq!(head, "OK 1");
+    }
+    assert_eq!(shared.with_read(|db| db.wal_pending_commits()), 5);
+
+    handle.shutdown();
+    assert_eq!(
+        shared.with_read(|db| db.wal_pending_commits()),
+        0,
+        "shutdown must drain the in-flight group-commit window"
+    );
+    assert_eq!(
+        shared.with_read(|db| db.wal_synced_len()),
+        shared.with_read(|db| db.wal_size())
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

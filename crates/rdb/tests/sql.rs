@@ -28,7 +28,7 @@ fn customer_db() -> Database {
 
 #[test]
 fn select_with_join_and_filter() {
-    let mut db = customer_db();
+    let db = customer_db();
     let rs = db
         .query(
             "SELECT C.Name, O.Status FROM Customer C, Order_ O
@@ -43,7 +43,7 @@ fn select_with_join_and_filter() {
 
 #[test]
 fn three_way_join() {
-    let mut db = customer_db();
+    let db = customer_db();
     let rs = db
         .query(
             "SELECT C.Name FROM Customer C, Order_ O, OrderLine L
@@ -57,7 +57,7 @@ fn three_way_join() {
 
 #[test]
 fn figure5_outer_union_shape() {
-    let mut db = customer_db();
+    let db = customer_db();
     let rs = db
         .query(
             "WITH Q1(C1, C2, C3, C4, C5, C6, C7, C8, C9) AS (
@@ -220,7 +220,7 @@ fn update_reads_old_row_values() {
 
 #[test]
 fn aggregates_min_max_count_sum() {
-    let mut db = customer_db();
+    let db = customer_db();
     let rs = db
         .query("SELECT MIN(id), MAX(id), COUNT(*), SUM(Qty) FROM OrderLine")
         .unwrap();
@@ -237,7 +237,7 @@ fn aggregates_min_max_count_sum() {
 
 #[test]
 fn aggregates_on_empty_input() {
-    let mut db = customer_db();
+    let db = customer_db();
     let rs = db
         .query("SELECT COUNT(*), MIN(id), SUM(Qty) FROM OrderLine WHERE Qty > 100")
         .unwrap();
@@ -306,7 +306,7 @@ fn not_in_against_empty_subquery_keeps_all() {
 
 #[test]
 fn exists_and_scalar_subquery() {
-    let mut db = customer_db();
+    let db = customer_db();
     let rs = db
         .query("SELECT Name FROM Customer WHERE EXISTS (SELECT * FROM Order_) ORDER BY Name")
         .unwrap();
@@ -320,7 +320,7 @@ fn exists_and_scalar_subquery() {
 
 #[test]
 fn order_by_desc_and_limit() {
-    let mut db = customer_db();
+    let db = customer_db();
     let rs = db
         .query("SELECT id FROM OrderLine ORDER BY id DESC LIMIT 2")
         .unwrap();
@@ -498,7 +498,7 @@ fn allocate_ids_monotone() {
 
 #[test]
 fn arithmetic_and_division_errors() {
-    let mut db = Database::new();
+    let db = Database::new();
     let rs = db.query("SELECT 2 + 3 * 4 - 1, 10 / 3, 10 % 3").unwrap();
     assert_eq!(
         rs.rows[0],
@@ -519,7 +519,7 @@ fn union_all_arity_mismatch_rejected() {
 
 #[test]
 fn qualified_wildcard_projection() {
-    let mut db = customer_db();
+    let db = customer_db();
     let rs = db
         .query("SELECT O.* FROM Customer C, Order_ O WHERE O.parentId = C.id AND C.id = 2")
         .unwrap();
@@ -530,7 +530,7 @@ fn qualified_wildcard_projection() {
 
 #[test]
 fn select_distinct_dedupes() {
-    let mut db = customer_db();
+    let db = customer_db();
     let rs = db
         .query("SELECT DISTINCT parentId FROM OrderLine ORDER BY parentId")
         .unwrap();
@@ -547,7 +547,7 @@ fn select_distinct_dedupes() {
 
 #[test]
 fn distinct_in_subquery() {
-    let mut db = customer_db();
+    let db = customer_db();
     let rs = db
         .query(
             "SELECT Name FROM Customer
@@ -573,7 +573,7 @@ fn non_ascii_strings_roundtrip() {
 
 #[test]
 fn arithmetic_overflow_wraps_instead_of_panicking() {
-    let mut db = Database::new();
+    let db = Database::new();
     // i64::MIN / -1 and MIN % -1 must not abort the process.
     let rs = db.query("SELECT (9223372036854775807 + 1) / -1").unwrap();
     assert_eq!(rs.rows[0][0], Value::Int(i64::MIN));
@@ -585,7 +585,7 @@ fn arithmetic_overflow_wraps_instead_of_panicking() {
 
 #[test]
 fn order_by_position_out_of_range_errors() {
-    let mut db = customer_db();
+    let db = customer_db();
     assert!(db.query("SELECT Name FROM Customer ORDER BY 2").is_err());
     assert!(db.query("SELECT Name FROM Customer ORDER BY 0").is_err());
     assert!(db.query("SELECT Name FROM Customer ORDER BY 1").is_ok());

@@ -92,7 +92,7 @@ fn committed_txn_survives_uncommitted_is_discarded() {
         .unwrap();
     drop(db);
 
-    let mut db2 = Database::open(scratch.path()).unwrap();
+    let db2 = Database::open(scratch.path()).unwrap();
     assert_eq!(dump(&db2), committed);
     assert_eq!(
         db2.query("SELECT COUNT(*) FROM t").unwrap().rows[0][0],
@@ -135,7 +135,7 @@ fn savepoint_partial_rollback_recovers_exactly() {
     let before = dump(&db);
     drop(db);
 
-    let mut db2 = Database::open(scratch.path()).unwrap();
+    let db2 = Database::open(scratch.path()).unwrap();
     assert_eq!(dump(&db2), before);
     let rs = db2.query("SELECT id FROM t ORDER BY id").unwrap();
     let ids: Vec<&Value> = rs.rows.iter().map(|r| &r[0]).collect();

@@ -131,7 +131,7 @@ fn open_recovers_committed_prefix_at_every_truncation_offset() {
         let _ = std::fs::remove_dir_all(&cut_dir);
         std::fs::create_dir_all(&cut_dir).unwrap();
         std::fs::write(cut_dir.join("wal.bin"), &wal_bytes[..cut]).unwrap();
-        let mut recovered = Database::open(&cut_dir).unwrap();
+        let recovered = Database::open(&cut_dir).unwrap();
         let rows = match recovered.table("t") {
             // Cut fell before the CREATE TABLE frame completed.
             None => 0,

@@ -6,8 +6,14 @@
 //!
 //! ```text
 //! xmlup-cli [--relational] [--ordered] [--dtd FILE] [--root NAME]
-//!           [--load NAME=FILE]... [SCRIPT]
+//!           [--load NAME=FILE]... [--serve ADDR] [SCRIPT]
 //! ```
+//!
+//! `--serve ADDR` switches the CLI into server mode after any `--load`s:
+//! the relational store is shared behind the engine's session layer
+//! (MVCC snapshot reads, serialized writers) and served over the
+//! line-based SQL protocol on `ADDR` (e.g. `127.0.0.1:7878`) until stdin
+//! closes or reads `quit`; shutdown drains the group-commit window.
 //!
 //! Without a SCRIPT file, reads commands from stdin. Statements may span
 //! lines and end with `;;`. Dot-commands:
@@ -50,12 +56,14 @@ fn main() {
     let mut root_name: Option<String> = None;
     let mut loads: Vec<(String, String)> = Vec::new();
     let mut script: Option<String> = None;
+    let mut serve_addr: Option<String> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--relational" => relational = true,
             "--ordered" => ordered = true,
             "--dtd" => dtd_file = args.next(),
             "--root" => root_name = args.next(),
+            "--serve" => serve_addr = args.next(),
             "--load" => {
                 if let Some(spec) = args.next() {
                     if let Some((n, f)) = spec.split_once('=') {
@@ -128,6 +136,11 @@ fn main() {
         }
     }
 
+    if let Some(addr) = serve_addr {
+        serve(&mut cli, &addr);
+        return;
+    }
+
     match script {
         Some(f) => {
             let text = match std::fs::read_to_string(&f) {
@@ -152,10 +165,47 @@ fn main() {
 fn print_help() {
     println!(
         "xmlup-cli [--relational] [--ordered] [--dtd FILE] [--root NAME] \
-         [--load NAME=FILE]... [SCRIPT]\n\
+         [--load NAME=FILE]... [--serve ADDR] [SCRIPT]\n\
          Statements end with `;;`. Dot-commands: .load .show .sql .tables \
-         .stats .metrics .trace .strategy .help .quit"
+         .stats .metrics .trace .strategy .help .quit\n\
+         --serve ADDR shares the store over the line-based SQL protocol \
+         (one session per connection; BEGIN/COMMIT/ROLLBACK per session)."
     );
+}
+
+/// Server mode: hand the relational store (schema, triggers, any loaded
+/// document) to the engine's session layer and serve SQL over TCP until
+/// stdin closes. Shutdown joins every connection and drains the
+/// group-commit window before returning.
+fn serve(cli: &mut Cli, addr: &str) {
+    let db = match cli.repo.as_mut() {
+        // The repository facade stays behind; connections speak SQL
+        // directly to the shredded store.
+        Some(repo) => std::mem::replace(&mut repo.db, xmlup::rdb::Database::new()),
+        None => xmlup::rdb::Database::new(),
+    };
+    let shared = xmlup::rdb::SharedDatabase::new(db);
+    let handle = match xmlup::rdb::Server::start(shared, addr) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot listen on {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "serving SQL on {} (close stdin or type `quit` to stop)",
+        handle.addr()
+    );
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "quit" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    handle.shutdown();
+    println!("server stopped");
 }
 
 /// Split a script into units: dot-command lines stand alone; anything else

@@ -184,7 +184,7 @@ proptest! {
             db
         };
         let targets = {
-            let mut db = build();
+            let db = build();
             let rs = db
                 .query("SELECT id FROM Edge WHERE name = 'n1' ORDER BY id")
                 .unwrap();
