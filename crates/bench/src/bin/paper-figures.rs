@@ -95,6 +95,13 @@ fn main() {
     if run("storage") {
         let rows = exp::storage_ablation(&scaling);
         exp::print_storage(&rows);
+        // Paged storage engine: incremental checkpoints vs dirty
+        // fraction, buffer-pool sweep, recovery time — at 10× the
+        // workload driver's default scale (40× under --full).
+        let sf = if full { 2000 } else { 500 };
+        let report = exp::storage_engine(sf);
+        exp::print_storage_engine(&report);
+        exp::emit_storage_engine_json(&report);
     }
     if run("plan-cache") {
         let rows = exp::plan_cache_stats(if full { 400 } else { 100 });

@@ -1669,3 +1669,429 @@ pub fn emit_concurrency_json(rows: &[ConcurrencyRow]) {
         eprintln!("paper-figures: failed to write {}: {e}", path.display());
     }
 }
+
+// ----------------------------------------------------------------------
+// storage-engine: paged backend — incremental checkpoints, buffer pool,
+// recovery (ISSUE: paged storage engine behind `StorageBackend`)
+// ----------------------------------------------------------------------
+
+/// One churn point of the checkpoint experiment: the same update batch
+/// checkpointed by the full-snapshot memory backend and by the paged
+/// backend's incremental dirty-page flush.
+#[derive(Debug, Clone)]
+pub struct StorageCheckpointRow {
+    /// Fraction of `n1` rows updated between checkpoints.
+    pub dirty_fraction: f64,
+    /// Full-snapshot checkpoint time (memory backend).
+    pub full_ms: Millis,
+    /// Incremental checkpoint time (paged backend).
+    pub incr_ms: Millis,
+    /// Pages written per full checkpoint.
+    pub full_pages: u64,
+    /// Pages written per incremental checkpoint.
+    pub incr_pages: u64,
+    /// Bytes written per full checkpoint.
+    pub full_bytes: u64,
+    /// Bytes written per incremental checkpoint.
+    pub incr_bytes: u64,
+}
+
+/// One buffer-pool budget point: scan and point-read cost with hit/miss
+/// counters, pool smaller (or larger) than the dataset.
+#[derive(Debug, Clone)]
+pub struct StoragePoolRow {
+    /// Buffer-pool frame budget.
+    pub pool_frames: usize,
+    /// Pages the store has allocated (the dataset size in pages).
+    pub pages_allocated: u64,
+    /// Total time for the scan batch.
+    pub scan_ms: Millis,
+    /// Total time for the point-read batch.
+    pub point_ms: Millis,
+    /// Pool hits over the measured batches.
+    pub hits: u64,
+    /// Pool misses (page loads from disk).
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+}
+
+/// One recovery point: reopen time after a random-update run was killed,
+/// per backend. Both stores checkpointed mid-run, so recovery composes
+/// the checkpoint image with the post-checkpoint WAL suffix.
+#[derive(Debug, Clone)]
+pub struct StorageRecoveryRow {
+    /// Backend label (`memory` / `paged`).
+    pub backend: String,
+    /// Random updates executed before the kill.
+    pub updates: usize,
+    /// WAL bytes left to replay at reopen.
+    pub wal_bytes: u64,
+    /// Committed transactions replayed during recovery.
+    pub recovered_txns: u64,
+    /// Wall-clock reopen (recovery) time.
+    pub recovery_ms: Millis,
+}
+
+/// The whole storage-engine experiment.
+#[derive(Debug, Clone)]
+pub struct StorageEngineReport {
+    /// Checkpoint cost vs dirty fraction.
+    pub checkpoints: Vec<StorageCheckpointRow>,
+    /// Scan/point-read cost vs pool budget.
+    pub pool: Vec<StoragePoolRow>,
+    /// Recovery time per backend.
+    pub recovery: Vec<StorageRecoveryRow>,
+}
+
+fn storage_repo(
+    dir: &std::path::Path,
+    backend: xmlup_rdb::BackendKind,
+    pool_frames: usize,
+    sf: usize,
+) -> XmlRepository {
+    use xmlup_shred::Mapping;
+    let p = SyntheticParams::new(sf, 3, 2);
+    let dtd = synthetic_dtd(p.depth);
+    let mapping = Mapping::from_dtd(&dtd, "root").unwrap();
+    let cfg = RepoConfig {
+        backend,
+        pool_frames,
+        statement_cost_us: 0,
+        ..RepoConfig::default()
+    };
+    let mut repo = XmlRepository::open_durable(dir, mapping, cfg).expect("open durable store");
+    if repo.tuple_count() == 0 {
+        repo.load(&fixed_document(&p)).expect("load");
+    }
+    repo
+}
+
+fn n1_ids(repo: &XmlRepository) -> Vec<i64> {
+    repo.db
+        .query("SELECT id FROM n1 ORDER BY id")
+        .unwrap()
+        .rows
+        .iter()
+        .filter_map(|r| r[0].as_int())
+        .collect()
+}
+
+/// Checkpoint cost vs dirty fraction: dirty `frac` of the `n1` rows,
+/// checkpoint, repeat 2·[`RUNS`]+1 times (first discarded, minimum
+/// reported — checkpoint cost is fsync-bound and the noise is strictly
+/// additive stall time, so the minimum is the estimator of the actual
+/// write cost). The memory backend rewrites the whole snapshot every
+/// time; the paged backend flushes only the pages the updates touched.
+pub fn storage_checkpoints(sf: usize, fractions: &[f64]) -> Vec<StorageCheckpointRow> {
+    use xmlup_rdb::BackendKind;
+    let mut rows = Vec::new();
+    for &frac in fractions {
+        let mut per_backend = Vec::new();
+        for backend in [BackendKind::Memory, BackendKind::Paged] {
+            let dir = scratch_dir();
+            let mut repo = storage_repo(&dir, backend, 4096, sf);
+            let ids = n1_ids(&repo);
+            let k = ((ids.len() as f64 * frac).ceil() as usize).clamp(1, ids.len());
+            // Settle: the first checkpoint absorbs the load itself.
+            repo.checkpoint().unwrap();
+            let mut times = Vec::new();
+            let (mut pages, mut bytes) = (0u64, 0u64);
+            let runs = 2 * RUNS;
+            for run in 0..=runs {
+                for (j, id) in ids[..k].iter().enumerate() {
+                    repo.db
+                        .execute(&format!("UPDATE n1 SET str = 'd{run}x{j}' WHERE id = {id}"))
+                        .unwrap();
+                }
+                let s0 = repo.db.stats();
+                let t = std::time::Instant::now();
+                repo.checkpoint().unwrap();
+                let ms = t.elapsed().as_secs_f64() * 1e3;
+                let s1 = repo.db.stats();
+                if run > 0 {
+                    times.push(ms);
+                    pages += s1.checkpoint_pages_written - s0.checkpoint_pages_written;
+                    bytes += s1.checkpoint_bytes_written - s0.checkpoint_bytes_written;
+                }
+            }
+            repo.close_durable().unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            let best = times.iter().copied().fold(f64::INFINITY, f64::min);
+            let n = runs as u64;
+            per_backend.push((best, pages / n, bytes / n));
+        }
+        let (full, incr) = (per_backend[0], per_backend[1]);
+        rows.push(StorageCheckpointRow {
+            dirty_fraction: frac,
+            full_ms: full.0,
+            incr_ms: incr.0,
+            full_pages: full.1,
+            incr_pages: incr.1,
+            full_bytes: full.2,
+            incr_bytes: incr.2,
+        });
+    }
+    rows
+}
+
+/// Scan/point-read cost at different pool budgets over the same paged
+/// dataset: small pools thrash (misses + evictions on every pass), large
+/// pools serve from memory after the first pass.
+pub fn storage_pool_sweep(sf: usize, frames: &[usize]) -> Vec<StoragePoolRow> {
+    use xmlup_rdb::BackendKind;
+    const SCANS: usize = 20;
+    const POINTS: usize = 400;
+    let mut rows = Vec::new();
+    for &fr in frames {
+        let dir = scratch_dir();
+        let repo = storage_repo(&dir, BackendKind::Paged, fr, sf);
+        let ids = n1_ids(&repo);
+        let m0 = repo.db.storage_metrics();
+        let t = std::time::Instant::now();
+        for _ in 0..SCANS {
+            repo.db.query("SELECT COUNT(*) FROM n3").unwrap();
+        }
+        let scan_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = std::time::Instant::now();
+        for i in 0..POINTS {
+            let id = ids[i % ids.len()];
+            repo.db
+                .query(&format!("SELECT str FROM n1 WHERE id = {id}"))
+                .unwrap();
+        }
+        let point_ms = t.elapsed().as_secs_f64() * 1e3;
+        let m1 = repo.db.storage_metrics();
+        rows.push(StoragePoolRow {
+            pool_frames: fr,
+            pages_allocated: m1.pages_allocated,
+            scan_ms,
+            point_ms,
+            hits: m1.pool.hits - m0.pool.hits,
+            misses: m1.pool.misses - m0.pool.misses,
+            evictions: m1.pool.evictions - m0.pool.evictions,
+        });
+        repo.close_durable().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    rows
+}
+
+/// Recovery time after a killed random-update run, per backend: run
+/// `updates` updates, checkpoint halfway, run the rest, kill (drop), and
+/// time the reopen. The paged store restores table images straight from
+/// its page file and replays only the post-checkpoint WAL suffix.
+pub fn storage_recovery(sf: usize, updates: usize) -> Vec<StorageRecoveryRow> {
+    use xmlup_rdb::BackendKind;
+    let mut rows = Vec::new();
+    for backend in [BackendKind::Memory, BackendKind::Paged] {
+        let dir = scratch_dir();
+        {
+            let mut repo = storage_repo(&dir, backend, 4096, sf);
+            let ids = n1_ids(&repo);
+            for i in 0..updates {
+                let id = ids[(i * 7) % ids.len()];
+                repo.db
+                    .execute(&format!("UPDATE n1 SET str = 'r{i}' WHERE id = {id}"))
+                    .unwrap();
+                if i == updates / 2 {
+                    repo.checkpoint().unwrap();
+                }
+            }
+            // Kill: drop without close.
+        }
+        let recovery_ms = time_runs(
+            RUNS,
+            || dir.clone(),
+            |d| {
+                drop(storage_repo(d, backend, 4096, sf));
+            },
+        );
+        let repo = storage_repo(&dir, backend, 4096, sf);
+        let stats = repo.db.stats();
+        let wal_bytes = repo.db.wal_size();
+        drop(repo);
+        let _ = std::fs::remove_dir_all(&dir);
+        rows.push(StorageRecoveryRow {
+            backend: backend.to_string(),
+            updates,
+            wal_bytes,
+            recovered_txns: stats.recovered_txns,
+            recovery_ms,
+        });
+    }
+    rows
+}
+
+/// Run the full storage-engine experiment at `sf` (the paper workloads'
+/// 10×-scale point by default).
+pub fn storage_engine(sf: usize) -> StorageEngineReport {
+    StorageEngineReport {
+        checkpoints: storage_checkpoints(sf, &[0.01, 0.05, 0.10, 0.25, 1.0]),
+        pool: storage_pool_sweep(sf, &[8, 32, 128, 512, 4096]),
+        recovery: storage_recovery(sf, 500),
+    }
+}
+
+/// Print the storage-engine experiment in the figure layout.
+pub fn print_storage_engine(r: &StorageEngineReport) {
+    println!("# Paged storage engine: incremental vs full-snapshot checkpoints");
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "dirty",
+        "full ms",
+        "incr ms",
+        "full pages",
+        "incr pages",
+        "full bytes",
+        "incr bytes",
+        "speedup"
+    );
+    for c in &r.checkpoints {
+        let speedup = if c.incr_ms > 0.0 {
+            c.full_ms / c.incr_ms
+        } else {
+            0.0
+        };
+        println!(
+            "{:<8.2} {:>10.3} {:>10.3} {:>12} {:>12} {:>12} {:>12} {:>8.1}x",
+            c.dirty_fraction,
+            c.full_ms,
+            c.incr_ms,
+            c.full_pages,
+            c.incr_pages,
+            c.full_bytes,
+            c.incr_bytes,
+            speedup
+        );
+    }
+    println!();
+    println!("# Buffer pool: scan + point-read cost vs frame budget");
+    println!(
+        "{:<8} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "frames", "pages", "scan ms", "point ms", "hits", "misses", "evicted", "hit rate"
+    );
+    for p in &r.pool {
+        let total = p.hits + p.misses;
+        let rate = if total > 0 {
+            p.hits as f64 / total as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<8} {:>8} {:>10.3} {:>10.3} {:>10} {:>10} {:>10} {:>8.1}%",
+            p.pool_frames,
+            p.pages_allocated,
+            p.scan_ms,
+            p.point_ms,
+            p.hits,
+            p.misses,
+            p.evictions,
+            rate * 100.0
+        );
+    }
+    println!();
+    println!("# Recovery after a killed random-update run (checkpoint at 50%)");
+    println!(
+        "{:<10} {:>8} {:>12} {:>10} {:>12}",
+        "backend", "updates", "wal bytes", "txns", "recover ms"
+    );
+    for rec in &r.recovery {
+        println!(
+            "{:<10} {:>8} {:>12} {:>10} {:>12.3}",
+            rec.backend, rec.updates, rec.wal_bytes, rec.recovered_txns, rec.recovery_ms
+        );
+    }
+    println!();
+}
+
+/// Write `BENCH_storage.json` into `$BENCH_JSON_DIR` (if set).
+pub fn emit_storage_engine_json(r: &StorageEngineReport) {
+    let Ok(dir) = std::env::var("BENCH_JSON_DIR") else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    let checkpoints = r
+        .checkpoints
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"dirty_fraction\":{:.4},\"full_ms\":{:.6},\"incremental_ms\":{:.6},\
+                 \"full_pages\":{},\"incremental_pages\":{},\
+                 \"full_bytes\":{},\"incremental_bytes\":{},\"speedup\":{:.4}}}",
+                c.dirty_fraction,
+                c.full_ms,
+                c.incr_ms,
+                c.full_pages,
+                c.incr_pages,
+                c.full_bytes,
+                c.incr_bytes,
+                if c.incr_ms > 0.0 {
+                    c.full_ms / c.incr_ms
+                } else {
+                    0.0
+                }
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let pool = r
+        .pool
+        .iter()
+        .map(|p| {
+            let total = p.hits + p.misses;
+            format!(
+                "{{\"pool_frames\":{},\"pages_allocated\":{},\"scan_ms\":{:.6},\
+                 \"point_ms\":{:.6},\"hits\":{},\"misses\":{},\"evictions\":{},\
+                 \"hit_rate\":{:.4}}}",
+                p.pool_frames,
+                p.pages_allocated,
+                p.scan_ms,
+                p.point_ms,
+                p.hits,
+                p.misses,
+                p.evictions,
+                if total > 0 {
+                    p.hits as f64 / total as f64
+                } else {
+                    0.0
+                }
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let recovery = r
+        .recovery
+        .iter()
+        .map(|rec| {
+            format!(
+                "{{\"backend\":\"{}\",\"updates\":{},\"wal_bytes\":{},\
+                 \"recovered_txns\":{},\"recovery_ms\":{:.6}}}",
+                rec.backend, rec.updates, rec.wal_bytes, rec.recovered_txns, rec.recovery_ms
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    // Headline number for the acceptance check: incremental speedup at
+    // the ≤10% churn point.
+    let at_10 = r
+        .checkpoints
+        .iter()
+        .filter(|c| c.dirty_fraction <= 0.10 + 1e-9 && c.incr_ms > 0.0)
+        .map(|c| c.full_ms / c.incr_ms)
+        .fold(0.0f64, f64::max);
+    let json = format!(
+        "{{\"figure\":\"storage\",\
+         \"title\":\"Paged storage engine: incremental checkpoints, buffer pool, recovery\",\
+         \"incremental_speedup_at_10pct_churn\":{at_10:.4},\
+         \"checkpoints\":[{checkpoints}],\
+         \"pool\":[{pool}],\
+         \"recovery\":[{recovery}]}}\n"
+    );
+    let path = std::path::Path::new(&dir).join("BENCH_storage.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("paper-figures: failed to write {}: {e}", path.display());
+    }
+}

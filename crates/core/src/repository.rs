@@ -6,7 +6,7 @@ use crate::delete::{self, DeleteStrategy};
 use crate::error::{CoreError, Result};
 use crate::insert::{self, InsertStrategy};
 use crate::translate::{self, TranslatedOp};
-use xmlup_rdb::{Database, Span, Stats, Value};
+use xmlup_rdb::{BackendKind, Database, Span, Stats, StorageConfig, Value};
 use xmlup_shred::{loader, outer_union, AsrIndex, Mapping};
 use xmlup_xml::dtd::Dtd;
 use xmlup_xml::{Document, NodeId};
@@ -34,6 +34,14 @@ pub struct RepoConfig {
     /// translation; larger windows amortize the per-statement cost that
     /// dominates §6's tuple-binding numbers.
     pub batch_size: usize,
+    /// Storage backend for durable repositories: heap tables serialized
+    /// as a full snapshot per checkpoint (`Memory`, the default) or the
+    /// paged B-tree store with incremental checkpoints (`Paged`).
+    /// Ignored by in-memory constructors ([`XmlRepository::new`]).
+    pub backend: BackendKind,
+    /// Buffer-pool frame budget for the paged backend (pages held in
+    /// memory at once). Ignored by the memory backend.
+    pub pool_frames: usize,
 }
 
 impl Default for RepoConfig {
@@ -44,6 +52,8 @@ impl Default for RepoConfig {
             build_asr: false,
             statement_cost_us: 0,
             batch_size: 256,
+            backend: BackendKind::Memory,
+            pool_frames: 1024,
         }
     }
 }
@@ -110,7 +120,12 @@ impl XmlRepository {
         mapping: Mapping,
         config: RepoConfig,
     ) -> Result<Self> {
-        let mut db = Database::open(path)?;
+        let storage = StorageConfig {
+            backend: config.backend,
+            pool_frames: config.pool_frames,
+            ..StorageConfig::default()
+        };
+        let mut db = Database::open_with(path, storage)?;
         db.set_statement_cost(std::time::Duration::from_micros(config.statement_cost_us));
         if db.table_names().is_empty() {
             loader::create_schema(&mut db, &mapping)?;

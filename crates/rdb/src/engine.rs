@@ -17,6 +17,10 @@ use crate::obs::{self, Metric, SlowQuery, Span};
 use crate::parser::{parse_script_with_text, parse_stmt_with_params};
 use crate::plan::{PlanSlot, SelectPlan};
 use crate::sql::stmt_to_sql;
+use crate::storage::{
+    BackendKind, CatalogTable, CheckpointCatalog, MemoryBackend, PagedStore, StorageBackend,
+    StorageConfig, StorageMetrics,
+};
 use crate::table::{Table, TableSchema};
 use crate::txn::{FaultState, Savepoint, TxnState, UndoRecord};
 use crate::value::{Row, Value};
@@ -108,6 +112,13 @@ pub struct Stats {
     /// Wall-clock time of the most recent [`Database::open`] recovery
     /// (snapshot load + WAL replay), in microseconds.
     pub recovery_micros: u64,
+    /// Pages written by checkpoints: dirty buffer-pool frames plus meta
+    /// on the paged backend, snapshot size in page units on the memory
+    /// backend.
+    pub checkpoint_pages_written: u64,
+    /// Bytes written by checkpoints (page images + meta, or the full
+    /// snapshot).
+    pub checkpoint_bytes_written: u64,
 }
 
 #[derive(Debug, Default)]
@@ -140,6 +151,8 @@ pub(crate) struct StatsCells {
     pub(crate) predicates_pushed: Counter,
     pub(crate) wal_replayed_bytes: Counter,
     pub(crate) recovery_micros: Counter,
+    pub(crate) checkpoint_pages_written: Counter,
+    pub(crate) checkpoint_bytes_written: Counter,
 }
 
 impl StatsCells {
@@ -173,6 +186,8 @@ impl StatsCells {
             predicates_pushed: self.predicates_pushed.get(),
             wal_replayed_bytes: self.wal_replayed_bytes.get(),
             recovery_micros: self.recovery_micros.get(),
+            checkpoint_pages_written: self.checkpoint_pages_written.get(),
+            checkpoint_bytes_written: self.checkpoint_bytes_written.get(),
         }
     }
 
@@ -344,7 +359,7 @@ impl PlanCache {
 }
 
 /// The in-memory relational database.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Database {
     pub(crate) tables: HashMap<String, Table>,
     triggers: Vec<Trigger>,
@@ -382,6 +397,16 @@ pub struct Database {
     /// MVCC epoch, snapshot registry, and concurrency metrics (see
     /// [`crate::mvcc`]).
     pub(crate) mvcc: MvccState,
+    /// Storage backend underneath the in-memory tables (see
+    /// [`crate::storage`]). [`MemoryBackend`] — every hook a no-op —
+    /// unless [`Database::open_with`] selected the paged store.
+    storage: Arc<dyn StorageBackend>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
 }
 
 /// On-disk attachment of a durable database: the storage directory, the
@@ -454,6 +479,7 @@ impl Database {
             slow_threshold: OptDurCell::default(),
             slow_log: Mutex::new(Vec::new()),
             mvcc: MvccState::default(),
+            storage: Arc::new(MemoryBackend),
         }
     }
 
@@ -593,6 +619,16 @@ impl Database {
                 s.checkpoints,
             ),
             Metric::counter(
+                "rdb_checkpoint_pages_written_total",
+                "Pages written by checkpoints (dirty frames + meta, or snapshot size in pages)",
+                s.checkpoint_pages_written,
+            ),
+            Metric::counter(
+                "rdb_checkpoint_bytes_written_total",
+                "Bytes written by checkpoints",
+                s.checkpoint_bytes_written,
+            ),
+            Metric::counter(
                 "rdb_recovered_txns_total",
                 "Committed transactions replayed by the most recent open",
                 s.recovered_txns,
@@ -688,6 +724,39 @@ impl Database {
                 self.snapshot_versions_retained(),
             ),
         ];
+        if self.storage.kind() != BackendKind::Memory {
+            let sm = self.storage.metrics();
+            m.push(Metric::counter(
+                "rdb_storage_pool_hits_total",
+                "Buffer-pool page requests answered from a resident frame",
+                sm.pool.hits,
+            ));
+            m.push(Metric::counter(
+                "rdb_storage_pool_misses_total",
+                "Buffer-pool page requests that read the page file",
+                sm.pool.misses,
+            ));
+            m.push(Metric::counter(
+                "rdb_storage_pool_evictions_total",
+                "Buffer-pool frames reclaimed by the clock hand",
+                sm.pool.evictions,
+            ));
+            m.push(Metric::counter(
+                "rdb_storage_pool_writebacks_total",
+                "Dirty frames written back at eviction time",
+                sm.pool.writebacks,
+            ));
+            m.push(Metric::gauge(
+                "rdb_storage_pool_frames",
+                "Configured buffer-pool frame budget",
+                sm.pool_frames,
+            ));
+            m.push(Metric::gauge(
+                "rdb_storage_pages_allocated",
+                "Highest allocated page id in the page store",
+                sm.pages_allocated,
+            ));
+        }
         {
             // Writer-admission wait histogram (recorded in ns, reported
             // in µs to match the metric name).
@@ -1389,12 +1458,25 @@ impl Database {
             }
             UndoRecord::CreatedTable { name } => {
                 self.tables.remove(&name);
+                if self.storage.is_persistent() {
+                    self.storage.drop_table(&name);
+                }
             }
             UndoRecord::DroppedTable {
                 name,
                 table,
                 triggers,
             } => {
+                // The forward DROP reclaimed the table's pages; rebuild
+                // them from the restored heap before reinstating it (the
+                // stashed table still carries its backing, so later
+                // mutations mirror as usual).
+                if self.storage.is_persistent() {
+                    self.storage.create_table(&name);
+                    for (pos, row) in table.iter_live() {
+                        self.storage.put_row(&name, pos as u64, row);
+                    }
+                }
                 self.tables.insert(name, *table);
                 for (at, trig) in triggers {
                     self.triggers.insert(at.min(self.triggers.len()), trig);
@@ -1470,6 +1552,17 @@ impl Database {
     /// whose truncation never landed; its effects are already inside the
     /// snapshot, so it is discarded.
     pub fn open(path: impl AsRef<Path>) -> Result<Database> {
+        Self::open_with(path, StorageConfig::default())
+    }
+
+    /// [`Database::open`] with an explicit [`StorageConfig`]. With the
+    /// paged backend selected, recovery prefers the page store's
+    /// checkpoint meta (tables are rebuilt from the B-trees and hash
+    /// indexes recomputed in slot order); a directory that only holds a
+    /// full snapshot is migrated by seeding the page store from it. All
+    /// table mutations from then on — including the WAL replay below —
+    /// are mirrored into the store.
+    pub fn open_with(path: impl AsRef<Path>, config: StorageConfig) -> Result<Database> {
         let _span = Span::enter("db.recover");
         let recover_start = std::time::Instant::now();
         let dir = path.as_ref().to_path_buf();
@@ -1477,11 +1570,41 @@ impl Database {
         let mut db = Database::new();
         let mut generation = 0u64;
         let snap_path = dir.join(SNAPSHOT_FILE);
-        if snap_path.exists() {
-            let bytes = fs::read(&snap_path).map_err(|e| storage_err("read snapshot", &e))?;
-            let snap = wal::decode_snapshot(&bytes)?;
-            generation = snap.generation;
-            db.restore_snapshot(snap)?;
+        match config.backend {
+            BackendKind::Memory => {
+                if snap_path.exists() {
+                    let bytes =
+                        fs::read(&snap_path).map_err(|e| storage_err("read snapshot", &e))?;
+                    let snap = wal::decode_snapshot(&bytes)?;
+                    generation = snap.generation;
+                    db.restore_snapshot(snap)?;
+                }
+            }
+            BackendKind::Paged => {
+                let (store, meta) =
+                    PagedStore::open(&dir, config.pool_frames, config.read_through)?;
+                db.storage = Arc::new(store);
+                match meta {
+                    Some(meta) => {
+                        generation = meta.generation;
+                        db.restore_from_pages(&meta)?;
+                    }
+                    None => {
+                        // First paged open of this directory. If the
+                        // memory backend left a full snapshot, migrate
+                        // it; either way, seed the page store from the
+                        // in-memory tables and attach the mirrors.
+                        if snap_path.exists() {
+                            let bytes = fs::read(&snap_path)
+                                .map_err(|e| storage_err("read snapshot", &e))?;
+                            let snap = wal::decode_snapshot(&bytes)?;
+                            generation = snap.generation;
+                            db.restore_snapshot(snap)?;
+                        }
+                        db.seed_page_store();
+                    }
+                }
+            }
         }
         let wal_path = dir.join(WAL_FILE);
         let mut file = fs::OpenOptions::new()
@@ -1586,22 +1709,44 @@ impl Database {
             ));
         }
         let generation = self.durable.as_ref().expect("checked above").generation + 1;
-        let bytes = wal::encode_snapshot(&self.build_snapshot(generation));
-        let d = self.durable.as_mut().expect("checked above");
-        let tmp = d.dir.join(SNAPSHOT_TMP);
-        let dest = d.dir.join(SNAPSHOT_FILE);
-        let io = (|| -> std::io::Result<()> {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(&bytes)?;
-            f.sync_all()?;
-            drop(f);
-            fs::rename(&tmp, &dest)?;
-            // Make the rename durable before truncating the WAL the
-            // snapshot subsumes; a crash in between leaves a stale WAL,
-            // which the generation check at open discards.
-            if let Ok(dirf) = fs::File::open(&d.dir) {
-                let _ = dirf.sync_all();
+        // A persistent backend commits an incremental checkpoint (dirty
+        // pages + meta rename) and reports its work; the memory backend
+        // declines and the engine writes the full snapshot as before.
+        let report = if self.storage.is_persistent() {
+            self.storage
+                .checkpoint(&self.checkpoint_catalog(generation))?
+        } else {
+            None
+        };
+        let (cp_pages, cp_bytes) = match report {
+            Some(r) => (r.pages_written, r.bytes_written),
+            None => {
+                let bytes = wal::encode_snapshot(&self.build_snapshot(generation));
+                let d = self.durable.as_ref().expect("checked above");
+                let tmp = d.dir.join(SNAPSHOT_TMP);
+                let dest = d.dir.join(SNAPSHOT_FILE);
+                let io = (|| -> std::io::Result<()> {
+                    let mut f = fs::File::create(&tmp)?;
+                    f.write_all(&bytes)?;
+                    f.sync_all()?;
+                    drop(f);
+                    fs::rename(&tmp, &dest)?;
+                    // Make the rename durable before truncating the WAL
+                    // the snapshot subsumes; a crash in between leaves a
+                    // stale WAL, which the generation check at open
+                    // discards.
+                    if let Ok(dirf) = fs::File::open(&d.dir) {
+                        let _ = dirf.sync_all();
+                    }
+                    Ok(())
+                })();
+                io.map_err(|e| storage_err("checkpoint", &e))?;
+                let len = bytes.len() as u64;
+                (len.div_ceil(crate::storage::pager::PAGE_SIZE as u64), len)
             }
+        };
+        let d = self.durable.as_mut().expect("checked above");
+        let io = (|| -> std::io::Result<()> {
             let mut w = d.wal.lock().unwrap();
             w.flush()?;
             let f = w.get_mut();
@@ -1622,7 +1767,20 @@ impl Database {
         d.appended_len.set(wal::WAL_HEADER_LEN as u64);
         d.synced_len.set(wal::WAL_HEADER_LEN as u64);
         StatsCells::bump(&self.stats.checkpoints, 1);
+        StatsCells::bump(&self.stats.checkpoint_pages_written, cp_pages);
+        StatsCells::bump(&self.stats.checkpoint_bytes_written, cp_bytes);
         Ok(())
+    }
+
+    /// Which storage backend the database runs on.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.storage.kind()
+    }
+
+    /// Storage-layer counters: buffer-pool hits/misses/evictions, pages
+    /// allocated, store LSN. All zero on the memory backend.
+    pub fn storage_metrics(&self) -> StorageMetrics {
+        self.storage.metrics()
     }
 
     /// Whether this database was opened durably ([`Database::open`]).
@@ -1818,6 +1976,122 @@ impl Database {
         Ok(())
     }
 
+    /// Reconstruct state from the page store's checkpoint meta
+    /// (paged-backend open). Slot vectors are rebuilt at their recorded
+    /// length (trailing tombstones preserved, so WAL replay lands rows at
+    /// the logged positions) and hash indexes are recomputed with bucket
+    /// entries in ascending slot order — logically identical to, but not
+    /// necessarily bucket-order-identical with, the pre-crash image.
+    fn restore_from_pages(&mut self, meta: &crate::storage::pager::StoreMeta) -> Result<()> {
+        for tm in &meta.tables {
+            let schema = TableSchema {
+                name: tm.name.clone(),
+                columns: tm
+                    .columns
+                    .iter()
+                    .map(|(name, ty)| ColumnDef {
+                        name: name.clone(),
+                        ty: *ty,
+                    })
+                    .collect(),
+            };
+            let mut slots: Vec<Option<Row>> = vec![None; tm.slots_len as usize];
+            for (pos, row) in self.storage.scan_table(&tm.key)? {
+                let pos = pos as usize;
+                if pos >= slots.len() {
+                    slots.resize(pos + 1, None);
+                }
+                slots[pos] = Some(row);
+            }
+            let mut table = Table::from_parts(schema, slots, HashMap::new());
+            for &ci in &tm.indexed {
+                let column = table
+                    .schema
+                    .columns
+                    .get(ci as usize)
+                    .map(|c| c.name.clone())
+                    .ok_or_else(|| {
+                        DbError::Storage(format!(
+                            "page meta indexes unknown column {ci} of `{}`",
+                            tm.key
+                        ))
+                    })?;
+                table.create_index(&column)?;
+            }
+            table.attach_backing(self.storage.clone(), &tm.key);
+            self.tables.insert(tm.key.clone(), table);
+        }
+        for sql in &meta.triggers {
+            let (stmt, _) = parse_stmt_with_params(sql)?;
+            self.exec_internal(&stmt, &EvalCtx::new(), 0)?;
+        }
+        self.next_id.set(meta.next_id);
+        Ok(())
+    }
+
+    /// Seed a fresh page store from the in-memory tables and attach the
+    /// write-through mirrors (first paged open of a directory).
+    fn seed_page_store(&mut self) {
+        let store = self.storage.clone();
+        for (key, t) in self.tables.iter_mut() {
+            store.create_table(key);
+            for (pos, row) in t.iter_live() {
+                store.put_row(key, pos as u64, row);
+            }
+            t.attach_backing(store.clone(), key);
+        }
+    }
+
+    /// Triggers in registration order rendered back to `CREATE TRIGGER`
+    /// SQL (checkpoint serialization).
+    fn trigger_sql(&self) -> Vec<String> {
+        self.triggers
+            .iter()
+            .map(|t| {
+                stmt_to_sql(&Stmt::CreateTrigger {
+                    name: t.name.clone(),
+                    event: t.event,
+                    table: t.table.clone(),
+                    granularity: t.granularity,
+                    body: (*t.body).clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// The catalog a persistent backend needs to commit a checkpoint it
+    /// can later be reopened from: schemas, slot-vector lengths, indexed
+    /// columns, triggers, and the id counter.
+    fn checkpoint_catalog(&self, generation: u64) -> CheckpointCatalog {
+        let mut tables: Vec<CatalogTable> = self
+            .tables
+            .iter()
+            .map(|(key, t)| {
+                let mut indexed: Vec<u32> = t.indexes_raw().keys().map(|&ci| ci as u32).collect();
+                indexed.sort_unstable();
+                CatalogTable {
+                    key: key.clone(),
+                    name: t.schema.name.clone(),
+                    columns: t
+                        .schema
+                        .columns
+                        .iter()
+                        .map(|c| (c.name.clone(), c.ty))
+                        .collect(),
+                    slots_len: t.slots_raw().len() as u64,
+                    indexed,
+                }
+            })
+            .collect();
+        tables.sort_by(|a, b| a.key.cmp(&b.key));
+        CheckpointCatalog {
+            generation,
+            next_id: self.next_id.get(),
+            tables,
+            triggers: self.trigger_sql(),
+        }
+    }
+
     /// Serialize the full state for a checkpoint. Tables and index
     /// buckets are sorted so the snapshot bytes are deterministic.
     fn build_snapshot(&self, generation: u64) -> wal::Snapshot {
@@ -1857,19 +2131,7 @@ impl Database {
             generation,
             next_id: self.next_id.get(),
             tables,
-            triggers: self
-                .triggers
-                .iter()
-                .map(|t| {
-                    stmt_to_sql(&Stmt::CreateTrigger {
-                        name: t.name.clone(),
-                        event: t.event,
-                        table: t.table.clone(),
-                        granularity: t.granularity,
-                        body: (*t.body).clone(),
-                    })
-                })
-                .collect(),
+            triggers: self.trigger_sql(),
         }
     }
 
@@ -2007,6 +2269,12 @@ impl Database {
                         columns: columns.clone(),
                     }),
                 );
+                if self.storage.is_persistent() {
+                    self.storage.create_table(&key);
+                    if let Some(t) = self.tables.get_mut(&key) {
+                        t.attach_backing(self.storage.clone(), &key);
+                    }
+                }
                 self.record_undo(UndoRecord::CreatedTable { name: key });
                 Ok(ExecResult::Ddl)
             }
@@ -2032,6 +2300,9 @@ impl Database {
                             }
                         }
                         self.triggers = kept;
+                        if self.storage.is_persistent() {
+                            self.storage.drop_table(&key);
+                        }
                         self.record_undo(UndoRecord::DroppedTable {
                             name: key,
                             table: Box::new(table),

@@ -452,6 +452,17 @@ impl<'a> ScanCur<'a> {
                 return self.start_snapshot(ex, t, s);
             }
         }
+        if let ScanSrc::Table(t) = &self.src {
+            if t.backed_read_through() {
+                // Paged backend in read-through mode: rows materialize
+                // from the page store's buffer pool. The in-memory hash
+                // indexes stay the position authority; only the row
+                // bytes come from the pages. (A stale MVCC snapshot took
+                // the reconstruction path above; reaching here means the
+                // store matches what this statement should see.)
+                return self.start_backed(ex, t);
+            }
+        }
         match (&self.plan.access, &self.src) {
             (_, ScanSrc::Mat(_)) => {
                 self.prof_loop(1);
@@ -527,6 +538,95 @@ impl<'a> ScanCur<'a> {
                 Ok(ScanState::Bucket { rows, i: 0 })
             }
         }
+    }
+
+    /// Read-through scan: the same four access paths as the live-heap
+    /// arm, but every row is fetched from the storage backend (through
+    /// its buffer pool) instead of the slot vector. Index probes still
+    /// resolve positions in the in-memory hash indexes and then fault
+    /// the individual rows in; sequential scans pull the whole table in
+    /// slot order.
+    fn start_backed(&self, ex: &ExecCtx<'_, '_>, t: &Table) -> Result<ScanState> {
+        let fetch = |p: usize| -> Result<Row> {
+            t.backed_row(p)?.ok_or_else(|| {
+                DbError::Storage(format!(
+                    "page store lost row at slot {p} of `{}`",
+                    t.schema.name
+                ))
+            })
+        };
+        let mut rows = Vec::new();
+        match &self.plan.access {
+            Access::Seq => {
+                StatsCells::bump(&ex.db.stats.seq_scans, 1);
+                self.prof_loop(1);
+                for (_, row) in t.backed_scan()? {
+                    StatsCells::bump(&ex.db.stats.rows_scanned, 1);
+                    if self.passes(&row, ex)? {
+                        rows.push(row);
+                    }
+                }
+            }
+            Access::IndexEq { ci, key } => {
+                StatsCells::bump(&ex.db.stats.index_scans, 1);
+                self.prof_loop(1);
+                let empty = SliceEnv {
+                    layout: &[],
+                    values: &[],
+                };
+                let keyv = ex.db.eval_expr(key, &empty, ex.ctx, ex.ctes)?;
+                if !keyv.is_null() {
+                    if let Some(ps) = t.index_lookup(*ci, &keyv) {
+                        StatsCells::bump(&ex.db.stats.index_lookups, 1);
+                        for &p in ps {
+                            StatsCells::bump(&ex.db.stats.rows_scanned, 1);
+                            let row = fetch(p)?;
+                            if self.passes(&row, ex)? {
+                                rows.push(row);
+                            }
+                        }
+                    }
+                }
+            }
+            Access::IndexIn { ci, query } => {
+                StatsCells::bump(&ex.db.stats.index_scans, 1);
+                let sub = ex.db.cached_subquery(query, ex.ctx)?;
+                for keyv in &sub.set {
+                    self.prof_loop(1);
+                    if let Some(ps) = t.index_lookup(*ci, keyv) {
+                        StatsCells::bump(&ex.db.stats.index_lookups, 1);
+                        for &p in ps {
+                            StatsCells::bump(&ex.db.stats.rows_scanned, 1);
+                            let row = fetch(p)?;
+                            if self.passes(&row, ex)? {
+                                rows.push(row);
+                            }
+                        }
+                    }
+                }
+            }
+            Access::IndexInList { ci, list } => {
+                StatsCells::bump(&ex.db.stats.index_scans, 1);
+                let probe = ex
+                    .db
+                    .cached_in_list(list, ex.ctx, ex.ctes)?
+                    .expect("planner only picks row-independent lists");
+                for keyv in &probe.set {
+                    self.prof_loop(1);
+                    if let Some(ps) = t.index_lookup(*ci, keyv) {
+                        StatsCells::bump(&ex.db.stats.index_lookups, 1);
+                        for &p in ps {
+                            StatsCells::bump(&ex.db.stats.rows_scanned, 1);
+                            let row = fetch(p)?;
+                            if self.passes(&row, ex)? {
+                                rows.push(row);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(ScanState::Bucket { rows, i: 0 })
     }
 
     /// Stale-snapshot fallback: materialize the table as it stood at

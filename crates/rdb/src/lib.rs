@@ -48,6 +48,7 @@ mod plan;
 pub mod server;
 pub mod session;
 pub mod sql;
+pub mod storage;
 pub mod table;
 pub mod txn;
 pub mod value;
@@ -63,6 +64,10 @@ pub use parser::{parse_script, parse_script_with_text, parse_stmt, parse_stmt_wi
 pub use server::{Server, ServerHandle};
 pub use session::{Session, SharedDatabase};
 pub use sql::stmt_to_sql;
+pub use storage::{
+    BackendKind, MemoryBackend, PagedStore, PoolStats, StorageBackend, StorageConfig,
+    StorageMetrics,
+};
 pub use table::{Table, TableSchema};
 pub use txn::UndoRecord;
 pub use value::{DataType, Row, Value};

@@ -1,0 +1,331 @@
+//! Clock buffer pool and the copy-on-write page heap.
+//!
+//! The [`BufferPool`] caches page images under a configurable frame
+//! budget with second-chance (clock) eviction: every access sets a
+//! reference bit; the eviction hand clears bits until it finds a frame
+//! whose bit is already clear, writes the frame back if dirty (no fsync
+//! — durability is the checkpoint's job), and reuses it. Dirty tracking
+//! is per frame, which is exactly what makes checkpoints incremental:
+//! flushing the pool's dirty frames writes the pages this generation
+//! touched, not the database.
+//!
+//! The [`PageHeap`] layers page allocation and shadow paging over the
+//! pool. Pages reachable from the last durable checkpoint meta are never
+//! written in place: the first mutation of such a page in a new
+//! generation relocates it to a freshly allocated id (`writable`), the
+//! old id joins the pending-free list, and the B-tree layer re-points
+//! parents along the mutated path. A crash at any moment therefore
+//! leaves the previous checkpoint's page tree fully intact on disk, and
+//! the atomic meta rename is the only commit point.
+
+use super::pager::{Page, PageKind, Pager, PAGE_SIZE};
+use crate::error::Result;
+use std::collections::{HashMap, HashSet};
+
+/// Buffer-pool observability counters (cumulative).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Page requests answered from a resident frame.
+    pub hits: u64,
+    /// Page requests that had to read the page file.
+    pub misses: u64,
+    /// Frames reclaimed by the clock hand.
+    pub evictions: u64,
+    /// Dirty frames written back at eviction time.
+    pub writebacks: u64,
+}
+
+#[derive(Debug)]
+struct Frame {
+    id: u64,
+    page: Page,
+    dirty: bool,
+    refbit: bool,
+}
+
+/// A fixed-budget page cache with clock (second-chance) eviction and
+/// per-frame dirty tracking.
+#[derive(Debug)]
+pub struct BufferPool {
+    frames: Vec<Frame>,
+    map: HashMap<u64, usize>,
+    hand: usize,
+    budget: usize,
+    /// Cumulative hit/miss/eviction counters.
+    pub stats: PoolStats,
+}
+
+impl BufferPool {
+    /// A pool holding at most `budget` frames (minimum 8 — the B-tree
+    /// needs a handful of resident pages to descend without thrashing).
+    pub fn new(budget: usize) -> BufferPool {
+        BufferPool {
+            frames: Vec::new(),
+            map: HashMap::new(),
+            hand: 0,
+            budget: budget.max(8),
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// The configured frame budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Frames currently resident.
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Borrow page `id`, faulting it in from `pager` on a miss (evicting
+    /// if the pool is at budget).
+    pub fn get(&mut self, pager: &mut Pager, id: u64) -> Result<&Page> {
+        if let Some(&fi) = self.map.get(&id) {
+            self.stats.hits += 1;
+            self.frames[fi].refbit = true;
+            return Ok(&self.frames[fi].page);
+        }
+        self.stats.misses += 1;
+        let page = pager.read_page(id)?;
+        let fi = self.place(pager, id, page, false)?;
+        Ok(&self.frames[fi].page)
+    }
+
+    /// Install `page` as the content of `id`, marking the frame dirty.
+    /// Used for freshly allocated and rewritten pages; never reads disk.
+    pub fn install(&mut self, pager: &mut Pager, id: u64, page: Page) -> Result<()> {
+        if let Some(&fi) = self.map.get(&id) {
+            let f = &mut self.frames[fi];
+            f.page = page;
+            f.dirty = true;
+            f.refbit = true;
+            return Ok(());
+        }
+        self.place(pager, id, page, true)?;
+        Ok(())
+    }
+
+    /// Drop page `id`'s frame without write-back (the page was freed).
+    pub fn discard(&mut self, id: u64) {
+        if let Some(fi) = self.map.remove(&id) {
+            let last = self.frames.len() - 1;
+            self.frames.swap(fi, last);
+            self.frames.pop();
+            if fi < self.frames.len() {
+                self.map.insert(self.frames[fi].id, fi);
+            }
+            if self.hand >= self.frames.len() {
+                self.hand = 0;
+            }
+        }
+    }
+
+    /// Write every dirty frame back (no fsync) and clear its dirty bit.
+    /// Returns `(pages, bytes)` written — the incremental checkpoint's
+    /// work measure.
+    pub fn flush_dirty(&mut self, pager: &mut Pager) -> Result<(u64, u64)> {
+        let mut pages = 0u64;
+        for f in self.frames.iter_mut() {
+            if f.dirty {
+                pager.write_page(f.id, &mut f.page)?;
+                f.dirty = false;
+                pages += 1;
+            }
+        }
+        Ok((pages, pages * PAGE_SIZE as u64))
+    }
+
+    fn place(&mut self, pager: &mut Pager, id: u64, page: Page, dirty: bool) -> Result<usize> {
+        if self.frames.len() < self.budget {
+            let fi = self.frames.len();
+            self.frames.push(Frame {
+                id,
+                page,
+                dirty,
+                refbit: true,
+            });
+            self.map.insert(id, fi);
+            return Ok(fi);
+        }
+        // Clock sweep: give referenced frames a second chance, reclaim
+        // the first frame whose bit is already clear.
+        let fi = loop {
+            let f = &mut self.frames[self.hand];
+            if f.refbit {
+                f.refbit = false;
+                self.hand = (self.hand + 1) % self.frames.len();
+            } else {
+                break self.hand;
+            }
+        };
+        let victim = &mut self.frames[fi];
+        if victim.dirty {
+            pager.write_page(victim.id, &mut victim.page)?;
+            self.stats.writebacks += 1;
+        }
+        self.stats.evictions += 1;
+        self.map.remove(&victim.id);
+        victim.id = id;
+        victim.page = page;
+        victim.dirty = dirty;
+        victim.refbit = true;
+        self.map.insert(id, fi);
+        self.hand = (fi + 1) % self.frames.len();
+        Ok(fi)
+    }
+}
+
+/// Page allocation + shadow paging over a [`BufferPool`] and [`Pager`].
+#[derive(Debug)]
+pub struct PageHeap {
+    pager: Pager,
+    pool: BufferPool,
+    /// Highest allocated page id (ids are 1-based; 0 is the nil pointer).
+    pub page_count: u64,
+    /// Pages free in the current durable meta — reusable immediately.
+    free_now: Vec<u64>,
+    /// Pages freed this generation but referenced by the last durable
+    /// checkpoint; reusable only after the next checkpoint commits.
+    pending_free: Vec<u64>,
+    /// Pages allocated since the last checkpoint: mutable in place.
+    fresh: HashSet<u64>,
+    /// Monotonic store LSN, stamped into sealed pages.
+    pub lsn: u64,
+}
+
+impl PageHeap {
+    /// A heap over `pager` with a pool of `pool_frames` frames.
+    pub fn new(pager: Pager, pool_frames: usize) -> PageHeap {
+        PageHeap {
+            pager,
+            pool: BufferPool::new(pool_frames),
+            page_count: 0,
+            free_now: Vec::new(),
+            pending_free: Vec::new(),
+            fresh: HashSet::new(),
+            lsn: 0,
+        }
+    }
+
+    /// Adopt allocation state from a decoded checkpoint meta.
+    pub fn load_state(&mut self, page_count: u64, free: Vec<u64>, lsn: u64) {
+        self.page_count = page_count;
+        self.free_now = free;
+        self.pending_free.clear();
+        self.fresh.clear();
+        self.lsn = lsn;
+    }
+
+    /// Buffer-pool counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats
+    }
+
+    /// The pool's frame budget.
+    pub fn pool_budget(&self) -> usize {
+        self.pool.budget()
+    }
+
+    /// Read page `id` through the pool, returning an owned image.
+    pub fn view(&mut self, id: u64) -> Result<Page> {
+        Ok(self.pool.get(&mut self.pager, id)?.clone())
+    }
+
+    /// Allocate a page id: reuse a free-now page or extend the file. The
+    /// new page is fresh — mutable in place until the next checkpoint.
+    pub fn alloc(&mut self) -> u64 {
+        let id = self.free_now.pop().unwrap_or_else(|| {
+            self.page_count += 1;
+            self.page_count
+        });
+        self.fresh.insert(id);
+        id
+    }
+
+    /// Free page `id`. Fresh pages return to the reusable list at once;
+    /// pages belonging to the last durable checkpoint are only pending —
+    /// the old tree must stay intact until the next meta rename commits.
+    pub fn free(&mut self, id: u64) {
+        self.pool.discard(id);
+        if self.fresh.remove(&id) {
+            self.free_now.push(id);
+        } else {
+            self.pending_free.push(id);
+        }
+    }
+
+    /// Shadow-paging write intent: return the id this page must be
+    /// written under plus a mutable image of its content. Fresh pages
+    /// keep their id; a page from the last durable checkpoint is
+    /// relocated (copy-on-write) to a new id and the old id goes to the
+    /// pending-free list. The caller mutates the image, re-points the
+    /// parent if the id changed, and [`PageHeap::install`]s it.
+    pub fn writable(&mut self, id: u64) -> Result<(u64, Page)> {
+        let page = self.view(id)?;
+        if self.fresh.contains(&id) {
+            return Ok((id, page));
+        }
+        let new_id = self.alloc();
+        self.pool.discard(id);
+        self.pending_free.push(id);
+        Ok((new_id, page))
+    }
+
+    /// Install a (possibly new) page image under `id`, stamped with the
+    /// next store LSN. The write lands in the pool; disk I/O happens at
+    /// eviction or checkpoint flush.
+    pub fn install(&mut self, id: u64, mut page: Page) -> Result<()> {
+        self.lsn += 1;
+        page.set_lsn(self.lsn);
+        self.pool.install(&mut self.pager, id, page)
+    }
+
+    /// Allocate and install a page with the given cells in one step.
+    pub fn alloc_with(&mut self, kind: PageKind, cells: &[Vec<u8>], next: u64) -> Result<u64> {
+        let id = self.alloc();
+        let mut page = Page::new(kind);
+        page.set_next(next);
+        assert!(page.set_cells(cells), "cells exceed page capacity");
+        self.install(id, page)?;
+        Ok(id)
+    }
+
+    /// Flush all dirty frames and fsync the page file. Returns
+    /// `(pages, bytes)` written by the flush.
+    pub fn flush(&mut self) -> Result<(u64, u64)> {
+        let counts = self.pool.flush_dirty(&mut self.pager)?;
+        self.pager.sync()?;
+        Ok(counts)
+    }
+
+    /// The freelist a checkpoint meta should record: every page free now
+    /// plus every page the committing checkpoint unreferences.
+    pub fn checkpoint_free_list(&self) -> Vec<u64> {
+        let mut free: Vec<u64> = self
+            .free_now
+            .iter()
+            .chain(self.pending_free.iter())
+            .copied()
+            .collect();
+        free.sort_unstable();
+        free
+    }
+
+    /// The checkpoint meta is durable: pending frees become reusable and
+    /// every page the new meta references is no longer fresh.
+    pub fn checkpoint_committed(&mut self) {
+        self.free_now.append(&mut self.pending_free);
+        self.fresh.clear();
+    }
+
+    /// Reset to an empty store (fresh directory, no checkpoint meta).
+    pub fn reset_file(&mut self) -> Result<()> {
+        self.pager.reset()?;
+        self.page_count = 0;
+        self.free_now.clear();
+        self.pending_free.clear();
+        self.fresh.clear();
+        Ok(())
+    }
+}

@@ -2,8 +2,10 @@
 
 use crate::ast::ColumnDef;
 use crate::error::{DbError, Result};
+use crate::storage::StorageBackend;
 use crate::value::{Row, Value};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Schema of one table.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +45,16 @@ pub(crate) struct VersionEntry {
     pub prior: Option<Row>,
 }
 
+/// Write-through attachment to a persistent storage backend: every slot
+/// mutation of the owning table is mirrored into `store` under `key`.
+/// Forward DML, rollback undo, and WAL replay all funnel through the
+/// same six slot mutations, so the backend tracks the heap exactly.
+#[derive(Debug, Clone)]
+pub(crate) struct Backing {
+    store: Arc<dyn StorageBackend>,
+    key: String,
+}
+
 /// A heap of rows with optional hash indexes on single columns.
 ///
 /// Rows live in slots (`Vec<Option<Row>>`); deletion tombstones the slot so
@@ -66,6 +78,9 @@ pub struct Table {
     /// Version records for snapshot visibility (empty unless the owning
     /// database has MVCC enabled; see `crate::mvcc`).
     history: Vec<VersionEntry>,
+    /// Persistent-backend mirror; `None` on the in-memory backend.
+    /// Excluded from `PartialEq` (it is plumbing, not table state).
+    backing: Option<Backing>,
 }
 
 impl PartialEq for Table {
@@ -86,6 +101,61 @@ impl Table {
             live: 0,
             indexes: HashMap::new(),
             history: Vec::new(),
+            backing: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // storage-backend mirroring (see `crate::storage`)
+    // ------------------------------------------------------------------
+
+    /// Attach a persistent backend: from now on every slot mutation is
+    /// mirrored into `store` under `key`.
+    pub(crate) fn attach_backing(&mut self, store: Arc<dyn StorageBackend>, key: &str) {
+        self.backing = Some(Backing {
+            store,
+            key: key.to_string(),
+        });
+    }
+
+    /// Whether scans should materialize rows through the backend's
+    /// buffer pool instead of the in-memory heap.
+    pub fn backed_read_through(&self) -> bool {
+        self.backing
+            .as_ref()
+            .is_some_and(|b| b.store.read_through())
+    }
+
+    /// All live rows read back through the backend, in slot order.
+    pub(crate) fn backed_scan(&self) -> Result<Vec<(usize, Row)>> {
+        let b = self.backing.as_ref().expect("backed_scan without backing");
+        Ok(b.store
+            .scan_table(&b.key)?
+            .into_iter()
+            .map(|(p, r)| (p as usize, r))
+            .collect())
+    }
+
+    /// The row at slot `pos` read back through the backend.
+    pub(crate) fn backed_row(&self, pos: usize) -> Result<Option<Row>> {
+        let b = self.backing.as_ref().expect("backed_row without backing");
+        b.store.get_row(&b.key, pos as u64)
+    }
+
+    /// Mirror the current content of slot `pos` into the backend (no-op
+    /// when unattached or the slot is a tombstone).
+    fn mirror_slot(&self, pos: usize) {
+        if let Some(b) = &self.backing {
+            if let Some(row) = self.slots.get(pos).and_then(Option::as_ref) {
+                b.store.put_row(&b.key, pos as u64, row);
+            }
+        }
+    }
+
+    /// Mirror the deletion of slot `pos` into the backend.
+    fn mirror_delete(&self, pos: usize) {
+        if let Some(b) = &self.backing {
+            b.store.delete_row(&b.key, pos as u64);
         }
     }
 
@@ -142,6 +212,9 @@ impl Table {
         for (ci, idx) in self.indexes.iter_mut() {
             idx.entry(row[*ci].clone()).or_default().push(pos);
         }
+        if let Some(b) = &self.backing {
+            b.store.put_row(&b.key, pos as u64, &row);
+        }
         self.slots.push(Some(row));
         self.live += 1;
         Ok(pos)
@@ -164,6 +237,7 @@ impl Table {
                 }
             }
         }
+        self.mirror_delete(pos);
         Some(row)
     }
 
@@ -184,6 +258,7 @@ impl Table {
             }
             idx.entry(value).or_default().push(pos);
         }
+        self.mirror_slot(pos);
         Ok(())
     }
 
@@ -232,6 +307,7 @@ impl Table {
                 self.live += 1;
             }
         }
+        self.mirror_slot(pos);
     }
 
     /// Overwrite a cell like [`Table::update_cell`], additionally
@@ -283,6 +359,7 @@ impl Table {
                 bucket.insert(off.min(bucket.len()), pos);
             }
         }
+        self.mirror_slot(pos);
     }
 
     /// Undo an insert of the row at `pos`. Rollback applies records
@@ -300,6 +377,7 @@ impl Table {
                     }
                 }
             }
+            self.mirror_delete(pos);
         }
         debug_assert_eq!(pos + 1, self.slots.len(), "insert undo must be last slot");
         if pos + 1 == self.slots.len() {
@@ -341,6 +419,7 @@ impl Table {
             live,
             indexes,
             history: Vec::new(),
+            backing: None,
         }
     }
 

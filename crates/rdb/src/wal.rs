@@ -146,24 +146,24 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 // primitive encoders/decoders
 // ----------------------------------------------------------------------
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_i64(out: &mut Vec<u8>, v: i64) {
+pub(crate) fn put_i64(out: &mut Vec<u8>, v: i64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
 }
 
-fn put_value(out: &mut Vec<u8>, v: &Value) {
+pub(crate) fn put_value(out: &mut Vec<u8>, v: &Value) {
     match v {
         Value::Null => out.push(0),
         Value::Int(i) => {
@@ -181,7 +181,7 @@ fn put_value(out: &mut Vec<u8>, v: &Value) {
     }
 }
 
-fn put_row(out: &mut Vec<u8>, row: &Row) {
+pub(crate) fn put_row(out: &mut Vec<u8>, row: &Row) {
     put_u32(out, row.len() as u32);
     for v in row {
         put_value(out, v);
@@ -189,49 +189,49 @@ fn put_row(out: &mut Vec<u8>, row: &Row) {
 }
 
 /// Strict cursor over a byte slice; every accessor fails on short input.
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     bytes: &'a [u8],
     at: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
         Reader { bytes, at: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> Option<&'a [u8]> {
         let end = self.at.checked_add(n)?;
         let s = self.bytes.get(self.at..end)?;
         self.at = end;
         Some(s)
     }
 
-    fn u8(&mut self) -> Option<u8> {
+    pub(crate) fn u8(&mut self) -> Option<u8> {
         self.take(1).map(|s| s[0])
     }
 
-    fn u32(&mut self) -> Option<u32> {
+    pub(crate) fn u32(&mut self) -> Option<u32> {
         self.take(4)
             .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Option<u64> {
+    pub(crate) fn u64(&mut self) -> Option<u64> {
         self.take(8)
             .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
     }
 
-    fn i64(&mut self) -> Option<i64> {
+    pub(crate) fn i64(&mut self) -> Option<i64> {
         self.take(8)
             .map(|s| i64::from_le_bytes(s.try_into().unwrap()))
     }
 
-    fn str(&mut self) -> Option<String> {
+    pub(crate) fn str(&mut self) -> Option<String> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).ok()
     }
 
-    fn value(&mut self) -> Option<Value> {
+    pub(crate) fn value(&mut self) -> Option<Value> {
         match self.u8()? {
             0 => Some(Value::Null),
             1 => Some(Value::Int(self.i64()?)),
@@ -241,7 +241,7 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn row(&mut self) -> Option<Row> {
+    pub(crate) fn row(&mut self) -> Option<Row> {
         let n = self.u32()? as usize;
         // Guard against corrupt lengths: a row cannot have more values
         // than bytes remaining (every value is at least one tag byte).
@@ -255,7 +255,7 @@ impl<'a> Reader<'a> {
         Some(row)
     }
 
-    fn done(&self) -> bool {
+    pub(crate) fn done(&self) -> bool {
         self.at == self.bytes.len()
     }
 }
@@ -439,7 +439,7 @@ pub struct Snapshot {
     pub triggers: Vec<String>,
 }
 
-fn put_data_type(out: &mut Vec<u8>, ty: DataType) {
+pub(crate) fn put_data_type(out: &mut Vec<u8>, ty: DataType) {
     out.push(match ty {
         DataType::Integer => 0,
         DataType::Text => 1,

@@ -6,8 +6,16 @@
 //!
 //! ```text
 //! xmlup-cli [--relational] [--ordered] [--dtd FILE] [--root NAME]
+//!           [--db-path DIR] [--backend memory|paged] [--pool-frames N]
 //!           [--load NAME=FILE]... [--serve ADDR] [SCRIPT]
 //! ```
+//!
+//! `--db-path DIR` makes the relational store durable (WAL + checkpoints
+//! rooted at DIR; implies `--relational`, requires `--dtd`). `--backend`
+//! picks the storage engine behind it: `memory` (heap tables, full
+//! snapshot per checkpoint — the default) or `paged` (slotted-page
+//! B-tree store with a buffer pool of `--pool-frames` pages and
+//! incremental checkpoints).
 //!
 //! `--serve ADDR` switches the CLI into server mode after any `--load`s:
 //! the relational store is shared behind the engine's session layer
@@ -35,6 +43,8 @@
 
 use std::io::{BufRead, Write};
 use xmlup::core::{DeleteStrategy, InsertStrategy, RepoConfig, XmlRepository};
+use xmlup::rdb::BackendKind;
+use xmlup::shred::Mapping;
 use xmlup::xml::dtd::Dtd;
 use xmlup::xml::{parse_with, serializer, ParseOptions};
 use xmlup::xquery::{Outcome, Store};
@@ -57,6 +67,9 @@ fn main() {
     let mut loads: Vec<(String, String)> = Vec::new();
     let mut script: Option<String> = None;
     let mut serve_addr: Option<String> = None;
+    let mut db_path: Option<String> = None;
+    let mut backend = BackendKind::Memory;
+    let mut pool_frames = 1024usize;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--relational" => relational = true,
@@ -64,6 +77,21 @@ fn main() {
             "--dtd" => dtd_file = args.next(),
             "--root" => root_name = args.next(),
             "--serve" => serve_addr = args.next(),
+            "--db-path" => db_path = args.next(),
+            "--backend" => match args.next().as_deref().and_then(BackendKind::parse) {
+                Some(k) => backend = k,
+                None => {
+                    eprintln!("--backend expects memory|paged");
+                    std::process::exit(2);
+                }
+            },
+            "--pool-frames" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => pool_frames = n,
+                _ => {
+                    eprintln!("--pool-frames expects N >= 1");
+                    std::process::exit(2);
+                }
+            },
             "--load" => {
                 if let Some(spec) = args.next() {
                     if let Some((n, f)) = spec.split_once('=') {
@@ -106,6 +134,14 @@ fn main() {
             }
         }
     }
+    if db_path.is_some() {
+        // A durable store is necessarily relational.
+        relational = true;
+    }
+    if backend != BackendKind::Memory && db_path.is_none() {
+        eprintln!("--backend paged requires --db-path (the page store lives on disk)");
+        std::process::exit(2);
+    }
     if relational && cli.dtd.is_none() {
         eprintln!("--relational requires --dtd (the inlining mapping is DTD-driven)");
         std::process::exit(2);
@@ -116,13 +152,47 @@ fn main() {
             .root_name
             .clone()
             .unwrap_or_else(|| dtd.element_names().first().cloned().unwrap_or_default());
-        let mk = if cli.ordered {
-            XmlRepository::new_ordered
-        } else {
-            XmlRepository::new
+        let built: Result<XmlRepository, String> = match &db_path {
+            Some(path) => {
+                let mapping = if cli.ordered {
+                    Mapping::from_dtd_ordered(dtd, &root)
+                } else {
+                    Mapping::from_dtd(dtd, &root)
+                };
+                let cfg = RepoConfig {
+                    backend,
+                    pool_frames,
+                    ..RepoConfig::default()
+                };
+                mapping.map_err(|e| e.to_string()).and_then(|m| {
+                    XmlRepository::open_durable(path, m, cfg).map_err(|e| e.to_string())
+                })
+            }
+            None => {
+                let mk = if cli.ordered {
+                    XmlRepository::new_ordered
+                } else {
+                    XmlRepository::new
+                };
+                mk(dtd, &root, RepoConfig::default()).map_err(|e| e.to_string())
+            }
         };
-        match mk(dtd, &root, RepoConfig::default()) {
-            Ok(r) => cli.repo = Some(r),
+        match built {
+            Ok(r) => {
+                if let Some(path) = &db_path {
+                    println!(
+                        "durable store at {path}: backend {}, {} tuples",
+                        r.db.backend_kind(),
+                        r.tuple_count()
+                    );
+                    if r.tuple_count() > 0 {
+                        // A recovered store already holds the document;
+                        // block a second `--load` from doubling it.
+                        cli.repo_doc = Some("db".to_string());
+                    }
+                }
+                cli.repo = Some(r)
+            }
             Err(e) => {
                 eprintln!("cannot build repository: {e}");
                 std::process::exit(1);
@@ -165,9 +235,13 @@ fn main() {
 fn print_help() {
     println!(
         "xmlup-cli [--relational] [--ordered] [--dtd FILE] [--root NAME] \
+         [--db-path DIR] [--backend memory|paged] [--pool-frames N] \
          [--load NAME=FILE]... [--serve ADDR] [SCRIPT]\n\
          Statements end with `;;`. Dot-commands: .load .show .sql .tables \
          .stats .metrics .trace .strategy .help .quit\n\
+         --db-path DIR makes the store durable (implies --relational); \
+         --backend paged selects the slotted-page B-tree store with a \
+         --pool-frames page buffer pool and incremental checkpoints.\n\
          --serve ADDR shares the store over the line-based SQL protocol \
          (one session per connection; BEGIN/COMMIT/ROLLBACK per session)."
     );

@@ -56,6 +56,7 @@ fn repo(
             build_asr: false,
             statement_cost_us: 0,
             batch_size,
+            ..RepoConfig::default()
         },
     )
     .unwrap();

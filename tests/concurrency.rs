@@ -22,11 +22,12 @@
 //!   removal inside the writer's transaction).
 
 use proptest::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use xmlup_core::{RepoConfig, SharedRepository, XmlRepository};
 use xmlup_rdb::session::SqlOutcome;
-use xmlup_rdb::{Database, SharedDatabase};
+use xmlup_rdb::{Database, SharedDatabase, StorageConfig, Value};
 use xmlup_shred::edge;
 use xmlup_workload::{fixed_document, synthetic_dtd, SyntheticParams};
 
@@ -234,6 +235,189 @@ fn assert_isolated(scheme: &str, verdicts: Vec<Verdict>) -> Result<(), TestCaseE
         );
     }
     Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Incremental checkpoints under concurrent MVCC snapshots
+// ----------------------------------------------------------------------
+
+/// Unique scratch directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new() -> Scratch {
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "xmlup-conc-ckpt-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The full Edge relation as the query path sees it, plus the id counter.
+fn edge_dump(db: &Database) -> (Vec<Vec<Value>>, i64) {
+    let rs = db
+        .query("SELECT id, parentId, ord, kind, name, value FROM Edge ORDER BY id")
+        .unwrap();
+    (rs.rows, db.peek_next_id())
+}
+
+/// Open (or recover) a durable Edge store on the paged backend with a
+/// deliberately tiny buffer pool.
+fn durable_edge(path: &Path) -> Database {
+    let cfg = StorageConfig {
+        pool_frames: 8,
+        ..StorageConfig::paged()
+    };
+    let mut db = Database::open_with(path, cfg).unwrap();
+    if db.table_names().is_empty() {
+        db.bump_next_id(1);
+        edge::create_schema(&mut db).unwrap();
+        edge::create_delete_trigger(&mut db).unwrap();
+        let p = SyntheticParams::new(6, 3, 2);
+        edge::shred(&mut db, &fixed_document(&p)).unwrap();
+    }
+    db
+}
+
+/// Incremental checkpoints race committed writer transactions while
+/// reader sessions hold MVCC snapshots across both: the readers must
+/// never see a non-baseline count (a checkpoint flushing dirty pages
+/// must not leak in-flight or post-snapshot state into a pinned
+/// snapshot), and after a crash the store recovers to exactly the
+/// committed prefix — every committed transaction, nothing else —
+/// whether it landed before or after the last incremental checkpoint.
+#[test]
+fn checkpoint_under_snapshots_recovers_committed_prefix() {
+    let scratch = Scratch::new();
+    let db = durable_edge(scratch.path());
+    let baseline = db.query("SELECT COUNT(*) FROM Edge").unwrap().rows[0][0]
+        .as_int()
+        .unwrap();
+    let root: i64 = db
+        .query("SELECT id FROM Edge WHERE parentId = 0")
+        .unwrap()
+        .rows[0][0]
+        .as_int()
+        .unwrap();
+    let children: Vec<i64> = db
+        .query(&format!("SELECT id FROM Edge WHERE parentId = {root}"))
+        .unwrap()
+        .rows
+        .iter()
+        .filter_map(|r| r[0].as_int())
+        .collect();
+    let shared = SharedDatabase::new(db);
+
+    let done = Arc::new(AtomicBool::new(false));
+    let progress = Arc::new(AtomicU64::new(0));
+    let mut readers = Vec::new();
+    for _ in 0..READERS {
+        let shared = shared.clone();
+        let done = done.clone();
+        let progress = progress.clone();
+        readers.push(std::thread::spawn(move || -> Verdict {
+            let mut checks = 0;
+            while !done.load(Ordering::Relaxed) {
+                let mut sess = shared.session();
+                sess.execute("BEGIN").unwrap();
+                let a = session_count(&mut sess, "SELECT COUNT(*) FROM Edge");
+                // Yield so checkpoints and commits land while the
+                // snapshot stays pinned.
+                std::thread::yield_now();
+                let b = session_count(&mut sess, "SELECT COUNT(*) FROM Edge");
+                sess.execute("COMMIT").unwrap();
+                checks += 1;
+                progress.fetch_add(1, Ordering::Relaxed);
+                if let Some(torn) = check(baseline, a, b) {
+                    return (checks, Some(torn));
+                }
+            }
+            (checks, None)
+        }));
+    }
+
+    // Writer thread: count-preserving committed transactions.
+    let first_child = children[0];
+    let writer = {
+        let shared = shared.clone();
+        let progress = progress.clone();
+        std::thread::spawn(move || {
+            let mut i = 0;
+            while (i < WRITER_TXNS || progress.load(Ordering::Relaxed) < MIN_CHECKS) && i < 10_000 {
+                let src = children[i % children.len()];
+                shared.with_write(|db| {
+                    db.begin().unwrap();
+                    let max_before: i64 = db.query("SELECT MAX(id) FROM Edge").unwrap().rows[0][0]
+                        .as_int()
+                        .unwrap();
+                    edge::copy_subtree(db, src, root).unwrap();
+                    db.execute(&format!(
+                        "DELETE FROM Edge WHERE parentId = {root} AND id > {max_before}"
+                    ))
+                    .unwrap();
+                    db.commit().unwrap();
+                });
+                i += 1;
+                std::thread::yield_now();
+            }
+        })
+    };
+
+    // Main thread: incremental checkpoints racing the writer's commits
+    // and the readers' pinned snapshots.
+    let mut checkpoints = 0;
+    while !writer.is_finished() {
+        shared.with_write(|db| db.checkpoint().unwrap());
+        checkpoints += 1;
+        std::thread::yield_now();
+    }
+    writer.join().unwrap();
+    done.store(true, Ordering::Relaxed);
+    let verdicts: Vec<Verdict> = readers.into_iter().map(|h| h.join().unwrap()).collect();
+    let checks: u64 = verdicts.iter().map(|(c, _)| c).sum();
+    assert!(checks > 0, "readers made no progress");
+    for (_, torn) in verdicts {
+        assert!(
+            torn.is_none(),
+            "reader observed a torn state across a checkpoint: {torn:?}"
+        );
+    }
+    assert!(checkpoints > 0);
+
+    // One more committed transaction AFTER the last checkpoint, so
+    // recovery must compose the incremental page image with a WAL
+    // suffix. This one changes the count on purpose.
+    shared.with_write(|db| {
+        db.begin().unwrap();
+        edge::copy_subtree(db, first_child, root).unwrap();
+        db.commit().unwrap();
+    });
+    let (committed, stats) = shared.with_write(|db| (edge_dump(db), db.stats()));
+    assert!(stats.checkpoints > 0);
+    assert!(
+        stats.checkpoint_pages_written > 0,
+        "paged checkpoints must report pages written"
+    );
+
+    // Crash: drop every handle without close, reopen, compare.
+    drop(shared);
+    let recovered = durable_edge(scratch.path());
+    assert_eq!(edge_dump(&recovered), committed);
+    assert!(recovered.stats().recovered_txns > 0);
+    recovered.close().unwrap();
 }
 
 proptest! {

@@ -9,11 +9,19 @@
 //! "Byte-identical" is [`Table`]'s `PartialEq` over the full physical
 //! state (slots including tombstones, live counts, index buckets in
 //! order) plus the engine's id counter.
+//!
+//! The whole matrix runs twice: on the in-memory backend (full snapshot
+//! per checkpoint) and on the paged backend (slotted-page B-tree store,
+//! incremental checkpoints, a buffer pool smaller than the dataset so
+//! recovery reloads evicted pages). The physical oracle holds for both:
+//! index buckets stay in ascending slot order under DML and rollback
+//! (`restore_row` re-inserts at the recorded bucket offset), which is
+//! exactly the order a rebuild from pages produces.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use xmlup_core::{DeleteStrategy, InsertStrategy, RepoConfig, XmlRepository};
-use xmlup_rdb::{Database, Table};
+use xmlup_rdb::{BackendKind, Database, StorageConfig, Table};
 use xmlup_shred::{edge, Mapping};
 use xmlup_workload::driver::{pick_targets, Workload};
 use xmlup_workload::{fixed_document, synthetic_dtd, SyntheticParams};
@@ -59,23 +67,26 @@ fn snapshot(db: &Database) -> (Vec<(String, Table)>, i64) {
 
 const PARAMS: (usize, usize, usize) = (20, 3, 2);
 
-fn config(ds: DeleteStrategy) -> RepoConfig {
+fn config(ds: DeleteStrategy, backend: BackendKind) -> RepoConfig {
     RepoConfig {
         delete_strategy: ds,
         insert_strategy: InsertStrategy::Tuple,
         build_asr: ds == DeleteStrategy::Asr,
         statement_cost_us: 0,
+        backend,
+        // Smaller than the synthetic dataset, so the paged runs evict.
+        pool_frames: 8,
         ..RepoConfig::default()
     }
 }
 
 /// Open (or recover) a durable Shared-Inlining repo; load the synthetic
 /// document only when the store is fresh.
-fn durable_repo(path: &Path, ds: DeleteStrategy) -> (XmlRepository, usize) {
+fn durable_repo(path: &Path, ds: DeleteStrategy, backend: BackendKind) -> (XmlRepository, usize) {
     let (sf, depth, fanout) = PARAMS;
     let dtd = synthetic_dtd(depth);
     let mapping = Mapping::from_dtd(&dtd, "root").unwrap();
-    let mut repo = XmlRepository::open_durable(path, mapping, config(ds)).unwrap();
+    let mut repo = XmlRepository::open_durable(path, mapping, config(ds, backend)).unwrap();
     if repo.tuple_count() == 0 {
         repo.load(&fixed_document(&SyntheticParams::new(sf, depth, fanout)))
             .unwrap();
@@ -88,7 +99,7 @@ fn durable_repo(path: &Path, ds: DeleteStrategy) -> (XmlRepository, usize) {
 fn oracle_repo(ds: DeleteStrategy) -> (XmlRepository, usize) {
     let (sf, depth, fanout) = PARAMS;
     let dtd = synthetic_dtd(depth);
-    let mut repo = XmlRepository::new(&dtd, "root", config(ds)).unwrap();
+    let mut repo = XmlRepository::new(&dtd, "root", config(ds, BackendKind::Memory)).unwrap();
     repo.load(&fixed_document(&SyntheticParams::new(sf, depth, fanout)))
         .unwrap();
     let n1 = repo.mapping.relation_by_element("n1").unwrap();
@@ -102,9 +113,14 @@ fn oracle_repo(ds: DeleteStrategy) -> (XmlRepository, usize) {
 /// recovered store and converge on the oracle's final state, XML
 /// round-trip included. `checkpoint_at` additionally checkpoints after
 /// that many operations, so recovery crosses a snapshot + WAL boundary.
-fn inline_crash_case(ds: DeleteStrategy, fail_at: u64, checkpoint_at: Option<usize>) {
+fn inline_crash_case(
+    ds: DeleteStrategy,
+    fail_at: u64,
+    checkpoint_at: Option<usize>,
+    backend: BackendKind,
+) {
     let scratch = Scratch::new();
-    let (mut repo, rel) = durable_repo(scratch.path(), ds);
+    let (mut repo, rel) = durable_repo(scratch.path(), ds, backend);
     let targets = pick_targets(&repo, rel, Workload::random10());
     repo.db.fail_after_statements(fail_at);
 
@@ -130,7 +146,8 @@ fn inline_crash_case(ds: DeleteStrategy, fail_at: u64, checkpoint_at: Option<usi
 
     // Crash: drop the handle without rollback or close, then recover.
     drop(repo);
-    let (mut recovered, rel) = durable_repo(scratch.path(), ds);
+    let (mut recovered, rel) = durable_repo(scratch.path(), ds, backend);
+    assert_eq!(recovered.db.backend_kind(), backend);
     assert_eq!(
         snapshot(&recovered.db),
         committed,
@@ -176,7 +193,7 @@ fn inline_crash_mid_workload_recovers_exactly() {
         DeleteStrategy::Asr,
     ] {
         for fail_at in [2, 5, 9] {
-            inline_crash_case(ds, fail_at, None);
+            inline_crash_case(ds, fail_at, None, BackendKind::Memory);
         }
     }
 }
@@ -185,13 +202,51 @@ fn inline_crash_mid_workload_recovers_exactly() {
 fn inline_crash_after_checkpoint_recovers_exactly() {
     // The fault fires a few operations past the checkpoint, so recovery
     // must compose the snapshot with the WAL suffix written after it.
-    inline_crash_case(DeleteStrategy::Cascading, 7, Some(1));
-    inline_crash_case(DeleteStrategy::PerTupleTrigger, 7, Some(1));
+    inline_crash_case(DeleteStrategy::Cascading, 7, Some(1), BackendKind::Memory);
+    inline_crash_case(
+        DeleteStrategy::PerTupleTrigger,
+        7,
+        Some(1),
+        BackendKind::Memory,
+    );
+}
+
+#[test]
+fn paged_inline_crash_mid_workload_recovers_exactly() {
+    // WAL-only recovery on the paged backend: no checkpoint ever ran, so
+    // reopen replays the whole log into a freshly seeded page store.
+    for ds in [
+        DeleteStrategy::PerTupleTrigger,
+        DeleteStrategy::Cascading,
+        DeleteStrategy::Asr,
+    ] {
+        for fail_at in [2, 9] {
+            inline_crash_case(ds, fail_at, None, BackendKind::Paged);
+        }
+    }
+}
+
+#[test]
+fn paged_inline_crash_after_checkpoint_recovers_exactly() {
+    // Recovery composes the incremental page image (meta + B-trees) with
+    // the WAL suffix written after the checkpoint.
+    inline_crash_case(DeleteStrategy::Cascading, 7, Some(1), BackendKind::Paged);
+    inline_crash_case(
+        DeleteStrategy::PerTupleTrigger,
+        7,
+        Some(1),
+        BackendKind::Paged,
+    );
 }
 
 /// Build (or recover) a durable Edge-mapping store.
-fn durable_edge(path: &Path) -> Database {
-    let mut db = Database::open(path).unwrap();
+fn durable_edge(path: &Path, backend: BackendKind) -> Database {
+    let storage = StorageConfig {
+        backend,
+        pool_frames: 8,
+        ..StorageConfig::default()
+    };
+    let mut db = Database::open_with(path, storage).unwrap();
     if db.table_names().is_empty() {
         let doc = xmlup_xml::parse(xmlup_xml::samples::CUSTOMER_XML)
             .unwrap()
@@ -219,10 +274,24 @@ fn edge_id_of(db: &mut Database, name: &str) -> i64 {
 /// the committed copy. The recovered store then completes the copy.
 #[test]
 fn edge_crash_mid_copy_recovers_committed_state() {
+    edge_crash_case(BackendKind::Memory);
+}
+
+#[test]
+fn paged_edge_crash_mid_copy_recovers_committed_state() {
+    edge_crash_case(BackendKind::Paged);
+}
+
+fn edge_crash_case(backend: BackendKind) {
     let scratch = Scratch::new();
-    let mut db = durable_edge(scratch.path());
+    let mut db = durable_edge(scratch.path(), backend);
     let root = edge_id_of(&mut db, "CustDB");
     let cust = edge_id_of(&mut db, "Customer");
+
+    // Checkpoint the freshly shredded document (incremental on the
+    // paged backend), so recovery composes the page image with the
+    // committed copy's WAL suffix.
+    db.checkpoint().unwrap();
 
     let first = edge::copy_subtree(&mut db, cust, root).unwrap();
     assert!(first > 0);
@@ -240,7 +309,7 @@ fn edge_crash_mid_copy_recovers_committed_state() {
     let committed = snapshot(&db);
 
     drop(db); // crash without close
-    let mut recovered = durable_edge(scratch.path());
+    let mut recovered = durable_edge(scratch.path(), backend);
     assert_eq!(snapshot(&recovered), committed);
     assert!(recovered.stats().recovered_txns > 0);
 

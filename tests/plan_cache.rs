@@ -21,6 +21,7 @@ fn repo(ds: DeleteStrategy, is: InsertStrategy, batch_size: usize) -> (XmlReposi
             build_asr: false,
             statement_cost_us: 0,
             batch_size,
+            ..RepoConfig::default()
         },
     )
     .unwrap();
