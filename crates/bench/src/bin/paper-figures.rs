@@ -114,6 +114,12 @@ fn main() {
             &[8, 16, 32, 64]
         };
         show("planner", exp::planner_comparison(sizes));
+        let sizes: &[usize] = if full {
+            &[10_000, 20_000, 40_000, 80_000]
+        } else {
+            &[5_000, 10_000, 20_000]
+        };
+        show("planner_v2", exp::planner_v2(sizes));
     }
     if run("txn") {
         let batches: &[usize] = if full {

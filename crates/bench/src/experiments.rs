@@ -817,6 +817,115 @@ pub fn planner_comparison(sizes: &[usize]) -> Figure {
     }
 }
 
+/// Queries of the cost-based-planner ladders (`planner_v2`): a ~1%
+/// selective range predicate and a top-10 `ORDER BY`.
+pub const RANGE_QUERY: &str = "SELECT COUNT(*) FROM t WHERE num > 41000 AND num <= 42000";
+/// See [`RANGE_QUERY`].
+pub const ORDER_QUERY: &str = "SELECT id, num FROM t ORDER BY num LIMIT 10";
+
+/// Cost-based planner (v2) ladders: the same two queries — a selective
+/// range predicate ([`RANGE_QUERY`], ~1% of rows) and an
+/// `ORDER BY ... LIMIT 10` ([`ORDER_QUERY`]) — measured with and
+/// without the ordered secondary index plus `ANALYZE` statistics that
+/// let the planner seek instead of scanning and walk the index instead
+/// of sorting. Four series over table row count: `range/seq`,
+/// `range/seek`, `orderby/sort`, `orderby/elided`.
+///
+/// The function also asserts the EXPLAIN goldens (RangeScan with both
+/// bounds, OrderedScan without a Sort) and the planner counters
+/// (`range_seeks`, `sorts_elided`), so running the benchmark is itself
+/// a regression check.
+pub fn planner_v2(sizes: &[usize]) -> Figure {
+    use xmlup_rdb::Value::Int;
+    fn setup(n: usize, indexed: bool) -> xmlup_rdb::Database {
+        let mut db = xmlup_rdb::Database::new();
+        db.run_script("CREATE TABLE t (id INTEGER, num INTEGER);")
+            .expect("schema");
+        let ins = db.prepare("INSERT INTO t VALUES ($1, $2)").unwrap();
+        for i in 0..n as i64 {
+            // 7919 is coprime to 100000: num is a permutation slice of
+            // 0..100000, so the (41000, 42000] range holds ~n/100 rows.
+            db.execute_prepared(&ins, &[Int(i), Int(i * 7919 % 100_000)])
+                .unwrap();
+        }
+        if indexed {
+            db.run_script("CREATE INDEX t_num ON t (num) USING ORDERED; ANALYZE;")
+                .expect("index + analyze");
+        }
+        db
+    }
+    // EXPLAIN goldens + counters on a small indexed instance: the
+    // ladder must actually measure a seek and an elided sort.
+    {
+        let mut db = setup(1000, true);
+        let plan = db
+            .query(&format!("EXPLAIN {RANGE_QUERY}"))
+            .expect("explain");
+        let text: String = plan.rows.iter().map(|r| format!("{}\n", r[0])).collect();
+        assert!(
+            text.contains("RangeScan t (num > 41000 AND num <= 42000)"),
+            "range query must seek:\n{text}"
+        );
+        let plan = db
+            .query(&format!("EXPLAIN {ORDER_QUERY}"))
+            .expect("explain");
+        let text: String = plan.rows.iter().map(|r| format!("{}\n", r[0])).collect();
+        assert!(
+            text.contains("OrderedScan t (num)") && !text.contains("Sort"),
+            "ORDER BY LIMIT must walk the ordered index:\n{text}"
+        );
+        db.reset_stats();
+        db.query(RANGE_QUERY).expect("range");
+        db.query(ORDER_QUERY).expect("order");
+        let s = db.stats();
+        assert!(s.range_seeks >= 1, "no range seek recorded: {s:?}");
+        assert!(s.sorts_elided >= 1, "sort not elided: {s:?}");
+    }
+    /// Timed op: each query `REPS` times (plan cached after the first).
+    const REPS: usize = 20;
+    let measure = |n: usize, indexed: bool, query: &'static str| {
+        time_runs(
+            RUNS,
+            || setup(n, indexed),
+            |db| {
+                for _ in 0..REPS {
+                    db.query(query).expect("query");
+                }
+            },
+        )
+    };
+    let mut series: Vec<Series> = [
+        ("range/seq", RANGE_QUERY, false),
+        ("range/seek", RANGE_QUERY, true),
+        ("orderby/sort", ORDER_QUERY, false),
+        ("orderby/elided", ORDER_QUERY, true),
+    ]
+    .into_iter()
+    .map(|(label, _, _)| Series {
+        label: label.into(),
+        points: Vec::new(),
+    })
+    .collect();
+    let configs: [(&'static str, bool); 4] = [
+        (RANGE_QUERY, false),
+        (RANGE_QUERY, true),
+        (ORDER_QUERY, false),
+        (ORDER_QUERY, true),
+    ];
+    for &n in sizes {
+        for (si, (query, indexed)) in configs.iter().enumerate() {
+            series[si].points.push((n, measure(n, *indexed, query)));
+        }
+    }
+    Figure {
+        title:
+            "Planner v2: selective range and ORDER BY LIMIT, seq/sort vs ordered-index seek/elision"
+                .into(),
+        x_label: "rows".into(),
+        series,
+    }
+}
+
 /// Rollback cost vs update size: run the bulk per-tuple-trigger delete
 /// (the paper's largest update) inside an explicit transaction, then
 /// `ROLLBACK`. Returns `(sf, undo_records, apply_ms, rollback_ms)` —

@@ -56,7 +56,7 @@ pub enum Stmt {
         /// Suppress the missing-table error.
         if_exists: bool,
     },
-    /// `CREATE INDEX name ON table (column)`
+    /// `CREATE INDEX name ON table (column) [USING ORDERED | USING HASH]`
     CreateIndex {
         /// Index name (bookkeeping only).
         name: String,
@@ -64,6 +64,17 @@ pub enum Stmt {
         table: String,
         /// Indexed column.
         column: String,
+        /// `USING ORDERED` — an ordered index supporting range and
+        /// prefix seeks (default is a hash index).
+        ordered: bool,
+    },
+    /// `ANALYZE [table]` — rebuild planner statistics (row counts,
+    /// distinct counts, min/max, equi-depth histograms) for one table or
+    /// every table. DDL-like: it is WAL-logged as SQL text and bumps the
+    /// schema epoch so cached plans replan against the new statistics.
+    Analyze {
+        /// Table to analyze; `None` analyzes all tables.
+        table: Option<String>,
     },
     /// `CREATE TRIGGER name AFTER DELETE ON table FOR EACH ROW BEGIN … END`
     CreateTrigger {
@@ -345,6 +356,18 @@ pub enum Expr {
         /// `IS NOT NULL` when true.
         negated: bool,
     },
+    /// `expr [NOT] LIKE 'pattern'` — SQL pattern match with `%` (any
+    /// run) and `_` (any single character) wildcards. The pattern is a
+    /// string literal, fixed at parse time, which lets the planner turn
+    /// a non-wildcard prefix into an ordered-index range seek.
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The pattern text (unescaped string literal).
+        pattern: String,
+        /// `NOT LIKE` when true.
+        negated: bool,
+    },
     /// `expr [NOT] IN (v1, v2, …)`
     InList {
         /// Tested expression.
@@ -416,7 +439,9 @@ impl Expr {
     pub fn contains_aggregate(&self) -> bool {
         match self {
             Expr::Aggregate { .. } => true,
-            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Like { expr, .. } => {
+                expr.contains_aggregate()
+            }
             Expr::Binary { left, right, .. } => {
                 left.contains_aggregate() || right.contains_aggregate()
             }

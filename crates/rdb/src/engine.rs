@@ -119,6 +119,17 @@ pub struct Stats {
     /// Bytes written by checkpoints (page images + meta, or the full
     /// snapshot).
     pub checkpoint_bytes_written: u64,
+    /// Range seeks answered by an ordered index (bounded scans that
+    /// narrowed their candidate set through a B-tree range probe).
+    pub range_seeks: u64,
+    /// Scans that walked an ordered index in key order (ORDER BY
+    /// pushdown and ordered-range access paths).
+    pub ordered_index_scans: u64,
+    /// Sorts elided because an ordered index already produced the
+    /// requested ORDER BY order.
+    pub sorts_elided: u64,
+    /// `ANALYZE` statistics rebuilds (one per table analyzed).
+    pub stats_rebuilds: u64,
 }
 
 #[derive(Debug, Default)]
@@ -153,6 +164,10 @@ pub(crate) struct StatsCells {
     pub(crate) recovery_micros: Counter,
     pub(crate) checkpoint_pages_written: Counter,
     pub(crate) checkpoint_bytes_written: Counter,
+    pub(crate) range_seeks: Counter,
+    pub(crate) ordered_index_scans: Counter,
+    pub(crate) sorts_elided: Counter,
+    pub(crate) stats_rebuilds: Counter,
 }
 
 impl StatsCells {
@@ -188,6 +203,10 @@ impl StatsCells {
             recovery_micros: self.recovery_micros.get(),
             checkpoint_pages_written: self.checkpoint_pages_written.get(),
             checkpoint_bytes_written: self.checkpoint_bytes_written.get(),
+            range_seeks: self.range_seeks.get(),
+            ordered_index_scans: self.ordered_index_scans.get(),
+            sorts_elided: self.sorts_elided.get(),
+            stats_rebuilds: self.stats_rebuilds.get(),
         }
     }
 
@@ -677,6 +696,26 @@ impl Database {
                 "rdb_predicates_pushed_total",
                 "Filter conjuncts pushed down into scans at plan time",
                 s.predicates_pushed,
+            ),
+            Metric::counter(
+                "rdb_range_seeks_total",
+                "Range seeks answered by an ordered index",
+                s.range_seeks,
+            ),
+            Metric::counter(
+                "rdb_ordered_index_scans_total",
+                "Scans that walked an ordered index in key order",
+                s.ordered_index_scans,
+            ),
+            Metric::counter(
+                "rdb_sorts_elided_total",
+                "Sorts elided because an ordered index yielded index order",
+                s.sorts_elided,
+            ),
+            Metric::counter(
+                "rdb_stats_rebuilds_total",
+                "ANALYZE statistics rebuilds",
+                s.stats_rebuilds,
             ),
             Metric::gauge(
                 "rdb_tables",
@@ -1482,9 +1521,22 @@ impl Database {
                     self.triggers.insert(at.min(self.triggers.len()), trig);
                 }
             }
-            UndoRecord::CreatedIndex { table, column } => {
+            UndoRecord::CreatedIndex {
+                table,
+                column,
+                ordered,
+            } => {
                 if let Some(t) = self.tables.get_mut(&table) {
-                    t.drop_index(column);
+                    if ordered {
+                        t.drop_ordered_index(column);
+                    } else {
+                        t.drop_index(column);
+                    }
+                }
+            }
+            UndoRecord::Analyzed { table, prior } => {
+                if let Some(t) = self.tables.get_mut(&table) {
+                    t.set_statistics(prior.map(|b| *b));
                 }
             }
             UndoRecord::CreatedTrigger { name } => {
@@ -1965,8 +2017,17 @@ impl Database {
                     .collect();
                 indexes.insert(column as usize, map);
             }
-            self.tables
-                .insert(st.key, Table::from_parts(schema, st.slots, indexes));
+            let ordered: Vec<usize> = st.ordered.iter().map(|&c| c as usize).collect();
+            if ordered.iter().any(|&ci| ci >= schema.columns.len()) {
+                return Err(DbError::Storage(format!(
+                    "snapshot orders unknown column of `{}`",
+                    st.key
+                )));
+            }
+            self.tables.insert(
+                st.key,
+                Table::from_parts(schema, st.slots, indexes, &ordered, st.stats),
+            );
         }
         for sql in snap.triggers {
             let (stmt, _) = parse_stmt_with_params(&sql)?;
@@ -2003,7 +2064,15 @@ impl Database {
                 }
                 slots[pos] = Some(row);
             }
-            let mut table = Table::from_parts(schema, slots, HashMap::new());
+            let ordered: Vec<usize> = tm.ordered.iter().map(|&c| c as usize).collect();
+            if ordered.iter().any(|&ci| ci >= schema.columns.len()) {
+                return Err(DbError::Storage(format!(
+                    "page meta orders unknown column of `{}`",
+                    tm.key
+                )));
+            }
+            let mut table =
+                Table::from_parts(schema, slots, HashMap::new(), &ordered, tm.stats.clone());
             for &ci in &tm.indexed {
                 let column = table
                     .schema
@@ -2080,6 +2149,8 @@ impl Database {
                         .collect(),
                     slots_len: t.slots_raw().len() as u64,
                     indexed,
+                    ordered: t.ordered_columns().iter().map(|&ci| ci as u32).collect(),
+                    stats: t.statistics().cloned(),
                 }
             })
             .collect();
@@ -2123,6 +2194,8 @@ impl Database {
                         .collect(),
                     slots: t.slots_raw().to_vec(),
                     indexes,
+                    ordered: t.ordered_columns().iter().map(|&ci| ci as u32).collect(),
+                    stats: t.statistics().cloned(),
                 }
             })
             .collect();
@@ -2234,6 +2307,7 @@ impl Database {
             Stmt::CreateTable { .. }
                 | Stmt::DropTable { .. }
                 | Stmt::CreateIndex { .. }
+                | Stmt::Analyze { .. }
                 | Stmt::CreateTrigger { .. }
                 | Stmt::DropTrigger { .. }
         );
@@ -2312,19 +2386,63 @@ impl Database {
                 }
                 Ok(ExecResult::Ddl)
             }
-            Stmt::CreateIndex { table, column, .. } => {
+            Stmt::CreateIndex {
+                table,
+                column,
+                ordered,
+                ..
+            } => {
                 let key = table.to_ascii_lowercase();
                 let t = self
                     .tables
                     .get_mut(&key)
                     .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
                 let ci = t.schema.column_index(column);
-                let was_new = ci.map(|ci| !t.has_index(ci)).unwrap_or(false);
-                t.create_index(column)?;
+                let was_new = ci
+                    .map(|ci| {
+                        if *ordered {
+                            !t.has_ordered_index(ci)
+                        } else {
+                            !t.has_index(ci)
+                        }
+                    })
+                    .unwrap_or(false);
+                if *ordered {
+                    t.create_ordered_index(column)?;
+                } else {
+                    t.create_index(column)?;
+                }
                 if was_new {
                     self.record_undo(UndoRecord::CreatedIndex {
                         table: key,
                         column: ci.expect("checked above"),
+                        ordered: *ordered,
+                    });
+                }
+                Ok(ExecResult::Ddl)
+            }
+            Stmt::Analyze { table } => {
+                let keys: Vec<String> = match table {
+                    Some(name) => {
+                        let key = name.to_ascii_lowercase();
+                        if !self.tables.contains_key(&key) {
+                            return Err(DbError::NoSuchTable(name.clone()));
+                        }
+                        vec![key]
+                    }
+                    None => {
+                        let mut all: Vec<String> = self.tables.keys().cloned().collect();
+                        all.sort();
+                        all
+                    }
+                };
+                for key in keys {
+                    let t = self.tables.get_mut(&key).expect("existence checked above");
+                    let prior = t.analyze();
+                    StatsCells::bump(&self.stats.stats_rebuilds, 1);
+                    self.record_undo(UndoRecord::Analyzed {
+                        table: key,
+                        prior: prior.map(Box::new),
                     });
                 }
                 Ok(ExecResult::Ddl)
@@ -2862,7 +2980,7 @@ impl Database {
                         .unwrap_or(true);
                     if qual_ok {
                         if let Some(ci) = t.schema.column_index(name) {
-                            if t.has_index(ci) {
+                            if t.has_index(ci) || t.has_ordered_index(ci) {
                                 let sub = self.cached_subquery(query, ctx)?;
                                 StatsCells::bump(&self.stats.index_scans, 1);
                                 let mut out = Vec::new();
@@ -2904,7 +3022,7 @@ impl Database {
                         .unwrap_or(true);
                     if qual_ok {
                         if let Some(ci) = t.schema.column_index(name) {
-                            if t.has_index(ci) {
+                            if t.has_index(ci) || t.has_ordered_index(ci) {
                                 if let Some(probe) =
                                     self.cached_in_list(list, ctx, &HashMap::new())?
                                 {
@@ -2975,7 +3093,9 @@ impl Database {
                             .unwrap_or(true)
                         {
                             if let Some(ci) = t.schema.column_index(name) {
-                                if t.has_index(ci) && Self::row_independent(keyside) {
+                                if (t.has_index(ci) || t.has_ordered_index(ci))
+                                    && Self::row_independent(keyside)
+                                {
                                     return Some((ci, keyside));
                                 }
                             }

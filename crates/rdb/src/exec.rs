@@ -56,6 +56,39 @@ pub(crate) fn layout_resolve(
     }
 }
 
+/// SQL `LIKE` wildcard match: `%` matches any run of characters
+/// (including empty), `_` matches exactly one. Case-sensitive, no escape
+/// syntax. Iterative two-pointer matcher with greedy `%` backtracking.
+pub(crate) fn like_match(s: &str, pattern: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut si, mut pi) = (0usize, 0usize);
+    // Resume points for the most recent `%`: pattern index after it and
+    // the subject index it currently absorbs up to.
+    let (mut star_pi, mut star_si) = (usize::MAX, 0usize);
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star_pi = pi;
+            star_si = si;
+            pi += 1;
+        } else if star_pi != usize::MAX {
+            // Mismatch past a `%`: widen what it absorbs by one char.
+            star_si += 1;
+            si = star_si;
+            pi = star_pi + 1;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
 /// A row environment expressions can be evaluated against: resolves
 /// column names to offsets and hands out values by offset.
 pub(crate) trait Scope {
@@ -389,11 +422,31 @@ enum ScanSrc<'a> {
     Mat(Rc<Vec<Row>>),
 }
 
-enum ScanState {
+enum ScanState<'a> {
     Start,
-    SeqTable { pos: usize },
-    SeqMat { i: usize },
-    Bucket { rows: Vec<Row>, i: usize },
+    SeqTable {
+        pos: usize,
+    },
+    SeqMat {
+        i: usize,
+    },
+    Bucket {
+        rows: Vec<Row>,
+        i: usize,
+    },
+    /// Range seek in slot order: materialized positions, rows fetched
+    /// (and filtered) lazily. `backed` fetches through the page store.
+    PosList {
+        ps: Vec<usize>,
+        i: usize,
+        backed: bool,
+    },
+    /// Ordered-index walk in key order: positions stream lazily out of
+    /// the B-tree range, so `LIMIT k` touches only ~k entries.
+    PosIter {
+        iter: Box<dyn Iterator<Item = usize> + 'a>,
+        backed: bool,
+    },
     Done,
 }
 
@@ -403,7 +456,7 @@ pub(crate) struct ScanCur<'a> {
     plan: &'a ScanPlan,
     src: ScanSrc<'a>,
     layout: Vec<(String, Vec<String>, usize)>,
-    state: ScanState,
+    state: ScanState<'a>,
     /// `EXPLAIN ANALYZE` actuals; `None` on the plain execution path.
     prof: Option<&'a OpProf>,
 }
@@ -443,7 +496,7 @@ impl<'a> ScanCur<'a> {
         Ok(true)
     }
 
-    fn start(&self, ex: &ExecCtx<'_, '_>) -> Result<ScanState> {
+    fn start(&self, ex: &ExecCtx<'_, '_>) -> Result<ScanState<'a>> {
         if let (Some(s), ScanSrc::Table(t)) = (ex.ctx.snapshot, &self.src) {
             if t.changed_since(s) {
                 // The live heap (and its indexes) moved past this
@@ -451,6 +504,22 @@ impl<'a> ScanCur<'a> {
                 // and scan that instead.
                 return self.start_snapshot(ex, t, s);
             }
+        }
+        // Range seeks serve both the live heap and the read-through
+        // backend from one lazy path (positions come from the in-memory
+        // ordered index either way).
+        if let (
+            Access::Range {
+                ci,
+                lower,
+                upper,
+                ordered,
+                desc,
+            },
+            ScanSrc::Table(t),
+        ) = (&self.plan.access, &self.src)
+        {
+            return self.start_range(ex, t, *ci, lower, upper, *ordered, *desc);
         }
         if let ScanSrc::Table(t) = &self.src {
             if t.backed_read_through() {
@@ -537,7 +606,86 @@ impl<'a> ScanCur<'a> {
                 }
                 Ok(ScanState::Bucket { rows, i: 0 })
             }
+            (Access::Range { .. }, ScanSrc::Table(_)) => {
+                unreachable!("range scans are intercepted by start_range")
+            }
         }
+    }
+
+    /// Range / ordered-index seek. Bounds are evaluated once (they are
+    /// row-independent by construction); the seek narrows candidates
+    /// under `Value::sort_cmp`'s total order and `passes()` re-checks the
+    /// originating conjuncts per row, so SQL comparison semantics are
+    /// preserved. Works for both the live heap and the read-through
+    /// backend — positions always come from the in-memory ordered index.
+    #[allow(clippy::too_many_arguments)]
+    fn start_range(
+        &self,
+        ex: &ExecCtx<'_, '_>,
+        t: &'a Table,
+        ci: usize,
+        lower: &Option<(Expr, bool)>,
+        upper: &Option<(Expr, bool)>,
+        ordered: bool,
+        desc: bool,
+    ) -> Result<ScanState<'a>> {
+        let empty = SliceEnv {
+            layout: &[],
+            values: &[],
+        };
+        let eval_bound = |b: &Option<(Expr, bool)>| -> Result<Option<(Value, bool)>> {
+            Ok(match b {
+                Some((e, incl)) => Some((ex.db.eval_expr(e, &empty, ex.ctx, ex.ctes)?, *incl)),
+                None => None,
+            })
+        };
+        let lo = eval_bound(lower)?;
+        let hi = eval_bound(upper)?;
+        StatsCells::bump(&ex.db.stats.index_scans, 1);
+        if lo.is_some() || hi.is_some() {
+            StatsCells::bump(&ex.db.stats.range_seeks, 1);
+        }
+        self.prof_loop(1);
+        let backed = t.backed_read_through();
+        let lo_ref = lo.as_ref().map(|(v, i)| (v, *i));
+        let hi_ref = hi.as_ref().map(|(v, i)| (v, *i));
+        if ordered {
+            StatsCells::bump(&ex.db.stats.ordered_index_scans, 1);
+            match t.ordered_seek(ci, desc, lo_ref, hi_ref) {
+                Some(iter) => Ok(ScanState::PosIter { iter, backed }),
+                None => Err(DbError::Execution(format!(
+                    "ordered index on column {ci} of `{}` vanished between plan and execution",
+                    t.schema.name
+                ))),
+            }
+        } else {
+            match t.range_positions(ci, lo_ref, hi_ref) {
+                Some(ps) => Ok(ScanState::PosList { ps, i: 0, backed }),
+                None => {
+                    // Index dropped under a cached plan: degrade to a
+                    // sequential scan — the bounds are still in `pushed`.
+                    StatsCells::bump(&ex.db.stats.seq_scans, 1);
+                    if backed {
+                        self.start_backed_seq(ex, t)
+                    } else {
+                        Ok(ScanState::SeqTable { pos: 0 })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sequential read-through scan body, shared by `start_backed` and
+    /// the range fallback.
+    fn start_backed_seq(&self, ex: &ExecCtx<'_, '_>, t: &Table) -> Result<ScanState<'a>> {
+        let mut rows = Vec::new();
+        for (_, row) in t.backed_scan()? {
+            StatsCells::bump(&ex.db.stats.rows_scanned, 1);
+            if self.passes(&row, ex)? {
+                rows.push(row);
+            }
+        }
+        Ok(ScanState::Bucket { rows, i: 0 })
     }
 
     /// Read-through scan: the same four access paths as the live-heap
@@ -546,7 +694,7 @@ impl<'a> ScanCur<'a> {
     /// resolve positions in the in-memory hash indexes and then fault
     /// the individual rows in; sequential scans pull the whole table in
     /// slot order.
-    fn start_backed(&self, ex: &ExecCtx<'_, '_>, t: &Table) -> Result<ScanState> {
+    fn start_backed(&self, ex: &ExecCtx<'_, '_>, t: &Table) -> Result<ScanState<'a>> {
         let fetch = |p: usize| -> Result<Row> {
             t.backed_row(p)?.ok_or_else(|| {
                 DbError::Storage(format!(
@@ -560,12 +708,7 @@ impl<'a> ScanCur<'a> {
             Access::Seq => {
                 StatsCells::bump(&ex.db.stats.seq_scans, 1);
                 self.prof_loop(1);
-                for (_, row) in t.backed_scan()? {
-                    StatsCells::bump(&ex.db.stats.rows_scanned, 1);
-                    if self.passes(&row, ex)? {
-                        rows.push(row);
-                    }
-                }
+                return self.start_backed_seq(ex, t);
             }
             Access::IndexEq { ci, key } => {
                 StatsCells::bump(&ex.db.stats.index_scans, 1);
@@ -625,6 +768,9 @@ impl<'a> ScanCur<'a> {
                     }
                 }
             }
+            Access::Range { .. } => {
+                unreachable!("range scans are intercepted by start_range")
+            }
         }
         Ok(ScanState::Bucket { rows, i: 0 })
     }
@@ -637,7 +783,7 @@ impl<'a> ScanCur<'a> {
     /// re-applied here by hand. Correctness over speed: a table only
     /// takes this path while a writer has committed past the reader's
     /// snapshot, and version GC retires the detour as snapshots close.
-    fn start_snapshot(&self, ex: &ExecCtx<'_, '_>, t: &Table, s: u64) -> Result<ScanState> {
+    fn start_snapshot(&self, ex: &ExecCtx<'_, '_>, t: &Table, s: u64) -> Result<ScanState<'a>> {
         StatsCells::bump(&ex.db.stats.seq_scans, 1);
         self.prof_loop(1);
         let visible = t.rows_visible_at(s);
@@ -684,6 +830,58 @@ impl<'a> ScanCur<'a> {
                     StatsCells::bump(&ex.db.stats.rows_scanned, 1);
                     if probe.set.contains(&row[*ci]) && self.passes(&row, ex)? {
                         rows.push(row);
+                    }
+                }
+            }
+            Access::Range {
+                ci,
+                lower,
+                upper,
+                ordered,
+                desc,
+            } => {
+                // The live ordered index describes the current heap, not
+                // the snapshot image: filter the reconstructed rows by the
+                // bounds, then sort (stably, so equal keys keep position
+                // order, matching the ordered walk) when key order was
+                // promised.
+                use std::cmp::Ordering;
+                let empty = SliceEnv {
+                    layout: &[],
+                    values: &[],
+                };
+                let eval_bound = |b: &Option<(Expr, bool)>| -> Result<Option<(Value, bool)>> {
+                    Ok(match b {
+                        Some((e, incl)) => {
+                            Some((ex.db.eval_expr(e, &empty, ex.ctx, ex.ctes)?, *incl))
+                        }
+                        None => None,
+                    })
+                };
+                let lo = eval_bound(lower)?;
+                let hi = eval_bound(upper)?;
+                for row in visible {
+                    StatsCells::bump(&ex.db.stats.rows_scanned, 1);
+                    let k = &row[*ci];
+                    let lo_ok = lo.as_ref().is_none_or(|(v, incl)| match k.sort_cmp(v) {
+                        Ordering::Greater => true,
+                        Ordering::Equal => *incl,
+                        Ordering::Less => false,
+                    });
+                    let hi_ok = hi.as_ref().is_none_or(|(v, incl)| match k.sort_cmp(v) {
+                        Ordering::Less => true,
+                        Ordering::Equal => *incl,
+                        Ordering::Greater => false,
+                    });
+                    if lo_ok && hi_ok && self.passes(&row, ex)? {
+                        rows.push(row);
+                    }
+                }
+                if *ordered {
+                    if *desc {
+                        rows.sort_by(|a, b| b[*ci].sort_cmp(&a[*ci]));
+                    } else {
+                        rows.sort_by(|a, b| a[*ci].sort_cmp(&b[*ci]));
                     }
                 }
             }
@@ -737,6 +935,64 @@ impl ScanCur<'_> {
                         let out = rows[i].clone();
                         self.state = ScanState::Bucket { rows, i: i + 1 };
                         return Ok(Some(out));
+                    }
+                    return Ok(None);
+                }
+                ScanState::PosList { ps, mut i, backed } => {
+                    let ScanSrc::Table(t) = &self.src else {
+                        unreachable!("PosList state implies a table source")
+                    };
+                    while i < ps.len() {
+                        let p = ps[i];
+                        i += 1;
+                        StatsCells::bump(&ex.db.stats.rows_scanned, 1);
+                        let row = if backed {
+                            Some(t.backed_row(p)?.ok_or_else(|| {
+                                DbError::Storage(format!(
+                                    "page store lost row at slot {p} of `{}`",
+                                    t.schema.name
+                                ))
+                            })?)
+                        } else {
+                            None
+                        };
+                        let row_ref: &Row = match &row {
+                            Some(r) => r,
+                            None => t.row(p).expect("ordered index points at live row"),
+                        };
+                        if self.passes(row_ref, ex)? {
+                            let out = row_ref.clone();
+                            self.state = ScanState::PosList { ps, i, backed };
+                            return Ok(Some(out));
+                        }
+                    }
+                    return Ok(None);
+                }
+                ScanState::PosIter { mut iter, backed } => {
+                    let ScanSrc::Table(t) = &self.src else {
+                        unreachable!("PosIter state implies a table source")
+                    };
+                    for p in iter.by_ref() {
+                        StatsCells::bump(&ex.db.stats.rows_scanned, 1);
+                        let row = if backed {
+                            Some(t.backed_row(p)?.ok_or_else(|| {
+                                DbError::Storage(format!(
+                                    "page store lost row at slot {p} of `{}`",
+                                    t.schema.name
+                                ))
+                            })?)
+                        } else {
+                            None
+                        };
+                        let row_ref: &Row = match &row {
+                            Some(r) => r,
+                            None => t.row(p).expect("ordered index points at live row"),
+                        };
+                        if self.passes(row_ref, ex)? {
+                            let out = row_ref.clone();
+                            self.state = ScanState::PosIter { iter, backed };
+                            return Ok(Some(out));
+                        }
                     }
                     return Ok(None);
                 }
@@ -1277,6 +1533,9 @@ impl Database {
         }
         let body_prof = prof.map(|p| &p.cores[..]);
         if plan.keys.is_empty() {
+            if plan.elided_sort {
+                StatsCells::bump(&self.stats.sorts_elided, 1);
+            }
             let rows = self.run_cores(&plan.body, plan.limit, ctx, &ctes, body_prof)?;
             return Ok(ResultSet {
                 columns: plan.columns.clone(),
@@ -1302,7 +1561,7 @@ impl Database {
                 row.extend(extras);
             }
         }
-        rows.sort_by(|a, b| {
+        let key_cmp = |a: &Row, b: &Row| {
             for &(i, desc) in &plan.keys {
                 let ord = a[i].sort_cmp(&b[i]);
                 if ord != std::cmp::Ordering::Equal {
@@ -1310,7 +1569,29 @@ impl Database {
                 }
             }
             std::cmp::Ordering::Equal
-        });
+        };
+        match plan.limit {
+            // Top-k: selecting the k smallest under a total order (sort
+            // keys, then input position — the stable-sort tiebreak made
+            // explicit) is O(n + k log k) instead of O(n log n) and
+            // yields exactly the stable-sort prefix.
+            Some(k) if (k as usize) < rows.len() => {
+                let k = k as usize;
+                if k == 0 {
+                    rows.clear();
+                } else {
+                    let mut tagged: Vec<(usize, Row)> = rows.drain(..).enumerate().collect();
+                    let cmp = |a: &(usize, Row), b: &(usize, Row)| {
+                        key_cmp(&a.1, &b.1).then(a.0.cmp(&b.0))
+                    };
+                    tagged.select_nth_unstable_by(k - 1, cmp);
+                    tagged.truncate(k);
+                    tagged.sort_unstable_by(cmp);
+                    rows.extend(tagged.into_iter().map(|(_, r)| r));
+                }
+            }
+            _ => rows.sort_by(key_cmp),
+        }
         if rows.first().is_some_and(|r| r.len() > plan.visible) {
             for row in &mut rows {
                 row.truncate(plan.visible);
@@ -1358,6 +1639,7 @@ impl Database {
                     && list.iter().all(|l| Self::computable_on_output(l, columns))
             }
             Expr::InSubquery { expr, .. } => Self::computable_on_output(expr, columns),
+            Expr::Like { expr, .. } => Self::computable_on_output(expr, columns),
             Expr::Exists { .. } | Expr::ScalarSubquery(_) => true,
             Expr::Aggregate { .. } => false,
         }
@@ -1381,6 +1663,7 @@ impl Database {
                 Self::row_independent(expr) && list.iter().all(Self::row_independent)
             }
             Expr::InSubquery { expr, .. } => Self::row_independent(expr),
+            Expr::Like { expr, .. } => Self::row_independent(expr),
             Expr::Exists { .. } | Expr::ScalarSubquery(_) => true,
             Expr::Aggregate { .. } => false,
         }
@@ -1417,6 +1700,7 @@ impl Database {
                     .try_for_each(|l| self.check_columns(l, env, ctx))
             }
             Expr::InSubquery { expr, .. } => self.check_columns(expr, env, ctx),
+            Expr::Like { expr, .. } => self.check_columns(expr, env, ctx),
             Expr::Exists { .. } | Expr::ScalarSubquery(_) => Ok(()),
             Expr::Aggregate { arg, .. } => match arg {
                 Some(a) => self.check_columns(a, env, ctx),
@@ -1445,6 +1729,7 @@ impl Database {
                     && list.iter().all(|l| self.expr_resolvable(l, env, ctx))
             }
             Expr::InSubquery { expr, .. } => self.expr_resolvable(expr, env, ctx),
+            Expr::Like { expr, .. } => self.expr_resolvable(expr, env, ctx),
             Expr::Exists { .. } | Expr::ScalarSubquery(_) => true,
             Expr::Aggregate { .. } => false,
         }
@@ -1628,6 +1913,18 @@ impl Database {
                     Ok(Value::Null)
                 } else {
                     Ok(Value::Bool(*negated))
+                }
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let v = self.eval_expr(expr, env, ctx, ctes)?;
+                match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Str(s) => Ok(Value::Bool(like_match(&s, pattern) != *negated)),
+                    other => Err(DbError::Type(format!("LIKE on non-string value {other}"))),
                 }
             }
             Expr::InSubquery {

@@ -48,6 +48,7 @@ mod plan;
 pub mod server;
 pub mod session;
 pub mod sql;
+pub mod stats;
 pub mod storage;
 pub mod table;
 pub mod txn;
@@ -64,6 +65,7 @@ pub use parser::{parse_script, parse_script_with_text, parse_stmt, parse_stmt_wi
 pub use server::{Server, ServerHandle};
 pub use session::{Session, SharedDatabase};
 pub use sql::stmt_to_sql;
+pub use stats::{ColumnStatistics, TableStatistics};
 pub use storage::{
     BackendKind, MemoryBackend, PagedStore, PoolStats, StorageBackend, StorageConfig,
     StorageMetrics,

@@ -227,6 +227,14 @@ impl Parser {
             })
         } else if self.eat_kw("CHECKPOINT") {
             Ok(Stmt::Checkpoint)
+        } else if self.eat_kw("ANALYZE") {
+            // `ANALYZE [table]` — a bare identifier next is the table;
+            // statements are `;`-separated, so anything else ends it.
+            let table = match self.peek() {
+                Some(Tok::Ident(_)) => Some(self.ident()?),
+                _ => None,
+            };
+            Ok(Stmt::Analyze { table })
         } else if self.eat_kw("EXPLAIN") {
             let analyze = self.eat_kw("ANALYZE");
             Ok(Stmt::Explain {
@@ -275,10 +283,24 @@ impl Parser {
             self.expect_tok(&Tok::LParen)?;
             let column = self.ident()?;
             self.expect_tok(&Tok::RParen)?;
+            let ordered = if self.eat_kw("USING") {
+                if self.eat_kw("ORDERED") {
+                    true
+                } else if self.eat_kw("HASH") {
+                    false
+                } else {
+                    return Err(DbError::SqlParse(
+                        "expected ORDERED or HASH after USING".into(),
+                    ));
+                }
+            } else {
+                false
+            };
             Ok(Stmt::CreateIndex {
                 name,
                 table,
                 column,
+                ordered,
             })
         } else if self.eat_kw("TRIGGER") {
             let name = self.ident()?;
@@ -711,6 +733,60 @@ impl Parser {
             self.expect_kw("NULL")?;
             return Ok(Expr::IsNull {
                 expr: Box::new(left),
+                negated,
+            });
+        }
+        // [NOT] BETWEEN lo AND hi — desugared at parse time into the
+        // conjunction `left >= lo AND left <= hi` so the planner's
+        // conjunct machinery (pushdown, range-seek extraction) sees
+        // plain comparisons. Bounds parse at `additive` level so the
+        // connecting AND is not swallowed.
+        if self.peek_kw("BETWEEN") || (self.peek_kw("NOT") && self.peek2_kw("BETWEEN")) {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("BETWEEN")?;
+            let lo = self.additive()?;
+            self.expect_kw("AND")?;
+            let hi = self.additive()?;
+            let ge = Expr::Binary {
+                left: Box::new(left.clone()),
+                op: BinOp::Ge,
+                right: Box::new(lo),
+            };
+            let le = Expr::Binary {
+                left: Box::new(left),
+                op: BinOp::Le,
+                right: Box::new(hi),
+            };
+            let both = Expr::Binary {
+                left: Box::new(ge),
+                op: BinOp::And,
+                right: Box::new(le),
+            };
+            return Ok(if negated {
+                Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(both),
+                }
+            } else {
+                both
+            });
+        }
+        // [NOT] LIKE 'pattern' — the pattern must be a string literal so
+        // its non-wildcard prefix is known at plan time.
+        if self.peek_kw("LIKE") || (self.peek_kw("NOT") && self.peek2_kw("LIKE")) {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("LIKE")?;
+            let pattern = match self.next_tok()? {
+                Tok::Str(s) => s,
+                other => {
+                    return Err(DbError::SqlParse(format!(
+                        "LIKE pattern must be a string literal, found {other:?}"
+                    )))
+                }
+            };
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern,
                 negated,
             });
         }
@@ -1179,6 +1255,69 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn analyze_and_ordered_index() {
+        assert_eq!(
+            parse_stmt("ANALYZE").unwrap(),
+            Stmt::Analyze { table: None }
+        );
+        assert_eq!(
+            parse_stmt("ANALYZE asr").unwrap(),
+            Stmt::Analyze {
+                table: Some("asr".into())
+            }
+        );
+        match parse_stmt("CREATE INDEX i ON t (num) USING ORDERED").unwrap() {
+            Stmt::CreateIndex { ordered, .. } => assert!(ordered),
+            other => panic!("{other:?}"),
+        }
+        match parse_stmt("CREATE INDEX i ON t (num) USING HASH").unwrap() {
+            Stmt::CreateIndex { ordered, .. } => assert!(!ordered),
+            other => panic!("{other:?}"),
+        }
+        match parse_stmt("CREATE INDEX i ON t (num)").unwrap() {
+            Stmt::CreateIndex { ordered, .. } => assert!(!ordered, "hash is the default"),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_stmt("CREATE INDEX i ON t (num) USING BTREE").is_err());
+    }
+
+    #[test]
+    fn between_desugars_to_comparisons() {
+        let s = parse_stmt("SELECT * FROM t WHERE num BETWEEN 3 AND 7").unwrap();
+        let expected = parse_stmt("SELECT * FROM t WHERE num >= 3 AND num <= 7").unwrap();
+        assert_eq!(s, expected);
+        let s = parse_stmt("SELECT * FROM t WHERE num NOT BETWEEN 3 AND 7").unwrap();
+        let expected = parse_stmt("SELECT * FROM t WHERE NOT (num >= 3 AND num <= 7)").unwrap();
+        assert_eq!(s, expected);
+    }
+
+    #[test]
+    fn like_requires_literal_pattern() {
+        match parse_stmt("SELECT * FROM t WHERE name LIKE 'Jo%'").unwrap() {
+            Stmt::Select(sel) => match sel.body[0].filter.as_ref().unwrap() {
+                Expr::Like {
+                    pattern, negated, ..
+                } => {
+                    assert_eq!(pattern, "Jo%");
+                    assert!(!negated);
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        match parse_stmt("SELECT * FROM t WHERE name NOT LIKE '%x_'").unwrap() {
+            Stmt::Select(sel) => {
+                assert!(matches!(
+                    sel.body[0].filter,
+                    Some(Expr::Like { negated: true, .. })
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_stmt("SELECT * FROM t WHERE name LIKE other").is_err());
     }
 
     #[test]

@@ -30,7 +30,55 @@ use crate::engine::{Database, ResultSet, StatsCells};
 use crate::error::{DbError, Result};
 use crate::exec::{CoreProf, EvalCtx, OpProf, PlanProf, SliceEnv};
 use crate::sql::{expr_to_sql, stmt_to_sql};
+use crate::table::Table;
 use crate::value::Value;
+
+/// The literal prefix of a LIKE pattern: the characters before the first
+/// wildcard. `None` when the pattern starts with a wildcard (no usable
+/// prefix).
+fn like_prefix(pattern: &str) -> Option<String> {
+    let p: String = pattern
+        .chars()
+        .take_while(|c| *c != '%' && *c != '_')
+        .collect();
+    if p.is_empty() {
+        None
+    } else {
+        Some(p)
+    }
+}
+
+/// Smallest string strictly greater than every string starting with
+/// `prefix` under code-point order (which matches `str`'s byte order for
+/// UTF-8): increment the last incrementable character and drop the tail.
+/// `None` when no such string exists — the range is unbounded above.
+fn prefix_successor(prefix: &str) -> Option<String> {
+    let mut chars: Vec<char> = prefix.chars().collect();
+    while let Some(&last) = chars.last() {
+        let mut code = last as u32 + 1;
+        // Skip the surrogate gap, which `char` cannot represent.
+        if (0xD800..=0xDFFF).contains(&code) {
+            code = 0xE000;
+        }
+        if let Some(next) = char::from_u32(code) {
+            *chars.last_mut().unwrap() = next;
+            return Some(chars.into_iter().collect());
+        }
+        chars.pop();
+    }
+    None
+}
+
+/// Literal view of a planned range bound: `Some(None)` for unbounded,
+/// `Some(Some(..))` for a literal, `None` when the bound is an expression
+/// statistics cannot evaluate at plan time.
+fn literal_bound(b: &Option<(Expr, bool)>) -> Option<Option<(&Value, bool)>> {
+    match b {
+        None => Some(None),
+        Some((Expr::Literal(v), incl)) => Some(Some((v, *incl))),
+        Some(_) => None,
+    }
+}
 
 /// How a scan reaches its rows.
 #[derive(Debug, Clone)]
@@ -45,6 +93,20 @@ pub(crate) enum Access {
     /// Probe the index on column `ci` with every distinct value of a
     /// row-independent IN-list (the batched-DML shape `id IN (…)`).
     IndexInList { ci: usize, list: Vec<Expr> },
+    /// Seek the ordered index on column `ci` between row-independent
+    /// bounds (`(expr, inclusive)`; `None` is unbounded). The bounding
+    /// conjuncts stay in `pushed` and are re-checked per row, so the seek
+    /// only narrows candidates — three-valued logic and cross-type
+    /// comparison semantics are preserved by the re-check. With
+    /// `ordered`, positions are emitted in key order (reversed by `desc`)
+    /// instead of slot order, letting the plan elide an `ORDER BY` sort.
+    Range {
+        ci: usize,
+        lower: Option<(Expr, bool)>,
+        upper: Option<(Expr, bool)>,
+        ordered: bool,
+        desc: bool,
+    },
 }
 
 /// One FROM source compiled to a physical scan.
@@ -69,6 +131,11 @@ pub(crate) struct ScanPlan {
     /// average index-bucket size for a probe, 0 for CTEs (unknown at
     /// plan time). Shown by `EXPLAIN ANALYZE` next to actual rows.
     pub est_rows: u64,
+    /// Whether `est_rows` came from `ANALYZE` statistics (histogram /
+    /// distinct-count estimation) rather than the legacy table-size
+    /// heuristics. Statistics-backed estimates also show in plain
+    /// `EXPLAIN`.
+    pub stats_est: bool,
 }
 
 /// How a scan joins against the bindings to its left.
@@ -134,6 +201,9 @@ pub(crate) struct SelectPlan {
     pub visible: usize,
     pub limit: Option<u64>,
     pub columns: Vec<String>,
+    /// Whether an `ORDER BY` sort was elided because the single scan
+    /// already emits rows in key order (ordered-index walk).
+    pub elided_sort: bool,
 }
 
 /// A shared, epoch-stamped slot for a statement's compiled [`SelectPlan`].
@@ -246,6 +316,78 @@ impl Database {
                 }
             }
         }
+        // --- ORDER BY pushdown -------------------------------------------
+        // A single-key sort over a single-scan, non-aggregated core whose
+        // key is a direct column of an ordered-indexed base table is
+        // elided: the scan walks the ordered index in key order instead,
+        // and `LIMIT k` then pulls only the first `k` rows.
+        let mut elided_sort = false;
+        if !naive
+            && body.len() == 1
+            && keys.len() == 1
+            && hidden.is_empty()
+            && hidden_on_output.is_empty()
+        {
+            let core = &mut body[0];
+            if core.scans.len() == 1 && core.aggregate.is_none() && !core.distinct {
+                let (key_off, key_desc) = keys[0];
+                // Map the output offset back to a source-row offset
+                // through the projection steps; with a single scan, row
+                // offsets are table column indices.
+                let mut src: Option<usize> = None;
+                let mut out = 0usize;
+                for step in &core.projections {
+                    let w = match step {
+                        ProjStep::All => core.layout.iter().map(|(_, c, _)| c.len()).sum(),
+                        ProjStep::Range { len, .. } => *len,
+                        ProjStep::Col(_) | ProjStep::Expr(_) => 1,
+                    };
+                    if key_off >= out && key_off < out + w {
+                        src = match step {
+                            ProjStep::All => Some(key_off - out),
+                            ProjStep::Range { off, .. } => Some(off + (key_off - out)),
+                            ProjStep::Col(off) => Some(*off),
+                            ProjStep::Expr(_) => None,
+                        };
+                        break;
+                    }
+                    out += w;
+                }
+                if let Some(rci) = src {
+                    let scan = &mut core.scans[0].0;
+                    if !scan.is_cte
+                        && self
+                            .tables
+                            .get(&scan.key)
+                            .is_some_and(|t| t.has_ordered_index(rci))
+                    {
+                        match &mut scan.access {
+                            a @ Access::Seq => {
+                                *a = Access::Range {
+                                    ci: rci,
+                                    lower: None,
+                                    upper: None,
+                                    ordered: true,
+                                    desc: key_desc,
+                                };
+                                elided_sort = true;
+                            }
+                            Access::Range {
+                                ci, ordered, desc, ..
+                            } if *ci == rci => {
+                                *ordered = true;
+                                *desc = key_desc;
+                                elided_sort = true;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                if elided_sort {
+                    keys.clear();
+                }
+            }
+        }
         Ok(SelectPlan {
             ctes: cte_plans,
             body,
@@ -254,6 +396,7 @@ impl Database {
             visible,
             limit: q.limit,
             columns,
+            elided_sort,
         })
     }
 
@@ -298,11 +441,25 @@ impl Database {
             .unwrap_or_default();
         let mut consumed = vec![false; conjuncts.len()];
 
+        // --- join order --------------------------------------------------
+        // `order[k]` is the FROM index planned as the k-th scan. Greedy
+        // smallest-estimate-first reordering only fires when every source
+        // is a base table with ANALYZE statistics, so plans (and the row
+        // orders existing results bake in) for un-analyzed schemas are
+        // byte-stable.
+        let order: Vec<usize> = if naive {
+            (0..core.from.len()).collect()
+        } else {
+            self.join_order(core, &conjuncts, cte_cols)
+        };
+        let identity_order = order.iter().enumerate().all(|(k, &j)| k == j);
+
         // --- sources -----------------------------------------------------
         let mut scans: Vec<(ScanPlan, JoinKind)> = Vec::with_capacity(core.from.len());
         let mut layout: Vec<(String, Vec<String>, usize)> = Vec::new();
         let mut width = 0usize;
-        for tref in &core.from {
+        for &fi in &order {
+            let tref = &core.from[fi];
             let binding = tref.binding().to_string();
             if layout
                 .iter()
@@ -332,6 +489,7 @@ impl Database {
                     access: Access::Seq,
                     pushed: Vec::new(),
                     est_rows: 0,
+                    stats_est: false,
                 },
                 JoinKind::Loop,
             ));
@@ -456,7 +614,7 @@ impl Database {
                                     .unwrap_or(true);
                                 if qual_ok && Self::row_independent(keyside) {
                                     if let Some(ci) = t.schema.column_index(name) {
-                                        if t.has_index(ci) {
+                                        if t.has_index(ci) || t.has_ordered_index(ci) {
                                             probe = Some((
                                                 pi,
                                                 Access::IndexEq {
@@ -484,7 +642,7 @@ impl Database {
                                 .unwrap_or(true);
                             if qual_ok {
                                 if let Some(ci) = t.schema.column_index(name) {
-                                    if t.has_index(ci) {
+                                    if t.has_index(ci) || t.has_ordered_index(ci) {
                                         probe = Some((
                                             pi,
                                             Access::IndexIn {
@@ -511,7 +669,7 @@ impl Database {
                                 .unwrap_or(true);
                             if qual_ok && list.iter().all(Self::row_independent) {
                                 if let Some(ci) = t.schema.column_index(name) {
-                                    if t.has_index(ci) {
+                                    if t.has_index(ci) || t.has_ordered_index(ci) {
                                         probe = Some((
                                             pi,
                                             Access::IndexInList {
@@ -531,30 +689,36 @@ impl Database {
                     scan.access = access;
                 }
             }
+
+            // --- range access selection ----------------------------------
+            // Scans still sequential check their pushed conjuncts for
+            // bounds over an ordered-indexed column: comparisons against
+            // a row-independent expression and `LIKE 'prefix%'` patterns.
+            // Unlike equality probes, the bounding conjuncts are NOT
+            // consumed — the scan re-checks them per candidate row.
+            for (scan, _) in &mut scans {
+                if scan.is_cte || !matches!(scan.access, Access::Seq) {
+                    continue;
+                }
+                let Some(t) = self.tables.get(&scan.key) else {
+                    continue;
+                };
+                Self::pick_range_access(scan, t);
+            }
         }
 
         // --- cardinality estimates ---------------------------------------
-        // Seq scans expect the whole table; index probes expect the
-        // average bucket size (rows / distinct keys). CTE sizes are
-        // unknown at plan time.
+        // Without ANALYZE statistics the legacy heuristics apply: table
+        // size for a sequential scan, average index-bucket size for a
+        // probe — so plans and EXPLAIN output for un-analyzed schemas are
+        // unchanged. With statistics, estimates come from distinct counts
+        // and equi-depth histograms. CTE sizes are unknown at plan time.
         for (scan, _) in &mut scans {
             scan.est_rows = if scan.is_cte {
                 0
             } else if let Some(t) = self.tables.get(&scan.key) {
-                let total = t.len() as u64;
-                match &scan.access {
-                    Access::Seq => total,
-                    Access::IndexEq { ci, .. }
-                    | Access::IndexIn { ci, .. }
-                    | Access::IndexInList { ci, .. } => {
-                        let distinct = t.indexes_raw().get(ci).map_or(0, |m| m.len()) as u64;
-                        if distinct == 0 {
-                            0
-                        } else {
-                            total.div_ceil(distinct)
-                        }
-                    }
-                }
+                scan.stats_est = t.statistics().is_some();
+                Self::estimate_scan(scan, t)
             } else {
                 0
             };
@@ -583,10 +747,23 @@ impl Database {
                             "wildcards cannot be mixed with aggregates".into(),
                         ));
                     }
-                    for (_, cols, _) in &layout {
-                        out_columns.extend(cols.iter().cloned());
+                    if identity_order {
+                        for (_, cols, _) in &layout {
+                            out_columns.extend(cols.iter().cloned());
+                        }
+                        steps.push(ProjStep::All);
+                    } else {
+                        // Reordered join: `*` still expands in FROM order.
+                        for j in 0..order.len() {
+                            let k = order.iter().position(|&o| o == j).unwrap();
+                            let (_, cols, off) = &layout[k];
+                            out_columns.extend(cols.iter().cloned());
+                            steps.push(ProjStep::Range {
+                                off: *off,
+                                len: cols.len(),
+                            });
+                        }
                     }
-                    steps.push(ProjStep::All);
                 }
                 SelectItem::QualifiedWildcard(t) => {
                     if aggregate_mode {
@@ -683,8 +860,349 @@ impl Database {
                 Some(m)
             }
             Expr::InSubquery { expr, .. } => Self::binding_mask(expr, layout),
+            Expr::Like { expr, .. } => Self::binding_mask(expr, layout),
             Expr::Exists { .. } | Expr::ScalarSubquery(_) => Some(0),
             Expr::Aggregate { .. } => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // cost model
+    // ------------------------------------------------------------------
+
+    /// Choose the scan order for a core's FROM sources: greedy
+    /// smallest-estimate-first, preferring sources that share an equality
+    /// conjunct with an already-placed binding (so hash joins stay hash
+    /// joins). Returns the identity order unless every source is a base
+    /// table with ANALYZE statistics — cost comparisons need real
+    /// cardinalities, and gating on statistics keeps plans for
+    /// un-analyzed schemas byte-stable.
+    fn join_order(
+        &self,
+        core: &SelectCore,
+        conjuncts: &[Expr],
+        cte_cols: &HashMap<String, Vec<String>>,
+    ) -> Vec<usize> {
+        let n = core.from.len();
+        let identity: Vec<usize> = (0..n).collect();
+        if !(2..=4).contains(&n) {
+            return identity;
+        }
+        let mut layout: Vec<(String, Vec<String>, usize)> = Vec::new();
+        let mut tables: Vec<&Table> = Vec::new();
+        let mut width = 0usize;
+        for tref in &core.from {
+            let key = tref.name.to_ascii_lowercase();
+            if cte_cols.contains_key(&key) {
+                return identity;
+            }
+            // A missing table surfaces as NoSuchTable in the main pass.
+            let Some(t) = self.tables.get(&key) else {
+                return identity;
+            };
+            if t.statistics().is_none() {
+                return identity;
+            }
+            let cols = t.schema.column_names();
+            layout.push((tref.binding().to_string(), cols, width));
+            width += layout.last().map_or(0, |(_, c, _)| c.len());
+            tables.push(t);
+        }
+        let mut est: Vec<u64> = tables.iter().map(|t| (t.len() as u64).max(1)).collect();
+        let mut edges = vec![0u64; n];
+        for conj in conjuncts {
+            let Some(mask) = Self::binding_mask(conj, &layout) else {
+                continue;
+            };
+            if mask.count_ones() == 1 {
+                let j = mask.trailing_zeros() as usize;
+                if let Some(e) = Self::est_conjunct(tables[j], conj, &layout[j].0) {
+                    est[j] = est[j].min(e.max(1));
+                }
+            } else if mask.count_ones() == 2
+                && matches!(
+                    conj,
+                    Expr::Binary {
+                        op: crate::ast::BinOp::Eq,
+                        ..
+                    }
+                )
+            {
+                let a = mask.trailing_zeros() as usize;
+                let b = 63 - mask.leading_zeros() as usize;
+                edges[a] |= 1 << b;
+                edges[b] |= 1 << a;
+            }
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut placed = 0u64;
+        let mut remaining: Vec<usize> = (0..n).collect();
+        while !remaining.is_empty() {
+            let connected: Vec<usize> = if placed == 0 {
+                Vec::new()
+            } else {
+                remaining
+                    .iter()
+                    .copied()
+                    .filter(|&j| edges[j] & placed != 0)
+                    .collect()
+            };
+            let pool: &[usize] = if connected.is_empty() {
+                &remaining
+            } else {
+                &connected
+            };
+            // Ties keep the original FROM order (min index wins).
+            let pick = *pool.iter().min_by_key(|&&j| (est[j], j)).unwrap();
+            order.push(pick);
+            placed |= 1 << pick;
+            remaining.retain(|&j| j != pick);
+        }
+        order
+    }
+
+    /// Statistics-based row estimate for a single-binding conjunct over
+    /// base table `t`, or `None` when the shape is not estimable
+    /// (non-literal operands, unresolvable columns, no statistics).
+    fn est_conjunct(t: &Table, conj: &Expr, binding: &str) -> Option<u64> {
+        use crate::ast::BinOp::{Eq, Ge, Gt, Le, Lt};
+        let s = t.statistics()?;
+        let col_of = |e: &Expr| -> Option<usize> {
+            if let Expr::Column { table: qual, name } = e {
+                let qual_ok = qual
+                    .as_deref()
+                    .map(|q| q.eq_ignore_ascii_case(binding))
+                    .unwrap_or(true);
+                if qual_ok {
+                    let ci = t.schema.column_index(name)?;
+                    if ci < s.columns.len() {
+                        return Some(ci);
+                    }
+                }
+            }
+            None
+        };
+        match conj {
+            Expr::Binary { left, op, right } => {
+                for (colside, keyside, flipped) in [(left, right, false), (right, left, true)] {
+                    let (Some(ci), Expr::Literal(v)) = (col_of(colside), keyside.as_ref()) else {
+                        continue;
+                    };
+                    let c = &s.columns[ci];
+                    return Some(match (op, flipped) {
+                        (Eq, _) => c.est_eq_rows(v),
+                        (Gt, false) | (Lt, true) => c.est_range_rows(Some((v, false)), None),
+                        (Ge, false) | (Le, true) => c.est_range_rows(Some((v, true)), None),
+                        (Lt, false) | (Gt, true) => c.est_range_rows(None, Some((v, false))),
+                        (Le, false) | (Ge, true) => c.est_range_rows(None, Some((v, true))),
+                        _ => return None,
+                    });
+                }
+                None
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated: false,
+            } => {
+                let ci = col_of(expr)?;
+                let prefix = like_prefix(pattern)?;
+                let hi = prefix_successor(&prefix).map(Value::Str);
+                let lo = Value::Str(prefix);
+                Some(
+                    s.columns[ci]
+                        .est_range_rows(Some((&lo, true)), hi.as_ref().map(|h| (h, false))),
+                )
+            }
+            Expr::IsNull { expr, negated } => {
+                let ci = col_of(expr)?;
+                let nulls = s.columns[ci].null_count;
+                Some(if *negated {
+                    s.row_count.saturating_sub(nulls)
+                } else {
+                    nulls
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Turn a sequential scan into an ordered-index range seek when its
+    /// pushed conjuncts bound an ordered-indexed column and the seek is
+    /// estimated (or, without statistics, assumed) to be selective.
+    fn pick_range_access(scan: &mut ScanPlan, t: &Table) {
+        use crate::ast::BinOp::{Ge, Gt, Le, Lt};
+        type RangeBounds = (Option<(Expr, bool)>, Option<(Expr, bool)>);
+        // Per ordered-indexed column in first-seen order; only the first
+        // lower and first upper bound are kept (any single bound is a
+        // superset of the conjunction, and every conjunct is re-checked).
+        let mut bounds: Vec<(usize, RangeBounds)> = Vec::new();
+        for p in &scan.pushed {
+            let (ci, lower, upper) = match p {
+                Expr::Binary { left, op, right } if matches!(op, Lt | Le | Gt | Ge) => {
+                    let mut hit = None;
+                    for (colside, keyside, flipped) in [(left, right, false), (right, left, true)] {
+                        let Expr::Column { table: qual, name } = colside.as_ref() else {
+                            continue;
+                        };
+                        let qual_ok = qual
+                            .as_deref()
+                            .map(|q| q.eq_ignore_ascii_case(&scan.binding))
+                            .unwrap_or(true);
+                        if !qual_ok || !Self::row_independent(keyside) {
+                            continue;
+                        }
+                        let Some(ci) = t.schema.column_index(name) else {
+                            continue;
+                        };
+                        if !t.has_ordered_index(ci) {
+                            continue;
+                        }
+                        let (is_lower, incl) = match (op, flipped) {
+                            (Gt, false) | (Lt, true) => (true, false),
+                            (Ge, false) | (Le, true) => (true, true),
+                            (Lt, false) | (Gt, true) => (false, false),
+                            (Le, false) | (Ge, true) => (false, true),
+                            _ => unreachable!(),
+                        };
+                        let b = ((**keyside).clone(), incl);
+                        hit = Some(if is_lower {
+                            (ci, Some(b), None)
+                        } else {
+                            (ci, None, Some(b))
+                        });
+                        break;
+                    }
+                    match hit {
+                        Some(h) => h,
+                        None => continue,
+                    }
+                }
+                Expr::Like {
+                    expr,
+                    pattern,
+                    negated: false,
+                } => {
+                    let Expr::Column { table: qual, name } = expr.as_ref() else {
+                        continue;
+                    };
+                    let qual_ok = qual
+                        .as_deref()
+                        .map(|q| q.eq_ignore_ascii_case(&scan.binding))
+                        .unwrap_or(true);
+                    if !qual_ok {
+                        continue;
+                    }
+                    let Some(ci) = t.schema.column_index(name) else {
+                        continue;
+                    };
+                    if !t.has_ordered_index(ci) {
+                        continue;
+                    }
+                    let Some(prefix) = like_prefix(pattern) else {
+                        continue;
+                    };
+                    let upper =
+                        prefix_successor(&prefix).map(|s| (Expr::Literal(Value::Str(s)), false));
+                    (ci, Some((Expr::Literal(Value::Str(prefix)), true)), upper)
+                }
+                _ => continue,
+            };
+            if let Some((_, b)) = bounds.iter_mut().find(|(c, _)| *c == ci) {
+                if b.0.is_none() {
+                    b.0 = lower;
+                }
+                if b.1.is_none() {
+                    b.1 = upper;
+                }
+            } else {
+                bounds.push((ci, (lower, upper)));
+            }
+        }
+        // Prefer a column bounded on both sides, else the first bounded.
+        let Some(i) = bounds
+            .iter()
+            .position(|(_, b)| b.0.is_some() && b.1.is_some())
+            .or(if bounds.is_empty() { None } else { Some(0) })
+        else {
+            return;
+        };
+        let (ci, (lower, upper)) = bounds.swap_remove(i);
+        // Selectivity check: with statistics and literal bounds, seek only
+        // when it is expected to skip at least half the table. Without
+        // statistics an explicitly bounded column is assumed selective.
+        if let Some(s) = t.statistics() {
+            if ci < s.columns.len() {
+                if let (Some(lo), Some(hi)) = (literal_bound(&lower), literal_bound(&upper)) {
+                    let est = s.columns[ci].est_range_rows(lo, hi);
+                    if est.saturating_mul(2) > t.len() as u64 {
+                        return;
+                    }
+                }
+            }
+        }
+        scan.access = Access::Range {
+            ci,
+            lower,
+            upper,
+            ordered: false,
+            desc: false,
+        };
+    }
+
+    /// Cardinality estimate for one scan. Statistics-backed when the
+    /// table has them; the legacy size heuristics otherwise.
+    fn estimate_scan(scan: &ScanPlan, t: &Table) -> u64 {
+        let total = t.len() as u64;
+        let stats = t.statistics();
+        match &scan.access {
+            Access::Seq => match stats {
+                Some(_) => {
+                    let mut est = total;
+                    for p in &scan.pushed {
+                        if let Some(e) = Self::est_conjunct(t, p, &scan.binding) {
+                            est = est.min(e);
+                        }
+                    }
+                    est
+                }
+                None => total,
+            },
+            Access::IndexEq { ci, key } => {
+                if let (Some(s), Expr::Literal(v)) = (stats, key) {
+                    if *ci < s.columns.len() {
+                        return s.columns[*ci].est_eq_rows(v);
+                    }
+                }
+                let distinct = t.index_distinct(*ci) as u64;
+                if distinct == 0 {
+                    0
+                } else {
+                    total.div_ceil(distinct)
+                }
+            }
+            Access::IndexIn { ci, .. } | Access::IndexInList { ci, .. } => {
+                let distinct = t.index_distinct(*ci) as u64;
+                if distinct == 0 {
+                    0
+                } else {
+                    total.div_ceil(distinct)
+                }
+            }
+            Access::Range {
+                ci, lower, upper, ..
+            } => {
+                if let Some(s) = stats {
+                    if *ci < s.columns.len() {
+                        if let (Some(lo), Some(hi)) = (literal_bound(lower), literal_bound(upper)) {
+                            return s.columns[*ci].est_range_rows(lo, hi);
+                        }
+                    }
+                }
+                // Bounded seek without statistics: assume a third of the
+                // table survives.
+                total.div_ceil(3)
+            }
         }
     }
 
@@ -796,7 +1314,7 @@ impl Database {
                             .unwrap_or(true);
                         if qual_ok {
                             if let Some(ci) = t.schema.column_index(name) {
-                                if t.has_index(ci) {
+                                if t.has_index(ci) || t.has_ordered_index(ci) {
                                     push(
                                         lines,
                                         ind,
@@ -824,7 +1342,7 @@ impl Database {
                             .unwrap_or(true);
                         if qual_ok && list.iter().all(Self::row_independent) {
                             if let Some(ci) = t.schema.column_index(name) {
-                                if t.has_index(ci) {
+                                if t.has_index(ci) || t.has_ordered_index(ci) {
                                     push(
                                         lines,
                                         ind,
@@ -1021,6 +1539,44 @@ fn render_scan(scan: &ScanPlan, ind: usize, lines: &mut Vec<String>, prof: Optio
                 scan.columns[*ci],
                 list.len()
             ),
+            Access::Range {
+                ci,
+                lower,
+                upper,
+                ordered,
+                desc,
+            } => {
+                let col = &scan.columns[*ci];
+                let mut parts: Vec<String> = Vec::new();
+                if let Some((e, incl)) = lower {
+                    parts.push(format!(
+                        "{col} >{} {}",
+                        if *incl { "=" } else { "" },
+                        expr_to_sql(e)
+                    ));
+                }
+                if let Some((e, incl)) = upper {
+                    parts.push(format!(
+                        "{col} <{} {}",
+                        if *incl { "=" } else { "" },
+                        expr_to_sql(e)
+                    ));
+                }
+                let what = if parts.is_empty() {
+                    col.clone()
+                } else {
+                    parts.join(" AND ")
+                };
+                if *ordered {
+                    format!(
+                        "OrderedScan {} ({what}{})",
+                        scan.name,
+                        if *desc { " DESC" } else { "" }
+                    )
+                } else {
+                    format!("RangeScan {} ({what})", scan.name)
+                }
+            }
         }
     };
     if !scan.binding.eq_ignore_ascii_case(&scan.name) {
@@ -1030,7 +1586,7 @@ fn render_scan(scan: &ScanPlan, ind: usize, lines: &mut Vec<String>, prof: Optio
         let rendered: Vec<String> = scan.pushed.iter().map(expr_to_sql).collect();
         line.push_str(&format!(" [filter: {}]", rendered.join(" AND ")));
     }
-    if prof.is_some() {
+    if prof.is_some() || scan.stats_est {
         line.push_str(&format!(" (est rows={})", scan.est_rows));
         line.push_str(&actual_suffix(prof));
     }

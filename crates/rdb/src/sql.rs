@@ -56,8 +56,18 @@ fn write_stmt(out: &mut String, stmt: &Stmt) {
             name,
             table,
             column,
+            ordered,
         } => {
             let _ = write!(out, "CREATE INDEX {name} ON {table} ({column})");
+            if *ordered {
+                out.push_str(" USING ORDERED");
+            }
+        }
+        Stmt::Analyze { table } => {
+            out.push_str("ANALYZE");
+            if let Some(t) = table {
+                let _ = write!(out, " {t}");
+            }
         }
         Stmt::CreateTrigger {
             name,
@@ -315,6 +325,17 @@ fn write_expr(out: &mut String, e: &Expr) {
             out.push_str(if *negated { " IS NOT NULL" } else { " IS NULL" });
             out.push(')');
         }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            out.push('(');
+            write_expr(out, expr);
+            out.push_str(if *negated { " NOT LIKE " } else { " LIKE " });
+            let _ = write!(out, "'{}'", pattern.replace('\'', "''"));
+            out.push(')');
+        }
         Expr::InList {
             expr,
             list,
@@ -410,6 +431,10 @@ mod tests {
         roundtrip("DROP TABLE t");
         roundtrip("DROP TABLE IF EXISTS t");
         roundtrip("CREATE INDEX c_id ON Customer (id)");
+        roundtrip("CREATE INDEX c_id ON Customer (id) USING ORDERED");
+        roundtrip("CREATE INDEX c_id ON Customer (id) USING HASH");
+        roundtrip("ANALYZE");
+        roundtrip("ANALYZE Customer");
         roundtrip("DROP TRIGGER del_cust");
     }
 
@@ -443,6 +468,8 @@ mod tests {
         roundtrip("SELECT (SELECT MAX(id) FROM t) FROM u WHERE NOT EXISTS (SELECT * FROM v)");
         roundtrip("SELECT * FROM t WHERE a = 1 OR b = 2 AND NOT c = 3");
         roundtrip("SELECT O.* FROM Order O WHERE O.id IS NOT NULL");
+        roundtrip("SELECT * FROM t WHERE name LIKE 'Jo%' AND path NOT LIKE '%''s_'");
+        roundtrip("SELECT * FROM t WHERE num BETWEEN 3 AND 7 AND id NOT BETWEEN 1 AND 2");
         roundtrip(
             "WITH Q1(C1, C2) AS (SELECT id, Name FROM Customer WHERE Name = 'John'),
                   Q2(C1, C2) AS (SELECT C1, NULL FROM Q1)

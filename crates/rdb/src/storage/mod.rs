@@ -125,6 +125,10 @@ pub struct CatalogTable {
     pub slots_len: u64,
     /// Column indices carrying a hash index.
     pub indexed: Vec<u32>,
+    /// Column indices carrying an ordered index.
+    pub ordered: Vec<u32>,
+    /// Optimizer statistics, if the table has been `ANALYZE`d.
+    pub stats: Option<crate::stats::TableStatistics>,
 }
 
 /// Everything a backend needs from the engine to commit a checkpoint:

@@ -234,6 +234,8 @@ impl StorageBackend for PagedStore {
                     root: inner.roots.get(&t.key).copied().unwrap_or(0),
                     slots_len: t.slots_len,
                     indexed: t.indexed.clone(),
+                    ordered: t.ordered.clone(),
+                    stats: t.stats.clone(),
                 })
                 .collect();
             let meta = StoreMeta {

@@ -301,6 +301,11 @@ pub struct TableMeta {
     pub slots_len: u64,
     /// Column indices carrying a hash index (rebuilt at open).
     pub indexed: Vec<u32>,
+    /// Column indices carrying an ordered index (rebuilt at open).
+    pub ordered: Vec<u32>,
+    /// Optimizer statistics captured at checkpoint time, if the table
+    /// has been `ANALYZE`d.
+    pub stats: Option<crate::stats::TableStatistics>,
 }
 
 /// Decoded contents of the checkpoint meta file: the commit point of the
@@ -350,6 +355,11 @@ pub fn encode_meta(meta: &StoreMeta) -> Vec<u8> {
         for ci in &t.indexed {
             wal::put_u32(&mut body, *ci);
         }
+        wal::put_u32(&mut body, t.ordered.len() as u32);
+        for ci in &t.ordered {
+            wal::put_u32(&mut body, *ci);
+        }
+        crate::stats::put_stats(&mut body, t.stats.as_ref());
     }
     wal::put_u32(&mut body, meta.triggers.len() as u32);
     for sql in &meta.triggers {
@@ -417,6 +427,13 @@ pub fn decode_meta(bytes: &[u8]) -> Result<StoreMeta> {
         for _ in 0..nidx {
             indexed.push(r.u32().ok_or_else(parse)?);
         }
+        let nord = r.u32().ok_or_else(parse)? as usize;
+        let mut ordered = Vec::with_capacity(nord.min(1024));
+        for _ in 0..nord {
+            ordered.push(r.u32().ok_or_else(parse)?);
+        }
+        let stats =
+            crate::stats::read_stats(&mut r).ok_or_else(|| corrupt("bad statistics block"))?;
         tables.push(TableMeta {
             key,
             name,
@@ -424,6 +441,8 @@ pub fn decode_meta(bytes: &[u8]) -> Result<StoreMeta> {
             root,
             slots_len,
             indexed,
+            ordered,
+            stats,
         });
     }
     let ntriggers = r.u32().ok_or_else(parse)? as usize;

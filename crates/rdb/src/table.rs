@@ -1,10 +1,12 @@
-//! In-memory table storage with secondary hash indexes.
+//! In-memory table storage with secondary hash and ordered indexes.
 
 use crate::ast::ColumnDef;
 use crate::error::{DbError, Result};
+use crate::stats::TableStatistics;
 use crate::storage::StorageBackend;
-use crate::value::{Row, Value};
-use std::collections::HashMap;
+use crate::value::{OrdValue, Row, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
 use std::sync::Arc;
 
 /// Schema of one table.
@@ -75,6 +77,16 @@ pub struct Table {
     live: usize,
     /// column index → (value → slot positions)
     indexes: HashMap<usize, HashMap<Value, Vec<usize>>>,
+    /// Ordered secondary indexes: column index → (key → slot positions).
+    /// In-bucket positions are kept **sorted ascending** as an invariant
+    /// — inserts append at the max position, undo splices by binary
+    /// search — so the structure is a pure function of the slot vector
+    /// and needs no undo offsets of its own.
+    ordered: HashMap<usize, BTreeMap<OrdValue, Vec<usize>>>,
+    /// `ANALYZE`-built planner statistics; counters are maintained by
+    /// the slot mutations below, shape is frozen until the next analyze
+    /// (see `crate::stats`).
+    stats: Option<TableStatistics>,
     /// Version records for snapshot visibility (empty unless the owning
     /// database has MVCC enabled; see `crate::mvcc`).
     history: Vec<VersionEntry>,
@@ -89,6 +101,29 @@ impl PartialEq for Table {
             && self.slots == other.slots
             && self.live == other.live
             && self.indexes == other.indexes
+            && self.ordered == other.ordered
+            && self.stats == other.stats
+    }
+}
+
+/// Splice `pos` into a sorted position bucket.
+fn bucket_insert(bucket: &mut Vec<usize>, pos: usize) {
+    let at = bucket.partition_point(|&p| p < pos);
+    bucket.insert(at, pos);
+}
+
+/// Remove `pos` from the bucket under `key`, dropping the bucket when it
+/// empties (ordered-index buckets never linger empty, so the map stays a
+/// pure function of the slot vector).
+fn ordered_remove(map: &mut BTreeMap<OrdValue, Vec<usize>>, key: &Value, pos: usize) {
+    let k = OrdValue(key.clone());
+    if let Some(bucket) = map.get_mut(&k) {
+        if let Ok(at) = bucket.binary_search(&pos) {
+            bucket.remove(at);
+        }
+        if bucket.is_empty() {
+            map.remove(&k);
+        }
     }
 }
 
@@ -100,6 +135,8 @@ impl Table {
             slots: Vec::new(),
             live: 0,
             indexes: HashMap::new(),
+            ordered: HashMap::new(),
+            stats: None,
             history: Vec::new(),
             backing: None,
         }
@@ -198,6 +235,58 @@ impl Table {
         self.indexes.contains_key(&column_idx)
     }
 
+    /// Add an ordered index on `column` (no-op if one exists). Positions
+    /// are pushed in slot order, establishing the sorted-bucket invariant.
+    pub fn create_ordered_index(&mut self, column: &str) -> Result<()> {
+        let ci = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| DbError::NoSuchColumn(format!("{}.{column}", self.schema.name)))?;
+        if self.ordered.contains_key(&ci) {
+            return Ok(());
+        }
+        let mut map: BTreeMap<OrdValue, Vec<usize>> = BTreeMap::new();
+        for (pos, slot) in self.slots.iter().enumerate() {
+            if let Some(row) = slot {
+                map.entry(OrdValue(row[ci].clone())).or_default().push(pos);
+            }
+        }
+        self.ordered.insert(ci, map);
+        Ok(())
+    }
+
+    /// Whether `column` has an ordered index.
+    pub fn has_ordered_index(&self, column_idx: usize) -> bool {
+        self.ordered.contains_key(&column_idx)
+    }
+
+    /// Columns carrying an ordered index, ascending.
+    pub fn ordered_columns(&self) -> Vec<usize> {
+        let mut cols: Vec<usize> = self.ordered.keys().copied().collect();
+        cols.sort_unstable();
+        cols
+    }
+
+    /// The table's `ANALYZE` statistics, if built.
+    pub fn statistics(&self) -> Option<&TableStatistics> {
+        self.stats.as_ref()
+    }
+
+    /// Install (or clear) statistics wholesale — the rollback path of
+    /// `ANALYZE` and snapshot restore.
+    pub(crate) fn set_statistics(&mut self, stats: Option<TableStatistics>) {
+        self.stats = stats;
+    }
+
+    /// Rebuild statistics from a full scan of the live rows (the
+    /// `ANALYZE` forward path). Returns the previous statistics so the
+    /// transaction layer can restore them on rollback.
+    pub(crate) fn analyze(&mut self) -> Option<TableStatistics> {
+        let new =
+            TableStatistics::build(self.slots.iter().filter_map(Option::as_ref), self.arity());
+        self.stats.replace(new)
+    }
+
     /// Insert a row (arity must match). Returns its slot position.
     pub fn insert(&mut self, row: Row) -> Result<usize> {
         if row.len() != self.arity() {
@@ -211,6 +300,13 @@ impl Table {
         let pos = self.slots.len();
         for (ci, idx) in self.indexes.iter_mut() {
             idx.entry(row[*ci].clone()).or_default().push(pos);
+        }
+        for (ci, idx) in self.ordered.iter_mut() {
+            // `pos` is the new maximum, so a push keeps buckets sorted.
+            idx.entry(OrdValue(row[*ci].clone())).or_default().push(pos);
+        }
+        if let Some(s) = &mut self.stats {
+            s.note_insert(&row);
         }
         if let Some(b) = &self.backing {
             b.store.put_row(&b.key, pos as u64, &row);
@@ -237,6 +333,12 @@ impl Table {
                 }
             }
         }
+        for (ci, idx) in self.ordered.iter_mut() {
+            ordered_remove(idx, &row[*ci], pos);
+        }
+        if let Some(s) = &mut self.stats {
+            s.note_delete(&row);
+        }
         self.mirror_delete(pos);
         Some(row)
     }
@@ -256,7 +358,14 @@ impl Table {
                     idx.remove(&old);
                 }
             }
-            idx.entry(value).or_default().push(pos);
+            idx.entry(value.clone()).or_default().push(pos);
+        }
+        if let Some(idx) = self.ordered.get_mut(&column_idx) {
+            ordered_remove(idx, &old, pos);
+            bucket_insert(idx.entry(OrdValue(value.clone())).or_default(), pos);
+        }
+        if let Some(s) = &mut self.stats {
+            s.note_update(column_idx, &old, &value);
         }
         self.mirror_slot(pos);
         Ok(())
@@ -301,6 +410,13 @@ impl Table {
                 let bucket = idx.entry(row[ci].clone()).or_default();
                 bucket.insert(off.min(bucket.len()), pos);
             }
+        }
+        for (ci, idx) in self.ordered.iter_mut() {
+            // Sorted buckets need no recorded offset: splice by position.
+            bucket_insert(idx.entry(OrdValue(row[*ci].clone())).or_default(), pos);
+        }
+        if let Some(s) = &mut self.stats {
+            s.note_insert(&row);
         }
         if let Some(slot) = self.slots.get_mut(pos) {
             if slot.replace(row).is_none() {
@@ -355,9 +471,16 @@ impl Table {
                 }
             }
             if let Some(off) = old_offset {
-                let bucket = idx.entry(old).or_default();
+                let bucket = idx.entry(old.clone()).or_default();
                 bucket.insert(off.min(bucket.len()), pos);
             }
+        }
+        if let Some(idx) = self.ordered.get_mut(&column_idx) {
+            ordered_remove(idx, &current, pos);
+            bucket_insert(idx.entry(OrdValue(old.clone())).or_default(), pos);
+        }
+        if let Some(s) = &mut self.stats {
+            s.note_update(column_idx, &current, &old);
         }
         self.mirror_slot(pos);
     }
@@ -377,6 +500,12 @@ impl Table {
                     }
                 }
             }
+            for (ci, idx) in self.ordered.iter_mut() {
+                ordered_remove(idx, &row[*ci], pos);
+            }
+            if let Some(s) = &mut self.stats {
+                s.note_delete(&row);
+            }
             self.mirror_delete(pos);
         }
         debug_assert_eq!(pos + 1, self.slots.len(), "insert undo must be last slot");
@@ -388,6 +517,12 @@ impl Table {
     /// Drop the hash index on `column_idx` (undo of `CREATE INDEX`).
     pub(crate) fn drop_index(&mut self, column_idx: usize) {
         self.indexes.remove(&column_idx);
+    }
+
+    /// Drop the ordered index on `column_idx` (undo of `CREATE INDEX ...
+    /// USING ORDERED`).
+    pub(crate) fn drop_ordered_index(&mut self, column_idx: usize) {
+        self.ordered.remove(&column_idx);
     }
 
     // ------------------------------------------------------------------
@@ -411,13 +546,29 @@ impl Table {
         schema: TableSchema,
         slots: Vec<Option<Row>>,
         indexes: HashMap<usize, HashMap<Value, Vec<usize>>>,
+        ordered_columns: &[usize],
+        stats: Option<TableStatistics>,
     ) -> Self {
         let live = slots.iter().filter(|s| s.is_some()).count();
+        // Ordered buckets are a pure function of the slots (positions
+        // ascending), so only the column list is persisted; rebuild here.
+        let mut ordered: HashMap<usize, BTreeMap<OrdValue, Vec<usize>>> = HashMap::new();
+        for &ci in ordered_columns {
+            let mut map: BTreeMap<OrdValue, Vec<usize>> = BTreeMap::new();
+            for (pos, slot) in slots.iter().enumerate() {
+                if let Some(row) = slot {
+                    map.entry(OrdValue(row[ci].clone())).or_default().push(pos);
+                }
+            }
+            ordered.insert(ci, map);
+        }
         Table {
             schema,
             slots,
             live,
             indexes,
+            ordered,
+            stats,
             history: Vec::new(),
             backing: None,
         }
@@ -447,12 +598,124 @@ impl Table {
             .filter_map(|(i, s)| s.as_ref().map(|r| (i, r)))
     }
 
+    /// Distinct key count of the index on `column_idx` (hash index when
+    /// present, else the ordered index); 0 when the column has neither.
+    pub(crate) fn index_distinct(&self, column_idx: usize) -> usize {
+        if let Some(m) = self.indexes.get(&column_idx) {
+            return m.len();
+        }
+        self.ordered.get(&column_idx).map_or(0, |m| m.len())
+    }
+
     /// Index lookup: positions of live rows with `row[column_idx] == key`.
-    /// Returns `None` if the column is not indexed.
+    /// Served by the hash index when present, else by an equality probe
+    /// of the ordered index. Returns `None` if the column carries neither.
     pub fn index_lookup(&self, column_idx: usize, key: &Value) -> Option<&[usize]> {
-        self.indexes
-            .get(&column_idx)
-            .map(|m| m.get(key).map(Vec::as_slice).unwrap_or(&[]))
+        if let Some(m) = self.indexes.get(&column_idx) {
+            return Some(m.get(key).map(Vec::as_slice).unwrap_or(&[]));
+        }
+        self.ordered.get(&column_idx).map(|m| {
+            m.get(&OrdValue(key.clone()))
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
+        })
+    }
+
+    /// Build the `BTreeMap::range` bounds for `(value, inclusive)` seek
+    /// endpoints. Returns `None` when the bounds are provably empty
+    /// (`lower > upper`), which `BTreeMap::range` would panic on.
+    fn seek_bounds(
+        lower: Option<(&Value, bool)>,
+        upper: Option<(&Value, bool)>,
+    ) -> Option<(Bound<OrdValue>, Bound<OrdValue>)> {
+        if let (Some((lo, lo_incl)), Some((hi, hi_incl))) = (lower, upper) {
+            match lo.sort_cmp(hi) {
+                std::cmp::Ordering::Greater => return None,
+                std::cmp::Ordering::Equal if !(lo_incl && hi_incl) => return None,
+                _ => {}
+            }
+        }
+        let as_bound = |b: Option<(&Value, bool)>| match b {
+            None => Bound::Unbounded,
+            Some((v, true)) => Bound::Included(OrdValue(v.clone())),
+            Some((v, false)) => Bound::Excluded(OrdValue(v.clone())),
+        };
+        Some((as_bound(lower), as_bound(upper)))
+    }
+
+    /// Range seek over the ordered index on `column_idx`: slot positions
+    /// (ascending) of live rows whose key lies within the bounds under
+    /// [`Value::sort_cmp`]'s total order. Bounds are `(value, inclusive)`;
+    /// `None` is unbounded. Returns `None` when the column has no ordered
+    /// index. Callers re-check the originating predicate per row, so the
+    /// seek only needs to be a superset under the total order.
+    pub fn range_positions(
+        &self,
+        column_idx: usize,
+        lower: Option<(&Value, bool)>,
+        upper: Option<(&Value, bool)>,
+    ) -> Option<Vec<usize>> {
+        let m = self.ordered.get(&column_idx)?;
+        let Some(bounds) = Self::seek_bounds(lower, upper) else {
+            return Some(Vec::new());
+        };
+        let mut out = Vec::new();
+        for (_, ps) in m.range(bounds) {
+            out.extend_from_slice(ps);
+        }
+        out.sort_unstable();
+        Some(out)
+    }
+
+    /// Ordered seek: slot positions in key order (descending when `desc`),
+    /// positions ascending within equal keys, optionally bounded like
+    /// [`Table::range_positions`]. Returns `None` when the column has no
+    /// ordered index. This is the access path that lets the planner elide
+    /// an `ORDER BY` sort.
+    pub fn ordered_positions(
+        &self,
+        column_idx: usize,
+        desc: bool,
+        lower: Option<(&Value, bool)>,
+        upper: Option<(&Value, bool)>,
+    ) -> Option<Vec<usize>> {
+        let m = self.ordered.get(&column_idx)?;
+        let Some(bounds) = Self::seek_bounds(lower, upper) else {
+            return Some(Vec::new());
+        };
+        let mut out = Vec::new();
+        if desc {
+            for (_, ps) in m.range(bounds).rev() {
+                out.extend_from_slice(ps);
+            }
+        } else {
+            for (_, ps) in m.range(bounds) {
+                out.extend_from_slice(ps);
+            }
+        }
+        Some(out)
+    }
+
+    /// Lazy form of [`Table::ordered_positions`]: an iterator over slot
+    /// positions in key order. Lets `ORDER BY … LIMIT k` pull only the
+    /// first `k` matches instead of materializing every position.
+    pub(crate) fn ordered_seek<'t>(
+        &'t self,
+        column_idx: usize,
+        desc: bool,
+        lower: Option<(&Value, bool)>,
+        upper: Option<(&Value, bool)>,
+    ) -> Option<Box<dyn Iterator<Item = usize> + 't>> {
+        let m = self.ordered.get(&column_idx)?;
+        let Some(bounds) = Self::seek_bounds(lower, upper) else {
+            return Some(Box::new(std::iter::empty()));
+        };
+        let r = m.range(bounds);
+        if desc {
+            Some(Box::new(r.rev().flat_map(|(_, ps)| ps.iter().copied())))
+        } else {
+            Some(Box::new(r.flat_map(|(_, ps)| ps.iter().copied())))
+        }
     }
 
     // ------------------------------------------------------------------
@@ -610,6 +873,91 @@ mod tests {
             None,
             "name not indexed"
         );
+    }
+
+    #[test]
+    fn ordered_index_maintained_on_mutation() {
+        let mut t = Table::new(schema());
+        t.create_ordered_index("id").unwrap();
+        let p0 = t.insert(vec![Value::Int(5), Value::from("a")]).unwrap();
+        let p1 = t.insert(vec![Value::Int(1), Value::from("b")]).unwrap();
+        let p2 = t.insert(vec![Value::Int(9), Value::from("c")]).unwrap();
+        let p3 = t.insert(vec![Value::Int(5), Value::from("d")]).unwrap();
+        assert_eq!(
+            t.ordered_positions(0, false, None, None).unwrap(),
+            vec![p1, p0, p3, p2]
+        );
+        assert_eq!(
+            t.ordered_positions(0, true, None, None).unwrap(),
+            vec![p2, p0, p3, p1],
+            "descending flips key order but keeps in-key position order"
+        );
+        let lo = Value::Int(2);
+        let hi = Value::Int(8);
+        assert_eq!(
+            t.range_positions(0, Some((&lo, true)), Some((&hi, true)))
+                .unwrap(),
+            vec![p0, p3]
+        );
+        t.delete(p0);
+        assert_eq!(
+            t.range_positions(0, Some((&lo, true)), Some((&hi, true)))
+                .unwrap(),
+            vec![p3]
+        );
+        t.update_cell(p3, 0, Value::Int(100)).unwrap();
+        assert!(t
+            .range_positions(0, Some((&lo, true)), Some((&hi, true)))
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            t.ordered_positions(0, false, None, None).unwrap(),
+            vec![p1, p2, p3]
+        );
+        // Equality probes fall back to the ordered index.
+        assert_eq!(t.index_lookup(0, &Value::Int(100)).unwrap(), &[p3]);
+    }
+
+    #[test]
+    fn inverted_range_is_empty_not_panic() {
+        let mut t = Table::new(schema());
+        t.create_ordered_index("id").unwrap();
+        t.insert(vec![Value::Int(1), Value::from("a")]).unwrap();
+        let lo = Value::Int(9);
+        let hi = Value::Int(2);
+        assert_eq!(
+            t.range_positions(0, Some((&lo, true)), Some((&hi, true))),
+            Some(Vec::new())
+        );
+        assert_eq!(
+            t.range_positions(0, Some((&hi, false)), Some((&hi, true))),
+            Some(Vec::new()),
+            "equal bounds with one exclusive end are empty"
+        );
+    }
+
+    #[test]
+    fn rebuilt_ordered_index_matches_maintained_one() {
+        let mut a = Table::new(schema());
+        a.create_ordered_index("id").unwrap();
+        let mut rows = Vec::new();
+        for i in 0..20i64 {
+            rows.push(vec![Value::Int(i * 7 % 10), Value::from("x")]);
+        }
+        for r in &rows {
+            a.insert(r.clone()).unwrap();
+        }
+        a.delete(3);
+        a.update_cell(5, 0, Value::Int(-1)).unwrap();
+        let mut b = Table::from_parts(
+            a.schema.clone(),
+            a.slots_raw().to_vec(),
+            a.indexes_raw().clone(),
+            &a.ordered_columns(),
+            None,
+        );
+        b.set_statistics(a.statistics().cloned());
+        assert_eq!(a, b, "ordered buckets are a pure function of the slots");
     }
 
     #[test]

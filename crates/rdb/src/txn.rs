@@ -88,6 +88,16 @@ pub enum UndoRecord {
         table: String,
         /// Indexed column.
         column: usize,
+        /// Whether the created index was ordered (`USING ORDERED`).
+        ordered: bool,
+    },
+    /// `ANALYZE` rebuilt a table's statistics: restore the previous ones
+    /// (possibly none).
+    Analyzed {
+        /// Lower-cased table key.
+        table: String,
+        /// Statistics before the analyze.
+        prior: Option<Box<crate::stats::TableStatistics>>,
     },
     /// `CREATE TRIGGER` ran: remove the trigger again.
     CreatedTrigger {
@@ -113,6 +123,7 @@ impl UndoRecord {
             UndoRecord::CreatedTable { .. }
                 | UndoRecord::DroppedTable { .. }
                 | UndoRecord::CreatedIndex { .. }
+                | UndoRecord::Analyzed { .. }
                 | UndoRecord::CreatedTrigger { .. }
                 | UndoRecord::DroppedTrigger { .. }
         )

@@ -39,6 +39,7 @@
 //! deterministic for a given database state.
 
 use crate::error::{DbError, Result};
+use crate::stats::{put_stats, read_stats, TableStatistics};
 use crate::value::{DataType, Row, Value};
 
 /// WAL file magic, followed by a little-endian `u64` generation.
@@ -422,6 +423,12 @@ pub struct SnapshotTable {
     /// Indexed columns with their buckets; in-bucket position order is
     /// exact (it is part of the byte-identical equality contract).
     pub indexes: IndexBuckets,
+    /// Columns carrying an ordered index, ascending. Bucket contents are
+    /// not serialized: ordered buckets are a pure function of the slots
+    /// (positions ascending) and are rebuilt on restore.
+    pub ordered: Vec<u32>,
+    /// `ANALYZE` statistics, if built.
+    pub stats: Option<TableStatistics>,
 }
 
 /// Full serialized database state.
@@ -483,6 +490,11 @@ pub fn encode_snapshot(snap: &Snapshot) -> Vec<u8> {
                 }
             }
         }
+        put_u32(&mut body, t.ordered.len() as u32);
+        for c in &t.ordered {
+            put_u32(&mut body, *c);
+        }
+        put_stats(&mut body, t.stats.as_ref());
     }
     put_u32(&mut body, snap.triggers.len() as u32);
     for sql in &snap.triggers {
@@ -560,12 +572,20 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot> {
             }
             indexes.push((column, buckets));
         }
+        let nordered = r.u32().ok_or_else(parse)? as usize;
+        let mut ordered = Vec::with_capacity(nordered.min(1024));
+        for _ in 0..nordered {
+            ordered.push(r.u32().ok_or_else(parse)?);
+        }
+        let stats = read_stats(&mut r).ok_or_else(|| corrupt("bad statistics block"))?;
         tables.push(SnapshotTable {
             key,
             name,
             columns,
             slots,
             indexes,
+            ordered,
+            stats,
         });
     }
     let ntriggers = r.u32().ok_or_else(parse)? as usize;
@@ -694,6 +714,15 @@ mod tests {
                     0,
                     vec![(Value::Int(1), vec![0]), (Value::Int(2), vec![2])],
                 )],
+                ordered: vec![1],
+                stats: Some(crate::stats::TableStatistics::build(
+                    [
+                        &vec![Value::Int(1), Value::Str("a".into()), Value::Bool(true)],
+                        &vec![Value::Int(2), Value::Null, Value::Bool(false)],
+                    ]
+                    .into_iter(),
+                    3,
+                )),
             }],
             triggers: vec!["CREATE TRIGGER x AFTER DELETE ON T FOR EACH ROW BEGIN DELETE FROM T WHERE (id = OLD.id); END".into()],
         };

@@ -396,3 +396,340 @@ fn trigger_cascade_unchanged_by_planner() {
     };
     assert_eq!(run(false), run(true));
 }
+
+// ---------------------------------------------------------------------
+// Cost-based planner v2: statistics, range seeks, ORDER BY pushdown
+// ---------------------------------------------------------------------
+
+/// The edge fixture plus an ordered index on `n1(num)` and fresh
+/// statistics on every table.
+fn ordered_db() -> Database {
+    let mut db = edge_db();
+    db.run_script("CREATE INDEX n1_num ON n1 (num) USING ORDERED; ANALYZE;")
+        .unwrap();
+    db
+}
+
+/// A Shared-Inlining-shaped shredding: the shared element is inlined
+/// into one wide table, set-valued children overflow into their own.
+fn inlined_db() -> Database {
+    let mut db = Database::new();
+    db.run_script(
+        "CREATE TABLE book (id INTEGER, title VARCHAR(20), year INTEGER);
+         CREATE TABLE author (bookId INTEGER, pos INTEGER, name VARCHAR(20));
+         CREATE INDEX book_id ON book (id);
+         CREATE INDEX author_book ON author (bookId);
+         CREATE INDEX book_title ON book (title) USING ORDERED;
+         CREATE INDEX book_year ON book (year) USING ORDERED;",
+    )
+    .unwrap();
+    let insb = db.prepare("INSERT INTO book VALUES ($1, $2, $3)").unwrap();
+    let insa = db
+        .prepare("INSERT INTO author VALUES ($1, $2, $3)")
+        .unwrap();
+    let stems = ["data", "query", "xml", "tree", "index", "join"];
+    for i in 0..60i64 {
+        let title = format!("{}-{:02}", stems[i as usize % stems.len()], i);
+        db.execute_prepared(
+            &insb,
+            &[Value::Int(i), Value::Str(title), Value::Int(1990 + i % 12)],
+        )
+        .unwrap();
+        for j in 0..(i % 3) {
+            db.execute_prepared(
+                &insa,
+                &[
+                    Value::Int(i),
+                    Value::Int(j),
+                    Value::Str(format!("author-{}", (i * 3 + j) % 20)),
+                ],
+            )
+            .unwrap();
+        }
+    }
+    db.execute("ANALYZE").unwrap();
+    db
+}
+
+#[test]
+fn range_predicate_uses_range_seek() {
+    let mut db = ordered_db();
+    let plan = explain(
+        &mut db,
+        "EXPLAIN SELECT id FROM n1 WHERE num > 10 AND num <= 20",
+    );
+    assert!(
+        plan.contains("RangeScan n1 (num > 10 AND num <= 20)"),
+        "bounded predicate on the ordered column should seek:\n{plan}"
+    );
+    assert!(
+        plan.contains("est rows="),
+        "analyzed table should render a statistics estimate:\n{plan}"
+    );
+    db.reset_stats();
+    let rs = db
+        .query("SELECT id FROM n1 WHERE num > 10 AND num <= 20 ORDER BY id")
+        .unwrap();
+    assert!(!rs.rows.is_empty());
+    let s = db.stats();
+    assert!(s.range_seeks >= 1, "no range seek recorded: {s:?}");
+    assert!(
+        s.rows_scanned < 40,
+        "seek should touch only the in-range slice, scanned {}",
+        s.rows_scanned
+    );
+    // Same rows as the unindexed predicate evaluation.
+    let mut naive = edge_db();
+    naive.set_planner_naive(true);
+    let expect = naive
+        .query("SELECT id FROM n1 WHERE num > 10 AND num <= 20 ORDER BY id")
+        .unwrap();
+    assert_eq!(rs.rows, expect.rows);
+}
+
+#[test]
+fn ordered_index_elides_sort_for_order_by_limit() {
+    let mut db = ordered_db();
+    let plan = explain(
+        &mut db,
+        "EXPLAIN SELECT id, num FROM n1 ORDER BY num LIMIT 3",
+    );
+    assert!(
+        plan.contains("OrderedScan n1 (num)"),
+        "ORDER BY on the ordered column should walk the index:\n{plan}"
+    );
+    assert!(!plan.contains("Sort"), "sort must be elided:\n{plan}");
+    db.reset_stats();
+    let rs = db
+        .query("SELECT id, num FROM n1 ORDER BY num LIMIT 3")
+        .unwrap();
+    assert_eq!(rs.rows.len(), 3);
+    let s = db.stats();
+    assert!(s.sorts_elided >= 1, "elision not recorded: {s:?}");
+    assert!(s.ordered_index_scans >= 1, "{s:?}");
+    assert!(
+        s.rows_scanned <= 5,
+        "elided ORDER BY LIMIT 3 should pull O(k) rows, scanned {}",
+        s.rows_scanned
+    );
+    // DESC walks the index backwards and still skips the sort.
+    let plan = explain(
+        &mut db,
+        "EXPLAIN SELECT id, num FROM n1 ORDER BY num DESC LIMIT 3",
+    );
+    assert!(plan.contains("OrderedScan n1 (num DESC)"), "{plan}");
+    assert!(!plan.contains("Sort"), "{plan}");
+    // Both directions agree with a full stable sort.
+    let mut naive = edge_db();
+    naive.set_planner_naive(true);
+    for sql in [
+        "SELECT id, num FROM n1 ORDER BY num LIMIT 3",
+        "SELECT id, num FROM n1 ORDER BY num DESC LIMIT 3",
+        "SELECT id, num FROM n1 ORDER BY num",
+        "SELECT id, num FROM n1 ORDER BY num DESC",
+    ] {
+        assert_eq!(
+            db.query(sql).unwrap().rows,
+            naive.query(sql).unwrap().rows,
+            "rows diverge for `{sql}`"
+        );
+    }
+}
+
+#[test]
+fn order_by_without_ordered_index_still_sorts() {
+    // num carries only a hash index on n2: the planner must keep the
+    // sort (hash indexes have no order to offer).
+    let mut db = ordered_db();
+    let plan = explain(&mut db, "EXPLAIN SELECT id FROM n2 ORDER BY num LIMIT 3");
+    assert!(plan.contains("Sort"), "{plan}");
+    db.reset_stats();
+    db.query("SELECT id FROM n2 ORDER BY num LIMIT 3").unwrap();
+    assert_eq!(db.stats().sorts_elided, 0);
+}
+
+#[test]
+fn top_k_limit_matches_full_sort_prefix() {
+    let db = edge_db(); // no ordered index: the heap path, not elision
+                        // n2.num = id % 30 over 160 rows — heavy ties, so the top-k pass
+                        // must reproduce the stable sort's tie order exactly.
+    let full = db.query("SELECT id, num FROM n2 ORDER BY num").unwrap();
+    for k in [0usize, 1, 7, 40, 159, 160, 500] {
+        let rs = db
+            .query(&format!("SELECT id, num FROM n2 ORDER BY num LIMIT {k}"))
+            .unwrap();
+        assert_eq!(
+            rs.rows,
+            full.rows[..k.min(full.rows.len())],
+            "LIMIT {k} diverges from the stable-sort prefix"
+        );
+    }
+    let full = db
+        .query("SELECT id, num FROM n2 ORDER BY num DESC")
+        .unwrap();
+    let rs = db
+        .query("SELECT id, num FROM n2 ORDER BY num DESC LIMIT 11")
+        .unwrap();
+    assert_eq!(rs.rows, full.rows[..11]);
+}
+
+#[test]
+fn like_prefix_uses_range_seek() {
+    let mut db = inlined_db();
+    let plan = explain(
+        &mut db,
+        "EXPLAIN SELECT id FROM book WHERE title LIKE 'xml%'",
+    );
+    assert!(
+        plan.contains("RangeScan book"),
+        "LIKE prefix should seek the ordered title index:\n{plan}"
+    );
+    db.reset_stats();
+    let rs = db
+        .query("SELECT id FROM book WHERE title LIKE 'xml%' ORDER BY id")
+        .unwrap();
+    assert_eq!(rs.rows.len(), 10, "60 books, every 6th titled xml-*");
+    assert!(db.stats().range_seeks >= 1);
+    assert!(
+        db.stats().rows_scanned < 60,
+        "prefix seek should not scan the whole table, scanned {}",
+        db.stats().rows_scanned
+    );
+    // A leading wildcard cannot seek.
+    let plan = explain(
+        &mut db,
+        "EXPLAIN SELECT id FROM book WHERE title LIKE '%-05'",
+    );
+    assert!(plan.contains("SeqScan book"), "{plan}");
+}
+
+#[test]
+fn analyzed_joins_reorder_by_selectivity() {
+    let mut db = edge_db();
+    db.execute("ANALYZE").unwrap();
+    // FROM lists the big unfiltered table first; statistics say the
+    // filtered n1 (≈4 of 40 rows) should be scanned first instead.
+    let plan = explain(
+        &mut db,
+        "EXPLAIN SELECT n2.id FROM n2, n1 WHERE n2.parentId = n1.id AND n1.num < 5",
+    );
+    let p1 = plan.find("Scan n1").expect("n1 scanned");
+    let p2 = plan.find("Scan n2").expect("n2 scanned");
+    assert!(p1 < p2, "selective n1 should be placed before n2:\n{plan}");
+    // Without statistics the FROM order is kept.
+    let mut fresh = edge_db();
+    let plan = explain(
+        &mut fresh,
+        "EXPLAIN SELECT n2.id FROM n2, n1 WHERE n2.parentId = n1.id AND n1.num < 5",
+    );
+    let p1 = plan.find("Scan n1").expect("n1 scanned");
+    let p2 = plan.find("Scan n2").expect("n2 scanned");
+    assert!(p2 < p1, "unanalyzed join must keep FROM order:\n{plan}");
+}
+
+#[test]
+fn planner_v2_battery_matches_naive_on_edge_shredding() {
+    let queries = [
+        "SELECT id FROM n1 WHERE num > 10 AND num <= 30 ORDER BY id",
+        "SELECT id FROM n1 WHERE num BETWEEN 5 AND 25 ORDER BY id",
+        "SELECT id FROM n1 WHERE num >= 45 ORDER BY id DESC",
+        "SELECT id FROM n1 WHERE num IS NULL ORDER BY id",
+        "SELECT id, num FROM n1 ORDER BY num LIMIT 5",
+        "SELECT id, num FROM n1 ORDER BY num DESC LIMIT 5",
+        "SELECT id, num FROM n1 ORDER BY num",
+        "SELECT n2.id FROM n2, n1 WHERE n2.parentId = n1.id AND n1.num > 30 ORDER BY n2.id",
+        "SELECT * FROM n2, n1 WHERE n2.parentId = n1.id AND n1.num < 5 ORDER BY n2.id",
+        "SELECT n3.id FROM n3, n2, n1 \
+         WHERE n2.parentId = n1.id AND n3.parentId = n2.id AND n1.num < 20 ORDER BY n3.id",
+        "SELECT COUNT(*) FROM n1 WHERE num > 10 AND num <= 30",
+        "SELECT id FROM n1 WHERE num > 10 ORDER BY num LIMIT 4",
+    ];
+    let mut planned = edge_db();
+    planned
+        .run_script("CREATE INDEX n1_num ON n1 (num) USING ORDERED; ANALYZE;")
+        .unwrap();
+    let mut naive = edge_db();
+    naive
+        .run_script("CREATE INDEX n1_num ON n1 (num) USING ORDERED; ANALYZE;")
+        .unwrap();
+    naive.set_planner_naive(true);
+    planned.reset_stats();
+    naive.reset_stats();
+    for sql in queries {
+        let a = planned.query(sql).unwrap();
+        let b = naive.query(sql).unwrap();
+        assert_eq!(a.columns, b.columns, "columns diverge for `{sql}`");
+        assert_eq!(a.rows, b.rows, "rows diverge for `{sql}`");
+    }
+    let s = planned.stats();
+    assert!(s.range_seeks > 0, "battery never range-seeked: {s:?}");
+    assert!(s.ordered_index_scans > 0, "{s:?}");
+    assert!(s.sorts_elided > 0, "{s:?}");
+    let s = naive.stats();
+    assert_eq!(s.range_seeks, 0, "naive side must not seek: {s:?}");
+    assert_eq!(s.ordered_index_scans, 0, "{s:?}");
+    assert_eq!(s.sorts_elided, 0, "{s:?}");
+}
+
+#[test]
+fn planner_v2_battery_matches_naive_on_inlined_shredding() {
+    let queries = [
+        "SELECT id, title FROM book WHERE title LIKE 'data%' ORDER BY id",
+        "SELECT id FROM book WHERE title LIKE '%-1%' ORDER BY id",
+        "SELECT id FROM book WHERE title NOT LIKE 'xml%' ORDER BY id",
+        "SELECT id, year FROM book WHERE year BETWEEN 1995 AND 1999 ORDER BY id",
+        "SELECT id, title FROM book ORDER BY title LIMIT 8",
+        "SELECT id, title FROM book ORDER BY title DESC LIMIT 8",
+        "SELECT b.id, a.name FROM author a, book b \
+         WHERE a.bookId = b.id AND b.year > 1998 ORDER BY b.id, a.pos",
+        "SELECT COUNT(*) FROM book WHERE title LIKE 'tree%'",
+        "SELECT title FROM book WHERE year >= 2000 ORDER BY year, id LIMIT 6",
+    ];
+    let planned = inlined_db();
+    let mut naive = inlined_db();
+    naive.set_planner_naive(true);
+    for sql in queries {
+        let a = planned.query(sql).unwrap();
+        let b = naive.query(sql).unwrap();
+        assert_eq!(a.columns, b.columns, "columns diverge for `{sql}`");
+        assert_eq!(a.rows, b.rows, "rows diverge for `{sql}`");
+    }
+}
+
+#[test]
+fn statistics_survive_checkpoint_and_recovery() {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "xmlup-planner-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    {
+        let mut db = Database::open(&dir).unwrap();
+        db.run_script(
+            "CREATE TABLE t (id INTEGER, num INTEGER);
+             CREATE INDEX t_num ON t (num) USING ORDERED;",
+        )
+        .unwrap();
+        let ins = db.prepare("INSERT INTO t VALUES ($1, $2)").unwrap();
+        for i in 0..50i64 {
+            db.execute_prepared(&ins, &[Value::Int(i), Value::Int(i % 10)])
+                .unwrap();
+        }
+        db.execute("ANALYZE t").unwrap();
+        db.checkpoint().unwrap();
+    }
+    let mut db = Database::open(&dir).unwrap();
+    // The recovered statistics still drive the plan: est rows render
+    // and the ordered index still answers the range.
+    let plan = explain(&mut db, "EXPLAIN SELECT id FROM t WHERE num > 7");
+    assert!(plan.contains("RangeScan t (num > 7)"), "{plan}");
+    assert!(plan.contains("est rows="), "{plan}");
+    let rs = db.query("SELECT COUNT(*) FROM t WHERE num > 7").unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Int(10)]]);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -154,6 +154,8 @@ fn sample_meta() -> StoreMeta {
                 root: 5,
                 slots_len: 17,
                 indexed: vec![0, 1],
+                ordered: vec![2],
+                stats: None,
             },
             TableMeta {
                 key: "empty".into(),
@@ -162,6 +164,8 @@ fn sample_meta() -> StoreMeta {
                 root: 0,
                 slots_len: 0,
                 indexed: vec![],
+                ordered: vec![],
+                stats: None,
             },
         ],
         triggers: vec!["CREATE TRIGGER t AFTER DELETE ON Edge FOR EACH ROW BEGIN END".into()],
@@ -214,7 +218,9 @@ fn arb_table_meta() -> impl Strategy<Value = TableMeta> {
             columns,
             root,
             slots_len,
+            ordered: indexed.clone(),
             indexed,
+            stats: None,
         })
 }
 
@@ -371,6 +377,8 @@ fn paged_store_survives_eviction_and_reopen() {
                 ],
                 slots_len: n,
                 indexed: vec![],
+                ordered: vec![],
+                stats: None,
             }],
             triggers: vec![],
         };
@@ -408,6 +416,8 @@ fn incremental_checkpoint_writes_only_dirty_pages() {
             ],
             slots_len: 2000,
             indexed: vec![],
+            ordered: vec![],
+            stats: None,
         }],
         triggers: vec![],
     };
