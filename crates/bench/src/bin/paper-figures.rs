@@ -1,7 +1,7 @@
 //! Regenerate the tables and figures of *Updating XML* (SIGMOD 2001).
 //!
 //! ```text
-//! paper-figures [all|table1|fig6|fig7|fig8|fig9|fig10|fig11|table2|asr-paths|randomized|ordered|storage|plan-cache|planner|txn|wal|throughput|obs|obs-overhead]
+//! paper-figures [all|table1|fig6|fig7|fig8|fig9|fig10|fig11|table2|asr-paths|randomized|ordered|storage|plan-cache|planner|txn|wal|throughput|obs|sysview|obs-overhead]
 //!               [--full]
 //! ```
 //!
@@ -13,9 +13,12 @@
 //! machine-readable `BENCH_<figure>.json` file into that directory.
 //!
 //! `obs` measures the tracing-overhead ladder (off / spans-only /
-//! spans+analyze); `obs-overhead` is the CI guard: it exits nonzero if
-//! the observability off-state costs more than 2% on the joins
-//! benchmark (rows_scanned-normalized, tracing-on as the upper bound).
+//! spans+analyze); `sysview` measures the statement-tracking ladder
+//! (off / on, plus the cost of querying `rdb_statements` through the
+//! SQL pipeline) and emits `BENCH_observability.json`. `obs-overhead`
+//! is the CI guard: it exits nonzero if the observability off-state
+//! costs more than 2% on the joins benchmark, or if per-statement
+//! tracking costs more than 2% of the same statement's time.
 //! `obs-overhead` runs only when named explicitly, never under `all`.
 
 use xmlup_bench::experiments as exp;
@@ -155,6 +158,23 @@ fn main() {
         let rows = exp::obs_ladder(sizes);
         exp::print_obs_ladder(&rows);
     }
+    if run("sysview") {
+        let sizes: &[usize] = if full { &[16, 32, 64] } else { &[16, 32] };
+        let rows = exp::sysview_ladder(sizes);
+        exp::print_sysview_ladder(&rows);
+        let guard = exp::statement_tracking_overhead(64, 15);
+        println!(
+            "statement tracking: {:.1} ns/stmt off, {:.1} ns/stmt on \
+             ({:.1} ns tracking tail) against {:.0} ns/stmt on the joins \
+             benchmark: {:.4}% overhead",
+            guard.ns_per_stmt_off,
+            guard.ns_per_stmt_on,
+            guard.ns_tracking,
+            guard.query_ns,
+            guard.overhead_pct
+        );
+        exp::emit_sysview_json(&rows, &guard);
+    }
     if run("concurrency") {
         let window_ms = if full { 2000 } else { 800 };
         let rows = exp::concurrency_scaling(&[1, 2, 4, 8], window_ms);
@@ -178,6 +198,16 @@ fn main() {
         );
         if m.overhead_pct >= 2.0 {
             eprintln!("obs-overhead guard FAILED: off-state overhead exceeds 2%");
+            std::process::exit(1);
+        }
+        let t = exp::statement_tracking_overhead(64, 15);
+        println!(
+            "statement-tracking guard: {:.1} ns/stmt off vs {:.1} ns/stmt on \
+             = {:.1} ns tracking tail against {:.0} ns/stmt: {:.4}% overhead",
+            t.ns_per_stmt_off, t.ns_per_stmt_on, t.ns_tracking, t.query_ns, t.overhead_pct
+        );
+        if t.overhead_pct >= 2.0 {
+            eprintln!("statement-tracking guard FAILED: tracking overhead exceeds 2%");
             std::process::exit(1);
         }
     }

@@ -2204,3 +2204,211 @@ pub fn emit_storage_engine_json(r: &StorageEngineReport) {
         eprintln!("paper-figures: failed to write {}: {e}", path.display());
     }
 }
+
+// ----------------------------------------------------------------------
+// sysview: statement-tracking overhead and system-view query cost
+// (ISSUE: SQL-queryable system views, per-statement statistics)
+// ----------------------------------------------------------------------
+
+/// One rung of the statement-tracking ladder: the three-level
+/// reconstruction join timed with per-statement tracking off and on,
+/// plus the cost of reading the accumulated statistics back *through
+/// the SQL pipeline* (`rdb_statements` with ORDER BY + LIMIT).
+#[derive(Debug, Clone)]
+pub struct SysviewLadderRow {
+    /// Level-1 row count (lower levels get 4× each).
+    pub n1: usize,
+    /// Tracking disabled — the default configuration.
+    pub off_ms: Millis,
+    /// Tracking enabled: fingerprint + statement-store update per
+    /// statement.
+    pub on_ms: Millis,
+    /// `SELECT … FROM rdb_statements ORDER BY total_us DESC LIMIT 5` —
+    /// a system-view scan composed with sort and limit operators.
+    pub view_ms: Millis,
+    /// Distinct fingerprints tracked at the end of the rung.
+    pub tracked: u64,
+}
+
+/// Measure the statement-tracking ladder on the reconstruction join.
+/// Both rungs run against the same warmed database so only the tracking
+/// switch varies; the view rung then queries the statistics the on-rung
+/// just produced.
+pub fn sysview_ladder(sizes: &[usize]) -> Vec<SysviewLadderRow> {
+    const VIEW_QUERY: &str =
+        "SELECT sql, calls, mean_us FROM rdb_statements ORDER BY total_us DESC LIMIT 5";
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let db = three_level_join_db(n, false);
+        db.query(JOIN_QUERY).expect("warm-up");
+        db.set_statement_tracking(false);
+        let off_ms = time_runs(
+            RUNS,
+            || (),
+            |_| {
+                db.query(JOIN_QUERY).expect("query");
+            },
+        );
+        db.set_statement_tracking(true);
+        let on_ms = time_runs(
+            RUNS,
+            || (),
+            |_| {
+                db.query(JOIN_QUERY).expect("query");
+            },
+        );
+        let view_ms = time_runs(
+            RUNS,
+            || (),
+            |_| {
+                db.query(VIEW_QUERY).expect("view query");
+            },
+        );
+        let tracked = db.statement_statistics().len() as u64;
+        db.set_statement_tracking(false);
+        rows.push(SysviewLadderRow {
+            n1: n,
+            off_ms,
+            on_ms,
+            view_ms,
+            tracked,
+        });
+    }
+    rows
+}
+
+/// Print the statement-tracking ladder with the on-rung overhead
+/// relative to off.
+pub fn print_sysview_ladder(rows: &[SysviewLadderRow]) {
+    println!("# Statement tracking: 3-way join off / on, plus rdb_statements query cost");
+    println!(
+        "{:<8} {:>10} {:>10} {:>9} {:>10} {:>8}",
+        "n1 rows", "off ms", "on ms", "track %", "view ms", "tracked"
+    );
+    for r in rows {
+        let pct = if r.off_ms > 0.0 {
+            (r.on_ms / r.off_ms - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "{:<8} {:>10.3} {:>10.3} {:>8.2}% {:>10.3} {:>8}",
+            r.n1, r.off_ms, r.on_ms, pct, r.view_ms, r.tracked
+        );
+    }
+    println!();
+}
+
+/// The statement-tracking overhead guard's measurement, decomposed the
+/// same way as [`ObsOffOverhead`] so the bound is deterministic: the
+/// per-statement tracking cost is the delta of two tight-loop
+/// point-query batches (minimum over rounds, so scheduler noise — which
+/// only ever adds time — cancels out of the subtraction), divided by
+/// the joins statement's wall time.
+#[derive(Debug, Clone)]
+pub struct StatementTrackingOverhead {
+    /// Nanoseconds per point query, tracking off (batch minimum).
+    pub ns_per_stmt_off: f64,
+    /// Nanoseconds per point query, tracking on (batch minimum).
+    pub ns_per_stmt_on: f64,
+    /// Per-statement tracking cost: `max(0, on − off)`.
+    pub ns_tracking: f64,
+    /// Joins statement wall time, minimum over the measurement runs.
+    pub query_ns: f64,
+    /// `100 × ns_tracking / query_ns` — tracking cost as a percentage
+    /// of the benchmark statement's time.
+    pub overhead_pct: f64,
+}
+
+/// Measure the per-statement tracking cost against the joins benchmark.
+/// The probe is a plan-cache-hitting point query repeated in a tight
+/// batch, so the off/on delta isolates exactly the tracking tail
+/// (fingerprint resolution via the plan slot's cache plus one
+/// statement-store update) rather than comparing two noisy
+/// whole-statement series.
+pub fn statement_tracking_overhead(n1: usize, runs: usize) -> StatementTrackingOverhead {
+    use std::hint::black_box;
+    const PROBE: &str = "SELECT id FROM n1 WHERE id = 1";
+    const BATCH: u32 = 4_000;
+    const ROUNDS: usize = 5;
+    let db = three_level_join_db(n1, false);
+    let per_stmt = |db: &xmlup_rdb::Database| -> f64 {
+        db.query(PROBE).expect("probe warm-up");
+        let mut best = f64::INFINITY;
+        for _ in 0..ROUNDS {
+            let t = std::time::Instant::now();
+            for _ in 0..BATCH {
+                black_box(db.query(black_box(PROBE)).expect("probe"));
+            }
+            best = best.min(t.elapsed().as_nanos() as f64 / f64::from(BATCH));
+        }
+        best
+    };
+    db.set_statement_tracking(false);
+    let ns_per_stmt_off = per_stmt(&db);
+    db.set_statement_tracking(true);
+    let ns_per_stmt_on = per_stmt(&db);
+    db.set_statement_tracking(false);
+    let ns_tracking = (ns_per_stmt_on - ns_per_stmt_off).max(0.0);
+    for _ in 0..4 {
+        db.query(JOIN_QUERY).expect("warm-up");
+    }
+    let mut query_ns = f64::INFINITY;
+    for _ in 0..runs {
+        let t = std::time::Instant::now();
+        db.query(JOIN_QUERY).expect("query");
+        query_ns = query_ns.min(t.elapsed().as_nanos() as f64);
+    }
+    let overhead_pct = 100.0 * ns_tracking / query_ns;
+    StatementTrackingOverhead {
+        ns_per_stmt_off,
+        ns_per_stmt_on,
+        ns_tracking,
+        query_ns,
+        overhead_pct,
+    }
+}
+
+/// Write `BENCH_observability.json` into `$BENCH_JSON_DIR` (if set):
+/// every ladder rung plus the headline tracking-overhead percentage at
+/// the widest rung.
+pub fn emit_sysview_json(rows: &[SysviewLadderRow], guard: &StatementTrackingOverhead) {
+    let Ok(dir) = std::env::var("BENCH_JSON_DIR") else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    let points = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"n1\":{},\"off_ms\":{:.6},\"on_ms\":{:.6},\
+                 \"overhead_pct\":{:.4},\"view_ms\":{:.6},\"tracked\":{}}}",
+                r.n1,
+                r.off_ms,
+                r.on_ms,
+                if r.off_ms > 0.0 {
+                    (r.on_ms / r.off_ms - 1.0) * 100.0
+                } else {
+                    0.0
+                },
+                r.view_ms,
+                r.tracked
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let json = format!(
+        "{{\"figure\":\"observability\",\
+         \"title\":\"Statement tracking overhead and system-view query cost\",\
+         \"tracking_ns_per_stmt\":{:.4},\
+         \"tracking_overhead_pct\":{:.4},\
+         \"points\":[{points}]}}\n",
+        guard.ns_tracking, guard.overhead_pct
+    );
+    let path = std::path::Path::new(&dir).join("BENCH_observability.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("paper-figures: failed to write {}: {e}", path.display());
+    }
+}

@@ -420,6 +420,19 @@ pub struct Database {
     /// [`crate::storage`]). [`MemoryBackend`] — every hook a no-op —
     /// unless [`Database::open_with`] selected the paged store.
     storage: Arc<dyn StorageBackend>,
+    /// Per-statement execution aggregates (`rdb_statements`), keyed by
+    /// literal-normalized fingerprint. Off by default.
+    pub(crate) statements: crate::sysview::StatementStore,
+    /// Live-session registry (`rdb_sessions`), shared with the session
+    /// layer via [`Database::session_registry`].
+    pub(crate) sessions: Arc<crate::sysview::SessionRegistry>,
+    /// Instant this `Database` value was created — the anchor for the
+    /// `rdb_uptime_seconds` gauge.
+    pub(crate) created: std::time::Instant,
+    /// Unix timestamp (seconds) of the most recent crash recovery
+    /// performed by [`Database::open_with`]; 0 when the database never
+    /// recovered. Exposed as the `rdb_recovery_timestamp_seconds` gauge.
+    pub(crate) recovered_at: Counter,
 }
 
 impl Default for Database {
@@ -480,6 +493,25 @@ fn storage_err(ctx: &str, e: &std::io::Error) -> DbError {
 /// and its offset inside each index bucket.
 type DeletedRowUndo = (usize, Row, Vec<(usize, usize)>);
 
+/// One timed statement execution, as handed from the logged funnels to
+/// [`Database::account_statement`].
+struct StatementSample {
+    /// Record into the per-statement store (tracking on + success).
+    track: bool,
+    /// Slow-query threshold in effect, if any.
+    threshold: Option<std::time::Duration>,
+    /// Wall-clock execution time.
+    elapsed: std::time::Duration,
+    /// Rows returned (queries) or affected (DML).
+    rows: u64,
+    /// WAL bytes appended while the statement ran.
+    wal_bytes: u64,
+    /// Rows scanned/inserted/deleted/updated by the statement.
+    rows_touched: u64,
+    /// `(phase, total ns)` span breakdown collected during the statement.
+    phases: Vec<(&'static str, u64)>,
+}
+
 impl Database {
     /// Create an empty database.
     pub fn new() -> Self {
@@ -499,7 +531,18 @@ impl Database {
             slow_log: Mutex::new(Vec::new()),
             mvcc: MvccState::default(),
             storage: Arc::new(MemoryBackend),
+            statements: crate::sysview::StatementStore::default(),
+            sessions: Arc::new(crate::sysview::SessionRegistry::default()),
+            created: std::time::Instant::now(),
+            recovered_at: Counter::new(0),
         }
+    }
+
+    /// The live-session registry, shared with the session layer so
+    /// `rdb_sessions` reflects sessions opened through
+    /// [`SharedDatabase`](crate::session::SharedDatabase).
+    pub(crate) fn session_registry(&self) -> Arc<crate::sysview::SessionRegistry> {
+        self.sessions.clone()
     }
 
     /// Simulate a fixed per-*client*-statement overhead (the round-trip +
@@ -762,6 +805,31 @@ impl Database {
                 "MVCC before-images retained across all tables",
                 self.snapshot_versions_retained(),
             ),
+            Metric::gauge(
+                "rdb_uptime_seconds",
+                "Seconds since this database instance was created",
+                self.created.elapsed().as_secs(),
+            ),
+            Metric::gauge(
+                "rdb_recovery_timestamp_seconds",
+                "Unix time of the most recent crash recovery (0 = never)",
+                self.recovered_at.get(),
+            ),
+            Metric::gauge(
+                "rdb_statement_tracking_enabled",
+                "Whether per-statement statistics collection is on",
+                self.statements.enabled() as u64,
+            ),
+            Metric::gauge(
+                "rdb_tracked_statements",
+                "Statement fingerprints currently in the statistics store",
+                self.statements.len() as u64,
+            ),
+            Metric::counter(
+                "rdb_statement_store_evictions_total",
+                "Fingerprints evicted by the statement store's capacity bound",
+                self.statements.evictions(),
+            ),
         ];
         if self.storage.kind() != BackendKind::Memory {
             let sm = self.storage.metrics();
@@ -860,6 +928,55 @@ impl Database {
         obs::render_prometheus(&self.metrics())
     }
 
+    /// Name/value pairs for the `rdb_wal` system view: WAL counters from
+    /// [`Stats`] plus the live durability state (group-commit window and
+    /// progress offsets) when the database is durable.
+    pub(crate) fn wal_view_rows(&self) -> Vec<(&'static str, u64)> {
+        let s = self.stats();
+        let mut rows = vec![
+            ("durable", self.durable.is_some() as u64),
+            ("wal_size_bytes", self.wal_size()),
+            ("wal_records_total", s.wal_records),
+            ("wal_bytes_total", s.wal_bytes),
+            ("wal_fsyncs_total", s.wal_fsyncs),
+            ("wal_replayed_bytes", s.wal_replayed_bytes),
+        ];
+        if let Some(d) = &self.durable {
+            rows.push(("group_commit_window", d.group_window.get()));
+            rows.push(("pending_commits", d.pending_commits.get()));
+            rows.push(("acked_commits", d.acked_commits.get()));
+            rows.push(("appended_len", d.appended_len.get()));
+            rows.push(("synced_len", d.synced_len.get()));
+            rows.push(("txn_seq", d.txn_seq.get()));
+        }
+        rows
+    }
+
+    /// Name/value pairs for the `rdb_checkpoints` system view:
+    /// checkpoint counters plus the most recent recovery's telemetry.
+    pub(crate) fn checkpoint_view_rows(&self) -> Vec<(&'static str, u64)> {
+        let s = self.stats();
+        let mut rows = vec![
+            ("checkpoints_total", s.checkpoints),
+            ("pages_written_total", s.checkpoint_pages_written),
+            ("bytes_written_total", s.checkpoint_bytes_written),
+            ("recovered_txns", s.recovered_txns),
+            ("wal_replayed_bytes", s.wal_replayed_bytes),
+            ("recovery_micros", s.recovery_micros),
+            ("recovery_timestamp", self.recovered_at.get()),
+        ];
+        if let Some(d) = &self.durable {
+            rows.push(("generation", d.generation));
+        }
+        rows
+    }
+
+    /// Best-effort per-table page count from the storage backend
+    /// (`None` on the in-memory backend, which has no pages).
+    pub(crate) fn table_pages_hint(&self, table: &str) -> Option<u64> {
+        self.storage.table_pages(table)
+    }
+
     /// The system-wide "next available id" counter used by the id
     /// allocation heuristics of paper Section 6.2. Reserves `count` ids and
     /// returns the first.
@@ -917,11 +1034,13 @@ impl Database {
         &self.triggers
     }
 
-    /// Look up the compiled plan for `sql`, parsing and caching on a miss.
-    fn plan_for(&self, sql: &str) -> Result<(Arc<Stmt>, usize, Arc<PlanSlot>)> {
-        if let Some(hit) = self.plan_cache.lock().unwrap().get(sql) {
+    /// Look up the compiled plan for `sql`, parsing and caching on a
+    /// miss. The trailing `bool` reports whether the cache hit — the
+    /// per-statement statistics store counts hits per fingerprint.
+    fn plan_for(&self, sql: &str) -> Result<(Arc<Stmt>, usize, Arc<PlanSlot>, bool)> {
+        if let Some((stmt, params, slot)) = self.plan_cache.lock().unwrap().get(sql) {
             StatsCells::bump(&self.stats.plan_cache_hits, 1);
-            return Ok(hit);
+            return Ok((stmt, params, slot, true));
         }
         StatsCells::bump(&self.stats.plan_cache_misses, 1);
         StatsCells::bump(&self.stats.statements_parsed, 1);
@@ -934,7 +1053,7 @@ impl Database {
             .lock()
             .unwrap()
             .insert(sql, stmt.clone(), params, slot.clone());
-        Ok((stmt, params, slot))
+        Ok((stmt, params, slot, false))
     }
 
     /// Drop all cached statement plans and advance the schema epoch so
@@ -964,7 +1083,7 @@ impl Database {
             Some(slot) => {
                 let epoch = self.schema_epoch.get();
                 let cached = slot
-                    .0
+                    .plan
                     .lock()
                     .unwrap()
                     .as_ref()
@@ -974,7 +1093,7 @@ impl Database {
                     Some(p) => p,
                     None => {
                         let p = Arc::new(self.build_select_plan(q, ctx)?);
-                        *slot.0.lock().unwrap() = Some((epoch, p.clone()));
+                        *slot.plan.lock().unwrap() = Some((epoch, p.clone()));
                         p
                     }
                 }
@@ -988,11 +1107,12 @@ impl Database {
     /// Execute one SQL statement. Repeat executions of the same SQL text
     /// reuse the cached plan instead of re-parsing.
     pub fn execute(&mut self, sql: &str) -> Result<ExecResult> {
-        let (stmt, _, slot) = self.plan_for(sql)?;
+        let (stmt, _, slot, hit) = self.plan_for(sql)?;
         StatsCells::bump(&self.stats.client_statements, 1);
         self.charge_statement();
         let mut ctx = EvalCtx::new();
         ctx.plan_slot = Some(slot);
+        ctx.plan_cache_hit = hit;
         self.exec_client_logged(&stmt, &ctx, Some(sql))
     }
 
@@ -1001,7 +1121,7 @@ impl Database {
     /// Preparation does not count as a client statement — only
     /// [`Database::execute_prepared`] calls do.
     pub fn prepare(&self, sql: &str) -> Result<PreparedStmt> {
-        let (stmt, params, slot) = self.plan_for(sql)?;
+        let (stmt, params, slot, _) = self.plan_for(sql)?;
         Ok(PreparedStmt {
             stmt,
             params,
@@ -1030,6 +1150,8 @@ impl Database {
         self.charge_statement();
         let mut ctx = EvalCtx::with_params(params);
         ctx.plan_slot = Some(stmt.slot.clone());
+        // A prepared statement reuses its compiled plan by construction.
+        ctx.plan_cache_hit = true;
         self.exec_client_logged(&stmt.stmt, &ctx, Some(&stmt.sql))
     }
 
@@ -1059,6 +1181,7 @@ impl Database {
         let mut ctx = EvalCtx::with_params(params);
         ctx.plan_slot = Some(stmt.slot.clone());
         ctx.snapshot = snapshot;
+        ctx.plan_cache_hit = true;
         self.query_logged(&stmt.stmt, &ctx, Some(&stmt.sql))
     }
 
@@ -1119,12 +1242,13 @@ impl Database {
     /// snapshot observes one transaction-consistent state regardless of
     /// concurrently committing writers.
     pub fn query_at(&self, sql: &str, snapshot: Option<u64>) -> Result<ResultSet> {
-        let (stmt, _, slot) = self.plan_for(sql)?;
+        let (stmt, _, slot, hit) = self.plan_for(sql)?;
         StatsCells::bump(&self.stats.client_statements, 1);
         self.charge_statement();
         let mut ctx = EvalCtx::new();
         ctx.plan_slot = Some(slot);
         ctx.snapshot = snapshot;
+        ctx.plan_cache_hit = hit;
         self.query_logged(&stmt, &ctx, Some(sql))
     }
 
@@ -1142,63 +1266,128 @@ impl Database {
     // transactions
     // ------------------------------------------------------------------
 
-    /// [`exec_client`] plus slow-query accounting. When a threshold is
-    /// set the statement is timed, its spans are collected (even with
-    /// tracing off), and on breach a [`SlowQuery`] record lands in the
-    /// log with the SQL text (rendered from the AST when `sql` is not
-    /// at hand), per-phase breakdown, and rows touched. With no
-    /// threshold configured this is a single `Cell` read on top of
-    /// [`exec_client`].
+    /// [`exec_client`] plus per-statement accounting. When a slow-query
+    /// threshold is set the statement is timed, its spans are collected
+    /// (even with tracing off), and on breach a [`SlowQuery`] record —
+    /// attributed to the current session, snapshot epoch, and statement
+    /// fingerprint — lands in the log with the SQL text (rendered from
+    /// the AST when `sql` is not at hand), per-phase breakdown, and rows
+    /// touched. When statement tracking is on, every successful
+    /// execution is aggregated into the fingerprint store behind
+    /// `rdb_statements`. With neither configured this is two atomic
+    /// reads on top of [`exec_client`].
     fn exec_client_logged(
         &mut self,
         stmt: &Stmt,
         ctx: &EvalCtx<'_>,
         sql: Option<&str>,
     ) -> Result<ExecResult> {
-        let Some(threshold) = self.slow_threshold.get() else {
+        let threshold = self.slow_threshold.get();
+        let track = self.statements.enabled();
+        if threshold.is_none() && !track {
             return self.exec_client(stmt, ctx);
-        };
+        }
         let touched_before = self.rows_touched();
+        let wal_before = self.stats.wal_bytes.get();
         obs::stmt_collect_begin();
         let start = std::time::Instant::now();
         let result = self.exec_client(stmt, ctx);
         let elapsed = start.elapsed();
         let phases = obs::stmt_collect_end();
-        if elapsed >= threshold {
-            let mut log = self.slow_log.lock().unwrap();
-            if log.len() >= obs::SLOW_QUERY_CAPACITY {
-                log.remove(0);
-            }
-            log.push(SlowQuery {
-                sql: match sql {
-                    Some(s) => s.to_string(),
-                    None => stmt_to_sql(stmt),
-                },
-                total_ns: elapsed.as_nanos() as u64,
-                phases,
+        let rows = match &result {
+            Ok(ExecResult::Rows(rs)) => rs.rows.len() as u64,
+            Ok(ExecResult::Affected(n)) => *n as u64,
+            _ => 0,
+        };
+        self.account_statement(
+            stmt,
+            ctx,
+            sql,
+            StatementSample {
+                track: track && result.is_ok(),
+                threshold,
+                elapsed,
+                rows,
+                wal_bytes: self.stats.wal_bytes.get() - wal_before,
                 rows_touched: self.rows_touched() - touched_before,
-            });
-        }
+                phases,
+            },
+        );
         result
     }
 
-    /// [`exec_read`] plus slow-query accounting — the `&self` twin of
-    /// [`exec_client_logged`], sharing the same threshold, capacity, and
-    /// record shape so read-path statements land in the same log.
+    /// [`exec_read`] plus per-statement accounting — the `&self` twin of
+    /// [`exec_client_logged`], sharing the same thresholds, stores, and
+    /// record shapes so read-path statements land in the same places.
     fn query_logged(&self, stmt: &Stmt, ctx: &EvalCtx<'_>, sql: Option<&str>) -> Result<ResultSet> {
         if ctx.snapshot.is_some() {
             StatsCells::bump(&self.mvcc.snapshot_reads, 1);
         }
-        let Some(threshold) = self.slow_threshold.get() else {
+        let threshold = self.slow_threshold.get();
+        let track = self.statements.enabled();
+        if threshold.is_none() && !track {
             return self.exec_read(stmt, ctx);
-        };
+        }
         let touched_before = self.rows_touched();
         obs::stmt_collect_begin();
         let start = std::time::Instant::now();
         let result = self.exec_read(stmt, ctx);
         let elapsed = start.elapsed();
         let phases = obs::stmt_collect_end();
-        if elapsed >= threshold {
+        let rows = result.as_ref().map_or(0, |rs| rs.rows.len() as u64);
+        self.account_statement(
+            stmt,
+            ctx,
+            sql,
+            StatementSample {
+                track: track && result.is_ok(),
+                threshold,
+                elapsed,
+                rows,
+                wal_bytes: 0,
+                rows_touched: self.rows_touched() - touched_before,
+                phases,
+            },
+        );
+        result
+    }
+
+    /// Shared tail of the logged funnels: aggregate the sample into the
+    /// statement store (when tracking) and into the slow-query log (when
+    /// the threshold is breached). The fingerprint is read from the plan
+    /// slot — computed at most once per SQL text — or computed on the
+    /// spot for slot-less paths (`run_script`, `execute_stmt`).
+    fn account_statement(
+        &self,
+        stmt: &Stmt,
+        ctx: &EvalCtx<'_>,
+        sql: Option<&str>,
+        sample: StatementSample,
+    ) {
+        let slow = sample.threshold.is_some_and(|t| sample.elapsed >= t);
+        if !sample.track && !slow {
+            return;
+        }
+        let compute = || {
+            Arc::new(match sql {
+                Some(s) => crate::sysview::fingerprint(s),
+                None => crate::sysview::fingerprint(&stmt_to_sql(stmt)),
+            })
+        };
+        let fp = match &ctx.plan_slot {
+            Some(slot) => slot.fingerprint.get_or_init(compute).clone(),
+            None => compute(),
+        };
+        if sample.track {
+            self.statements.record(
+                &fp,
+                sample.rows,
+                sample.elapsed.as_nanos() as u64,
+                ctx.plan_cache_hit,
+                sample.wal_bytes,
+            );
+        }
+        if slow {
             let mut log = self.slow_log.lock().unwrap();
             if log.len() >= obs::SLOW_QUERY_CAPACITY {
                 log.remove(0);
@@ -1208,12 +1397,14 @@ impl Database {
                     Some(s) => s.to_string(),
                     None => stmt_to_sql(stmt),
                 },
-                total_ns: elapsed.as_nanos() as u64,
-                phases,
-                rows_touched: self.rows_touched() - touched_before,
+                total_ns: sample.elapsed.as_nanos() as u64,
+                phases: sample.phases,
+                rows_touched: sample.rows_touched,
+                session_id: crate::sysview::current_session(),
+                snapshot_epoch: ctx.snapshot,
+                fingerprint: fp.hash,
             });
         }
-        result
     }
 
     /// Read-only statement funnel: `SELECT`, plain `EXPLAIN`, and
@@ -1708,6 +1899,11 @@ impl Database {
         db.stats
             .recovery_micros
             .set(recover_start.elapsed().as_micros() as u64);
+        db.recovered_at.set(
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.as_secs()),
+        );
         db.durable = Some(DurableState {
             dir,
             wal: Mutex::new(std::io::BufWriter::new(file)),

@@ -205,6 +205,11 @@ pub(crate) struct EvalCtx<'a> {
     /// back to reconstructing the epoch's row image (see
     /// [`ScanCur::start`]).
     pub snapshot: Option<u64>,
+    /// Whether this statement's plan came from the plan cache (or a
+    /// prepared statement, which reuses its compiled plan by
+    /// construction). Feeds the `plan_cache_hits` column of
+    /// `rdb_statements`.
+    pub plan_cache_hit: bool,
 }
 
 impl<'a> EvalCtx<'a> {
@@ -217,6 +222,7 @@ impl<'a> EvalCtx<'a> {
             keepalive: RefCell::new(Vec::new()),
             plan_slot: None,
             snapshot: None,
+            plan_cache_hit: false,
         }
     }
 
@@ -229,6 +235,7 @@ impl<'a> EvalCtx<'a> {
             keepalive: RefCell::new(Vec::new()),
             plan_slot: None,
             snapshot: None,
+            plan_cache_hit: false,
         }
     }
 
@@ -241,6 +248,7 @@ impl<'a> EvalCtx<'a> {
             keepalive: RefCell::new(Vec::new()),
             plan_slot: None,
             snapshot: None,
+            plan_cache_hit: false,
         }
     }
 }
@@ -1337,6 +1345,10 @@ impl Database {
                 .get(&plan.key)
                 .ok_or_else(|| DbError::NoSuchTable(plan.name.clone()))?;
             ScanSrc::Mat(m.rows.clone())
+        } else if plan.is_sys {
+            // System views materialize from live engine state at cursor
+            // open; downstream operators treat the rows like a CTE body.
+            ScanSrc::Mat(Rc::new(self.sysview_rows(&plan.key)?))
         } else {
             let t = self
                 .tables

@@ -1,0 +1,141 @@
+//! Minimal HTTP/1.1 metrics endpoint over a [`SharedDatabase`].
+//!
+//! Serves exactly two read-only routes, hand-rolled over `TcpListener`
+//! (no HTTP dependency — the request parser reads one request line plus
+//! headers and ignores everything but the method and path):
+//!
+//! - `GET /metrics` — the full metric registry in Prometheus text
+//!   exposition format ([`Database::metrics_text`](crate::Database::metrics_text)),
+//!   ready to be scraped.
+//! - `GET /statements` — the per-statement statistics store as a JSON
+//!   array ([`Database::statements_json`](crate::Database::statements_json)),
+//!   sorted by total execution time.
+//!
+//! Everything else is `404`; non-`GET` methods are `405`. Responses
+//! always carry `Content-Length` and `Connection: close`, and each
+//! request is served on the accept thread — metrics scrapes are rare
+//! and cheap, so there is no per-connection thread pool to manage.
+//! Reads hold only the database read lock, so scrapes never block
+//! writers.
+
+use crate::SharedDatabase;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// HTTP metrics server builder: binds and spawns the accept loop.
+pub struct MetricsServer;
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve scrapes until
+    /// [`MetricsHandle::shutdown`] (or drop).
+    pub fn start(shared: SharedDatabase, addr: &str) -> std::io::Result<MetricsHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = stop.clone();
+        let accept = std::thread::spawn(move || {
+            while !accept_stop.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = serve_request(stream, &shared);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(MetricsHandle {
+            addr: local,
+            stop,
+            accept: Mutex::new(Some(accept)),
+        })
+    }
+}
+
+/// Handle to a running metrics server: bound address plus shutdown knob.
+pub struct MetricsHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl MetricsHandle {
+    /// The address the server actually bound (port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join it. Idempotent.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept.lock().unwrap().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serve a single HTTP request on `stream` and close the connection.
+fn serve_request(stream: TcpStream, shared: &SharedDatabase) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut out = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    // Drain headers up to the blank line; the routes take no body.
+    let mut header = String::new();
+    loop {
+        header.clear();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            String::from("GET only\n"),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                shared.with_read(|db| db.metrics_text()),
+            ),
+            "/statements" => (
+                "200 OK",
+                "application/json",
+                shared.with_read(|db| db.statements_json()),
+            ),
+            _ => (
+                "404 Not Found",
+                "text/plain",
+                String::from("routes: /metrics /statements\n"),
+            ),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    out.write_all(response.as_bytes())
+}

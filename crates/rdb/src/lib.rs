@@ -40,6 +40,7 @@ mod cells;
 pub mod engine;
 pub mod error;
 mod exec;
+pub mod http;
 pub mod lexer;
 pub mod mvcc;
 pub mod obs;
@@ -50,6 +51,7 @@ pub mod session;
 pub mod sql;
 pub mod stats;
 pub mod storage;
+pub mod sysview;
 pub mod table;
 pub mod txn;
 pub mod value;
@@ -60,6 +62,7 @@ pub use ast::{
 };
 pub use engine::{Database, ExecResult, PreparedStmt, ResultSet, Stats, Trigger};
 pub use error::{DbError, Result};
+pub use http::{MetricsHandle, MetricsServer};
 pub use obs::{Metric, MetricKind, PhaseStat, SlowQuery, Span, TraceEvent};
 pub use parser::{parse_script, parse_script_with_text, parse_stmt, parse_stmt_with_params};
 pub use server::{Server, ServerHandle};
@@ -69,6 +72,10 @@ pub use stats::{ColumnStatistics, TableStatistics};
 pub use storage::{
     BackendKind, MemoryBackend, PagedStore, PoolStats, StorageBackend, StorageConfig,
     StorageMetrics,
+};
+pub use sysview::{
+    fingerprint, is_system_view, view_columns, Fingerprint, SessionInfo, SessionState,
+    StatementStats, SYSTEM_VIEWS,
 };
 pub use table::{Table, TableSchema};
 pub use txn::UndoRecord;

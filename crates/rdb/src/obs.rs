@@ -177,6 +177,14 @@ pub struct SlowQuery {
     /// Rows scanned + inserted + deleted + updated by the statement
     /// (trigger cascades included).
     pub rows_touched: u64,
+    /// Session the statement ran for (0 when executed outside the
+    /// session layer). Joins against `rdb_sessions.id`.
+    pub session_id: u64,
+    /// MVCC snapshot epoch the statement read at, if pinned.
+    pub snapshot_epoch: Option<u64>,
+    /// Literal-normalized statement fingerprint (FNV-1a 64). Joins
+    /// against `rdb_statements.fingerprint`.
+    pub fingerprint: u64,
 }
 
 struct Tracer {

@@ -115,6 +115,10 @@ pub(crate) struct ScanPlan {
     /// Whether the source is a CTE of the same statement (resolved in
     /// the per-execution CTE environment, not the catalog).
     pub is_cte: bool,
+    /// Whether the source is a system view (`rdb_*`), materialized from
+    /// engine state at cursor-open time. User tables shadow views, so
+    /// this is only set when no table of the same name exists.
+    pub is_sys: bool,
     /// Catalog/CTE key (lower-cased name).
     pub key: String,
     /// Source name as written (for error messages and EXPLAIN).
@@ -211,7 +215,14 @@ pub(crate) struct SelectPlan {
 /// [`PreparedStmt`](crate::PreparedStmt) for that text, so replanning
 /// after DDL benefits all holders at once.
 #[derive(Debug, Default)]
-pub(crate) struct PlanSlot(pub(crate) Mutex<Option<(u64, Arc<SelectPlan>)>>);
+pub(crate) struct PlanSlot {
+    /// The compiled plan, stamped with the schema epoch it was built at.
+    pub(crate) plan: Mutex<Option<(u64, Arc<SelectPlan>)>>,
+    /// Literal-normalized fingerprint of the statement text, computed at
+    /// most once per slot and shared by every execution of the text
+    /// (statement tracking and slow-query attribution both read it).
+    pub(crate) fingerprint: std::sync::OnceLock<Arc<crate::sysview::Fingerprint>>,
+}
 
 impl Database {
     /// Compile a SELECT into a physical plan.
@@ -470,10 +481,14 @@ impl Database {
                 )));
             }
             let key = tref.name.to_ascii_lowercase();
-            let (is_cte, columns) = if let Some(cols) = cte_cols.get(&key) {
-                (true, cols.clone())
+            let (is_cte, is_sys, columns) = if let Some(cols) = cte_cols.get(&key) {
+                (true, false, cols.clone())
             } else if let Some(t) = self.tables.get(&key) {
-                (false, t.schema.column_names())
+                (false, false, t.schema.column_names())
+            } else if let Some(cols) = crate::sysview::view_columns(&key) {
+                // System views resolve last, so a CTE or user table of
+                // the same name shadows them.
+                (false, true, cols.iter().map(|c| c.to_string()).collect())
             } else {
                 return Err(DbError::NoSuchTable(tref.name.clone()));
             };
@@ -482,6 +497,7 @@ impl Database {
             scans.push((
                 ScanPlan {
                     is_cte,
+                    is_sys,
                     key,
                     name: tref.name.clone(),
                     binding,
@@ -1520,6 +1536,8 @@ fn render_joins(
 fn render_scan(scan: &ScanPlan, ind: usize, lines: &mut Vec<String>, prof: Option<&OpProf>) {
     let mut line = if scan.is_cte {
         format!("CteScan {}", scan.name)
+    } else if scan.is_sys {
+        format!("SysScan {}", scan.name)
     } else {
         match &scan.access {
             Access::Seq => format!("SeqScan {}", scan.name),

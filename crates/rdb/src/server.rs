@@ -10,6 +10,10 @@
 //! `BEGIN`/`COMMIT`/`ROLLBACK` scope a per-connection transaction via
 //! [`Session`]; a connection that drops mid-transaction is rolled back
 //! by the session's `Drop`. `QUIT` (or EOF) closes the connection.
+//! Lines starting with `.stat` are control commands handled by the
+//! server itself: `statements`/`sessions`/`tables` run a `SELECT` over
+//! the matching system view, `on`/`off` toggle statement tracking, and
+//! `reset` clears the statement store.
 //!
 //! Shutdown is graceful: the accept loop stops admitting connections,
 //! handler threads finish their in-flight statement and close, and the
@@ -143,6 +147,10 @@ fn serve_connection(
         if sql.eq_ignore_ascii_case("quit") {
             break;
         }
+        if let Some(cmd) = sql.strip_prefix(".stat") {
+            stat_command(&mut writer, shared, &mut session, cmd.trim())?;
+            continue;
+        }
         respond(&mut writer, &mut session, sql)?;
         // In-flight work finished; shut down between statements only.
         if stop.load(Ordering::Acquire) && !session.in_transaction() {
@@ -150,6 +158,44 @@ fn serve_connection(
         }
     }
     Ok(())
+}
+
+/// Handle a `.stat` control command: introspection without leaving the
+/// line protocol. Sub-commands either run a `SELECT *` over the matching
+/// system view (replying `ROWS` like any query) or flip the
+/// statement-tracking switches:
+///
+/// - `.stat statements` / `.stat sessions` / `.stat tables`
+/// - `.stat on` / `.stat off` — enable or disable per-statement tracking
+/// - `.stat reset` — clear the statement store
+fn stat_command(
+    out: &mut TcpStream,
+    shared: &SharedDatabase,
+    session: &mut Session,
+    cmd: &str,
+) -> std::io::Result<()> {
+    match cmd.to_ascii_lowercase().as_str() {
+        "statements" => respond(out, session, "SELECT * FROM rdb_statements"),
+        "sessions" => respond(out, session, "SELECT * FROM rdb_sessions"),
+        "tables" => respond(out, session, "SELECT * FROM rdb_tables"),
+        // The tracking switches take `&Database` (interior mutability),
+        // so a read guard suffices and writers are never blocked.
+        "on" => {
+            shared.with_read(|db| db.set_statement_tracking(true));
+            out.write_all(b"OK\n")
+        }
+        "off" => {
+            shared.with_read(|db| db.set_statement_tracking(false));
+            out.write_all(b"OK\n")
+        }
+        "reset" => {
+            shared.with_read(|db| db.reset_statement_statistics());
+            out.write_all(b"OK\n")
+        }
+        _ => {
+            out.write_all(b"ERR unknown .stat command (statements|sessions|tables|on|off|reset)\n")
+        }
+    }
 }
 
 fn respond(out: &mut TcpStream, session: &mut Session, sql: &str) -> std::io::Result<()> {

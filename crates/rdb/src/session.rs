@@ -22,6 +22,7 @@
 
 use crate::engine::{Database, ExecResult, ResultSet};
 use crate::error::{DbError, Result};
+use crate::sysview::{SessionRegistry, SessionScope, SessionState};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Instant;
 
@@ -33,12 +34,22 @@ struct Shared {
     /// statement). Guards the engine's single transaction slot.
     writer: Mutex<bool>,
     writer_cv: Condvar,
+    /// Live-session registry behind `rdb_sessions`, shared with the
+    /// engine (which materializes the view). Its lock is never held
+    /// while the writer token or the `RwLock` is acquired.
+    registry: Arc<SessionRegistry>,
 }
 
 impl Shared {
     /// Acquire the writer token, recording the wait in the
-    /// `write_lock_wait_us` histogram.
-    fn acquire_writer(&self) {
+    /// `write_lock_wait_us` histogram and — when acquiring on behalf of
+    /// a session (`session != 0`) — attributing it to that session's
+    /// cumulative wait time in `rdb_sessions`.
+    fn acquire_writer(&self, session: u64) {
+        if session != 0 {
+            self.registry
+                .set_state(session, SessionState::WaitingWriteLock);
+        }
         let start = Instant::now();
         let mut held = self.writer.lock().unwrap();
         while *held {
@@ -46,8 +57,15 @@ impl Shared {
         }
         *held = true;
         drop(held);
-        let waited = start.elapsed().as_micros() as u64;
-        self.db.read().unwrap().record_write_lock_wait(waited);
+        let waited = start.elapsed();
+        if session != 0 {
+            self.registry.add_wait(session, waited.as_nanos() as u64);
+            self.registry.set_state(session, SessionState::Executing);
+        }
+        self.db
+            .read()
+            .unwrap()
+            .record_write_lock_wait(waited.as_micros() as u64);
     }
 
     fn release_writer(&self) {
@@ -68,21 +86,26 @@ impl SharedDatabase {
     /// Wrap `db` for shared use (enables MVCC version retention).
     pub fn new(mut db: Database) -> Self {
         db.enable_mvcc(true);
+        let registry = db.session_registry();
         SharedDatabase {
             inner: Arc::new(Shared {
                 db: RwLock::new(db),
                 writer: Mutex::new(false),
                 writer_cv: Condvar::new(),
+                registry,
             }),
         }
     }
 
-    /// Open a new session (one per connection / thread of control).
+    /// Open a new session (one per connection / thread of control). The
+    /// session appears in `rdb_sessions` until dropped.
     pub fn session(&self) -> Session {
         self.inner.db.read().unwrap().session_opened();
+        let id = self.inner.registry.register();
         Session {
             shared: self.inner.clone(),
             state: SessionTxn::Idle,
+            id,
         }
     }
 
@@ -98,7 +121,7 @@ impl SharedDatabase {
     /// `&mut` engine API (explicit transactions included) but must leave
     /// no transaction open on return.
     pub fn with_write<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
-        self.inner.acquire_writer();
+        self.inner.acquire_writer(0);
         let r = f(&mut self.inner.db.write().unwrap());
         self.inner.release_writer();
         r
@@ -154,23 +177,40 @@ pub enum SqlOutcome {
 pub struct Session {
     shared: Arc<Shared>,
     state: SessionTxn,
+    /// Registry-assigned id; the `rdb_sessions.id` column and the
+    /// slow-query log's session attribution.
+    id: u64,
 }
 
 impl Session {
-    /// Execute one SQL statement in this session.
+    /// Execute one SQL statement in this session. The session's
+    /// `rdb_sessions` row tracks the statement text and the state
+    /// machine (`parsing` → `executing` / `waiting_write_lock` /
+    /// `committing` → `idle`) while it runs.
     pub fn execute(&mut self, sql: &str) -> Result<SqlOutcome> {
-        match classify(sql) {
+        self.shared.registry.statement_begin(self.id, sql);
+        // Mark the thread so engine-level records (the slow-query log)
+        // attribute work done inside the statement to this session.
+        let _scope = SessionScope::enter(self.id);
+        let result = match classify(sql) {
             StmtClass::Begin => self.begin(),
             StmtClass::Commit => self.commit(),
             StmtClass::Rollback => self.rollback(),
             StmtClass::Read => self.run_read(sql),
             StmtClass::Write => self.run_write(sql),
-        }
+        };
+        self.shared.registry.statement_end(self.id);
+        result
     }
 
     /// Whether the session is inside an explicit transaction.
     pub fn in_transaction(&self) -> bool {
         !matches!(self.state, SessionTxn::Idle)
+    }
+
+    /// The session's registry id (the `rdb_sessions.id` column).
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     fn begin(&mut self) -> Result<SqlOutcome> {
@@ -182,6 +222,7 @@ impl Session {
         // Snapshot acquisition at BEGIN: reads in this transaction all
         // see the epoch current right now.
         let snapshot = self.shared.db.read().unwrap().begin_snapshot();
+        self.shared.registry.set_snapshot(self.id, Some(snapshot));
         self.state = SessionTxn::Read { snapshot };
         Ok(SqlOutcome::Done)
     }
@@ -193,9 +234,13 @@ impl Session {
                 // A read-only transaction commits trivially: release the
                 // snapshot so version GC can advance.
                 self.shared.db.read().unwrap().end_snapshot(snapshot);
+                self.shared.registry.set_snapshot(self.id, None);
                 Ok(SqlOutcome::Done)
             }
             SessionTxn::Write => {
+                self.shared
+                    .registry
+                    .set_state(self.id, SessionState::Committing);
                 let result = self.shared.db.write().unwrap().commit();
                 self.shared.release_writer();
                 result.map(|()| SqlOutcome::Done)
@@ -208,6 +253,7 @@ impl Session {
             SessionTxn::Idle => Err(DbError::Txn("ROLLBACK outside a transaction".into())),
             SessionTxn::Read { snapshot } => {
                 self.shared.db.read().unwrap().end_snapshot(snapshot);
+                self.shared.registry.set_snapshot(self.id, None);
                 Ok(SqlOutcome::Done)
             }
             SessionTxn::Write => {
@@ -219,6 +265,9 @@ impl Session {
     }
 
     fn run_read(&mut self, sql: &str) -> Result<SqlOutcome> {
+        self.shared
+            .registry
+            .set_state(self.id, SessionState::Executing);
         let db = self.shared.db.read().unwrap();
         match self.state {
             // Inside a write transaction reads must see the session's
@@ -230,8 +279,12 @@ impl Session {
             SessionTxn::Read { snapshot } => db.query_at(sql, Some(snapshot)).map(SqlOutcome::Rows),
             SessionTxn::Idle => {
                 let snap = db.begin_snapshot();
+                // Publish the per-statement snapshot so `rdb_sessions`
+                // shows the epoch a concurrent autocommit read uses.
+                self.shared.registry.set_snapshot(self.id, Some(snap));
                 let result = db.query_at(sql, Some(snap));
                 db.end_snapshot(snap);
+                self.shared.registry.set_snapshot(self.id, None);
                 result.map(SqlOutcome::Rows)
             }
         }
@@ -242,7 +295,7 @@ impl Session {
             SessionTxn::Idle => {
                 // Autocommit write: token for the duration of the
                 // statement.
-                self.shared.acquire_writer();
+                self.shared.acquire_writer(self.id);
                 let result = self.shared.db.write().unwrap().execute(sql);
                 self.shared.release_writer();
                 result.map(outcome)
@@ -251,10 +304,11 @@ impl Session {
                 // First write upgrades the transaction: drop the read
                 // snapshot, claim the writer token and the engine's
                 // transaction slot, then run the statement inside it.
-                self.shared.acquire_writer();
+                self.shared.acquire_writer(self.id);
                 {
                     let mut db = self.shared.db.write().unwrap();
                     db.end_snapshot(snapshot);
+                    self.shared.registry.set_snapshot(self.id, None);
                     if let Err(e) = db.begin() {
                         drop(db);
                         self.shared.release_writer();
@@ -273,6 +327,9 @@ impl Session {
     /// error the engine has already rolled the statement back; the
     /// transaction stays open (the client decides).
     fn run_write_stmt(&mut self, sql: &str) -> Result<SqlOutcome> {
+        self.shared
+            .registry
+            .set_state(self.id, SessionState::Executing);
         self.shared.db.write().unwrap().execute(sql).map(outcome)
     }
 }
@@ -292,6 +349,7 @@ impl Drop for Session {
                 self.shared.release_writer();
             }
         }
+        self.shared.registry.unregister(self.id);
         self.shared.db.read().unwrap().session_closed();
     }
 }

@@ -364,6 +364,48 @@ fn scan_rec(h: &mut PageHeap, id: u64, out: &mut Vec<(u64, Vec<u8>)>) -> Result<
     }
 }
 
+/// Count the pages a tree occupies: every leaf and interior node plus
+/// overflow-chain pages. Chain lengths are derived from the spilled
+/// payload sizes recorded in the leaf cells, so the chains themselves
+/// are never faulted into the buffer pool.
+pub fn bt_page_count(h: &mut PageHeap, root: u64) -> Result<u64> {
+    if root == 0 {
+        return Ok(0);
+    }
+    count_rec(h, root)
+}
+
+fn count_rec(h: &mut PageHeap, id: u64) -> Result<u64> {
+    let page = h.view(id)?;
+    match page.kind() {
+        PageKind::Leaf => {
+            let mut n = 1u64;
+            for cell in page.cells() {
+                let tag = *cell.get(8).ok_or_else(|| corrupt("short leaf cell"))?;
+                if tag == TAG_OVERFLOW {
+                    let len = u32::from_le_bytes(
+                        cell.get(9..13)
+                            .ok_or_else(|| corrupt("short leaf cell"))?
+                            .try_into()
+                            .unwrap(),
+                    ) as usize;
+                    n += len.div_ceil(OVERFLOW_CHUNK) as u64;
+                }
+            }
+            Ok(n)
+        }
+        PageKind::Interior => {
+            let mut n = 1u64;
+            for cell in page.cells() {
+                n += count_rec(h, interior_child(&cell))?;
+            }
+            n += count_rec(h, page.next())?;
+            Ok(n)
+        }
+        other => Err(corrupt(&format!("page count into {other:?} page"))),
+    }
+}
+
 /// Free an entire tree (overflow chains included) — `DROP TABLE`.
 pub fn bt_free(h: &mut PageHeap, root: u64) -> Result<()> {
     if root == 0 {

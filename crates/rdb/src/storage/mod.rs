@@ -192,6 +192,14 @@ pub trait StorageBackend: std::fmt::Debug + Send + Sync {
     /// All live rows of `table` in slot order.
     fn scan_table(&self, table: &str) -> Result<Vec<(u64, Row)>>;
 
+    /// Best-effort page count for one table's on-disk structure, or
+    /// `None` when the backend has no page-level representation (the
+    /// in-memory backend) or does not know the table. Feeds the
+    /// `rdb_tables.pages` system-view column.
+    fn table_pages(&self, _table: &str) -> Option<u64> {
+        None
+    }
+
     /// Commit a checkpoint. `Ok(Some(report))` means the backend wrote
     /// an incremental checkpoint (the engine skips the full snapshot and
     /// just truncates the WAL); `Ok(None)` means the backend has no

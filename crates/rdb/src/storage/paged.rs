@@ -17,7 +17,7 @@
 //! errors to their callers, so an I/O failure *poisons* the store: the
 //! error is stored and surfaced by the next checkpoint or read.
 
-use super::btree::{bt_delete, bt_free, bt_get, bt_put, bt_scan};
+use super::btree::{bt_delete, bt_free, bt_get, bt_page_count, bt_put, bt_scan};
 use super::pager::{
     encode_meta, Pager, StoreMeta, TableMeta, DATA_FILE, META_FILE, META_TMP, PAGE_SIZE,
 };
@@ -214,6 +214,12 @@ impl StorageBackend for PagedStore {
             }
             Ok(rows)
         })
+    }
+
+    fn table_pages(&self, table: &str) -> Option<u64> {
+        let mut inner = self.inner.lock().unwrap();
+        let root = *inner.roots.get(table)?;
+        bt_page_count(&mut inner.heap, root).ok()
     }
 
     fn checkpoint(&self, catalog: &CheckpointCatalog) -> Result<Option<CheckpointReport>> {

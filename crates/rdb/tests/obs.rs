@@ -285,6 +285,11 @@ fn metrics_text_format_is_stable() {
         "rdb_recovery_micros_total",
         "rdb_tables",
         "rdb_plan_cache_entries",
+        "rdb_uptime_seconds",
+        "rdb_recovery_timestamp_seconds",
+        "rdb_statement_tracking_enabled",
+        "rdb_tracked_statements",
+        "rdb_statement_store_evictions_total",
     ] {
         assert!(
             text.contains(&format!("# TYPE {family} ")),
@@ -414,6 +419,11 @@ fn slow_query_log_records_sql_phases_and_rows() {
         slow[0].phases
     );
     assert!(slow[0].rows_touched >= 16, "scanned all of n2");
+    // Statement attribution: outside a session the id is 0, but the
+    // fingerprint always joins against `rdb_statements`.
+    assert_eq!(slow[0].session_id, 0, "no session on a bare Database");
+    assert_ne!(slow[0].fingerprint, 0, "fingerprint computed at parse time");
+    assert_eq!(slow[0].snapshot_epoch, None, "autocommit pins no snapshot");
     assert_eq!(slow[1].sql, "DELETE FROM n3 WHERE parentId = 10");
     assert!(slow[1].rows_touched >= 3, "deleted three grandchildren");
     // take_ drains the log.

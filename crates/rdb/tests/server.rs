@@ -147,3 +147,111 @@ fn shutdown_drains_the_group_commit_window() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+// ---------------------------------------------------------------------
+// .stat dot-commands and the HTTP metrics endpoint
+// ---------------------------------------------------------------------
+
+#[test]
+fn stat_commands_drive_tracking_and_views() {
+    let (handle, _shared) = serve();
+    let mut c = Client::connect(handle.addr());
+
+    let (head, _) = c.send(".stat on");
+    assert_eq!(head, "OK");
+    c.send("SELECT COUNT(*) FROM t");
+    c.send("SELECT COUNT(*) FROM t");
+
+    // `.stat statements` is sugar for SELECT * FROM rdb_statements.
+    let (head, rows) = c.send(".stat statements");
+    assert!(head.starts_with("ROWS "), "{head}");
+    assert!(
+        rows.iter().any(|r| r.contains("SELECT COUNT ( * ) FROM t")),
+        "normalized statement missing: {rows:?}"
+    );
+    // calls column reads 2 for the repeated statement.
+    assert!(
+        rows.iter().any(|r| r.contains("\t2\t")),
+        "aggregated call count missing: {rows:?}"
+    );
+
+    let (head, rows) = c.send(".stat sessions");
+    assert!(head.starts_with("ROWS "), "{head}");
+    // This connection observes itself executing the view query.
+    assert!(
+        rows.iter().any(|r| r.contains("executing")),
+        "own session not visible: {rows:?}"
+    );
+
+    let (head, _) = c.send(".stat reset");
+    assert_eq!(head, "OK");
+    let (head, _) = c.send(".stat statements");
+    assert_eq!(head, "ROWS 0", "reset must clear the store");
+
+    let (head, _) = c.send(".stat off");
+    assert_eq!(head, "OK");
+    let (head, _) = c.send(".stat bogus");
+    assert!(head.starts_with("ERR "), "{head}");
+
+    handle.shutdown();
+}
+
+/// One blocking HTTP GET against the metrics endpoint.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::Read;
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
+}
+
+#[test]
+fn metrics_endpoint_serves_prometheus_and_json() {
+    let mut db = Database::new();
+    db.run_script(
+        "CREATE TABLE t (id INTEGER, v VARCHAR(10));
+         INSERT INTO t VALUES (1, 'a'), (2, 'b');",
+    )
+    .unwrap();
+    db.set_statement_tracking(true);
+    let shared = SharedDatabase::new(db);
+    let mut sess = shared.session();
+    sess.execute("SELECT COUNT(*) FROM t").unwrap();
+
+    let http = xmlup_rdb::MetricsServer::start(shared.clone(), "127.0.0.1:0").unwrap();
+
+    let metrics = http_get(http.addr(), "/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+    assert!(metrics.contains("Content-Type: text/plain; version=0.0.4"));
+    assert!(
+        metrics.contains("# TYPE rdb_uptime_seconds gauge"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("rdb_statement_tracking_enabled 1"),
+        "{metrics}"
+    );
+
+    let statements = http_get(http.addr(), "/statements");
+    assert!(statements.starts_with("HTTP/1.1 200 OK"), "{statements}");
+    assert!(statements.contains("Content-Type: application/json"));
+    assert!(
+        statements.contains("\"sql\":\"SELECT COUNT ( * ) FROM t\""),
+        "{statements}"
+    );
+    assert!(statements.contains("\"calls\":1"), "{statements}");
+
+    let missing = http_get(http.addr(), "/nope");
+    assert!(missing.starts_with("HTTP/1.1 404 Not Found"), "{missing}");
+
+    // Non-GET methods are rejected.
+    use std::io::Read;
+    let mut stream = TcpStream::connect(http.addr()).unwrap();
+    write!(stream, "POST /metrics HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+
+    http.shutdown();
+}

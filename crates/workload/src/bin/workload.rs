@@ -27,6 +27,7 @@
 //!          [--checkpoint-every N]  CHECKPOINT after every N operations
 //!          [--crash-and-recover]   kill + reopen + verify at the fault
 //!          [--metrics-out FILE]    dump the final metric registry as JSON
+//!          [--track-statements]    per-statement stats; print the top 10
 //! ```
 
 use xmlup_core::{DeleteStrategy, InsertStrategy, RepoConfig, XmlRepository};
@@ -54,6 +55,7 @@ struct Args {
     checkpoint_every: Option<usize>,
     crash_and_recover: bool,
     metrics_out: Option<String>,
+    track_statements: bool,
 }
 
 fn usage() -> ! {
@@ -66,7 +68,7 @@ fn usage() -> ! {
          \x20               [--fail-at N] [--fail-table TABLE:N]\n\
          \x20               [--db-path DIR] [--backend memory|paged] [--pool-frames N]\n\
          \x20               [--checkpoint-every N] [--crash-and-recover]\n\
-         \x20               [--metrics-out FILE]"
+         \x20               [--metrics-out FILE] [--track-statements]"
     );
     std::process::exit(2);
 }
@@ -95,6 +97,7 @@ fn parse_args() -> Args {
         checkpoint_every: None,
         crash_and_recover: false,
         metrics_out: None,
+        track_statements: false,
     };
     let mut seed = 0xab1e_u64;
     let mut random = true;
@@ -150,6 +153,7 @@ fn parse_args() -> Args {
             }
             "--crash-and-recover" => args.crash_and_recover = true,
             "--metrics-out" => args.metrics_out = Some(value(&mut i)),
+            "--track-statements" => args.track_statements = true,
             _ => usage(),
         }
         i += 1;
@@ -230,6 +234,7 @@ fn run_in_memory(args: &Args) {
     let dtd = synthetic_dtd(args.depth);
     let doc = fixed_document(&params);
     let mut repo = XmlRepository::new(&dtd, "root", config_of(args)).expect("mapping");
+    repo.db.set_statement_tracking(args.track_statements);
     repo.load(&doc).expect("load");
     let rel = repo.mapping.relation_by_element("n1").expect("n1");
     let before = repo.tuple_count();
@@ -247,6 +252,7 @@ fn run_in_memory(args: &Args) {
     .expect("workload failed with a non-injected error");
     let statements_issued = repo.db.stats().client_statements - stmts_before;
     print_report(&repo, args, before, &report, 0, 0, statements_issued);
+    print_statements(&repo, args);
     write_metrics(&repo, args, statements_issued, report.rows_affected);
 }
 
@@ -299,6 +305,7 @@ fn open_repo(args: &Args, path: &str) -> XmlRepository {
 fn run_durable(args: &Args, path: &str) {
     let params = SyntheticParams::new(args.scale, args.depth, args.fanout);
     let mut repo = open_repo(args, path);
+    repo.db.set_statement_tracking(args.track_statements);
     if repo.tuple_count() == 0 {
         let doc = fixed_document(&params);
         repo.load(&doc).expect("load");
@@ -387,6 +394,9 @@ fn run_durable(args: &Args, path: &str) {
                     let expected = dump(&repo);
                     drop(repo);
                     repo = open_repo(args, path);
+                    // The statement store dies with the old handle;
+                    // re-arm tracking on the recovered one.
+                    repo.db.set_statement_tracking(args.track_statements);
                     stmt_base = repo.db.stats().client_statements;
                     let recovered = dump(&repo);
                     if recovered != expected {
@@ -417,8 +427,33 @@ fn run_durable(args: &Args, path: &str) {
         crashes,
         statements_issued,
     );
+    print_statements(&repo, args);
     write_metrics(&repo, args, statements_issued, report.rows_affected);
     repo.close_durable().expect("close durable store");
+}
+
+/// With `--track-statements`, print the top statement fingerprints by
+/// total execution time — the same data `rdb_statements` serves.
+fn print_statements(repo: &XmlRepository, args: &Args) {
+    if !args.track_statements {
+        return;
+    }
+    let stats = repo.db.statement_statistics();
+    println!("top statements by total time ({} tracked):", stats.len());
+    for s in stats.iter().take(10) {
+        let mut sql: String = s.sql.chars().take(60).collect();
+        if sql.len() < s.sql.len() {
+            sql.push('…');
+        }
+        println!(
+            "  {:016x}  calls {:>6}  rows {:>8}  mean {:>7}us  p95 {:>7}us  {sql}",
+            s.fingerprint,
+            s.calls,
+            s.rows,
+            s.mean_ns / 1_000,
+            s.p95_ns / 1_000,
+        );
+    }
 }
 
 /// Manual clone: `Args` holds only plain data but derives nothing.
@@ -440,6 +475,7 @@ fn clone_args(a: &Args) -> Args {
         checkpoint_every: a.checkpoint_every,
         crash_and_recover: a.crash_and_recover,
         metrics_out: a.metrics_out.clone(),
+        track_statements: a.track_statements,
     }
 }
 

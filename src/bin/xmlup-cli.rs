@@ -7,7 +7,8 @@
 //! ```text
 //! xmlup-cli [--relational] [--ordered] [--dtd FILE] [--root NAME]
 //!           [--db-path DIR] [--backend memory|paged] [--pool-frames N]
-//!           [--load NAME=FILE]... [--serve ADDR] [SCRIPT]
+//!           [--load NAME=FILE]... [--serve ADDR] [--metrics-addr ADDR]
+//!           [SCRIPT]
 //! ```
 //!
 //! `--db-path DIR` makes the relational store durable (WAL + checkpoints
@@ -22,6 +23,9 @@
 //! (MVCC snapshot reads, serialized writers) and served over the
 //! line-based SQL protocol on `ADDR` (e.g. `127.0.0.1:7878`) until stdin
 //! closes or reads `quit`; shutdown drains the group-commit window.
+//! Server mode enables per-statement tracking (`rdb_statements`), and
+//! `--metrics-addr ADDR` additionally serves `GET /metrics` (Prometheus
+//! text) and `GET /statements` (JSON) over HTTP.
 //!
 //! Without a SCRIPT file, reads commands from stdin. Statements may span
 //! lines and end with `;;`. Dot-commands:
@@ -67,6 +71,7 @@ fn main() {
     let mut loads: Vec<(String, String)> = Vec::new();
     let mut script: Option<String> = None;
     let mut serve_addr: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut db_path: Option<String> = None;
     let mut backend = BackendKind::Memory;
     let mut pool_frames = 1024usize;
@@ -77,6 +82,7 @@ fn main() {
             "--dtd" => dtd_file = args.next(),
             "--root" => root_name = args.next(),
             "--serve" => serve_addr = args.next(),
+            "--metrics-addr" => metrics_addr = args.next(),
             "--db-path" => db_path = args.next(),
             "--backend" => match args.next().as_deref().and_then(BackendKind::parse) {
                 Some(k) => backend = k,
@@ -206,8 +212,12 @@ fn main() {
         }
     }
 
+    if metrics_addr.is_some() && serve_addr.is_none() {
+        eprintln!("--metrics-addr requires --serve (the endpoint scrapes the shared store)");
+        std::process::exit(2);
+    }
     if let Some(addr) = serve_addr {
-        serve(&mut cli, &addr);
+        serve(&mut cli, &addr, metrics_addr.as_deref());
         return;
     }
 
@@ -236,29 +246,44 @@ fn print_help() {
     println!(
         "xmlup-cli [--relational] [--ordered] [--dtd FILE] [--root NAME] \
          [--db-path DIR] [--backend memory|paged] [--pool-frames N] \
-         [--load NAME=FILE]... [--serve ADDR] [SCRIPT]\n\
+         [--load NAME=FILE]... [--serve ADDR] [--metrics-addr ADDR] [SCRIPT]\n\
          Statements end with `;;`. Dot-commands: .load .show .sql .tables \
          .stats .metrics .trace .strategy .help .quit\n\
          --db-path DIR makes the store durable (implies --relational); \
          --backend paged selects the slotted-page B-tree store with a \
          --pool-frames page buffer pool and incremental checkpoints.\n\
          --serve ADDR shares the store over the line-based SQL protocol \
-         (one session per connection; BEGIN/COMMIT/ROLLBACK per session)."
+         (one session per connection; BEGIN/COMMIT/ROLLBACK per session); \
+         --metrics-addr ADDR adds an HTTP endpoint serving /metrics \
+         (Prometheus text) and /statements (JSON)."
     );
 }
 
 /// Server mode: hand the relational store (schema, triggers, any loaded
 /// document) to the engine's session layer and serve SQL over TCP until
-/// stdin closes. Shutdown joins every connection and drains the
-/// group-commit window before returning.
-fn serve(cli: &mut Cli, addr: &str) {
+/// stdin closes. Statement tracking is enabled so `rdb_statements` and
+/// the `.stat` commands report live data; `--metrics-addr` additionally
+/// starts the HTTP scrape endpoint (`/metrics`, `/statements`).
+/// Shutdown joins every connection and drains the group-commit window
+/// before returning.
+fn serve(cli: &mut Cli, addr: &str, metrics_addr: Option<&str>) {
     let db = match cli.repo.as_mut() {
         // The repository facade stays behind; connections speak SQL
         // directly to the shredded store.
         Some(repo) => std::mem::replace(&mut repo.db, xmlup::rdb::Database::new()),
         None => xmlup::rdb::Database::new(),
     };
+    db.set_statement_tracking(true);
     let shared = xmlup::rdb::SharedDatabase::new(db);
+    let metrics = metrics_addr.map(
+        |m| match xmlup::rdb::MetricsServer::start(shared.clone(), m) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("cannot listen on {m}: {e}");
+                std::process::exit(1);
+            }
+        },
+    );
     let handle = match xmlup::rdb::Server::start(shared, addr) {
         Ok(h) => h,
         Err(e) => {
@@ -270,6 +295,9 @@ fn serve(cli: &mut Cli, addr: &str) {
         "serving SQL on {} (close stdin or type `quit` to stop)",
         handle.addr()
     );
+    if let Some(m) = &metrics {
+        println!("metrics on http://{}/metrics", m.addr());
+    }
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         match line {
@@ -279,6 +307,9 @@ fn serve(cli: &mut Cli, addr: &str) {
         }
     }
     handle.shutdown();
+    if let Some(m) = metrics {
+        m.shutdown();
+    }
     println!("server stopped");
 }
 
